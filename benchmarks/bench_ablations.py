@@ -1,0 +1,17 @@
+"""Ablation benchmarks for the Section-IV design directions."""
+
+
+def test_ablation_scheduling(bench):
+    bench("ablation-sched", rounds=1)
+
+
+def test_ablation_earlystop(bench):
+    bench("ablation-earlystop", rounds=3)
+
+
+def test_ablation_nas(bench):
+    bench("ablation-nas", rounds=1)
+
+
+def test_ablation_compression(bench):
+    bench("ablation-compression", rounds=3)

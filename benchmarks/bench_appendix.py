@@ -1,0 +1,9 @@
+"""Benchmarks regenerating the appendix experiments."""
+
+
+def test_appendix_ssl(bench):
+    bench("appendix-ssl", rounds=5)
+
+
+def test_appendix_disaggregation(bench):
+    bench("appendix-disagg", rounds=3)

@@ -1,0 +1,89 @@
+"""Benchmarks for the extension experiments (Section IV directions)."""
+
+
+def test_ext_moe(bench):
+    bench("ext-moe", rounds=5)
+
+
+def test_ext_scopes(bench):
+    bench("ext-scopes", rounds=5)
+
+
+def test_ext_geo(bench):
+    bench("ext-geo", rounds=1)
+
+
+def test_ext_fl_selection(bench):
+    bench("ext-flselect", rounds=1)
+
+
+def test_ext_idle(bench):
+    bench("ext-idle", rounds=1)
+
+
+def test_ext_carbon_nas(bench):
+    bench("ext-carbonnas", rounds=1)
+
+
+def test_ext_leaderboard(bench):
+    bench("ext-leaderboard", rounds=5)
+
+
+def test_ext_predictive_tracking(bench):
+    bench("ext-predict", rounds=3)
+
+
+def test_ext_capacity_planning(bench):
+    bench("ext-capacity", rounds=5)
+
+
+def test_ext_serving_mechanics(bench):
+    bench("ext-serving", rounds=1)
+
+
+def test_ext_sdc_injection(bench):
+    bench("ext-sdc", rounds=1)
+
+
+def test_ext_multitenancy(bench):
+    bench("ext-tenancy", rounds=1)
+
+
+def test_ext_forecast(bench):
+    bench("ext-forecast", rounds=1)
+
+
+def test_ext_uncertainty(bench):
+    bench("ext-uncertainty", rounds=3)
+
+
+def test_ext_hardware_choice(bench):
+    bench("ext-hwchoice", rounds=3)
+
+
+def test_ext_async_fl(bench):
+    bench("ext-asyncfl", rounds=1)
+
+
+def test_ext_sharding(bench):
+    bench("ext-sharding", rounds=3)
+
+
+def test_ext_time_varying(bench):
+    bench("ext-tvtracking", rounds=1)
+
+
+def test_ext_autoscale(bench):
+    bench("ext-autoscale", rounds=3)
+
+
+def test_ext_ingestion(bench):
+    bench("ext-ingestion", rounds=1)
+
+
+def test_ext_bom(bench):
+    bench("ext-bom", rounds=5)
+
+
+def test_ext_memory_pooling(bench):
+    bench("ext-mempool", rounds=1)

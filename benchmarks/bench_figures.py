@@ -1,0 +1,49 @@
+"""Benchmarks regenerating every figure of the paper (Figures 1-12)."""
+
+
+def test_fig01_arxiv_growth(bench):
+    bench("fig1", rounds=3)
+
+
+def test_fig02_growth_trends(bench):
+    bench("fig2", rounds=5)
+
+
+def test_fig03_phase_splits(bench):
+    bench("fig3", rounds=5)
+
+
+def test_fig04_operational_footprint(bench):
+    bench("fig4", rounds=5)
+
+
+def test_fig05_overall_footprint(bench):
+    bench("fig5", rounds=5)
+
+
+def test_fig06_optimization_stack(bench):
+    bench("fig6", rounds=5)
+
+
+def test_fig07_lm_ladder(bench):
+    bench("fig7", rounds=5)
+
+
+def test_fig08_jevons(bench):
+    bench("fig8", rounds=5)
+
+
+def test_fig09_utilization_sweep(bench):
+    bench("fig9", rounds=5)
+
+
+def test_fig10_utilization_histogram(bench):
+    bench("fig10", rounds=3)
+
+
+def test_fig11_federated_learning(bench):
+    bench("fig11", rounds=1)
+
+
+def test_fig12_scaling_pareto(bench):
+    bench("fig12", rounds=3)

@@ -1,0 +1,76 @@
+"""Performance benchmarks of the library's own primitives at scale.
+
+Unlike the figure benches (which regenerate paper results), these guard
+the *throughput* of the substrates a user would stress on real fleet
+data: the scheduler on thousands of jobs, year-long grid synthesis and
+pricing, Monte-Carlo sampling, and the recommender training loop.
+"""
+
+import numpy as np
+
+from repro.carbon.grid import synthesize_grid_trace
+from repro.core.uncertainty import monte_carlo_footprint
+from repro.dataeff.recommenders import BiasMF
+from repro.dataeff.synthetic import LatentFactorWorld
+from repro.fleet.scheduler import schedule_fifo
+from repro.lifecycle.jobs import EXPERIMENTATION_JOBS
+from repro.scheduling.carbon_aware import schedule_carbon_aware
+from repro.scheduling.jobs import synthesize_jobs
+from repro.workloads.traces import experiment_arrivals
+
+
+def test_scale_fifo_scheduler_5k_jobs(benchmark):
+    """FIFO+backfill over ~5k jobs on a 2048-GPU cluster."""
+    stream = experiment_arrivals(EXPERIMENTATION_JOBS, jobs_per_day=700, days=7, seed=0)
+
+    def run():
+        return schedule_fifo(stream, total_gpus=2048, horizon_hours=1000)
+
+    schedule = benchmark.pedantic(run, rounds=2, iterations=1)
+    assert schedule.mean_utilization > 0
+
+
+def test_scale_carbon_aware_200_jobs(benchmark):
+    """Greedy carbon-aware placement of 200 deferrable jobs."""
+    grid = synthesize_grid_trace(336, seed=0)
+    jobs = synthesize_jobs(200, 336, seed=0)
+
+    def run():
+        return schedule_carbon_aware(jobs, grid, 336, capacity_kw=20_000.0)
+
+    outcome = benchmark.pedantic(run, rounds=2, iterations=1)
+    assert outcome.total_carbon.kg > 0
+
+
+def test_scale_year_long_grid(benchmark):
+    """Synthesize and price a full year of hourly grid data."""
+
+    def run():
+        grid = synthesize_grid_trace(8766, seed=1)
+        profile = np.full(8766, 100.0)
+        return grid.emissions_for_profile(profile)
+
+    carbon = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert carbon.kg > 0
+
+
+def test_scale_monte_carlo_100k(benchmark):
+    """100k-sample footprint distribution."""
+
+    def run():
+        return monte_carlo_footprint(1e6, n_samples=100_000, seed=0)
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert result.mean_kg > 0
+
+
+def test_scale_biasmf_training(benchmark):
+    """BiasMF SGD over 100k interactions (the dataeff substrate)."""
+    world = LatentFactorWorld(n_users=2000, n_items=800, seed=0)
+    data = world.sample(100_000, seed_offset=0)
+
+    def run():
+        return BiasMF(n_epochs=2, seed=0).fit(data)
+
+    model = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert model._U is not None

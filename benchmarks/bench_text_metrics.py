@@ -1,0 +1,17 @@
+"""Benchmarks regenerating the paper's in-text quantitative claims."""
+
+
+def test_text_gpudays(bench):
+    bench("text-gpudays", rounds=3)
+
+
+def test_text_quantization(bench):
+    bench("text-quant", rounds=3)
+
+
+def test_text_sampling(bench):
+    bench("text-sampling", rounds=1)
+
+
+def test_text_halflife(bench):
+    bench("text-halflife", rounds=1)

@@ -1,0 +1,30 @@
+"""Shared helpers for the benchmark harness.
+
+Each bench regenerates one paper figure/experiment via the experiment
+registry, times it with pytest-benchmark, and prints the same rows/series
+the paper reports (run with ``pytest benchmarks/ --benchmark-only -s`` to
+see them inline).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.registry import run_experiment
+
+
+def bench_experiment(benchmark, experiment_id: str, rounds: int = 1) -> None:
+    """Run one experiment under the benchmark and print its rows."""
+    result = benchmark.pedantic(
+        run_experiment, args=(experiment_id,), rounds=rounds, iterations=1
+    )
+    print()
+    print(result.render())
+
+
+@pytest.fixture
+def bench(benchmark):
+    def _run(experiment_id: str, rounds: int = 1) -> None:
+        bench_experiment(benchmark, experiment_id, rounds)
+
+    return _run

@@ -1,0 +1,59 @@
+"""Data-efficiency study: SVP sampling and data perishability (Section IV-A).
+
+Trains three real recommenders (ItemPop, ItemKNN, BiasMF) on a synthetic
+interaction world, shows that a 10% selection-via-proxy sample preserves
+their relative ranking at a multi-x speedup, then measures how data loses
+predictive value with age and derives an age-based retention schedule.
+
+Run with::
+
+    python examples/data_efficiency_study.py     # takes ~1 minute
+"""
+
+import numpy as np
+
+from repro.core.report import format_table
+from repro.dataeff import (
+    LatentFactorWorld,
+    fit_half_life,
+    measure_value_decay,
+    run_panel,
+    sampling_study,
+)
+
+
+def main() -> None:
+    world = LatentFactorWorld(n_users=1500, n_items=500, seed=1)
+    data = world.sample(100_000, seed_offset=0)
+
+    full = run_panel(data)
+    print("Full-data algorithm ranking (NDCG@10):")
+    for name, score in sorted(full.scores().items(), key=lambda kv: -kv[1]):
+        print(f"  {name:<8} {score:.3f}")
+
+    rows = []
+    for row in sampling_study(data, rates=(0.1,), sampler_names=("random", "svp")):
+        rows.append(
+            [row.sampler, f"{row.rate:.0%}", f"{row.tau:.2f}",
+             f"{row.speedup:.1f}x", row.ranking_preserved]
+        )
+    print("\n10% sub-sampling (paper: SVP preserves ranking at ~5.8x speedup):")
+    print(format_table(["sampler", "rate", "tau", "speedup", "preserved"], rows))
+
+    print("\nData perishability (drifting preferences):")
+    ages, values = measure_value_decay()
+    model = fit_half_life(ages, values)
+    for age, value in zip(ages, values):
+        print(f"  age {age:>3.1f} yr: relative predictive value {value:.2f}")
+    print(f"  fitted half-life: {model.half_life_years:.2f} years")
+
+    buckets = np.array([0.0, 1.0, 2.0, 4.0])
+    schedule = model.retention_schedule(buckets, budget_fraction=0.5)
+    print("\nAge-based retention at a 50% storage budget:")
+    for age, rate in zip(buckets, schedule):
+        print(f"  keep {rate:.0%} of data aged {age:g} years")
+    print(f"  storage saving: {model.storage_saving(buckets, 0.5):.0%}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,70 @@
+"""Geo-distributed scheduling + predictive tracking working together.
+
+First, a carbontracker-style prediction from five measured epochs decides
+whether a run fits the carbon budget and when to start it; then the
+deferrable training batch is placed across three regions with
+complementary renewable profiles.
+
+Run with::
+
+    python examples/geo_scheduling_and_prediction.py
+"""
+
+import numpy as np
+
+from repro.carbon.grid import synthesize_grid_trace
+from repro.core.quantities import Carbon, Energy
+from repro.scheduling.carbon_aware import schedule_carbon_aware
+from repro.scheduling.geo import default_regions, schedule_geo
+from repro.scheduling.jobs import synthesize_jobs
+from repro.telemetry.predict import (
+    EpochMeasurement,
+    abort_recommendation,
+    predict_training_cost,
+    recommend_start_hour,
+)
+
+
+def main() -> None:
+    # --- predictive tracking -------------------------------------------
+    rng = np.random.default_rng(0)
+    measured = [
+        EpochMeasurement(i, Energy(2.0 + 0.04 * i + rng.normal(0, 0.03)), 1800.0)
+        for i in range(5)
+    ]
+    prediction = predict_training_cost(measured, planned_epochs=60)
+    print("After 5 measured epochs:")
+    print(f"  predicted energy: {prediction.predicted_energy} "
+          f"[{prediction.predicted_energy_low.kwh:.0f}"
+          f"..{prediction.predicted_energy_high.kwh:.0f} kWh]")
+    print(f"  predicted carbon: {prediction.predicted_carbon}")
+
+    budget = Carbon(100.0)
+    verdict = abort_recommendation(prediction, budget)
+    print(f"  fits {budget} budget? {'no' if verdict['over_budget'] else 'yes'}")
+
+    grid = synthesize_grid_trace(168, seed=2)
+    start, now_carbon, best_carbon = recommend_start_hour(prediction, grid)
+    print(f"  start now: {now_carbon}; start at hour {start}: {best_carbon} "
+          f"({1 - best_carbon.kg / now_carbon.kg:.0%} cleaner)")
+
+    # --- geo placement ---------------------------------------------------
+    horizon = 168
+    regions = default_regions(horizon, seed=0)
+    jobs = synthesize_jobs(40, horizon, seed=0)
+    home = regions[0]
+
+    single = schedule_carbon_aware(jobs, home.grid, horizon, home.capacity_kw)
+    geo = schedule_geo(jobs, regions, horizon)
+
+    print("\nPlacing the weekly training batch:")
+    print(f"  single-region (time shifting only): {single.total_carbon}")
+    print(f"  geo + time shifting:                {geo.total_carbon} "
+          f"({1 - geo.total_carbon.kg / single.total_carbon.kg:.0%} lower)")
+    for region in regions:
+        print(f"    {region.name:<12} carries {geo.region_share(region.name):.0%} "
+              "of the energy")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,50 @@
+"""Whole-paper walkthrough: every figure's headline in one run.
+
+Runs all twelve figure experiments (plus the in-text claims) and prints
+a one-line digest per result — the fastest way to see the reproduction
+end-to-end.  For full tables use ``sustainable-ai run all``.
+
+Run with::
+
+    python examples/paper_walkthrough.py     # takes ~1 minute
+"""
+
+from repro.experiments.registry import run_experiment
+
+FIGURES = [f"fig{i}" for i in range(1, 13)]
+TEXT_CLAIMS = ["text-gpudays", "text-quant", "text-sampling", "text-halflife"]
+
+DIGEST = {
+    "fig1": ("categories_overtaken_by_ml", "disciplines ML overtakes"),
+    "fig2": ("bleu_at_1000x_model_size", "BLEU at 1000x model size (paper: 40)"),
+    "fig3": ("rm1_data_share", "RM1 data-phase energy share (paper: 0.31)"),
+    "fig4": ("fb_avg_vs_meena", "fleet avg training vs Meena (paper: 1.8x)"),
+    "fig5": ("embodied_over_operational", "embodied/operational (paper: ~0.5)"),
+    "fig6": ("average_half_gain", "optimization per half-year (paper: ~0.20)"),
+    "fig7": ("total_gain", "LM ladder total (paper: >800x)"),
+    "fig8": ("net_two_year_reduction", "net 2-yr power reduction (paper: 0.285)"),
+    "fig9": ("reduction_30_to_80_util", "30->80% utilization gain (paper: ~3x)"),
+    "fig10": ("fraction_in_30_50_band", "workflows at 30-50% GPU util"),
+    "fig11": ("fl_vs_p100_ratio", "FL vs centralized Transformer_Big"),
+    "fig12": ("star_energy_ratio", "green/yellow star energy (paper: 4x)"),
+    "text-gpudays": ("production_p99", "production training p99 GPU-days (paper: 125)"),
+    "text-quant": ("rm2_size_reduction", "RM2 fp16 size cut (paper: 0.15)"),
+    "text-sampling": ("svp_tau_at_10pct", "SVP ranking tau at 10% data (paper: 1.0)"),
+    "text-halflife": ("fitted_half_life_years", "fitted data half-life (years)"),
+}
+
+
+def main() -> None:
+    print(f"{'experiment':<14} {'measured':>12}  description")
+    print("-" * 72)
+    for exp_id in FIGURES + TEXT_CLAIMS:
+        result = run_experiment(exp_id)
+        key, label = DIGEST[exp_id]
+        value = result.headline[key]
+        print(f"{exp_id:<14} {value:>12,.4g}  {label}")
+    print("-" * 72)
+    print("Full tables: `sustainable-ai run all`; extensions: `ext-*` ids.")
+
+
+if __name__ == "__main__":
+    main()

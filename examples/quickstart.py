@@ -1,0 +1,46 @@
+"""Quickstart: account for an ML task's operational + embodied carbon.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from repro import FootprintAnalyzer, Phase, PhaseWorkload, TaskDescription
+from repro.carbon.intensity import AccountingMethod
+from repro.core.equivalences import describe
+from repro.core.report import footprint_report
+
+
+def main() -> None:
+    # Describe your ML task by the device-hours each life-cycle phase
+    # consumed (numbers here: a mid-size production ranking model).
+    task = TaskDescription(
+        name="my-ranking-model",
+        workloads=(
+            PhaseWorkload(Phase.EXPERIMENTATION, device_hours=20_000, utilization=0.40),
+            PhaseWorkload(Phase.OFFLINE_TRAINING, device_hours=80_000, utilization=0.60),
+            PhaseWorkload(Phase.ONLINE_TRAINING, device_hours=40_000, utilization=0.60),
+            PhaseWorkload(Phase.INFERENCE, device_hours=350_000, utilization=0.55),
+        ),
+    )
+
+    # The default analyzer models the paper's fleet: V100 servers, PUE
+    # 1.10, US-average location-based intensity, Mac-Pro-anchored embodied
+    # carbon amortized over a 4-year life at 45% utilization.
+    analyzer = FootprintAnalyzer()
+    footprint = analyzer.analyze(task)
+
+    print("=== Location-based accounting ===")
+    print(footprint_report([footprint]))
+
+    # Market-based accounting with 100% renewable matching zeroes the
+    # operational part — embodied carbon is what remains.
+    market = analyzer.with_accounting(AccountingMethod.MARKET_BASED)
+    green = market.analyze(task)
+    print("\n=== Market-based accounting (100% renewable matching) ===")
+    print(green.describe())
+    print(describe(green.carbon))
+
+
+if __name__ == "__main__":
+    main()

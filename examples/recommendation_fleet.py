@@ -1,0 +1,61 @@
+"""Recommendation-model fleet study: the paper's RM storyline end-to-end.
+
+1. Build a production-shaped DLRM and inspect where its bytes live.
+2. Apply the paper's partial-fp16 quantization and measure size/bandwidth.
+3. Compare TT-Rec / DHE memory-compression architectures.
+4. Account the full pipeline (data -> training -> inference) and see the
+   Figure-3b energy split.
+
+Run with::
+
+    python examples/recommendation_fleet.py
+"""
+
+from repro.core.report import format_table
+from repro.experiments.fig03 import rm1_pipeline
+from repro.models.compression import dhe, embodied_operational_tradeoff, tt_rec
+from repro.models.dlrm import make_dlrm
+from repro.models.quantization import RM2_SCHEME, apply_quantization
+
+
+def main() -> None:
+    model = make_dlrm("RM2")
+    print(f"Model: {model.name}")
+    print(f"  parameters:        {model.n_params / 1e9:.2f} B")
+    print(f"  size:              {model.size_bytes / 1e9:.1f} GB")
+    print(f"  embedding share:   {model.embedding_size_share:.2%} of bytes")
+    print(f"  bytes/sample read: {model.embedding_bytes_per_sample / 1e3:.1f} KB")
+
+    impact = apply_quantization(model, RM2_SCHEME)
+    print("\nPartial fp16 quantization (hot 30% of embedding rows):")
+    print(f"  size reduction:      {impact.size_reduction:.1%}  (paper: 15%)")
+    print(f"  bandwidth reduction: {impact.bandwidth_reduction:.1%}  (paper: 20.7%)")
+
+    table = model.tables[0]
+    rows = []
+    for result in (tt_rec(table), dhe(table)):
+        tradeoff = embodied_operational_tradeoff(result)
+        rows.append(
+            [
+                result.technique,
+                f"{result.memory_reduction:,.0f}x",
+                f"{result.training_time_factor:.2f}x",
+                f"{tradeoff['extra_compute_kwh_per_run']:.1f}",
+            ]
+        )
+    print("\nMemory-efficient embedding architectures (per table):")
+    print(
+        format_table(
+            ["technique", "memory reduction", "training time", "extra kWh/run"], rows
+        )
+    )
+
+    pipeline = rm1_pipeline()
+    split = pipeline.energy_split()
+    print("\nEnd-to-end annual energy split (paper Figure 3b: 31:29:40):")
+    for stage, share in split.items():
+        print(f"  {stage:<26} {share:.1%}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,70 @@
+"""Reliability and hardware-lifetime study (Appendix B).
+
+Walks the reliability toolchain: optimal checkpointing, CPR-style
+partial recovery, the carbon-optimal replacement age under wear-out, and
+a live demonstration of silent data corruption destroying (and
+algorithmic fault tolerance rescuing) a real recommender's accuracy.
+
+Run with::
+
+    python examples/reliability_study.py     # takes ~1 minute
+"""
+
+import numpy as np
+
+from repro.core.report import format_table
+from repro.dataeff.synthetic import LatentFactorWorld
+from repro.reliability import (
+    CheckpointPolicy,
+    WearoutModel,
+    carbon_optimal_lifetime,
+    partial_recovery_benefit,
+    sdc_study,
+    simulate_training_run,
+    young_daly_interval,
+)
+
+
+def main() -> None:
+    # --- checkpointing ----------------------------------------------------
+    mtbf = 48.0
+    interval = young_daly_interval(mtbf, checkpoint_cost_hours=0.05)
+    print(f"Young-Daly optimal checkpoint interval at {mtbf:.0f} h MTBF: "
+          f"{interval:.2f} h")
+
+    rows = []
+    for label, factor in (("half-optimal", 0.5), ("optimal", 1.0), ("4x optimal", 4.0)):
+        outcome = simulate_training_run(
+            work_hours=500.0,
+            mtbf_hours=mtbf,
+            policy=CheckpointPolicy(interval * factor),
+            seed=0,
+        )
+        rows.append([label, f"{outcome.overhead_fraction:.2%}", outcome.n_failures])
+    print(format_table(["interval", "overhead", "failures"], rows))
+
+    recovery = partial_recovery_benefit(seed=1)
+    print(f"\nCPR-style partial recovery cuts failure overhead "
+          f"{recovery['full_overhead']:.1%} -> {recovery['partial_overhead']:.1%}")
+
+    # --- carbon-optimal lifetime -------------------------------------------
+    best, lifetimes, annualized = carbon_optimal_lifetime(WearoutModel())
+    print(f"\nCarbon-optimal server replacement age: {best:.1f} years")
+    hardened, _, _ = carbon_optimal_lifetime(WearoutModel(), detection_coverage=0.9)
+    print(f"With 90% algorithmic SDC coverage it extends to: {hardened:.1f} years")
+
+    # --- live SDC injection --------------------------------------------------
+    print("\nInjecting SDC into BiasMF training (synthetic interactions):")
+    world = LatentFactorWorld(n_users=500, n_items=300, seed=2)
+    data = world.sample(20_000, seed_offset=0)
+    rows = []
+    for result in sdc_study(data, fault_rates=(0.0, 2.0), seed=0):
+        rows.append(
+            [result.label, f"{result.ndcg:.3f}", result.cells_corrupted,
+             result.rows_repaired]
+        )
+    print(format_table(["run", "NDCG@10", "cells corrupted", "rows repaired"], rows))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,74 @@
+"""A sustainability-program view: scopes, capacity planning, leaderboards.
+
+The "sustainability mindset" of Section IV as a workflow: inventory the
+company's emissions by GHG scope, project the embodied-carbon pressure of
+AI capacity growth, evaluate the MoE architecture trade, and rank model
+candidates under a carbon budget.
+
+Run with::
+
+    python examples/sustainability_program.py
+"""
+
+from repro.carbon.scopes import ai_embodied_growth, hyperscaler_inventory
+from repro.core.metrics import Leaderboard, RankingPolicy, Submission
+from repro.core.quantities import Carbon, Energy
+from repro.core.report import format_table
+from repro.fleet.capacity_planning import consolidation_study, plan_capacity
+from repro.models.moe import SWITCH_LIKE, compare_vs_quality_matched_dense
+
+
+def main() -> None:
+    inventory = hyperscaler_inventory()
+    print("GHG inventory (market-based accounting):")
+    print(f"  scope 1:                 {inventory.scope1}")
+    print(f"  scope 2 (location):      {inventory.scope2_location}")
+    print(f"  scope 2 (market):        {inventory.scope2_market}")
+    print(f"  scope 3 (value chain):   {inventory.scope3_total}")
+    print(f"  scope-3 share:           {inventory.scope3_share(market_based=True):.0%}"
+          "  <- the paper's 'more than 50%'")
+
+    grown = ai_embodied_growth(inventory, ai_capital_share=0.5, capacity_growth_factor=2.9)
+    print(f"\nCapital goods after 2.9x AI capacity growth: {grown} "
+          f"({grown.kg / inventory.capital_goods().kg:.2f}x)")
+
+    plan = plan_capacity(initial_servers=10_000, horizon_years=3)
+    rows = [
+        [int(y), int(s), f"{p:.1f}", f"{plan.embodied_in_year(i).tonnes:,.0f}"]
+        for i, (y, s, p) in enumerate(
+            zip(plan.years, plan.servers_total, plan.it_power_mw)
+        )
+    ]
+    print("\nAI training fleet buildout (2.9x capacity growth per 1.5 yr):")
+    print(format_table(["year", "servers", "IT MW", "embodied added (t)"], rows))
+
+    consolidation = consolidation_study()
+    print(f"\nEfficiency of scale: the same throughput on accelerators needs "
+          f"{consolidation.server_reduction:.0%} fewer servers "
+          f"({consolidation.embodied_saving:.0%} less embodied carbon).")
+
+    moe = compare_vs_quality_matched_dense(SWITCH_LIKE)
+    print(f"\nSparse (MoE) vs quality-matched dense model:")
+    print(f"  operational saving: {moe.operational_saving:.0%}")
+    print(f"  embodied cost:      {moe.embodied_ratio:.1f}x "
+          "<- the paper's embodied warning")
+
+    board = Leaderboard(
+        (
+            Submission("mega-dense", 0.920, Energy.from_mwh(1200.0), Carbon.from_tonnes(515.0)),
+            Submission("sparse-moe", 0.918, Energy.from_mwh(180.0), Carbon.from_tonnes(77.0)),
+            Submission("distilled", 0.905, Energy.from_mwh(25.0), Carbon.from_tonnes(10.7)),
+        )
+    )
+    print("\nModel selection under a 100 tCO2e carbon budget:")
+    for policy, kwargs in (
+        (RankingPolicy.QUALITY_ONLY, {}),
+        (RankingPolicy.QUALITY_AT_BUDGET, {"carbon_budget": Carbon.from_tonnes(100.0)}),
+    ):
+        winner = board.winner(policy, **kwargs)
+        print(f"  {policy.value:<18} -> {winner.name} "
+              f"(quality {winner.quality:.3f}, {winner.carbon})")
+
+
+if __name__ == "__main__":
+    main()

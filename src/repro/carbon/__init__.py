@@ -1,0 +1,83 @@
+"""Carbon accounting: intensities, grids, embodied LCA, offsets."""
+
+from repro.carbon.embodied import (
+    AmortizationPolicy,
+    CPU_SERVER_EMBODIED,
+    GPU_SERVER_EMBODIED,
+    embodied_for_device_hours,
+    operational_embodied_split,
+)
+from repro.carbon.components import (
+    AI_TRAINING_BOM,
+    CPU_COMPUTE_BOM,
+    ComponentLine,
+    STORAGE_BOM,
+    ServerBOM,
+    design_comparison,
+    memory_technology_comparison,
+)
+from repro.carbon.forecast import (
+    diurnal_forecast,
+    forecast_mape,
+    forecast_quality_sweep,
+    noisy_oracle,
+    persistence_forecast,
+    schedule_with_forecast,
+)
+from repro.carbon.grid import (
+    GridMixParams,
+    GridTrace,
+    constant_grid_trace,
+    synthesize_grid_trace,
+)
+from repro.carbon.intensity import (
+    AccountingMethod,
+    CarbonIntensity,
+    DualIntensity,
+    intensity_for_region,
+    regions,
+)
+from repro.carbon.offsets import NET_ZERO_PROGRAM, NO_PROGRAM, RenewableProcurement
+from repro.carbon.scopes import (
+    GHGInventory,
+    SCOPE3_CATEGORIES,
+    ai_embodied_growth,
+    hyperscaler_inventory,
+)
+
+__all__ = [
+    "AI_TRAINING_BOM",
+    "AccountingMethod",
+    "AmortizationPolicy",
+    "CPU_COMPUTE_BOM",
+    "ComponentLine",
+    "STORAGE_BOM",
+    "ServerBOM",
+    "design_comparison",
+    "memory_technology_comparison",
+    "CarbonIntensity",
+    "CPU_SERVER_EMBODIED",
+    "DualIntensity",
+    "GHGInventory",
+    "GPU_SERVER_EMBODIED",
+    "SCOPE3_CATEGORIES",
+    "ai_embodied_growth",
+    "hyperscaler_inventory",
+    "GridMixParams",
+    "GridTrace",
+    "NET_ZERO_PROGRAM",
+    "NO_PROGRAM",
+    "RenewableProcurement",
+    "constant_grid_trace",
+    "diurnal_forecast",
+    "embodied_for_device_hours",
+    "forecast_mape",
+    "forecast_quality_sweep",
+    "noisy_oracle",
+    "persistence_forecast",
+    "schedule_with_forecast",
+    "intensity_for_region",
+    "operational_embodied_split",
+    "regions",
+    "synthesize_grid_trace",
+]

@@ -1,0 +1,144 @@
+"""Carbon intensity of electricity: how much CO2e a kWh costs.
+
+Two accounting conventions from the GHG Protocol are modeled:
+
+* **location-based** — the average intensity of the regional grid the
+  datacenter physically draws from.  This is what the paper uses for the
+  headline Figure 4/5 numbers.
+* **market-based** — intensity after contractual instruments (PPAs,
+  renewable-energy certificates).  Facebook's 100% renewable matching makes
+  the market-based intensity of its fleet ~0; the paper notes embodied
+  carbon then dominates.
+
+Intensities are expressed in kgCO2e per kWh.  A small static regional table
+is included; the values are public grid averages (circa 2020-2021) and are
+the knob a user would replace with their own utility data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from repro.core.quantities import Carbon, Energy
+from repro.errors import UnitError
+
+
+class AccountingMethod(str, Enum):
+    """GHG Protocol Scope-2 accounting convention."""
+
+    LOCATION_BASED = "location-based"
+    MARKET_BASED = "market-based"
+
+
+@dataclass(frozen=True, slots=True)
+class CarbonIntensity:
+    """Carbon intensity of an energy source in kgCO2e per kWh."""
+
+    kg_per_kwh: float
+    label: str = "custom"
+
+    def __post_init__(self) -> None:
+        if self.kg_per_kwh < 0:
+            raise UnitError(
+                f"carbon intensity must be non-negative, got {self.kg_per_kwh}"
+            )
+
+    @property
+    def g_per_kwh(self) -> float:
+        return self.kg_per_kwh * 1e3
+
+    def emissions(self, energy: Energy) -> Carbon:
+        """Carbon emitted by consuming ``energy`` at this intensity."""
+        return Carbon(energy.kwh * self.kg_per_kwh)
+
+    def scaled(self, factor: float, label: str | None = None) -> "CarbonIntensity":
+        """A new intensity scaled by a dimensionless ``factor`` (>= 0)."""
+        if factor < 0:
+            raise UnitError(f"scaling factor must be non-negative, got {factor}")
+        return CarbonIntensity(
+            self.kg_per_kwh * factor, label or f"{self.label} x{factor:g}"
+        )
+
+
+# ---------------------------------------------------------------------------
+# Reference intensities (kgCO2e/kWh).  Public grid averages circa 2020-2021.
+# ---------------------------------------------------------------------------
+US_AVERAGE = CarbonIntensity(0.429, "us-average")
+US_MIDWEST = CarbonIntensity(0.545, "us-midwest")
+US_NORTHWEST = CarbonIntensity(0.292, "us-northwest")
+US_SOUTHEAST = CarbonIntensity(0.431, "us-southeast")
+EUROPE_AVERAGE = CarbonIntensity(0.276, "europe-average")
+NORDIC = CarbonIntensity(0.030, "nordic")
+IRELAND = CarbonIntensity(0.335, "ireland")
+ASIA_PACIFIC = CarbonIntensity(0.555, "asia-pacific")
+WORLD_AVERAGE = CarbonIntensity(0.475, "world-average")
+#: Effectively carbon-free supply (solar/wind/hydro with small residual).
+CARBON_FREE = CarbonIntensity(0.0, "carbon-free")
+#: Solar PV life-cycle residual intensity (panel manufacturing amortized).
+SOLAR_LIFECYCLE = CarbonIntensity(0.041, "solar-lifecycle")
+WIND_LIFECYCLE = CarbonIntensity(0.011, "wind-lifecycle")
+COAL = CarbonIntensity(0.820, "coal")
+NATURAL_GAS = CarbonIntensity(0.490, "natural-gas")
+HYDRO = CarbonIntensity(0.024, "hydro")
+NUCLEAR = CarbonIntensity(0.012, "nuclear")
+
+_REGION_TABLE: dict[str, CarbonIntensity] = {
+    ci.label: ci
+    for ci in (
+        US_AVERAGE,
+        US_MIDWEST,
+        US_NORTHWEST,
+        US_SOUTHEAST,
+        EUROPE_AVERAGE,
+        NORDIC,
+        IRELAND,
+        ASIA_PACIFIC,
+        WORLD_AVERAGE,
+        CARBON_FREE,
+        SOLAR_LIFECYCLE,
+        WIND_LIFECYCLE,
+        COAL,
+        NATURAL_GAS,
+        HYDRO,
+        NUCLEAR,
+    )
+}
+
+
+def regions() -> tuple[str, ...]:
+    """Names of all built-in reference intensities."""
+    return tuple(sorted(_REGION_TABLE))
+
+
+def intensity_for_region(region: str) -> CarbonIntensity:
+    """Look up a built-in reference intensity by name.
+
+    Raises
+    ------
+    KeyError
+        If ``region`` is not a known reference intensity.
+    """
+    try:
+        return _REGION_TABLE[region]
+    except KeyError:
+        known = ", ".join(regions())
+        raise KeyError(f"unknown region {region!r}; known regions: {known}") from None
+
+
+@dataclass(frozen=True, slots=True)
+class DualIntensity:
+    """Location- and market-based intensity of one datacenter's supply."""
+
+    location: CarbonIntensity
+    market: CarbonIntensity
+
+    def for_method(self, method: AccountingMethod) -> CarbonIntensity:
+        if method is AccountingMethod.LOCATION_BASED:
+            return self.location
+        return self.market
+
+
+#: The paper's fleet: location-based ~US grid; market-based ~0 thanks to
+#: 100% renewable energy matching.
+RENEWABLE_MATCHED_FLEET = DualIntensity(location=US_AVERAGE, market=CARBON_FREE)

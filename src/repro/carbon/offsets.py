@@ -1,0 +1,54 @@
+"""Renewable procurement and net-zero matching (Section III-C).
+
+Reaching net zero, per the paper, means "matching every unit of energy
+consumed by data centers with 100% renewable energy purchased", with
+remaining emissions offset.  This module models that annual matching
+(market-based accounting) as distinct from *physical* 24/7 carbon-free
+consumption, which :mod:`repro.scheduling.cfe` scores hour-by-hour.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.quantities import Carbon, Energy
+from repro.errors import UnitError
+
+
+@dataclass(frozen=True, slots=True)
+class RenewableProcurement:
+    """Annual renewable-energy matching program.
+
+    ``match_fraction`` is the fraction of consumed energy matched with
+    purchased renewables (1.0 = the paper's 100% matching);
+    ``offset_fraction`` is the fraction of *residual* emissions neutralized
+    by offsets.
+    """
+
+    match_fraction: float = 1.0
+    offset_fraction: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not (0 <= self.match_fraction <= 1):
+            raise UnitError(
+                f"match_fraction must be in [0, 1], got {self.match_fraction}"
+            )
+        if not (0 <= self.offset_fraction <= 1):
+            raise UnitError(
+                f"offset_fraction must be in [0, 1], got {self.offset_fraction}"
+            )
+
+    def market_based_emissions(self, location_based: Carbon) -> Carbon:
+        """Market-based emissions after matching and offsets."""
+        residual = location_based * (1.0 - self.match_fraction)
+        return residual * (1.0 - self.offset_fraction)
+
+    def matched_energy(self, consumed: Energy) -> Energy:
+        """Renewable energy that must be procured to match ``consumed``."""
+        return consumed * self.match_fraction
+
+
+#: The paper's program: 100% renewable matching, remaining emissions offset.
+NET_ZERO_PROGRAM = RenewableProcurement(match_fraction=1.0, offset_fraction=1.0)
+#: No program: market-based == location-based.
+NO_PROGRAM = RenewableProcurement(match_fraction=0.0, offset_fraction=0.0)

@@ -1,0 +1,79 @@
+"""Core: quantities, footprints, the holistic analyzer, scenarios, reports."""
+
+from repro.core.analyzer import FootprintAnalyzer, PhaseWorkload, TaskDescription
+from repro.core.equivalences import Equivalences, equivalences, miles_driven
+from repro.core.footprint import (
+    EmbodiedFootprint,
+    OperationalFootprint,
+    PHASE_ORDER,
+    Phase,
+    PhaseFootprint,
+    TotalFootprint,
+)
+from repro.core.metrics import (
+    Leaderboard,
+    RankingPolicy,
+    Submission,
+    marginal_quality_cost,
+)
+from repro.core.quantities import Carbon, Energy, Power, carbon_sum, energy_sum
+from repro.core.report import (
+    footprint_report,
+    format_bar,
+    format_bar_chart,
+    format_table,
+)
+from repro.core.uncertainty import (
+    DEFAULT_PRIORS,
+    MonteCarloResult,
+    ParameterPrior,
+    TornadoBar,
+    monte_carlo_footprint,
+    tornado_sensitivity,
+)
+from repro.core.scenario import (
+    Scenario,
+    ScenarioResult,
+    evaluate_work,
+    renewable_variant,
+    utilization_sweep,
+)
+
+__all__ = [
+    "Carbon",
+    "DEFAULT_PRIORS",
+    "EmbodiedFootprint",
+    "MonteCarloResult",
+    "ParameterPrior",
+    "TornadoBar",
+    "monte_carlo_footprint",
+    "tornado_sensitivity",
+    "Energy",
+    "Equivalences",
+    "FootprintAnalyzer",
+    "Leaderboard",
+    "OperationalFootprint",
+    "RankingPolicy",
+    "Submission",
+    "marginal_quality_cost",
+    "PHASE_ORDER",
+    "Phase",
+    "PhaseFootprint",
+    "PhaseWorkload",
+    "Power",
+    "Scenario",
+    "ScenarioResult",
+    "TaskDescription",
+    "TotalFootprint",
+    "carbon_sum",
+    "energy_sum",
+    "equivalences",
+    "evaluate_work",
+    "footprint_report",
+    "format_bar",
+    "format_bar_chart",
+    "format_table",
+    "miles_driven",
+    "renewable_variant",
+    "utilization_sweep",
+]

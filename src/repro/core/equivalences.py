@@ -1,0 +1,64 @@
+"""EPA greenhouse-gas equivalencies.
+
+The paper motivates its analysis with "training one large ML model is
+equivalent to 242,231 miles driven by an average passenger vehicle"
+(Meena, via the EPA calculator).  This module reproduces that calculator
+so reports can translate kgCO2e into human-scale quantities.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro import units
+from repro.core.quantities import Carbon
+
+
+@dataclass(frozen=True, slots=True)
+class Equivalences:
+    """Human-scale equivalents of a carbon mass."""
+
+    passenger_vehicle_miles: float
+    passenger_vehicle_years: float
+    homes_electricity_years: float
+    gallons_of_gasoline: float
+    tree_seedlings_grown_10yr: float
+    smartphone_charges: float
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "passenger_vehicle_miles": self.passenger_vehicle_miles,
+            "passenger_vehicle_years": self.passenger_vehicle_years,
+            "homes_electricity_years": self.homes_electricity_years,
+            "gallons_of_gasoline": self.gallons_of_gasoline,
+            "tree_seedlings_grown_10yr": self.tree_seedlings_grown_10yr,
+            "smartphone_charges": self.smartphone_charges,
+        }
+
+
+def equivalences(carbon: Carbon) -> Equivalences:
+    """EPA calculator equivalents for ``carbon``."""
+    kg = carbon.kg
+    return Equivalences(
+        passenger_vehicle_miles=kg / units.KG_CO2E_PER_PASSENGER_VEHICLE_MILE,
+        passenger_vehicle_years=kg / units.KG_CO2E_PER_PASSENGER_VEHICLE_YEAR,
+        homes_electricity_years=kg / units.KG_CO2E_PER_HOME_ELECTRICITY_YEAR,
+        gallons_of_gasoline=kg / units.KG_CO2E_PER_GALLON_GASOLINE,
+        tree_seedlings_grown_10yr=kg / units.KG_CO2E_PER_TREE_SEEDLING_10YR,
+        smartphone_charges=kg / units.KG_CO2E_PER_SMARTPHONE_CHARGE,
+    )
+
+
+def miles_driven(carbon: Carbon) -> float:
+    """Equivalent passenger-vehicle miles for ``carbon``."""
+    return equivalences(carbon).passenger_vehicle_miles
+
+
+def describe(carbon: Carbon) -> str:
+    """One-line human-readable equivalence summary."""
+    eq = equivalences(carbon)
+    return (
+        f"{carbon} ≈ {eq.passenger_vehicle_miles:,.0f} passenger-vehicle miles, "
+        f"{eq.homes_electricity_years:,.1f} home-years of electricity, "
+        f"{eq.tree_seedlings_grown_10yr:,.0f} tree seedlings grown for 10 years"
+    )

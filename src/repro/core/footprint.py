@@ -1,0 +1,202 @@
+"""Footprint records: operational + embodied carbon, with breakdowns.
+
+The paper's central accounting identity::
+
+    total = operational (energy x carbon intensity, across ML phases)
+          + embodied    (manufacturing carbon amortized over the share of
+                         hardware life consumed by the task)
+
+Operational footprints are broken down by ML development phase (offline
+training — which folds in experimentation —, online training, inference)
+matching the stacked bars of Figure 4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+from repro.core.quantities import Carbon, Energy, carbon_sum, energy_sum
+from repro.errors import UnitError
+
+
+class Phase(str, Enum):
+    """Phases of the ML model development cycle (Section II-A).
+
+    ``DATA`` covers storage + ingestion; ``EXPERIMENTATION`` the research
+    sweep; ``OFFLINE_TRAINING`` the production training with historical
+    data; ``ONLINE_TRAINING`` continuous refresh (recommendation models);
+    ``INFERENCE`` serving.
+    """
+
+    DATA = "data"
+    EXPERIMENTATION = "experimentation"
+    OFFLINE_TRAINING = "offline-training"
+    ONLINE_TRAINING = "online-training"
+    INFERENCE = "inference"
+
+
+#: Order used for rendering stacked breakdowns, matching Figure 4's legend.
+PHASE_ORDER: tuple[Phase, ...] = (
+    Phase.DATA,
+    Phase.EXPERIMENTATION,
+    Phase.OFFLINE_TRAINING,
+    Phase.ONLINE_TRAINING,
+    Phase.INFERENCE,
+)
+
+
+@dataclass(frozen=True, slots=True)
+class PhaseFootprint:
+    """Energy and carbon attributed to one phase of one ML task."""
+
+    phase: Phase
+    energy: Energy
+    carbon: Carbon
+
+    def scaled(self, factor: float) -> "PhaseFootprint":
+        if factor < 0:
+            raise UnitError(f"scale factor must be non-negative, got {factor}")
+        return PhaseFootprint(self.phase, self.energy * factor, self.carbon * factor)
+
+
+@dataclass(frozen=True)
+class OperationalFootprint:
+    """Operational (product-use) footprint of an ML task, by phase."""
+
+    phases: tuple[PhaseFootprint, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        seen: set[Phase] = set()
+        for pf in self.phases:
+            if pf.phase in seen:
+                raise UnitError(f"duplicate phase in footprint: {pf.phase}")
+            seen.add(pf.phase)
+
+    @classmethod
+    def from_mapping(cls, mapping: dict[Phase, tuple[Energy, Carbon]]):
+        return cls(
+            tuple(
+                PhaseFootprint(phase, energy, carbon)
+                for phase, (energy, carbon) in mapping.items()
+            )
+        )
+
+    @property
+    def energy(self) -> Energy:
+        return energy_sum(pf.energy for pf in self.phases)
+
+    @property
+    def carbon(self) -> Carbon:
+        return carbon_sum(pf.carbon for pf in self.phases)
+
+    def phase_carbon(self, phase: Phase) -> Carbon:
+        for pf in self.phases:
+            if pf.phase is phase:
+                return pf.carbon
+        return Carbon.zero()
+
+    def phase_energy(self, phase: Phase) -> Energy:
+        for pf in self.phases:
+            if pf.phase is phase:
+                return pf.energy
+        return Energy.zero()
+
+    def carbon_shares(self) -> dict[Phase, float]:
+        """Fraction of operational carbon per phase (empty if total is 0)."""
+        total = self.carbon.kg
+        if total == 0:
+            return {}
+        return {pf.phase: pf.carbon.kg / total for pf in self.phases}
+
+    def energy_shares(self) -> dict[Phase, float]:
+        """Fraction of operational energy per phase (empty if total is 0)."""
+        total = self.energy.kwh
+        if total == 0:
+            return {}
+        return {pf.phase: pf.energy.kwh / total for pf in self.phases}
+
+    def training_inference_split(self) -> tuple[float, float]:
+        """(training-side, inference) carbon fractions.
+
+        Training side aggregates experimentation + offline + online
+        training; data is excluded to match Figure 4's categories.
+        """
+        train = (
+            self.phase_carbon(Phase.EXPERIMENTATION)
+            + self.phase_carbon(Phase.OFFLINE_TRAINING)
+            + self.phase_carbon(Phase.ONLINE_TRAINING)
+        )
+        infer = self.phase_carbon(Phase.INFERENCE)
+        total = train.kg + infer.kg
+        if total == 0:
+            return (0.0, 0.0)
+        return (train.kg / total, infer.kg / total)
+
+    def merged(self, other: "OperationalFootprint") -> "OperationalFootprint":
+        """Phase-wise sum of two operational footprints."""
+        acc: dict[Phase, tuple[Energy, Carbon]] = {
+            pf.phase: (pf.energy, pf.carbon) for pf in self.phases
+        }
+        for pf in other.phases:
+            if pf.phase in acc:
+                e, c = acc[pf.phase]
+                acc[pf.phase] = (e + pf.energy, c + pf.carbon)
+            else:
+                acc[pf.phase] = (pf.energy, pf.carbon)
+        ordered = {p: acc[p] for p in PHASE_ORDER if p in acc}
+        return OperationalFootprint.from_mapping(ordered)
+
+
+@dataclass(frozen=True, slots=True)
+class EmbodiedFootprint:
+    """Manufacturing carbon amortized onto an ML task.
+
+    ``total_manufacturing`` is the full manufacturing footprint of the
+    hardware involved; ``amortized`` is the share attributed to this task
+    (per the life-cycle amortization model in :mod:`repro.carbon.embodied`).
+    """
+
+    amortized: Carbon
+    total_manufacturing: Carbon = Carbon.zero()
+
+    def __post_init__(self) -> None:
+        if self.total_manufacturing.kg and self.amortized.kg > self.total_manufacturing.kg * (1 + 1e-9):
+            raise UnitError(
+                "amortized embodied carbon cannot exceed total manufacturing carbon"
+            )
+
+
+@dataclass(frozen=True, slots=True)
+class TotalFootprint:
+    """Combined operational + embodied footprint of one ML task."""
+
+    name: str
+    operational: OperationalFootprint
+    embodied: EmbodiedFootprint
+
+    @property
+    def carbon(self) -> Carbon:
+        return self.operational.carbon + self.embodied.amortized
+
+    @property
+    def embodied_share(self) -> float:
+        total = self.carbon.kg
+        if total == 0:
+            return 0.0
+        return self.embodied.amortized.kg / total
+
+    @property
+    def operational_share(self) -> float:
+        total = self.carbon.kg
+        if total == 0:
+            return 0.0
+        return self.operational.carbon.kg / total
+
+    def describe(self) -> str:
+        return (
+            f"{self.name}: total {self.carbon}, "
+            f"operational {self.operational.carbon} "
+            f"({self.operational_share:.0%}), "
+            f"embodied {self.embodied.amortized} ({self.embodied_share:.0%})"
+        )

@@ -1,0 +1,138 @@
+"""Efficiency metrics and carbon-normalized leaderboards (Section V-A).
+
+The appendix diagnoses a "lack of normalization factors: algorithmic
+progress ... presented in some measure of model accuracy but without
+considering resource requirement as a normalization factor".  This module
+supplies the missing machinery:
+
+* :class:`Submission` — a (quality, energy, carbon, hardware) record, the
+  disclosure the paper asks every result to carry;
+* efficiency scores — quality per kWh / per kgCO2e, and the
+  "quality-at-budget" selection a green leaderboard would run;
+* :class:`Leaderboard` — ranks submissions under a chosen policy and
+  reports how the ranking *changes* once efficiency counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from repro.core.quantities import Carbon, Energy
+from repro.errors import UnitError
+
+
+@dataclass(frozen=True, slots=True)
+class Submission:
+    """One leaderboard entry with its environmental disclosure."""
+
+    name: str
+    quality: float  # higher is better (accuracy, BLEU, ...)
+    energy: Energy
+    carbon: Carbon
+    hardware: str = "unspecified"
+
+    def __post_init__(self) -> None:
+        if self.energy.kwh <= 0:
+            raise UnitError("a submission must disclose positive energy")
+
+    @property
+    def quality_per_kwh(self) -> float:
+        return self.quality / self.energy.kwh
+
+    @property
+    def quality_per_kg(self) -> float:
+        if self.carbon.kg == 0:
+            return float("inf")
+        return self.quality / self.carbon.kg
+
+
+class RankingPolicy(str, Enum):
+    """How a leaderboard orders submissions."""
+
+    QUALITY_ONLY = "quality-only"
+    QUALITY_PER_KWH = "quality-per-kwh"
+    QUALITY_PER_KG = "quality-per-kg"
+    QUALITY_AT_BUDGET = "quality-at-budget"
+
+
+@dataclass(frozen=True)
+class Leaderboard:
+    """A set of submissions rankable under different policies."""
+
+    submissions: tuple[Submission, ...]
+
+    def __post_init__(self) -> None:
+        if not self.submissions:
+            raise UnitError("leaderboard needs at least one submission")
+        names = [s.name for s in self.submissions]
+        if len(names) != len(set(names)):
+            raise UnitError("submission names must be unique")
+
+    def rank(
+        self,
+        policy: RankingPolicy = RankingPolicy.QUALITY_ONLY,
+        carbon_budget: Carbon | None = None,
+    ) -> list[Submission]:
+        """Submissions best-first under ``policy``.
+
+        ``QUALITY_AT_BUDGET`` drops entries exceeding ``carbon_budget``
+        and ranks the rest by quality — the "competitive accuracy at fixed
+        environmental cost" framing of Section IV.
+        """
+        subs = list(self.submissions)
+        if policy is RankingPolicy.QUALITY_ONLY:
+            return sorted(subs, key=lambda s: -s.quality)
+        if policy is RankingPolicy.QUALITY_PER_KWH:
+            return sorted(subs, key=lambda s: -s.quality_per_kwh)
+        if policy is RankingPolicy.QUALITY_PER_KG:
+            return sorted(subs, key=lambda s: -s.quality_per_kg)
+        if carbon_budget is None:
+            raise UnitError("QUALITY_AT_BUDGET requires a carbon budget")
+        eligible = [s for s in subs if s.carbon.kg <= carbon_budget.kg]
+        if not eligible:
+            raise UnitError("no submission fits the carbon budget")
+        return sorted(eligible, key=lambda s: -s.quality)
+
+    def winner(
+        self,
+        policy: RankingPolicy = RankingPolicy.QUALITY_ONLY,
+        carbon_budget: Carbon | None = None,
+    ) -> Submission:
+        return self.rank(policy, carbon_budget)[0]
+
+    def ranking_change(
+        self, policy: RankingPolicy, carbon_budget: Carbon | None = None
+    ) -> int:
+        """How many positions move between quality-only and ``policy``.
+
+        A nonzero value is the quantitative form of the paper's point:
+        once efficiency counts, "progress" reorders.
+        """
+        base = [s.name for s in self.rank(RankingPolicy.QUALITY_ONLY)]
+        other = [s.name for s in self.rank(policy, carbon_budget)]
+        moved = 0
+        for name in other:
+            if name in base and base.index(name) != other.index(name):
+                moved += 1
+        # Entries excluded by a budget count as moved.
+        moved += sum(1 for name in base if name not in other)
+        return moved
+
+
+def marginal_quality_cost(
+    cheap: Submission, expensive: Submission
+) -> dict[str, float]:
+    """Carbon and energy paid per unit of quality gained.
+
+    The Figure-12 framing ("achieving higher model quality ... incurs
+    significant energy cost") applied to any two submissions.
+    """
+    dq = expensive.quality - cheap.quality
+    if dq <= 0:
+        raise UnitError("'expensive' must have higher quality than 'cheap'")
+    return {
+        "quality_gain": dq,
+        "kwh_per_quality_point": (expensive.energy.kwh - cheap.energy.kwh) / dq,
+        "kg_per_quality_point": (expensive.carbon.kg - cheap.carbon.kg) / dq,
+    }

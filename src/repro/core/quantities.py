@@ -1,0 +1,304 @@
+"""Checked value types for the three physical dimensions the library uses.
+
+:class:`Energy`, :class:`Power`, and :class:`Carbon` are small frozen
+dataclasses wrapping a float in the library's canonical unit (kWh, W,
+kgCO2e respectively).  They support the arithmetic that is physically
+meaningful — adding two energies, scaling by a dimensionless factor,
+dividing energies to get a ratio, multiplying power by a duration to get
+energy, multiplying energy by a carbon intensity to get carbon — and
+reject the rest at construction or operation time.
+
+These types are deliberately *thin*: hot loops inside the simulators work
+on raw numpy arrays and only wrap their results at API boundaries.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro import units
+from repro.errors import UnitError
+
+
+def _check_finite(value: float, what: str) -> float:
+    value = float(value)
+    if math.isnan(value) or math.isinf(value):
+        raise UnitError(f"{what} must be finite, got {value!r}")
+    return value
+
+
+def _check_non_negative(value: float, what: str) -> float:
+    value = _check_finite(value, what)
+    if value < 0:
+        raise UnitError(f"{what} must be non-negative, got {value!r}")
+    return value
+
+
+@dataclass(frozen=True, slots=True)
+class Energy:
+    """An amount of electrical energy, canonically in kilowatt-hours."""
+
+    kwh: float
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "kwh", _check_non_negative(self.kwh, "energy"))
+
+    # -- constructors ------------------------------------------------------
+    @classmethod
+    def from_joules(cls, joules: float) -> "Energy":
+        return cls(units.joules_to_kwh(joules))
+
+    @classmethod
+    def from_wh(cls, wh: float) -> "Energy":
+        return cls(units.wh_to_kwh(wh))
+
+    @classmethod
+    def from_mwh(cls, mwh: float) -> "Energy":
+        return cls(units.mwh_to_kwh(mwh))
+
+    @classmethod
+    def zero(cls) -> "Energy":
+        return cls(0.0)
+
+    # -- views -------------------------------------------------------------
+    @property
+    def joules(self) -> float:
+        return units.kwh_to_joules(self.kwh)
+
+    @property
+    def mwh(self) -> float:
+        return units.kwh_to_mwh(self.kwh)
+
+    # -- arithmetic --------------------------------------------------------
+    def __add__(self, other: "Energy") -> "Energy":
+        if not isinstance(other, Energy):
+            return NotImplemented
+        return Energy(self.kwh + other.kwh)
+
+    def __sub__(self, other: "Energy") -> "Energy":
+        if not isinstance(other, Energy):
+            return NotImplemented
+        if other.kwh > self.kwh:
+            raise UnitError(
+                f"energy subtraction would be negative: {self.kwh} - {other.kwh} kWh"
+            )
+        return Energy(self.kwh - other.kwh)
+
+    def __mul__(self, factor: float) -> "Energy":
+        if isinstance(factor, (Energy, Power, Carbon)):
+            return NotImplemented
+        return Energy(self.kwh * float(factor))
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other):
+        if isinstance(other, Energy):
+            if other.kwh == 0:
+                raise UnitError("cannot divide by zero energy")
+            return self.kwh / other.kwh
+        if isinstance(other, (Power, Carbon)):
+            return NotImplemented
+        divisor = float(other)
+        if divisor == 0:
+            raise UnitError("cannot divide energy by zero")
+        return Energy(self.kwh / divisor)
+
+    def __lt__(self, other: "Energy") -> bool:
+        return self.kwh < other.kwh
+
+    def __le__(self, other: "Energy") -> bool:
+        return self.kwh <= other.kwh
+
+    def isclose(self, other: "Energy", rel_tol: float = 1e-9) -> bool:
+        return math.isclose(self.kwh, other.kwh, rel_tol=rel_tol, abs_tol=1e-12)
+
+    def __str__(self) -> str:
+        if self.kwh >= units.KWH_PER_GWH:
+            return f"{self.kwh / units.KWH_PER_GWH:,.2f} GWh"
+        if self.kwh >= units.KWH_PER_MWH:
+            return f"{self.mwh:,.2f} MWh"
+        return f"{self.kwh:,.3f} kWh"
+
+
+@dataclass(frozen=True, slots=True)
+class Power:
+    """An electrical power draw, canonically in watts."""
+
+    watts: float
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "watts", _check_non_negative(self.watts, "power"))
+
+    @classmethod
+    def from_kw(cls, kw: float) -> "Power":
+        return cls(kw * 1e3)
+
+    @classmethod
+    def from_mw(cls, mw: float) -> "Power":
+        return cls(mw * 1e6)
+
+    @classmethod
+    def zero(cls) -> "Power":
+        return cls(0.0)
+
+    @property
+    def kw(self) -> float:
+        return self.watts / 1e3
+
+    @property
+    def mw(self) -> float:
+        return self.watts / 1e6
+
+    def over_hours(self, hours: float) -> Energy:
+        """Energy accumulated by this power draw over ``hours`` hours."""
+        return Energy(units.watts_hours_to_kwh(self.watts, hours))
+
+    def over_seconds(self, seconds: float) -> Energy:
+        """Energy accumulated by this power draw over ``seconds`` seconds."""
+        return self.over_hours(seconds / units.SECONDS_PER_HOUR)
+
+    def __add__(self, other: "Power") -> "Power":
+        if not isinstance(other, Power):
+            return NotImplemented
+        return Power(self.watts + other.watts)
+
+    def __sub__(self, other: "Power") -> "Power":
+        if not isinstance(other, Power):
+            return NotImplemented
+        if other.watts > self.watts:
+            raise UnitError(
+                f"power subtraction would be negative: {self.watts} - {other.watts} W"
+            )
+        return Power(self.watts - other.watts)
+
+    def __mul__(self, factor: float) -> "Power":
+        if isinstance(factor, (Energy, Power, Carbon)):
+            return NotImplemented
+        return Power(self.watts * float(factor))
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other):
+        if isinstance(other, Power):
+            if other.watts == 0:
+                raise UnitError("cannot divide by zero power")
+            return self.watts / other.watts
+        if isinstance(other, (Energy, Carbon)):
+            return NotImplemented
+        divisor = float(other)
+        if divisor == 0:
+            raise UnitError("cannot divide power by zero")
+        return Power(self.watts / divisor)
+
+    def __lt__(self, other: "Power") -> bool:
+        return self.watts < other.watts
+
+    def __le__(self, other: "Power") -> bool:
+        return self.watts <= other.watts
+
+    def __str__(self) -> str:
+        if self.watts >= 1e6:
+            return f"{self.mw:,.2f} MW"
+        if self.watts >= 1e3:
+            return f"{self.kw:,.2f} kW"
+        return f"{self.watts:,.1f} W"
+
+
+@dataclass(frozen=True, slots=True)
+class Carbon:
+    """A mass of CO2-equivalent emissions, canonically in kilograms."""
+
+    kg: float
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "kg", _check_non_negative(self.kg, "carbon"))
+
+    @classmethod
+    def from_tonnes(cls, tonnes: float) -> "Carbon":
+        return cls(units.tonnes_to_kg(tonnes))
+
+    @classmethod
+    def from_grams(cls, grams: float) -> "Carbon":
+        return cls(units.grams_to_kg(grams))
+
+    @classmethod
+    def zero(cls) -> "Carbon":
+        return cls(0.0)
+
+    @property
+    def tonnes(self) -> float:
+        return units.kg_to_tonnes(self.kg)
+
+    @property
+    def grams(self) -> float:
+        return self.kg / units.KG_PER_GRAM
+
+    def __add__(self, other: "Carbon") -> "Carbon":
+        if not isinstance(other, Carbon):
+            return NotImplemented
+        return Carbon(self.kg + other.kg)
+
+    def __sub__(self, other: "Carbon") -> "Carbon":
+        if not isinstance(other, Carbon):
+            return NotImplemented
+        if other.kg > self.kg:
+            raise UnitError(
+                f"carbon subtraction would be negative: {self.kg} - {other.kg} kg"
+            )
+        return Carbon(self.kg - other.kg)
+
+    def __mul__(self, factor: float) -> "Carbon":
+        if isinstance(factor, (Energy, Power, Carbon)):
+            return NotImplemented
+        return Carbon(self.kg * float(factor))
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other):
+        if isinstance(other, Carbon):
+            if other.kg == 0:
+                raise UnitError("cannot divide by zero carbon")
+            return self.kg / other.kg
+        if isinstance(other, (Energy, Power)):
+            return NotImplemented
+        divisor = float(other)
+        if divisor == 0:
+            raise UnitError("cannot divide carbon by zero")
+        return Carbon(self.kg / divisor)
+
+    def __lt__(self, other: "Carbon") -> bool:
+        return self.kg < other.kg
+
+    def __le__(self, other: "Carbon") -> bool:
+        return self.kg <= other.kg
+
+    def isclose(self, other: "Carbon", rel_tol: float = 1e-9) -> bool:
+        return math.isclose(self.kg, other.kg, rel_tol=rel_tol, abs_tol=1e-12)
+
+    def __str__(self) -> str:
+        if self.kg >= units.KG_PER_TONNE:
+            return f"{self.tonnes:,.2f} tCO2e"
+        if self.kg < 1.0:
+            return f"{self.grams:,.1f} gCO2e"
+        return f"{self.kg:,.2f} kgCO2e"
+
+
+def energy_sum(items) -> Energy:
+    """Sum an iterable of :class:`Energy` values (empty iterable -> zero)."""
+    total = 0.0
+    for item in items:
+        if not isinstance(item, Energy):
+            raise UnitError(f"energy_sum expects Energy items, got {type(item)!r}")
+        total += item.kwh
+    return Energy(total)
+
+
+def carbon_sum(items) -> Carbon:
+    """Sum an iterable of :class:`Carbon` values (empty iterable -> zero)."""
+    total = 0.0
+    for item in items:
+        if not isinstance(item, Carbon):
+            raise UnitError(f"carbon_sum expects Carbon items, got {type(item)!r}")
+        total += item.kg
+    return Carbon(total)

@@ -1,0 +1,76 @@
+"""Plain-text / markdown rendering of footprint analyses.
+
+The benchmark harness prints the same rows/series the paper's figures
+report; this module holds the shared formatting helpers so experiments and
+examples render consistently.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+from repro.core.equivalences import describe as describe_equivalence
+from repro.core.footprint import PHASE_ORDER, TotalFootprint
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    float_format: str = "{:,.3g}",
+) -> str:
+    """Render an aligned fixed-width text table."""
+    rendered_rows = [
+        [
+            float_format.format(cell) if isinstance(cell, float) else str(cell)
+            for cell in row
+        ]
+        for row in rows
+    ]
+    widths = [len(h) for h in headers]
+    for row in rendered_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = [
+        "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in rendered_rows:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def format_bar(fraction: float, width: int = 40, fill: str = "#") -> str:
+    """An ASCII bar representing a fraction of the row maximum."""
+    fraction = max(0.0, min(1.0, fraction))
+    n = round(fraction * width)
+    return fill * n
+
+
+def format_bar_chart(
+    labels: Sequence[str], values: Sequence[float], width: int = 40
+) -> str:
+    """A labeled horizontal ASCII bar chart, scaled to the max value."""
+    if len(labels) != len(values):
+        raise ValueError("labels and values must have equal length")
+    peak = max(values) if values else 0.0
+    label_w = max((len(lbl) for lbl in labels), default=0)
+    lines = []
+    for label, value in zip(labels, values):
+        frac = value / peak if peak else 0.0
+        lines.append(f"{label.ljust(label_w)}  {format_bar(frac, width)} {value:,.3g}")
+    return "\n".join(lines)
+
+
+def footprint_report(footprints: Sequence[TotalFootprint]) -> str:
+    """Multi-task footprint report with per-phase breakdown and equivalences."""
+    sections = []
+    for fp in footprints:
+        lines = [fp.describe()]
+        shares = fp.operational.carbon_shares()
+        for phase in PHASE_ORDER:
+            if phase in shares:
+                carbon = fp.operational.phase_carbon(phase)
+                lines.append(f"  {phase.value:<18} {carbon}  ({shares[phase]:.0%})")
+        lines.append(f"  {describe_equivalence(fp.carbon)}")
+        sections.append("\n".join(lines))
+    return "\n\n".join(sections)

@@ -1,0 +1,139 @@
+"""What-if scenarios over the holistic accounting (Figures 5 and 9).
+
+A :class:`Scenario` bundles the environmental knobs the paper sweeps —
+grid carbon intensity (location vs carbon-free), device utilization,
+server lifetime, PUE — and evaluates the total footprint of a fixed
+amount of *useful work* under those knobs.
+
+Modeling choices (matching Figure 9's construction):
+
+* The task is defined by the useful work it must complete, so at lower
+  utilization the same work holds the hardware for proportionally more
+  wall-clock hours.
+* Training boards draw close to full board power whenever a job is
+  resident, *regardless of achieved utilization* — fleet "GPU
+  utilization" metrics measure achieved math throughput while the board
+  sits near TDP either way.  ``board_power_fraction`` sets that draw.
+  Both energy and embodied amortization therefore scale ~1/utilization,
+  which is what makes utilization such a strong lever (~3x from 30% to
+  80%).
+* "Renewable" supply carries the solar life-cycle residual intensity
+  (panel manufacturing), not a literal zero.
+* Embodied carbon counts the server (Mac Pro dual-GPU LCA anchor) *plus*
+  the datacenter's own construction/networking/storage share via
+  ``infrastructure_embodied_factor`` (Gupta et al. 2021 show facility
+  embodied carbon is of the same order as IT embodied carbon).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from repro.carbon.embodied import GPU_SERVER_EMBODIED
+from repro.carbon.intensity import CarbonIntensity, SOLAR_LIFECYCLE, US_AVERAGE
+from repro.core.quantities import Carbon, Energy
+from repro.energy.devices import DeviceSpec, V100
+from repro.energy.pue import Datacenter
+from repro.errors import UnitError
+
+
+@dataclass(frozen=True, slots=True)
+class Scenario:
+    """Environmental knobs for evaluating a fixed quantum of useful work."""
+
+    intensity: CarbonIntensity = US_AVERAGE
+    utilization: float = 0.45
+    lifetime_years: float = 4.0
+    pue: float = 1.10
+    device: DeviceSpec = V100
+    #: Devices per embodied "server" — 2 matches the dual-GPU LCA anchor.
+    devices_per_server: int = 2
+    server_embodied: Carbon = GPU_SERVER_EMBODIED
+    #: Board power as a fraction of TDP while a job is resident.
+    board_power_fraction: float = 0.95
+    #: Multiplier folding datacenter construction / network / storage
+    #: embodied carbon onto the server's own (Gupta et al. 2021).
+    infrastructure_embodied_factor: float = 3.0
+    name: str = "baseline"
+
+    def __post_init__(self) -> None:
+        if not (0 < self.utilization <= 1):
+            raise UnitError(f"utilization must be in (0, 1], got {self.utilization}")
+        if self.devices_per_server <= 0:
+            raise UnitError("devices_per_server must be positive")
+        if not (0 < self.board_power_fraction <= 1):
+            raise UnitError("board power fraction must be in (0, 1]")
+        if self.infrastructure_embodied_factor < 1:
+            raise UnitError("infrastructure factor must be >= 1")
+        if self.lifetime_years <= 0:
+            raise UnitError("lifetime must be positive")
+
+    def but(self, **changes) -> "Scenario":
+        """A modified copy (``scenario.but(utilization=0.8)``)."""
+        return replace(self, **changes)
+
+
+@dataclass(frozen=True, slots=True)
+class ScenarioResult:
+    """Footprint of the work quantum under one scenario."""
+
+    scenario: Scenario
+    energy: Energy
+    operational: Carbon
+    embodied: Carbon
+
+    @property
+    def total(self) -> Carbon:
+        return self.operational + self.embodied
+
+    @property
+    def embodied_share(self) -> float:
+        total = self.total.kg
+        return self.embodied.kg / total if total else 0.0
+
+
+def evaluate_work(busy_device_hours: float, scenario: Scenario) -> ScenarioResult:
+    """Footprint of ``busy_device_hours`` of *fully-busy-equivalent* work.
+
+    ``busy_device_hours`` is the device time the work would take at 100%
+    utilization.  Under ``scenario.utilization`` the device is resident
+    (and drawing board power) for ``busy/utilization`` wall-clock hours
+    and occupies servers for the whole window, accruing embodied carbon.
+    """
+    if busy_device_hours < 0:
+        raise UnitError("busy device-hours must be non-negative")
+    resident_hours = busy_device_hours / scenario.utilization
+    board_watts = scenario.device.tdp_watts * scenario.board_power_fraction
+    it_energy = Energy(board_watts * resident_hours / 1e3)
+    facility = Datacenter(scenario.pue).facility_energy(it_energy)
+    operational = scenario.intensity.emissions(facility)
+
+    # Occupying a server for H hours consumes H / lifetime of its
+    # (infrastructure-inclusive) manufacturing footprint.
+    lifetime_hours = scenario.lifetime_years * 8766.0
+    system_embodied = (
+        scenario.server_embodied.kg * scenario.infrastructure_embodied_factor
+    )
+    server_hours = resident_hours / scenario.devices_per_server
+    embodied = Carbon(system_embodied * server_hours / lifetime_hours)
+    return ScenarioResult(scenario, facility, operational, embodied)
+
+
+def utilization_sweep(
+    busy_device_hours: float,
+    utilizations: np.ndarray,
+    base: Scenario | None = None,
+) -> list[ScenarioResult]:
+    """Evaluate the work quantum across a range of utilizations (Fig. 9)."""
+    base = base or Scenario()
+    return [
+        evaluate_work(busy_device_hours, base.but(utilization=float(u), name=f"util={u:.0%}"))
+        for u in np.asarray(utilizations, dtype=float)
+    ]
+
+
+def renewable_variant(scenario: Scenario) -> Scenario:
+    """The same scenario on solar supply (life-cycle residual intensity)."""
+    return scenario.but(intensity=SOLAR_LIFECYCLE, name=f"{scenario.name}+green")

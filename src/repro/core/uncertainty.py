@@ -1,0 +1,160 @@
+"""Uncertainty and sensitivity analysis for footprint estimates.
+
+The appendix diagnoses that "the measurement methodology is complex —
+factors such as datacenter infrastructures, hardware architectures,
+energy sources can perturb the final measure easily".  This module makes
+that perturbation analysis first-class:
+
+* :class:`ParameterPrior` — a range (triangular distribution) on each
+  accounting assumption (grid intensity, PUE, utilization, lifetime,
+  server embodied carbon);
+* :func:`monte_carlo_footprint` — the footprint *distribution* of a task
+  under those priors;
+* :func:`tornado_sensitivity` — one-at-a-time swings showing which
+  assumption dominates the error bar (the tornado chart's bars).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import UnitError
+
+
+@dataclass(frozen=True, slots=True)
+class ParameterPrior:
+    """A triangular prior: (low, mode, high)."""
+
+    low: float
+    mode: float
+    high: float
+
+    def __post_init__(self) -> None:
+        if not (self.low <= self.mode <= self.high):
+            raise UnitError(
+                f"prior must satisfy low <= mode <= high, got "
+                f"({self.low}, {self.mode}, {self.high})"
+            )
+
+    def sample(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        if self.low == self.high:
+            return np.full(n, self.mode)
+        return rng.triangular(self.low, self.mode, self.high, size=n)
+
+
+#: Default priors spanning the paper's stated ranges.
+DEFAULT_PRIORS: dict[str, ParameterPrior] = {
+    "intensity_kg_per_kwh": ParameterPrior(0.20, 0.429, 0.70),
+    "pue": ParameterPrior(1.05, 1.10, 1.60),
+    "device_watts": ParameterPrior(250.0, 330.0, 450.0),
+    "utilization": ParameterPrior(0.30, 0.45, 0.60),  # paper: 30-60%
+    "lifetime_years": ParameterPrior(3.0, 4.0, 5.0),  # paper: 3-5 years
+    "server_embodied_kg": ParameterPrior(1200.0, 2000.0, 3500.0),
+    "devices_per_server": ParameterPrior(2.0, 2.0, 2.0),
+}
+
+
+def _footprint_kg(
+    device_hours: float,
+    intensity_kg_per_kwh: float,
+    pue: float,
+    device_watts: float,
+    utilization: float,
+    lifetime_years: float,
+    server_embodied_kg: float,
+    devices_per_server: float,
+) -> float:
+    """Closed-form total footprint used by the sampler (kg)."""
+    operational = device_hours * device_watts / 1e3 * pue * intensity_kg_per_kwh
+    rate = server_embodied_kg / (lifetime_years * 8766.0 * utilization)
+    embodied = rate * device_hours / devices_per_server
+    return operational + embodied
+
+
+@dataclass(frozen=True)
+class MonteCarloResult:
+    """Distribution summary of the footprint under the priors."""
+
+    samples_kg: np.ndarray
+
+    @property
+    def mean_kg(self) -> float:
+        return float(np.mean(self.samples_kg))
+
+    @property
+    def p05_kg(self) -> float:
+        return float(np.percentile(self.samples_kg, 5))
+
+    @property
+    def p95_kg(self) -> float:
+        return float(np.percentile(self.samples_kg, 95))
+
+    @property
+    def relative_spread(self) -> float:
+        """(p95 - p05) / mean — the headline 'how uncertain is this?'."""
+        return (self.p95_kg - self.p05_kg) / self.mean_kg if self.mean_kg else 0.0
+
+
+def monte_carlo_footprint(
+    device_hours: float,
+    priors: dict[str, ParameterPrior] | None = None,
+    n_samples: int = 20_000,
+    seed: int = 0,
+) -> MonteCarloResult:
+    """Sample the footprint of ``device_hours`` of work under the priors."""
+    if device_hours < 0:
+        raise UnitError("device-hours must be non-negative")
+    if n_samples <= 0:
+        raise UnitError("sample count must be positive")
+    priors = priors or DEFAULT_PRIORS
+    missing = set(DEFAULT_PRIORS) - set(priors)
+    if missing:
+        raise UnitError(f"priors missing parameters: {sorted(missing)}")
+    rng = np.random.default_rng(seed)
+    draws = {name: prior.sample(n_samples, rng) for name, prior in priors.items()}
+    samples = _footprint_kg(device_hours, **draws)
+    return MonteCarloResult(samples_kg=np.asarray(samples))
+
+
+@dataclass(frozen=True, slots=True)
+class TornadoBar:
+    """One parameter's one-at-a-time swing."""
+
+    parameter: str
+    low_kg: float
+    high_kg: float
+    base_kg: float
+
+    @property
+    def swing_kg(self) -> float:
+        return abs(self.high_kg - self.low_kg)
+
+
+def tornado_sensitivity(
+    device_hours: float,
+    priors: dict[str, ParameterPrior] | None = None,
+) -> list[TornadoBar]:
+    """One-at-a-time sensitivity, sorted by swing (largest first)."""
+    if device_hours < 0:
+        raise UnitError("device-hours must be non-negative")
+    priors = priors or DEFAULT_PRIORS
+    modes = {name: prior.mode for name, prior in priors.items()}
+    base = _footprint_kg(device_hours, **modes)
+
+    bars = []
+    for name, prior in priors.items():
+        if prior.low == prior.high:
+            continue
+        low_params = dict(modes, **{name: prior.low})
+        high_params = dict(modes, **{name: prior.high})
+        bars.append(
+            TornadoBar(
+                parameter=name,
+                low_kg=_footprint_kg(device_hours, **low_params),
+                high_kg=_footprint_kg(device_hours, **high_params),
+                base_kg=base,
+            )
+        )
+    return sorted(bars, key=lambda b: -b.swing_kg)

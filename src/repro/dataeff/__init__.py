@@ -1,0 +1,58 @@
+"""Data utilization efficiency: sampling, recommenders, perishability."""
+
+from repro.dataeff.perishability import (
+    HalfLifeModel,
+    NL_DATA_HALF_LIFE_YEARS,
+    fit_half_life,
+    measure_value_decay,
+)
+from repro.dataeff.ranking import (
+    PanelResult,
+    SamplingStudyRow,
+    kendall_tau,
+    run_panel,
+    sampling_study,
+)
+from repro.dataeff.recommenders import (
+    BiasMF,
+    EvalResult,
+    ItemKNN,
+    ItemPop,
+    Recommender,
+    default_algorithms,
+    evaluate,
+)
+from repro.dataeff.sampling import (
+    SAMPLERS,
+    head_users,
+    random_interactions,
+    recent_interactions,
+    svp_users,
+)
+from repro.dataeff.synthetic import InteractionDataset, LatentFactorWorld
+
+__all__ = [
+    "BiasMF",
+    "EvalResult",
+    "HalfLifeModel",
+    "InteractionDataset",
+    "ItemKNN",
+    "ItemPop",
+    "LatentFactorWorld",
+    "NL_DATA_HALF_LIFE_YEARS",
+    "PanelResult",
+    "Recommender",
+    "SAMPLERS",
+    "SamplingStudyRow",
+    "default_algorithms",
+    "evaluate",
+    "fit_half_life",
+    "head_users",
+    "kendall_tau",
+    "measure_value_decay",
+    "random_interactions",
+    "recent_interactions",
+    "run_panel",
+    "sampling_study",
+    "svp_users",
+]

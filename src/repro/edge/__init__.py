@@ -1,0 +1,73 @@
+"""Edge / federated learning: energy methodology, logs, analysis."""
+
+from repro.edge.async_fl import (
+    FLRunOutcome,
+    run_async,
+    run_sync,
+    sync_vs_async,
+)
+from repro.edge.comparison import (
+    ComparisonBar,
+    centralized_bar,
+    figure11_bars,
+    fl_vs_centralized_ratio,
+)
+from repro.edge.devices import (
+    DevicePopulation,
+    SMARTPHONE_EMBODIED,
+    SMARTPHONE_LIFECYCLE,
+)
+from repro.edge.energy_model import (
+    DEVICE_POWER_W,
+    ParticipationRecord,
+    ROUTER_POWER_W,
+    batch_energy_kwh,
+    participation_energy,
+)
+from repro.edge.fl import (
+    FLFootprint,
+    analyze_app,
+    analyze_logs,
+    communication_optimization_gain,
+)
+from repro.edge.logs import FL1, FL2, FLAppConfig, FLLogs, generate_logs
+from repro.edge.selection import (
+    ClientPopulation,
+    SelectionOutcome,
+    compare_strategies,
+    run_selection,
+    synthesize_population,
+)
+
+__all__ = [
+    "ClientPopulation",
+    "ComparisonBar",
+    "DEVICE_POWER_W",
+    "SelectionOutcome",
+    "compare_strategies",
+    "run_selection",
+    "synthesize_population",
+    "DevicePopulation",
+    "FL1",
+    "FL2",
+    "FLAppConfig",
+    "FLFootprint",
+    "FLLogs",
+    "FLRunOutcome",
+    "run_async",
+    "run_sync",
+    "sync_vs_async",
+    "ParticipationRecord",
+    "ROUTER_POWER_W",
+    "SMARTPHONE_EMBODIED",
+    "SMARTPHONE_LIFECYCLE",
+    "analyze_app",
+    "analyze_logs",
+    "batch_energy_kwh",
+    "centralized_bar",
+    "communication_optimization_gain",
+    "figure11_bars",
+    "fl_vs_centralized_ratio",
+    "generate_logs",
+    "participation_energy",
+]

@@ -1,0 +1,69 @@
+"""FL vs centralized training comparison (Figure 11).
+
+Bars of Figure 11: FL-1, FL-2 (edge emissions), P100-Base, TPU-Base
+(Transformer_Big trained centrally on the named hardware at location-based
+intensity), and P100-Green / TPU-Green (the same training on carbon-free
+datacenter supply).  The paper's point: two small production FL apps emit
+carbon *comparable to* training an orders-of-magnitude larger Transformer
+centrally — and the green option available to datacenters does not exist
+at the edge.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.carbon.intensity import CARBON_FREE, CarbonIntensity, US_AVERAGE
+from repro.core.quantities import Carbon
+from repro.edge.fl import FLFootprint, analyze_app
+from repro.edge.logs import FL1, FL2
+from repro.workloads.oss_models import (
+    TRANSFORMER_BIG_P100,
+    TRANSFORMER_BIG_TPU,
+    ReferenceFootprint,
+)
+
+
+@dataclass(frozen=True, slots=True)
+class ComparisonBar:
+    """One Figure-11 bar."""
+
+    label: str
+    carbon: Carbon
+    setting: str  # "edge" | "datacenter" | "datacenter-green"
+
+
+def centralized_bar(
+    reference: ReferenceFootprint,
+    label: str,
+    intensity: CarbonIntensity = US_AVERAGE,
+) -> ComparisonBar:
+    """A centralized-training bar at the given supply intensity."""
+    carbon = intensity.emissions(reference.training_energy)
+    setting = "datacenter-green" if intensity.kg_per_kwh == 0 else "datacenter"
+    return ComparisonBar(label=label, carbon=carbon, setting=setting)
+
+
+def figure11_bars(days: int = 90, seed: int = 0) -> list[ComparisonBar]:
+    """All six bars of Figure 11."""
+    fl1 = analyze_app(FL1, days=days, seed=seed)
+    fl2 = analyze_app(FL2, days=days, seed=seed + 1)
+    return [
+        ComparisonBar("FL-1", fl1.carbon, "edge"),
+        ComparisonBar("FL-2", fl2.carbon, "edge"),
+        centralized_bar(TRANSFORMER_BIG_P100, "P100-Base"),
+        centralized_bar(TRANSFORMER_BIG_TPU, "TPU-Base"),
+        centralized_bar(TRANSFORMER_BIG_P100, "P100-Green", CARBON_FREE),
+        centralized_bar(TRANSFORMER_BIG_TPU, "TPU-Green", CARBON_FREE),
+    ]
+
+
+def fl_vs_centralized_ratio(days: int = 90, seed: int = 0) -> float:
+    """Mean FL footprint over the P100 centralized baseline.
+
+    "Comparable" in the paper means same order of magnitude; the test
+    suite asserts this ratio stays within [0.3, 3].
+    """
+    bars = {b.label: b.carbon.kg for b in figure11_bars(days, seed)}
+    fl_mean = (bars["FL-1"] + bars["FL-2"]) / 2.0
+    return fl_mean / bars["P100-Base"]

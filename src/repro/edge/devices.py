@@ -1,0 +1,87 @@
+"""Client-device population model: heterogeneity and embodied carbon.
+
+Section IV-C: edge manufacturing carbon is ~74% of a client device's
+life-cycle footprint (Gupta et al. 2021), and devices are "often
+under-utilized", making the embodied cost per useful FL hour high.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro import units
+from repro.carbon.embodied import CLIENT_DEVICE_MANUFACTURING_SHARE
+from repro.core.quantities import Carbon
+from repro.errors import UnitError
+
+#: Typical smartphone life-cycle footprint (public LCA reports, ~70 kgCO2e).
+SMARTPHONE_LIFECYCLE = Carbon(70.0)
+#: Manufacturing share thereof.
+SMARTPHONE_EMBODIED = Carbon(
+    SMARTPHONE_LIFECYCLE.kg * CLIENT_DEVICE_MANUFACTURING_SHARE
+)
+
+
+@dataclass(frozen=True, slots=True)
+class DevicePopulation:
+    """A heterogeneous fleet of client devices.
+
+    ``speed_sigma`` controls the lognormal spread of relative compute
+    speed — the "large degree of system heterogeneity among client edge
+    devices" the paper highlights (stragglers dominate round time).
+    """
+
+    n_devices: int
+    speed_sigma: float = 0.5
+    lifetime_years: float = 3.0
+    daily_active_hours: float = 4.0
+
+    def __post_init__(self) -> None:
+        if self.n_devices <= 0:
+            raise UnitError("population must be positive")
+        if self.speed_sigma < 0:
+            raise UnitError("speed sigma must be non-negative")
+        if self.lifetime_years <= 0 or self.daily_active_hours <= 0:
+            raise UnitError("lifetime and active hours must be positive")
+
+    def relative_speeds(self, seed: int = 0) -> np.ndarray:
+        """Per-device relative compute speed (median 1.0)."""
+        rng = np.random.default_rng(seed)
+        return rng.lognormal(0.0, self.speed_sigma, self.n_devices)
+
+    def straggler_slowdown(self, cohort_size: int, seed: int = 0) -> float:
+        """Expected round-time inflation from waiting on the slowest client.
+
+        Round time is set by the slowest of ``cohort_size`` sampled
+        devices; returns mean(max cohort time) / median time.
+        """
+        if cohort_size <= 0:
+            raise UnitError("cohort size must be positive")
+        speeds = self.relative_speeds(seed)
+        rng = np.random.default_rng(seed + 1)
+        n_trials = 200
+        maxima = np.empty(n_trials)
+        for t in range(n_trials):
+            cohort = rng.choice(speeds, size=min(cohort_size, self.n_devices), replace=False)
+            maxima[t] = np.max(1.0 / cohort)
+        return float(np.mean(maxima))
+
+    def embodied_rate_per_active_hour(
+        self, device_embodied: Carbon = SMARTPHONE_EMBODIED
+    ) -> float:
+        """kgCO2e of manufacturing carbon per device active-hour."""
+        active_hours = self.lifetime_years * units.DAYS_PER_YEAR * self.daily_active_hours
+        return device_embodied.kg / active_hours
+
+    def fl_embodied_carbon(
+        self,
+        total_compute_s: float,
+        device_embodied: Carbon = SMARTPHONE_EMBODIED,
+    ) -> Carbon:
+        """Embodied carbon attributable to FL compute time on this fleet."""
+        if total_compute_s < 0:
+            raise UnitError("compute time must be non-negative")
+        hours = total_compute_s / units.SECONDS_PER_HOUR
+        return Carbon(self.embodied_rate_per_active_hour(device_embodied) * hours)

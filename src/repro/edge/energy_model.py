@@ -1,0 +1,65 @@
+"""Edge energy methodology from the paper's Appendix B.
+
+"We multiplied the computation time with the estimated device power and
+upload/download time with the estimated router power, and omitted other
+energy.  We assumed a device power of 3 W and a router power of 7.5 W."
+
+The same estimator is applied per client participation record, so the
+simulation and the real 90-day-log methodology share one code path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.quantities import Energy
+from repro.energy.devices import CLIENT_DEVICE, WIRELESS_ROUTER
+from repro.errors import UnitError
+
+#: The paper's estimates.
+DEVICE_POWER_W = CLIENT_DEVICE.tdp_watts  # 3 W
+ROUTER_POWER_W = WIRELESS_ROUTER.tdp_watts  # 7.5 W
+
+
+@dataclass(frozen=True, slots=True)
+class ParticipationRecord:
+    """One client's contribution to one FL round (durations in seconds)."""
+
+    compute_s: float
+    download_s: float
+    upload_s: float
+
+    def __post_init__(self) -> None:
+        if min(self.compute_s, self.download_s, self.upload_s) < 0:
+            raise UnitError("durations must be non-negative")
+
+    @property
+    def communication_s(self) -> float:
+        return self.download_s + self.upload_s
+
+
+def participation_energy(record: ParticipationRecord) -> Energy:
+    """Energy of one participation under the paper's methodology."""
+    joules = (
+        record.compute_s * DEVICE_POWER_W
+        + record.communication_s * ROUTER_POWER_W
+    )
+    return Energy.from_joules(joules)
+
+
+def batch_energy_kwh(
+    compute_s: np.ndarray, download_s: np.ndarray, upload_s: np.ndarray
+) -> tuple[float, float]:
+    """(compute kWh, communication kWh) for arrays of participation logs."""
+    c = np.asarray(compute_s, dtype=float)
+    d = np.asarray(download_s, dtype=float)
+    u = np.asarray(upload_s, dtype=float)
+    if c.shape != d.shape or c.shape != u.shape:
+        raise UnitError("log arrays must align")
+    if np.any(c < 0) or np.any(d < 0) or np.any(u < 0):
+        raise UnitError("durations must be non-negative")
+    compute_kwh = float(np.sum(c)) * DEVICE_POWER_W / 3.6e6
+    comm_kwh = float(np.sum(d + u)) * ROUTER_POWER_W / 3.6e6
+    return compute_kwh, comm_kwh

@@ -1,0 +1,93 @@
+"""Federated learning footprint analysis (Figure 11).
+
+Applies the Appendix-B energy methodology to the (synthetic) 90-day logs
+and converts to carbon at the *edge* intensity — client devices draw from
+ordinary residential grids, where "renewable energy is far more limited
+... compared to datacenters", so the world-average intensity is the
+default and there is no green variant for FL.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.carbon.intensity import CarbonIntensity, WORLD_AVERAGE
+from repro.core.quantities import Carbon, Energy
+from repro.edge.energy_model import batch_energy_kwh
+from repro.edge.logs import FLAppConfig, FLLogs, generate_logs
+from repro.errors import UnitError
+
+
+@dataclass(frozen=True, slots=True)
+class FLFootprint:
+    """Carbon footprint of one FL application over its log window."""
+
+    app_name: str
+    days: int
+    compute_energy: Energy
+    communication_energy: Energy
+    carbon: Carbon
+    n_participations: int
+
+    @property
+    def total_energy(self) -> Energy:
+        return self.compute_energy + self.communication_energy
+
+    @property
+    def communication_share(self) -> float:
+        """Fraction of energy spent on wireless communication.
+
+        The paper: "the wireless communication energy cost takes up a
+        significant portion of the overall energy footprint of federated
+        learning".
+        """
+        total = self.total_energy.kwh
+        return self.communication_energy.kwh / total if total else 0.0
+
+    @property
+    def energy_per_participation(self) -> Energy:
+        if self.n_participations == 0:
+            return Energy.zero()
+        return Energy(self.total_energy.kwh / self.n_participations)
+
+
+def analyze_logs(
+    logs: FLLogs, intensity: CarbonIntensity = WORLD_AVERAGE
+) -> FLFootprint:
+    """Footprint of a log set under the paper's energy methodology."""
+    compute_kwh, comm_kwh = batch_energy_kwh(
+        logs.compute_s, logs.download_s, logs.upload_s
+    )
+    total = Energy(compute_kwh + comm_kwh)
+    return FLFootprint(
+        app_name=logs.app.name,
+        days=logs.days,
+        compute_energy=Energy(compute_kwh),
+        communication_energy=Energy(comm_kwh),
+        carbon=intensity.emissions(total),
+        n_participations=logs.n_participations,
+    )
+
+
+def analyze_app(
+    app: FLAppConfig,
+    days: int = 90,
+    intensity: CarbonIntensity = WORLD_AVERAGE,
+    seed: int = 0,
+) -> FLFootprint:
+    """Generate logs for ``app`` and analyze them."""
+    return analyze_logs(generate_logs(app, days, seed), intensity)
+
+
+def communication_optimization_gain(
+    footprint: FLFootprint, compression_ratio: float
+) -> Energy:
+    """Energy saved by compressing FL model updates by ``ratio``.
+
+    The paper flags "energy footprint optimization on communication" as
+    important; gradient/update compression divides communication time.
+    """
+    if compression_ratio < 1:
+        raise UnitError("compression ratio must be >= 1")
+    saved_kwh = footprint.communication_energy.kwh * (1.0 - 1.0 / compression_ratio)
+    return Energy(saved_kwh)

@@ -1,0 +1,61 @@
+"""Energy modeling: devices, power curves, PUE, metering."""
+
+from repro.energy.devices import (
+    A100,
+    CLIENT_DEVICE,
+    CPU_SERVER,
+    DeviceClass,
+    DeviceSpec,
+    P100,
+    STORAGE_SERVER,
+    TPU_V2,
+    TPU_V3,
+    V100,
+    WEB_SERVER,
+    WIRELESS_ROUTER,
+    catalog,
+    device,
+    gpu_memory_growth_ratio,
+)
+from repro.energy.meter import (
+    EnergyMeter,
+    integrate_power_hours,
+    integrate_power_timestamps,
+)
+from repro.energy.power_model import PowerModel
+from repro.energy.pue import (
+    Datacenter,
+    HYPERSCALE_PUE,
+    IDEAL_PUE,
+    TYPICAL_PUE,
+    efficiency_vs,
+    overhead_reduction,
+)
+
+__all__ = [
+    "A100",
+    "CLIENT_DEVICE",
+    "CPU_SERVER",
+    "Datacenter",
+    "DeviceClass",
+    "DeviceSpec",
+    "EnergyMeter",
+    "HYPERSCALE_PUE",
+    "IDEAL_PUE",
+    "P100",
+    "PowerModel",
+    "STORAGE_SERVER",
+    "TPU_V2",
+    "TPU_V3",
+    "TYPICAL_PUE",
+    "V100",
+    "WEB_SERVER",
+    "WIRELESS_ROUTER",
+    "catalog",
+    "device",
+    "efficiency_vs",
+    "gpu_memory_growth_ratio",
+    "integrate_power_hours",
+    "integrate_power_timestamps",
+    "overhead_reduction",
+]

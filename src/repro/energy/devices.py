@@ -1,0 +1,123 @@
+"""Device catalog: power and capability specs for the hardware the paper
+discusses — datacenter accelerators (P100/V100/A100, TPUs), CPU servers,
+and edge hardware (client devices, wireless routers).
+
+TDP and memory values are public datasheet numbers.  ``idle_fraction`` is
+the fraction of TDP a device draws when powered but idle — the static
+power the paper flags as "non-trivial ... in the context of the overall
+data center electricity footprint".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from repro.core.quantities import Power
+from repro.errors import UnitError
+
+
+class DeviceClass(str, Enum):
+    """Broad hardware category a device belongs to."""
+
+    GPU = "gpu"
+    TPU = "tpu"
+    CPU = "cpu"
+    MOBILE = "mobile"
+    ROUTER = "router"
+
+
+@dataclass(frozen=True, slots=True)
+class DeviceSpec:
+    """Static description of one device type."""
+
+    name: str
+    device_class: DeviceClass
+    tdp_watts: float
+    idle_fraction: float
+    memory_gb: float = 0.0
+    peak_tflops: float = 0.0
+    release_year: int = 0
+
+    def __post_init__(self) -> None:
+        if self.tdp_watts <= 0:
+            raise UnitError(f"TDP must be positive, got {self.tdp_watts}")
+        if not (0 <= self.idle_fraction <= 1):
+            raise UnitError(
+                f"idle_fraction must be in [0, 1], got {self.idle_fraction}"
+            )
+        if self.memory_gb < 0 or self.peak_tflops < 0:
+            raise UnitError("memory and peak throughput must be non-negative")
+
+    @property
+    def tdp(self) -> Power:
+        return Power(self.tdp_watts)
+
+    @property
+    def idle_power(self) -> Power:
+        return Power(self.tdp_watts * self.idle_fraction)
+
+
+# ---------------------------------------------------------------------------
+# Datacenter accelerators
+# ---------------------------------------------------------------------------
+P100 = DeviceSpec("NVIDIA P100", DeviceClass.GPU, 250.0, 0.18, 16.0, 10.6, 2016)
+V100 = DeviceSpec("NVIDIA V100", DeviceClass.GPU, 300.0, 0.15, 32.0, 15.7, 2018)
+A100 = DeviceSpec("NVIDIA A100", DeviceClass.GPU, 400.0, 0.14, 80.0, 19.5, 2021)
+TPU_V2 = DeviceSpec("Google TPU v2", DeviceClass.TPU, 280.0, 0.15, 16.0, 45.0, 2017)
+TPU_V3 = DeviceSpec("Google TPU v3", DeviceClass.TPU, 450.0, 0.15, 32.0, 123.0, 2018)
+
+# ---------------------------------------------------------------------------
+# Servers (host CPU complex, excluding accelerators)
+# ---------------------------------------------------------------------------
+CPU_SERVER = DeviceSpec("2-socket CPU server", DeviceClass.CPU, 400.0, 0.35, 256.0, 3.0, 2019)
+WEB_SERVER = DeviceSpec("1-socket web server", DeviceClass.CPU, 200.0, 0.35, 64.0, 1.0, 2019)
+STORAGE_SERVER = DeviceSpec("storage server", DeviceClass.CPU, 350.0, 0.45, 128.0, 0.5, 2019)
+
+# ---------------------------------------------------------------------------
+# Edge hardware (FL methodology, Appendix B: 3 W device, 7.5 W router)
+# ---------------------------------------------------------------------------
+CLIENT_DEVICE = DeviceSpec("client device (phone)", DeviceClass.MOBILE, 3.0, 0.1, 6.0, 0.01, 2020)
+WIRELESS_ROUTER = DeviceSpec("wireless router", DeviceClass.ROUTER, 7.5, 1.0, 0.0, 0.0, 2020)
+
+_CATALOG: dict[str, DeviceSpec] = {
+    spec.name: spec
+    for spec in (
+        P100,
+        V100,
+        A100,
+        TPU_V2,
+        TPU_V3,
+        CPU_SERVER,
+        WEB_SERVER,
+        STORAGE_SERVER,
+        CLIENT_DEVICE,
+        WIRELESS_ROUTER,
+    )
+}
+
+
+def catalog() -> tuple[str, ...]:
+    """Names of all built-in device specs."""
+    return tuple(sorted(_CATALOG))
+
+
+def device(name: str) -> DeviceSpec:
+    """Look up a built-in device spec by name."""
+    try:
+        return _CATALOG[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown device {name!r}; known devices: {', '.join(catalog())}"
+        ) from None
+
+
+def gpu_memory_growth_ratio(older: DeviceSpec, newer: DeviceSpec) -> float:
+    """Memory capacity ratio between two accelerator generations.
+
+    The paper's observation: V100 (32 GB, 2018) -> A100 (80 GB, 2021) is
+    <2x every 2 years while model sizes grew 20x.
+    """
+    if older.memory_gb <= 0:
+        raise UnitError("older device has no memory capacity recorded")
+    return newer.memory_gb / older.memory_gb

@@ -1,0 +1,92 @@
+"""Energy metering: integrate power samples over time.
+
+Used both by the fleet simulator (hourly power series) and the telemetry
+tracker (second-scale counter polls).  Integration is trapezoidal over
+irregular timestamps, or a simple sum for regular hourly series.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro import units
+from repro.core.quantities import Energy, Power
+from repro.errors import UnitError
+
+
+def integrate_power_hours(watts: np.ndarray, hours_per_sample: float = 1.0) -> Energy:
+    """Energy of a regularly-sampled power series.
+
+    Each sample is treated as the average power over its interval, so the
+    integral is a plain sum — exact for the hourly fleet simulations.
+    """
+    w = np.asarray(watts, dtype=float)
+    if np.any(w < 0):
+        raise UnitError("power samples must be non-negative")
+    if hours_per_sample <= 0:
+        raise UnitError(f"sample interval must be positive, got {hours_per_sample}")
+    return Energy(float(np.sum(w)) * hours_per_sample / units.WH_PER_KWH)
+
+
+def integrate_power_timestamps(watts: np.ndarray, timestamps_s: np.ndarray) -> Energy:
+    """Trapezoidal energy integral over irregular timestamps (seconds)."""
+    w = np.asarray(watts, dtype=float)
+    t = np.asarray(timestamps_s, dtype=float)
+    if w.shape != t.shape:
+        raise UnitError("power and timestamp arrays must have equal shape")
+    if len(w) < 2:
+        return Energy.zero()
+    if np.any(np.diff(t) < 0):
+        raise UnitError("timestamps must be non-decreasing")
+    if np.any(w < 0):
+        raise UnitError("power samples must be non-negative")
+    joules = float(np.trapezoid(w, t))
+    return Energy.from_joules(joules)
+
+
+@dataclass
+class EnergyMeter:
+    """Accumulates (timestamp, power) samples and integrates on demand.
+
+    The meter is append-only; :meth:`total_energy` may be called at any
+    point to get the energy accumulated so far.
+    """
+
+    _timestamps: list[float] = field(default_factory=list)
+    _watts: list[float] = field(default_factory=list)
+
+    def record(self, timestamp_s: float, power: Power) -> None:
+        """Append a power sample taken at ``timestamp_s`` seconds."""
+        if self._timestamps and timestamp_s < self._timestamps[-1]:
+            raise UnitError(
+                f"samples must be recorded in time order "
+                f"({timestamp_s} < {self._timestamps[-1]})"
+            )
+        self._timestamps.append(float(timestamp_s))
+        self._watts.append(power.watts)
+
+    @property
+    def sample_count(self) -> int:
+        return len(self._timestamps)
+
+    @property
+    def duration_s(self) -> float:
+        if len(self._timestamps) < 2:
+            return 0.0
+        return self._timestamps[-1] - self._timestamps[0]
+
+    def total_energy(self) -> Energy:
+        """Trapezoidal integral over all recorded samples."""
+        return integrate_power_timestamps(
+            np.array(self._watts), np.array(self._timestamps)
+        )
+
+    def average_power(self) -> Power:
+        """Mean power over the recording window (zero if <2 samples)."""
+        if self.duration_s == 0:
+            return Power.zero()
+        kwh = self.total_energy().kwh
+        hours = self.duration_s / units.SECONDS_PER_HOUR
+        return Power(kwh * units.WH_PER_KWH / hours)

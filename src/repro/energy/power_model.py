@@ -1,0 +1,65 @@
+"""Utilization-dependent power model.
+
+Real devices draw a large static (idle) power plus a roughly linear
+dynamic component with utilization.  The model::
+
+    P(u) = P_tdp * (idle_fraction + (1 - idle_fraction) * u**alpha)
+
+``alpha`` (default 1.0) allows sub-/super-linear dynamic scaling; most
+datacenter-class silicon is near linear.  The model is what makes the
+paper's utilization argument quantitative: energy per unit of *work*
+strictly decreases with utilization whenever idle power is non-zero.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.quantities import Energy, Power
+from repro.energy.devices import DeviceSpec
+from repro.errors import UnitError
+
+
+@dataclass(frozen=True, slots=True)
+class PowerModel:
+    """Maps utilization in [0, 1] to electrical power for one device."""
+
+    spec: DeviceSpec
+    alpha: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.alpha <= 0:
+            raise UnitError(f"alpha must be positive, got {self.alpha}")
+
+    def power_at(self, utilization: float) -> Power:
+        """Power draw at a scalar utilization."""
+        if not (0 <= utilization <= 1):
+            raise UnitError(f"utilization must be in [0, 1], got {utilization}")
+        idle = self.spec.idle_fraction
+        dynamic = (1.0 - idle) * utilization**self.alpha
+        return Power(self.spec.tdp_watts * (idle + dynamic))
+
+    def power_series(self, utilization: np.ndarray) -> np.ndarray:
+        """Vectorized power draw (watts) for a utilization array."""
+        u = np.asarray(utilization, dtype=float)
+        if np.any((u < 0) | (u > 1)):
+            raise UnitError("utilization values must be in [0, 1]")
+        idle = self.spec.idle_fraction
+        return self.spec.tdp_watts * (idle + (1.0 - idle) * u**self.alpha)
+
+    def energy_for(self, utilization: float, hours: float) -> Energy:
+        """Energy for running ``hours`` at constant ``utilization``."""
+        return self.power_at(utilization).over_hours(hours)
+
+    def energy_per_unit_work(self, utilization: float) -> float:
+        """Joules per normalized unit of work at a given utilization.
+
+        Work rate is proportional to utilization; this ratio captures why
+        higher utilization is more energy-efficient (static power is
+        amortized over more work).  Undefined (inf) at zero utilization.
+        """
+        if utilization == 0:
+            return float("inf")
+        return self.power_at(utilization).watts / utilization

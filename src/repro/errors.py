@@ -1,0 +1,36 @@
+"""Library-wide exception types.
+
+A small, flat hierarchy: callers who want to catch *any* library error can
+catch :class:`SustainableAIError`; more specific handling is possible via
+the subclasses.
+"""
+
+from __future__ import annotations
+
+
+class SustainableAIError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class UnitError(SustainableAIError, ValueError):
+    """A quantity was constructed or combined with invalid units/values."""
+
+
+class CalibrationError(SustainableAIError, ValueError):
+    """A model could not be calibrated to the requested anchors."""
+
+
+class SimulationError(SustainableAIError, RuntimeError):
+    """A simulator reached an invalid state."""
+
+
+class SchedulingError(SustainableAIError, RuntimeError):
+    """A scheduler could not place or shift work under its constraints."""
+
+
+class TelemetryError(SustainableAIError, RuntimeError):
+    """The telemetry subsystem was used incorrectly (e.g. double-start)."""
+
+
+class RegistryError(SustainableAIError, KeyError):
+    """An unknown experiment or catalog entry was requested."""

@@ -1,0 +1,5 @@
+"""Experiment modules: one per paper figure / in-text claim / ablation."""
+
+from repro.experiments.base import ExperimentResult
+
+__all__ = ["ExperimentResult"]

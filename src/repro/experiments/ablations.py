@@ -1,0 +1,174 @@
+"""Ablation experiments for the design directions Section IV charts out:
+carbon-aware scheduling, early stopping, NAS search strategy, and
+memory-compression architectures."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.carbon.grid import GridMixParams, synthesize_grid_trace
+from repro.experiments.base import ExperimentResult
+from repro.models.compression import (
+    dhe,
+    embodied_operational_tradeoff,
+    tt_rec,
+    uncompressed,
+)
+from repro.models.dlrm import EmbeddingTableSpec
+from repro.optimization.earlystop import LearningCurveModel, sweep_tolerance
+from repro.optimization.nas import (
+    GRID_SEARCH_OVERHEAD,
+    grid_search_cost,
+    sample_efficiency_gain,
+)
+from repro.scheduling.carbon_aware import (
+    carbon_saving,
+    schedule_carbon_aware,
+    schedule_immediate,
+)
+from repro.scheduling.cfe import annual_matching_score, cfe_score, solar_procurement
+from repro.scheduling.jobs import synthesize_jobs
+from repro.scheduling.storage import Battery, run_arbitrage
+
+
+def run_scheduling(seed: int = 0) -> ExperimentResult:
+    """Carbon-aware shifting + storage on a renewable-heavy grid."""
+    params = GridMixParams(solar_capacity_fraction=0.45, wind_capacity_fraction=0.25)
+    grid = synthesize_grid_trace(168, params, seed=seed)
+    jobs = synthesize_jobs(50, 168, slack_factor=4.0, seed=seed)
+    capacity = 2500.0
+
+    baseline = schedule_immediate(jobs, grid, 168, capacity)
+    aware = schedule_carbon_aware(jobs, grid, 168, capacity)
+    shifting_saving = carbon_saving(baseline, aware)
+
+    load = baseline.power_profile_kw
+    battery = Battery(capacity_kwh=4000.0, max_power_kw=1000.0)
+    storage = run_arbitrage(load, grid, battery)
+
+    procured = solar_procurement(load, grid, match_fraction=1.0)
+    headers = ["strategy", "carbon (t)", "saving vs immediate"]
+    rows = [
+        ["immediate", baseline.total_carbon.tonnes, "-"],
+        ["carbon-aware shifting", aware.total_carbon.tonnes, f"{shifting_saving:.1%}"],
+        [
+            "immediate + battery",
+            storage.carbon_with.tonnes,
+            f"{storage.carbon_saving_fraction:.1%}",
+        ],
+    ]
+    return ExperimentResult(
+        experiment_id="ablation-sched",
+        title="Carbon-aware scheduling, storage, and 24/7 CFE",
+        headline={
+            "shifting_saving": shifting_saving,
+            "battery_saving": storage.carbon_saving_fraction,
+            "annual_matching_score": annual_matching_score(load, procured),
+            "cfe_247_score": cfe_score(load, procured),
+        },
+        headers=headers,
+        rows=rows,
+        notes=(
+            "Paper (Section IV-C): shifting deferrable training toward "
+            "clean hours and storing renewable energy both cut emissions; "
+            "100% annual matching still leaves a large 24/7 CFE gap."
+        ),
+    )
+
+
+def run_earlystop(seed: int = 0) -> ExperimentResult:
+    """Early stopping of under-performing workflows: savings vs regret."""
+    model = LearningCurveModel(n_workflows=64, total_steps=1000, seed=seed)
+    sweep = sweep_tolerance(np.array([0.02, 0.05, 0.10, 0.20, 0.40]), model)
+    headers = ["tolerance", "compute saving", "regret (final loss gap)"]
+    rows = [[t, s, r] for t, s, r in sweep]
+    default = next(row for row in sweep if abs(row[0] - 0.10) < 1e-9)
+    return ExperimentResult(
+        experiment_id="ablation-earlystop",
+        title="Early stopping of under-performing training workflows",
+        headline={
+            "saving_at_tolerance_0.1": default[1],
+            "regret_at_tolerance_0.1": default[2],
+        },
+        headers=headers,
+        rows=rows,
+        notes=(
+            "Paper: 'by detecting and stopping under-performing training "
+            "workflows early, unnecessary training cycles can be "
+            "eliminated' — the sweep shows the savings/regret trade-off."
+        ),
+    )
+
+
+def run_nas() -> ExperimentResult:
+    """Search-strategy cost: grid blow-up vs Bayesian sample efficiency."""
+    grid_cost = grid_search_cost(points_per_dim=7, n_dims=4)
+    gains = sample_efficiency_gain()
+    headers = ["strategy", "trials to target", "overhead vs 1 run"]
+    rows = [
+        ["grid (7 points x 4 dims)", grid_cost.trials, f"{grid_cost.overhead_vs():,.0f}x"],
+        ["random", gains["random_trials"], f"{gains['random_trials']:,.0f}x"],
+        ["bayesian", gains["bayesian_trials"], f"{gains['bayesian_trials']:,.0f}x"],
+    ]
+    return ExperimentResult(
+        experiment_id="ablation-nas",
+        title="NAS/HPO search cost: grid vs random vs Bayesian",
+        headline={
+            "grid_trials": float(grid_cost.trials),
+            "published_grid_overhead": GRID_SEARCH_OVERHEAD,
+            "bayes_vs_random_gain": gains["efficiency_gain"],
+        },
+        headers=headers,
+        rows=rows,
+        notes=(
+            "Paper: grid-search NAS can incur >3000x footprint overhead "
+            "(Strubell et al.); sample-efficient methods translate "
+            "directly into carbon savings — here the Bayesian optimizer "
+            "reaches the target in a fraction of random search's trials."
+        ),
+    )
+
+
+def run_compression() -> ExperimentResult:
+    """TT-Rec / DHE: memory capacity vs compute trade-off."""
+    table = EmbeddingTableSpec(rows=10_000_000, dim=64, lookups_per_sample=2)
+    results = [uncompressed(table), tt_rec(table), dhe(table)]
+    headers = [
+        "technique",
+        "params",
+        "memory reduction",
+        "lookup FLOPs",
+        "training time factor",
+        "extra kWh/run",
+    ]
+    rows = []
+    for res in results:
+        tradeoff = embodied_operational_tradeoff(res)
+        rows.append(
+            [
+                res.technique,
+                res.params,
+                f"{res.memory_reduction:,.0f}x",
+                res.lookup_flops,
+                res.training_time_factor,
+                tradeoff["extra_compute_kwh_per_run"],
+            ]
+        )
+    tt = tt_rec(table)
+    return ExperimentResult(
+        experiment_id="ablation-compression",
+        title="Memory-efficient embeddings: TT-Rec and DHE",
+        headline={
+            "tt_rec_memory_reduction": tt.memory_reduction,
+            "tt_rec_training_overhead": tt.training_time_factor - 1.0,
+            "dhe_memory_reduction": dhe(table).memory_reduction,
+        },
+        headers=headers,
+        rows=rows,
+        notes=(
+            "Paper: TT-Rec achieves >100x memory capacity reduction with "
+            "negligible training-time cost; DHE removes tables entirely at "
+            "higher compute — lower embodied carbon traded against "
+            "operational carbon."
+        ),
+    )

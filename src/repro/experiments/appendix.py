@@ -1,0 +1,95 @@
+"""Appendix experiments: SSL efficiency and pipeline disaggregation."""
+
+from __future__ import annotations
+
+from repro.experiments.base import ExperimentResult
+from repro.reliability.checkpoints import partial_recovery_benefit
+from repro.reliability.disaggregation import PAPER_PIPELINE, disaggregation_impact
+from repro.ssl_efficiency.pretraining import (
+    SIMCLR_PRETRAINING,
+    SUPERVISED_TRAINING,
+    amortized_cost_per_task,
+    effort_ratio,
+    regimes_table,
+)
+
+
+def run_ssl() -> ExperimentResult:
+    """Appendix C: supervised vs SSL vs PAWS training effort."""
+    table = regimes_table()
+    headers = [
+        "regime",
+        "top-1 (%)",
+        "epochs",
+        "labels",
+        "epochs vs supervised",
+        "GPU-hours",
+        "carbon (kg)",
+    ]
+    rows = [
+        [
+            r["regime"],
+            r["top1_accuracy"],
+            r["epochs"],
+            f"{float(r['label_fraction']):.0%}",
+            f"{float(r['epochs_vs_supervised']):.2f}x",
+            r["gpu_hours"],
+            r["carbon_kg"],
+        ]
+        for r in table
+    ]
+    amortized_1 = amortized_cost_per_task(SIMCLR_PRETRAINING, 1)
+    amortized_20 = amortized_cost_per_task(SIMCLR_PRETRAINING, 20)
+    return ExperimentResult(
+        experiment_id="appendix-ssl",
+        title="Supervised vs self-/semi-supervised pre-training cost",
+        headline={
+            "ssl_vs_supervised_effort": effort_ratio(
+                SIMCLR_PRETRAINING, SUPERVISED_TRAINING
+            ),
+            "ssl_amortized_over_20_tasks": amortized_20,
+            "ssl_single_task_epochs": amortized_1,
+        },
+        headers=headers,
+        rows=rows,
+        notes=(
+            "Paper: labels are worth ~10x training effort (SimCLR 69.3% "
+            "after 1000 epochs vs supervised 76.1% after 90); PAWS reaches "
+            "75.5% in 200 epochs with 10% labels; amortizing one "
+            "foundation pre-training across tasks closes the gap."
+        ),
+    )
+
+
+def run_disaggregation() -> ExperimentResult:
+    """Appendix B: disaggregated ingestion + fault-tolerant checkpointing."""
+    impact = disaggregation_impact()
+    recovery = partial_recovery_benefit()
+    headers = ["metric", "value"]
+    rows = [
+        ["co-located end-to-end rate", PAPER_PIPELINE.colocated_rate],
+        ["disaggregated end-to-end rate", PAPER_PIPELINE.disaggregated_rate],
+        ["throughput gain", f"{impact.throughput_gain:.1%}"],
+        ["trainer-hours saved", f"{impact.trainer_hours_saved_fraction:.1%}"],
+        ["trainer embodied avoided (kg)", impact.trainer_embodied_avoided.kg],
+        ["ingest tier embodied charged (kg)", impact.embodied_delta.kg],
+        ["full-rollback failure overhead", f"{recovery['full_overhead']:.1%}"],
+        ["partial-recovery failure overhead", f"{recovery['partial_overhead']:.1%}"],
+    ]
+    return ExperimentResult(
+        experiment_id="appendix-disagg",
+        title="Disaggregated data ingestion and fault tolerance",
+        headline={
+            "throughput_gain": impact.throughput_gain,
+            "net_embodied_saving_kg": impact.net_embodied_saving,
+            "recovery_overhead_reduction": 1.0
+            - recovery["partial_overhead"] / recovery["full_overhead"],
+        },
+        headers=headers,
+        rows=rows,
+        notes=(
+            "Paper: disaggregating ingestion from training raises training "
+            "throughput by 56% and, with checkpointing/partial recovery, "
+            "cuts the carbon wasted on failure re-runs."
+        ),
+    )

@@ -1,0 +1,40 @@
+"""Common experiment result type and rendering.
+
+Every experiment module exposes ``run(**kwargs) -> ExperimentResult``.
+The result carries the same rows/series the corresponding paper figure
+reports, plus a ``headline`` dict of the single numbers the paper quotes
+in prose (these are what EXPERIMENTS.md tracks paper-vs-measured).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.core.report import format_table
+
+
+@dataclass(frozen=True)
+class ExperimentResult:
+    """Structured output of one reproduced figure/experiment."""
+
+    experiment_id: str
+    title: str
+    headline: dict[str, float]
+    headers: Sequence[str] = field(default_factory=tuple)
+    rows: Sequence[Sequence[object]] = field(default_factory=tuple)
+    notes: str = ""
+
+    def render(self) -> str:
+        """Human-readable rendering (what the bench harness prints)."""
+        lines = [f"=== {self.experiment_id}: {self.title} ==="]
+        if self.headline:
+            for key, value in self.headline.items():
+                lines.append(f"  {key}: {value:,.4g}")
+        if self.rows:
+            lines.append("")
+            lines.append(format_table(self.headers, self.rows))
+        if self.notes:
+            lines.append("")
+            lines.append(self.notes)
+        return "\n".join(lines)

@@ -1,0 +1,888 @@
+"""Extension experiments: the paper's forward-looking directions built out.
+
+Each of these operationalizes a claim the paper states qualitatively
+(Sections I, II-B, III-C, IV-B/C and the appendix) with a quantitative
+ablation: MoE trade-offs, GHG scopes, geo scheduling, FL client
+selection, idle-state management, carbon-aware NAS, green leaderboards,
+predictive tracking, and capacity planning.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.carbon.grid import synthesize_grid_trace
+from repro.carbon.scopes import ai_embodied_growth, hyperscaler_inventory
+from repro.core.metrics import Leaderboard, RankingPolicy, Submission
+from repro.core.quantities import Carbon, Energy
+from repro.edge.selection import compare_strategies
+from repro.experiments.base import ExperimentResult
+from repro.fleet.capacity_planning import consolidation_study, plan_capacity
+from repro.fleet.idle import IdleGovernor, idle_saving_sweep, simulate_idle_management
+from repro.models.moe import (
+    SWITCH_LIKE,
+    compare_sparse_vs_dense,
+    compare_vs_quality_matched_dense,
+)
+from repro.optimization.monas import carbon_aware_gain
+from repro.scheduling.carbon_aware import schedule_carbon_aware
+from repro.scheduling.geo import default_regions, schedule_geo
+from repro.scheduling.jobs import synthesize_jobs
+from repro.telemetry.predict import (
+    EpochMeasurement,
+    abort_recommendation,
+    predict_training_cost,
+    recommend_start_hour,
+)
+
+
+def run_moe() -> ExperimentResult:
+    """Sparsely-activated models: operational win vs embodied cost."""
+    capacity_matched = compare_sparse_vs_dense(SWITCH_LIKE)
+    quality_matched = compare_vs_quality_matched_dense(SWITCH_LIKE)
+
+    headers = ["comparison", "op. saving", "embodied ratio (sparse/dense)"]
+    rows = [
+        [
+            "vs dense of equal total capacity",
+            f"{capacity_matched.operational_saving:.1%}",
+            f"{capacity_matched.embodied_ratio:.1f}x",
+        ],
+        [
+            "vs smaller dense of equal quality",
+            f"{quality_matched.operational_saving:.1%}",
+            f"{quality_matched.embodied_ratio:.1f}x",
+        ],
+    ]
+    return ExperimentResult(
+        experiment_id="ext-moe",
+        title="Sparsely-activated models: the two-sided carbon trade",
+        headline={
+            "sparsity_gain": SWITCH_LIKE.sparsity_gain,
+            "operational_saving_capacity_matched": capacity_matched.operational_saving,
+            "embodied_ratio_quality_matched": quality_matched.embodied_ratio,
+        },
+        headers=headers,
+        rows=rows,
+        notes=(
+            "Paper: sparse activation achieves 'higher accuracy at lower "
+            "operational energy footprint' (Switch Transformer vs GPT-3 in "
+            "Fig 4) but 'can incur higher embodied carbon footprint from "
+            "the increase in the system resource requirement'."
+        ),
+    )
+
+
+def run_scopes() -> ExperimentResult:
+    """GHG scope inventory: Scope 3 dominance and AI's growth pressure."""
+    inventory = hyperscaler_inventory()
+    grown = ai_embodied_growth(inventory, ai_capital_share=0.5, capacity_growth_factor=2.9)
+
+    headers = ["quantity", "tCO2e"]
+    rows = [
+        ["scope 1", inventory.scope1.tonnes],
+        ["scope 2 (location-based)", inventory.scope2_location.tonnes],
+        ["scope 2 (market-based)", inventory.scope2_market.tonnes],
+        ["scope 3 total", inventory.scope3_total.tonnes],
+        ["  of which capital goods", inventory.capital_goods().tonnes],
+        ["capital goods after 2.9x AI growth", grown.tonnes],
+    ]
+    return ExperimentResult(
+        experiment_id="ext-scopes",
+        title="GHG scopes: value-chain (embodied) carbon dominates",
+        headline={
+            "scope3_share_market_based": inventory.scope3_share(market_based=True),
+            "scope3_share_location_based": inventory.scope3_share(market_based=False),
+            "capital_goods_growth_factor": grown.kg / inventory.capital_goods().kg,
+        },
+        headers=headers,
+        rows=rows,
+        notes=(
+            "Paper (Section II-B): 'more than 50% of Facebook's emissions "
+            "owe to its value chain — Scope 3'; renewable matching zeroes "
+            "market-based Scope 2, making capital goods (where AI servers "
+            "live) the dominant and fastest-growing slice."
+        ),
+    )
+
+
+def run_geo() -> ExperimentResult:
+    """Cross-datacenter carbon-aware placement vs single-region shifting."""
+    horizon = 168
+    regions = default_regions(horizon, seed=0)
+    jobs = synthesize_jobs(40, horizon, seed=0)
+    home = regions[0]
+
+    single = schedule_carbon_aware(jobs, home.grid, horizon, home.capacity_kw)
+    geo = schedule_geo(jobs, regions, horizon)
+
+    headers = ["strategy", "carbon (t)"]
+    rows = [
+        ["single-region time shifting", single.total_carbon.tonnes],
+        ["geo + time shifting", geo.total_carbon.tonnes],
+    ]
+    for region in regions:
+        rows.append(
+            [f"  energy share: {region.name}", geo.region_share(region.name)]
+        )
+    saving = 1.0 - geo.total_carbon.kg / single.total_carbon.kg
+    return ExperimentResult(
+        experiment_id="ext-geo",
+        title="Carbon-aware scheduling across datacenters",
+        headline={
+            "geo_vs_single_region_saving": saving,
+            "clean_region_energy_share": geo.region_share("wind-north")
+            + geo.region_share("solar-west"),
+            "deadline_misses": float(geo.deadline_misses),
+        },
+        headers=headers,
+        rows=rows,
+        notes=(
+            "Paper (IV-C): scheduling 'in and across datacenters' exploits "
+            "complementary renewable patterns; work migrates to the wind- "
+            "and solar-heavy regions."
+        ),
+    )
+
+
+def run_fl_selection() -> ExperimentResult:
+    """Heterogeneity-aware FL client selection (AutoFL direction)."""
+    outcomes = compare_strategies(rounds=200, cohort_size=64, seed=0)
+    headers = ["strategy", "energy (kWh)", "mean round (s)", "participation gini"]
+    rows = [
+        [o.strategy, o.total_energy.kwh, o.mean_round_time_s, o.participation_gini]
+        for o in outcomes.values()
+    ]
+    random_e = outcomes["random"].total_energy.kwh
+    aware_e = outcomes["energy-aware"].total_energy.kwh
+    return ExperimentResult(
+        experiment_id="ext-flselect",
+        title="Energy-aware FL client selection",
+        headline={
+            "energy_saving_vs_random": 1.0 - aware_e / random_e,
+            "round_time_vs_random": outcomes["energy-aware"].mean_round_time_s
+            / outcomes["random"].mean_round_time_s,
+            "fairness_cost_gini": outcomes["energy-aware"].participation_gini
+            - outcomes["random"].participation_gini,
+        },
+        headers=headers,
+        rows=rows,
+        notes=(
+            "Paper (IV-C): 'optimizing the overall energy efficiency of FL "
+            "... is an important first step' — heterogeneity-aware "
+            "selection cuts round energy several-fold vs random selection, "
+            "at a participation-fairness cost the gini column makes "
+            "visible."
+        ),
+    )
+
+
+def run_idle() -> ExperimentResult:
+    """Processor idle-state management savings."""
+    result = simulate_idle_management(IdleGovernor(), mean_idle_ms=50.0)
+    sweep = idle_saving_sweep(np.array([2.0, 10.0, 50.0, 200.0, 1000.0]))
+    headers = ["mean idle (ms)", "energy saving"]
+    rows = [[m, s] for m, s in sweep]
+    return ExperimentResult(
+        experiment_id="ext-idle",
+        title="Idle-state management of static power",
+        headline={
+            "saving_at_50ms_idle": result.energy_saving_fraction,
+            "slo_violation_rate": result.violation_rate,
+        },
+        headers=headers,
+        rows=rows,
+        notes=(
+            "Paper (III-C): 'static power consumption plays a non-trivial "
+            "role ... motivates more effective processor idle state "
+            "management' — a menu governor recovers most of the deep-sleep "
+            "saving once idle intervals exceed the break-even residency."
+        ),
+    )
+
+
+def run_carbon_nas() -> ExperimentResult:
+    """Carbon-aware multi-objective search vs accuracy-only search."""
+    gains = carbon_aware_gain(seed=0)
+    headers = ["workflow", "deployed error", "energy/inference (J)"]
+    rows = [
+        ["accuracy-only", gains["accuracy_only_error"], gains["accuracy_only_energy"]],
+        [
+            f"carbon-aware (within {gains['error_slack']:.3f} error)",
+            gains["accuracy_only_error"] + gains["error_slack"],
+            gains["carbon_aware_energy"],
+        ],
+    ]
+    return ExperimentResult(
+        experiment_id="ext-carbonnas",
+        title="Energy as a search objective (multi-objective NAS)",
+        headline={
+            "energy_saving_factor": gains["energy_saving_factor"],
+            "error_slack": gains["error_slack"],
+        },
+        headers=headers,
+        rows=rows,
+        notes=(
+            "Paper (IV-B): incorporating energy 'directly into the cost "
+            "function' surfaces designs with most of the accuracy at a "
+            "fraction of the energy — savings the accuracy-only workflow "
+            "never sees."
+        ),
+    )
+
+
+def run_leaderboard() -> ExperimentResult:
+    """Green leaderboards: efficiency as an evaluation criterion."""
+    board = Leaderboard(
+        (
+            Submission("mega-dense", 0.920, Energy.from_mwh(1200.0), Carbon.from_tonnes(515.0)),
+            Submission("sparse-moe", 0.918, Energy.from_mwh(180.0), Carbon.from_tonnes(77.0)),
+            Submission("distilled", 0.905, Energy.from_mwh(25.0), Carbon.from_tonnes(10.7)),
+            Submission("efficient-base", 0.893, Energy.from_mwh(6.0), Carbon.from_tonnes(2.6)),
+        )
+    )
+    budget = Carbon.from_tonnes(100.0)
+    headers = ["policy", "winner", "winner quality"]
+    rows = []
+    for policy, kwargs in (
+        (RankingPolicy.QUALITY_ONLY, {}),
+        (RankingPolicy.QUALITY_PER_KG, {}),
+        (RankingPolicy.QUALITY_AT_BUDGET, {"carbon_budget": budget}),
+    ):
+        winner = board.winner(policy, **kwargs)
+        rows.append([policy.value, winner.name, winner.quality])
+    return ExperimentResult(
+        experiment_id="ext-leaderboard",
+        title="Carbon-normalized leaderboards",
+        headline={
+            "reranked_entries_per_kg": float(
+                board.ranking_change(RankingPolicy.QUALITY_PER_KG)
+            ),
+            "budget_winner_quality_gap": board.winner().quality
+            - board.winner(RankingPolicy.QUALITY_AT_BUDGET, budget).quality,
+        },
+        headers=headers,
+        rows=rows,
+        notes=(
+            "Paper (V-A, Appendix): leaderboards lack 'normalization "
+            "factors'; once quality-per-kg or a carbon budget ranks the "
+            "board, the winner changes while giving up little quality."
+        ),
+    )
+
+
+def run_predictive_tracking() -> ExperimentResult:
+    """Carbontracker-style early prediction + green rescheduling."""
+    rng = np.random.default_rng(0)
+    measurements = [
+        EpochMeasurement(i, Energy(2.0 + 0.04 * i + rng.normal(0, 0.03)), 1800.0)
+        for i in range(5)
+    ]
+    prediction = predict_training_cost(measurements, planned_epochs=60)
+    grid = synthesize_grid_trace(168, seed=2)
+    start, now_carbon, best_carbon = recommend_start_hour(prediction, grid)
+    abort = abort_recommendation(prediction, Carbon(50.0))
+
+    headers = ["quantity", "value"]
+    rows = [
+        ["measured epochs", prediction.measured_epochs],
+        ["predicted energy (kWh)", prediction.predicted_energy.kwh],
+        ["prediction band (kWh)", f"{prediction.predicted_energy_low.kwh:.1f}"
+         f" .. {prediction.predicted_energy_high.kwh:.1f}"],
+        ["predicted carbon (kg)", prediction.predicted_carbon.kg],
+        ["carbon if started now (kg)", now_carbon.kg],
+        ["carbon at recommended hour (kg)", best_carbon.kg],
+        ["recommended start hour", start],
+        ["over 50 kg budget?", abort["over_budget"]],
+    ]
+    return ExperimentResult(
+        experiment_id="ext-predict",
+        title="Predictive emission tracking and green rescheduling",
+        headline={
+            "predicted_kwh": prediction.predicted_energy.kwh,
+            "reschedule_saving": 1.0 - best_carbon.kg / now_carbon.kg,
+            "over_budget": float(abort["over_budget"]),
+        },
+        headers=headers,
+        rows=rows,
+        notes=(
+            "Paper (V-A): easy-to-adopt telemetry should act *before* the "
+            "cost is sunk — five measured epochs predict the full run and "
+            "pick a cleaner start window."
+        ),
+    )
+
+
+def run_multitenancy() -> ExperimentResult:
+    """Accelerator multi-tenancy: utilization vs interference trade."""
+    from repro.fleet.multitenancy import best_tenancy, tenancy_study
+
+    rows_data = tenancy_study(n_workloads=800)
+    headers = ["max tenants", "devices", "mean util", "op (t)", "embodied (t)", "total (t)"]
+    rows = [
+        [
+            r.max_tenants,
+            r.n_devices,
+            r.mean_utilization,
+            r.operational.tonnes,
+            r.embodied.tonnes,
+            r.total.tonnes,
+        ]
+        for r in rows_data
+    ]
+    dedicated = rows_data[0]
+    best = best_tenancy(rows_data)
+    return ExperimentResult(
+        experiment_id="ext-tenancy",
+        title="Accelerator virtualization and multi-tenancy",
+        headline={
+            "best_tenancy": float(best.max_tenants),
+            "device_reduction": 1.0 - best.n_devices / dedicated.n_devices,
+            "total_carbon_saving": 1.0 - best.total.kg / dedicated.total.kg,
+            "utilization_dedicated": dedicated.mean_utilization,
+            "utilization_shared": best.mean_utilization,
+        },
+        headers=headers,
+        rows=rows,
+        notes=(
+            "Paper (IV-C): consolidation 'amortiz[es] the upfront embodied "
+            "carbon footprint ... at the expense of potential operational "
+            "carbon footprint increase' — packing Figure-10-shaped "
+            "workloads lifts utilization from ~40% toward ~100% and cuts "
+            "devices >50%, with interference bounding how far to share."
+        ),
+    )
+
+
+def run_forecast() -> ExperimentResult:
+    """Forecast-driven carbon-aware scheduling: error vs realized saving."""
+    from repro.carbon.forecast import (
+        diurnal_forecast,
+        forecast_mape,
+        forecast_quality_sweep,
+        persistence_forecast,
+    )
+
+    truth = synthesize_grid_trace(168, seed=9)
+    jobs = synthesize_jobs(25, 168, seed=9)
+    sweep = forecast_quality_sweep(jobs, truth, 168)
+
+    headers = ["forecast", "MAPE", "realized saving"]
+    rows = [
+        [f"oracle + {row['noise']:.0%} noise", row["mape"], row["realized_saving"]]
+        for row in sweep
+    ]
+    rows.append(
+        [
+            "persistence (last day)",
+            forecast_mape(persistence_forecast(truth, 168), truth),
+            "-",
+        ]
+    )
+    rows.append(
+        [
+            "diurnal climatology",
+            forecast_mape(diurnal_forecast(truth, 168), truth),
+            "-",
+        ]
+    )
+    oracle = sweep[0]["realized_saving"]
+    worst = sweep[-1]["realized_saving"]
+    return ExperimentResult(
+        experiment_id="ext-forecast",
+        title="Carbon-intensity forecasting for scheduling",
+        headline={
+            "oracle_saving": oracle,
+            "saving_at_worst_forecast": worst,
+            "saving_retained_at_worst": worst / oracle if oracle else 0.0,
+        },
+        headers=headers,
+        rows=rows,
+        notes=(
+            "Paper (IV-C): schedulers must 'predict and exploit' "
+            "intermittent generation.  The diurnal solar signal is strong "
+            "enough that even heavily-degraded forecasts retain most of "
+            "the oracle's saving — carbon-aware shifting is "
+            "forecast-robust."
+        ),
+    )
+
+
+def run_uncertainty() -> ExperimentResult:
+    """Monte-Carlo uncertainty and tornado sensitivity of a footprint."""
+    from repro.core.uncertainty import monte_carlo_footprint, tornado_sensitivity
+
+    device_hours = 100_000.0
+    mc = monte_carlo_footprint(device_hours)
+    bars = tornado_sensitivity(device_hours)
+
+    headers = ["parameter", "low (t)", "high (t)", "swing (t)"]
+    rows = [
+        [b.parameter, b.low_kg / 1e3, b.high_kg / 1e3, b.swing_kg / 1e3]
+        for b in bars
+    ]
+    return ExperimentResult(
+        experiment_id="ext-uncertainty",
+        title="Uncertainty and sensitivity of footprint estimates",
+        headline={
+            "mean_tonnes": mc.mean_kg / 1e3,
+            "p05_tonnes": mc.p05_kg / 1e3,
+            "p95_tonnes": mc.p95_kg / 1e3,
+            "relative_spread": mc.relative_spread,
+            "dominant_is_intensity": float(
+                bars[0].parameter == "intensity_kg_per_kwh"
+            ),
+        },
+        headers=headers,
+        rows=rows,
+        notes=(
+            "Paper (Appendix): 'datacenter infrastructures, hardware "
+            "architectures, energy sources can perturb the final measure "
+            "easily' — under the paper's own assumption ranges the 90% "
+            "interval spans ~70% of the mean, and the grid's carbon "
+            "intensity dominates the tornado."
+        ),
+    )
+
+
+def run_serving_mechanics() -> ExperimentResult:
+    """Figure 7's first rungs derived from cache and device models."""
+    from repro.workloads.serving import (
+        AcceleratorServing,
+        ServingWorkload,
+        derived_ladder_gains,
+    )
+
+    gains = derived_ladder_gains()
+    workload = ServingWorkload()
+    sweep_rows = []
+    for fraction in (0.005, 0.02, 0.05, 0.15, 0.40):
+        sweep_rows.append(
+            [f"{fraction:.1%} of catalog cached", workload.caching_gain(fraction)]
+        )
+
+    headers = ["configuration", "power gain"]
+    rows = sweep_rows + [
+        ["derived caching rung (sized to 6.7x)", gains["caching"]],
+        ["derived GPU rung", gains["gpu"]],
+        ["precision (anchored)", gains["precision"]],
+        ["fused kernels (anchored)", gains["fused_kernels"]],
+        ["derived ladder total", gains["total"]],
+    ]
+    return ExperimentResult(
+        experiment_id="ext-serving",
+        title="Serving mechanics: deriving the caching and GPU rungs",
+        headline={
+            "derived_caching_gain": gains["caching"],
+            "cache_fraction_needed": gains["cache_fraction"],
+            "derived_gpu_gain": gains["gpu"],
+            "derived_total": gains["total"],
+        },
+        headers=headers,
+        rows=rows,
+        notes=(
+            "Che's-approximation LRU hit ratios over Zipf traffic turn "
+            "Figure 7's 'platform-level caching' into a sizing question "
+            "(how much of the embedding catalog must live in DRAM/Flash "
+            "for 6.7x), and tokens-per-joule device ratios yield the "
+            "~10x GPU rung; the derived ladder lands near the paper's "
+            ">800x."
+        ),
+    )
+
+
+def run_sdc() -> ExperimentResult:
+    """Silent-data-corruption injection into real recommender training."""
+    from repro.dataeff.synthetic import LatentFactorWorld
+    from repro.reliability.sdc_injection import sdc_study
+
+    world = LatentFactorWorld(n_users=500, n_items=300, seed=2)
+    data = world.sample(20_000, seed_offset=0)
+    results = sdc_study(data, fault_rates=(0.0, 2.0), seed=0)
+    by_label = {r.label: r for r in results}
+
+    headers = ["run", "NDCG@10", "cells corrupted", "rows repaired"]
+    rows = [
+        [r.label, r.ndcg, r.cells_corrupted, r.rows_repaired] for r in results
+    ]
+    clean = by_label["fault-free"].ndcg
+    faulty = by_label["unprotected"].ndcg
+    guarded = by_label["guarded"].ndcg
+    return ExperimentResult(
+        experiment_id="ext-sdc",
+        title="SDC fault injection and algorithmic fault tolerance",
+        headline={
+            "clean_ndcg": clean,
+            "accuracy_lost_to_sdc": (clean - faulty) / clean,
+            "accuracy_recovered_by_guard": (guarded - faulty) / max(clean - faulty, 1e-9),
+        },
+        headers=headers,
+        rows=rows,
+        notes=(
+            "Paper (Appendix B): aging hardware causes silent data "
+            "corruption and 'model accuracy degradation'; a norm-guard "
+            "(algorithmic fault tolerance) detects implausible parameter "
+            "rows and recovers most of the lost accuracy — extending "
+            "hardware life without decommissioning."
+        ),
+    )
+
+
+def run_ingestion() -> ExperimentResult:
+    """The disaggregation gain derived from pipeline queue mechanics."""
+    from repro.lifecycle.ingestion_sim import (
+        IngestionPipelineSpec,
+        derive_disaggregation_gain,
+        simulate_pipeline,
+    )
+
+    spec = IngestionPipelineSpec()
+    derived = derive_disaggregation_gain(spec)
+
+    headers = ["workers", "throughput (batch/s)", "trainer utilization"]
+    rows = []
+    for n in (2, spec.colocated_worker_limit, 7, derived.disaggregated.n_workers, 16):
+        result = simulate_pipeline(spec, n)
+        rows.append([n, result.throughput_batches_per_s, result.trainer_utilization])
+
+    return ExperimentResult(
+        experiment_id="ext-ingestion",
+        title="Data-ingestion pipeline: deriving the disaggregation gain",
+        headline={
+            "derived_throughput_gain": derived.throughput_gain,
+            "colocated_utilization": derived.colocated.trainer_utilization,
+            "workers_to_saturate": float(derived.disaggregated.n_workers),
+        },
+        headers=headers,
+        rows=rows,
+        notes=(
+            "Paper/[44]: co-located ingestion starves accelerators (spare "
+            "host cores cap transform workers); scaling a disaggregated "
+            "transform tier until the trainer saturates derives a gain of "
+            "the same magnitude as the published +56%."
+        ),
+    )
+
+
+def run_memory_pooling() -> ExperimentResult:
+    """Rack-level memory disaggregation: stranded DRAM reclaimed."""
+    from repro.fleet.memory_pooling import pooling_scaling_curve, pooling_study
+
+    result = pooling_study()
+    curve = pooling_scaling_curve()
+
+    headers = ["rack size (servers)", "DRAM saving from pooling"]
+    rows: list[list[object]] = [[n, saving] for n, saving in curve]
+    rows.append(["stranded fraction (dedicated, 32)", result.stranded_fraction_dedicated])
+    rows.append(["embodied avoided per rack (kg)", result.embodied_avoided.kg])
+
+    return ExperimentResult(
+        experiment_id="ext-mempool",
+        title="Memory disaggregation: pooling stranded DRAM",
+        headline={
+            "dram_saving_fraction": result.dram_saving_fraction,
+            "stranded_fraction_dedicated": result.stranded_fraction_dedicated,
+            "embodied_avoided_kg_per_rack": result.embodied_avoided.kg,
+        },
+        headers=headers,
+        rows=rows,
+        notes=(
+            "Paper (Appendix B): 'datacenter infrastructure "
+            "disaggregation' — per-server peak provisioning strands ~2/3 "
+            "of DRAM; pooling at rack scale follows the summed peak "
+            "instead, cutting provisioned DRAM >50% and avoiding its "
+            "manufacturing carbon (DRAM is among the dirtiest kg/GB "
+            "components)."
+        ),
+    )
+
+
+def run_bom() -> ExperimentResult:
+    """Design-time embodied carbon: server bills of materials."""
+    from repro.carbon.components import (
+        AI_TRAINING_BOM,
+        CPU_COMPUTE_BOM,
+        STORAGE_BOM,
+        memory_technology_comparison,
+    )
+
+    headers = ["design", "total embodied (kg)", "dominant component"]
+    rows = [
+        [bom.name, bom.total().kg, bom.dominant_component()]
+        for bom in (CPU_COMPUTE_BOM, AI_TRAINING_BOM, STORAGE_BOM)
+    ]
+    memory = memory_technology_comparison(512.0)
+    rows.append(["512 GB as DRAM", memory["dram_kg"], "-"])
+    rows.append(["512 GB as HBM", memory["hbm_kg"], "-"])
+    rows.append(["512 GB as NAND", memory["nand_kg"], "-"])
+
+    return ExperimentResult(
+        experiment_id="ext-bom",
+        title="Component-level embodied carbon (design-time calculator)",
+        headline={
+            "ai_server_total_kg": AI_TRAINING_BOM.total().kg,
+            "ai_vs_cpu_ratio": AI_TRAINING_BOM.total().kg
+            / CPU_COMPUTE_BOM.total().kg,
+            "hbm_over_nand_per_gb": memory["hbm_over_nand"],
+        },
+        headers=headers,
+        rows=rows,
+        notes=(
+            "Paper (IV-C): memory/storage technologies differ by orders of "
+            "magnitude in embodied carbon per GB (here HBM ~26x NAND); an "
+            "HBM-heavy AI training server embodies ~6x a CPU server, and "
+            "its dominant BOM line is the memory, not the logic."
+        ),
+    )
+
+
+def run_autoscale() -> ExperimentResult:
+    """Auto-scaling + opportunistic training: capacity without new servers."""
+    from repro.carbon.embodied import AmortizationPolicy, GPU_SERVER_EMBODIED
+    from repro.fleet.autoscale import autoscale_tier, opportunistic_training_hours
+    from repro.workloads.traces import diurnal_demand
+
+    tier_size = 10_000
+    result = autoscale_tier(diurnal_demand(168, seed=0), tier_size)
+    freed_server_hours_per_week = opportunistic_training_hours(result)
+    freed_per_year = freed_server_hours_per_week * 52.18
+
+    # Embodied carbon avoided: that training capacity would otherwise be
+    # bought as dedicated servers (amortized at the fleet policy).
+    policy = AmortizationPolicy()
+    avoided = Carbon(
+        policy.rate_per_utilized_hour(GPU_SERVER_EMBODIED) * freed_per_year
+    )
+
+    headers = ["quantity", "value"]
+    rows = [
+        ["web tier size", tier_size],
+        ["peak freed fraction", f"{result.peak_freed_fraction:.1%}"],
+        ["mean freed fraction", f"{result.mean_freed_fraction:.1%}"],
+        ["tier energy saving", f"{result.energy_saving_fraction:.1%}"],
+        ["freed server-hours / week", freed_server_hours_per_week],
+        ["embodied avoided / year (t)", avoided.tonnes],
+    ]
+    return ExperimentResult(
+        experiment_id="ext-autoscale",
+        title="Auto-scaling freeing capacity for opportunistic training",
+        headline={
+            "peak_freed_fraction": result.peak_freed_fraction,
+            "tier_energy_saving": result.energy_saving_fraction,
+            "embodied_avoided_tonnes_per_year": avoided.tonnes,
+        },
+        headers=headers,
+        rows=rows,
+        notes=(
+            "Paper (III-C): Auto-Scaling frees 'up to 25% of the web "
+            "tier's machines' off-peak, providing 'opportunistic server "
+            "capacity ... including offline ML training' — training cycles "
+            "served on freed capacity avoid buying (and manufacturing) "
+            "dedicated servers."
+        ),
+    )
+
+
+def run_sharding() -> ExperimentResult:
+    """Embedding sharding: compression cuts devices and communication."""
+    from repro.models.dlrm import DLRMSpec, EmbeddingTableSpec, make_dlrm
+    from repro.models.sharding import sharding_study
+
+    model = make_dlrm("RM", n_tables=40, rows_per_table=20_000_000, dim=96)
+    compressed_tables = tuple(
+        EmbeddingTableSpec(
+            max(1, t.rows // 100), t.dim, t.lookups_per_sample, t.bytes_per_element
+        )
+        for t in model.tables
+    )
+    compressed = DLRMSpec(
+        "RM-ttrec", compressed_tables, model.bottom_mlp, model.top_mlp
+    )
+    rows_data = sharding_study(model, compressed)
+
+    headers = ["variant", "devices", "imbalance", "all-to-all GB/step", "comm s/step"]
+    rows = [
+        [r.variant, r.n_devices, r.imbalance, r.alltoall_gb_per_step, r.step_comm_time_s]
+        for r in rows_data
+    ]
+    base, comp = rows_data
+    return ExperimentResult(
+        experiment_id="ext-sharding",
+        title="Embedding-table sharding and the compression dividend",
+        headline={
+            "uncompressed_devices": float(base.n_devices),
+            "compressed_devices": float(comp.n_devices),
+            "device_reduction": 1.0 - comp.n_devices / base.n_devices,
+            "comm_eliminated_gb_per_step": base.alltoall_gb_per_step
+            - comp.alltoall_gb_per_step,
+        },
+        headers=headers,
+        rows=rows,
+        notes=(
+            "Paper (IV-B): scaling relies on 'sharding' and memory-"
+            "efficient architectures.  A 100x-compressed (TT-Rec-class) "
+            "model fits where the raw model needed a 14-device group, "
+            "eliminating the per-step embedding all-to-all — fewer devices "
+            "(embodied) and shorter steps (operational)."
+        ),
+    )
+
+
+def run_time_varying() -> ExperimentResult:
+    """Hour-resolved vs static-intensity accounting of one run."""
+    from repro.telemetry.time_varying import account_constant_run, best_and_worst_start
+
+    grid = synthesize_grid_trace(168, seed=7)
+    accountant = account_constant_run(grid, power_kw=100.0, duration_hours=10.0, start_hour=30)
+    spread = best_and_worst_start(grid, 100.0, 10.0)
+
+    headers = ["quantity", "value"]
+    rows = [
+        ["time-resolved carbon (kg)", accountant.carbon().kg],
+        ["static-average carbon (kg)", accountant.static_carbon().kg],
+        ["attribution error", f"{accountant.attribution_error():.1%}"],
+        ["best start hour", spread["best_start_hour"]],
+        ["best start (kg)", spread["best_kg"]],
+        ["worst start (kg)", spread["worst_kg"]],
+    ]
+    return ExperimentResult(
+        experiment_id="ext-tvtracking",
+        title="Time-varying-intensity emission accounting",
+        headline={
+            "attribution_error": accountant.attribution_error(),
+            "worst_over_best_start": spread["worst_over_best"],
+        },
+        headers=headers,
+        rows=rows,
+        notes=(
+            "Static regional-average intensity misattributes a run's "
+            "carbon on a renewable-heavy grid; hour-resolved accounting "
+            "also shows the same run emits ~1.8x more started at the "
+            "worst hour than the best — the single-run face of "
+            "carbon-aware scheduling (Section IV-C)."
+        ),
+    )
+
+
+def run_hardware_choice() -> ExperimentResult:
+    """CPU/GPU/FPGA/ASIC: efficiency vs flexibility vs embodied carbon."""
+    from repro.fleet.hardware_choice import (
+        ALL_PLATFORMS,
+        ASIC_PLATFORM,
+        GPU_PLATFORM,
+        break_even_lifetime,
+        platform_ranking,
+    )
+
+    headers = ["deployment lifetime", "best", "2nd", "kg/work (best)", "kg/work (CPU)"]
+    rows = []
+    for years in (1.0, 4.0, 8.0, 12.0):
+        ranking = platform_ranking(years)
+        by_name = dict(ranking)
+        rows.append(
+            [
+                f"{years:g} yr",
+                ranking[0][0],
+                ranking[1][0],
+                ranking[0][1],
+                by_name["CPU"],
+            ]
+        )
+    crossover = break_even_lifetime(ASIC_PLATFORM, GPU_PLATFORM)
+    slow_churn = break_even_lifetime(
+        ASIC_PLATFORM, GPU_PLATFORM, algorithm_cadence_years=4.0
+    )
+    short_ranking = platform_ranking(4.0)
+    return ExperimentResult(
+        experiment_id="ext-hwchoice",
+        title="General-purpose vs specialized hardware for AI",
+        headline={
+            "best_at_4yr_is_asic": float(short_ranking[0][0] == "ASIC"),
+            "asic_gpu_crossover_years": crossover if crossover is not None else -1.0,
+            "slow_churn_crossover_years": slow_churn if slow_churn is not None else -1.0,
+            "gpu_vs_cpu_gain_at_4yr": dict(short_ranking)["CPU"]
+            / dict(short_ranking)["GPU"],
+        },
+        headers=headers,
+        rows=rows,
+        notes=(
+            "Paper (IV-C): 'the optimal point depends on the compounding "
+            "factor of operational efficiency improvement over generations "
+            "of ML algorithms/models, deployment lifetime and embodied "
+            "carbon footprint' — the ASIC wins short deployments, loses to "
+            "the flexible GPU past the crossover lifetime under fast "
+            "algorithm churn, and never loses under slow churn."
+        ),
+    )
+
+
+def run_async_fl() -> ExperimentResult:
+    """Sync vs async federated learning (the Papaya systems idea)."""
+    from repro.edge.async_fl import sync_vs_async
+    from repro.edge.selection import synthesize_population
+
+    population = synthesize_population(seed=0)
+    outcomes = sync_vs_async(population, target_updates=6400, seed=0)
+    sync = outcomes["sync"]
+    asyn = outcomes["async"]
+
+    headers = ["mode", "wall-clock (h)", "energy (kWh)", "mean staleness", "p95 staleness"]
+    rows = [
+        [o.mode, o.wall_clock_s / 3600.0, o.total_energy.kwh, o.mean_staleness, o.p95_staleness]
+        for o in (sync, asyn)
+    ]
+    return ExperimentResult(
+        experiment_id="ext-asyncfl",
+        title="Synchronous vs asynchronous federated learning",
+        headline={
+            "wall_clock_speedup": sync.wall_clock_s / asyn.wall_clock_s,
+            "energy_ratio_async_vs_sync": asyn.total_energy.kwh
+            / sync.total_energy.kwh,
+            "async_mean_staleness": asyn.mean_staleness,
+        },
+        headers=headers,
+        rows=rows,
+        notes=(
+            "Paper cites Papaya [90]: asynchronous aggregation removes the "
+            "straggler gate — several-fold wall-clock speedup at matched "
+            "update counts and near-identical device energy, paid for in "
+            "update staleness."
+        ),
+    )
+
+
+def run_capacity() -> ExperimentResult:
+    """Capacity growth -> embodied carbon, and the efficiency of scale."""
+    plan = plan_capacity(initial_servers=10_000, horizon_years=3)
+    consolidation = consolidation_study()
+
+    headers = ["year", "servers", "IT power (MW)", "embodied added (t)"]
+    rows = [
+        [
+            int(y),
+            int(s),
+            float(p),
+            plan.embodied_in_year(i).tonnes,
+        ]
+        for i, (y, s, p) in enumerate(
+            zip(plan.years, plan.servers_total, plan.it_power_mw)
+        )
+    ]
+    return ExperimentResult(
+        experiment_id="ext-capacity",
+        title="Capacity planning and the efficiency of scale",
+        headline={
+            "total_buildout_embodied_tonnes": plan.total_embodied().tonnes,
+            "consolidation_server_reduction": consolidation.server_reduction,
+            "consolidation_embodied_saving": consolidation.embodied_saving,
+        },
+        headers=headers,
+        rows=rows,
+        notes=(
+            "Paper (Fig 2d, III-C): 2.9x training-capacity growth buys "
+            "servers and buildings whose manufacturing carbon lands in "
+            "Scope 3; accelerator consolidation delivers the same "
+            "throughput with ~40x fewer servers — the 'efficiency of "
+            "scale'."
+        ),
+    )

@@ -1,0 +1,58 @@
+"""Figure 1: ML publication growth outpaces other scientific disciplines."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments.base import ExperimentResult
+from repro.workloads.arxiv import (
+    DEFAULT_CATEGORIES,
+    cumulative_by_category,
+    ml_overtakes_at_month,
+)
+
+
+def run(months: int = 144, seed: int = 0) -> ExperimentResult:
+    """Cumulative article counts per category, plus ML's crossing months."""
+    curves = cumulative_by_category(months, seed=seed)
+    crossings = ml_overtakes_at_month(months, seed=seed)
+
+    sample_months = [0, months // 4, months // 2, 3 * months // 4, months - 1]
+    headers = ["category"] + [f"m{m}" for m in sample_months] + ["ml overtakes at"]
+    rows = []
+    for cat in DEFAULT_CATEGORIES:
+        series = curves[cat.name]
+        crossing = crossings.get(cat.name)
+        rows.append(
+            [cat.name]
+            + [float(series[m]) for m in sample_months]
+            + ["-" if cat.name == "machine learning" else (crossing if crossing is not None else "never")]
+        )
+
+    ml = curves["machine learning"]
+    others = [curves[c.name] for c in DEFAULT_CATEGORIES if c.name != "machine learning"]
+    overtaken = sum(
+        1 for name, cross in crossings.items() if cross is not None
+    )
+    # Growth-rate comparison over the final 2 years of the window.
+    ml_growth = ml[-1] / ml[months - 24]
+    mean_other_growth = float(
+        np.mean([o[-1] / o[months - 24] for o in others])
+    )
+    return ExperimentResult(
+        experiment_id="fig1",
+        title="Cumulative arXiv articles: ML vs other disciplines",
+        headline={
+            "categories_overtaken_by_ml": float(overtaken),
+            "ml_2yr_cumulative_growth": ml_growth,
+            "other_disciplines_mean_2yr_growth": mean_other_growth,
+        },
+        headers=headers,
+        rows=rows,
+        notes=(
+            "Paper: 'The growth of ML is exceeding that of many other "
+            "scientific disciplines.'  Reproduced shape: the ML cumulative "
+            "curve overtakes most established categories within the window "
+            "and grows fastest over the final two years."
+        ),
+    )

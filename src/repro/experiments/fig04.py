@@ -1,0 +1,77 @@
+"""Figure 4: operational carbon footprint of production vs OSS ML tasks."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.analyzer import FootprintAnalyzer
+from repro.core.footprint import Phase
+from repro.experiments.base import ExperimentResult
+from repro.workloads.facebook import production_tasks
+from repro.workloads.oss_models import (
+    MEENA,
+    GPT3,
+    OSS_MODELS,
+    parameters_vs_carbon_correlation,
+)
+
+
+def run() -> ExperimentResult:
+    """The Figure-4 operational footprints: FB models vs OSS anchors."""
+    analyzer = FootprintAnalyzer()
+    tasks = production_tasks(analyzer)
+
+    headers = [
+        "task",
+        "offline train (t)",
+        "online train (t)",
+        "inference (t)",
+        "total (t)",
+        "train share",
+    ]
+    rows: list[list[object]] = []
+    training_side_tonnes = []
+    for task in tasks:
+        op = analyzer.operational_footprint(task)
+        offline = (
+            op.phase_carbon(Phase.EXPERIMENTATION)
+            + op.phase_carbon(Phase.OFFLINE_TRAINING)
+        )
+        online = op.phase_carbon(Phase.ONLINE_TRAINING)
+        inference = op.phase_carbon(Phase.INFERENCE)
+        train_share, _ = op.training_inference_split()
+        training_side_tonnes.append(offline.tonnes + online.tonnes)
+        rows.append(
+            [
+                task.name,
+                offline.tonnes,
+                online.tonnes,
+                inference.tonnes,
+                op.carbon.tonnes,
+                f"{train_share:.0%}",
+            ]
+        )
+    for ref in OSS_MODELS:
+        rows.append(
+            [ref.name, ref.training_carbon.tonnes, 0.0, "-", ref.training_carbon.tonnes, "100%"]
+        )
+
+    avg_training = float(np.mean(training_side_tonnes))
+    return ExperimentResult(
+        experiment_id="fig4",
+        title="Operational carbon: LM, RM1-RM5 vs open-source models",
+        headline={
+            "fb_avg_training_tonnes": avg_training,
+            "fb_avg_vs_meena": avg_training / MEENA.training_carbon.tonnes,
+            "fb_avg_vs_gpt3": avg_training / GPT3.training_carbon.tonnes,
+            "params_vs_carbon_correlation": parameters_vs_carbon_correlation(),
+        },
+        headers=headers,
+        rows=rows,
+        notes=(
+            "Paper: FB average training footprint is 1.8x Meena and ~1/3 of "
+            "GPT-3; RMs split ~50/50 training/inference, LM 35/65; carbon "
+            "does not correlate with parameter count (Switch Transformer's "
+            "1.5T params emit far less than GPT-3's 175B)."
+        ),
+    )

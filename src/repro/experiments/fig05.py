@@ -1,0 +1,66 @@
+"""Figure 5: overall (operational + embodied) footprint of ML tasks."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.carbon.intensity import AccountingMethod
+from repro.core.analyzer import FootprintAnalyzer
+from repro.experiments.base import ExperimentResult
+from repro.workloads.facebook import production_tasks
+
+
+def run() -> ExperimentResult:
+    """The Figure-5 overall footprints: operational + embodied shares."""
+    location = FootprintAnalyzer()  # location-based accounting
+    market = location.with_accounting(AccountingMethod.MARKET_BASED)
+    tasks = production_tasks(location)
+
+    headers = [
+        "task",
+        "operational (t)",
+        "embodied (t)",
+        "embodied share",
+        "total w/ CFE (t)",
+        "embodied share w/ CFE",
+    ]
+    rows: list[list[object]] = []
+    embodied_over_operational = []
+    embodied_shares = []
+    green_embodied_shares = []
+    for task in tasks:
+        grey = location.analyze(task)
+        green = market.analyze(task)
+        embodied_over_operational.append(
+            grey.embodied.amortized.kg / grey.operational.carbon.kg
+        )
+        embodied_shares.append(grey.embodied_share)
+        green_embodied_shares.append(green.embodied_share)
+        rows.append(
+            [
+                task.name,
+                grey.operational.carbon.tonnes,
+                grey.embodied.amortized.tonnes,
+                f"{grey.embodied_share:.0%}",
+                green.carbon.tonnes,
+                f"{green.embodied_share:.0%}",
+            ]
+        )
+
+    return ExperimentResult(
+        experiment_id="fig5",
+        title="Overall life-cycle footprint: operational + embodied",
+        headline={
+            "embodied_over_operational": float(np.mean(embodied_over_operational)),
+            "embodied_share_location_based": float(np.mean(embodied_shares)),
+            "embodied_share_with_cfe": float(np.mean(green_embodied_shares)),
+        },
+        headers=headers,
+        rows=rows,
+        notes=(
+            "Paper: manufacturing carbon is roughly 50% of the "
+            "location-based operational footprint (a ~30/70 embodied/"
+            "operational split); with carbon-free energy the operational "
+            "part collapses and embodied carbon dominates."
+        ),
+    )

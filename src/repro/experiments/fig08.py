@@ -1,0 +1,36 @@
+"""Figure 8: Jevons' paradox — 28.5% net reduction despite growth."""
+
+from __future__ import annotations
+
+from repro.experiments.base import ExperimentResult
+from repro.fleet.growth import JevonsModel, implied_demand_growth
+
+
+def run(halves: int = 4) -> ExperimentResult:
+    """The Figure-8 Jevons trajectory over `halves` half-year steps."""
+    model = JevonsModel()
+    actual = model.power_trajectory(halves)
+    counterfactual = model.counterfactual_trajectory(halves)
+
+    headers = ["half-year", "actual power (rel.)", "no-optimization power (rel.)"]
+    rows = [
+        [f"t={i}", float(actual[i]), float(counterfactual[i])]
+        for i in range(halves + 1)
+    ]
+    return ExperimentResult(
+        experiment_id="fig8",
+        title="Jevons' paradox: efficiency vs demand growth over 2 years",
+        headline={
+            "net_two_year_reduction": model.net_reduction(halves),
+            "avoided_vs_counterfactual": model.avoided_power_fraction(halves),
+            "implied_demand_growth_per_half": implied_demand_growth(),
+        },
+        headers=headers,
+        rows=rows,
+        notes=(
+            "Paper: 20% efficiency gains per half compound against demand "
+            "growth to a net 28.5% operational power reduction over two "
+            "years; without the optimizations the fleet would draw ~2.4x "
+            "more."
+        ),
+    )

@@ -1,0 +1,66 @@
+"""Figure 9: utilization and renewables vs total carbon; embodied dominates."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.scenario import Scenario, evaluate_work, renewable_variant
+
+from repro.experiments.base import ExperimentResult
+
+
+def run(busy_device_hours: float = 100_000.0) -> ExperimentResult:
+    """The Figure-9 utilization x renewables sweep of a fixed work quantum."""
+    utilizations = np.arange(0.2, 0.85, 0.1)
+    base = Scenario()
+
+    headers = [
+        "utilization",
+        "grid total (t)",
+        "grid embodied share",
+        "green total (t)",
+        "green embodied share",
+    ]
+    rows = []
+    grid_totals = {}
+    green_totals = {}
+    for u in utilizations:
+        grey = evaluate_work(
+            busy_device_hours, base.but(utilization=float(u), name=f"u={u:.0%}")
+        )
+        green = evaluate_work(
+            busy_device_hours, renewable_variant(base.but(utilization=float(u)))
+        )
+        grid_totals[round(float(u), 2)] = grey.total.tonnes
+        green_totals[round(float(u), 2)] = green.total.tonnes
+        rows.append(
+            [
+                f"{u:.0%}",
+                grey.total.tonnes,
+                f"{grey.embodied_share:.0%}",
+                green.total.tonnes,
+                f"{green.embodied_share:.0%}",
+            ]
+        )
+
+    reduction_30_to_80 = grid_totals[0.3] / grid_totals[0.8]
+    renewable_gain_at_80 = grid_totals[0.8] / green_totals[0.8]
+    green_at_80 = evaluate_work(
+        busy_device_hours, renewable_variant(base.but(utilization=0.8))
+    )
+    return ExperimentResult(
+        experiment_id="fig9",
+        title="Utilization and carbon-free energy vs total footprint",
+        headline={
+            "reduction_30_to_80_util": reduction_30_to_80,
+            "renewable_gain_at_80_util": renewable_gain_at_80,
+            "embodied_share_green_80": green_at_80.embodied_share,
+        },
+        headers=headers,
+        rows=rows,
+        notes=(
+            "Paper: raising GPU utilization to 80% cuts the overall "
+            "footprint ~3x; renewable supply another ~2x; embodied carbon "
+            "then dominates."
+        ),
+    )

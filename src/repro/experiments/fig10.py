@@ -1,0 +1,41 @@
+"""Figure 10: GPU utilization histogram across experimentation workflows."""
+
+from __future__ import annotations
+
+from repro.experiments.base import ExperimentResult
+from repro.fleet.utilization import (
+    EXPERIMENTATION_UTILIZATION,
+    utilization_histogram,
+)
+
+
+def run(n_workflows: int = 50_000, seed: int = 0) -> ExperimentResult:
+    """The Figure-10 utilization histogram over synthetic workflows."""
+    edges, fractions = utilization_histogram(
+        n_workflows=n_workflows, bin_width=0.1, seed=seed
+    )
+    headers = ["utilization bin", "workflow fraction"]
+    rows = [
+        [f"{lo:.0%}-{lo + 0.1:.0%}", float(frac)]
+        for lo, frac in zip(edges, fractions)
+    ]
+    dist = EXPERIMENTATION_UTILIZATION
+    band = dist.fraction_in_band(0.3, 0.5)
+    return ExperimentResult(
+        experiment_id="fig10",
+        title="GPU utilization of experimentation workflows",
+        headline={
+            "fraction_in_30_50_band": band,
+            "mean_utilization": dist.mean,
+            "mode_utilization": dist.mode,
+            "fraction_above_80": dist.fraction_in_band(0.8, 1.0),
+        },
+        headers=headers,
+        rows=rows,
+        notes=(
+            "Paper: 'a vast majority of model experimentation (over tens "
+            "of thousands of training workflows) utilizes GPUs at only "
+            "30-50%' — the 30-50% band holds the distribution's mode and "
+            "the largest probability mass."
+        ),
+    )

@@ -1,0 +1,64 @@
+"""Figure 12: data/model scaling vs energy — the Pareto frontier."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments.base import ExperimentResult
+from repro.models.scaling_laws import RecommendationScalingLaw, pareto_front
+
+
+def run() -> ExperimentResult:
+    """The Figure-12 scaling curves, star comparison, and Pareto check."""
+    law = RecommendationScalingLaw()
+    stars = law.star_comparison()
+
+    # A grid of (data, model) points; tandem scaling should trace the
+    # Pareto frontier of (energy/step, NE).
+    scales = np.geomspace(1.0, 16.0, 9)
+    grid_points = []
+    labels = []
+    for d in scales:
+        for m in scales:
+            grid_points.append(
+                [law.energy_per_step_kwh(m), law.normalized_entropy(d, m)]
+            )
+            labels.append((float(d), float(m)))
+    grid = np.array(grid_points)
+    mask = pareto_front(grid)
+
+    # How many of the frontier points scale data and model together
+    # (within a factor-of-2 band around the tandem exponent)?
+    tandem_like = 0
+    for (d, m), keep in zip(labels, mask):
+        if keep and d > 1 and m > 1:
+            exponent = np.log(m) / np.log(d)
+            if 0.6 <= exponent <= 2.4:
+                tandem_like += 1
+    frontier_size = int(np.sum(mask))
+
+    energy_t, ne_t = law.tandem_curve(np.geomspace(1.0, 16.0, 7))
+    headers = ["tandem scale s", "energy/step (kWh)", "normalized entropy"]
+    rows = [
+        [f"{s:.2f}", float(e), float(n)]
+        for s, e, n in zip(np.geomspace(1.0, 16.0, 7), energy_t, ne_t)
+    ]
+
+    return ExperimentResult(
+        experiment_id="fig12",
+        title="Data/model scaling vs energy per training step",
+        headline={
+            "star_energy_ratio": stars["energy_ratio"],
+            "star_ne_degradation": stars["ne_degradation"],
+            "power_law_exponent": law.fitted_energy_exponent(),
+            "tandem_fraction_of_frontier": tandem_like / max(frontier_size, 1),
+        },
+        headers=headers,
+        rows=rows,
+        notes=(
+            "Paper: the yellow star (2x data, 2x model) uses ~4x less "
+            "energy per step than the green star (8x, 16x) at only 0.004 "
+            "NE cost; quality vs energy follows a power law with a tiny "
+            "exponent (0.002-0.004); tandem scaling is energy-optimal."
+        ),
+    )

@@ -1,0 +1,90 @@
+"""Registry mapping experiment ids to their runner callables."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.errors import RegistryError
+from repro.experiments import (
+    ablations,
+    appendix,
+    extensions,
+    fig01,
+    fig02,
+    fig03,
+    fig04,
+    fig05,
+    fig06,
+    fig07,
+    fig08,
+    fig09,
+    fig10,
+    fig11,
+    fig12,
+    text_metrics,
+)
+from repro.experiments.base import ExperimentResult
+
+EXPERIMENTS: dict[str, Callable[[], ExperimentResult]] = {
+    "fig1": fig01.run,
+    "fig2": fig02.run,
+    "fig3": fig03.run,
+    "fig4": fig04.run,
+    "fig5": fig05.run,
+    "fig6": fig06.run,
+    "fig7": fig07.run,
+    "fig8": fig08.run,
+    "fig9": fig09.run,
+    "fig10": fig10.run,
+    "fig11": fig11.run,
+    "fig12": fig12.run,
+    "text-gpudays": text_metrics.run_gpudays,
+    "text-quant": text_metrics.run_quantization,
+    "text-sampling": text_metrics.run_sampling,
+    "text-halflife": text_metrics.run_halflife,
+    "appendix-ssl": appendix.run_ssl,
+    "appendix-disagg": appendix.run_disaggregation,
+    "ablation-sched": ablations.run_scheduling,
+    "ablation-earlystop": ablations.run_earlystop,
+    "ablation-nas": ablations.run_nas,
+    "ablation-compression": ablations.run_compression,
+    "ext-moe": extensions.run_moe,
+    "ext-scopes": extensions.run_scopes,
+    "ext-geo": extensions.run_geo,
+    "ext-flselect": extensions.run_fl_selection,
+    "ext-idle": extensions.run_idle,
+    "ext-carbonnas": extensions.run_carbon_nas,
+    "ext-leaderboard": extensions.run_leaderboard,
+    "ext-predict": extensions.run_predictive_tracking,
+    "ext-capacity": extensions.run_capacity,
+    "ext-serving": extensions.run_serving_mechanics,
+    "ext-sdc": extensions.run_sdc,
+    "ext-tenancy": extensions.run_multitenancy,
+    "ext-hwchoice": extensions.run_hardware_choice,
+    "ext-asyncfl": extensions.run_async_fl,
+    "ext-sharding": extensions.run_sharding,
+    "ext-tvtracking": extensions.run_time_varying,
+    "ext-autoscale": extensions.run_autoscale,
+    "ext-forecast": extensions.run_forecast,
+    "ext-uncertainty": extensions.run_uncertainty,
+    "ext-ingestion": extensions.run_ingestion,
+    "ext-bom": extensions.run_bom,
+    "ext-mempool": extensions.run_memory_pooling,
+}
+
+
+def experiment_ids() -> tuple[str, ...]:
+    """All registered experiment ids, figures first."""
+    return tuple(EXPERIMENTS)
+
+
+def run_experiment(experiment_id: str) -> ExperimentResult:
+    """Run one experiment by id."""
+    try:
+        runner = EXPERIMENTS[experiment_id]
+    except KeyError:
+        known = ", ".join(experiment_ids())
+        raise RegistryError(
+            f"unknown experiment {experiment_id!r}; known: {known}"
+        ) from None
+    return runner()

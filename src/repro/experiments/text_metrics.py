@@ -1,0 +1,156 @@
+"""In-text quantitative claims: GPU-day percentiles, quantization,
+data sampling, and data half-life."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dataeff.perishability import fit_half_life, measure_value_decay
+from repro.dataeff.ranking import sampling_study
+from repro.dataeff.synthetic import LatentFactorWorld
+from repro.experiments.base import ExperimentResult
+from repro.lifecycle.jobs import (
+    EXPERIMENTATION_JOBS,
+    PRODUCTION_TRAINING_JOBS,
+    TRILLION_PARAM_THRESHOLD_GPU_DAYS,
+)
+from repro.models.dlrm import make_dlrm
+from repro.models.quantization import (
+    QuantizationScheme,
+    RM2_SCHEME,
+    apply_quantization,
+    latency_gain_on_small_memory_device,
+)
+
+
+def run_gpudays(n_samples: int = 100_000, seed: int = 0) -> ExperimentResult:
+    """Section II-A job-duration percentiles from the fitted models."""
+    rows = []
+    headers = ["population", "p50 (GPU-days)", "p99 (GPU-days)", ">500 GPU-days"]
+    for model in (EXPERIMENTATION_JOBS, PRODUCTION_TRAINING_JOBS):
+        samples = model.sample_gpu_days(n_samples, seed)
+        rows.append(
+            [
+                model.name,
+                float(np.percentile(samples, 50)),
+                float(np.percentile(samples, 99)),
+                f"{float(np.mean(samples > TRILLION_PARAM_THRESHOLD_GPU_DAYS)):.2%}",
+            ]
+        )
+    return ExperimentResult(
+        experiment_id="text-gpudays",
+        title="Training workflow durations (GPU-days)",
+        headline={
+            "experimentation_p50": EXPERIMENTATION_JOBS.quantile(0.5),
+            "experimentation_p99": EXPERIMENTATION_JOBS.quantile(0.99),
+            "production_p50": PRODUCTION_TRAINING_JOBS.quantile(0.5),
+            "production_p99": PRODUCTION_TRAINING_JOBS.quantile(0.99),
+        },
+        headers=headers,
+        rows=rows,
+        notes=(
+            "Paper: experimentation p50 1.5 / p99 24 GPU-days; production "
+            "training p50 2.96 / p99 125 GPU-days; a tail of "
+            "trillion-parameter runs exceeds 500 GPU-days."
+        ),
+    )
+
+
+def run_quantization() -> ExperimentResult:
+    """Section III-B quantization numbers: RM2 size/bandwidth, RM1 latency."""
+    rm2 = make_dlrm("RM2")
+    impact = apply_quantization(rm2, RM2_SCHEME)
+
+    rm1 = make_dlrm("RM1", n_tables=30, rows_per_table=2_000_000)
+    latency_gain = latency_gain_on_small_memory_device(
+        rm1, QuantizationScheme(embedding_fraction=1.0, mlp_fraction=1.0)
+    )
+
+    headers = ["metric", "value"]
+    rows = [
+        ["RM2 embedding share of bytes", f"{rm2.embedding_size_share:.2%}"],
+        ["RM2 size reduction (partial fp16)", f"{impact.size_reduction:.1%}"],
+        ["RM2 bandwidth reduction", f"{impact.bandwidth_reduction:.1%}"],
+        ["RM1 latency gain on small-memory HW", f"{latency_gain:.2f}x"],
+    ]
+    return ExperimentResult(
+        experiment_id="text-quant",
+        title="Quantization: size, bandwidth, latency",
+        headline={
+            "rm2_size_reduction": impact.size_reduction,
+            "rm2_bandwidth_reduction": impact.bandwidth_reduction,
+            "rm1_latency_gain": latency_gain,
+            "embedding_share": rm2.embedding_size_share,
+        },
+        headers=headers,
+        rows=rows,
+        notes=(
+            "Paper: fp32->fp16 cut RM2 size by 15% and memory bandwidth by "
+            "20.7%; quantization unblocked RM1 on power-efficient "
+            "small-memory hardware with a 2.5x latency improvement; "
+            "embeddings are >95% of RM bytes."
+        ),
+    )
+
+
+def run_sampling(seed: int = 0) -> ExperimentResult:
+    """SVP-CF-style study: 10% sub-sampling preserves algorithm ranking."""
+    world = LatentFactorWorld(n_users=1500, n_items=500, seed=seed + 1)
+    data = world.sample(100_000, seed_offset=0)
+    study = sampling_study(
+        data, rates=(0.1,), sampler_names=("random", "svp", "head-users"), seed=seed
+    )
+    headers = ["sampler", "rate", "kendall tau", "speedup", "ranking preserved"]
+    rows = [
+        [row.sampler, row.rate, row.tau, row.speedup, row.ranking_preserved]
+        for row in study
+    ]
+    svp = next(r for r in study if r.sampler == "svp")
+    return ExperimentResult(
+        experiment_id="text-sampling",
+        title="Selection-via-proxy data sampling (SVP-CF)",
+        headline={
+            "svp_tau_at_10pct": svp.tau,
+            "svp_speedup": svp.speedup,
+            "svp_ranking_preserved": float(svp.ranking_preserved),
+        },
+        headers=headers,
+        rows=rows,
+        notes=(
+            "Paper (citing Sachdeva et al.): 10% sub-samples preserve the "
+            "relative ranking of recommendation algorithms with ~5.8x "
+            "average speedup; naive random sampling does not."
+        ),
+    )
+
+
+def run_halflife(seed: int = 0) -> ExperimentResult:
+    """Data perishability: fit the half-life of predictive value."""
+    ages, values = measure_value_decay(seed=seed)
+    model = fit_half_life(ages, values)
+    headers = ["data age (yr)", "relative predictive value", "model fit"]
+    rows = [
+        [float(a), float(v), model.value_at_age(float(a))]
+        for a, v in zip(ages, values)
+    ]
+    bucket_ages = np.array([0.0, 1.0, 2.0, 4.0])
+    schedule = model.retention_schedule(bucket_ages, 0.5)
+    return ExperimentResult(
+        experiment_id="text-halflife",
+        title="Data perishability: the half-life of predictive value",
+        headline={
+            "fitted_half_life_years": model.half_life_years,
+            "storage_saving_at_half_budget": model.storage_saving(bucket_ages, 0.5),
+            "oldest_bucket_retention": float(schedule[-1]),
+        },
+        headers=headers,
+        rows=rows,
+        notes=(
+            "Paper: data loses predictive value over time (NL data "
+            "half-life < 7 years); knowing the half-life enables "
+            "age-dependent retention that cuts storage and ingestion "
+            "carbon.  The synthetic world's drift rate sets the measured "
+            "half-life; the pipeline (train on aged data, fit decay, "
+            "derive a retention schedule) is the reproduction target."
+        ),
+    )

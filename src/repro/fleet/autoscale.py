@@ -1,0 +1,129 @@
+"""Auto-scaling: freeing over-provisioned capacity off-peak (Section III-C).
+
+The paper: "For data center fleets ... where the actual server utilization
+exhibits a diurnal pattern, Auto-Scaling frees the over-provisioned
+capacity during off-peak hours, by up to 25% of the web tier's machines
+... it provides opportunistic server capacity for others to use,
+including offline ML training."
+
+The auto-scaler maps an hourly demand trace to the number of powered
+servers, keeping a headroom margin above instantaneous demand.  Freed
+capacity can be handed to an opportunistic consumer (offline training),
+raising fleet-level utilization.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.quantities import Energy
+from repro.energy.meter import integrate_power_hours
+from repro.errors import UnitError
+from repro.fleet.server import ServerSKU, WEB_SKU
+
+
+@dataclass(frozen=True, slots=True)
+class AutoScalerConfig:
+    """Headroom and floor policy for the auto-scaler."""
+
+    headroom: float = 0.15
+    min_powered_fraction: float = 0.40
+    target_server_utilization: float = 0.75
+
+    def __post_init__(self) -> None:
+        if self.headroom < 0:
+            raise UnitError("headroom must be non-negative")
+        if not (0 < self.min_powered_fraction <= 1):
+            raise UnitError("min powered fraction must be in (0, 1]")
+        if not (0 < self.target_server_utilization <= 1):
+            raise UnitError("target utilization must be in (0, 1]")
+
+
+@dataclass(frozen=True)
+class AutoScaleResult:
+    """Hourly outcome of auto-scaling a tier against a demand trace."""
+
+    powered_servers: np.ndarray
+    freed_servers: np.ndarray
+    tier_size: int
+    static_energy: Energy
+    autoscaled_energy: Energy
+
+    @property
+    def peak_freed_fraction(self) -> float:
+        """Largest fraction of the tier freed in any hour (paper: ~25%)."""
+        return float(np.max(self.freed_servers)) / self.tier_size
+
+    @property
+    def mean_freed_fraction(self) -> float:
+        return float(np.mean(self.freed_servers)) / self.tier_size
+
+    @property
+    def energy_saving_fraction(self) -> float:
+        saved = self.static_energy.kwh - self.autoscaled_energy.kwh
+        return saved / self.static_energy.kwh if self.static_energy.kwh else 0.0
+
+
+def autoscale_tier(
+    demand: np.ndarray,
+    tier_size: int,
+    sku: ServerSKU = WEB_SKU,
+    config: AutoScalerConfig | None = None,
+) -> AutoScaleResult:
+    """Auto-scale a serving tier against an hourly relative-demand trace.
+
+    ``demand`` is relative demand in (0, 1]; the tier is provisioned for
+    peak demand = 1.0 at the target per-server utilization.  Without
+    auto-scaling every server stays powered at demand-proportional
+    utilization; with it, off-peak servers are powered down and the rest
+    run at the target utilization.
+    """
+    config = config or AutoScalerConfig()
+    d = np.asarray(demand, dtype=float)
+    if np.any(d < 0) or np.any(d > 1):
+        raise UnitError("demand must be a relative trace in [0, 1]")
+    if tier_size <= 0:
+        raise UnitError("tier size must be positive")
+
+    # Servers needed: demand (in units of tier peak) with headroom, at the
+    # target per-server utilization, floored by the policy minimum.
+    needed = np.ceil(d * (1.0 + config.headroom) * tier_size).astype(int)
+    floor = int(np.ceil(config.min_powered_fraction * tier_size))
+    powered = np.clip(needed, floor, tier_size)
+    freed = tier_size - powered
+
+    # Static provisioning: all servers powered; utilization follows demand
+    # scaled so that peak demand hits the target utilization.
+    static_util = d * config.target_server_utilization
+    static_watts = np.array([sku.power_at(float(u)).watts for u in static_util]) * tier_size
+
+    # Auto-scaled: powered servers carry the same total work, so their
+    # per-server utilization is higher (capped at 1.0).
+    total_work = d * config.target_server_utilization * tier_size
+    with np.errstate(divide="ignore", invalid="ignore"):
+        auto_util = np.where(powered > 0, np.minimum(1.0, total_work / powered), 0.0)
+    auto_watts = np.array(
+        [sku.power_at(float(u)).watts * int(n) for u, n in zip(auto_util, powered)]
+    )
+
+    return AutoScaleResult(
+        powered_servers=powered,
+        freed_servers=freed,
+        tier_size=tier_size,
+        static_energy=integrate_power_hours(static_watts),
+        autoscaled_energy=integrate_power_hours(auto_watts),
+    )
+
+
+def opportunistic_training_hours(result: AutoScaleResult, gpus_per_server: int = 0) -> float:
+    """Server-hours (or GPU-hours) handed to offline training by freeing.
+
+    With ``gpus_per_server`` == 0 the freed capacity is CPU server-hours;
+    otherwise freed servers are counted as GPU-hours.
+    """
+    server_hours = float(np.sum(result.freed_servers))
+    if gpus_per_server < 0:
+        raise UnitError("gpus_per_server must be non-negative")
+    return server_hours * gpus_per_server if gpus_per_server else server_hours

@@ -1,0 +1,150 @@
+"""AI capacity planning and the efficiency of scale (Section III-C).
+
+Two at-scale effects the paper describes, made computable:
+
+* **growth → embodied carbon**: translating the 2.9x/2.5x AI capacity
+  growth into servers bought per year, their manufacturing carbon, and
+  the datacenter building embodied carbon per MW provisioned;
+* **efficiency of scale**: "higher throughput performance density
+  achieved with ML accelerators reduces the total number of processors
+  deployed ... more effective amortization of shared infrastructure
+  overheads" — fewer, denser servers for the same delivered throughput
+  means less embodied carbon per unit of AI work.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.quantities import Carbon, Power
+from repro.errors import UnitError
+from repro.fleet.server import AI_TRAINING_SKU, ServerSKU
+from repro.workloads.growthtrends import GrowthTrend, TRAINING_CAPACITY_GROWTH
+
+#: Embodied carbon of datacenter construction per MW of IT capacity
+#: (building shell, power distribution, cooling plant; public LCA studies
+#: put this at hundreds of tonnes per MW).
+BUILDING_EMBODIED_PER_MW = Carbon.from_tonnes(600.0)
+
+
+@dataclass(frozen=True, slots=True)
+class CapacityPlan:
+    """Year-by-year fleet buildout for a growing AI capacity demand."""
+
+    years: np.ndarray
+    servers_total: np.ndarray
+    servers_added: np.ndarray
+    it_power_mw: np.ndarray
+    server_embodied: np.ndarray  # kg added per year
+    building_embodied: np.ndarray  # kg added per year
+
+    def total_embodied(self) -> Carbon:
+        return Carbon(
+            float(np.sum(self.server_embodied) + np.sum(self.building_embodied))
+        )
+
+    def embodied_in_year(self, index: int) -> Carbon:
+        return Carbon(
+            float(self.server_embodied[index] + self.building_embodied[index])
+        )
+
+
+def plan_capacity(
+    initial_servers: int = 10_000,
+    horizon_years: int = 4,
+    growth: GrowthTrend = TRAINING_CAPACITY_GROWTH,
+    sku: ServerSKU = AI_TRAINING_SKU,
+    replacement_rate: float = 0.0,
+) -> CapacityPlan:
+    """Servers, power, and embodied carbon for a growth trajectory.
+
+    ``replacement_rate`` adds end-of-life replacements (fraction of the
+    installed base re-bought each year) on top of growth purchases.
+    """
+    if initial_servers <= 0 or horizon_years <= 0:
+        raise UnitError("plan needs servers and a horizon")
+    if not (0 <= replacement_rate <= 1):
+        raise UnitError("replacement rate must be in [0, 1]")
+
+    years = np.arange(horizon_years + 1)
+    totals = np.array(
+        [initial_servers * growth.value_at(float(y)) for y in years]
+    )
+    added = np.diff(totals, prepend=totals[0])
+    added[0] = 0.0
+    replacements = totals * replacement_rate
+    replacements[0] = 0.0
+    purchased = added + replacements
+
+    peak_watts = sku.peak_power.watts
+    it_power_mw = totals * peak_watts / 1e6
+    power_added_mw = np.diff(it_power_mw, prepend=it_power_mw[0])
+    power_added_mw[0] = 0.0
+
+    return CapacityPlan(
+        years=years,
+        servers_total=totals,
+        servers_added=purchased,
+        it_power_mw=it_power_mw,
+        server_embodied=purchased * sku.embodied.kg,
+        building_embodied=power_added_mw * BUILDING_EMBODIED_PER_MW.kg,
+    )
+
+
+@dataclass(frozen=True, slots=True)
+class ConsolidationResult:
+    """CPU fleet vs accelerator fleet for the same delivered throughput."""
+
+    cpu_servers: int
+    accelerator_servers: int
+    cpu_embodied: Carbon
+    accelerator_embodied: Carbon
+    cpu_power: Power
+    accelerator_power: Power
+
+    @property
+    def server_reduction(self) -> float:
+        return 1.0 - self.accelerator_servers / self.cpu_servers
+
+    @property
+    def embodied_saving(self) -> float:
+        if self.cpu_embodied.kg == 0:
+            return 0.0
+        return 1.0 - self.accelerator_embodied.kg / self.cpu_embodied.kg
+
+
+def consolidation_study(
+    required_tflops: float = 100_000.0,
+    cpu_sku: ServerSKU | None = None,
+    accel_sku: ServerSKU = AI_TRAINING_SKU,
+    cpu_tflops_per_server: float = 3.0,
+) -> ConsolidationResult:
+    """Efficiency of scale: deliver a throughput on CPUs vs accelerators.
+
+    Accelerator throughput per server comes from its device specs; the
+    CPU fleet needs many more boxes, paying more embodied carbon and more
+    power for the same work.
+    """
+    if required_tflops <= 0 or cpu_tflops_per_server <= 0:
+        raise UnitError("throughput parameters must be positive")
+    from repro.fleet.server import ServerSKU as _SKU
+    from repro.energy.devices import CPU_SERVER
+
+    cpu_sku = cpu_sku or _SKU("cpu-compute", CPU_SERVER, embodied=Carbon(1000.0))
+
+    if accel_sku.accelerator is None:
+        raise UnitError("accelerator SKU must carry accelerators")
+    accel_tflops = accel_sku.accelerator.peak_tflops * accel_sku.n_accelerators
+
+    cpu_servers = int(np.ceil(required_tflops / cpu_tflops_per_server))
+    accel_servers = int(np.ceil(required_tflops / accel_tflops))
+    return ConsolidationResult(
+        cpu_servers=cpu_servers,
+        accelerator_servers=accel_servers,
+        cpu_embodied=cpu_sku.embodied * cpu_servers,
+        accelerator_embodied=accel_sku.embodied * accel_servers,
+        cpu_power=cpu_sku.peak_power * cpu_servers,
+        accelerator_power=accel_sku.peak_power * accel_servers,
+    )

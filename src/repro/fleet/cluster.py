@@ -1,0 +1,93 @@
+"""Clusters: homogeneous pools of servers with power-capacity accounting.
+
+The paper: "datacenter capacity is not only limited by physical space but
+also power capacity" — a cluster tracks both its provisioned power budget
+and the instantaneous draw of its servers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.quantities import Carbon, Energy, Power
+from repro.errors import SimulationError, UnitError
+from repro.fleet.server import Server, ServerSKU
+
+
+@dataclass
+class Cluster:
+    """A pool of identical servers under one power budget."""
+
+    name: str
+    sku: ServerSKU
+    n_servers: int
+    power_budget: Power | None = None
+    _servers: list[Server] = field(default_factory=list, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.n_servers <= 0:
+            raise UnitError("cluster needs at least one server")
+        self._servers = [Server(self.sku, i) for i in range(self.n_servers)]
+        peak = self.sku.peak_power * self.n_servers
+        if self.power_budget is None:
+            self.power_budget = peak
+        elif self.power_budget.watts < peak.watts:
+            # Over-subscription is the norm in real datacenters; allow it
+            # but remember the cap so draw can be validated.
+            pass
+
+    @property
+    def servers(self) -> list[Server]:
+        return self._servers
+
+    def set_uniform_utilization(self, utilization: float) -> None:
+        for server in self._servers:
+            server.set_utilization(utilization)
+
+    def set_utilizations(self, utilizations: np.ndarray) -> None:
+        u = np.asarray(utilizations, dtype=float)
+        if len(u) != self.n_servers:
+            raise UnitError(
+                f"expected {self.n_servers} utilizations, got {len(u)}"
+            )
+        for server, value in zip(self._servers, u):
+            server.set_utilization(float(value))
+
+    def power_servers(self, n_powered: int) -> None:
+        """Keep the first ``n_powered`` servers on; power off the rest."""
+        if not (0 <= n_powered <= self.n_servers):
+            raise SimulationError(
+                f"cannot power {n_powered} of {self.n_servers} servers"
+            )
+        for i, server in enumerate(self._servers):
+            server.powered = i < n_powered
+            if not server.powered:
+                server.utilization = 0.0
+
+    @property
+    def powered_count(self) -> int:
+        return sum(1 for s in self._servers if s.powered)
+
+    def current_power(self) -> Power:
+        return Power(sum(s.current_power().watts for s in self._servers))
+
+    def mean_utilization(self) -> float:
+        powered = [s for s in self._servers if s.powered]
+        if not powered:
+            return 0.0
+        return float(np.mean([s.utilization for s in powered]))
+
+    def embodied_total(self) -> Carbon:
+        return self.sku.embodied * self.n_servers
+
+    def energy_over_hours(self, hours: float) -> Energy:
+        """Energy if the current power state persists for ``hours``."""
+        return self.current_power().over_hours(hours)
+
+    def headroom(self) -> Power:
+        """Power budget minus current draw (zero if over budget)."""
+        budget = self.power_budget.watts if self.power_budget else 0.0
+        draw = self.current_power().watts
+        return Power(max(0.0, budget - draw))

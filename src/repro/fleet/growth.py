@@ -1,0 +1,142 @@
+"""Fleet growth dynamics and Jevons' paradox (Figures 6 and 8).
+
+Section III-B: "we reduce the power footprint across the machine learning
+hardware-software stack by 20% every 6 months.  But at the same time, AI
+infrastructure continued to scale out.  The net effect, with Jevons'
+Paradox, is a 28.5% operational power footprint reduction over two
+years."
+
+The model: operational power at half-year step ``t`` is::
+
+    P(t) = P0 * demand(t) * efficiency(t)
+
+where efficiency compounds (1 - gain) per half and demand compounds its
+own per-half growth.  The paper's numbers pin both rates: 0.8^4 = 0.41
+efficiency factor over 4 halves and a net 0.715 power factor imply
+demand grew ~1.75x over the same two years.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import CalibrationError, UnitError
+
+#: Per-half-year operational power reduction from cross-stack optimization.
+EFFICIENCY_GAIN_PER_HALF = 0.20
+#: Net two-year operational power reduction the paper reports (Figure 8).
+NET_TWO_YEAR_REDUCTION = 0.285
+
+
+def implied_demand_growth(
+    efficiency_gain_per_half: float = EFFICIENCY_GAIN_PER_HALF,
+    net_reduction: float = NET_TWO_YEAR_REDUCTION,
+    halves: int = 4,
+) -> float:
+    """Per-half demand growth implied by the efficiency and net numbers.
+
+    Solves ``(1 - gain)^halves * g^halves = 1 - net_reduction`` for ``g``.
+    """
+    if not (0 <= efficiency_gain_per_half < 1):
+        raise CalibrationError("efficiency gain must be in [0, 1)")
+    if not (0 <= net_reduction < 1):
+        raise CalibrationError("net reduction must be in [0, 1)")
+    if halves <= 0:
+        raise CalibrationError("halves must be positive")
+    total = (1.0 - net_reduction) / (1.0 - efficiency_gain_per_half) ** halves
+    return float(total ** (1.0 / halves))
+
+
+@dataclass(frozen=True, slots=True)
+class JevonsModel:
+    """Compounding efficiency gains against compounding demand growth."""
+
+    efficiency_gain_per_half: float = EFFICIENCY_GAIN_PER_HALF
+    demand_growth_per_half: float | None = None
+
+    def __post_init__(self) -> None:
+        if not (0 <= self.efficiency_gain_per_half < 1):
+            raise UnitError("efficiency gain must be in [0, 1)")
+        if self.demand_growth_per_half is not None and self.demand_growth_per_half <= 0:
+            raise UnitError("demand growth must be positive")
+
+    def _demand_growth(self) -> float:
+        if self.demand_growth_per_half is not None:
+            return self.demand_growth_per_half
+        return implied_demand_growth(self.efficiency_gain_per_half)
+
+    def power_trajectory(self, halves: int = 4) -> np.ndarray:
+        """Relative operational power at each half-year step (index 0 = 1.0)."""
+        if halves < 0:
+            raise UnitError("halves must be non-negative")
+        t = np.arange(halves + 1)
+        eff = (1.0 - self.efficiency_gain_per_half) ** t
+        demand = self._demand_growth() ** t
+        return eff * demand
+
+    def counterfactual_trajectory(self, halves: int = 4) -> np.ndarray:
+        """Power had no optimization happened (demand growth only)."""
+        t = np.arange(halves + 1)
+        return self._demand_growth() ** t
+
+    def net_reduction(self, halves: int = 4) -> float:
+        """Fractional power reduction relative to the starting point."""
+        return 1.0 - float(self.power_trajectory(halves)[-1])
+
+    def avoided_power_fraction(self, halves: int = 4) -> float:
+        """Power avoided relative to the no-optimization counterfactual."""
+        actual = float(self.power_trajectory(halves)[-1])
+        counter = float(self.counterfactual_trajectory(halves)[-1])
+        return 1.0 - actual / counter
+
+
+@dataclass(frozen=True, slots=True)
+class OptimizationArea:
+    """One of the four Figure-6 optimization areas with per-half gains.
+
+    Gains are fractional power reductions contributed by the area in each
+    half-year period; areas compose multiplicatively within a half.
+    """
+
+    name: str
+    gains_per_half: tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        for g in self.gains_per_half:
+            if not (0 <= g < 1):
+                raise UnitError(f"area gain must be in [0, 1), got {g}")
+
+
+#: Figure 6's four areas over four halves (H2'19 .. H1'21).  Individual
+#: contributions vary by half; each half composes to ~20% total.
+FIG6_AREAS: tuple[OptimizationArea, ...] = (
+    OptimizationArea("model", (0.070, 0.055, 0.065, 0.080)),
+    OptimizationArea("platform", (0.050, 0.060, 0.045, 0.040)),
+    OptimizationArea("infrastructure", (0.045, 0.050, 0.055, 0.045)),
+    OptimizationArea("hardware", (0.050, 0.050, 0.050, 0.050)),
+)
+
+
+def composed_half_gains(areas: tuple[OptimizationArea, ...] = FIG6_AREAS) -> np.ndarray:
+    """Total per-half power reduction from composing all areas.
+
+    Within one half, area gains compose multiplicatively:
+    ``1 - prod(1 - gain_area)``.
+    """
+    if not areas:
+        raise CalibrationError("need at least one optimization area")
+    n_halves = len(areas[0].gains_per_half)
+    for area in areas:
+        if len(area.gains_per_half) != n_halves:
+            raise CalibrationError("all areas must cover the same halves")
+    remaining = np.ones(n_halves)
+    for area in areas:
+        remaining *= 1.0 - np.asarray(area.gains_per_half)
+    return 1.0 - remaining
+
+
+def average_half_gain(areas: tuple[OptimizationArea, ...] = FIG6_AREAS) -> float:
+    """Mean per-half total reduction (the paper's 'average of 20%')."""
+    return float(np.mean(composed_half_gains(areas)))

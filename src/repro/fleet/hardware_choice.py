@@ -1,0 +1,149 @@
+"""General-purpose vs specialized hardware for AI (Section IV-C).
+
+"There is a wide variety of system hardware choices for AI from
+general-purpose processors (CPUs), general-purpose accelerators (GPUs or
+TPUs), FPGAs, to ASICs ... While ML accelerator deployment brings a
+step-function improvement in operational energy efficiency, it may not
+necessarily reduce the carbon footprint of AI computing overall ...
+the optimal point depends on the compounding factor of operational
+efficiency improvement over generations of ML algorithms/models,
+deployment lifetime and embodied carbon footprint."
+
+Model: each platform has an operational efficiency (work per kWh), an
+embodied cost, and a *flexibility* penalty — when the ML algorithm
+generation churns (every ``algorithm_cadence_years``), an inflexible
+platform loses a fraction of its efficiency advantage (kernels no longer
+fit the silicon) until replaced.  Total carbon per unit of work over a
+deployment lifetime then has a platform-dependent optimum, and the
+break-even lifetime between platforms is computable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.carbon.intensity import CarbonIntensity, US_AVERAGE
+from repro.core.quantities import Carbon
+from repro.errors import UnitError
+
+
+@dataclass(frozen=True, slots=True)
+class PlatformChoice:
+    """One hardware platform's efficiency/flexibility/embodied profile."""
+
+    name: str
+    relative_efficiency: float  # work per kWh relative to the CPU baseline
+    embodied: Carbon
+    flexibility: float  # fraction of efficiency retained per algorithm churn
+    power_kw: float
+
+    def __post_init__(self) -> None:
+        if self.relative_efficiency <= 0 or self.power_kw <= 0:
+            raise UnitError("efficiency and power must be positive")
+        if not (0 < self.flexibility <= 1):
+            raise UnitError("flexibility must be in (0, 1]")
+
+
+#: Representative platforms.  Efficiency multipliers follow the published
+#: step functions (GPU ~10x CPU for dense ML, ASIC ~3-5x GPU on its target
+#: workload); flexibility falls with specialization.
+CPU_PLATFORM = PlatformChoice("CPU", 1.0, Carbon(1000.0), 1.00, power_kw=0.4)
+GPU_PLATFORM = PlatformChoice("GPU", 10.0, Carbon(2000.0), 0.92, power_kw=2.8)
+FPGA_PLATFORM = PlatformChoice("FPGA", 6.0, Carbon(1800.0), 0.97, power_kw=1.2)
+#: The ASIC's flexibility reflects fixed-function silicon: each algorithm
+#: generation that no longer matches its dataflow halves the remaining
+#: advantage (Eyeriss-style accelerators against post-CNN workloads).
+ASIC_PLATFORM = PlatformChoice("ASIC", 35.0, Carbon(2600.0), 0.50, power_kw=2.4)
+
+ALL_PLATFORMS: tuple[PlatformChoice, ...] = (
+    CPU_PLATFORM,
+    GPU_PLATFORM,
+    FPGA_PLATFORM,
+    ASIC_PLATFORM,
+)
+
+
+def effective_efficiency(
+    platform: PlatformChoice, years: float, algorithm_cadence_years: float = 1.5
+) -> float:
+    """Efficiency after algorithm generations erode specialization.
+
+    Each churn multiplies the platform's efficiency *advantage over CPU*
+    by its flexibility factor; a fully flexible platform (CPU) never
+    degrades.
+    """
+    if years < 0:
+        raise UnitError("years must be non-negative")
+    if algorithm_cadence_years <= 0:
+        raise UnitError("algorithm cadence must be positive")
+    churns = years / algorithm_cadence_years
+    advantage = platform.relative_efficiency - 1.0
+    return 1.0 + advantage * platform.flexibility**churns
+
+
+def carbon_per_exawork(
+    platform: PlatformChoice,
+    lifetime_years: float,
+    intensity: CarbonIntensity = US_AVERAGE,
+    algorithm_cadence_years: float = 1.5,
+    baseline_kwh_per_work: float = 1.0,
+) -> float:
+    """kgCO2e per normalized unit of work, averaged over the lifetime.
+
+    Work delivered per year follows the platform's (decaying) effective
+    efficiency at its rated power; embodied carbon amortizes over all
+    work delivered during the deployment.
+    """
+    if lifetime_years <= 0:
+        raise UnitError("lifetime must be positive")
+    years = np.linspace(0.0, lifetime_years, 48)
+    eff = np.array(
+        [effective_efficiency(platform, y, algorithm_cadence_years) for y in years]
+    )
+    # Work per year ∝ efficiency; energy per year is constant (always-on).
+    annual_kwh = platform.power_kw * 8766.0
+    annual_work = annual_kwh * eff / baseline_kwh_per_work
+    total_work = float(np.trapezoid(annual_work, years))
+    total_operational = intensity.kg_per_kwh * annual_kwh * lifetime_years
+    if total_work <= 0:
+        raise UnitError("platform delivers no work")
+    return (total_operational + platform.embodied.kg) / total_work
+
+
+def platform_ranking(
+    lifetime_years: float,
+    intensity: CarbonIntensity = US_AVERAGE,
+    algorithm_cadence_years: float = 1.5,
+    platforms: tuple[PlatformChoice, ...] = ALL_PLATFORMS,
+) -> list[tuple[str, float]]:
+    """(platform, kg per unit work) best-first at a deployment lifetime."""
+    scored = [
+        (p.name, carbon_per_exawork(p, lifetime_years, intensity, algorithm_cadence_years))
+        for p in platforms
+    ]
+    return sorted(scored, key=lambda pair: pair[1])
+
+
+def break_even_lifetime(
+    specialized: PlatformChoice,
+    general: PlatformChoice,
+    intensity: CarbonIntensity = US_AVERAGE,
+    algorithm_cadence_years: float = 1.5,
+    max_years: float = 12.0,
+) -> float | None:
+    """Lifetime beyond which the general platform beats the specialized one.
+
+    With fast algorithm churn, the ASIC's eroding advantage eventually
+    loses to the GPU's flexibility; returns None if no crossover occurs
+    within ``max_years`` (the specialized platform stays ahead).
+    """
+    if max_years <= 0:
+        raise UnitError("max years must be positive")
+    for years in np.linspace(0.5, max_years, 47):
+        spec = carbon_per_exawork(specialized, float(years), intensity, algorithm_cadence_years)
+        gen = carbon_per_exawork(general, float(years), intensity, algorithm_cadence_years)
+        if gen < spec:
+            return float(years)
+    return None

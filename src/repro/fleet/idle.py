@@ -1,0 +1,167 @@
+"""Processor idle-state management (Section III-C).
+
+"Static power consumption plays a non-trivial role in the context of the
+overall data center electricity footprint.  This motivates more
+effective processor idle state management."
+
+Model: a server's idle intervals are exponentially distributed; entering
+a deeper C-state saves power but pays a wake-up latency (which both
+costs energy and can violate a responsiveness SLO).  An
+:class:`IdleGovernor` picks the deepest state whose break-even residency
+is shorter than the expected interval — the classic menu-based governor —
+and the simulator measures realized savings and SLO violations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.quantities import Energy
+from repro.errors import UnitError
+
+
+@dataclass(frozen=True, slots=True)
+class CState:
+    """One idle state: residual power and transition cost."""
+
+    name: str
+    power_fraction: float  # of the shallow-idle power
+    wake_latency_ms: float
+    entry_energy_j: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not (0 <= self.power_fraction <= 1):
+            raise UnitError("power fraction must be in [0, 1]")
+        if self.wake_latency_ms < 0 or self.entry_energy_j < 0:
+            raise UnitError("latency and entry energy must be non-negative")
+
+
+#: A typical server-class menu (C1 halt .. C6 deep sleep).
+DEFAULT_MENU: tuple[CState, ...] = (
+    CState("C1", power_fraction=1.00, wake_latency_ms=0.002),
+    CState("C1E", power_fraction=0.70, wake_latency_ms=0.01, entry_energy_j=0.001),
+    CState("C3", power_fraction=0.45, wake_latency_ms=0.08, entry_energy_j=0.01),
+    CState("C6", power_fraction=0.15, wake_latency_ms=0.6, entry_energy_j=0.1),
+)
+
+
+@dataclass(frozen=True, slots=True)
+class IdleGovernor:
+    """Menu-based governor choosing a C-state per predicted idle interval."""
+
+    menu: tuple[CState, ...] = DEFAULT_MENU
+    shallow_idle_watts: float = 140.0
+    latency_slo_ms: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not self.menu:
+            raise UnitError("governor needs at least one idle state")
+        if self.shallow_idle_watts <= 0:
+            raise UnitError("idle power must be positive")
+        if self.latency_slo_ms <= 0:
+            raise UnitError("latency SLO must be positive")
+
+    def break_even_ms(self, state: CState) -> float:
+        """Minimum residency for ``state`` to save energy vs C1."""
+        saved_watts = self.shallow_idle_watts * (1.0 - state.power_fraction)
+        if saved_watts <= 0:
+            return 0.0
+        return state.entry_energy_j / saved_watts * 1e3
+
+    def choose(self, predicted_idle_ms: float) -> CState:
+        """Deepest SLO-compliant state with residency past break-even."""
+        if predicted_idle_ms < 0:
+            raise UnitError("predicted idle must be non-negative")
+        best = self.menu[0]
+        for state in self.menu:
+            if state.wake_latency_ms > self.latency_slo_ms:
+                continue
+            if predicted_idle_ms >= self.break_even_ms(state) + state.wake_latency_ms:
+                if state.power_fraction <= best.power_fraction:
+                    best = state
+        return best
+
+
+@dataclass(frozen=True, slots=True)
+class IdleSimResult:
+    """Outcome of simulating a governor over an idle-interval stream."""
+
+    baseline_energy: Energy  # always-C1
+    governed_energy: Energy
+    slo_violations: int
+    n_intervals: int
+    state_counts: dict[str, int]
+
+    @property
+    def energy_saving_fraction(self) -> float:
+        if self.baseline_energy.kwh == 0:
+            return 0.0
+        return 1.0 - self.governed_energy.kwh / self.baseline_energy.kwh
+
+    @property
+    def violation_rate(self) -> float:
+        return self.slo_violations / self.n_intervals if self.n_intervals else 0.0
+
+
+def simulate_idle_management(
+    governor: IdleGovernor,
+    mean_idle_ms: float = 50.0,
+    n_intervals: int = 20_000,
+    prediction_error: float = 0.3,
+    seed: int = 0,
+) -> IdleSimResult:
+    """Run the governor over exponential idle intervals.
+
+    The governor sees a noisy prediction of each interval (lognormal
+    multiplicative error ``prediction_error``); an SLO violation occurs
+    when the chosen state's wake latency exceeds the SLO *and* the
+    interval ends with a latency-sensitive wake (modeled for every
+    interval, conservatively).
+    """
+    if mean_idle_ms <= 0 or n_intervals <= 0:
+        raise UnitError("interval parameters must be positive")
+    if prediction_error < 0:
+        raise UnitError("prediction error must be non-negative")
+    rng = np.random.default_rng(seed)
+    intervals = rng.exponential(mean_idle_ms, n_intervals)
+    predictions = intervals * rng.lognormal(0.0, prediction_error, n_intervals)
+
+    baseline_j = float(np.sum(intervals)) / 1e3 * governor.shallow_idle_watts
+
+    governed_j = 0.0
+    violations = 0
+    counts: dict[str, int] = {}
+    for actual, predicted in zip(intervals, predictions):
+        state = governor.choose(float(predicted))
+        counts[state.name] = counts.get(state.name, 0) + 1
+        residency_s = actual / 1e3
+        governed_j += (
+            governor.shallow_idle_watts * state.power_fraction * residency_s
+            + state.entry_energy_j
+        )
+        if state.wake_latency_ms > governor.latency_slo_ms:
+            violations += 1
+
+    return IdleSimResult(
+        baseline_energy=Energy.from_joules(baseline_j),
+        governed_energy=Energy.from_joules(governed_j),
+        slo_violations=violations,
+        n_intervals=n_intervals,
+        state_counts=counts,
+    )
+
+
+def idle_saving_sweep(
+    mean_idle_ms_values: np.ndarray,
+    governor: IdleGovernor | None = None,
+    seed: int = 0,
+) -> list[tuple[float, float]]:
+    """(mean idle, energy saving) curve: longer idles unlock deeper states."""
+    governor = governor or IdleGovernor()
+    out = []
+    for mean_idle in np.asarray(mean_idle_ms_values, dtype=float):
+        result = simulate_idle_management(governor, float(mean_idle), seed=seed)
+        out.append((float(mean_idle), result.energy_saving_fraction))
+    return out

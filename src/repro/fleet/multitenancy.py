@@ -1,0 +1,161 @@
+"""Accelerator virtualization and multi-tenancy (Section IV-C).
+
+"Virtualization and workload consolidation technologies can help maximize
+accelerator utilization ... Multi-tenancy for AI accelerators is gaining
+traction as an effective way to improve resource utilization, thereby
+amortizing the upfront embodied carbon footprint of customized system
+hardware for AI at the expense of potential operational carbon footprint
+increase."
+
+The model: experimentation workloads, each needing a fraction of a GPU's
+compute (Figure 10 shows most use 30-50%), are packed onto shared
+accelerators by first-fit-decreasing.  Sharing raises per-device
+utilization and cuts device count (embodied win), but co-located tenants
+interfere — each tenant's work costs ``1 + interference * (n_tenants-1)``
+extra compute (operational cost).  The study sweeps tenancy limits and
+reports the net carbon effect.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.carbon.embodied import GPU_SERVER_EMBODIED
+from repro.carbon.intensity import CarbonIntensity, US_AVERAGE
+from repro.core.quantities import Carbon
+from repro.energy.devices import DeviceSpec, V100
+from repro.energy.power_model import PowerModel
+from repro.errors import UnitError
+from repro.fleet.utilization import EXPERIMENTATION_UTILIZATION, UtilizationDistribution
+
+
+@dataclass(frozen=True)
+class PackingResult:
+    """Outcome of packing tenant workloads onto shared devices."""
+
+    n_devices: int
+    device_loads: np.ndarray
+    tenants_per_device: np.ndarray
+
+    @property
+    def mean_utilization(self) -> float:
+        return float(np.mean(self.device_loads))
+
+    @property
+    def mean_tenancy(self) -> float:
+        return float(np.mean(self.tenants_per_device))
+
+
+def pack_first_fit_decreasing(
+    demands: np.ndarray, max_tenants: int = 4, capacity: float = 0.95
+) -> PackingResult:
+    """First-fit-decreasing packing of fractional-GPU demands.
+
+    ``max_tenants`` = 1 reproduces the dedicated-GPU baseline (one
+    workload per device, however small).
+    """
+    d = np.asarray(demands, dtype=float)
+    if np.any((d <= 0) | (d > 1)):
+        raise UnitError("demands must be in (0, 1]")
+    if max_tenants <= 0:
+        raise UnitError("max tenants must be positive")
+    if not (0 < capacity <= 1):
+        raise UnitError("capacity must be in (0, 1]")
+
+    order = np.argsort(d)[::-1]
+    loads: list[float] = []
+    counts: list[int] = []
+    for demand in d[order]:
+        placed = False
+        for i in range(len(loads)):
+            if counts[i] < max_tenants and loads[i] + demand <= capacity:
+                loads[i] += demand
+                counts[i] += 1
+                placed = True
+                break
+        if not placed:
+            loads.append(float(demand))
+            counts.append(1)
+    return PackingResult(
+        n_devices=len(loads),
+        device_loads=np.array(loads),
+        tenants_per_device=np.array(counts),
+    )
+
+
+@dataclass(frozen=True, slots=True)
+class TenancyStudyRow:
+    """Carbon accounting at one tenancy limit."""
+
+    max_tenants: int
+    n_devices: int
+    mean_utilization: float
+    operational: Carbon
+    embodied: Carbon
+
+    @property
+    def total(self) -> Carbon:
+        return self.operational + self.embodied
+
+
+def tenancy_study(
+    n_workloads: int = 2000,
+    tenancy_limits: tuple[int, ...] = (1, 2, 4, 8),
+    interference: float = 0.06,
+    window_hours: float = 24.0 * 30.0,
+    device: DeviceSpec = V100,
+    devices_per_server: int = 8,
+    intensity: CarbonIntensity = US_AVERAGE,
+    utilization_dist: UtilizationDistribution = EXPERIMENTATION_UTILIZATION,
+    seed: int = 0,
+) -> list[TenancyStudyRow]:
+    """Sweep tenancy limits and account operational + embodied carbon.
+
+    Demands are drawn from the Figure-10 utilization distribution (each
+    experimentation workload only needs its utilization fraction of a
+    device).  Interference inflates every tenant's compute demand by
+    ``interference`` per co-tenant, raising device-time (operational);
+    fewer devices cut the amortized embodied share.
+    """
+    if not (0 <= interference < 1):
+        raise UnitError("interference must be in [0, 1)")
+    if window_hours <= 0:
+        raise UnitError("window must be positive")
+    demands = utilization_dist.sample(n_workloads, seed)
+    demands = np.clip(demands, 0.05, 0.95)
+
+    model = PowerModel(device)
+    embodied_rate = GPU_SERVER_EMBODIED.kg / (4.0 * 8766.0)  # kg/server-hour
+
+    rows = []
+    for limit in tenancy_limits:
+        packing = pack_first_fit_decreasing(demands, max_tenants=limit)
+        # Interference: inflate each device's load by the tenant count.
+        inflated = packing.device_loads * (
+            1.0 + interference * np.maximum(0, packing.tenants_per_device - 1)
+        )
+        inflated = np.clip(inflated, 0.0, 1.0)
+        watts = model.power_series(inflated)
+        kwh = float(np.sum(watts)) * window_hours / 1e3
+        operational = Carbon(kwh * intensity.kg_per_kwh)
+        servers = packing.n_devices / devices_per_server
+        embodied = Carbon(embodied_rate * servers * window_hours)
+        rows.append(
+            TenancyStudyRow(
+                max_tenants=limit,
+                n_devices=packing.n_devices,
+                mean_utilization=float(np.mean(inflated)),
+                operational=operational,
+                embodied=embodied,
+            )
+        )
+    return rows
+
+
+def best_tenancy(rows: list[TenancyStudyRow]) -> TenancyStudyRow:
+    """The tenancy limit minimizing total carbon."""
+    if not rows:
+        raise UnitError("study produced no rows")
+    return min(rows, key=lambda r: r.total.kg)

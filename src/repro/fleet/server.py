@@ -1,0 +1,80 @@
+"""Server SKUs and instances for the fleet simulator.
+
+The paper (Section III-C): Facebook customizes server SKUs — compute,
+memcached, storage tiers and ML accelerators — to maximize performance
+and power efficiency.  A :class:`ServerSKU` bundles a host device with
+optional accelerators plus embodied carbon; a :class:`Server` is one
+physical instance with a utilization state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.carbon.embodied import CPU_SERVER_EMBODIED, GPU_SERVER_EMBODIED
+from repro.core.quantities import Carbon, Power
+from repro.energy.devices import CPU_SERVER, DeviceSpec, V100, WEB_SERVER, STORAGE_SERVER
+from repro.energy.power_model import PowerModel
+from repro.errors import UnitError
+
+
+@dataclass(frozen=True, slots=True)
+class ServerSKU:
+    """One server model: host + accelerators + embodied footprint."""
+
+    name: str
+    host: DeviceSpec
+    accelerator: DeviceSpec | None = None
+    n_accelerators: int = 0
+    embodied: Carbon = CPU_SERVER_EMBODIED
+
+    def __post_init__(self) -> None:
+        if self.n_accelerators < 0:
+            raise UnitError("accelerator count must be non-negative")
+        if self.accelerator is None and self.n_accelerators > 0:
+            raise UnitError("accelerator count set but no accelerator spec")
+        if self.accelerator is not None and self.n_accelerators == 0:
+            raise UnitError("accelerator spec set but count is zero")
+
+    def power_at(self, utilization: float) -> Power:
+        """Whole-server power at a utilization applied to all silicon."""
+        host_power = PowerModel(self.host).power_at(utilization)
+        if self.accelerator is None:
+            return host_power
+        accel_power = PowerModel(self.accelerator).power_at(utilization)
+        return host_power + accel_power * self.n_accelerators
+
+    @property
+    def peak_power(self) -> Power:
+        return self.power_at(1.0)
+
+    @property
+    def idle_power(self) -> Power:
+        return self.power_at(0.0)
+
+
+#: The fleet SKUs the paper names.
+AI_TRAINING_SKU = ServerSKU("ai-training", CPU_SERVER, V100, 8, GPU_SERVER_EMBODIED)
+AI_INFERENCE_SKU = ServerSKU("ai-inference", CPU_SERVER, V100, 2, Carbon(1400.0))
+WEB_SKU = ServerSKU("web", WEB_SERVER, embodied=Carbon(800.0))
+STORAGE_SKU = ServerSKU("storage", STORAGE_SERVER, embodied=Carbon(1200.0))
+
+
+@dataclass
+class Server:
+    """One powered server instance with a mutable utilization."""
+
+    sku: ServerSKU
+    server_id: int
+    utilization: float = 0.0
+    powered: bool = True
+
+    def set_utilization(self, utilization: float) -> None:
+        if not (0.0 <= utilization <= 1.0):
+            raise UnitError(f"utilization must be in [0, 1], got {utilization}")
+        self.utilization = utilization
+
+    def current_power(self) -> Power:
+        if not self.powered:
+            return Power.zero()
+        return self.sku.power_at(self.utilization)

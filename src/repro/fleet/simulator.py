@@ -1,0 +1,164 @@
+"""Hourly fleet simulator: clusters x demand x grid -> energy and carbon.
+
+Ties the fleet substrate together: an AI fleet of training and inference
+clusters driven by (i) a diurnal inference demand trace and (ii) an
+experiment job stream, evaluated against a grid trace and a PUE, yielding
+the hourly power series and totals that the paper's at-scale sections
+reason about (Figures 3a, 8).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.carbon.grid import GridTrace, constant_grid_trace
+from repro.carbon.intensity import US_AVERAGE
+from repro.core.quantities import Carbon, Energy, Power
+from repro.energy.meter import integrate_power_hours
+from repro.energy.pue import Datacenter
+from repro.errors import SimulationError, UnitError
+from repro.fleet.cluster import Cluster
+from repro.fleet.scheduler import ClusterSchedule, schedule_fifo
+from repro.fleet.server import AI_INFERENCE_SKU, AI_TRAINING_SKU, ServerSKU
+from repro.workloads.traces import ExperimentStream, diurnal_demand
+
+
+@dataclass(frozen=True)
+class FleetResult:
+    """Hourly and aggregate outcome of one fleet simulation."""
+
+    hours: int
+    training_watts: np.ndarray
+    inference_watts: np.ndarray
+    it_energy: Energy
+    facility_energy: Energy
+    operational_carbon: Carbon
+    embodied_total: Carbon
+    training_schedule: ClusterSchedule
+
+    @property
+    def it_watts(self) -> np.ndarray:
+        return self.training_watts + self.inference_watts
+
+    @property
+    def mean_it_power(self) -> Power:
+        return Power(float(np.mean(self.it_watts)))
+
+    def capacity_split(self) -> dict[str, float]:
+        """Energy split between training-side and inference clusters."""
+        train = float(np.sum(self.training_watts))
+        infer = float(np.sum(self.inference_watts))
+        total = train + infer
+        if total == 0:
+            return {"training": 0.0, "inference": 0.0}
+        return {"training": train / total, "inference": infer / total}
+
+
+@dataclass
+class FleetSimulator:
+    """A two-tier AI fleet: training cluster + inference tier."""
+
+    training_gpus: int = 4096
+    inference_servers: int = 2000
+    training_sku: ServerSKU = AI_TRAINING_SKU
+    inference_sku: ServerSKU = AI_INFERENCE_SKU
+    datacenter: Datacenter = field(default_factory=Datacenter)
+    grid: GridTrace | None = None
+
+    def __post_init__(self) -> None:
+        if self.training_gpus <= 0 or self.inference_servers <= 0:
+            raise UnitError("fleet tiers must be non-empty")
+        if self.training_sku.n_accelerators == 0:
+            raise SimulationError("training SKU must carry accelerators")
+
+    def run(
+        self,
+        experiments: ExperimentStream,
+        hours: int = 168,
+        inference_demand: np.ndarray | None = None,
+        inference_peak_utilization: float = 0.75,
+        seed: int = 0,
+    ) -> FleetResult:
+        """Simulate ``hours`` hours of fleet operation."""
+        if hours <= 0:
+            raise UnitError("simulation window must be positive")
+        demand = (
+            np.asarray(inference_demand, dtype=float)
+            if inference_demand is not None
+            else diurnal_demand(hours, seed=seed)
+        )
+        if len(demand) < hours:
+            raise UnitError("inference demand trace shorter than the window")
+        demand = demand[:hours]
+
+        # -- training tier: schedule the experiment stream -----------------
+        schedule = schedule_fifo(experiments, self.training_gpus, horizon_hours=hours)
+        gpus_per_server = self.training_sku.n_accelerators
+        n_training_servers = int(np.ceil(self.training_gpus / gpus_per_server))
+        train_util = schedule.busy_gpus / self.training_gpus
+        training_watts = np.array(
+            [
+                self.training_sku.power_at(float(u)).watts * n_training_servers
+                for u in train_util
+            ]
+        )
+
+        # -- inference tier: demand-proportional utilization ---------------
+        inf_util = np.clip(demand * inference_peak_utilization, 0.0, 1.0)
+        inference_watts = np.array(
+            [
+                self.inference_sku.power_at(float(u)).watts * self.inference_servers
+                for u in inf_util
+            ]
+        )
+
+        it_energy = integrate_power_hours(training_watts + inference_watts)
+        facility_energy = self.datacenter.facility_energy(it_energy)
+
+        grid = self.grid or constant_grid_trace(US_AVERAGE, hours)
+        facility_kwh_per_hour = (
+            (training_watts + inference_watts) / 1e3 * self.datacenter.pue
+        )
+        operational = grid.emissions_for_profile(facility_kwh_per_hour)
+
+        embodied = (
+            self.training_sku.embodied * n_training_servers
+            + self.inference_sku.embodied * self.inference_servers
+        )
+
+        return FleetResult(
+            hours=hours,
+            training_watts=training_watts,
+            inference_watts=inference_watts,
+            it_energy=it_energy,
+            facility_energy=facility_energy,
+            operational_carbon=operational,
+            embodied_total=embodied,
+            training_schedule=schedule,
+        )
+
+
+def datacenter_electricity_series(
+    years: tuple[int, ...] = (2016, 2017, 2018, 2019, 2020),
+    final_mwh: float = 7.17e6,
+    annual_growth: float = 1.38,
+) -> dict[int, Energy]:
+    """Fleet electricity use by year, ending at the paper's 7.17M MWh (2020).
+
+    Figure 3(c): "the overall data center electricity use continues to
+    grow, demanding over 7.17 million MWh in 2020".  The back-projected
+    series uses the public year-over-year growth of the sustainability
+    reports (~38%/year over that period).
+    """
+    if annual_growth <= 0:
+        raise UnitError("growth rate must be positive")
+    if final_mwh <= 0:
+        raise UnitError("final consumption must be positive")
+    series: dict[int, Energy] = {}
+    last = years[-1]
+    for year in years:
+        mwh = final_mwh / annual_growth ** (last - year)
+        series[year] = Energy.from_mwh(mwh)
+    return series

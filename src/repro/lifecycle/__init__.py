@@ -1,0 +1,48 @@
+"""ML development life cycle: job models, cadence, data pipeline, end-to-end."""
+
+from repro.lifecycle.cadence import (
+    Cadence,
+    RECOMMENDATION_CADENCE,
+    RetrainingPolicy,
+    SEARCH_CADENCE,
+    TRANSLATION_CADENCE,
+)
+from repro.lifecycle.datapipeline import DataPipelineSpec
+from repro.lifecycle.ingestion_sim import (
+    DisaggregationDerived,
+    IngestionPipelineSpec,
+    PipelineSimResult,
+    derive_disaggregation_gain,
+    simulate_pipeline,
+    workers_to_saturate,
+)
+from repro.lifecycle.jobs import (
+    EXPERIMENTATION_JOBS,
+    JobDurationModel,
+    PRODUCTION_TRAINING_JOBS,
+    TRILLION_PARAM_THRESHOLD_GPU_DAYS,
+    expected_cluster_gpu_days,
+)
+from repro.lifecycle.pipeline import FleetCapacitySplit, PipelineSpec
+
+__all__ = [
+    "Cadence",
+    "DataPipelineSpec",
+    "DisaggregationDerived",
+    "EXPERIMENTATION_JOBS",
+    "IngestionPipelineSpec",
+    "PipelineSimResult",
+    "derive_disaggregation_gain",
+    "simulate_pipeline",
+    "workers_to_saturate",
+    "FleetCapacitySplit",
+    "JobDurationModel",
+    "PRODUCTION_TRAINING_JOBS",
+    "PipelineSpec",
+    "RECOMMENDATION_CADENCE",
+    "RetrainingPolicy",
+    "SEARCH_CADENCE",
+    "TRANSLATION_CADENCE",
+    "TRILLION_PARAM_THRESHOLD_GPU_DAYS",
+    "expected_cluster_gpu_days",
+]

@@ -1,0 +1,74 @@
+"""Retraining cadence: how training frequency multiplies footprint.
+
+Section II-A: "models supporting Facebook's Search service were trained at
+an hourly cadence whereas the Language Translation models were trained
+weekly."  Recommendation models additionally train *online*, continuously
+consuming resources while serving.
+
+The cadence model answers: given a per-run footprint and a cadence, what
+is the footprint per unit time — which is what makes "frequency of
+training ... matter", one of the paper's key messages.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from repro import units
+from repro.core.quantities import Carbon, Energy
+from repro.errors import UnitError
+
+
+class Cadence(Enum):
+    """Retraining frequency, expressed as runs per year."""
+
+    HOURLY = units.HOURS_PER_YEAR
+    DAILY = units.DAYS_PER_YEAR
+    WEEKLY = units.DAYS_PER_YEAR / 7.0
+    MONTHLY = units.MONTHS_PER_YEAR
+    QUARTERLY = 4.0
+    YEARLY = 1.0
+    ONCE = 0.0  # a one-off model: trained once, never refreshed
+
+    @property
+    def runs_per_year(self) -> float:
+        return float(self.value)
+
+
+@dataclass(frozen=True, slots=True)
+class RetrainingPolicy:
+    """Cadence plus an optional continuous online-training stream.
+
+    ``online_fraction_of_offline`` expresses online training's annual cost
+    as a fraction of one offline run's cost per retraining interval — the
+    paper reports online training as a first-class slice of the
+    recommendation models' footprint (Figure 4).
+    """
+
+    cadence: Cadence
+    online_fraction_of_offline: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.online_fraction_of_offline < 0:
+            raise UnitError("online fraction must be non-negative")
+
+    def annual_offline_runs(self) -> float:
+        return self.cadence.runs_per_year
+
+    def annual_carbon(self, per_run: Carbon) -> Carbon:
+        """Total annual training carbon (offline runs + online stream)."""
+        offline = per_run * self.cadence.runs_per_year
+        online = offline * self.online_fraction_of_offline
+        return offline + online
+
+    def annual_energy(self, per_run: Energy) -> Energy:
+        offline = per_run * self.cadence.runs_per_year
+        online = offline * self.online_fraction_of_offline
+        return offline + online
+
+
+#: Cadences called out in the paper.
+SEARCH_CADENCE = RetrainingPolicy(Cadence.HOURLY)
+TRANSLATION_CADENCE = RetrainingPolicy(Cadence.WEEKLY)
+RECOMMENDATION_CADENCE = RetrainingPolicy(Cadence.MONTHLY, online_fraction_of_offline=1.0)

@@ -1,0 +1,156 @@
+"""A mechanistic data-ingestion pipeline simulator (Appendix B, [44]).
+
+The anchored disaggregation number (+56% training throughput) comes from
+Zhao et al.'s production study; this simulator *derives* that class of
+result from pipeline mechanics:
+
+``storage read -> transform workers -> bounded batch queue -> trainer``
+
+Co-located deployments steal transform CPU from the trainer host, so the
+queue runs dry and accelerators stall; disaggregated deployments scale
+transform workers independently until the trainer is the bottleneck.
+The simulator is a discrete-time queue model (per-second steps) exposing
+throughput, stall fraction, and the worker count needed to saturate a
+trainer — the sizing question a capacity planner actually asks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import SimulationError, UnitError
+
+
+@dataclass(frozen=True, slots=True)
+class IngestionPipelineSpec:
+    """Rates of the three pipeline stages, in batches per second."""
+
+    storage_read_rate: float = 400.0
+    transform_rate_per_worker: float = 12.5
+    trainer_consume_rate: float = 100.0
+    queue_capacity_batches: int = 64
+    #: Transform workers a co-located deployment can host without
+    #: degrading the trainer (spare host cores).
+    colocated_worker_limit: int = 5
+
+    def __post_init__(self) -> None:
+        if min(
+            self.storage_read_rate,
+            self.transform_rate_per_worker,
+            self.trainer_consume_rate,
+        ) <= 0:
+            raise UnitError("stage rates must be positive")
+        if self.queue_capacity_batches <= 0 or self.colocated_worker_limit <= 0:
+            raise UnitError("queue and worker limits must be positive")
+
+
+@dataclass(frozen=True, slots=True)
+class PipelineSimResult:
+    """Steady-state behaviour of one pipeline configuration."""
+
+    n_workers: int
+    throughput_batches_per_s: float
+    trainer_stall_fraction: float
+    mean_queue_depth: float
+
+    @property
+    def trainer_utilization(self) -> float:
+        return 1.0 - self.trainer_stall_fraction
+
+
+def simulate_pipeline(
+    spec: IngestionPipelineSpec,
+    n_workers: int,
+    duration_s: int = 600,
+    jitter: float = 0.25,
+    seed: int = 0,
+) -> PipelineSimResult:
+    """Per-second queue simulation of the pipeline at ``n_workers``.
+
+    Transform output per second is noisy (lognormal ``jitter``); the
+    trainer consumes from the bounded queue and stalls when it is empty.
+    """
+    if n_workers <= 0 or duration_s <= 0:
+        raise UnitError("workers and duration must be positive")
+    if jitter < 0:
+        raise UnitError("jitter must be non-negative")
+    rng = np.random.default_rng(seed)
+
+    supply_rate = min(
+        spec.storage_read_rate, n_workers * spec.transform_rate_per_worker
+    )
+    queue = 0.0
+    consumed = 0.0
+    stalled_seconds = 0.0
+    depth_accum = 0.0
+    for _ in range(duration_s):
+        produced = supply_rate * float(rng.lognormal(0.0, jitter)) if jitter else supply_rate
+        # Fresh batches flow straight through; only the *surplus* is
+        # buffered (and capped) — the queue bounds backlog, not flow.
+        available = queue + produced
+        take = min(available, spec.trainer_consume_rate)
+        if take < spec.trainer_consume_rate - 1e-9:
+            stalled_seconds += 1.0 - take / spec.trainer_consume_rate
+        queue = min(spec.queue_capacity_batches, available - take)
+        consumed += take
+        depth_accum += queue
+    return PipelineSimResult(
+        n_workers=n_workers,
+        throughput_batches_per_s=consumed / duration_s,
+        trainer_stall_fraction=stalled_seconds / duration_s,
+        mean_queue_depth=depth_accum / duration_s,
+    )
+
+
+def workers_to_saturate(
+    spec: IngestionPipelineSpec,
+    target_utilization: float = 0.99,
+    max_workers: int = 64,
+    seed: int = 0,
+) -> int:
+    """Smallest worker count keeping the trainer above ``target_utilization``."""
+    if not (0 < target_utilization <= 1):
+        raise UnitError("target utilization must be in (0, 1]")
+    for n in range(1, max_workers + 1):
+        result = simulate_pipeline(spec, n, seed=seed)
+        if result.trainer_utilization >= target_utilization:
+            return n
+    raise SimulationError(
+        f"{max_workers} workers cannot reach {target_utilization:.0%} "
+        "trainer utilization; raise storage or transform rates"
+    )
+
+
+@dataclass(frozen=True, slots=True)
+class DisaggregationDerived:
+    """Co-located vs disaggregated throughput, derived from the queues."""
+
+    colocated: PipelineSimResult
+    disaggregated: PipelineSimResult
+
+    @property
+    def throughput_gain(self) -> float:
+        return (
+            self.disaggregated.throughput_batches_per_s
+            / self.colocated.throughput_batches_per_s
+            - 1.0
+        )
+
+
+def derive_disaggregation_gain(
+    spec: IngestionPipelineSpec | None = None, seed: int = 0
+) -> DisaggregationDerived:
+    """Run both deployments of the same pipeline.
+
+    Co-located: capped at the host's spare cores (under-provisioned
+    transforms starve the trainer).  Disaggregated: workers scaled until
+    the trainer saturates.  With the default spec the derived gain lands
+    near the paper's +56%.
+    """
+    spec = spec or IngestionPipelineSpec()
+    colocated = simulate_pipeline(spec, spec.colocated_worker_limit, seed=seed)
+    n_needed = workers_to_saturate(spec, seed=seed)
+    disaggregated = simulate_pipeline(spec, n_needed, seed=seed)
+    return DisaggregationDerived(colocated=colocated, disaggregated=disaggregated)

@@ -1,0 +1,140 @@
+"""End-to-end ML pipeline footprint: Data -> Experimentation/Training -> Inference.
+
+Combines the data pipeline, job duration models, retraining cadence, and
+serving demand of one ML task into per-phase energy over an analysis
+window, producing the splits of Figure 3:
+
+* (a) fleet power capacity devoted to Experimentation : Training :
+  Inference ≈ 10 : 20 : 70;
+* (b) RM1 end-to-end energy ≈ 31 : 29 : 40 over Data : Exp/Train :
+  Inference.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro import units
+from repro.core.footprint import Phase
+from repro.core.quantities import Energy, Power
+from repro.energy.devices import DeviceSpec, V100
+from repro.energy.power_model import PowerModel
+from repro.errors import UnitError
+from repro.lifecycle.cadence import RetrainingPolicy
+from repro.lifecycle.datapipeline import DataPipelineSpec
+
+
+@dataclass(frozen=True, slots=True)
+class PipelineSpec:
+    """One ML task's end-to-end pipeline sizing.
+
+    ``experimentation_gpu_hours_per_year`` and
+    ``training_gpu_hours_per_run`` describe the research sweep and one
+    production training run; inference is a continuously provisioned
+    serving tier described by its average power.
+    """
+
+    name: str
+    data: DataPipelineSpec
+    experimentation_gpu_hours_per_year: float
+    training_gpu_hours_per_run: float
+    retraining: RetrainingPolicy
+    inference_devices: float
+    device: DeviceSpec = V100
+    training_utilization: float = 0.60
+    experimentation_utilization: float = 0.40
+    inference_utilization: float = 0.55
+    host_overhead_watts: float = 75.0
+
+    def __post_init__(self) -> None:
+        if self.experimentation_gpu_hours_per_year < 0:
+            raise UnitError("experimentation hours must be non-negative")
+        if self.training_gpu_hours_per_run < 0:
+            raise UnitError("training hours must be non-negative")
+        if self.inference_devices < 0:
+            raise UnitError("inference device count must be non-negative")
+
+    def _device_watts(self, utilization: float) -> float:
+        model = PowerModel(self.device)
+        return model.power_at(utilization).watts + self.host_overhead_watts
+
+    def phase_energy_over_year(self) -> dict[Phase, Energy]:
+        """IT energy per phase over one year of operating this task."""
+        hours_per_year = units.HOURS_PER_YEAR
+
+        data_energy = self.data.energy_over_hours(hours_per_year)
+
+        exp_energy = Energy(
+            self._device_watts(self.experimentation_utilization)
+            * self.experimentation_gpu_hours_per_year
+            / 1e3
+        )
+
+        annual_training_hours = (
+            self.training_gpu_hours_per_run * self.retraining.annual_offline_runs()
+        )
+        offline_energy = Energy(
+            self._device_watts(self.training_utilization) * annual_training_hours / 1e3
+        )
+        online_energy = offline_energy * self.retraining.online_fraction_of_offline
+
+        inference_energy = Energy(
+            self._device_watts(self.inference_utilization)
+            * self.inference_devices
+            * hours_per_year
+            / 1e3
+        )
+
+        return {
+            Phase.DATA: data_energy,
+            Phase.EXPERIMENTATION: exp_energy,
+            Phase.OFFLINE_TRAINING: offline_energy,
+            Phase.ONLINE_TRAINING: online_energy,
+            Phase.INFERENCE: inference_energy,
+        }
+
+    def energy_split(self) -> dict[str, float]:
+        """The Figure-3b three-way split: Data / Exp+Training / Inference."""
+        per_phase = self.phase_energy_over_year()
+        data = per_phase[Phase.DATA].kwh
+        training = (
+            per_phase[Phase.EXPERIMENTATION].kwh
+            + per_phase[Phase.OFFLINE_TRAINING].kwh
+            + per_phase[Phase.ONLINE_TRAINING].kwh
+        )
+        inference = per_phase[Phase.INFERENCE].kwh
+        total = data + training + inference
+        if total == 0:
+            return {"data": 0.0, "experimentation/training": 0.0, "inference": 0.0}
+        return {
+            "data": data / total,
+            "experimentation/training": training / total,
+            "inference": inference / total,
+        }
+
+
+@dataclass(frozen=True, slots=True)
+class FleetCapacitySplit:
+    """Fleet AI power capacity devoted to each phase (Figure 3a).
+
+    The paper's breakdown is 10:20:70 for Experimentation : Training :
+    Inference.
+    """
+
+    experimentation: float = 0.10
+    training: float = 0.20
+    inference: float = 0.70
+
+    def __post_init__(self) -> None:
+        total = self.experimentation + self.training + self.inference
+        if abs(total - 1.0) > 1e-9:
+            raise UnitError(f"capacity split must sum to 1, got {total}")
+        if min(self.experimentation, self.training, self.inference) < 0:
+            raise UnitError("capacity shares must be non-negative")
+
+    def allocate(self, total_ai_power: Power) -> dict[str, Power]:
+        return {
+            "experimentation": total_ai_power * self.experimentation,
+            "training": total_ai_power * self.training,
+            "inference": total_ai_power * self.inference,
+        }

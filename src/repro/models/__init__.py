@@ -1,0 +1,89 @@
+"""Model cost models: FLOPs, DLRM, quantization, compression, scaling laws."""
+
+from repro.models.compression import (
+    CompressionResult,
+    dhe,
+    embodied_operational_tradeoff,
+    tt_rec,
+    uncompressed,
+)
+from repro.models.dlrm import DLRMSpec, EmbeddingTableSpec, make_dlrm
+from repro.models.moe import (
+    SparseModelConfig,
+    SparseVsDenseResult,
+    SWITCH_LIKE,
+    TrainingSystemModel,
+    compare_sparse_vs_dense,
+    compare_vs_quality_matched_dense,
+    dense_equivalent,
+)
+from repro.models.flops import (
+    TRANSFORMER_BIG,
+    TransformerConfig,
+    XLMR_LM,
+    device_hours_for_flops,
+    mlp_forward_flops,
+    mlp_params,
+)
+from repro.models.sharding import (
+    ShardingPlan,
+    ShardingStudyRow,
+    alltoall_bytes_per_step,
+    shard_tables,
+    sharding_study,
+)
+from repro.models.quantization import (
+    HALF_PRECISION_ENERGY_GAIN,
+    QuantizationImpact,
+    QuantizationScheme,
+    RM2_SCHEME,
+    apply_quantization,
+    latency_gain_on_small_memory_device,
+)
+from repro.models.scaling_laws import (
+    BAIDU_AUC_LAW,
+    GPT3_BLEU_LAW,
+    LogLinearQuality,
+    RecommendationScalingLaw,
+    pareto_front,
+)
+
+__all__ = [
+    "BAIDU_AUC_LAW",
+    "CompressionResult",
+    "DLRMSpec",
+    "EmbeddingTableSpec",
+    "GPT3_BLEU_LAW",
+    "HALF_PRECISION_ENERGY_GAIN",
+    "LogLinearQuality",
+    "QuantizationImpact",
+    "QuantizationScheme",
+    "RM2_SCHEME",
+    "RecommendationScalingLaw",
+    "ShardingPlan",
+    "ShardingStudyRow",
+    "alltoall_bytes_per_step",
+    "shard_tables",
+    "sharding_study",
+    "SWITCH_LIKE",
+    "SparseModelConfig",
+    "SparseVsDenseResult",
+    "TRANSFORMER_BIG",
+    "TrainingSystemModel",
+    "compare_sparse_vs_dense",
+    "compare_vs_quality_matched_dense",
+    "dense_equivalent",
+    "TransformerConfig",
+    "XLMR_LM",
+    "apply_quantization",
+    "device_hours_for_flops",
+    "dhe",
+    "embodied_operational_tradeoff",
+    "latency_gain_on_small_memory_device",
+    "make_dlrm",
+    "mlp_forward_flops",
+    "mlp_params",
+    "pareto_front",
+    "tt_rec",
+    "uncompressed",
+]

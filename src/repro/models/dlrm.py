@@ -1,0 +1,176 @@
+"""Deep learning recommendation model (DLRM) cost model.
+
+Section III-B: an RM has two sub-nets — a compute-intensive dense MLP
+stack and a memory-intensive sparse embedding stack.  The embedding
+tables "can easily contribute to over 95% of the total model size" and
+dominate inference time for important use cases.
+
+This model captures exactly the quantities the paper's RM analysis needs:
+parameter counts and bytes by sub-net, per-sample FLOPs, per-sample
+embedding bytes read (memory bandwidth demand), and inference latency on
+a device with limited on-chip memory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.errors import UnitError
+from repro.models.flops import mlp_forward_flops, mlp_params
+
+
+@dataclass(frozen=True, slots=True)
+class EmbeddingTableSpec:
+    """One sparse-feature embedding table."""
+
+    rows: int
+    dim: int
+    lookups_per_sample: int = 1
+    bytes_per_element: float = 4.0  # fp32 by default
+
+    def __post_init__(self) -> None:
+        if min(self.rows, self.dim, self.lookups_per_sample) <= 0:
+            raise UnitError("table dimensions and lookups must be positive")
+        if self.bytes_per_element <= 0:
+            raise UnitError("bytes per element must be positive")
+
+    @property
+    def n_params(self) -> int:
+        return self.rows * self.dim
+
+    @property
+    def size_bytes(self) -> float:
+        return self.n_params * self.bytes_per_element
+
+    @property
+    def bytes_read_per_sample(self) -> float:
+        return self.lookups_per_sample * self.dim * self.bytes_per_element
+
+
+@dataclass(frozen=True, slots=True)
+class DLRMSpec:
+    """A recommendation model: embedding tables + bottom/top MLPs."""
+
+    name: str
+    tables: tuple[EmbeddingTableSpec, ...]
+    bottom_mlp: tuple[int, ...]
+    top_mlp: tuple[int, ...]
+    mlp_bytes_per_param: float = 4.0
+
+    def __post_init__(self) -> None:
+        if not self.tables:
+            raise UnitError("a DLRM needs at least one embedding table")
+        if self.mlp_bytes_per_param <= 0:
+            raise UnitError("MLP bytes per parameter must be positive")
+
+    # -- size --------------------------------------------------------------
+    @property
+    def embedding_params(self) -> int:
+        return sum(t.n_params for t in self.tables)
+
+    @property
+    def mlp_params(self) -> int:
+        return mlp_params(self.bottom_mlp) + mlp_params(self.top_mlp)
+
+    @property
+    def n_params(self) -> int:
+        return self.embedding_params + self.mlp_params
+
+    @property
+    def embedding_bytes(self) -> float:
+        return sum(t.size_bytes for t in self.tables)
+
+    @property
+    def mlp_bytes(self) -> float:
+        return self.mlp_params * self.mlp_bytes_per_param
+
+    @property
+    def size_bytes(self) -> float:
+        return self.embedding_bytes + self.mlp_bytes
+
+    @property
+    def embedding_size_share(self) -> float:
+        """Fraction of total model bytes held in embedding tables (>95%
+        for production RMs, per the paper)."""
+        return self.embedding_bytes / self.size_bytes
+
+    # -- per-sample cost ----------------------------------------------------
+    @property
+    def flops_per_sample(self) -> float:
+        return mlp_forward_flops(self.bottom_mlp) + mlp_forward_flops(self.top_mlp)
+
+    @property
+    def embedding_bytes_per_sample(self) -> float:
+        return sum(t.bytes_read_per_sample for t in self.tables)
+
+    def inference_time_s(
+        self,
+        compute_flops_per_s: float,
+        memory_bytes_per_s: float,
+        batch_size: int = 1,
+    ) -> float:
+        """Roofline-style per-batch latency: max of compute and memory time.
+
+        Embedding lookups are bandwidth-bound; MLPs are compute-bound.  The
+        slower of the two paths determines latency — for production RMs it
+        is the embedding path, which is why quantization's bandwidth
+        reduction translates directly to latency (Section III-B).
+        """
+        if compute_flops_per_s <= 0 or memory_bytes_per_s <= 0:
+            raise UnitError("device throughput values must be positive")
+        if batch_size <= 0:
+            raise UnitError("batch size must be positive")
+        compute_time = batch_size * self.flops_per_sample / compute_flops_per_s
+        memory_time = batch_size * self.embedding_bytes_per_sample / memory_bytes_per_s
+        return max(compute_time, memory_time)
+
+    def fits_in_memory(self, capacity_bytes: float) -> bool:
+        """Whether the full model fits on a device with this capacity."""
+        if capacity_bytes <= 0:
+            raise UnitError("capacity must be positive")
+        return self.size_bytes <= capacity_bytes
+
+    def with_tables(self, tables: tuple[EmbeddingTableSpec, ...]) -> "DLRMSpec":
+        return replace(self, tables=tables)
+
+    def scaled_embeddings(self, row_factor: float = 1.0, dim_factor: float = 1.0) -> "DLRMSpec":
+        """Scale embedding cardinality (rows) and/or dimension of all tables."""
+        if row_factor <= 0 or dim_factor <= 0:
+            raise UnitError("scale factors must be positive")
+        new_tables = tuple(
+            EmbeddingTableSpec(
+                rows=max(1, round(t.rows * row_factor)),
+                dim=max(1, round(t.dim * dim_factor)),
+                lookups_per_sample=t.lookups_per_sample,
+                bytes_per_element=t.bytes_per_element,
+            )
+            for t in self.tables
+        )
+        return self.with_tables(new_tables)
+
+
+def make_dlrm(
+    name: str,
+    n_tables: int = 50,
+    rows_per_table: int = 5_000_000,
+    dim: int = 64,
+    lookups_per_sample: int = 40,
+    mlp_width: int = 512,
+) -> DLRMSpec:
+    """Construct a production-shaped DLRM with uniform tables.
+
+    Defaults give a model whose embedding share of bytes is >95%, matching
+    the paper's characterization.
+    """
+    if n_tables <= 0:
+        raise UnitError("table count must be positive")
+    per_table_lookups = max(1, lookups_per_sample // n_tables)
+    tables = tuple(
+        EmbeddingTableSpec(rows=rows_per_table, dim=dim, lookups_per_sample=per_table_lookups)
+        for _ in range(n_tables)
+    )
+    dense_in = 13  # classic DLRM dense-feature count
+    bottom = (dense_in, mlp_width, mlp_width // 2, dim)
+    # Top MLP consumes dim + pairwise interactions (approximated as 2*dim).
+    top = (3 * dim, mlp_width, mlp_width // 2, 1)
+    return DLRMSpec(name=name, tables=tables, bottom_mlp=bottom, top_mlp=top)

@@ -1,0 +1,136 @@
+"""FLOP and parameter-count estimators for the model families the paper
+analyzes: Transformers (LM) and deep learning recommendation models (RM).
+
+The estimators follow the standard accounting used by Patterson et al.
+(2021) and the scaling-law literature:
+
+* a dense Transformer forward pass costs ~2 FLOPs per parameter per
+  token; training (forward + backward) ~6 FLOPs per parameter per token;
+* MLP layers cost 2 * in * out FLOPs per sample (multiply-accumulate
+  counted as 2).
+
+These feed the energy models: device-hours = FLOPs / (peak * efficiency).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import UnitError
+
+#: FLOPs per parameter per token, dense forward pass.
+FORWARD_FLOPS_PER_PARAM_TOKEN = 2.0
+#: FLOPs per parameter per token, forward + backward (training step).
+TRAIN_FLOPS_PER_PARAM_TOKEN = 6.0
+
+
+@dataclass(frozen=True, slots=True)
+class TransformerConfig:
+    """Architectural description of a dense Transformer."""
+
+    n_layers: int
+    d_model: int
+    n_heads: int
+    d_ff: int
+    vocab_size: int = 250_000
+    tied_embeddings: bool = True
+
+    def __post_init__(self) -> None:
+        if min(self.n_layers, self.d_model, self.n_heads, self.d_ff, self.vocab_size) <= 0:
+            raise UnitError("all transformer dimensions must be positive")
+        if self.d_model % self.n_heads != 0:
+            raise UnitError(
+                f"d_model ({self.d_model}) must be divisible by n_heads ({self.n_heads})"
+            )
+
+    @property
+    def attention_params_per_layer(self) -> int:
+        # Q, K, V, and output projections.
+        return 4 * self.d_model * self.d_model
+
+    @property
+    def ffn_params_per_layer(self) -> int:
+        return 2 * self.d_model * self.d_ff
+
+    @property
+    def embedding_params(self) -> int:
+        factor = 1 if self.tied_embeddings else 2
+        return factor * self.vocab_size * self.d_model
+
+    @property
+    def n_params(self) -> int:
+        per_layer = self.attention_params_per_layer + self.ffn_params_per_layer
+        return self.n_layers * per_layer + self.embedding_params
+
+    def forward_flops_per_token(self, seq_len: int = 512) -> float:
+        """FLOPs to process one token (attention term grows with seq_len)."""
+        if seq_len <= 0:
+            raise UnitError(f"sequence length must be positive, got {seq_len}")
+        dense = FORWARD_FLOPS_PER_PARAM_TOKEN * self.n_params
+        # Attention score/value matmuls: 2 * seq_len * d_model per token,
+        # for the QK^T and attn*V products, per layer.
+        attention = 2 * 2 * seq_len * self.d_model * self.n_layers
+        return dense + attention
+
+    def training_flops(self, n_tokens: float, seq_len: int = 512) -> float:
+        """Total FLOPs to train on ``n_tokens`` tokens."""
+        if n_tokens < 0:
+            raise UnitError("token count must be non-negative")
+        return 3.0 * self.forward_flops_per_token(seq_len) * n_tokens
+
+
+#: Transformer Big (Vaswani et al. 2017), the Figure-11 baseline workload.
+TRANSFORMER_BIG = TransformerConfig(
+    n_layers=6 * 2,  # encoder + decoder stacks
+    d_model=1024,
+    n_heads=16,
+    d_ff=4096,
+    vocab_size=37_000,
+)
+
+#: An XLM-R-like cross-lingual LM (the paper's LM task).
+XLMR_LM = TransformerConfig(
+    n_layers=24,
+    d_model=1024,
+    n_heads=16,
+    d_ff=4096,
+    vocab_size=250_000,
+)
+
+
+def mlp_forward_flops(layer_sizes: tuple[int, ...]) -> float:
+    """FLOPs of one forward pass through a dense MLP, per sample."""
+    if len(layer_sizes) < 2:
+        raise UnitError("an MLP needs at least input and output sizes")
+    if min(layer_sizes) <= 0:
+        raise UnitError("layer sizes must be positive")
+    return float(
+        sum(2 * a * b for a, b in zip(layer_sizes[:-1], layer_sizes[1:]))
+    )
+
+
+def mlp_params(layer_sizes: tuple[int, ...]) -> int:
+    """Parameter count (weights + biases) of a dense MLP."""
+    if len(layer_sizes) < 2:
+        raise UnitError("an MLP needs at least input and output sizes")
+    return sum(a * b + b for a, b in zip(layer_sizes[:-1], layer_sizes[1:]))
+
+
+def device_hours_for_flops(
+    total_flops: float, peak_tflops: float, efficiency: float = 0.30
+) -> float:
+    """Device-hours to execute ``total_flops`` at a utilization efficiency.
+
+    ``efficiency`` is achieved FLOPs / peak FLOPs (30% is typical for
+    well-tuned large-model training; the paper's Figure 10 shows research
+    workloads often sit at 30-50%).
+    """
+    if total_flops < 0:
+        raise UnitError("FLOP count must be non-negative")
+    if peak_tflops <= 0:
+        raise UnitError("peak throughput must be positive")
+    if not (0 < efficiency <= 1):
+        raise UnitError(f"efficiency must be in (0, 1], got {efficiency}")
+    achieved_flops_per_s = peak_tflops * 1e12 * efficiency
+    seconds = total_flops / achieved_flops_per_s
+    return seconds / 3600.0

@@ -1,0 +1,218 @@
+"""Sparsely-activated (mixture-of-experts) model trade-offs.
+
+Section I and III-D: "While training large, sparsely-activated neural
+networks improves model scalability, achieving higher accuracy at lower
+operational energy footprint, it can incur higher embodied carbon
+footprint from the increase in the system resource requirement."
+
+The Figure-4 data shows it concretely: Switch Transformer (1.5T params,
+sparse) emitted far less training carbon than GPT-3 (175B, dense).  This
+module quantifies both sides of the trade:
+
+* **operational** — per-token compute touches only the activated experts,
+  so training energy scales with *activated* parameters;
+* **embodied** — all experts must be resident in accelerator memory, so
+  the system (and its manufacturing carbon) scales with *total*
+  parameters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.carbon.embodied import GPU_SERVER_EMBODIED
+from repro.carbon.intensity import CarbonIntensity, US_AVERAGE
+from repro.core.quantities import Carbon, Energy
+from repro.errors import UnitError
+from repro.models.flops import TRAIN_FLOPS_PER_PARAM_TOKEN
+
+
+@dataclass(frozen=True, slots=True)
+class SparseModelConfig:
+    """A mixture-of-experts model described at the parameter level."""
+
+    name: str
+    backbone_params: float  # dense (always-active) parameters
+    n_experts: int
+    params_per_expert: float
+    experts_per_token: int = 1
+
+    def __post_init__(self) -> None:
+        if self.backbone_params < 0 or self.params_per_expert <= 0:
+            raise UnitError("parameter counts must be positive")
+        if self.n_experts <= 0:
+            raise UnitError("expert count must be positive")
+        if not (1 <= self.experts_per_token <= self.n_experts):
+            raise UnitError("experts_per_token must be in [1, n_experts]")
+
+    @property
+    def total_params(self) -> float:
+        return self.backbone_params + self.n_experts * self.params_per_expert
+
+    @property
+    def activated_params(self) -> float:
+        return self.backbone_params + self.experts_per_token * self.params_per_expert
+
+    @property
+    def sparsity_gain(self) -> float:
+        """Total / activated parameters: the compute saving factor."""
+        return self.total_params / self.activated_params
+
+
+def dense_equivalent(config: SparseModelConfig) -> SparseModelConfig:
+    """The dense model with the same total parameter count."""
+    return SparseModelConfig(
+        name=f"{config.name}-dense-equivalent",
+        backbone_params=config.total_params,
+        n_experts=1,
+        params_per_expert=1e-9,
+        experts_per_token=1,
+    )
+
+
+@dataclass(frozen=True, slots=True)
+class TrainingSystemModel:
+    """Hardware sizing and energy for training one model configuration."""
+
+    device_memory_bytes: float = 32e9
+    bytes_per_param: float = 16.0  # weights + optimizer state (Adam, fp32)
+    devices_per_server: int = 8
+    joules_per_flop: float = 1.5e-10  # achieved, system level
+    server_embodied: Carbon = GPU_SERVER_EMBODIED
+    server_lifetime_hours: float = 4.0 * 8766.0
+    training_wall_hours: float = 30.0 * 24.0
+
+    def __post_init__(self) -> None:
+        if self.device_memory_bytes <= 0 or self.bytes_per_param <= 0:
+            raise UnitError("memory parameters must be positive")
+        if self.joules_per_flop <= 0:
+            raise UnitError("energy per FLOP must be positive")
+        if self.training_wall_hours <= 0 or self.server_lifetime_hours <= 0:
+            raise UnitError("durations must be positive")
+
+    def devices_required(self, config: SparseModelConfig) -> int:
+        """Accelerators needed to hold the model + optimizer state."""
+        bytes_needed = config.total_params * self.bytes_per_param
+        return max(1, int(-(-bytes_needed // self.device_memory_bytes)))
+
+    def training_energy(self, config: SparseModelConfig, n_tokens: float) -> Energy:
+        """Compute energy for training on ``n_tokens`` tokens."""
+        if n_tokens < 0:
+            raise UnitError("token count must be non-negative")
+        flops = TRAIN_FLOPS_PER_PARAM_TOKEN * config.activated_params * n_tokens
+        return Energy.from_joules(flops * self.joules_per_flop)
+
+    def training_embodied(self, config: SparseModelConfig) -> Carbon:
+        """Embodied carbon of the servers occupied for the training run."""
+        devices = self.devices_required(config)
+        servers = -(-devices // self.devices_per_server)
+        share = self.training_wall_hours / self.server_lifetime_hours
+        return Carbon(self.server_embodied.kg * servers * share)
+
+
+@dataclass(frozen=True, slots=True)
+class SparseVsDenseResult:
+    """The trade the paper describes, quantified for one configuration."""
+
+    sparse_operational: Carbon
+    dense_operational: Carbon
+    sparse_embodied: Carbon
+    dense_embodied: Carbon
+
+    @property
+    def operational_saving(self) -> float:
+        if self.dense_operational.kg == 0:
+            return 0.0
+        return 1.0 - self.sparse_operational.kg / self.dense_operational.kg
+
+    @property
+    def embodied_ratio(self) -> float:
+        """Sparse embodied / dense embodied (== 1: same resident memory)."""
+        if self.dense_embodied.kg == 0:
+            return 0.0
+        return self.sparse_embodied.kg / self.dense_embodied.kg
+
+    @property
+    def sparse_total(self) -> Carbon:
+        return self.sparse_operational + self.sparse_embodied
+
+    @property
+    def dense_total(self) -> Carbon:
+        return self.dense_operational + self.dense_embodied
+
+
+def compare_sparse_vs_dense(
+    config: SparseModelConfig,
+    n_tokens: float = 3e11,
+    system: TrainingSystemModel | None = None,
+    intensity: CarbonIntensity = US_AVERAGE,
+    pue: float = 1.1,
+) -> SparseVsDenseResult:
+    """Sparse model vs a dense model of equal *total* capacity.
+
+    The dense equivalent activates every parameter per token (k times the
+    compute) while occupying the same memory footprint — matching the
+    Switch-vs-GPT-3 comparison direction of Figure 4.
+    """
+    if pue < 1.0:
+        raise UnitError("PUE must be >= 1")
+    system = system or TrainingSystemModel()
+    dense = dense_equivalent(config)
+
+    sparse_energy = system.training_energy(config, n_tokens) * pue
+    dense_energy = system.training_energy(dense, n_tokens) * pue
+    return SparseVsDenseResult(
+        sparse_operational=intensity.emissions(sparse_energy),
+        dense_operational=intensity.emissions(dense_energy),
+        sparse_embodied=system.training_embodied(config),
+        dense_embodied=system.training_embodied(dense),
+    )
+
+
+def compare_vs_quality_matched_dense(
+    config: SparseModelConfig,
+    n_tokens: float = 3e11,
+    quality_matched_params_factor: float = 5.0,
+    system: TrainingSystemModel | None = None,
+    intensity: CarbonIntensity = US_AVERAGE,
+    pue: float = 1.1,
+) -> SparseVsDenseResult:
+    """Sparse model vs the *smaller* dense model of equal quality.
+
+    This is the paper's embodied-side warning: a sparse model matches the
+    quality of a dense model with ``quality_matched_params_factor`` x its
+    *activated* parameters (published MoE results place this around
+    3-7x), so the dense alternative is far smaller than the sparse
+    model's total capacity.  The sparse model still wins operationally
+    per token, but must keep every expert resident — a much larger
+    (higher-embodied-carbon) system.
+    """
+    if quality_matched_params_factor <= 0:
+        raise UnitError("quality-match factor must be positive")
+    system = system or TrainingSystemModel()
+    dense = SparseModelConfig(
+        name=f"{config.name}-quality-matched-dense",
+        backbone_params=config.activated_params * quality_matched_params_factor,
+        n_experts=1,
+        params_per_expert=1e-9,
+        experts_per_token=1,
+    )
+    sparse_energy = system.training_energy(config, n_tokens) * pue
+    dense_energy = system.training_energy(dense, n_tokens) * pue
+    return SparseVsDenseResult(
+        sparse_operational=intensity.emissions(sparse_energy),
+        dense_operational=intensity.emissions(dense_energy),
+        sparse_embodied=system.training_embodied(config),
+        dense_embodied=system.training_embodied(dense),
+    )
+
+
+#: A Switch-Transformer-shaped configuration: ~1.5T total params, ~10B
+#: activated (backbone + one expert per token).
+SWITCH_LIKE = SparseModelConfig(
+    name="switch-like",
+    backbone_params=7e9,
+    n_experts=512,
+    params_per_expert=2.9e9,
+    experts_per_token=1,
+)

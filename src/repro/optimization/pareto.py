@@ -1,0 +1,128 @@
+"""Multi-objective optimization tooling (Section IV-B).
+
+"Multi-objective optimization explores the Pareto frontier of efficient
+model quality and system resource trade-offs ... energy and carbon
+footprint can be directly incorporated into the cost function."
+
+Provides candidate records with arbitrary named objectives, Pareto-front
+extraction, scalarization, hypervolume (2-D), and a knee-point selector —
+the pieces an energy-aware model-selection workflow needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import UnitError
+
+
+@dataclass(frozen=True)
+class Candidate:
+    """One design point: named objectives, all to be minimized.
+
+    Maximization objectives (accuracy) should be negated or converted to
+    error before constructing the candidate.
+    """
+
+    name: str
+    objectives: dict[str, float]
+
+    def vector(self, keys: tuple[str, ...]) -> np.ndarray:
+        try:
+            return np.array([self.objectives[k] for k in keys], dtype=float)
+        except KeyError as exc:
+            raise UnitError(f"candidate {self.name!r} lacks objective {exc}") from None
+
+
+def objective_matrix(candidates: list[Candidate], keys: tuple[str, ...]) -> np.ndarray:
+    """Stack candidates' objective vectors into an (n, k) matrix."""
+    if not candidates:
+        raise UnitError("need at least one candidate")
+    return np.vstack([c.vector(keys) for c in candidates])
+
+
+def pareto_mask(matrix: np.ndarray) -> np.ndarray:
+    """Boolean mask of non-dominated rows (all columns minimized)."""
+    pts = np.asarray(matrix, dtype=float)
+    if pts.ndim != 2:
+        raise UnitError("objective matrix must be 2-D")
+    n = len(pts)
+    mask = np.ones(n, dtype=bool)
+    for i in range(n):
+        dominates_i = np.all(pts <= pts[i], axis=1) & np.any(pts < pts[i], axis=1)
+        if np.any(dominates_i):
+            mask[i] = False
+    return mask
+
+
+def pareto_front(
+    candidates: list[Candidate], keys: tuple[str, ...]
+) -> list[Candidate]:
+    """Non-dominated candidates under the given minimized objectives."""
+    mask = pareto_mask(objective_matrix(candidates, keys))
+    return [c for c, keep in zip(candidates, mask) if keep]
+
+
+def scalarize(
+    candidates: list[Candidate], weights: dict[str, float]
+) -> Candidate:
+    """Best candidate under a weighted sum of normalized objectives.
+
+    Each objective is min-max normalized across candidates before
+    weighting, so weights express relative priorities, not units.
+    """
+    if not weights:
+        raise UnitError("need at least one weight")
+    keys = tuple(weights)
+    matrix = objective_matrix(candidates, keys)
+    lo = matrix.min(axis=0)
+    hi = matrix.max(axis=0)
+    span = np.where(hi > lo, hi - lo, 1.0)
+    normalized = (matrix - lo) / span
+    w = np.array([weights[k] for k in keys], dtype=float)
+    if np.any(w < 0):
+        raise UnitError("weights must be non-negative")
+    scores = normalized @ w
+    return candidates[int(np.argmin(scores))]
+
+
+def hypervolume_2d(front: np.ndarray, reference: tuple[float, float]) -> float:
+    """Hypervolume of a 2-D front against a reference (both minimized).
+
+    Standard sweep: sort by the first objective and accumulate rectangles
+    up to the reference point.  Points beyond the reference contribute
+    nothing.
+    """
+    pts = np.asarray(front, dtype=float)
+    if pts.ndim != 2 or pts.shape[1] != 2:
+        raise UnitError("front must be (n, 2)")
+    ref = np.asarray(reference, dtype=float)
+    pts = pts[np.all(pts <= ref, axis=1)]
+    if len(pts) == 0:
+        return 0.0
+    pts = pts[np.argsort(pts[:, 0])]
+    volume = 0.0
+    prev_y = ref[1]
+    for x, y in pts:
+        if y < prev_y:
+            volume += (ref[0] - x) * (prev_y - y)
+            prev_y = y
+    return float(volume)
+
+
+def knee_point(candidates: list[Candidate], keys: tuple[str, ...]) -> Candidate:
+    """The front candidate closest (normalized L2) to the ideal point.
+
+    A standard automatic pick when no explicit weights are given — the
+    "judicious balance" selection.
+    """
+    front = pareto_front(candidates, keys)
+    matrix = objective_matrix(front, keys)
+    lo = matrix.min(axis=0)
+    hi = matrix.max(axis=0)
+    span = np.where(hi > lo, hi - lo, 1.0)
+    normalized = (matrix - lo) / span
+    distances = np.linalg.norm(normalized, axis=1)
+    return front[int(np.argmin(distances))]

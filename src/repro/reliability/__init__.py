@@ -1,0 +1,45 @@
+"""Reliability: checkpointing, wear-out/SDC, pipeline disaggregation."""
+
+from repro.reliability.checkpoints import (
+    CheckpointPolicy,
+    TrainingRunOutcome,
+    partial_recovery_benefit,
+    simulate_training_run,
+    young_daly_interval,
+)
+from repro.reliability.disaggregation import (
+    DisaggregationImpact,
+    PAPER_PIPELINE,
+    PipelineThroughput,
+    disaggregation_impact,
+)
+from repro.reliability.faults import (
+    WearoutModel,
+    carbon_optimal_lifetime,
+    fleet_sdc_incidents,
+)
+from repro.reliability.sdc_injection import (
+    SDCInjectionConfig,
+    SDCRunResult,
+    sdc_study,
+    train_with_sdc,
+)
+
+__all__ = [
+    "CheckpointPolicy",
+    "DisaggregationImpact",
+    "PAPER_PIPELINE",
+    "PipelineThroughput",
+    "SDCInjectionConfig",
+    "SDCRunResult",
+    "TrainingRunOutcome",
+    "sdc_study",
+    "train_with_sdc",
+    "WearoutModel",
+    "carbon_optimal_lifetime",
+    "disaggregation_impact",
+    "fleet_sdc_incidents",
+    "partial_recovery_benefit",
+    "simulate_training_run",
+    "young_daly_interval",
+]

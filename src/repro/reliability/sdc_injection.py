@@ -1,0 +1,176 @@
+"""Silent-data-corruption injection into real model training (Appendix B).
+
+"Hardware ages ... increasingly more errors can surface over time and
+result in silent data corruption, leading to erroneous computation,
+model accuracy degradation, non-deterministic ML execution ...
+Alternatively, algorithmic fault tolerance can be built into deep
+learning programming frameworks."
+
+This module *actually injects* SDC-style faults into the library's
+BiasMF recommender training and measures the accuracy damage, then
+demonstrates the algorithmic mitigation the paper proposes:
+
+* **injection** — at a configurable rate, a random slice of the learned
+  parameters is corrupted the way a flipped high-order mantissa/exponent
+  bit corrupts a float: multiplied by a large factor or replaced with a
+  huge value;
+* **mitigation** — a norm-guard pass after each epoch detects parameter
+  rows whose magnitude is implausible (far beyond the running median
+  norm) and re-initializes them, emulating framework-level fault
+  tolerance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.dataeff.recommenders import BiasMF, EvalResult, evaluate
+from repro.dataeff.synthetic import InteractionDataset
+from repro.errors import UnitError
+
+
+@dataclass(frozen=True, slots=True)
+class SDCInjectionConfig:
+    """How faults are injected during training."""
+
+    faults_per_epoch: float = 2.0
+    corruption_scale: float = 1e4
+    cells_per_fault: int = 32
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.faults_per_epoch < 0:
+            raise UnitError("fault rate must be non-negative")
+        if self.corruption_scale <= 1:
+            raise UnitError("corruption scale must exceed 1")
+        if self.cells_per_fault <= 0:
+            raise UnitError("cells per fault must be positive")
+
+
+def _inject(matrix: np.ndarray, config: SDCInjectionConfig, rng: np.random.Generator) -> int:
+    """Corrupt random cells of ``matrix`` in place; returns cells hit."""
+    n_faults = rng.poisson(config.faults_per_epoch)
+    hit = 0
+    for _ in range(n_faults):
+        rows = rng.integers(0, matrix.shape[0], config.cells_per_fault)
+        cols = rng.integers(0, matrix.shape[1], config.cells_per_fault)
+        # A flipped exponent bit typically scales the value by a huge
+        # power of two; sign flips happen too.
+        factor = config.corruption_scale * rng.choice([-1.0, 1.0])
+        matrix[rows, cols] *= factor
+        hit += config.cells_per_fault
+    return hit
+
+
+def _norm_guard(matrix: np.ndarray, threshold_factor: float, rng: np.random.Generator) -> int:
+    """Re-initialize rows with implausible norms; returns rows repaired."""
+    norms = np.linalg.norm(matrix, axis=1)
+    median = float(np.median(norms[norms > 0])) if np.any(norms > 0) else 0.0
+    if median == 0.0:
+        return 0
+    bad = norms > threshold_factor * median
+    n_bad = int(np.sum(bad))
+    if n_bad:
+        scale = median / np.sqrt(matrix.shape[1])
+        matrix[bad] = rng.normal(0.0, scale, (n_bad, matrix.shape[1]))
+    return n_bad
+
+
+@dataclass(frozen=True, slots=True)
+class SDCRunResult:
+    """Accuracy outcome of one (possibly faulty, possibly guarded) run."""
+
+    label: str
+    ndcg: float
+    cells_corrupted: int
+    rows_repaired: int
+
+
+def train_with_sdc(
+    data: InteractionDataset,
+    config: SDCInjectionConfig | None = None,
+    guard: bool = False,
+    guard_threshold: float = 8.0,
+    n_epochs: int = 10,
+    seed: int = 0,
+) -> SDCRunResult:
+    """Train BiasMF with per-epoch SDC injection (and optional guard).
+
+    The training loop mirrors :class:`BiasMF.fit` epoch structure but
+    interleaves fault injection (and the mitigation pass) between epochs,
+    then evaluates on the standard held-out protocol.
+    """
+    if n_epochs <= 0:
+        raise UnitError("epochs must be positive")
+    if guard_threshold <= 1:
+        raise UnitError("guard threshold must exceed 1")
+    config = config or SDCInjectionConfig()
+    rng = np.random.default_rng(config.seed + 17)
+
+    train, test = data.leave_last_out()
+    model = BiasMF(n_epochs=1, seed=seed)
+    corrupted = 0
+    repaired = 0
+    for epoch in range(n_epochs):
+        # One epoch of real SGD; BiasMF.fit re-initializes, so drive the
+        # internals directly after the first epoch.
+        if epoch == 0:
+            model.fit(train)
+        else:
+            epoch_model = BiasMF(n_epochs=1, seed=seed + epoch)
+            epoch_model._U, epoch_model._V, epoch_model._bi = (
+                model._U,
+                model._V,
+                model._bi,
+            )
+            _continue_training(epoch_model, train, seed + epoch)
+            model = epoch_model
+        corrupted += _inject(model._U, config, rng)
+        corrupted += _inject(model._V, config, rng)
+        if guard:
+            repaired += _norm_guard(model._U, guard_threshold, rng)
+            repaired += _norm_guard(model._V, guard_threshold, rng)
+
+    result = evaluate(model, train, test, seed=seed)
+    label = "guarded" if guard else "unprotected"
+    if config.faults_per_epoch == 0:
+        label = "fault-free"
+    return SDCRunResult(
+        label=label,
+        ndcg=result.ndcg_at_k,
+        cells_corrupted=corrupted,
+        rows_repaired=repaired,
+    )
+
+
+def _continue_training(model: BiasMF, train: InteractionDataset, seed: int) -> None:
+    """Run one more SGD epoch on an already-initialized model."""
+    rng = np.random.default_rng(seed)
+    n = len(train)
+    order = rng.permutation(n)
+    batch = 512
+    for start in range(0, n, batch):
+        idx = order[start : start + batch]
+        users = train.users[idx]
+        pos = train.items[idx]
+        model._sgd_step(model._U, model._V, model._bi, users, pos, 1.0)
+        for _ in range(model.n_negatives):
+            neg = rng.integers(0, train.n_items, len(idx))
+            model._sgd_step(model._U, model._V, model._bi, users, neg, 0.0)
+
+
+def sdc_study(
+    data: InteractionDataset,
+    fault_rates: tuple[float, ...] = (0.0, 1.0, 4.0),
+    seed: int = 0,
+) -> list[SDCRunResult]:
+    """Fault-free vs faulty vs guarded runs across injection rates."""
+    results = []
+    for rate in fault_rates:
+        config = SDCInjectionConfig(faults_per_epoch=rate, seed=seed)
+        results.append(train_with_sdc(data, config, guard=False, seed=seed))
+        if rate > 0:
+            results.append(train_with_sdc(data, config, guard=True, seed=seed))
+    return results

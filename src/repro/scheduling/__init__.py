@@ -1,0 +1,52 @@
+"""Carbon-aware scheduling: shifting, storage, 24/7 CFE, provisioning."""
+
+from repro.scheduling.carbon_aware import (
+    ScheduleOutcome,
+    carbon_saving,
+    schedule_carbon_aware,
+    schedule_immediate,
+)
+from repro.scheduling.cfe import (
+    annual_matching_score,
+    cfe_gap,
+    cfe_score,
+    solar_procurement,
+)
+from repro.scheduling.geo import (
+    GeoScheduleOutcome,
+    Region,
+    default_regions,
+    schedule_geo,
+)
+from repro.scheduling.jobs import DeferrableJob, synthesize_jobs
+from repro.scheduling.provisioning import (
+    ProvisioningPoint,
+    baseline_outcome,
+    best_factor,
+    provisioning_sweep,
+)
+from repro.scheduling.storage import Battery, StorageOutcome, run_arbitrage
+
+__all__ = [
+    "Battery",
+    "DeferrableJob",
+    "GeoScheduleOutcome",
+    "ProvisioningPoint",
+    "Region",
+    "default_regions",
+    "schedule_geo",
+    "ScheduleOutcome",
+    "StorageOutcome",
+    "annual_matching_score",
+    "baseline_outcome",
+    "best_factor",
+    "carbon_saving",
+    "cfe_gap",
+    "cfe_score",
+    "provisioning_sweep",
+    "run_arbitrage",
+    "schedule_carbon_aware",
+    "schedule_immediate",
+    "solar_procurement",
+    "synthesize_jobs",
+]

@@ -1,0 +1,148 @@
+"""Carbon-aware workload shifting (Section IV-C).
+
+"Elastic carbon-aware workload scheduling techniques can be used in and
+across datacenters to predict and exploit the intermittent energy
+generation patterns."
+
+Schedulers place deferrable jobs on an hourly grid trace under a shared
+power-capacity constraint:
+
+* :func:`schedule_immediate` — the baseline: start at submit (queue on
+  capacity only);
+* :func:`schedule_carbon_aware` — greedy: within each job's
+  [submit, deadline] window, pick the feasible contiguous start hour with
+  the lowest total grid carbon.
+
+Both report emissions through the same accounting, so the saving is a
+direct like-for-like comparison.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.carbon.grid import GridTrace
+from repro.core.quantities import Carbon
+from repro.errors import SchedulingError, UnitError
+from repro.scheduling.jobs import DeferrableJob
+
+
+@dataclass(frozen=True)
+class ScheduleOutcome:
+    """Placement and emissions of one scheduling run."""
+
+    strategy: str
+    start_hours: dict[int, int]
+    total_carbon: Carbon
+    power_profile_kw: np.ndarray
+    deadline_misses: int = 0
+
+    @property
+    def peak_power_kw(self) -> float:
+        return float(np.max(self.power_profile_kw)) if len(self.power_profile_kw) else 0.0
+
+
+def _job_carbon(job: DeferrableJob, start: int, grid: GridTrace) -> float:
+    idx = (start + np.arange(job.duration_hours)) % len(grid)
+    return float(np.sum(grid.intensity_kg_per_kwh[idx]) * job.power_kw)
+
+
+def _fits(
+    profile: np.ndarray, job: DeferrableJob, start: int, capacity_kw: float
+) -> bool:
+    window = profile[start : start + job.duration_hours]
+    return bool(np.all(window + job.power_kw <= capacity_kw + 1e-9))
+
+
+def schedule_immediate(
+    jobs: list[DeferrableJob],
+    grid: GridTrace,
+    horizon_hours: int,
+    capacity_kw: float = float("inf"),
+) -> ScheduleOutcome:
+    """Baseline: earliest feasible start at or after submission."""
+    return _greedy(jobs, grid, horizon_hours, capacity_kw, carbon_aware=False)
+
+
+def schedule_carbon_aware(
+    jobs: list[DeferrableJob],
+    grid: GridTrace,
+    horizon_hours: int,
+    capacity_kw: float = float("inf"),
+) -> ScheduleOutcome:
+    """Greedy carbon-aware: lowest-carbon feasible window per job."""
+    return _greedy(jobs, grid, horizon_hours, capacity_kw, carbon_aware=True)
+
+
+def _greedy(
+    jobs: list[DeferrableJob],
+    grid: GridTrace,
+    horizon_hours: int,
+    capacity_kw: float,
+    carbon_aware: bool,
+) -> ScheduleOutcome:
+    if horizon_hours <= 0:
+        raise UnitError("horizon must be positive")
+    if capacity_kw <= 0:
+        raise UnitError("capacity must be positive")
+    for job in jobs:
+        if job.deadline_hour > horizon_hours:
+            raise SchedulingError(
+                f"job {job.job_id} deadline {job.deadline_hour} beyond horizon"
+            )
+        if job.power_kw > capacity_kw:
+            raise SchedulingError(
+                f"job {job.job_id} power {job.power_kw} kW exceeds capacity"
+            )
+
+    profile = np.zeros(horizon_hours)
+    starts: dict[int, int] = {}
+    total_kg = 0.0
+    misses = 0
+
+    # Jobs with the least slack are placed first so tight jobs are not
+    # crowded out by flexible ones.
+    ordered = sorted(jobs, key=lambda j: (j.slack_hours, j.submit_hour))
+    for job in ordered:
+        candidates = range(job.submit_hour, job.latest_start + 1)
+        feasible = [s for s in candidates if _fits(profile, job, s, capacity_kw)]
+        if not feasible:
+            # Deadline cannot be met under capacity; run at the earliest
+            # feasible hour after submit regardless of deadline.
+            misses += 1
+            s = job.submit_hour
+            while s + job.duration_hours <= horizon_hours and not _fits(
+                profile, job, s, capacity_kw
+            ):
+                s += 1
+            if s + job.duration_hours > horizon_hours:
+                raise SchedulingError(
+                    f"job {job.job_id} cannot be placed within the horizon"
+                )
+            start = s
+        elif carbon_aware:
+            start = min(feasible, key=lambda s: _job_carbon(job, s, grid))
+        else:
+            start = feasible[0]
+
+        profile[start : start + job.duration_hours] += job.power_kw
+        starts[job.job_id] = start
+        total_kg += _job_carbon(job, start, grid)
+
+    return ScheduleOutcome(
+        strategy="carbon-aware" if carbon_aware else "immediate",
+        start_hours=starts,
+        total_carbon=Carbon(total_kg),
+        power_profile_kw=profile,
+        deadline_misses=misses,
+    )
+
+
+def carbon_saving(baseline: ScheduleOutcome, aware: ScheduleOutcome) -> float:
+    """Fractional emission reduction of ``aware`` vs ``baseline``."""
+    base = baseline.total_carbon.kg
+    if base == 0:
+        return 0.0
+    return 1.0 - aware.total_carbon.kg / base

@@ -1,0 +1,99 @@
+"""Deferrable workload descriptions for carbon-aware scheduling."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import UnitError
+from repro.lifecycle.jobs import JobDurationModel
+
+
+@dataclass(frozen=True, slots=True)
+class DeferrableJob:
+    """A training job that may be shifted in time.
+
+    ``deadline_hour`` is the latest allowed *completion* time; the
+    scheduler may start the job anywhere in
+    [submit_hour, deadline_hour - duration].
+    """
+
+    job_id: int
+    submit_hour: int
+    duration_hours: int
+    power_kw: float
+    deadline_hour: int
+
+    def __post_init__(self) -> None:
+        if self.duration_hours <= 0:
+            raise UnitError("duration must be positive")
+        if self.power_kw <= 0:
+            raise UnitError("power must be positive")
+        if self.deadline_hour < self.submit_hour + self.duration_hours:
+            raise UnitError(
+                f"job {self.job_id}: deadline {self.deadline_hour} too tight for "
+                f"duration {self.duration_hours} from submit {self.submit_hour}"
+            )
+
+    @property
+    def latest_start(self) -> int:
+        return self.deadline_hour - self.duration_hours
+
+    @property
+    def energy_kwh(self) -> float:
+        return self.power_kw * self.duration_hours
+
+    @property
+    def slack_hours(self) -> int:
+        return self.latest_start - self.submit_hour
+
+
+def synthesize_jobs(
+    n_jobs: int = 60,
+    horizon_hours: int = 168,
+    duration_model: JobDurationModel | None = None,
+    power_kw_range: tuple[float, float] = (20.0, 120.0),
+    slack_factor: float = 3.0,
+    seed: int = 0,
+) -> list[DeferrableJob]:
+    """Generate a deferrable training-job batch over a horizon.
+
+    Durations come from the production training model (truncated to the
+    horizon); deadlines allow ``slack_factor`` x duration of slack,
+    clipped to the horizon.
+    """
+    if n_jobs <= 0 or horizon_hours <= 0:
+        raise UnitError("jobs and horizon must be positive")
+    if slack_factor < 1:
+        raise UnitError("slack factor must be >= 1")
+    from repro.lifecycle.jobs import PRODUCTION_TRAINING_JOBS
+
+    duration_model = duration_model or PRODUCTION_TRAINING_JOBS
+    rng = np.random.default_rng(seed)
+    durations = np.clip(
+        duration_model.sample_gpu_days(n_jobs, seed) * 24 / 8,  # 8-GPU jobs
+        1,
+        horizon_hours // 3,
+    ).astype(int)
+    submits = rng.integers(0, max(1, horizon_hours // 2), size=n_jobs)
+    powers = rng.uniform(*power_kw_range, size=n_jobs)
+    jobs = []
+    for i in range(n_jobs):
+        duration = int(durations[i])
+        submit = int(submits[i])
+        deadline = min(
+            horizon_hours, submit + max(duration, int(duration * slack_factor))
+        )
+        if deadline < submit + duration:
+            submit = deadline - duration
+        jobs.append(
+            DeferrableJob(
+                job_id=i,
+                submit_hour=max(0, submit),
+                duration_hours=duration,
+                power_kw=float(powers[i]),
+                deadline_hour=deadline,
+            )
+        )
+    return jobs

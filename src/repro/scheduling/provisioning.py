@@ -1,0 +1,101 @@
+"""Over-provisioning for schedule flexibility: the embodied trade-off.
+
+Section IV-C: "such scheduling algorithms might require server
+over-provisioning to allow for flexibility of shifting workloads to times
+when carbon-free energy is available.  Furthermore, any additional server
+capacity comes with manufacturing carbon cost which needs to be
+incorporated into the design space."
+
+The sweep: for a capacity factor f >= 1, run the carbon-aware scheduler
+with f x base capacity, charge the extra (f - 1) x servers' amortized
+embodied carbon against the window, and report net emissions.  Operational
+savings grow with f (more room to shift) but saturate, while embodied cost
+grows linearly — producing an interior optimum.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.carbon.embodied import AmortizationPolicy, GPU_SERVER_EMBODIED
+from repro.carbon.grid import GridTrace
+from repro.core.quantities import Carbon
+from repro.errors import UnitError
+from repro.scheduling.carbon_aware import (
+    ScheduleOutcome,
+    schedule_carbon_aware,
+    schedule_immediate,
+)
+from repro.scheduling.jobs import DeferrableJob
+
+
+@dataclass(frozen=True, slots=True)
+class ProvisioningPoint:
+    """Outcome at one over-provisioning factor."""
+
+    factor: float
+    operational: Carbon
+    embodied_extra: Carbon
+    deadline_misses: int
+
+    @property
+    def net(self) -> Carbon:
+        return self.operational + self.embodied_extra
+
+
+def provisioning_sweep(
+    jobs: list[DeferrableJob],
+    grid: GridTrace,
+    horizon_hours: int,
+    base_capacity_kw: float,
+    factors: np.ndarray,
+    server_kw: float = 3.0,
+    server_embodied: Carbon = GPU_SERVER_EMBODIED,
+    amortization: AmortizationPolicy | None = None,
+) -> list[ProvisioningPoint]:
+    """Net carbon vs over-provisioning factor.
+
+    The extra capacity's embodied carbon is amortized to the scheduling
+    window: extra_servers * rate_per_hour * horizon.
+    """
+    if base_capacity_kw <= 0 or server_kw <= 0:
+        raise UnitError("capacities must be positive")
+    amortization = amortization or AmortizationPolicy(average_utilization=1.0)
+    rate = amortization.rate_per_utilized_hour(server_embodied)
+
+    points = []
+    for f in np.asarray(factors, dtype=float):
+        if f < 1.0:
+            raise UnitError(f"provisioning factor must be >= 1, got {f}")
+        capacity = base_capacity_kw * f
+        outcome = schedule_carbon_aware(jobs, grid, horizon_hours, capacity)
+        extra_servers = base_capacity_kw * (f - 1.0) / server_kw
+        embodied_extra = Carbon(rate * extra_servers * horizon_hours)
+        points.append(
+            ProvisioningPoint(
+                factor=float(f),
+                operational=outcome.total_carbon,
+                embodied_extra=embodied_extra,
+                deadline_misses=outcome.deadline_misses,
+            )
+        )
+    return points
+
+
+def best_factor(points: list[ProvisioningPoint]) -> ProvisioningPoint:
+    """The sweep point with the lowest net carbon."""
+    if not points:
+        raise UnitError("sweep produced no points")
+    return min(points, key=lambda p: p.net.kg)
+
+
+def baseline_outcome(
+    jobs: list[DeferrableJob],
+    grid: GridTrace,
+    horizon_hours: int,
+    base_capacity_kw: float,
+) -> ScheduleOutcome:
+    """Immediate scheduling at base capacity, for reference."""
+    return schedule_immediate(jobs, grid, horizon_hours, base_capacity_kw)

@@ -1,0 +1,27 @@
+"""Self-supervised vs supervised pre-training cost trade-offs (Appendix C)."""
+
+from repro.ssl_efficiency.pretraining import (
+    GPU_HOURS_PER_EPOCH,
+    PAWS_PRETRAINING,
+    PretrainingRegime,
+    SIMCLR_PRETRAINING,
+    SUPERVISED_TRAINING,
+    amortized_cost_per_task,
+    effort_ratio,
+    label_cost_break_even,
+    regime_carbon,
+    regimes_table,
+)
+
+__all__ = [
+    "GPU_HOURS_PER_EPOCH",
+    "PAWS_PRETRAINING",
+    "PretrainingRegime",
+    "SIMCLR_PRETRAINING",
+    "SUPERVISED_TRAINING",
+    "amortized_cost_per_task",
+    "effort_ratio",
+    "label_cost_break_even",
+    "regime_carbon",
+    "regimes_table",
+]

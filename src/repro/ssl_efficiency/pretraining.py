@@ -1,0 +1,143 @@
+"""Supervised vs self-/semi-supervised pre-training costs (Appendix C).
+
+The paper's worked example on ImageNet with ResNet-50:
+
+* **supervised**: 76.1% top-1 after 90 epochs with 100% labels;
+* **SimCLR (SSL)**: 69.3% after 1000 pre-training epochs (+60 linear-eval
+  epochs), no labels — "labels are worth a roughly 10x reduction in
+  training effort";
+* **PAWS (semi-supervised)**: 75.5% after 200 epochs with only 10% of the
+  labels (~16 hours on 64 V100s).
+
+Effort is measured in dataset epochs, the paper's own unit; the module
+also amortizes a foundation model's one-off pre-training across
+down-stream tasks and computes the label-cost break-even the paper says
+"substantial additional research" should map.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import UnitError
+
+
+@dataclass(frozen=True, slots=True)
+class PretrainingRegime:
+    """One training paradigm's cost/quality operating point."""
+
+    name: str
+    top1_accuracy: float
+    epochs: float
+    label_fraction: float
+    finetune_epochs_per_task: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not (0 < self.top1_accuracy < 100):
+            raise UnitError("accuracy must be a percentage in (0, 100)")
+        if self.epochs <= 0:
+            raise UnitError("epochs must be positive")
+        if not (0 <= self.label_fraction <= 1):
+            raise UnitError("label fraction must be in [0, 1]")
+        if self.finetune_epochs_per_task < 0:
+            raise UnitError("fine-tune epochs must be non-negative")
+
+    @property
+    def total_epochs(self) -> float:
+        return self.epochs + self.finetune_epochs_per_task
+
+
+SUPERVISED_TRAINING = PretrainingRegime("supervised", 76.1, 90.0, 1.0)
+SIMCLR_PRETRAINING = PretrainingRegime(
+    "simclr-ssl", 69.3, 1000.0, 0.0, finetune_epochs_per_task=60.0
+)
+PAWS_PRETRAINING = PretrainingRegime("paws-semi", 75.5, 200.0, 0.10)
+
+
+def effort_ratio(a: PretrainingRegime, b: PretrainingRegime) -> float:
+    """Total-epoch ratio a/b — the paper's '~10x' supervised advantage."""
+    return a.total_epochs / b.total_epochs
+
+
+def amortized_cost_per_task(
+    regime: PretrainingRegime, n_downstream_tasks: int
+) -> float:
+    """Epochs per task when one pre-training serves many tasks.
+
+    The foundation-model argument: "a single foundation model can be
+    trained (expensive) but then fine-tuned (inexpensive), amortizing the
+    up-front cost across many tasks".
+    """
+    if n_downstream_tasks <= 0:
+        raise UnitError("task count must be positive")
+    return regime.epochs / n_downstream_tasks + regime.finetune_epochs_per_task
+
+
+def label_cost_break_even(
+    supervised: PretrainingRegime = SUPERVISED_TRAINING,
+    ssl: PretrainingRegime = SIMCLR_PRETRAINING,
+    epoch_cost: float = 1.0,
+) -> float:
+    """Labeling cost (in epoch-equivalents) at which SSL breaks even.
+
+    If annotating the full dataset costs more than this, SSL's extra
+    compute is the cheaper path despite the ~10x epoch overhead.
+    """
+    if epoch_cost <= 0:
+        raise UnitError("epoch cost must be positive")
+    extra_compute = (ssl.total_epochs - supervised.total_epochs) * epoch_cost
+    label_need = supervised.label_fraction - ssl.label_fraction
+    if label_need <= 0:
+        raise UnitError("supervised regime must use more labels than SSL")
+    return extra_compute / label_need
+
+
+#: The paper's hardware anchor for PAWS: "Running on 64 V100 GPUs, this
+#: takes roughly 16 hours" for 200 epochs -> GPU-hours per ImageNet epoch.
+PAWS_GPU_HOURS = 64.0 * 16.0
+GPU_HOURS_PER_EPOCH = PAWS_GPU_HOURS / PAWS_PRETRAINING.epochs
+
+
+def regime_carbon(
+    regime: PretrainingRegime,
+    gpu_hours_per_epoch: float = GPU_HOURS_PER_EPOCH,
+    watts_per_gpu: float = 330.0,
+    pue: float = 1.1,
+    kg_per_kwh: float = 0.429,
+) -> dict[str, float]:
+    """Energy and carbon of one regime via the PAWS hardware anchor.
+
+    Converts the Appendix-C epoch counts to GPU-hours (64 V100 x 16 h for
+    PAWS' 200 epochs fixes the rate), then through the standard
+    power -> PUE -> intensity chain.
+    """
+    if gpu_hours_per_epoch <= 0 or watts_per_gpu <= 0:
+        raise UnitError("anchor rates must be positive")
+    if pue < 1.0:
+        raise UnitError("PUE must be >= 1")
+    gpu_hours = regime.total_epochs * gpu_hours_per_epoch
+    kwh = gpu_hours * watts_per_gpu / 1e3 * pue
+    return {
+        "gpu_hours": gpu_hours,
+        "energy_kwh": kwh,
+        "carbon_kg": kwh * kg_per_kwh,
+    }
+
+
+def regimes_table() -> list[dict[str, float | str]]:
+    """The Appendix-C comparison as rows (one per regime)."""
+    rows = []
+    for regime in (SUPERVISED_TRAINING, SIMCLR_PRETRAINING, PAWS_PRETRAINING):
+        carbon = regime_carbon(regime)
+        rows.append(
+            {
+                "regime": regime.name,
+                "top1_accuracy": regime.top1_accuracy,
+                "epochs": regime.total_epochs,
+                "label_fraction": regime.label_fraction,
+                "epochs_vs_supervised": effort_ratio(regime, SUPERVISED_TRAINING),
+                "gpu_hours": carbon["gpu_hours"],
+                "carbon_kg": carbon["carbon_kg"],
+            }
+        )
+    return rows

@@ -1,0 +1,56 @@
+"""Telemetry: simulated counters, the emissions tracker, reports, cards."""
+
+from repro.telemetry.counters import (
+    NvmlPowerSensor,
+    RaplCounter,
+    SimulatedHost,
+    rapl_delta_uj,
+)
+from repro.telemetry.model_card import (
+    HardwareDisclosure,
+    ModelCard,
+    carbon_impact_statement,
+)
+from repro.telemetry.predict import (
+    EpochMeasurement,
+    TrainingPrediction,
+    abort_recommendation,
+    predict_training_cost,
+    recommend_start_hour,
+)
+from repro.telemetry.reports import aggregate, read_json, write_csv, write_json
+from repro.telemetry.time_varying import (
+    TimeVaryingAccountant,
+    account_constant_run,
+    best_and_worst_start,
+)
+from repro.telemetry.tracker import (
+    EmissionsReport,
+    EmissionsTracker,
+    track_constant_workload,
+)
+
+__all__ = [
+    "EmissionsReport",
+    "EmissionsTracker",
+    "EpochMeasurement",
+    "TrainingPrediction",
+    "abort_recommendation",
+    "predict_training_cost",
+    "recommend_start_hour",
+    "HardwareDisclosure",
+    "ModelCard",
+    "NvmlPowerSensor",
+    "RaplCounter",
+    "SimulatedHost",
+    "TimeVaryingAccountant",
+    "account_constant_run",
+    "best_and_worst_start",
+    "aggregate",
+    "carbon_impact_statement",
+    "rapl_delta_uj",
+    "read_json",
+    "track_constant_workload",
+    "write_csv",
+    "write_json",
+]

@@ -1,0 +1,107 @@
+"""Model cards with carbon impact statements (Section V-A).
+
+"New models must be associated with a model card that ... describes the
+model's overall carbon footprint to train and conduct inference", and
+papers should disclose "hardware platforms, the number of machines, total
+runtime used to produce results" as a first step.
+
+:func:`carbon_impact_statement` renders that disclosure;
+:class:`ModelCard` is the fuller Mitchell-et-al-style card with the
+environmental section included.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.equivalences import describe as describe_equivalence
+from repro.core.footprint import TotalFootprint
+from repro.errors import TelemetryError
+from repro.telemetry.tracker import EmissionsReport
+
+
+@dataclass(frozen=True, slots=True)
+class HardwareDisclosure:
+    """The minimum hardware disclosure the paper asks of publications."""
+
+    platform: str
+    n_devices: int
+    total_runtime_hours: float
+    region: str = "unspecified"
+
+    def __post_init__(self) -> None:
+        if self.n_devices <= 0 or self.total_runtime_hours < 0:
+            raise TelemetryError("disclosure requires devices and runtime")
+
+
+def carbon_impact_statement(
+    disclosure: HardwareDisclosure, report: EmissionsReport
+) -> str:
+    """The per-paper carbon impact statement as formatted text."""
+    lines = [
+        "Carbon Impact Statement",
+        "-----------------------",
+        f"Experiments ran on {disclosure.n_devices} x {disclosure.platform} "
+        f"for a total of {disclosure.total_runtime_hours:,.1f} hours "
+        f"(region: {disclosure.region}).",
+        f"Measured energy: {report.facility_energy} "
+        f"(IT {report.it_energy}, PUE {report.pue:.2f}).",
+        f"Estimated emissions: {report.carbon} at "
+        f"{report.intensity.g_per_kwh:,.0f} gCO2e/kWh ({report.intensity.label}).",
+        describe_equivalence(report.carbon),
+    ]
+    return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class ModelCard:
+    """A model card whose environmental section is first-class."""
+
+    model_name: str
+    intended_use: str
+    training_data: str
+    metrics: dict[str, float] = field(default_factory=dict)
+    footprint: TotalFootprint | None = None
+    disclosure: HardwareDisclosure | None = None
+
+    def render(self) -> str:
+        """Markdown rendering of the card."""
+        lines = [
+            f"# Model Card: {self.model_name}",
+            "",
+            "## Intended Use",
+            self.intended_use,
+            "",
+            "## Training Data",
+            self.training_data,
+        ]
+        if self.metrics:
+            lines += ["", "## Metrics"]
+            lines += [f"- {k}: {v:.4g}" for k, v in sorted(self.metrics.items())]
+        lines += ["", "## Environmental Impact"]
+        if self.footprint is None:
+            lines.append(
+                "No footprint recorded — attach a TotalFootprint to disclose "
+                "operational and embodied carbon."
+            )
+        else:
+            fp = self.footprint
+            lines += [
+                f"- Total footprint: {fp.carbon}",
+                f"- Operational: {fp.operational.carbon} "
+                f"({fp.operational_share:.0%})",
+                f"- Embodied (amortized): {fp.embodied.amortized} "
+                f"({fp.embodied_share:.0%})",
+                f"- {describe_equivalence(fp.carbon)}",
+            ]
+        if self.disclosure is not None:
+            d = self.disclosure
+            lines += [
+                "",
+                "## Hardware Disclosure",
+                f"- Platform: {d.platform}",
+                f"- Devices: {d.n_devices}",
+                f"- Total runtime: {d.total_runtime_hours:,.1f} hours",
+                f"- Region: {d.region}",
+            ]
+        return "\n".join(lines)

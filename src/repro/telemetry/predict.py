@@ -1,0 +1,139 @@
+"""Predictive emission tracking (carbontracker-style, Section V-A).
+
+The open-source carbontracker tool measures the first few training
+epochs, extrapolates the full run's energy/carbon, and lets the user
+abort or reschedule before the cost is sunk.  This module reproduces
+that workflow on top of the library's tracker and grid model:
+
+* fit energy-per-epoch from the first ``k`` measured epochs (with a
+  linear trend term, since per-epoch cost can drift);
+* predict total energy/carbon for the planned epoch count, with a
+  simple prediction interval;
+* recommend the greenest start window on a grid trace for the remaining
+  work (connecting prediction to carbon-aware scheduling).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.carbon.grid import GridTrace
+from repro.carbon.intensity import CarbonIntensity, US_AVERAGE
+from repro.core.quantities import Carbon, Energy
+from repro.errors import TelemetryError
+
+
+@dataclass(frozen=True, slots=True)
+class EpochMeasurement:
+    """Energy and duration of one measured epoch."""
+
+    epoch: int
+    energy: Energy
+    duration_s: float
+
+    def __post_init__(self) -> None:
+        if self.epoch < 0 or self.duration_s <= 0:
+            raise TelemetryError("epoch index and duration must be valid")
+
+
+@dataclass(frozen=True, slots=True)
+class TrainingPrediction:
+    """Extrapolated full-run cost with a crude uncertainty band."""
+
+    planned_epochs: int
+    measured_epochs: int
+    predicted_energy: Energy
+    predicted_energy_low: Energy
+    predicted_energy_high: Energy
+    predicted_duration_hours: float
+    predicted_carbon: Carbon
+
+    @property
+    def remaining_energy(self) -> Energy:
+        """Energy not yet spent (prediction minus measured share)."""
+        share = self.measured_epochs / self.planned_epochs
+        return self.predicted_energy * (1.0 - share)
+
+
+def predict_training_cost(
+    measurements: list[EpochMeasurement],
+    planned_epochs: int,
+    intensity: CarbonIntensity = US_AVERAGE,
+) -> TrainingPrediction:
+    """Extrapolate full-training cost from early-epoch measurements.
+
+    Fits energy-per-epoch as a + b*epoch (least squares) and integrates
+    over the planned epochs; the band is +/- 2 RMSE of the fit per epoch,
+    accumulated.  Needs >= 2 measurements.
+    """
+    if planned_epochs <= 0:
+        raise TelemetryError("planned epochs must be positive")
+    if len(measurements) < 2:
+        raise TelemetryError("need at least two measured epochs to extrapolate")
+    if len(measurements) > planned_epochs:
+        raise TelemetryError("measured more epochs than planned")
+
+    epochs = np.array([m.epoch for m in measurements], dtype=float)
+    energies = np.array([m.energy.kwh for m in measurements])
+    durations = np.array([m.duration_s for m in measurements])
+
+    slope, intercept = np.polyfit(epochs, energies, 1)
+    future = np.arange(planned_epochs, dtype=float)
+    per_epoch = np.maximum(0.0, intercept + slope * future)
+    total = float(np.sum(per_epoch))
+
+    residuals = energies - (intercept + slope * epochs)
+    rmse = float(np.sqrt(np.mean(residuals**2)))
+    band = 2.0 * rmse * planned_epochs
+
+    mean_duration = float(np.mean(durations))
+    return TrainingPrediction(
+        planned_epochs=planned_epochs,
+        measured_epochs=len(measurements),
+        predicted_energy=Energy(total),
+        predicted_energy_low=Energy(max(0.0, total - band)),
+        predicted_energy_high=Energy(total + band),
+        predicted_duration_hours=mean_duration * planned_epochs / 3600.0,
+        predicted_carbon=intensity.emissions(Energy(total)),
+    )
+
+
+def recommend_start_hour(
+    prediction: TrainingPrediction, grid: GridTrace
+) -> tuple[int, Carbon, Carbon]:
+    """Greenest start hour for the predicted run on a grid trace.
+
+    Returns (start hour, carbon if started now, carbon at the recommended
+    hour).  The difference is what carbontracker-style tools surface as
+    "schedule your run at ... to save X%".
+    """
+    duration_hours = max(1, int(np.ceil(prediction.predicted_duration_hours)))
+    duration_hours = min(duration_hours, len(grid))
+    kwh_per_hour = prediction.predicted_energy.kwh / duration_hours
+    profile = np.full(duration_hours, kwh_per_hour)
+
+    now_carbon = grid.emissions_for_profile(profile, start_hour=0)
+    best_start = grid.greenest_window(duration_hours)
+    best_carbon = grid.emissions_for_profile(profile, start_hour=best_start)
+    return best_start, now_carbon, best_carbon
+
+
+def abort_recommendation(
+    prediction: TrainingPrediction, budget: Carbon
+) -> dict[str, float | bool]:
+    """Whether the planned run blows a carbon budget, and by how much.
+
+    The actionable output the paper's telemetry section asks for: know
+    *before* the cost is sunk.
+    """
+    over = prediction.predicted_carbon.kg > budget.kg
+    return {
+        "over_budget": over,
+        "predicted_kg": prediction.predicted_carbon.kg,
+        "budget_kg": budget.kg,
+        "overshoot_fraction": (
+            prediction.predicted_carbon.kg / budget.kg - 1.0 if budget.kg else 0.0
+        ),
+    }

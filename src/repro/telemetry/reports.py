@@ -1,0 +1,68 @@
+"""Persisting and aggregating emission reports (JSON / CSV)."""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+
+from repro.core.quantities import Carbon, Energy
+from repro.errors import TelemetryError
+from repro.telemetry.tracker import EmissionsReport
+
+_CSV_FIELDS = (
+    "label",
+    "duration_s",
+    "cpu_energy_kwh",
+    "gpu_energy_kwh",
+    "it_energy_kwh",
+    "facility_energy_kwh",
+    "carbon_kg",
+    "intensity_kg_per_kwh",
+    "intensity_label",
+    "pue",
+    "n_polls",
+)
+
+
+def write_json(reports: list[EmissionsReport], path: str | Path) -> Path:
+    """Write reports as a JSON array; returns the path."""
+    path = Path(path)
+    path.write_text(
+        json.dumps([r.as_dict() for r in reports], indent=2, sort_keys=True)
+    )
+    return path
+
+
+def read_json(path: str | Path) -> list[dict[str, object]]:
+    """Read a report JSON file back as dictionaries."""
+    data = json.loads(Path(path).read_text())
+    if not isinstance(data, list):
+        raise TelemetryError(f"{path}: expected a JSON array of reports")
+    return data
+
+
+def write_csv(reports: list[EmissionsReport], path: str | Path) -> Path:
+    """Write reports as CSV with a fixed header; returns the path."""
+    path = Path(path)
+    with path.open("w", newline="") as fh:
+        writer = csv.DictWriter(fh, fieldnames=_CSV_FIELDS)
+        writer.writeheader()
+        for report in reports:
+            writer.writerow({k: report.as_dict()[k] for k in _CSV_FIELDS})
+    return path
+
+
+def aggregate(reports: list[EmissionsReport]) -> dict[str, object]:
+    """Totals across runs — the numbers a carbon impact statement needs."""
+    if not reports:
+        raise TelemetryError("cannot aggregate zero reports")
+    total_energy = Energy(sum(r.facility_energy.kwh for r in reports))
+    total_carbon = Carbon(sum(r.carbon.kg for r in reports))
+    return {
+        "n_runs": len(reports),
+        "total_duration_s": sum(r.duration_s for r in reports),
+        "total_facility_energy_kwh": total_energy.kwh,
+        "total_carbon_kg": total_carbon.kg,
+        "mean_carbon_kg": total_carbon.kg / len(reports),
+    }

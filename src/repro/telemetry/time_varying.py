@@ -1,0 +1,138 @@
+"""Time-varying-intensity emission tracking.
+
+Static-intensity accounting (one kgCO2e/kWh for the whole run) is what
+most tools default to; production trackers instead resolve each interval
+of consumption against the grid's *hourly* intensity.  For long training
+runs on renewable-heavy grids the two disagree substantially — the same
+gap 24/7 CFE scoring exposes at the fleet level (Section IV-C), here at
+the single-run level.
+
+:class:`TimeVaryingAccountant` consumes (timestamp, energy) intervals —
+e.g. from :class:`~repro.telemetry.tracker.EmissionsTracker` polls — and
+prices each against a :class:`~repro.carbon.grid.GridTrace`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.carbon.grid import GridTrace
+from repro.carbon.intensity import CarbonIntensity
+from repro.core.quantities import Carbon, Energy
+from repro.errors import TelemetryError
+
+
+@dataclass
+class TimeVaryingAccountant:
+    """Prices energy intervals against an hourly grid trace.
+
+    ``start_hour`` anchors t=0 of the run to an hour of the trace (the
+    trace tiles periodically for longer runs).
+    """
+
+    grid: GridTrace
+    start_hour: int = 0
+    _interval_kwh: list[float] = field(default_factory=list, repr=False)
+    _interval_hours: list[float] = field(default_factory=list, repr=False)
+    _clock_h: float = 0.0
+
+    def record_interval(self, energy: Energy, duration_s: float) -> None:
+        """Append one consumption interval (chronological order)."""
+        if duration_s <= 0:
+            raise TelemetryError("interval duration must be positive")
+        self._interval_kwh.append(energy.kwh)
+        self._interval_hours.append(duration_s / 3600.0)
+        self._clock_h += duration_s / 3600.0
+
+    @property
+    def duration_hours(self) -> float:
+        return self._clock_h
+
+    def total_energy(self) -> Energy:
+        return Energy(sum(self._interval_kwh))
+
+    def carbon(self) -> Carbon:
+        """Sum of interval energies priced at their hours' intensities.
+
+        Intervals spanning hour boundaries are split proportionally.
+        """
+        total_kg = 0.0
+        clock = float(self.start_hour)
+        for kwh, hours in zip(self._interval_kwh, self._interval_hours):
+            remaining = hours
+            position = clock
+            while remaining > 1e-12:
+                hour_idx = int(position) % len(self.grid)
+                to_boundary = (int(position) + 1) - position
+                step = min(remaining, to_boundary)
+                share = step / hours
+                total_kg += (
+                    kwh * share * float(self.grid.intensity_kg_per_kwh[hour_idx])
+                )
+                position += step
+                remaining -= step
+            clock += hours
+        return Carbon(total_kg)
+
+    def static_carbon(self, intensity: CarbonIntensity | None = None) -> Carbon:
+        """The naive single-intensity estimate for comparison.
+
+        Defaults to the trace's own average intensity — the number a
+        static tracker configured with the regional average would report.
+        """
+        intensity = intensity or self.grid.average_intensity()
+        return intensity.emissions(self.total_energy())
+
+    def attribution_error(self) -> float:
+        """Relative gap between static and time-resolved accounting."""
+        true = self.carbon().kg
+        naive = self.static_carbon().kg
+        if true == 0:
+            return 0.0
+        return (naive - true) / true
+
+
+def account_constant_run(
+    grid: GridTrace,
+    power_kw: float,
+    duration_hours: float,
+    start_hour: int = 0,
+) -> TimeVaryingAccountant:
+    """Convenience: a constant-power run accounted hour by hour."""
+    if power_kw < 0 or duration_hours <= 0:
+        raise TelemetryError("power and duration must be valid")
+    accountant = TimeVaryingAccountant(grid=grid, start_hour=start_hour)
+    whole_hours = int(duration_hours)
+    for _ in range(whole_hours):
+        accountant.record_interval(Energy(power_kw), 3600.0)
+    frac = duration_hours - whole_hours
+    if frac > 1e-9:
+        accountant.record_interval(Energy(power_kw * frac), frac * 3600.0)
+    return accountant
+
+
+def best_and_worst_start(
+    grid: GridTrace, power_kw: float, duration_hours: float
+) -> dict[str, float]:
+    """Carbon of the same run started at every hour of the trace.
+
+    Quantifies how much start-time matters — the single-run version of
+    carbon-aware scheduling.
+    """
+    if duration_hours <= 0:
+        raise TelemetryError("duration must be positive")
+    results = np.array(
+        [
+            account_constant_run(grid, power_kw, duration_hours, start).carbon().kg
+            for start in range(len(grid))
+        ]
+    )
+    return {
+        "best_kg": float(results.min()),
+        "worst_kg": float(results.max()),
+        "mean_kg": float(results.mean()),
+        "best_start_hour": int(np.argmin(results)),
+        "worst_over_best": float(results.max() / results.min()),
+    }

@@ -1,0 +1,172 @@
+"""The emissions tracker: poll counters, integrate, convert to carbon.
+
+The easy-to-adopt telemetry Section V-A calls for, in the shape users
+know from CodeCarbon::
+
+    host = SimulatedHost()
+    with EmissionsTracker(host, intensity=US_AVERAGE) as tracker:
+        ...  # workload advances host time via host.advance(...)
+    report = tracker.report("my-training-run")
+
+CPU energy comes from RAPL counter deltas (wraparound-safe); GPU energy
+from trapezoidal integration of NVML power polls; facility overhead from
+the PUE; carbon from the configured intensity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.carbon.intensity import CarbonIntensity, US_AVERAGE
+from repro.core.quantities import Carbon, Energy, Power
+from repro.energy.meter import EnergyMeter
+from repro.energy.pue import Datacenter
+from repro.errors import TelemetryError
+from repro.telemetry.counters import SimulatedHost, rapl_delta_uj
+
+
+@dataclass(frozen=True, slots=True)
+class EmissionsReport:
+    """Outcome of one tracked run."""
+
+    label: str
+    duration_s: float
+    cpu_energy: Energy
+    gpu_energy: Energy
+    facility_energy: Energy
+    carbon: Carbon
+    intensity: CarbonIntensity
+    pue: float
+    n_polls: int
+
+    @property
+    def it_energy(self) -> Energy:
+        return self.cpu_energy + self.gpu_energy
+
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "label": self.label,
+            "duration_s": self.duration_s,
+            "cpu_energy_kwh": self.cpu_energy.kwh,
+            "gpu_energy_kwh": self.gpu_energy.kwh,
+            "it_energy_kwh": self.it_energy.kwh,
+            "facility_energy_kwh": self.facility_energy.kwh,
+            "carbon_kg": self.carbon.kg,
+            "intensity_kg_per_kwh": self.intensity.kg_per_kwh,
+            "intensity_label": self.intensity.label,
+            "pue": self.pue,
+            "n_polls": self.n_polls,
+        }
+
+
+class EmissionsTracker:
+    """Context manager that meters a :class:`SimulatedHost`.
+
+    Poll cadence is up to the caller: call :meth:`poll` whenever the
+    workload has advanced the host clock (real trackers poll on a timer
+    thread; in simulation explicit polls keep runs deterministic).
+    """
+
+    def __init__(
+        self,
+        host: SimulatedHost,
+        intensity: CarbonIntensity = US_AVERAGE,
+        datacenter: Datacenter | None = None,
+    ) -> None:
+        self.host = host
+        self.intensity = intensity
+        self.datacenter = datacenter or Datacenter()
+        self._running = False
+        self._start_s = 0.0
+        self._last_rapl = 0
+        self._cpu_uj = 0
+        self._gpu_meters: list[EnergyMeter] = []
+        self._n_polls = 0
+
+    # -- lifecycle ----------------------------------------------------------
+    def start(self) -> None:
+        if self._running:
+            raise TelemetryError("tracker already started")
+        self._running = True
+        self._start_s = self.host.now_s()
+        self._last_rapl = self.host.rapl.read_uj()
+        self._cpu_uj = 0
+        self._gpu_meters = [EnergyMeter() for _ in self.host.gpu_sensors]
+        self._n_polls = 0
+        self.poll()
+
+    def stop(self) -> None:
+        if not self._running:
+            raise TelemetryError("tracker not running")
+        self.poll()
+        self._running = False
+
+    def __enter__(self) -> "EmissionsTracker":
+        self.start()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.stop()
+
+    # -- measurement --------------------------------------------------------
+    def poll(self) -> None:
+        """Sample all counters at the host's current clock."""
+        if not self._running:
+            raise TelemetryError("poll() outside a running tracker")
+        now = self.host.now_s()
+        reading = self.host.rapl.read_uj()
+        self._cpu_uj += rapl_delta_uj(
+            self._last_rapl, reading, self.host.rapl.max_energy_uj
+        )
+        self._last_rapl = reading
+        for sensor, meter in zip(self.host.gpu_sensors, self._gpu_meters):
+            meter.record(now, Power(sensor.read_mw() / 1000.0))
+        self._n_polls += 1
+
+    # -- results ------------------------------------------------------------
+    def cpu_energy(self) -> Energy:
+        return Energy.from_joules(self._cpu_uj / 1e6)
+
+    def gpu_energy(self) -> Energy:
+        total = 0.0
+        for meter in self._gpu_meters:
+            total += meter.total_energy().kwh
+        return Energy(total)
+
+    def report(self, label: str = "tracked-run") -> EmissionsReport:
+        if self._running:
+            raise TelemetryError("stop the tracker before reporting")
+        cpu = self.cpu_energy()
+        gpu = self.gpu_energy()
+        facility = self.datacenter.facility_energy(cpu + gpu)
+        return EmissionsReport(
+            label=label,
+            duration_s=self.host.now_s() - self._start_s,
+            cpu_energy=cpu,
+            gpu_energy=gpu,
+            facility_energy=facility,
+            carbon=self.intensity.emissions(facility),
+            intensity=self.intensity,
+            pue=self.datacenter.pue,
+            n_polls=self._n_polls,
+        )
+
+
+def track_constant_workload(
+    host: SimulatedHost,
+    duration_s: float,
+    poll_interval_s: float = 10.0,
+    intensity: CarbonIntensity = US_AVERAGE,
+) -> EmissionsReport:
+    """Convenience: track a steady workload for ``duration_s`` seconds."""
+    if duration_s <= 0 or poll_interval_s <= 0:
+        raise TelemetryError("durations must be positive")
+    tracker = EmissionsTracker(host, intensity)
+    with tracker:
+        remaining = duration_s
+        while remaining > 0:
+            step = min(poll_interval_s, remaining)
+            host.advance(step)
+            tracker.poll()
+            remaining -= step
+    return tracker.report("constant-workload")

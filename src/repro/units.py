@@ -1,0 +1,130 @@
+"""Unit conversion constants and helpers.
+
+Internally the library standardizes on:
+
+* energy  -> kilowatt-hours (kWh)
+* power   -> watts (W)
+* carbon  -> kilograms of CO2-equivalent (kgCO2e)
+* time    -> hours (h) for fleet-scale modeling, seconds for telemetry
+
+Everything else (joules, MWh, metric tonnes, GPU-days, ...) is converted at
+the boundary through the constants and helpers below.  Keeping a single
+canonical unit per dimension removes an entire class of silent
+order-of-magnitude errors that plague carbon accounting.
+"""
+
+from __future__ import annotations
+
+# --------------------------------------------------------------------------
+# Time
+# --------------------------------------------------------------------------
+SECONDS_PER_HOUR = 3600.0
+HOURS_PER_DAY = 24.0
+HOURS_PER_YEAR = 24.0 * 365.25
+DAYS_PER_YEAR = 365.25
+MONTHS_PER_YEAR = 12.0
+
+# --------------------------------------------------------------------------
+# Energy
+# --------------------------------------------------------------------------
+JOULES_PER_KWH = 3.6e6
+WH_PER_KWH = 1e3
+KWH_PER_MWH = 1e3
+KWH_PER_GWH = 1e6
+
+# --------------------------------------------------------------------------
+# Mass (carbon)
+# --------------------------------------------------------------------------
+KG_PER_TONNE = 1e3
+KG_PER_GRAM = 1e-3
+KG_PER_POUND = 0.45359237
+
+# --------------------------------------------------------------------------
+# EPA greenhouse-gas equivalencies (2021 calculator values)
+# --------------------------------------------------------------------------
+#: kgCO2e emitted per mile driven by an average passenger vehicle.
+KG_CO2E_PER_PASSENGER_VEHICLE_MILE = 0.398
+#: kgCO2e per average passenger vehicle per year.
+KG_CO2E_PER_PASSENGER_VEHICLE_YEAR = 4600.0
+#: kgCO2e per US home's electricity use per year.
+KG_CO2E_PER_HOME_ELECTRICITY_YEAR = 5505.0
+#: kgCO2e per gallon of gasoline consumed.
+KG_CO2E_PER_GALLON_GASOLINE = 8.887
+#: kgCO2e sequestered per urban tree seedling grown for 10 years.
+KG_CO2E_PER_TREE_SEEDLING_10YR = 60.0
+#: kgCO2e per smartphone charged.
+KG_CO2E_PER_SMARTPHONE_CHARGE = 0.00822
+
+
+def joules_to_kwh(joules: float) -> float:
+    """Convert energy in joules to kilowatt-hours."""
+    return joules / JOULES_PER_KWH
+
+
+def kwh_to_joules(kwh: float) -> float:
+    """Convert energy in kilowatt-hours to joules."""
+    return kwh * JOULES_PER_KWH
+
+
+def wh_to_kwh(wh: float) -> float:
+    """Convert watt-hours to kilowatt-hours."""
+    return wh / WH_PER_KWH
+
+
+def mwh_to_kwh(mwh: float) -> float:
+    """Convert megawatt-hours to kilowatt-hours."""
+    return mwh * KWH_PER_MWH
+
+
+def kwh_to_mwh(kwh: float) -> float:
+    """Convert kilowatt-hours to megawatt-hours."""
+    return kwh / KWH_PER_MWH
+
+
+def kg_to_tonnes(kg: float) -> float:
+    """Convert kilograms to metric tonnes."""
+    return kg / KG_PER_TONNE
+
+
+def tonnes_to_kg(tonnes: float) -> float:
+    """Convert metric tonnes to kilograms."""
+    return tonnes * KG_PER_TONNE
+
+
+def grams_to_kg(grams: float) -> float:
+    """Convert grams to kilograms."""
+    return grams * KG_PER_GRAM
+
+
+def pounds_to_kg(pounds: float) -> float:
+    """Convert pounds to kilograms."""
+    return pounds * KG_PER_POUND
+
+
+def watts_hours_to_kwh(watts: float, hours: float) -> float:
+    """Energy (kWh) from constant power draw over a duration.
+
+    Parameters
+    ----------
+    watts:
+        Average power draw in watts.  Must be non-negative.
+    hours:
+        Duration in hours.  Must be non-negative.
+    """
+    if watts < 0:
+        raise ValueError(f"power must be non-negative, got {watts} W")
+    if hours < 0:
+        raise ValueError(f"duration must be non-negative, got {hours} h")
+    return watts * hours / WH_PER_KWH
+
+
+def gpu_days(count: float) -> float:
+    """Convert GPU-days into GPU-hours (the unit job models consume)."""
+    if count < 0:
+        raise ValueError(f"GPU-days must be non-negative, got {count}")
+    return count * HOURS_PER_DAY
+
+
+def per_year_to_per_hour(rate_per_year: float) -> float:
+    """Convert an annual rate to an hourly rate."""
+    return rate_per_year / HOURS_PER_YEAR

@@ -1,0 +1,157 @@
+"""Facebook production ML task models: LM and RM1-RM5 (Figure 4).
+
+The paper reports *relative* facts about these six tasks:
+
+* the six account for the vast majority of inference compute at FB;
+* the fleet-average training-side footprint is 1.8x Meena (~173.5 tCO2e)
+  and roughly 1/3 of GPT-3's;
+* for RM1-RM5 the training : inference carbon split is roughly 50 : 50;
+* for LM, inference dominates: 65% inference vs 35% training;
+* operational training carbon is split across offline training
+  (experimentation + historical-data training), online training
+  (recommendation models only), and inference.
+
+Absolute per-model numbers are private, so this module *calibrates*
+per-phase device-hours against the analyzer's own energy/carbon constants
+to satisfy every stated relation exactly.  The calibrated tasks then flow
+through the same accounting code paths a user would apply to real
+telemetry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.analyzer import FootprintAnalyzer, PhaseWorkload, TaskDescription
+from repro.core.footprint import Phase
+from repro.core.quantities import Carbon
+from repro.errors import CalibrationError
+from repro.workloads.oss_models import fb_average_training_target
+
+
+@dataclass(frozen=True, slots=True)
+class ProductionTaskProfile:
+    """Relative sizing of one production task.
+
+    ``training_weight`` scales the task's training-side footprint relative
+    to the fleet average (weights average to 1 across the six tasks);
+    ``inference_fraction`` is inference's share of operational carbon.
+    """
+
+    name: str
+    training_weight: float
+    inference_fraction: float
+    online_share_of_training: float
+    experimentation_share_of_training: float = 0.15
+
+    def __post_init__(self) -> None:
+        if self.training_weight <= 0:
+            raise CalibrationError("training weight must be positive")
+        if not (0 <= self.inference_fraction < 1):
+            raise CalibrationError("inference fraction must be in [0, 1)")
+        shares = self.online_share_of_training + self.experimentation_share_of_training
+        if not (0 <= shares < 1):
+            raise CalibrationError("training sub-shares must leave room for offline")
+
+
+#: The six tasks.  Weights are chosen to span the spread Figure 4 shows
+#: while averaging to exactly 1.0; RMs split ~50/50 with inference, LM 35/65.
+PRODUCTION_PROFILES: tuple[ProductionTaskProfile, ...] = (
+    ProductionTaskProfile("LM", 0.70, 0.65, 0.0, 0.20),
+    ProductionTaskProfile("RM1", 0.78, 0.50, 0.30),
+    ProductionTaskProfile("RM2", 0.92, 0.50, 0.30),
+    ProductionTaskProfile("RM3", 1.07, 0.50, 0.30),
+    ProductionTaskProfile("RM4", 1.26, 0.50, 0.30),
+    ProductionTaskProfile("RM5", 1.27, 0.50, 0.30),
+)
+
+
+def _carbon_per_device_hour(
+    analyzer: FootprintAnalyzer, utilization: float
+) -> float:
+    """Operational kgCO2e of one device-hour, location-based.
+
+    Calibration is always against location-based intensity because the
+    paper's stated relations (1.8x Meena etc.) are location-based; the
+    caller may still *analyze* the returned tasks market-based.
+    """
+    from repro.carbon.intensity import AccountingMethod
+
+    probe = TaskDescription(
+        name="probe",
+        workloads=(PhaseWorkload(Phase.OFFLINE_TRAINING, 1.0, utilization),),
+    )
+    located = analyzer.with_accounting(AccountingMethod.LOCATION_BASED)
+    return located.operational_footprint(probe).carbon.kg
+
+
+def production_tasks(
+    analyzer: FootprintAnalyzer | None = None,
+    average_training_carbon: Carbon | None = None,
+    training_utilization: float = 0.60,
+    inference_utilization: float = 0.55,
+) -> list[TaskDescription]:
+    """The six calibrated production tasks.
+
+    Device-hours per phase are solved so that, when analyzed by
+    ``analyzer`` (location-based accounting), each task's operational
+    carbon satisfies the paper's stated relations.
+    """
+    analyzer = analyzer or FootprintAnalyzer()
+    target_avg = (average_training_carbon or fb_average_training_target()).kg
+
+    kg_per_hour_train = _carbon_per_device_hour(analyzer, training_utilization)
+    kg_per_hour_inf = _carbon_per_device_hour(analyzer, inference_utilization)
+    if kg_per_hour_train <= 0 or kg_per_hour_inf <= 0:
+        raise CalibrationError(
+            "analyzer yields zero operational carbon per device-hour; "
+            "calibrate with location-based accounting"
+        )
+
+    tasks = []
+    for profile in PRODUCTION_PROFILES:
+        training_kg = target_avg * profile.training_weight
+        inference_kg = training_kg * profile.inference_fraction / (
+            1.0 - profile.inference_fraction
+        )
+
+        exp_kg = training_kg * profile.experimentation_share_of_training
+        online_kg = training_kg * profile.online_share_of_training
+        offline_kg = training_kg - exp_kg - online_kg
+
+        workloads = [
+            PhaseWorkload(
+                Phase.EXPERIMENTATION, exp_kg / kg_per_hour_train, training_utilization
+            ),
+            PhaseWorkload(
+                Phase.OFFLINE_TRAINING,
+                offline_kg / kg_per_hour_train,
+                training_utilization,
+            ),
+        ]
+        if online_kg > 0:
+            workloads.append(
+                PhaseWorkload(
+                    Phase.ONLINE_TRAINING,
+                    online_kg / kg_per_hour_train,
+                    training_utilization,
+                )
+            )
+        workloads.append(
+            PhaseWorkload(
+                Phase.INFERENCE, inference_kg / kg_per_hour_inf, inference_utilization
+            )
+        )
+        tasks.append(
+            TaskDescription(
+                name=profile.name, device=tasks_device(), workloads=tuple(workloads)
+            )
+        )
+    return tasks
+
+
+def tasks_device():
+    """Device used for the calibrated production tasks (V100 fleet)."""
+    from repro.energy.devices import V100
+
+    return V100

@@ -1,0 +1,102 @@
+"""Growth trend models for Figure 2 and the Key Takeaways.
+
+The paper quantifies, for 2019-2021 (and 18 months for capacity):
+
+* recommendation training data grew **2.4x** (use case A) and **1.9x**
+  (use case B), driving a **3.2x** increase in ingestion bandwidth;
+* recommendation model sizes grew **20x**;
+* AI training capacity grew **2.9x** and inference capacity **2.5x** over
+  1.5 years, with trillions of daily inferences more than doubling in 3
+  years;
+* accelerator memory grew **<2x per 2 years** (V100 32 GB 2018 -> A100
+  80 GB 2021) — the resource gap motivating system innovation.
+
+Growth is modeled as exponential between two observations, exposing the
+implied annual rate and interpolated series.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import UnitError
+
+
+@dataclass(frozen=True, slots=True)
+class GrowthTrend:
+    """Exponential growth fitted to (value=1 at t=0, value=factor at t=span)."""
+
+    name: str
+    factor: float
+    span_years: float
+
+    def __post_init__(self) -> None:
+        if self.factor <= 0:
+            raise UnitError(f"growth factor must be positive, got {self.factor}")
+        if self.span_years <= 0:
+            raise UnitError(f"span must be positive, got {self.span_years}")
+
+    @property
+    def annual_rate(self) -> float:
+        """Implied multiplicative growth per year."""
+        return float(self.factor ** (1.0 / self.span_years))
+
+    def value_at(self, years: float) -> float:
+        """Relative value ``years`` after the baseline observation."""
+        return float(self.annual_rate**years)
+
+    def series(self, n_points: int = 25) -> tuple[np.ndarray, np.ndarray]:
+        """(years, relative value) sampled across the observation span."""
+        if n_points < 2:
+            raise UnitError("need at least two points")
+        t = np.linspace(0.0, self.span_years, n_points)
+        return t, self.annual_rate**t
+
+    def doubling_time_years(self) -> float:
+        """Years to double at the implied rate (inf if not growing)."""
+        rate = self.annual_rate
+        if rate <= 1.0:
+            return float("inf")
+        return float(np.log(2.0) / np.log(rate))
+
+
+# -- Figure 2(b): data growth ------------------------------------------------
+DATA_GROWTH_RM_A = GrowthTrend("recsys data (use case A)", 2.4, 2.0)
+DATA_GROWTH_RM_B = GrowthTrend("recsys data (use case B)", 1.9, 2.0)
+INGESTION_BANDWIDTH_GROWTH = GrowthTrend("data ingestion bandwidth", 3.2, 2.0)
+
+# -- Figure 2(c): model growth ------------------------------------------------
+MODEL_SIZE_GROWTH = GrowthTrend("recsys model size", 20.0, 2.0)
+
+# -- Figure 2(d): infrastructure growth ---------------------------------------
+TRAINING_CAPACITY_GROWTH = GrowthTrend("AI training capacity", 2.9, 1.5)
+INFERENCE_CAPACITY_GROWTH = GrowthTrend("AI inference capacity", 2.5, 1.5)
+INFERENCE_DEMAND_GROWTH = GrowthTrend("daily inference count", 2.0, 3.0)
+
+# -- hardware counter-trend ----------------------------------------------------
+ACCELERATOR_MEMORY_GROWTH = GrowthTrend("accelerator memory (V100->A100)", 80.0 / 32.0, 3.0)
+
+ALL_TRENDS: tuple[GrowthTrend, ...] = (
+    DATA_GROWTH_RM_A,
+    DATA_GROWTH_RM_B,
+    INGESTION_BANDWIDTH_GROWTH,
+    MODEL_SIZE_GROWTH,
+    TRAINING_CAPACITY_GROWTH,
+    INFERENCE_CAPACITY_GROWTH,
+    INFERENCE_DEMAND_GROWTH,
+    ACCELERATOR_MEMORY_GROWTH,
+)
+
+
+def scaling_gap(model_trend: GrowthTrend, hardware_trend: GrowthTrend, years: float) -> float:
+    """How much faster demand grows than hardware supply over ``years``.
+
+    ``scaling_gap(MODEL_SIZE_GROWTH, ACCELERATOR_MEMORY_GROWTH, 2.0)`` is
+    the paper's "resource requirements for strong AI scaling clearly
+    outpace system hardware" claim as a single number (>1 = gap widening).
+    """
+    if years <= 0:
+        raise UnitError("years must be positive")
+    return model_trend.value_at(years) / hardware_trend.value_at(years)

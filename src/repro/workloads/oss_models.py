@@ -1,0 +1,103 @@
+"""Published reference footprints for open-source large-scale ML models.
+
+Training energy and emissions from Patterson et al., "Carbon Emissions and
+Large Neural Network Training" (2021), which the paper cites as its source
+for Figure 4's OSS comparison; BERT-NAS from Strubell et al. (2019).
+
+These are *anchors*: Figure 4 places Facebook's production models relative
+to them (fleet-average training footprint = 1.8x Meena and ~1/3 of
+GPT-3), and the "parameters do not predict carbon" observation (Switch
+Transformer's 1.5T parameters emitting far less than GPT-3's 175B) is a
+direct read off this table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.quantities import Carbon, Energy
+
+
+@dataclass(frozen=True, slots=True)
+class ReferenceFootprint:
+    """One published model-training footprint."""
+
+    name: str
+    parameters_billion: float
+    training_energy: Energy
+    training_carbon: Carbon
+    sparse: bool = False
+
+    @property
+    def carbon_per_parameter(self) -> float:
+        """gCO2e per million parameters — the non-correlation metric."""
+        return self.training_carbon.grams / (self.parameters_billion * 1e3)
+
+
+BERT_NAS = ReferenceFootprint(
+    "BERT-NAS", 0.11, Energy.from_mwh(650.0), Carbon.from_tonnes(284.0)
+)
+T5 = ReferenceFootprint("T5", 11.0, Energy.from_mwh(86.0), Carbon.from_tonnes(46.7))
+MEENA = ReferenceFootprint(
+    "Meena", 2.6, Energy.from_mwh(232.0), Carbon.from_tonnes(96.4)
+)
+GSHARD_600B = ReferenceFootprint(
+    "GShard-600B", 619.0, Energy.from_mwh(24.0), Carbon.from_tonnes(4.3), sparse=True
+)
+SWITCH_TRANSFORMER = ReferenceFootprint(
+    "Switch Transformer",
+    1500.0,
+    Energy.from_mwh(179.0),
+    Carbon.from_tonnes(59.1),
+    sparse=True,
+)
+GPT3 = ReferenceFootprint(
+    "GPT-3", 175.0, Energy.from_mwh(1287.0), Carbon.from_tonnes(552.1)
+)
+
+OSS_MODELS: tuple[ReferenceFootprint, ...] = (
+    BERT_NAS,
+    T5,
+    MEENA,
+    GSHARD_600B,
+    SWITCH_TRANSFORMER,
+    GPT3,
+)
+
+#: The paper: FB fleet-average training footprint is 1.8x Meena's.
+FB_AVG_TRAINING_VS_MEENA = 1.8
+#: ... and roughly one third of GPT-3's training footprint.
+FB_AVG_TRAINING_VS_GPT3 = 1.0 / 3.0
+
+#: Transformer_Big (Vaswani 2017) training footprints used in Figure 11.
+#: Patterson et al.: P100 setup ~8.8 MWh is for the evolved variant; the
+#: classic big model on 8xP100 for ~3.5 days lands near 0.66 MWh and
+#: ~0.28 tCO2e on the US grid; TPU training is ~4x more energy-efficient.
+TRANSFORMER_BIG_P100 = ReferenceFootprint(
+    "Transformer_Big (P100)", 0.21, Energy.from_mwh(0.66), Carbon.from_tonnes(0.283)
+)
+TRANSFORMER_BIG_TPU = ReferenceFootprint(
+    "Transformer_Big (TPU)", 0.21, Energy.from_mwh(0.165), Carbon.from_tonnes(0.071)
+)
+
+
+def fb_average_training_target() -> Carbon:
+    """Fleet-average FB training footprint implied by the paper's anchors.
+
+    1.8x Meena (173.5 t) and GPT-3/3 (184 t) agree to within ~6%; we use
+    the Meena anchor, which the paper states first.
+    """
+    return Carbon.from_tonnes(MEENA.training_carbon.tonnes * FB_AVG_TRAINING_VS_MEENA)
+
+
+def parameters_vs_carbon_correlation() -> float:
+    """Pearson correlation of parameter count vs training carbon.
+
+    The paper notes operational carbon "does not correlate with the number
+    of model parameters"; across the OSS anchors the correlation is weak.
+    """
+    import numpy as np
+
+    params = np.array([m.parameters_billion for m in OSS_MODELS])
+    carbon = np.array([m.training_carbon.tonnes for m in OSS_MODELS])
+    return float(np.corrcoef(params, carbon)[0, 1])

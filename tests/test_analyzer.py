@@ -1,0 +1,118 @@
+"""Holistic analyzer tests."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.carbon.intensity import AccountingMethod
+from repro.core.analyzer import FootprintAnalyzer, PhaseWorkload, TaskDescription
+from repro.core.footprint import Phase
+from repro.errors import UnitError
+
+hours = st.floats(min_value=0.0, max_value=1e6, allow_nan=False)
+
+
+def simple_task(train_hours=1000.0, infer_hours=2000.0) -> TaskDescription:
+    return TaskDescription(
+        name="task",
+        workloads=(
+            PhaseWorkload(Phase.OFFLINE_TRAINING, train_hours),
+            PhaseWorkload(Phase.INFERENCE, infer_hours),
+        ),
+    )
+
+
+class TestPhaseWorkload:
+    def test_validation(self):
+        with pytest.raises(UnitError):
+            PhaseWorkload(Phase.DATA, -1.0)
+        with pytest.raises(UnitError):
+            PhaseWorkload(Phase.DATA, 1.0, utilization=1.5)
+        with pytest.raises(UnitError):
+            PhaseWorkload(Phase.DATA, 1.0, devices_per_server=0)
+
+    def test_server_hours(self):
+        wl = PhaseWorkload(Phase.DATA, 100.0, devices_per_server=4)
+        assert wl.server_hours == 25.0
+
+
+class TestTaskDescription:
+    def test_duplicate_phase_rejected(self):
+        with pytest.raises(UnitError):
+            TaskDescription(
+                name="dup",
+                workloads=(
+                    PhaseWorkload(Phase.DATA, 1.0),
+                    PhaseWorkload(Phase.DATA, 2.0),
+                ),
+            )
+
+    def test_total_device_hours(self):
+        assert simple_task(100.0, 200.0).total_device_hours() == 300.0
+
+
+class TestFootprintAnalyzer:
+    def test_operational_positive(self):
+        fp = FootprintAnalyzer().analyze(simple_task())
+        assert fp.operational.carbon.kg > 0
+        assert fp.embodied.amortized.kg > 0
+
+    def test_market_based_is_zero_for_matched_fleet(self):
+        analyzer = FootprintAnalyzer().with_accounting(AccountingMethod.MARKET_BASED)
+        fp = analyzer.analyze(simple_task())
+        assert fp.operational.carbon.kg == 0.0
+        assert fp.embodied.amortized.kg > 0  # embodied survives matching
+
+    @given(hours)
+    def test_operational_linear_in_hours(self, h):
+        analyzer = FootprintAnalyzer()
+        base = analyzer.operational_footprint(simple_task(1000.0, 0.0)).carbon.kg
+        scaled = analyzer.operational_footprint(simple_task(2 * 1000.0, 0.0)).carbon.kg
+        assert math.isclose(scaled, 2 * base, rel_tol=1e-9)
+
+    def test_pue_inflates_energy(self):
+        from repro.energy.pue import Datacenter
+
+        lean = FootprintAnalyzer(datacenter=Datacenter(1.0))
+        fat = FootprintAnalyzer(datacenter=Datacenter(1.5))
+        task = simple_task()
+        assert (
+            fat.operational_footprint(task).energy.kwh
+            > lean.operational_footprint(task).energy.kwh
+        )
+
+    def test_higher_utilization_higher_phase_energy(self):
+        analyzer = FootprintAnalyzer()
+        low = TaskDescription(
+            "low", workloads=(PhaseWorkload(Phase.INFERENCE, 1000.0, 0.2),)
+        )
+        high = TaskDescription(
+            "high", workloads=(PhaseWorkload(Phase.INFERENCE, 1000.0, 0.9),)
+        )
+        assert (
+            analyzer.operational_footprint(high).energy.kwh
+            > analyzer.operational_footprint(low).energy.kwh
+        )
+
+    def test_embodied_scales_with_server_hours(self):
+        analyzer = FootprintAnalyzer()
+        small = analyzer.embodied_footprint(simple_task(1000.0, 0.0))
+        large = analyzer.embodied_footprint(simple_task(4000.0, 0.0))
+        assert math.isclose(large.amortized.kg, 4 * small.amortized.kg, rel_tol=1e-9)
+
+    def test_analyze_many(self):
+        analyzer = FootprintAnalyzer()
+        results = analyzer.analyze_many([simple_task(), simple_task()])
+        assert len(results) == 2
+        assert results[0].carbon.isclose(results[1].carbon)
+
+    def test_negative_host_overhead_rejected(self):
+        with pytest.raises(UnitError):
+            FootprintAnalyzer(host_overhead_watts=-1.0)
+
+    def test_with_accounting_preserves_other_settings(self):
+        analyzer = FootprintAnalyzer(host_overhead_watts=42.0)
+        other = analyzer.with_accounting(AccountingMethod.MARKET_BASED)
+        assert other.host_overhead_watts == 42.0
+        assert other.accounting is AccountingMethod.MARKET_BASED

@@ -1,0 +1,206 @@
+"""Cross-module consistency: independent code paths must agree.
+
+These tests pin the library's internal coherence: the closed-form
+uncertainty sampler against the analyzer, ladders against their step
+products, grid pricing linearity, retention budgets, and quantization
+bounds — the invariants a downstream user implicitly relies on when
+mixing subsystems.
+"""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.carbon.embodied import AmortizationPolicy
+from repro.carbon.grid import constant_grid_trace, synthesize_grid_trace
+from repro.carbon.intensity import AccountingMethod, CarbonIntensity
+from repro.core.analyzer import FootprintAnalyzer, PhaseWorkload, TaskDescription
+from repro.core.footprint import Phase
+from repro.core.quantities import Carbon
+from repro.core.uncertainty import ParameterPrior, _footprint_kg
+from repro.dataeff.perishability import HalfLifeModel
+from repro.energy.pue import Datacenter
+from repro.fleet.growth import JevonsModel
+from repro.models.quantization import QuantizationScheme, apply_quantization
+from repro.models.dlrm import make_dlrm
+from repro.optimization.ladder import OptimizationLadder, OptimizationStep
+from repro.workloads.facebook import production_tasks
+
+
+class TestAnalyzerVsClosedForm:
+    def test_uncertainty_formula_matches_analyzer(self):
+        """The Monte-Carlo kernel and the analyzer agree at mode params.
+
+        The closed form uses board watts directly; configure the analyzer
+        to match (no host overhead, full utilization so the power model
+        sits at TDP).
+        """
+        device_hours = 10_000.0
+        from repro.energy.devices import DeviceSpec, DeviceClass
+
+        device = DeviceSpec("probe", DeviceClass.GPU, 330.0, 0.0, 16.0, 10.0, 2020)
+        analyzer = FootprintAnalyzer(
+            datacenter=Datacenter(1.10),
+            amortization=AmortizationPolicy(4.0, 0.45),
+            host_overhead_watts=0.0,
+        )
+        task = TaskDescription(
+            "probe-task",
+            device=device,
+            workloads=(
+                PhaseWorkload(
+                    Phase.OFFLINE_TRAINING,
+                    device_hours,
+                    utilization=1.0,
+                    devices_per_server=2,
+                ),
+            ),
+        )
+        fp = analyzer.analyze(task)
+        closed = _footprint_kg(
+            device_hours,
+            intensity_kg_per_kwh=0.429,
+            pue=1.10,
+            device_watts=330.0,
+            utilization=0.45,
+            lifetime_years=4.0,
+            server_embodied_kg=2000.0,
+            devices_per_server=2.0,
+        )
+        assert fp.carbon.kg == pytest.approx(closed, rel=1e-6)
+
+
+class TestProductionTaskInvariants:
+    def test_market_based_zeroes_operational_for_all_tasks(self):
+        analyzer = FootprintAnalyzer().with_accounting(AccountingMethod.MARKET_BASED)
+        for task in production_tasks():
+            fp = analyzer.analyze(task)
+            assert fp.operational.carbon.kg == 0.0
+            assert fp.embodied.amortized.kg > 0.0
+
+    def test_embodied_independent_of_accounting_method(self):
+        location = FootprintAnalyzer()
+        market = location.with_accounting(AccountingMethod.MARKET_BASED)
+        for task in production_tasks(location):
+            a = location.embodied_footprint(task).amortized.kg
+            b = market.embodied_footprint(task).amortized.kg
+            assert a == pytest.approx(b)
+
+
+class TestLadderAlgebra:
+    @settings(max_examples=30)
+    @given(
+        st.lists(
+            st.floats(min_value=1.01, max_value=20.0, allow_nan=False),
+            min_size=1,
+            max_size=6,
+        )
+    )
+    def test_total_is_product_of_steps(self, gains):
+        ladder = OptimizationLadder(
+            tuple(OptimizationStep(f"s{i}", g) for i, g in enumerate(gains))
+        )
+        assert ladder.total_gain == pytest.approx(math.prod(gains), rel=1e-9)
+
+    @settings(max_examples=30)
+    @given(
+        st.lists(
+            st.floats(min_value=1.01, max_value=20.0, allow_nan=False),
+            min_size=1,
+            max_size=6,
+        )
+    )
+    def test_order_does_not_change_total(self, gains):
+        forward = OptimizationLadder(
+            tuple(OptimizationStep(f"s{i}", g) for i, g in enumerate(gains))
+        )
+        backward = OptimizationLadder(
+            tuple(
+                OptimizationStep(f"s{i}", g)
+                for i, g in enumerate(reversed(gains))
+            )
+        )
+        assert forward.total_gain == pytest.approx(backward.total_gain, rel=1e-9)
+
+
+class TestJevonsIdentity:
+    @settings(max_examples=30)
+    @given(
+        st.floats(min_value=0.0, max_value=0.5, allow_nan=False),
+        st.floats(min_value=0.8, max_value=1.5, allow_nan=False),
+        st.integers(min_value=1, max_value=8),
+    )
+    def test_trajectory_is_product_of_rates(self, gain, growth, halves):
+        model = JevonsModel(gain, growth)
+        traj = model.power_trajectory(halves)
+        expected = ((1 - gain) * growth) ** halves
+        assert traj[-1] == pytest.approx(expected, rel=1e-9)
+
+
+class TestGridPricingLinearity:
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(0, 200), st.floats(min_value=0.0, max_value=100.0))
+    def test_emissions_linear_in_load(self, seed, scale):
+        grid = synthesize_grid_trace(72, seed=seed)
+        profile = np.linspace(1.0, 5.0, 72)
+        one = grid.emissions_for_profile(profile).kg
+        scaled = grid.emissions_for_profile(profile * scale).kg
+        assert scaled == pytest.approx(scale * one, rel=1e-9, abs=1e-9)
+
+    def test_constant_grid_equals_intensity_times_energy(self):
+        grid = constant_grid_trace(CarbonIntensity(0.37), 24)
+        profile = np.full(24, 3.0)
+        assert grid.emissions_for_profile(profile).kg == pytest.approx(
+            0.37 * 72.0
+        )
+
+
+class TestRetentionBudget:
+    @settings(max_examples=30)
+    @given(
+        st.floats(min_value=0.2, max_value=20.0, allow_nan=False),
+        st.floats(min_value=0.05, max_value=1.0, allow_nan=False),
+        st.integers(min_value=2, max_value=12),
+    )
+    def test_schedule_hits_budget_when_feasible(self, half_life, budget, n_buckets):
+        model = HalfLifeModel(half_life)
+        ages = np.linspace(0, 10, n_buckets)
+        rates = model.retention_schedule(ages, budget)
+        assert np.all((rates >= -1e-12) & (rates <= 1.0 + 1e-12))
+        # Mean retention equals the budget whenever no bucket saturates,
+        # and never exceeds it materially otherwise.
+        assert np.mean(rates) <= budget + 0.05
+        if np.all(rates < 1.0 - 1e-9):
+            assert np.mean(rates) == pytest.approx(budget, abs=0.02)
+
+
+class TestQuantizationBounds:
+    @settings(max_examples=25)
+    @given(
+        st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+        st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+    )
+    def test_reductions_bounded_by_byte_ratio(self, emb_frac, mlp_frac):
+        model = make_dlrm("q", n_tables=4, rows_per_table=10_000)
+        scheme = QuantizationScheme(
+            embedding_fraction=emb_frac, mlp_fraction=mlp_frac, hotness_skew=1.0
+        )
+        impact = apply_quantization(model, scheme)
+        ceiling = 1.0 - scheme.byte_ratio
+        assert -1e-9 <= impact.size_reduction <= ceiling + 1e-9
+        assert -1e-9 <= impact.bandwidth_reduction <= ceiling + 1e-9
+
+
+class TestAmortizationCap:
+    @settings(max_examples=25)
+    @given(
+        st.floats(min_value=1.0, max_value=10.0, allow_nan=False),
+        st.floats(min_value=0.1, max_value=1.0, allow_nan=False),
+        st.floats(min_value=0.0, max_value=1e7, allow_nan=False),
+    )
+    def test_never_exceeds_manufacturing(self, lifetime, utilization, hours):
+        policy = AmortizationPolicy(lifetime, utilization)
+        charged = policy.amortize(Carbon(2000.0), hours)
+        assert charged.kg <= 2000.0 + 1e-9

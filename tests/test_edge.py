@@ -1,0 +1,156 @@
+"""Federated learning / edge tests (Figure 11 machinery)."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.carbon.intensity import WORLD_AVERAGE
+from repro.edge.comparison import figure11_bars, fl_vs_centralized_ratio
+from repro.edge.devices import DevicePopulation, SMARTPHONE_EMBODIED
+from repro.edge.energy_model import (
+    DEVICE_POWER_W,
+    ParticipationRecord,
+    ROUTER_POWER_W,
+    batch_energy_kwh,
+    participation_energy,
+)
+from repro.edge.fl import analyze_app, analyze_logs, communication_optimization_gain
+from repro.edge.logs import FL1, FL2, FLAppConfig, generate_logs
+from repro.errors import UnitError
+
+
+class TestEnergyModel:
+    def test_paper_powers(self):
+        assert DEVICE_POWER_W == 3.0
+        assert ROUTER_POWER_W == 7.5
+
+    def test_participation_energy(self):
+        record = ParticipationRecord(compute_s=3600.0, download_s=0.0, upload_s=0.0)
+        assert participation_energy(record).kwh == pytest.approx(3.0 / 1000.0)
+
+    def test_communication_uses_router_power(self):
+        record = ParticipationRecord(compute_s=0.0, download_s=1800.0, upload_s=1800.0)
+        assert participation_energy(record).kwh == pytest.approx(7.5 / 1000.0)
+
+    @given(
+        st.floats(min_value=0, max_value=1e5, allow_nan=False),
+        st.floats(min_value=0, max_value=1e5, allow_nan=False),
+    )
+    def test_batch_matches_singles(self, compute, comm):
+        compute_kwh, comm_kwh = batch_energy_kwh(
+            np.array([compute]), np.array([comm / 2]), np.array([comm / 2])
+        )
+        record = ParticipationRecord(compute, comm / 2, comm / 2)
+        assert math.isclose(
+            compute_kwh + comm_kwh,
+            participation_energy(record).kwh,
+            rel_tol=1e-9,
+            abs_tol=1e-15,
+        )
+
+    def test_negative_durations_rejected(self):
+        with pytest.raises(UnitError):
+            ParticipationRecord(-1.0, 0.0, 0.0)
+
+
+class TestLogs:
+    def test_log_volume(self):
+        logs = generate_logs(FL1, days=10, seed=0)
+        expected = FL1.clients_per_round * FL1.rounds_per_day * 10
+        assert logs.n_participations == pytest.approx(expected, rel=0.01)
+
+    def test_deterministic(self):
+        a = generate_logs(FL1, days=5, seed=3)
+        b = generate_logs(FL1, days=5, seed=3)
+        np.testing.assert_array_equal(a.compute_s, b.compute_s)
+
+    def test_bigger_model_longer_transfers(self):
+        small = FLAppConfig("s", 100, 1.0, model_mb=5.0, median_compute_s=60.0)
+        big = FLAppConfig("b", 100, 1.0, model_mb=50.0, median_compute_s=60.0)
+        s_logs = generate_logs(small, days=10, seed=0)
+        b_logs = generate_logs(big, days=10, seed=0)
+        assert b_logs.total_communication_s > s_logs.total_communication_s
+
+    def test_validation(self):
+        with pytest.raises(UnitError):
+            FLAppConfig("bad", 0, 1.0, 1.0, 1.0)
+        with pytest.raises(UnitError):
+            generate_logs(FL1, days=0)
+
+
+class TestAnalysis:
+    def test_footprint_components(self):
+        fp = analyze_app(FL1, days=30, seed=0)
+        assert fp.compute_energy.kwh > 0
+        assert fp.communication_energy.kwh > 0
+        assert fp.carbon.kg > 0
+        assert 0 < fp.communication_share < 1
+
+    def test_carbon_uses_intensity(self):
+        logs = generate_logs(FL1, days=10, seed=0)
+        fp = analyze_logs(logs, WORLD_AVERAGE)
+        assert fp.carbon.kg == pytest.approx(
+            fp.total_energy.kwh * WORLD_AVERAGE.kg_per_kwh
+        )
+
+    def test_communication_compression_gain(self):
+        fp = analyze_app(FL2, days=10, seed=0)
+        saved = communication_optimization_gain(fp, compression_ratio=4.0)
+        assert saved.kwh == pytest.approx(fp.communication_energy.kwh * 0.75)
+
+    def test_compression_below_one_rejected(self):
+        fp = analyze_app(FL2, days=10, seed=0)
+        with pytest.raises(UnitError):
+            communication_optimization_gain(fp, 0.5)
+
+
+class TestFigure11:
+    def test_six_bars(self):
+        bars = figure11_bars(days=30)
+        assert len(bars) == 6
+        assert [b.label for b in bars] == [
+            "FL-1",
+            "FL-2",
+            "P100-Base",
+            "TPU-Base",
+            "P100-Green",
+            "TPU-Green",
+        ]
+
+    def test_fl_comparable_to_centralized(self):
+        # "Comparable" = same order of magnitude.
+        ratio = fl_vs_centralized_ratio(days=90, seed=0)
+        assert 0.3 < ratio < 3.0
+
+    def test_green_bars_near_zero(self):
+        bars = {b.label: b.carbon.kg for b in figure11_bars(days=30)}
+        assert bars["P100-Green"] == 0.0
+        assert bars["TPU-Green"] == 0.0
+
+    def test_tpu_cleaner_than_p100(self):
+        bars = {b.label: b.carbon.kg for b in figure11_bars(days=30)}
+        assert bars["TPU-Base"] < bars["P100-Base"]
+
+
+class TestDevicePopulation:
+    def test_straggler_slowdown_grows_with_cohort(self):
+        pop = DevicePopulation(2000, speed_sigma=0.5)
+        small = pop.straggler_slowdown(8, seed=0)
+        large = pop.straggler_slowdown(128, seed=0)
+        assert large > small > 1.0
+
+    def test_embodied_accounting(self):
+        pop = DevicePopulation(1000)
+        carbon = pop.fl_embodied_carbon(total_compute_s=3600.0 * 100)
+        expected = pop.embodied_rate_per_active_hour(SMARTPHONE_EMBODIED) * 100
+        assert carbon.kg == pytest.approx(expected)
+
+    def test_manufacturing_share(self):
+        # 74% of a ~70 kg lifecycle.
+        assert SMARTPHONE_EMBODIED.kg == pytest.approx(70.0 * 0.74)
+
+    def test_validation(self):
+        with pytest.raises(UnitError):
+            DevicePopulation(0)

@@ -1,0 +1,97 @@
+"""Device catalog and power model tests."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.energy.devices import (
+    A100,
+    CLIENT_DEVICE,
+    DeviceClass,
+    DeviceSpec,
+    P100,
+    V100,
+    WIRELESS_ROUTER,
+    catalog,
+    device,
+    gpu_memory_growth_ratio,
+)
+from repro.energy.power_model import PowerModel
+from repro.errors import UnitError
+
+utilizations = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+
+
+class TestCatalog:
+    def test_lookup_roundtrip(self):
+        for name in catalog():
+            assert device(name).name == name
+
+    def test_unknown_device(self):
+        with pytest.raises(KeyError, match="NVIDIA V100"):
+            device("GTX 9090")
+
+    def test_paper_edge_powers(self):
+        # Appendix B methodology: 3 W device, 7.5 W router.
+        assert CLIENT_DEVICE.tdp_watts == 3.0
+        assert WIRELESS_ROUTER.tdp_watts == 7.5
+
+    def test_memory_growth_under_2x_per_2_years(self):
+        # V100 (2018, 32 GB) -> A100 (2021, 80 GB): 2.5x over 3 years
+        # means <2x per 2 years, the paper's point.
+        ratio = gpu_memory_growth_ratio(V100, A100)
+        per_2yr = ratio ** (2.0 / (A100.release_year - V100.release_year))
+        assert per_2yr < 2.0
+
+    def test_spec_validation(self):
+        with pytest.raises(UnitError):
+            DeviceSpec("bad", DeviceClass.GPU, 0.0, 0.1)
+        with pytest.raises(UnitError):
+            DeviceSpec("bad", DeviceClass.GPU, 100.0, 1.5)
+
+
+class TestPowerModel:
+    def test_idle_and_peak(self):
+        model = PowerModel(V100)
+        assert model.power_at(0.0).watts == pytest.approx(V100.tdp_watts * 0.15)
+        assert model.power_at(1.0).watts == pytest.approx(V100.tdp_watts)
+
+    @given(utilizations, utilizations)
+    def test_monotone_in_utilization(self, u1, u2):
+        model = PowerModel(V100)
+        lo, hi = sorted((u1, u2))
+        assert model.power_at(lo).watts <= model.power_at(hi).watts + 1e-12
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(UnitError):
+            PowerModel(V100).power_at(1.5)
+
+    def test_series_matches_scalar(self):
+        model = PowerModel(P100)
+        us = np.linspace(0, 1, 11)
+        series = model.power_series(us)
+        for u, w in zip(us, series):
+            assert math.isclose(w, model.power_at(float(u)).watts)
+
+    def test_series_validates(self):
+        with pytest.raises(UnitError):
+            PowerModel(P100).power_series(np.array([1.2]))
+
+    @given(st.floats(min_value=0.05, max_value=1.0, allow_nan=False))
+    def test_energy_per_work_decreases_with_utilization(self, u):
+        # The core utilization argument: static power amortizes.
+        model = PowerModel(V100)
+        assert model.energy_per_unit_work(u) <= model.energy_per_unit_work(u / 2)
+
+    def test_energy_per_work_infinite_at_zero(self):
+        assert PowerModel(V100).energy_per_unit_work(0.0) == float("inf")
+
+    def test_energy_for(self):
+        model = PowerModel(V100)
+        assert model.energy_for(1.0, 10.0).kwh == pytest.approx(3.0)
+
+    def test_alpha_validation(self):
+        with pytest.raises(UnitError):
+            PowerModel(V100, alpha=0.0)

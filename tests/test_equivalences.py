@@ -1,0 +1,40 @@
+"""EPA equivalence calculator tests."""
+
+import math
+
+from hypothesis import given, strategies as st
+
+from repro.core.equivalences import describe, equivalences, miles_driven
+from repro.core.quantities import Carbon
+
+
+class TestEquivalences:
+    def test_meena_scale_miles(self):
+        # The paper: Meena's footprint ~ 242,231 miles driven.  96.4 t at
+        # the EPA factor should land in that neighborhood.
+        miles = miles_driven(Carbon.from_tonnes(96.4))
+        assert 230_000 < miles < 255_000
+
+    def test_zero_carbon_zero_equivalents(self):
+        eq = equivalences(Carbon.zero())
+        assert all(v == 0.0 for v in eq.as_dict().values())
+
+    @given(st.floats(min_value=0.0, max_value=1e9, allow_nan=False))
+    def test_linear_in_carbon(self, kg):
+        one = equivalences(Carbon(1.0)).passenger_vehicle_miles
+        many = equivalences(Carbon(kg)).passenger_vehicle_miles
+        assert math.isclose(many, kg * one, rel_tol=1e-9, abs_tol=1e-9)
+
+    def test_describe_mentions_miles(self):
+        assert "miles" in describe(Carbon.from_tonnes(1.0))
+
+    def test_as_dict_has_all_keys(self):
+        eq = equivalences(Carbon(100.0)).as_dict()
+        assert set(eq) == {
+            "passenger_vehicle_miles",
+            "passenger_vehicle_years",
+            "homes_electricity_years",
+            "gallons_of_gasoline",
+            "tree_seedlings_grown_10yr",
+            "smartphone_charges",
+        }

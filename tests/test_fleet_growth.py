@@ -1,0 +1,154 @@
+"""Jevons model, Figure-6 stack, utilization distribution, simulator tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import CalibrationError, UnitError
+from repro.fleet.growth import (
+    FIG6_AREAS,
+    JevonsModel,
+    OptimizationArea,
+    average_half_gain,
+    composed_half_gains,
+    implied_demand_growth,
+)
+from repro.fleet.simulator import FleetSimulator, datacenter_electricity_series
+from repro.fleet.utilization import (
+    EXPERIMENTATION_UTILIZATION,
+    OPTIMIZED_TRAINING_UTILIZATION,
+    UtilizationDistribution,
+    utilization_histogram,
+)
+from repro.lifecycle.jobs import EXPERIMENTATION_JOBS
+from repro.workloads.traces import experiment_arrivals
+
+
+class TestJevons:
+    def test_paper_net_reduction(self):
+        assert JevonsModel().net_reduction(4) == pytest.approx(0.285, abs=1e-9)
+
+    def test_counterfactual_grows(self):
+        traj = JevonsModel().counterfactual_trajectory(4)
+        assert np.all(np.diff(traj) > 0)
+
+    def test_avoided_is_efficiency_compounding(self):
+        model = JevonsModel()
+        assert model.avoided_power_fraction(4) == pytest.approx(1 - 0.8**4)
+
+    def test_implied_demand_growth(self):
+        g = implied_demand_growth()
+        assert g**4 * 0.8**4 == pytest.approx(1 - 0.285)
+
+    @settings(max_examples=25)
+    @given(
+        st.floats(min_value=0.0, max_value=0.5, allow_nan=False),
+        st.floats(min_value=1.0, max_value=1.5, allow_nan=False),
+    )
+    def test_trajectory_starts_at_one(self, gain, growth):
+        model = JevonsModel(gain, growth)
+        traj = model.power_trajectory(4)
+        assert traj[0] == pytest.approx(1.0)
+
+    def test_no_efficiency_means_pure_growth(self):
+        model = JevonsModel(0.0, 1.1)
+        np.testing.assert_allclose(
+            model.power_trajectory(3), model.counterfactual_trajectory(3)
+        )
+
+    def test_validation(self):
+        with pytest.raises(UnitError):
+            JevonsModel(efficiency_gain_per_half=1.0)
+        with pytest.raises(CalibrationError):
+            implied_demand_growth(net_reduction=1.0)
+
+
+class TestFig6Stack:
+    def test_average_near_20_percent(self):
+        assert average_half_gain() == pytest.approx(0.20, abs=0.01)
+
+    def test_each_half_near_20_percent(self):
+        for gain in composed_half_gains():
+            assert 0.17 < gain < 0.23
+
+    def test_composition_less_than_sum(self):
+        # Multiplicative composition < naive addition of gains.
+        for i, total in enumerate(composed_half_gains()):
+            naive = sum(a.gains_per_half[i] for a in FIG6_AREAS)
+            assert total < naive
+
+    def test_mismatched_halves_rejected(self):
+        areas = (
+            OptimizationArea("a", (0.1, 0.1)),
+            OptimizationArea("b", (0.1,)),
+        )
+        with pytest.raises(CalibrationError):
+            composed_half_gains(areas)
+
+    def test_gain_range_validated(self):
+        with pytest.raises(UnitError):
+            OptimizationArea("bad", (1.0,))
+
+
+class TestUtilizationDistribution:
+    def test_paper_band_dominant(self):
+        band = EXPERIMENTATION_UTILIZATION.fraction_in_band(0.3, 0.5)
+        assert band > 0.5
+
+    def test_mode_in_band(self):
+        assert 0.3 <= EXPERIMENTATION_UTILIZATION.mode <= 0.5
+
+    def test_optimized_shifted_right(self):
+        assert (
+            OPTIMIZED_TRAINING_UTILIZATION.mean > EXPERIMENTATION_UTILIZATION.mean
+        )
+
+    def test_histogram_sums_to_one(self):
+        _, fractions = utilization_histogram(n_workflows=20_000)
+        assert np.sum(fractions) == pytest.approx(1.0)
+
+    def test_samples_in_unit_interval(self):
+        samples = EXPERIMENTATION_UTILIZATION.sample(1000, seed=3)
+        assert np.all((samples >= 0) & (samples <= 1))
+
+    def test_band_validation(self):
+        with pytest.raises(UnitError):
+            EXPERIMENTATION_UTILIZATION.fraction_in_band(0.5, 0.3)
+
+    def test_param_validation(self):
+        with pytest.raises(UnitError):
+            UtilizationDistribution(alpha=0.0)
+
+
+class TestFleetSimulator:
+    def test_run_produces_consistent_totals(self):
+        stream = experiment_arrivals(EXPERIMENTATION_JOBS, 50.0, 7.0, seed=1)
+        sim = FleetSimulator(training_gpus=512, inference_servers=200)
+        result = sim.run(stream, hours=168)
+        assert result.it_energy.kwh > 0
+        assert result.facility_energy.kwh == pytest.approx(
+            result.it_energy.kwh * 1.1, rel=1e-9
+        )
+        assert result.operational_carbon.kg > 0
+        assert result.embodied_total.kg > 0
+
+    def test_capacity_split_sums_to_one(self):
+        stream = experiment_arrivals(EXPERIMENTATION_JOBS, 50.0, 7.0, seed=1)
+        result = FleetSimulator(training_gpus=512, inference_servers=200).run(
+            stream, hours=168
+        )
+        split = result.capacity_split()
+        assert split["training"] + split["inference"] == pytest.approx(1.0)
+
+    def test_electricity_series_anchor(self):
+        series = datacenter_electricity_series()
+        assert series[2020].mwh == pytest.approx(7.17e6)
+
+    def test_electricity_series_monotone(self):
+        series = datacenter_electricity_series()
+        values = [series[y].mwh for y in sorted(series)]
+        assert all(a < b for a, b in zip(values, values[1:]))
+
+    def test_validation(self):
+        with pytest.raises(UnitError):
+            FleetSimulator(training_gpus=0)

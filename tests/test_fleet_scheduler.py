@@ -1,0 +1,76 @@
+"""Cluster scheduler invariants (incl. hypothesis stream generation)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import SchedulingError
+from repro.fleet.scheduler import schedule_fifo
+from repro.lifecycle.jobs import EXPERIMENTATION_JOBS
+from repro.workloads.traces import ExperimentStream, experiment_arrivals
+
+
+def make_stream(seed: int = 0, jobs_per_day: float = 30.0) -> ExperimentStream:
+    return experiment_arrivals(EXPERIMENTATION_JOBS, jobs_per_day, days=5, seed=seed)
+
+
+class TestScheduleFIFO:
+    def test_all_jobs_eventually_run(self):
+        stream = make_stream()
+        schedule = schedule_fifo(stream, total_gpus=256, horizon_hours=2000)
+        assert len(schedule.records) == len(stream)
+
+    def test_no_job_starts_before_submission(self):
+        schedule = schedule_fifo(make_stream(), 256, horizon_hours=2000)
+        for record in schedule.records:
+            assert record.start_hour >= record.submit_hour
+
+    def test_busy_gpus_never_exceed_capacity(self):
+        schedule = schedule_fifo(make_stream(), 128, horizon_hours=3000)
+        assert np.all(schedule.busy_gpus <= 128)
+        assert np.all(schedule.busy_gpus >= 0)
+
+    def test_oversized_job_rejected(self):
+        stream = ExperimentStream(
+            start_hours=np.array([0.0]),
+            duration_hours=np.array([1.0]),
+            n_gpus=np.array([999]),
+        )
+        with pytest.raises(SchedulingError):
+            schedule_fifo(stream, total_gpus=8)
+
+    def test_smaller_cluster_longer_waits(self):
+        stream = make_stream(jobs_per_day=60.0)
+        small = schedule_fifo(stream, 64, horizon_hours=4000)
+        large = schedule_fifo(stream, 1024, horizon_hours=4000)
+        assert small.mean_wait_hours >= large.mean_wait_hours
+
+    def test_utilization_series_in_unit_interval(self):
+        schedule = schedule_fifo(make_stream(), 256, horizon_hours=2000)
+        series = schedule.utilization_series()
+        assert np.all((series >= 0) & (series <= 1))
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(min_value=0, max_value=1000))
+    def test_capacity_invariant_random_streams(self, seed):
+        stream = make_stream(seed=seed, jobs_per_day=20.0)
+        if len(stream) == 0:
+            return
+        schedule = schedule_fifo(stream, 96, horizon_hours=2500)
+        assert np.all(schedule.busy_gpus <= 96)
+        assert len(schedule.records) == len(stream)
+
+    def test_backfill_at_least_as_good(self):
+        stream = make_stream(jobs_per_day=50.0)
+        with_bf = schedule_fifo(stream, 64, horizon_hours=4000, backfill=True)
+        without = schedule_fifo(stream, 64, horizon_hours=4000, backfill=False)
+        assert with_bf.mean_wait_hours <= without.mean_wait_hours + 1e-9
+
+    def test_gpu_hour_conservation(self):
+        # Total busy GPU-hours equals the sum of scheduled job demands
+        # (within the hourly discretization).
+        stream = make_stream(jobs_per_day=10.0)
+        schedule = schedule_fifo(stream, 512, horizon_hours=4000)
+        scheduled = sum(r.n_gpus * r.duration_hours for r in schedule.records)
+        busy = float(np.sum(schedule.busy_gpus))
+        assert busy == pytest.approx(scheduled, rel=0.1)

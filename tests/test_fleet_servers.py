@@ -1,0 +1,123 @@
+"""Server SKU, cluster, and auto-scaling tests."""
+
+import numpy as np
+import pytest
+
+from repro.core.quantities import Carbon, Power
+from repro.energy.devices import CPU_SERVER, V100
+from repro.errors import SimulationError, UnitError
+from repro.fleet.autoscale import (
+    AutoScalerConfig,
+    autoscale_tier,
+    opportunistic_training_hours,
+)
+from repro.fleet.cluster import Cluster
+from repro.fleet.server import (
+    AI_TRAINING_SKU,
+    Server,
+    ServerSKU,
+    WEB_SKU,
+)
+from repro.workloads.traces import diurnal_demand
+
+
+class TestServerSKU:
+    def test_power_includes_accelerators(self):
+        cpu_only = ServerSKU("cpu", CPU_SERVER)
+        with_gpus = AI_TRAINING_SKU
+        assert with_gpus.power_at(0.5).watts > cpu_only.power_at(0.5).watts
+
+    def test_peak_vs_idle(self):
+        assert AI_TRAINING_SKU.peak_power.watts > AI_TRAINING_SKU.idle_power.watts
+
+    def test_accelerator_consistency_checked(self):
+        with pytest.raises(UnitError):
+            ServerSKU("bad", CPU_SERVER, accelerator=V100, n_accelerators=0)
+        with pytest.raises(UnitError):
+            ServerSKU("bad", CPU_SERVER, n_accelerators=4)
+
+    def test_server_power_toggles(self):
+        server = Server(WEB_SKU, 0)
+        server.set_utilization(0.5)
+        assert server.current_power().watts > 0
+        server.powered = False
+        assert server.current_power().watts == 0.0
+
+    def test_utilization_validated(self):
+        server = Server(WEB_SKU, 0)
+        with pytest.raises(UnitError):
+            server.set_utilization(1.5)
+
+
+class TestCluster:
+    def test_embodied_total(self):
+        cluster = Cluster("c", WEB_SKU, 10)
+        assert cluster.embodied_total().kg == pytest.approx(WEB_SKU.embodied.kg * 10)
+
+    def test_power_servers(self):
+        cluster = Cluster("c", WEB_SKU, 10)
+        cluster.set_uniform_utilization(0.5)
+        full = cluster.current_power().watts
+        cluster.power_servers(5)
+        assert cluster.powered_count == 5
+        assert cluster.current_power().watts < full
+
+    def test_power_servers_bounds(self):
+        cluster = Cluster("c", WEB_SKU, 4)
+        with pytest.raises(SimulationError):
+            cluster.power_servers(5)
+
+    def test_set_utilizations_shape_checked(self):
+        cluster = Cluster("c", WEB_SKU, 4)
+        with pytest.raises(UnitError):
+            cluster.set_utilizations(np.array([0.5, 0.5]))
+
+    def test_mean_utilization_only_powered(self):
+        cluster = Cluster("c", WEB_SKU, 4)
+        cluster.set_uniform_utilization(0.8)
+        cluster.power_servers(2)
+        assert cluster.mean_utilization() == pytest.approx(0.8)
+
+    def test_headroom(self):
+        cluster = Cluster("c", WEB_SKU, 2, power_budget=Power(1000.0))
+        cluster.set_uniform_utilization(0.0)
+        assert cluster.headroom().watts <= 1000.0
+
+    def test_energy_over_hours(self):
+        cluster = Cluster("c", WEB_SKU, 2)
+        cluster.set_uniform_utilization(1.0)
+        energy = cluster.energy_over_hours(10.0)
+        assert energy.kwh == pytest.approx(
+            2 * WEB_SKU.peak_power.watts * 10 / 1000.0
+        )
+
+
+class TestAutoscale:
+    def test_frees_up_to_quarter(self):
+        result = autoscale_tier(diurnal_demand(168, seed=0), 1000)
+        assert 0.15 < result.peak_freed_fraction < 0.40  # paper: "up to 25%"
+
+    def test_saves_energy(self):
+        result = autoscale_tier(diurnal_demand(168, seed=0), 1000)
+        assert result.energy_saving_fraction > 0.0
+
+    def test_respects_floor(self):
+        config = AutoScalerConfig(min_powered_fraction=0.9)
+        result = autoscale_tier(diurnal_demand(168, seed=0), 100, config=config)
+        assert np.all(result.powered_servers >= 90)
+
+    def test_never_exceeds_tier(self):
+        result = autoscale_tier(diurnal_demand(168, seed=1), 500)
+        assert np.all(result.powered_servers <= 500)
+        assert np.all(result.freed_servers >= 0)
+
+    def test_demand_validated(self):
+        with pytest.raises(UnitError):
+            autoscale_tier(np.array([1.5]), 10)
+
+    def test_opportunistic_hours(self):
+        result = autoscale_tier(diurnal_demand(48, seed=0), 100)
+        hours = opportunistic_training_hours(result)
+        assert hours == pytest.approx(float(np.sum(result.freed_servers)))
+        gpu_hours = opportunistic_training_hours(result, gpus_per_server=8)
+        assert gpu_hours == pytest.approx(8 * hours)

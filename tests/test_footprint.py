@@ -1,0 +1,151 @@
+"""Footprint record tests."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.footprint import (
+    EmbodiedFootprint,
+    OperationalFootprint,
+    PHASE_ORDER,
+    Phase,
+    PhaseFootprint,
+    TotalFootprint,
+)
+from repro.core.quantities import Carbon, Energy
+from repro.errors import UnitError
+
+
+def make_op(**phase_kg: float) -> OperationalFootprint:
+    mapping = {}
+    for name, kg in phase_kg.items():
+        phase = Phase(name.replace("_", "-"))
+        mapping[phase] = (Energy(kg * 2.0), Carbon(kg))
+    return OperationalFootprint.from_mapping(mapping)
+
+
+class TestOperationalFootprint:
+    def test_total_energy_and_carbon(self):
+        op = make_op(data=10.0, inference=30.0)
+        assert op.carbon.kg == 40.0
+        assert op.energy.kwh == 80.0
+
+    def test_duplicate_phase_rejected(self):
+        pf = PhaseFootprint(Phase.DATA, Energy(1.0), Carbon(1.0))
+        with pytest.raises(UnitError):
+            OperationalFootprint((pf, pf))
+
+    def test_missing_phase_reads_zero(self):
+        op = make_op(data=10.0)
+        assert op.phase_carbon(Phase.INFERENCE).kg == 0.0
+        assert op.phase_energy(Phase.INFERENCE).kwh == 0.0
+
+    def test_carbon_shares_sum_to_one(self):
+        op = make_op(data=10.0, offline_training=20.0, inference=70.0)
+        shares = op.carbon_shares()
+        assert math.isclose(sum(shares.values()), 1.0)
+        assert math.isclose(shares[Phase.INFERENCE], 0.7)
+
+    def test_empty_shares(self):
+        op = OperationalFootprint(())
+        assert op.carbon_shares() == {}
+
+    def test_training_inference_split_excludes_data(self):
+        op = make_op(data=100.0, offline_training=30.0, inference=70.0)
+        train, infer = op.training_inference_split()
+        assert math.isclose(train, 0.3)
+        assert math.isclose(infer, 0.7)
+
+    def test_split_counts_all_training_phases(self):
+        op = make_op(
+            experimentation=10.0,
+            offline_training=20.0,
+            online_training=20.0,
+            inference=50.0,
+        )
+        train, infer = op.training_inference_split()
+        assert math.isclose(train, 0.5)
+        assert math.isclose(infer, 0.5)
+
+    def test_merged_sums_phasewise(self):
+        a = make_op(data=10.0, inference=5.0)
+        b = make_op(inference=15.0, offline_training=2.0)
+        merged = a.merged(b)
+        assert merged.phase_carbon(Phase.DATA).kg == 10.0
+        assert merged.phase_carbon(Phase.INFERENCE).kg == 20.0
+        assert merged.phase_carbon(Phase.OFFLINE_TRAINING).kg == 2.0
+
+    @given(
+        st.lists(
+            st.floats(min_value=0.0, max_value=1e6, allow_nan=False),
+            min_size=2,
+            max_size=2,
+        )
+    )
+    def test_merge_preserves_total(self, kgs):
+        a = make_op(data=kgs[0])
+        b = make_op(data=kgs[1])
+        assert math.isclose(
+            a.merged(b).carbon.kg, kgs[0] + kgs[1], rel_tol=1e-9, abs_tol=1e-9
+        )
+
+    def test_merged_respects_phase_order(self):
+        a = make_op(inference=1.0)
+        b = make_op(data=1.0)
+        merged = a.merged(b)
+        phases = [pf.phase for pf in merged.phases]
+        assert phases == [p for p in PHASE_ORDER if p in phases]
+
+
+class TestPhaseFootprint:
+    def test_scaled(self):
+        pf = PhaseFootprint(Phase.DATA, Energy(2.0), Carbon(4.0))
+        scaled = pf.scaled(0.5)
+        assert scaled.energy.kwh == 1.0
+        assert scaled.carbon.kg == 2.0
+
+    def test_scaled_rejects_negative(self):
+        pf = PhaseFootprint(Phase.DATA, Energy(2.0), Carbon(4.0))
+        with pytest.raises(UnitError):
+            pf.scaled(-1.0)
+
+
+class TestEmbodiedFootprint:
+    def test_amortized_cannot_exceed_manufacturing(self):
+        with pytest.raises(UnitError):
+            EmbodiedFootprint(amortized=Carbon(10.0), total_manufacturing=Carbon(5.0))
+
+    def test_zero_manufacturing_means_unchecked(self):
+        fp = EmbodiedFootprint(amortized=Carbon(10.0))
+        assert fp.amortized.kg == 10.0
+
+
+class TestTotalFootprint:
+    def test_shares_sum_to_one(self):
+        total = TotalFootprint(
+            name="t",
+            operational=make_op(inference=70.0),
+            embodied=EmbodiedFootprint(Carbon(30.0)),
+        )
+        assert math.isclose(total.embodied_share + total.operational_share, 1.0)
+        assert total.carbon.kg == 100.0
+
+    def test_describe_contains_name_and_shares(self):
+        total = TotalFootprint(
+            name="my-task",
+            operational=make_op(inference=70.0),
+            embodied=EmbodiedFootprint(Carbon(30.0)),
+        )
+        text = total.describe()
+        assert "my-task" in text
+        assert "30%" in text
+
+    def test_zero_total_has_zero_shares(self):
+        total = TotalFootprint(
+            name="idle",
+            operational=OperationalFootprint(()),
+            embodied=EmbodiedFootprint(Carbon.zero()),
+        )
+        assert total.embodied_share == 0.0
+        assert total.operational_share == 0.0

@@ -1,0 +1,129 @@
+"""Carbon forecasting and uncertainty-analysis tests."""
+
+import numpy as np
+import pytest
+
+from repro.carbon.forecast import (
+    diurnal_forecast,
+    forecast_mape,
+    forecast_quality_sweep,
+    noisy_oracle,
+    persistence_forecast,
+    schedule_with_forecast,
+)
+from repro.carbon.grid import constant_grid_trace, synthesize_grid_trace
+from repro.carbon.intensity import CarbonIntensity
+from repro.core.uncertainty import (
+    DEFAULT_PRIORS,
+    ParameterPrior,
+    monte_carlo_footprint,
+    tornado_sensitivity,
+)
+from repro.errors import UnitError
+from repro.scheduling.jobs import synthesize_jobs
+
+
+TRUTH = synthesize_grid_trace(168, seed=11)
+JOBS = synthesize_jobs(20, 168, seed=11)
+
+
+class TestForecasters:
+    def test_oracle_noise_zero_is_truth(self):
+        forecast = noisy_oracle(TRUTH, 168, 0.0)
+        np.testing.assert_allclose(forecast, TRUTH.intensity_kg_per_kwh)
+        assert forecast_mape(forecast, TRUTH) == 0.0
+
+    def test_mape_grows_with_noise(self):
+        low = forecast_mape(noisy_oracle(TRUTH, 168, 0.1, seed=1), TRUTH)
+        high = forecast_mape(noisy_oracle(TRUTH, 168, 0.5, seed=1), TRUTH)
+        assert high > low
+
+    def test_persistence_repeats_last_day(self):
+        forecast = persistence_forecast(TRUTH, 48)
+        np.testing.assert_allclose(forecast[:24], TRUTH.intensity_kg_per_kwh[-24:])
+        np.testing.assert_allclose(forecast[24:], forecast[:24])
+
+    def test_diurnal_captures_solar_cycle(self):
+        forecast = diurnal_forecast(TRUTH, 24)
+        # Noon should be forecast cleaner than midnight on a solar grid.
+        assert forecast[12] < forecast[0]
+
+    def test_forecasts_beat_nothing(self):
+        # Both simple forecasters do far better than a 100%-noise oracle.
+        wild = forecast_mape(noisy_oracle(TRUTH, 168, 1.0, seed=2), TRUTH)
+        assert forecast_mape(persistence_forecast(TRUTH, 168), TRUTH) < wild
+        assert forecast_mape(diurnal_forecast(TRUTH, 168), TRUTH) < wild
+
+    def test_validation(self):
+        with pytest.raises(UnitError):
+            persistence_forecast(TRUTH, 0)
+        short = constant_grid_trace(CarbonIntensity(0.4), 10)
+        with pytest.raises(UnitError):
+            persistence_forecast(short, 24)
+
+
+class TestForecastScheduling:
+    def test_oracle_forecast_matches_direct_scheduling(self):
+        from repro.scheduling.carbon_aware import schedule_carbon_aware
+
+        forecast = noisy_oracle(TRUTH, 168, 0.0)
+        _, realized = schedule_with_forecast(JOBS, TRUTH, forecast, 168)
+        direct = schedule_carbon_aware(JOBS, TRUTH, 168)
+        assert realized.kg == pytest.approx(direct.total_carbon.kg, rel=1e-9)
+
+    def test_noisier_forecasts_never_beat_oracle(self):
+        rows = forecast_quality_sweep(JOBS, TRUTH, 168, noise_levels=(0.0, 0.5))
+        assert rows[1]["realized_saving"] <= rows[0]["realized_saving"] + 1e-9
+
+    def test_sweep_rows_shape(self):
+        rows = forecast_quality_sweep(JOBS, TRUTH, 168, noise_levels=(0.0, 0.2))
+        assert len(rows) == 2
+        assert set(rows[0]) == {"noise", "mape", "realized_saving"}
+
+    def test_short_forecast_rejected(self):
+        with pytest.raises(UnitError):
+            schedule_with_forecast(JOBS, TRUTH, np.ones(10), 168)
+
+
+class TestUncertainty:
+    def test_distribution_brackets_mean(self):
+        mc = monte_carlo_footprint(50_000, n_samples=5000)
+        assert mc.p05_kg < mc.mean_kg < mc.p95_kg
+        assert mc.relative_spread > 0.3  # the appendix's 'easily perturbed'
+
+    def test_zero_work_zero_footprint(self):
+        mc = monte_carlo_footprint(0.0, n_samples=100)
+        assert mc.mean_kg == 0.0
+
+    def test_deterministic_per_seed(self):
+        a = monte_carlo_footprint(1000.0, n_samples=500, seed=3)
+        b = monte_carlo_footprint(1000.0, n_samples=500, seed=3)
+        assert a.mean_kg == b.mean_kg
+
+    def test_tornado_sorted_by_swing(self):
+        bars = tornado_sensitivity(50_000)
+        swings = [b.swing_kg for b in bars]
+        assert swings == sorted(swings, reverse=True)
+
+    def test_intensity_dominates_default_priors(self):
+        bars = tornado_sensitivity(50_000)
+        assert bars[0].parameter == "intensity_kg_per_kwh"
+
+    def test_fixed_parameter_excluded_from_tornado(self):
+        bars = tornado_sensitivity(50_000)
+        assert all(b.parameter != "devices_per_server" for b in bars)
+
+    def test_missing_prior_rejected(self):
+        partial = {"pue": ParameterPrior(1.0, 1.1, 1.2)}
+        with pytest.raises(UnitError):
+            monte_carlo_footprint(1000.0, priors=partial)
+
+    def test_prior_validation(self):
+        with pytest.raises(UnitError):
+            ParameterPrior(2.0, 1.0, 3.0)
+
+    def test_default_priors_cover_paper_ranges(self):
+        assert DEFAULT_PRIORS["utilization"].low == 0.30
+        assert DEFAULT_PRIORS["utilization"].high == 0.60
+        assert DEFAULT_PRIORS["lifetime_years"].low == 3.0
+        assert DEFAULT_PRIORS["lifetime_years"].high == 5.0

@@ -1,0 +1,128 @@
+"""Grid trace synthesis tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.carbon.grid import (
+    GridMixParams,
+    GridTrace,
+    constant_grid_trace,
+    synthesize_grid_trace,
+)
+from repro.carbon.intensity import CarbonIntensity
+from repro.errors import UnitError
+
+
+class TestSynthesis:
+    def test_deterministic_for_seed(self):
+        a = synthesize_grid_trace(168, seed=7)
+        b = synthesize_grid_trace(168, seed=7)
+        np.testing.assert_array_equal(a.intensity_kg_per_kwh, b.intensity_kg_per_kwh)
+
+    def test_different_seeds_differ(self):
+        a = synthesize_grid_trace(168, seed=1)
+        b = synthesize_grid_trace(168, seed=2)
+        assert not np.array_equal(a.intensity_kg_per_kwh, b.intensity_kg_per_kwh)
+
+    def test_solar_zero_at_night(self):
+        trace = synthesize_grid_trace(48, seed=0)
+        night_hours = [h for h in range(48) if h % 24 in (0, 1, 2, 3, 22, 23)]
+        assert np.allclose(trace.solar_share[night_hours], 0.0)
+
+    def test_solar_positive_at_noon(self):
+        trace = synthesize_grid_trace(48, seed=0)
+        noon_hours = [h for h in range(48) if h % 24 == 12]
+        assert np.all(trace.solar_share[noon_hours] > 0.0)
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(min_value=24, max_value=24 * 14), st.integers(0, 100))
+    def test_intensity_bounded_by_sources(self, hours, seed):
+        params = GridMixParams()
+        trace = synthesize_grid_trace(hours, params, seed)
+        assert np.all(
+            trace.intensity_kg_per_kwh
+            <= params.dispatchable_intensity.kg_per_kwh + 1e-12
+        )
+        assert np.all(trace.intensity_kg_per_kwh >= 0.0)
+
+    def test_shares_never_exceed_one(self):
+        trace = synthesize_grid_trace(500, seed=3)
+        assert np.all(trace.renewable_share <= 1.0)
+        assert np.all(trace.renewable_share >= 0.0)
+
+    def test_rejects_zero_hours(self):
+        with pytest.raises(UnitError):
+            synthesize_grid_trace(0)
+
+    def test_params_validation(self):
+        with pytest.raises(UnitError):
+            GridMixParams(solar_capacity_fraction=0.7, wind_capacity_fraction=0.5)
+        with pytest.raises(UnitError):
+            GridMixParams(cloudiness=1.5)
+
+
+class TestGridTrace:
+    def test_constant_trace(self):
+        trace = constant_grid_trace(CarbonIntensity(0.3), 24)
+        assert len(trace) == 24
+        assert np.allclose(trace.intensity_kg_per_kwh, 0.3)
+
+    def test_intensity_at_wraps(self):
+        trace = constant_grid_trace(CarbonIntensity(0.3), 24)
+        assert trace.intensity_at(25).kg_per_kwh == 0.3
+
+    def test_emissions_for_profile(self):
+        trace = constant_grid_trace(CarbonIntensity(0.5), 24)
+        kwh = np.full(24, 2.0)
+        assert trace.emissions_for_profile(kwh).kg == pytest.approx(24.0)
+
+    def test_emissions_profile_tiles_past_trace(self):
+        trace = constant_grid_trace(CarbonIntensity(0.5), 24)
+        kwh = np.full(48, 1.0)
+        assert trace.emissions_for_profile(kwh).kg == pytest.approx(24.0)
+
+    def test_emissions_rejects_negative_profile(self):
+        trace = constant_grid_trace(CarbonIntensity(0.5), 24)
+        with pytest.raises(UnitError):
+            trace.emissions_for_profile(np.array([-1.0]))
+
+    def test_greenest_window_finds_cleanest(self):
+        intensity = np.full(48, 1.0)
+        intensity[10:14] = 0.1
+        trace = GridTrace(
+            solar_share=np.zeros(48),
+            wind_share=np.zeros(48),
+            intensity_kg_per_kwh=intensity,
+        )
+        assert trace.greenest_window(4) == 10
+
+    def test_greenest_window_wraps(self):
+        intensity = np.full(24, 1.0)
+        intensity[22:] = 0.0
+        intensity[:2] = 0.0
+        trace = GridTrace(
+            solar_share=np.zeros(24),
+            wind_share=np.zeros(24),
+            intensity_kg_per_kwh=intensity,
+        )
+        assert trace.greenest_window(4) == 22
+
+    def test_greenest_window_validates_size(self):
+        trace = constant_grid_trace(CarbonIntensity(0.3), 24)
+        with pytest.raises(UnitError):
+            trace.greenest_window(0)
+        with pytest.raises(UnitError):
+            trace.greenest_window(25)
+
+    def test_mismatched_arrays_rejected(self):
+        with pytest.raises(UnitError):
+            GridTrace(
+                solar_share=np.zeros(3),
+                wind_share=np.zeros(4),
+                intensity_kg_per_kwh=np.zeros(3),
+            )
+
+    def test_average_intensity(self):
+        trace = constant_grid_trace(CarbonIntensity(0.42), 24)
+        assert trace.average_intensity().kg_per_kwh == pytest.approx(0.42)

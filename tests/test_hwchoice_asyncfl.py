@@ -1,0 +1,124 @@
+"""Hardware-choice and async-FL tests."""
+
+import pytest
+
+from repro.carbon.intensity import CARBON_FREE
+from repro.core.quantities import Carbon
+from repro.edge.async_fl import run_async, run_sync, sync_vs_async
+from repro.edge.selection import synthesize_population
+from repro.errors import UnitError
+from repro.fleet.hardware_choice import (
+    ALL_PLATFORMS,
+    ASIC_PLATFORM,
+    CPU_PLATFORM,
+    GPU_PLATFORM,
+    PlatformChoice,
+    break_even_lifetime,
+    carbon_per_exawork,
+    effective_efficiency,
+    platform_ranking,
+)
+
+
+class TestEffectiveEfficiency:
+    def test_cpu_never_degrades(self):
+        assert effective_efficiency(CPU_PLATFORM, 10.0) == pytest.approx(1.0)
+
+    def test_asic_advantage_decays(self):
+        fresh = effective_efficiency(ASIC_PLATFORM, 0.0)
+        aged = effective_efficiency(ASIC_PLATFORM, 6.0)
+        assert fresh == pytest.approx(ASIC_PLATFORM.relative_efficiency)
+        assert aged < fresh
+        assert aged > 1.0  # never falls below the CPU baseline
+
+    def test_slower_churn_preserves_advantage(self):
+        fast = effective_efficiency(ASIC_PLATFORM, 6.0, algorithm_cadence_years=1.0)
+        slow = effective_efficiency(ASIC_PLATFORM, 6.0, algorithm_cadence_years=4.0)
+        assert slow > fast
+
+    def test_validation(self):
+        with pytest.raises(UnitError):
+            effective_efficiency(CPU_PLATFORM, -1.0)
+        with pytest.raises(UnitError):
+            PlatformChoice("bad", 0.0, Carbon(1.0), 0.5, 1.0)
+
+
+class TestCarbonPerWork:
+    def test_gpu_beats_cpu_always(self):
+        for years in (1.0, 5.0, 10.0):
+            assert carbon_per_exawork(GPU_PLATFORM, years) < carbon_per_exawork(
+                CPU_PLATFORM, years
+            )
+
+    def test_asic_best_for_short_deployments(self):
+        ranking = platform_ranking(2.0)
+        assert ranking[0][0] == "ASIC"
+
+    def test_crossover_exists_under_fast_churn(self):
+        crossover = break_even_lifetime(ASIC_PLATFORM, GPU_PLATFORM)
+        assert crossover is not None
+        assert 5.0 < crossover < 12.0
+
+    def test_no_crossover_under_slow_churn(self):
+        crossover = break_even_lifetime(
+            ASIC_PLATFORM, GPU_PLATFORM, algorithm_cadence_years=4.0
+        )
+        assert crossover is None
+
+    def test_carbon_free_supply_leaves_only_embodied(self):
+        # With clean energy, only embodied carbon remains, so every
+        # platform's kg-per-work falls, and the residual cost is exactly
+        # embodied / lifetime work.
+        for platform in (CPU_PLATFORM, GPU_PLATFORM, ASIC_PLATFORM):
+            dirty = carbon_per_exawork(platform, 4.0)
+            clean = carbon_per_exawork(platform, 4.0, intensity=CARBON_FREE)
+            assert clean < dirty
+            assert clean > 0.0  # embodied never disappears
+
+    def test_ranking_covers_all_platforms(self):
+        ranking = platform_ranking(3.0)
+        assert {name for name, _ in ranking} == {p.name for p in ALL_PLATFORMS}
+
+    def test_validation(self):
+        with pytest.raises(UnitError):
+            carbon_per_exawork(CPU_PLATFORM, 0.0)
+
+
+POPULATION = synthesize_population(n_clients=2000, seed=1)
+
+
+class TestAsyncFL:
+    def test_async_much_faster_at_same_updates(self):
+        outcomes = sync_vs_async(POPULATION, target_updates=3200, seed=1)
+        assert outcomes["async"].wall_clock_s < outcomes["sync"].wall_clock_s / 2
+
+    def test_energy_comparable(self):
+        outcomes = sync_vs_async(POPULATION, target_updates=3200, seed=1)
+        ratio = (
+            outcomes["async"].total_energy.kwh / outcomes["sync"].total_energy.kwh
+        )
+        assert 0.7 < ratio < 1.3
+
+    def test_async_pays_in_staleness(self):
+        outcomes = sync_vs_async(POPULATION, target_updates=3200, seed=1)
+        assert outcomes["sync"].mean_staleness == 0.0
+        assert outcomes["async"].mean_staleness > 0.0
+        assert outcomes["async"].p95_staleness >= outcomes["async"].mean_staleness
+
+    def test_update_counts_match_target(self):
+        sync = run_sync(POPULATION, target_updates=1000, cohort_size=64, seed=2)
+        asyn = run_async(POPULATION, target_updates=1000, seed=2)
+        assert sync.updates_applied >= 1000
+        assert asyn.updates_applied == 1000
+
+    def test_larger_buffer_lowers_version_churn(self):
+        small = run_async(POPULATION, target_updates=2000, buffer_size=2, seed=3)
+        large = run_async(POPULATION, target_updates=2000, buffer_size=50, seed=3)
+        # Fewer version bumps -> lower measured staleness in versions.
+        assert large.mean_staleness < small.mean_staleness
+
+    def test_validation(self):
+        with pytest.raises(UnitError):
+            run_sync(POPULATION, target_updates=0)
+        with pytest.raises(UnitError):
+            run_async(POPULATION, target_updates=10, buffer_size=0)

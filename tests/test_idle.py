@@ -1,0 +1,97 @@
+"""Idle-state management tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import UnitError
+from repro.fleet.idle import (
+    CState,
+    DEFAULT_MENU,
+    IdleGovernor,
+    idle_saving_sweep,
+    simulate_idle_management,
+)
+
+
+class TestCState:
+    def test_menu_ordered_deeper_is_cheaper_but_slower(self):
+        powers = [s.power_fraction for s in DEFAULT_MENU]
+        latencies = [s.wake_latency_ms for s in DEFAULT_MENU]
+        assert powers == sorted(powers, reverse=True)
+        assert latencies == sorted(latencies)
+
+    def test_validation(self):
+        with pytest.raises(UnitError):
+            CState("bad", power_fraction=1.5, wake_latency_ms=1.0)
+        with pytest.raises(UnitError):
+            CState("bad", power_fraction=0.5, wake_latency_ms=-1.0)
+
+
+class TestGovernor:
+    def test_short_idle_stays_shallow(self):
+        governor = IdleGovernor()
+        assert governor.choose(0.0).name == "C1"
+
+    def test_long_idle_goes_deep(self):
+        governor = IdleGovernor()
+        assert governor.choose(1000.0).name == "C6"
+
+    def test_slo_excludes_slow_states(self):
+        governor = IdleGovernor(latency_slo_ms=0.05)
+        chosen = governor.choose(1000.0)
+        assert chosen.wake_latency_ms <= 0.05
+
+    def test_break_even_positive_for_deep_states(self):
+        governor = IdleGovernor()
+        assert governor.break_even_ms(DEFAULT_MENU[-1]) > 0.0
+
+    @settings(max_examples=30)
+    @given(st.floats(min_value=0, max_value=1e4, allow_nan=False))
+    def test_choice_always_valid(self, predicted):
+        state = IdleGovernor().choose(predicted)
+        assert state in DEFAULT_MENU
+
+    def test_validation(self):
+        with pytest.raises(UnitError):
+            IdleGovernor(menu=())
+        with pytest.raises(UnitError):
+            IdleGovernor().choose(-1.0)
+
+
+class TestSimulation:
+    def test_saves_energy_on_long_idles(self):
+        result = simulate_idle_management(IdleGovernor(), mean_idle_ms=200.0, seed=0)
+        assert result.energy_saving_fraction > 0.5
+        assert result.governed_energy.kwh < result.baseline_energy.kwh
+
+    def test_savings_grow_with_idle_length(self):
+        sweep = idle_saving_sweep(np.array([2.0, 50.0, 1000.0]), seed=0)
+        savings = [s for _, s in sweep]
+        assert savings[0] < savings[-1]
+
+    def test_tight_slo_limits_savings(self):
+        loose = simulate_idle_management(
+            IdleGovernor(latency_slo_ms=1.0), mean_idle_ms=100.0, seed=1
+        )
+        tight = simulate_idle_management(
+            IdleGovernor(latency_slo_ms=0.05), mean_idle_ms=100.0, seed=1
+        )
+        assert tight.energy_saving_fraction < loose.energy_saving_fraction
+
+    def test_slo_violations_counted(self):
+        # A governor whose SLO admits C6 (0.6 ms) but we measure against a
+        # stricter effective SLO by constructing a custom governor whose
+        # menu violates its own SLO: ensure counting path works.
+        governor = IdleGovernor(latency_slo_ms=0.5)
+        result = simulate_idle_management(governor, mean_idle_ms=200.0, seed=2)
+        # All chosen states respect the SLO, so violations are zero.
+        assert result.slo_violations == 0
+
+    def test_state_counts_cover_all_intervals(self):
+        result = simulate_idle_management(IdleGovernor(), n_intervals=500, seed=3)
+        assert sum(result.state_counts.values()) == 500
+
+    def test_validation(self):
+        with pytest.raises(UnitError):
+            simulate_idle_management(IdleGovernor(), mean_idle_ms=0.0)

@@ -1,0 +1,106 @@
+"""Ingestion-pipeline simulator and BOM calculator tests."""
+
+import pytest
+
+from repro.carbon.components import (
+    AI_TRAINING_BOM,
+    CPU_COMPUTE_BOM,
+    STORAGE_BOM,
+    ServerBOM,
+    design_comparison,
+    memory_technology_comparison,
+)
+from repro.errors import SimulationError, UnitError
+from repro.lifecycle.ingestion_sim import (
+    IngestionPipelineSpec,
+    derive_disaggregation_gain,
+    simulate_pipeline,
+    workers_to_saturate,
+)
+
+
+class TestIngestionSim:
+    SPEC = IngestionPipelineSpec()
+
+    def test_throughput_monotone_in_workers(self):
+        results = [simulate_pipeline(self.SPEC, n) for n in (2, 5, 9, 16)]
+        throughputs = [r.throughput_batches_per_s for r in results]
+        assert all(a <= b + 1e-6 for a, b in zip(throughputs, throughputs[1:]))
+
+    def test_throughput_capped_by_trainer(self):
+        result = simulate_pipeline(self.SPEC, 32)
+        assert result.throughput_batches_per_s <= self.SPEC.trainer_consume_rate + 1e-9
+
+    def test_starved_trainer_stalls(self):
+        result = simulate_pipeline(self.SPEC, 2)
+        assert result.trainer_stall_fraction > 0.5
+
+    def test_saturated_trainer_barely_stalls(self):
+        n = workers_to_saturate(self.SPEC)
+        result = simulate_pipeline(self.SPEC, n)
+        assert result.trainer_utilization >= 0.99
+
+    def test_derived_gain_near_paper(self):
+        derived = derive_disaggregation_gain()
+        assert derived.throughput_gain == pytest.approx(0.56, abs=0.10)
+
+    def test_storage_bound_pipeline(self):
+        spec = IngestionPipelineSpec(storage_read_rate=50.0)
+        result = simulate_pipeline(spec, 64)
+        # Storage at 50 batch/s caps throughput regardless of workers.
+        assert result.throughput_batches_per_s < 60.0
+
+    def test_unsaturatable_pipeline_raises(self):
+        spec = IngestionPipelineSpec(storage_read_rate=50.0)
+        with pytest.raises(SimulationError):
+            workers_to_saturate(spec)
+
+    def test_no_jitter_is_deterministic(self):
+        a = simulate_pipeline(self.SPEC, 9, jitter=0.0)
+        b = simulate_pipeline(self.SPEC, 9, jitter=0.0)
+        assert a.throughput_batches_per_s == b.throughput_batches_per_s
+
+    def test_validation(self):
+        with pytest.raises(UnitError):
+            simulate_pipeline(self.SPEC, 0)
+        with pytest.raises(UnitError):
+            IngestionPipelineSpec(trainer_consume_rate=0.0)
+
+
+class TestServerBOM:
+    def test_totals_positive_and_ordered(self):
+        cpu = CPU_COMPUTE_BOM.total().kg
+        ai = AI_TRAINING_BOM.total().kg
+        assert 0 < cpu < ai
+
+    def test_lines_sum_to_total(self):
+        for bom in (CPU_COMPUTE_BOM, AI_TRAINING_BOM, STORAGE_BOM):
+            lines_sum = sum(line.carbon.kg for line in bom.lines())
+            assert lines_sum == pytest.approx(bom.total().kg)
+
+    def test_ai_server_dominated_by_hbm(self):
+        assert AI_TRAINING_BOM.dominant_component() == "HBM"
+
+    def test_storage_dominated_by_drives(self):
+        assert STORAGE_BOM.dominant_component() == "HDD"
+
+    def test_zero_quantities_omitted(self):
+        bom = ServerBOM("min", logic_die_cm2=1.0, dram_gb=0.0, nand_gb=0.0)
+        names = [line.component for line in bom.lines()]
+        assert "DRAM" not in names
+        assert "chassis/PCB/PSU" in names
+
+    def test_memory_orders_of_magnitude(self):
+        memory = memory_technology_comparison(512.0)
+        assert memory["hbm_over_nand"] > 10.0  # "orders-of-magnitude"
+        assert memory["hbm_kg"] > memory["dram_kg"] > memory["nand_kg"]
+
+    def test_design_comparison(self):
+        result = design_comparison(CPU_COMPUTE_BOM, AI_TRAINING_BOM)
+        assert result["ratio"] > 3.0
+
+    def test_validation(self):
+        with pytest.raises(UnitError):
+            ServerBOM("bad", logic_die_cm2=-1.0)
+        with pytest.raises(UnitError):
+            memory_technology_comparison(0.0)

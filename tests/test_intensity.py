@@ -1,0 +1,79 @@
+"""Carbon intensity and accounting-method tests."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.carbon.intensity import (
+    AccountingMethod,
+    CARBON_FREE,
+    CarbonIntensity,
+    DualIntensity,
+    RENEWABLE_MATCHED_FLEET,
+    US_AVERAGE,
+    intensity_for_region,
+    regions,
+)
+from repro.core.quantities import Energy
+from repro.errors import UnitError
+
+
+class TestCarbonIntensity:
+    def test_emissions(self):
+        ci = CarbonIntensity(0.5)
+        assert ci.emissions(Energy(10.0)).kg == 5.0
+
+    def test_rejects_negative(self):
+        with pytest.raises(UnitError):
+            CarbonIntensity(-0.1)
+
+    def test_g_per_kwh_view(self):
+        assert CarbonIntensity(0.429).g_per_kwh == 429.0
+
+    @given(
+        st.floats(min_value=0, max_value=2, allow_nan=False),
+        st.floats(min_value=0, max_value=1e6, allow_nan=False),
+    )
+    def test_emissions_linear_in_energy(self, intensity, kwh):
+        ci = CarbonIntensity(intensity)
+        assert math.isclose(
+            ci.emissions(Energy(kwh)).kg, intensity * kwh, rel_tol=1e-9, abs_tol=1e-9
+        )
+
+    def test_scaled(self):
+        assert US_AVERAGE.scaled(0.5).kg_per_kwh == pytest.approx(0.2145)
+
+    def test_scaled_rejects_negative(self):
+        with pytest.raises(UnitError):
+            US_AVERAGE.scaled(-1.0)
+
+
+class TestRegionTable:
+    def test_all_regions_resolvable(self):
+        for name in regions():
+            assert intensity_for_region(name).label == name
+
+    def test_unknown_region_raises_with_suggestions(self):
+        with pytest.raises(KeyError, match="us-average"):
+            intensity_for_region("atlantis")
+
+    def test_carbon_free_is_zero(self):
+        assert CARBON_FREE.kg_per_kwh == 0.0
+
+    def test_coal_dirtier_than_nuclear(self):
+        assert (
+            intensity_for_region("coal").kg_per_kwh
+            > intensity_for_region("nuclear").kg_per_kwh
+        )
+
+
+class TestDualIntensity:
+    def test_method_selection(self):
+        dual = DualIntensity(location=US_AVERAGE, market=CARBON_FREE)
+        assert dual.for_method(AccountingMethod.LOCATION_BASED) is US_AVERAGE
+        assert dual.for_method(AccountingMethod.MARKET_BASED) is CARBON_FREE
+
+    def test_renewable_matched_fleet(self):
+        assert RENEWABLE_MATCHED_FLEET.market.kg_per_kwh == 0.0
+        assert RENEWABLE_MATCHED_FLEET.location.kg_per_kwh > 0.0

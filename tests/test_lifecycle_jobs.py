@@ -1,0 +1,85 @@
+"""Job duration model tests (paper percentile calibration)."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import CalibrationError
+from repro.lifecycle.jobs import (
+    EXPERIMENTATION_JOBS,
+    JobDurationModel,
+    PRODUCTION_TRAINING_JOBS,
+    TRILLION_PARAM_THRESHOLD_GPU_DAYS,
+    expected_cluster_gpu_days,
+)
+
+
+class TestPaperCalibration:
+    def test_experimentation_percentiles(self):
+        assert EXPERIMENTATION_JOBS.quantile(0.5) == pytest.approx(1.5)
+        assert EXPERIMENTATION_JOBS.quantile(0.99) == pytest.approx(24.0)
+
+    def test_production_percentiles(self):
+        assert PRODUCTION_TRAINING_JOBS.quantile(0.5) == pytest.approx(2.96)
+        assert PRODUCTION_TRAINING_JOBS.quantile(0.99) == pytest.approx(125.0)
+
+    def test_trillion_param_tail_exists_but_is_rare(self):
+        frac = PRODUCTION_TRAINING_JOBS.exceedance_fraction(
+            TRILLION_PARAM_THRESHOLD_GPU_DAYS
+        )
+        assert 0.0 < frac < 0.01
+
+    def test_samples_match_quantiles(self):
+        samples = EXPERIMENTATION_JOBS.sample_gpu_days(200_000, seed=0)
+        assert np.percentile(samples, 50) == pytest.approx(1.5, rel=0.05)
+        assert np.percentile(samples, 99) == pytest.approx(24.0, rel=0.10)
+
+
+class TestJobDurationModel:
+    @settings(max_examples=30)
+    @given(
+        st.floats(min_value=0.1, max_value=50.0, allow_nan=False),
+        st.floats(min_value=1.5, max_value=100.0, allow_nan=False),
+    )
+    def test_fit_reproduces_percentiles(self, p50, ratio):
+        p99 = p50 * ratio
+        model = JobDurationModel.from_percentiles(p50, p99)
+        assert math.isclose(model.quantile(0.5), p50, rel_tol=1e-9)
+        assert math.isclose(model.quantile(0.99), p99, rel_tol=1e-9)
+
+    def test_mean_exceeds_median(self):
+        # Lognormal is right-skewed.
+        assert EXPERIMENTATION_JOBS.mean_gpu_days > EXPERIMENTATION_JOBS.median_gpu_days
+
+    def test_invalid_percentiles_rejected(self):
+        with pytest.raises(CalibrationError):
+            JobDurationModel.from_percentiles(5.0, 4.0)
+        with pytest.raises(CalibrationError):
+            JobDurationModel.from_percentiles(0.0, 4.0)
+
+    def test_quantile_range_checked(self):
+        with pytest.raises(CalibrationError):
+            EXPERIMENTATION_JOBS.quantile(1.5)
+
+    def test_gpu_hours_conversion(self):
+        days = EXPERIMENTATION_JOBS.sample_gpu_days(100, seed=1)
+        hours = EXPERIMENTATION_JOBS.sample_gpu_hours(100, seed=1)
+        np.testing.assert_allclose(hours, days * 24.0)
+
+    def test_exceedance_monotone(self):
+        assert EXPERIMENTATION_JOBS.exceedance_fraction(
+            1.0
+        ) > EXPERIMENTATION_JOBS.exceedance_fraction(10.0)
+
+    def test_exceedance_at_zero_is_one(self):
+        assert EXPERIMENTATION_JOBS.exceedance_fraction(0.0) == 1.0
+
+    def test_expected_cluster_gpu_days(self):
+        total = expected_cluster_gpu_days(EXPERIMENTATION_JOBS, 100)
+        assert math.isclose(total, EXPERIMENTATION_JOBS.mean_gpu_days * 100)
+
+    def test_negative_sample_count_rejected(self):
+        with pytest.raises(CalibrationError):
+            EXPERIMENTATION_JOBS.sample_gpu_days(-1)

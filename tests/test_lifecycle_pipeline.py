@@ -1,0 +1,151 @@
+"""Cadence, data pipeline, and end-to-end pipeline tests."""
+
+import math
+
+import pytest
+
+from repro.core.footprint import Phase
+from repro.core.quantities import Carbon, Energy, Power
+from repro.errors import UnitError
+from repro.lifecycle.cadence import (
+    Cadence,
+    RECOMMENDATION_CADENCE,
+    RetrainingPolicy,
+    SEARCH_CADENCE,
+    TRANSLATION_CADENCE,
+)
+from repro.lifecycle.datapipeline import DataPipelineSpec
+from repro.lifecycle.pipeline import FleetCapacitySplit, PipelineSpec
+
+
+class TestCadence:
+    def test_paper_cadences(self):
+        assert SEARCH_CADENCE.cadence is Cadence.HOURLY
+        assert TRANSLATION_CADENCE.cadence is Cadence.WEEKLY
+
+    def test_hourly_runs_per_year(self):
+        assert Cadence.HOURLY.runs_per_year == pytest.approx(8766.0)
+
+    def test_weekly_runs_per_year(self):
+        assert Cadence.WEEKLY.runs_per_year == pytest.approx(52.18, rel=1e-3)
+
+    def test_annual_carbon_scales_with_cadence(self):
+        per_run = Carbon(10.0)
+        hourly = RetrainingPolicy(Cadence.HOURLY).annual_carbon(per_run)
+        weekly = RetrainingPolicy(Cadence.WEEKLY).annual_carbon(per_run)
+        assert hourly.kg / weekly.kg == pytest.approx(7 * 24, rel=1e-3)
+
+    def test_online_training_adds_cost(self):
+        per_run = Carbon(10.0)
+        offline_only = RetrainingPolicy(Cadence.MONTHLY).annual_carbon(per_run)
+        with_online = RECOMMENDATION_CADENCE.annual_carbon(per_run)
+        assert with_online.kg == pytest.approx(2 * offline_only.kg)
+
+    def test_once_cadence(self):
+        once = RetrainingPolicy(Cadence.ONCE)
+        assert once.annual_carbon(Carbon(10.0)).kg == 0.0
+
+    def test_annual_energy(self):
+        policy = RetrainingPolicy(Cadence.YEARLY)
+        assert policy.annual_energy(Energy(5.0)).kwh == pytest.approx(5.0)
+
+    def test_negative_online_fraction_rejected(self):
+        with pytest.raises(UnitError):
+            RetrainingPolicy(Cadence.MONTHLY, online_fraction_of_offline=-0.1)
+
+
+class TestDataPipeline:
+    def test_power_composition(self):
+        spec = DataPipelineSpec(stored_petabytes=10.0, ingestion_gb_per_s=5.0)
+        expected = 10.0 * 450.0 + 5.0 * 220.0
+        assert spec.total_power.watts == pytest.approx(expected)
+
+    def test_energy_over_hours(self):
+        spec = DataPipelineSpec(1.0, 0.0)
+        assert spec.energy_over_hours(10.0).kwh == pytest.approx(4.5)
+
+    def test_scaled_bandwidth_superlinear(self):
+        # Paper: 2.4x data -> 3.2x bandwidth.
+        spec = DataPipelineSpec(10.0, 10.0)
+        scaled = spec.scaled(2.4)
+        bw_factor = scaled.ingestion_gb_per_s / spec.ingestion_gb_per_s
+        assert bw_factor == pytest.approx(3.2, rel=0.02)
+        assert scaled.stored_petabytes == pytest.approx(24.0)
+
+    def test_scaled_rejects_nonpositive(self):
+        with pytest.raises(UnitError):
+            DataPipelineSpec(1.0, 1.0).scaled(0.0)
+
+    def test_validation(self):
+        with pytest.raises(UnitError):
+            DataPipelineSpec(-1.0, 0.0)
+
+
+class TestFleetCapacitySplit:
+    def test_paper_split_default(self):
+        split = FleetCapacitySplit()
+        assert (split.experimentation, split.training, split.inference) == (
+            0.10,
+            0.20,
+            0.70,
+        )
+
+    def test_must_sum_to_one(self):
+        with pytest.raises(UnitError):
+            FleetCapacitySplit(0.5, 0.5, 0.5)
+
+    def test_allocation(self):
+        alloc = FleetCapacitySplit().allocate(Power.from_mw(10.0))
+        assert alloc["inference"].mw == pytest.approx(7.0)
+        total = sum(p.watts for p in alloc.values())
+        assert total == pytest.approx(10e6)
+
+
+class TestPipelineSpec:
+    def test_rm1_split_matches_paper(self):
+        from repro.experiments.fig03 import rm1_pipeline
+
+        split = rm1_pipeline().energy_split()
+        assert split["data"] == pytest.approx(0.31, abs=0.02)
+        assert split["experimentation/training"] == pytest.approx(0.29, abs=0.02)
+        assert split["inference"] == pytest.approx(0.40, abs=0.02)
+
+    def test_split_sums_to_one(self):
+        from repro.experiments.fig03 import rm1_pipeline
+
+        assert sum(rm1_pipeline().energy_split().values()) == pytest.approx(1.0)
+
+    def test_phase_energy_keys(self):
+        from repro.experiments.fig03 import rm1_pipeline
+
+        per_phase = rm1_pipeline().phase_energy_over_year()
+        assert set(per_phase) == {
+            Phase.DATA,
+            Phase.EXPERIMENTATION,
+            Phase.OFFLINE_TRAINING,
+            Phase.ONLINE_TRAINING,
+            Phase.INFERENCE,
+        }
+
+    def test_online_training_mirrors_offline_for_rms(self):
+        from repro.experiments.fig03 import rm1_pipeline
+
+        per_phase = rm1_pipeline().phase_energy_over_year()
+        assert math.isclose(
+            per_phase[Phase.ONLINE_TRAINING].kwh,
+            per_phase[Phase.OFFLINE_TRAINING].kwh,
+            rel_tol=1e-9,
+        )
+
+    def test_validation(self):
+        from repro.lifecycle.cadence import RetrainingPolicy
+
+        with pytest.raises(UnitError):
+            PipelineSpec(
+                name="bad",
+                data=DataPipelineSpec(1.0, 1.0),
+                experimentation_gpu_hours_per_year=-1.0,
+                training_gpu_hours_per_run=1.0,
+                retraining=RetrainingPolicy(Cadence.MONTHLY),
+                inference_devices=1.0,
+            )

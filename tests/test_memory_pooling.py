@@ -1,0 +1,74 @@
+"""Memory-pooling (rack disaggregation) tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import UnitError
+from repro.fleet.memory_pooling import (
+    MemoryDemandModel,
+    pooling_scaling_curve,
+    pooling_study,
+)
+
+
+class TestDemandModel:
+    def test_sample_shape_and_positivity(self):
+        demand = MemoryDemandModel(n_servers=8).sample(hours=100, seed=0)
+        assert demand.shape == (100, 8)
+        assert np.all(demand > 0)
+
+    def test_bursts_raise_peaks(self):
+        calm = MemoryDemandModel(n_servers=8, burst_probability=0.0)
+        bursty = MemoryDemandModel(n_servers=8, burst_probability=0.2)
+        assert bursty.sample(500, seed=1).max() > calm.sample(500, seed=1).max()
+
+    def test_deterministic_per_seed(self):
+        model = MemoryDemandModel()
+        np.testing.assert_array_equal(model.sample(50, seed=2), model.sample(50, seed=2))
+
+    def test_validation(self):
+        with pytest.raises(UnitError):
+            MemoryDemandModel(n_servers=0)
+        with pytest.raises(UnitError):
+            MemoryDemandModel(burst_probability=1.5)
+
+
+class TestPoolingStudy:
+    def test_pooling_never_needs_more_than_dedicated(self):
+        result = pooling_study(seed=0)
+        assert result.pooled_gb <= result.dedicated_gb
+        assert 0.0 <= result.dram_saving_fraction < 1.0
+
+    def test_meaningful_saving_at_rack_scale(self):
+        result = pooling_study(seed=0)
+        assert result.dram_saving_fraction > 0.3
+        assert result.embodied_avoided.kg > 0
+
+    def test_stranded_fraction_substantial(self):
+        result = pooling_study(seed=0)
+        assert result.stranded_fraction_dedicated > 0.3
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(0, 100))
+    def test_invariants_across_seeds(self, seed):
+        result = pooling_study(hours=300, seed=seed)
+        assert result.pooled_gb <= result.dedicated_gb + 1e-9
+        assert 0.0 <= result.stranded_fraction_dedicated < 1.0
+
+    def test_saving_grows_with_rack_size(self):
+        curve = pooling_scaling_curve(rack_sizes=(4, 64), seed=0)
+        assert curve[1][1] > curve[0][1]
+
+    def test_no_bursts_little_saving(self):
+        # Without bursts, peaks and means coincide (modulo noise), so
+        # pooling saves much less.
+        calm = pooling_study(
+            MemoryDemandModel(burst_probability=0.0, noise_gb=2.0), seed=0
+        )
+        bursty = pooling_study(seed=0)
+        assert calm.dram_saving_fraction < bursty.dram_saving_fraction
+
+    def test_headroom_validation(self):
+        with pytest.raises(UnitError):
+            pooling_study(headroom=0.9)

@@ -1,0 +1,125 @@
+"""Leaderboard metrics and multi-objective search tests."""
+
+import numpy as np
+import pytest
+
+from repro.core.metrics import (
+    Leaderboard,
+    RankingPolicy,
+    Submission,
+    marginal_quality_cost,
+)
+from repro.core.quantities import Carbon, Energy
+from repro.errors import UnitError
+from repro.optimization.monas import (
+    ArchitectureSpace,
+    accuracy_only_search,
+    carbon_aware_gain,
+    nsga_lite,
+)
+
+
+BOARD = Leaderboard(
+    (
+        Submission("big", 0.92, Energy(1000.0), Carbon(400.0)),
+        Submission("mid", 0.91, Energy(100.0), Carbon(40.0)),
+        Submission("small", 0.88, Energy(10.0), Carbon(4.0)),
+    )
+)
+
+
+class TestLeaderboard:
+    def test_quality_only_picks_biggest(self):
+        assert BOARD.winner().name == "big"
+
+    def test_efficiency_policies_rerank(self):
+        assert BOARD.winner(RankingPolicy.QUALITY_PER_KWH).name == "small"
+        assert BOARD.winner(RankingPolicy.QUALITY_PER_KG).name == "small"
+
+    def test_budget_policy(self):
+        winner = BOARD.winner(RankingPolicy.QUALITY_AT_BUDGET, Carbon(50.0))
+        assert winner.name == "mid"
+
+    def test_budget_requires_value(self):
+        with pytest.raises(UnitError):
+            BOARD.rank(RankingPolicy.QUALITY_AT_BUDGET)
+
+    def test_impossible_budget_rejected(self):
+        with pytest.raises(UnitError):
+            BOARD.rank(RankingPolicy.QUALITY_AT_BUDGET, Carbon(1.0))
+
+    def test_ranking_change_counts_moves(self):
+        assert BOARD.ranking_change(RankingPolicy.QUALITY_PER_KG) > 0
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(UnitError):
+            Leaderboard((BOARD.submissions[0], BOARD.submissions[0]))
+
+    def test_submission_requires_energy(self):
+        with pytest.raises(UnitError):
+            Submission("free", 0.9, Energy(0.0), Carbon(0.0))
+
+    def test_marginal_cost(self):
+        cost = marginal_quality_cost(
+            BOARD.submissions[2], BOARD.submissions[0]
+        )
+        assert cost["quality_gain"] == pytest.approx(0.04)
+        assert cost["kwh_per_quality_point"] == pytest.approx(990.0 / 0.04)
+
+    def test_marginal_cost_requires_gain(self):
+        with pytest.raises(UnitError):
+            marginal_quality_cost(BOARD.submissions[0], BOARD.submissions[2])
+
+
+class TestArchitectureSpace:
+    SPACE = ArchitectureSpace(seed=1)
+
+    def test_evaluate_bounds(self):
+        error, energy = self.SPACE.evaluate(np.full(self.SPACE.n_dims, 0.5))
+        assert 0 < error < 1
+        assert energy > 0
+
+    def test_capacity_reduces_error(self):
+        lo, _ = self.SPACE.evaluate(np.zeros(self.SPACE.n_dims))
+        hi, _ = self.SPACE.evaluate(np.ones(self.SPACE.n_dims))
+        assert hi < lo
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(UnitError):
+            self.SPACE.evaluate(np.full(self.SPACE.n_dims, 1.5))
+
+    def test_shape_checked(self):
+        with pytest.raises(UnitError):
+            self.SPACE.evaluate(np.zeros(self.SPACE.n_dims + 1))
+
+
+class TestSearch:
+    def test_nsga_front_nondominated(self):
+        result = nsga_lite(ArchitectureSpace(seed=0), population=20, generations=8)
+        front = result.front()
+        for point in front:
+            dominated = np.all(result.points <= point, axis=1) & np.any(
+                result.points < point, axis=1
+            )
+            assert not np.any(dominated)
+
+    def test_carbon_aware_gain_positive(self):
+        gains = carbon_aware_gain(seed=0)
+        assert gains["energy_saving_factor"] > 1.5
+
+    def test_min_energy_within_slack_monotone(self):
+        result = nsga_lite(ArchitectureSpace(seed=0), population=20, generations=8)
+        tight = result.min_energy_within(0.005)
+        loose = result.min_energy_within(0.05)
+        assert loose <= tight
+
+    def test_accuracy_only_search_shape(self):
+        result = accuracy_only_search(ArchitectureSpace(seed=0), n_trials=50)
+        assert result.points.shape == (50, 2)
+        assert result.evaluations == 50
+
+    def test_validation(self):
+        with pytest.raises(UnitError):
+            nsga_lite(ArchitectureSpace(), population=2)
+        with pytest.raises(UnitError):
+            accuracy_only_search(ArchitectureSpace(), n_trials=0)

@@ -1,0 +1,117 @@
+"""DLRM cost model and quantization tests."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import UnitError
+from repro.models.dlrm import DLRMSpec, EmbeddingTableSpec, make_dlrm
+from repro.models.quantization import (
+    QuantizationScheme,
+    RM2_SCHEME,
+    apply_quantization,
+    latency_gain_on_small_memory_device,
+)
+
+
+class TestEmbeddingTable:
+    def test_sizes(self):
+        t = EmbeddingTableSpec(rows=1000, dim=64)
+        assert t.n_params == 64_000
+        assert t.size_bytes == 256_000.0
+
+    def test_bytes_per_sample(self):
+        t = EmbeddingTableSpec(rows=1000, dim=64, lookups_per_sample=3)
+        assert t.bytes_read_per_sample == 3 * 64 * 4.0
+
+    def test_validation(self):
+        with pytest.raises(UnitError):
+            EmbeddingTableSpec(rows=0, dim=64)
+
+
+class TestDLRMSpec:
+    def test_embedding_dominates_size(self):
+        # Paper: embeddings can exceed 95% of model bytes.
+        model = make_dlrm("RM")
+        assert model.embedding_size_share > 0.95
+
+    def test_param_accounting_consistent(self):
+        model = make_dlrm("RM", n_tables=4, rows_per_table=1000)
+        assert model.n_params == model.embedding_params + model.mlp_params
+
+    def test_inference_roofline_memory_bound(self):
+        model = make_dlrm("RM")
+        # Huge compute, tiny bandwidth: memory path dominates.
+        slow_mem = model.inference_time_s(1e15, 1e9)
+        fast_mem = model.inference_time_s(1e15, 1e12)
+        assert slow_mem > fast_mem
+
+    def test_batch_scales_latency(self):
+        model = make_dlrm("RM", n_tables=4, rows_per_table=1000)
+        assert model.inference_time_s(1e12, 1e10, batch_size=8) == pytest.approx(
+            8 * model.inference_time_s(1e12, 1e10, batch_size=1)
+        )
+
+    def test_fits_in_memory(self):
+        model = make_dlrm("RM", n_tables=2, rows_per_table=1000, dim=8)
+        assert model.fits_in_memory(1e9)
+        assert not model.fits_in_memory(1e3)
+
+    def test_scaled_embeddings(self):
+        model = make_dlrm("RM", n_tables=2, rows_per_table=1000)
+        bigger = model.scaled_embeddings(row_factor=2.0)
+        assert bigger.embedding_params == pytest.approx(
+            2 * model.embedding_params, rel=0.01
+        )
+
+    def test_needs_tables(self):
+        with pytest.raises(UnitError):
+            DLRMSpec(name="x", tables=(), bottom_mlp=(1, 2), top_mlp=(2, 1))
+
+
+class TestQuantization:
+    def test_rm2_paper_numbers(self):
+        impact = apply_quantization(make_dlrm("RM2"), RM2_SCHEME)
+        assert impact.size_reduction == pytest.approx(0.15, abs=0.01)
+        assert impact.bandwidth_reduction == pytest.approx(0.207, abs=0.01)
+
+    def test_full_fp16_halves_size(self):
+        scheme = QuantizationScheme(embedding_fraction=1.0, mlp_fraction=1.0)
+        impact = apply_quantization(make_dlrm("RM"), scheme)
+        assert impact.size_reduction == pytest.approx(0.5, abs=0.01)
+
+    def test_rm1_latency_gain_paper(self):
+        rm1 = make_dlrm("RM1", n_tables=30, rows_per_table=2_000_000)
+        gain = latency_gain_on_small_memory_device(
+            rm1, QuantizationScheme(embedding_fraction=1.0, mlp_fraction=1.0)
+        )
+        assert gain == pytest.approx(2.5, rel=0.1)
+
+    @settings(max_examples=25)
+    @given(st.floats(min_value=0.0, max_value=1.0, allow_nan=False))
+    def test_more_quantization_more_reduction(self, fraction):
+        model = make_dlrm("RM", n_tables=4, rows_per_table=10_000)
+        partial = apply_quantization(
+            model, QuantizationScheme(embedding_fraction=fraction, hotness_skew=1.0)
+        )
+        full = apply_quantization(
+            model, QuantizationScheme(embedding_fraction=1.0, hotness_skew=1.0)
+        )
+        assert partial.size_reduction <= full.size_reduction + 1e-12
+
+    def test_cannot_increase_precision(self):
+        with pytest.raises(UnitError):
+            QuantizationScheme(from_bits=16, to_bits=32)
+
+    def test_bandwidth_amplified_by_hotness(self):
+        model = make_dlrm("RM", n_tables=4, rows_per_table=10_000)
+        cold = apply_quantization(
+            model, QuantizationScheme(embedding_fraction=0.3, hotness_skew=1.0)
+        )
+        hot = apply_quantization(
+            model, QuantizationScheme(embedding_fraction=0.3, hotness_skew=1.5)
+        )
+        assert hot.bandwidth_reduction > cold.bandwidth_reduction
+
+    def test_quantized_model_still_usable(self):
+        impact = apply_quantization(make_dlrm("RM"), RM2_SCHEME)
+        assert impact.quantized.inference_time_s(1e12, 1e10) > 0

@@ -1,0 +1,92 @@
+"""FLOP estimator tests."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import UnitError
+from repro.models.flops import (
+    TRANSFORMER_BIG,
+    TransformerConfig,
+    XLMR_LM,
+    device_hours_for_flops,
+    mlp_forward_flops,
+    mlp_params,
+)
+
+
+class TestTransformerConfig:
+    def test_param_count_scales_quadratically_in_width(self):
+        narrow = TransformerConfig(12, 512, 8, 2048, vocab_size=1000)
+        wide = TransformerConfig(12, 1024, 16, 4096, vocab_size=1000)
+        layer_narrow = narrow.n_params - narrow.embedding_params
+        layer_wide = wide.n_params - wide.embedding_params
+        assert layer_wide / layer_narrow == pytest.approx(4.0, rel=0.01)
+
+    def test_transformer_big_param_scale(self):
+        # Transformer Big is ~210M parameters.
+        assert 1.5e8 < TRANSFORMER_BIG.n_params < 3.5e8
+
+    def test_xlmr_param_scale(self):
+        # XLM-R large is ~550M parameters.
+        assert 3e8 < XLMR_LM.n_params < 8e8
+
+    def test_heads_must_divide_width(self):
+        with pytest.raises(UnitError):
+            TransformerConfig(2, 100, 3, 400)
+
+    def test_training_flops_triple_forward(self):
+        fwd = TRANSFORMER_BIG.forward_flops_per_token(512)
+        train = TRANSFORMER_BIG.training_flops(1.0, 512)
+        assert train == pytest.approx(3 * fwd)
+
+    def test_forward_flops_grow_with_seq_len(self):
+        assert TRANSFORMER_BIG.forward_flops_per_token(
+            2048
+        ) > TRANSFORMER_BIG.forward_flops_per_token(128)
+
+    @given(st.floats(min_value=0, max_value=1e12, allow_nan=False))
+    def test_training_flops_linear_in_tokens(self, tokens):
+        one = TRANSFORMER_BIG.training_flops(1e6)
+        many = TRANSFORMER_BIG.training_flops(tokens)
+        assert math.isclose(many, tokens / 1e6 * one, rel_tol=1e-9, abs_tol=1.0)
+
+    def test_untied_embeddings_double(self):
+        tied = TransformerConfig(2, 128, 2, 512, vocab_size=1000, tied_embeddings=True)
+        untied = TransformerConfig(
+            2, 128, 2, 512, vocab_size=1000, tied_embeddings=False
+        )
+        assert untied.embedding_params == 2 * tied.embedding_params
+
+
+class TestMLP:
+    def test_forward_flops(self):
+        assert mlp_forward_flops((10, 20, 5)) == 2 * (10 * 20 + 20 * 5)
+
+    def test_params_include_bias(self):
+        assert mlp_params((10, 20)) == 10 * 20 + 20
+
+    def test_needs_two_layers(self):
+        with pytest.raises(UnitError):
+            mlp_forward_flops((10,))
+
+
+class TestDeviceHours:
+    def test_basic(self):
+        # 1e12 FLOPs at 1 TFLOP/s effective = 1 second.
+        hours = device_hours_for_flops(3.6e15, peak_tflops=1.0, efficiency=1.0)
+        assert hours == pytest.approx(1.0)
+
+    def test_efficiency_scales_time(self):
+        full = device_hours_for_flops(1e18, 10.0, efficiency=1.0)
+        half = device_hours_for_flops(1e18, 10.0, efficiency=0.5)
+        assert half == pytest.approx(2 * full)
+
+    def test_validation(self):
+        with pytest.raises(UnitError):
+            device_hours_for_flops(-1.0, 10.0)
+        with pytest.raises(UnitError):
+            device_hours_for_flops(1.0, 0.0)
+        with pytest.raises(UnitError):
+            device_hours_for_flops(1.0, 1.0, efficiency=0.0)

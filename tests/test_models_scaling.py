@@ -1,0 +1,154 @@
+"""Scaling law and compression model tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import UnitError
+from repro.models.compression import (
+    dhe,
+    embodied_operational_tradeoff,
+    tt_rec,
+    uncompressed,
+)
+from repro.models.dlrm import EmbeddingTableSpec
+from repro.models.scaling_laws import (
+    BAIDU_AUC_LAW,
+    GPT3_BLEU_LAW,
+    LogLinearQuality,
+    RecommendationScalingLaw,
+    pareto_front,
+)
+
+
+class TestLogLinearQuality:
+    def test_gpt3_anchor(self):
+        assert GPT3_BLEU_LAW.quality_at(1.0) == pytest.approx(5.0)
+        assert GPT3_BLEU_LAW.quality_at(1000.0) == pytest.approx(40.0)
+
+    def test_baidu_anchor(self):
+        gain = BAIDU_AUC_LAW.quality_at(1000.0) - BAIDU_AUC_LAW.quality_at(1.0)
+        assert gain == pytest.approx(0.030)
+
+    def test_inversion(self):
+        ratio = GPT3_BLEU_LAW.size_ratio_for(40.0)
+        assert ratio == pytest.approx(1000.0, rel=1e-6)
+
+    def test_rejects_nonpositive_ratio(self):
+        with pytest.raises(UnitError):
+            GPT3_BLEU_LAW.quality_at(0.0)
+
+
+class TestRecommendationScalingLaw:
+    def test_star_comparison_paper_numbers(self):
+        stars = RecommendationScalingLaw().star_comparison()
+        assert stars["energy_ratio"] == pytest.approx(4.0, rel=0.01)
+        assert stars["ne_degradation"] == pytest.approx(0.004, abs=0.001)
+
+    def test_power_law_exponent_tiny(self):
+        exponent = RecommendationScalingLaw().fitted_energy_exponent()
+        assert 0.002 <= exponent <= 0.006
+
+    @settings(max_examples=30)
+    @given(
+        st.floats(min_value=0.5, max_value=32.0, allow_nan=False),
+        st.floats(min_value=0.5, max_value=32.0, allow_nan=False),
+    )
+    def test_ne_decreases_with_scale(self, d, m):
+        law = RecommendationScalingLaw()
+        assert law.normalized_entropy(d * 2, m) <= law.normalized_entropy(d, m)
+        assert law.normalized_entropy(d, m * 2) <= law.normalized_entropy(d, m)
+
+    def test_ne_bounded_below_by_asymptote(self):
+        law = RecommendationScalingLaw()
+        assert law.normalized_entropy(1e6, 1e6) > law.ne_inf
+
+    def test_energy_per_step_sublinear(self):
+        law = RecommendationScalingLaw()
+        assert law.energy_per_step_kwh(8.0) < 8.0 * law.energy_per_step_kwh(1.0)
+
+    def test_total_energy_linear_in_data(self):
+        law = RecommendationScalingLaw()
+        assert law.total_training_energy_kwh(4.0, 1.0) == pytest.approx(
+            4 * law.total_training_energy_kwh(1.0, 1.0)
+        )
+
+    def test_curves_shapes(self):
+        law = RecommendationScalingLaw()
+        scales = np.geomspace(1, 16, 5)
+        e, ne = law.tandem_curve(scales)
+        assert len(e) == len(ne) == 5
+        assert np.all(np.diff(ne) < 0)  # quality improves along the frontier
+        assert np.all(np.diff(e) > 0)  # at increasing energy
+
+    def test_data_scaling_curve_constant_energy(self):
+        law = RecommendationScalingLaw()
+        e, _ = law.data_scaling_curve(np.array([1.0, 2.0, 4.0]))
+        assert np.allclose(e, e[0])
+
+
+class TestParetoFront:
+    def test_simple_domination(self):
+        pts = np.array([[1.0, 1.0], [2.0, 2.0], [0.5, 3.0]])
+        mask = pareto_front(pts)
+        assert mask.tolist() == [True, False, True]
+
+    @settings(max_examples=30)
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=0, max_value=100, allow_nan=False),
+                st.floats(min_value=0, max_value=100, allow_nan=False),
+            ),
+            min_size=1,
+            max_size=40,
+        )
+    )
+    def test_front_is_nondominated(self, points):
+        pts = np.array(points)
+        mask = pareto_front(pts)
+        assert np.any(mask)  # at least one survivor
+        front = pts[mask]
+        for p in front:
+            dominated = np.all(pts <= p, axis=1) & np.any(pts < p, axis=1)
+            assert not np.any(dominated)
+
+    def test_rejects_bad_shape(self):
+        with pytest.raises(UnitError):
+            pareto_front(np.array([1.0, 2.0]))
+
+
+class TestCompression:
+    TABLE = EmbeddingTableSpec(rows=10_000_000, dim=64, lookups_per_sample=2)
+
+    def test_tt_rec_exceeds_100x(self):
+        assert tt_rec(self.TABLE).memory_reduction > 100.0
+
+    def test_tt_rec_training_overhead_negligible(self):
+        assert tt_rec(self.TABLE).training_time_factor < 1.2
+
+    def test_dhe_removes_table(self):
+        result = dhe(self.TABLE)
+        assert result.memory_reduction > 50.0
+        assert result.lookup_flops > 0
+
+    def test_uncompressed_reference(self):
+        ref = uncompressed(self.TABLE)
+        assert ref.memory_reduction == 1.0
+        assert ref.lookup_flops == 0.0
+
+    def test_rank_tradeoff(self):
+        low_rank = tt_rec(self.TABLE, rank=4)
+        high_rank = tt_rec(self.TABLE, rank=64)
+        assert low_rank.memory_reduction > high_rank.memory_reduction
+
+    def test_tradeoff_accounting(self):
+        tradeoff = embodied_operational_tradeoff(tt_rec(self.TABLE))
+        assert 0 < tradeoff["memory_freed_fraction"] <= 1.0
+        assert tradeoff["extra_compute_kwh_per_run"] >= 0.0
+
+    def test_validation(self):
+        with pytest.raises(UnitError):
+            tt_rec(self.TABLE, rank=0)
+        with pytest.raises(UnitError):
+            dhe(self.TABLE, n_hashes=0)

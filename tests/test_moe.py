@@ -1,0 +1,80 @@
+"""Sparsely-activated model trade-off tests."""
+
+import pytest
+
+from repro.errors import UnitError
+from repro.models.moe import (
+    SWITCH_LIKE,
+    SparseModelConfig,
+    TrainingSystemModel,
+    compare_sparse_vs_dense,
+    compare_vs_quality_matched_dense,
+    dense_equivalent,
+)
+
+
+class TestSparseModelConfig:
+    def test_param_accounting(self):
+        config = SparseModelConfig("m", 1e9, 8, 1e9, experts_per_token=2)
+        assert config.total_params == pytest.approx(9e9)
+        assert config.activated_params == pytest.approx(3e9)
+        assert config.sparsity_gain == pytest.approx(3.0)
+
+    def test_switch_like_scale(self):
+        assert SWITCH_LIKE.total_params > 1.4e12  # ~1.5T total
+        assert SWITCH_LIKE.activated_params < 1.5e10  # ~10B activated
+        assert SWITCH_LIKE.sparsity_gain > 100
+
+    def test_dense_equivalent_has_same_totals(self):
+        dense = dense_equivalent(SWITCH_LIKE)
+        assert dense.total_params == pytest.approx(SWITCH_LIKE.total_params, rel=1e-6)
+        assert dense.activated_params == pytest.approx(dense.total_params, rel=1e-6)
+
+    def test_validation(self):
+        with pytest.raises(UnitError):
+            SparseModelConfig("bad", 1e9, 0, 1e9)
+        with pytest.raises(UnitError):
+            SparseModelConfig("bad", 1e9, 4, 1e9, experts_per_token=5)
+
+
+class TestTrainingSystemModel:
+    def test_devices_scale_with_params(self):
+        system = TrainingSystemModel()
+        small = SparseModelConfig("s", 1e9, 1, 1e6)
+        assert system.devices_required(SWITCH_LIKE) > system.devices_required(small)
+
+    def test_energy_scales_with_activated_params(self):
+        system = TrainingSystemModel()
+        sparse_e = system.training_energy(SWITCH_LIKE, 1e9)
+        dense_e = system.training_energy(dense_equivalent(SWITCH_LIKE), 1e9)
+        ratio = dense_e.kwh / sparse_e.kwh
+        assert ratio == pytest.approx(SWITCH_LIKE.sparsity_gain, rel=0.01)
+
+    def test_negative_tokens_rejected(self):
+        with pytest.raises(UnitError):
+            TrainingSystemModel().training_energy(SWITCH_LIKE, -1.0)
+
+
+class TestComparisons:
+    def test_capacity_matched_operational_win(self):
+        result = compare_sparse_vs_dense(SWITCH_LIKE)
+        assert result.operational_saving > 0.9
+        # Equal total capacity -> equal resident memory -> equal embodied.
+        assert result.embodied_ratio == pytest.approx(1.0)
+
+    def test_quality_matched_embodied_cost(self):
+        result = compare_vs_quality_matched_dense(SWITCH_LIKE)
+        # Sparse still wins operationally per token...
+        assert result.operational_saving > 0.0
+        # ...but pays multi-x embodied (the paper's warning).
+        assert result.embodied_ratio > 3.0
+
+    def test_totals_consistent(self):
+        result = compare_sparse_vs_dense(SWITCH_LIKE)
+        assert result.sparse_total.kg == pytest.approx(
+            result.sparse_operational.kg + result.sparse_embodied.kg
+        )
+
+    def test_pue_validated(self):
+        with pytest.raises(UnitError):
+            compare_sparse_vs_dense(SWITCH_LIKE, pue=0.9)

@@ -1,0 +1,81 @@
+"""Accelerator multi-tenancy tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import UnitError
+from repro.fleet.multitenancy import (
+    best_tenancy,
+    pack_first_fit_decreasing,
+    tenancy_study,
+)
+
+
+class TestPacking:
+    def test_dedicated_baseline_one_per_device(self):
+        demands = np.array([0.3, 0.4, 0.5])
+        result = pack_first_fit_decreasing(demands, max_tenants=1)
+        assert result.n_devices == 3
+        assert result.mean_tenancy == 1.0
+
+    def test_sharing_reduces_devices(self):
+        demands = np.full(10, 0.3)
+        dedicated = pack_first_fit_decreasing(demands, max_tenants=1)
+        shared = pack_first_fit_decreasing(demands, max_tenants=3)
+        assert shared.n_devices < dedicated.n_devices
+
+    def test_capacity_never_exceeded(self):
+        rng = np.random.default_rng(0)
+        demands = rng.uniform(0.1, 0.9, 200)
+        result = pack_first_fit_decreasing(demands, max_tenants=8, capacity=0.95)
+        assert np.all(result.device_loads <= 0.95 + 1e-9)
+
+    @settings(max_examples=20)
+    @given(st.integers(1, 500))
+    def test_all_work_placed(self, seed):
+        rng = np.random.default_rng(seed)
+        demands = rng.uniform(0.05, 0.9, 50)
+        result = pack_first_fit_decreasing(demands, max_tenants=4)
+        assert np.sum(result.device_loads) == pytest.approx(np.sum(demands))
+        assert np.sum(result.tenants_per_device) == 50
+
+    def test_tenant_limit_respected(self):
+        demands = np.full(20, 0.05)
+        result = pack_first_fit_decreasing(demands, max_tenants=3)
+        assert np.all(result.tenants_per_device <= 3)
+
+    def test_validation(self):
+        with pytest.raises(UnitError):
+            pack_first_fit_decreasing(np.array([1.5]))
+        with pytest.raises(UnitError):
+            pack_first_fit_decreasing(np.array([0.5]), max_tenants=0)
+
+
+class TestTenancyStudy:
+    ROWS = tenancy_study(n_workloads=400, seed=1)
+
+    def test_devices_monotone_nonincreasing(self):
+        devices = [r.n_devices for r in self.ROWS]
+        assert all(a >= b for a, b in zip(devices, devices[1:]))
+
+    def test_utilization_improves_with_sharing(self):
+        assert self.ROWS[-1].mean_utilization > self.ROWS[0].mean_utilization
+
+    def test_embodied_falls_with_sharing(self):
+        assert self.ROWS[-1].embodied.kg < self.ROWS[0].embodied.kg
+
+    def test_best_tenancy_minimizes_total(self):
+        best = best_tenancy(self.ROWS)
+        assert best.total.kg == min(r.total.kg for r in self.ROWS)
+        assert best.max_tenants > 1  # sharing wins at realistic interference
+
+    def test_heavy_interference_penalizes_operational(self):
+        light = tenancy_study(n_workloads=200, interference=0.0, seed=2)
+        heavy = tenancy_study(n_workloads=200, interference=0.4, seed=2)
+        # At the highest tenancy, heavy interference costs more energy.
+        assert heavy[-1].operational.kg > light[-1].operational.kg
+
+    def test_validation(self):
+        with pytest.raises(UnitError):
+            tenancy_study(interference=1.0)

@@ -1,0 +1,33 @@
+"""Renewable procurement / offsets tests."""
+
+import pytest
+
+from repro.carbon.offsets import NET_ZERO_PROGRAM, NO_PROGRAM, RenewableProcurement
+from repro.core.quantities import Carbon, Energy
+from repro.errors import UnitError
+
+
+class TestRenewableProcurement:
+    def test_full_matching_zeroes_market_emissions(self):
+        assert NET_ZERO_PROGRAM.market_based_emissions(Carbon(1000.0)).kg == 0.0
+
+    def test_no_program_passes_through(self):
+        assert NO_PROGRAM.market_based_emissions(Carbon(1000.0)).kg == 1000.0
+
+    def test_partial_matching(self):
+        program = RenewableProcurement(match_fraction=0.6)
+        assert program.market_based_emissions(Carbon(100.0)).kg == pytest.approx(40.0)
+
+    def test_offsets_apply_to_residual(self):
+        program = RenewableProcurement(match_fraction=0.5, offset_fraction=0.5)
+        assert program.market_based_emissions(Carbon(100.0)).kg == pytest.approx(25.0)
+
+    def test_matched_energy(self):
+        program = RenewableProcurement(match_fraction=0.8)
+        assert program.matched_energy(Energy(100.0)).kwh == pytest.approx(80.0)
+
+    def test_validation(self):
+        with pytest.raises(UnitError):
+            RenewableProcurement(match_fraction=1.5)
+        with pytest.raises(UnitError):
+            RenewableProcurement(offset_fraction=-0.1)

@@ -1,0 +1,130 @@
+"""Predictive tracking and capacity-planning tests."""
+
+import numpy as np
+import pytest
+
+from repro.carbon.grid import constant_grid_trace, synthesize_grid_trace
+from repro.carbon.intensity import CarbonIntensity
+from repro.core.quantities import Carbon, Energy
+from repro.errors import TelemetryError, UnitError
+from repro.fleet.capacity_planning import (
+    consolidation_study,
+    plan_capacity,
+)
+from repro.telemetry.predict import (
+    EpochMeasurement,
+    abort_recommendation,
+    predict_training_cost,
+    recommend_start_hour,
+)
+from repro.workloads.growthtrends import GrowthTrend
+
+
+def measurements(n=5, base=2.0, slope=0.0):
+    return [
+        EpochMeasurement(i, Energy(base + slope * i), 1800.0) for i in range(n)
+    ]
+
+
+class TestPrediction:
+    def test_flat_epochs_extrapolate_linearly(self):
+        pred = predict_training_cost(measurements(5, base=2.0), planned_epochs=50)
+        assert pred.predicted_energy.kwh == pytest.approx(100.0, rel=1e-6)
+
+    def test_trend_captured(self):
+        pred = predict_training_cost(
+            measurements(5, base=2.0, slope=0.1), planned_epochs=10
+        )
+        expected = sum(2.0 + 0.1 * i for i in range(10))
+        assert pred.predicted_energy.kwh == pytest.approx(expected, rel=1e-6)
+
+    def test_band_contains_point_estimate(self):
+        pred = predict_training_cost(measurements(5), planned_epochs=20)
+        assert pred.predicted_energy_low.kwh <= pred.predicted_energy.kwh
+        assert pred.predicted_energy.kwh <= pred.predicted_energy_high.kwh
+
+    def test_duration_prediction(self):
+        pred = predict_training_cost(measurements(4), planned_epochs=8)
+        assert pred.predicted_duration_hours == pytest.approx(8 * 0.5)
+
+    def test_needs_two_measurements(self):
+        with pytest.raises(TelemetryError):
+            predict_training_cost(measurements(1), planned_epochs=10)
+
+    def test_cannot_measure_more_than_planned(self):
+        with pytest.raises(TelemetryError):
+            predict_training_cost(measurements(5), planned_epochs=3)
+
+    def test_remaining_energy(self):
+        pred = predict_training_cost(measurements(5), planned_epochs=10)
+        assert pred.remaining_energy.kwh == pytest.approx(
+            pred.predicted_energy.kwh / 2, rel=1e-6
+        )
+
+
+class TestRecommendation:
+    def test_greenest_hour_never_worse_than_now(self):
+        pred = predict_training_cost(measurements(5), planned_epochs=48)
+        grid = synthesize_grid_trace(168, seed=5)
+        _, now, best = recommend_start_hour(pred, grid)
+        assert best.kg <= now.kg + 1e-9
+
+    def test_flat_grid_indifferent(self):
+        pred = predict_training_cost(measurements(5), planned_epochs=24)
+        grid = constant_grid_trace(CarbonIntensity(0.4), 168)
+        _, now, best = recommend_start_hour(pred, grid)
+        assert best.kg == pytest.approx(now.kg)
+
+    def test_abort_recommendation(self):
+        pred = predict_training_cost(measurements(5), planned_epochs=100)
+        over = abort_recommendation(pred, Carbon(1.0))
+        under = abort_recommendation(pred, Carbon(1e9))
+        assert over["over_budget"] is True
+        assert under["over_budget"] is False
+
+
+class TestCapacityPlanning:
+    def test_totals_follow_growth(self):
+        plan = plan_capacity(initial_servers=1000, horizon_years=3)
+        assert plan.servers_total[0] == pytest.approx(1000)
+        assert plan.servers_total[-1] > plan.servers_total[0]
+
+    def test_embodied_positive_after_year_zero(self):
+        plan = plan_capacity(initial_servers=1000, horizon_years=3)
+        assert plan.server_embodied[0] == 0.0
+        assert np.all(plan.server_embodied[1:] > 0)
+        assert plan.total_embodied().kg > 0
+
+    def test_replacement_adds_purchases(self):
+        base = plan_capacity(1000, 3, replacement_rate=0.0)
+        repl = plan_capacity(1000, 3, replacement_rate=0.25)
+        assert repl.total_embodied().kg > base.total_embodied().kg
+
+    def test_flat_growth_means_no_new_embodied(self):
+        flat = GrowthTrend("flat", 1.0000001, 1.5)
+        plan = plan_capacity(1000, 3, growth=flat)
+        assert plan.total_embodied().kg == pytest.approx(0.0, abs=1e3)
+
+    def test_validation(self):
+        with pytest.raises(UnitError):
+            plan_capacity(0, 3)
+        with pytest.raises(UnitError):
+            plan_capacity(100, 3, replacement_rate=1.5)
+
+
+class TestConsolidation:
+    def test_accelerators_need_far_fewer_servers(self):
+        result = consolidation_study()
+        assert result.server_reduction > 0.9
+
+    def test_embodied_saving_positive(self):
+        result = consolidation_study()
+        assert result.embodied_saving > 0.5
+
+    def test_accelerator_power_lower_for_same_throughput(self):
+        result = consolidation_study()
+        assert result.accelerator_power.watts < result.cpu_power.watts
+
+    def test_validation(self):
+        with pytest.raises(UnitError):
+            consolidation_study(required_tflops=0.0)

@@ -1,0 +1,115 @@
+"""PUE and energy metering tests."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.quantities import Energy, Power
+from repro.energy.meter import (
+    EnergyMeter,
+    integrate_power_hours,
+    integrate_power_timestamps,
+)
+from repro.energy.pue import (
+    Datacenter,
+    HYPERSCALE_PUE,
+    TYPICAL_PUE,
+    efficiency_vs,
+    overhead_reduction,
+)
+from repro.errors import UnitError
+
+
+class TestDatacenter:
+    def test_facility_energy(self):
+        dc = Datacenter(pue=1.5)
+        assert dc.facility_energy(Energy(10.0)).kwh == pytest.approx(15.0)
+
+    def test_overhead_energy(self):
+        dc = Datacenter(pue=1.1)
+        assert dc.overhead_energy(Energy(10.0)).kwh == pytest.approx(1.0)
+
+    def test_facility_power(self):
+        dc = Datacenter(pue=1.2)
+        assert dc.facility_power(Power(100.0)).watts == pytest.approx(120.0)
+
+    def test_pue_below_one_rejected(self):
+        with pytest.raises(UnitError):
+            Datacenter(pue=0.9)
+
+    def test_hyperscale_vs_typical(self):
+        # "about 40% more efficient" counts overhead energy.
+        assert overhead_reduction(HYPERSCALE_PUE, TYPICAL_PUE) > 0.4
+        assert 0.25 < efficiency_vs(HYPERSCALE_PUE, TYPICAL_PUE) < 0.35
+
+
+class TestIntegration:
+    def test_hourly_sum(self):
+        energy = integrate_power_hours(np.array([1000.0, 2000.0, 3000.0]))
+        assert energy.kwh == pytest.approx(6.0)
+
+    def test_sub_hourly_samples(self):
+        energy = integrate_power_hours(np.full(4, 1000.0), hours_per_sample=0.25)
+        assert energy.kwh == pytest.approx(1.0)
+
+    def test_rejects_negative_power(self):
+        with pytest.raises(UnitError):
+            integrate_power_hours(np.array([-1.0]))
+
+    def test_trapezoid_constant_power(self):
+        t = np.array([0.0, 1800.0, 3600.0])
+        w = np.array([1000.0, 1000.0, 1000.0])
+        assert integrate_power_timestamps(w, t).kwh == pytest.approx(1.0)
+
+    def test_trapezoid_ramp(self):
+        t = np.array([0.0, 3600.0])
+        w = np.array([0.0, 2000.0])
+        assert integrate_power_timestamps(w, t).kwh == pytest.approx(1.0)
+
+    def test_trapezoid_needs_sorted_times(self):
+        with pytest.raises(UnitError):
+            integrate_power_timestamps(np.array([1.0, 1.0]), np.array([1.0, 0.0]))
+
+    def test_single_sample_is_zero(self):
+        assert integrate_power_timestamps(np.array([5.0]), np.array([0.0])).kwh == 0.0
+
+    @given(
+        st.floats(min_value=0, max_value=1e5, allow_nan=False),
+        st.floats(min_value=1.0, max_value=1e5, allow_nan=False),
+    )
+    def test_trapezoid_matches_constant_formula(self, watts, seconds):
+        t = np.array([0.0, seconds])
+        w = np.array([watts, watts])
+        expected = watts * seconds / 3.6e6
+        assert math.isclose(
+            integrate_power_timestamps(w, t).kwh, expected, rel_tol=1e-9, abs_tol=1e-12
+        )
+
+
+class TestEnergyMeter:
+    def test_accumulates(self):
+        meter = EnergyMeter()
+        meter.record(0.0, Power(1000.0))
+        meter.record(3600.0, Power(1000.0))
+        assert meter.total_energy().kwh == pytest.approx(1.0)
+        assert meter.average_power().watts == pytest.approx(1000.0)
+
+    def test_out_of_order_rejected(self):
+        meter = EnergyMeter()
+        meter.record(10.0, Power(1.0))
+        with pytest.raises(UnitError):
+            meter.record(5.0, Power(1.0))
+
+    def test_empty_meter(self):
+        meter = EnergyMeter()
+        assert meter.total_energy().kwh == 0.0
+        assert meter.average_power().watts == 0.0
+        assert meter.duration_s == 0.0
+
+    def test_sample_count(self):
+        meter = EnergyMeter()
+        meter.record(0.0, Power(1.0))
+        meter.record(1.0, Power(1.0))
+        assert meter.sample_count == 2

@@ -1,0 +1,131 @@
+"""Checked quantity type tests, incl. hypothesis arithmetic properties."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.quantities import Carbon, Energy, Power, carbon_sum, energy_sum
+from repro.errors import UnitError
+
+magnitudes = st.floats(min_value=0.0, max_value=1e9, allow_nan=False, allow_infinity=False)
+positive = st.floats(min_value=1e-6, max_value=1e9, allow_nan=False, allow_infinity=False)
+
+
+class TestEnergy:
+    def test_constructors(self):
+        assert Energy.from_joules(3.6e6).kwh == 1.0
+        assert Energy.from_wh(500.0).kwh == 0.5
+        assert Energy.from_mwh(2.0).kwh == 2000.0
+        assert Energy.zero().kwh == 0.0
+
+    def test_rejects_negative(self):
+        with pytest.raises(UnitError):
+            Energy(-1.0)
+
+    def test_rejects_nan_and_inf(self):
+        with pytest.raises(UnitError):
+            Energy(float("nan"))
+        with pytest.raises(UnitError):
+            Energy(float("inf"))
+
+    @given(magnitudes, magnitudes)
+    def test_addition_commutes(self, a, b):
+        assert (Energy(a) + Energy(b)).isclose(Energy(b) + Energy(a))
+
+    @given(magnitudes, positive)
+    def test_scale_then_divide_roundtrips(self, a, k):
+        scaled = Energy(a) * k
+        assert (scaled / k).isclose(Energy(a), rel_tol=1e-9)
+
+    def test_subtraction_cannot_go_negative(self):
+        with pytest.raises(UnitError):
+            Energy(1.0) - Energy(2.0)
+
+    def test_division_by_energy_gives_ratio(self):
+        assert Energy(10.0) / Energy(5.0) == 2.0
+
+    def test_division_by_zero_energy_rejected(self):
+        with pytest.raises(UnitError):
+            Energy(1.0) / Energy(0.0)
+
+    def test_ordering(self):
+        assert Energy(1.0) < Energy(2.0)
+        assert Energy(2.0) <= Energy(2.0)
+
+    def test_str_scales_units(self):
+        assert "kWh" in str(Energy(5.0))
+        assert "MWh" in str(Energy(5000.0))
+        assert "GWh" in str(Energy(5e6))
+
+    def test_cross_type_multiplication_rejected(self):
+        with pytest.raises(TypeError):
+            Energy(1.0) * Energy(1.0)
+
+
+class TestPower:
+    def test_constructors(self):
+        assert Power.from_kw(1.5).watts == 1500.0
+        assert Power.from_mw(2.0).watts == 2e6
+
+    def test_over_hours(self):
+        assert Power(1000.0).over_hours(3.0).kwh == 3.0
+
+    def test_over_seconds(self):
+        assert math.isclose(Power(1000.0).over_seconds(3600.0).kwh, 1.0)
+
+    @given(st.floats(min_value=0, max_value=1e7, allow_nan=False), positive)
+    def test_energy_proportional_to_time(self, watts, hours):
+        e1 = Power(watts).over_hours(hours)
+        e2 = Power(watts).over_hours(2 * hours)
+        assert math.isclose(e2.kwh, 2 * e1.kwh, rel_tol=1e-9, abs_tol=1e-12)
+
+    def test_subtract_underflow_rejected(self):
+        with pytest.raises(UnitError):
+            Power(1.0) - Power(2.0)
+
+    def test_str(self):
+        assert "W" in str(Power(50.0))
+        assert "kW" in str(Power(5e3))
+        assert "MW" in str(Power(5e6))
+
+
+class TestCarbon:
+    def test_constructors(self):
+        assert Carbon.from_tonnes(1.0).kg == 1000.0
+        assert Carbon.from_grams(500.0).kg == 0.5
+
+    def test_views(self):
+        c = Carbon(1500.0)
+        assert c.tonnes == 1.5
+        assert c.grams == 1.5e6
+
+    @given(magnitudes, magnitudes)
+    def test_sum_matches_add(self, a, b):
+        assert carbon_sum([Carbon(a), Carbon(b)]).isclose(Carbon(a) + Carbon(b))
+
+    def test_division_gives_ratio(self):
+        assert Carbon(10.0) / Carbon(4.0) == 2.5
+
+    def test_str_scales(self):
+        assert "gCO2e" in str(Carbon(0.5))
+        assert "kgCO2e" in str(Carbon(5.0))
+        assert "tCO2e" in str(Carbon(5000.0))
+
+
+class TestSums:
+    def test_energy_sum_empty(self):
+        assert energy_sum([]).kwh == 0.0
+
+    def test_energy_sum_type_checked(self):
+        with pytest.raises(UnitError):
+            energy_sum([Energy(1.0), 2.0])
+
+    def test_carbon_sum_type_checked(self):
+        with pytest.raises(UnitError):
+            carbon_sum([Carbon(1.0), Energy(1.0)])
+
+    @given(st.lists(magnitudes, max_size=20))
+    def test_energy_sum_matches_float_sum(self, values):
+        total = energy_sum([Energy(v) for v in values])
+        assert math.isclose(total.kwh, sum(values), rel_tol=1e-9, abs_tol=1e-9)

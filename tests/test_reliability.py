@@ -1,0 +1,140 @@
+"""Reliability tests: checkpointing, wear-out, disaggregation."""
+
+import numpy as np
+import pytest
+
+from repro.core.quantities import Carbon
+from repro.errors import UnitError
+from repro.reliability.checkpoints import (
+    CheckpointPolicy,
+    partial_recovery_benefit,
+    simulate_training_run,
+    young_daly_interval,
+)
+from repro.reliability.disaggregation import (
+    PAPER_PIPELINE,
+    PipelineThroughput,
+    disaggregation_impact,
+)
+from repro.reliability.faults import (
+    WearoutModel,
+    carbon_optimal_lifetime,
+    fleet_sdc_incidents,
+)
+
+
+class TestCheckpointing:
+    def test_young_daly(self):
+        interval = young_daly_interval(mtbf_hours=50.0, checkpoint_cost_hours=0.25)
+        assert interval == pytest.approx(np.sqrt(2 * 0.25 * 50.0))
+
+    def test_no_failures_only_checkpoint_overhead(self):
+        outcome = simulate_training_run(
+            work_hours=100.0,
+            mtbf_hours=1e9,
+            policy=CheckpointPolicy(interval_hours=10.0, checkpoint_cost_hours=0.1),
+            seed=0,
+        )
+        assert outcome.n_failures == 0
+        assert outcome.lost_hours == 0.0
+        assert outcome.checkpoint_hours == pytest.approx(0.9, abs=0.11)
+
+    def test_failures_lose_work(self):
+        outcome = simulate_training_run(
+            work_hours=200.0,
+            mtbf_hours=20.0,
+            policy=CheckpointPolicy(interval_hours=10.0),
+            seed=1,
+        )
+        assert outcome.n_failures > 0
+        assert outcome.lost_hours > 0
+        assert outcome.goodput < 1.0
+
+    def test_partial_recovery_beats_full(self):
+        result = partial_recovery_benefit(seed=2)
+        assert result["partial_overhead"] < result["full_overhead"]
+        assert result["wasted_hours_saved"] > 0
+
+    def test_near_optimal_interval_beats_extremes(self):
+        mtbf = 30.0
+        optimal = young_daly_interval(mtbf, 0.05)
+        overheads = {}
+        for interval in (optimal / 20, optimal, optimal * 20):
+            outcome = simulate_training_run(
+                500.0, mtbf, CheckpointPolicy(interval, 0.05), seed=3
+            )
+            overheads[interval] = outcome.overhead_fraction
+        assert overheads[optimal] <= min(overheads[optimal / 20], overheads[optimal * 20])
+
+    def test_total_hours_accounting(self):
+        outcome = simulate_training_run(
+            100.0, 50.0, CheckpointPolicy(5.0, 0.1), seed=4
+        )
+        assert outcome.total_hours == pytest.approx(
+            outcome.useful_hours + outcome.checkpoint_hours + outcome.lost_hours
+        )
+        assert outcome.useful_hours == 100.0
+
+    def test_policy_validation(self):
+        with pytest.raises(UnitError):
+            CheckpointPolicy(interval_hours=0.0)
+        with pytest.raises(UnitError):
+            CheckpointPolicy(1.0, rollback_fraction=0.0)
+
+
+class TestWearout:
+    def test_hazard_increases_with_age(self):
+        model = WearoutModel()
+        assert model.incident_rate_at(4.0) > model.incident_rate_at(1.0)
+
+    def test_expected_incidents_superlinear(self):
+        model = WearoutModel()
+        assert model.expected_incidents(8.0) > 2 * model.expected_incidents(4.0)
+
+    def test_carbon_optimal_lifetime_interior(self):
+        best, lifetimes, annualized = carbon_optimal_lifetime(WearoutModel())
+        assert lifetimes.min() < best < lifetimes.max()
+        assert 3.0 <= best <= 6.0  # near the paper's 3-5 year practice
+
+    def test_fault_tolerance_extends_optimal_lifetime(self):
+        base, _, _ = carbon_optimal_lifetime(WearoutModel(), detection_coverage=0.0)
+        hardened, _, _ = carbon_optimal_lifetime(
+            WearoutModel(), detection_coverage=0.9
+        )
+        assert hardened > base
+
+    def test_fleet_incidents_scale(self):
+        model = WearoutModel()
+        one = fleet_sdc_incidents(1, 3.0, model)
+        many = fleet_sdc_incidents(1000, 3.0, model)
+        assert many == pytest.approx(1000 * one)
+
+    def test_validation(self):
+        with pytest.raises(UnitError):
+            WearoutModel(base_rate_per_year=0.0)
+        with pytest.raises(UnitError):
+            WearoutModel(shape=0.5)
+
+
+class TestDisaggregation:
+    def test_paper_throughput_gain(self):
+        assert PAPER_PIPELINE.throughput_gain == pytest.approx(0.5625, abs=0.01)
+
+    def test_gain_capped_by_trainer(self):
+        pipeline = PipelineThroughput(100.0, 50.0, 500.0)
+        assert pipeline.disaggregated_rate == 100.0
+
+    def test_impact_saves_net_embodied(self):
+        impact = disaggregation_impact()
+        assert impact.net_embodied_saving > 0
+
+    def test_hours_saved_fraction(self):
+        impact = disaggregation_impact()
+        gain = impact.throughput_gain
+        assert impact.trainer_hours_saved_fraction == pytest.approx(
+            gain / (1 + gain)
+        )
+
+    def test_validation(self):
+        with pytest.raises(UnitError):
+            PipelineThroughput(0.0, 1.0, 1.0)

@@ -1,0 +1,74 @@
+"""Report rendering tests."""
+
+import pytest
+
+from repro.core.footprint import (
+    EmbodiedFootprint,
+    OperationalFootprint,
+    Phase,
+    PhaseFootprint,
+    TotalFootprint,
+)
+from repro.core.quantities import Carbon, Energy
+from repro.core.report import (
+    footprint_report,
+    format_bar,
+    format_bar_chart,
+    format_table,
+)
+
+
+class TestFormatTable:
+    def test_alignment_and_content(self):
+        text = format_table(["name", "value"], [["a", 1.5], ["bb", 22.0]])
+        lines = text.splitlines()
+        assert len(lines) == 4  # header, rule, two rows
+        assert "name" in lines[0]
+        assert "bb" in lines[3]
+
+    def test_floats_formatted(self):
+        text = format_table(["v"], [[1234.5678]])
+        assert "1,230" in text or "1,234" in text or "1.23e+03" in text
+
+    def test_empty_rows(self):
+        text = format_table(["a"], [])
+        assert "a" in text
+
+
+class TestFormatBar:
+    def test_full_bar(self):
+        assert format_bar(1.0, width=10) == "#" * 10
+
+    def test_clamps(self):
+        assert format_bar(2.0, width=10) == "#" * 10
+        assert format_bar(-1.0, width=10) == ""
+
+    def test_chart_scales_to_max(self):
+        chart = format_bar_chart(["a", "b"], [1.0, 2.0], width=10)
+        lines = chart.splitlines()
+        assert lines[0].count("#") == 5
+        assert lines[1].count("#") == 10
+
+    def test_chart_length_mismatch(self):
+        with pytest.raises(ValueError):
+            format_bar_chart(["a"], [1.0, 2.0])
+
+    def test_chart_all_zero(self):
+        chart = format_bar_chart(["a"], [0.0])
+        assert "#" not in chart
+
+
+class TestFootprintReport:
+    def test_report_contains_phases_and_equivalence(self):
+        op = OperationalFootprint(
+            (
+                PhaseFootprint(Phase.OFFLINE_TRAINING, Energy(10.0), Carbon(100.0)),
+                PhaseFootprint(Phase.INFERENCE, Energy(20.0), Carbon(300.0)),
+            )
+        )
+        fp = TotalFootprint("task-x", op, EmbodiedFootprint(Carbon(50.0)))
+        text = footprint_report([fp])
+        assert "task-x" in text
+        assert "offline-training" in text
+        assert "inference" in text
+        assert "miles" in text

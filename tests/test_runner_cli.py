@@ -1,0 +1,60 @@
+"""CLI runner tests."""
+
+import json
+
+import pytest
+
+from repro.experiments.runner import main
+
+
+class TestCLI:
+    def test_list_prints_all_ids(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out.strip().splitlines()
+        assert "fig1" in out
+        assert "fig12" in out
+        assert "ext-moe" in out
+        assert len(out) >= 30
+
+    def test_run_single_experiment(self, capsys):
+        assert main(["run", "fig7"]) == 0
+        out = capsys.readouterr().out
+        assert "fig7" in out
+        assert "812" in out
+
+    def test_run_quiet_headlines_only(self, capsys):
+        assert main(["run", "fig7", "--quiet"]) == 0
+        out = capsys.readouterr().out
+        assert "total_gain" in out
+        assert "cumulative gain" not in out  # the table column is suppressed
+
+    def test_json_export(self, tmp_path, capsys):
+        target = tmp_path / "out.json"
+        assert main(["run", "fig8", "--json", str(target)]) == 0
+        data = json.loads(target.read_text())
+        assert len(data) == 1
+        assert data[0]["experiment_id"] == "fig8"
+        assert data[0]["headline"]["net_two_year_reduction"] == pytest.approx(0.285)
+        assert data[0]["rows"]
+
+    def test_unknown_experiment_raises(self):
+        from repro.errors import RegistryError
+
+        with pytest.raises(RegistryError):
+            main(["run", "fig99"])
+
+    def test_report_writes_markdown(self, tmp_path, capsys, monkeypatch):
+        # Patch the registry down to two fast experiments so the report
+        # command is exercised without a multi-minute full run.
+        import repro.experiments.runner as runner_mod
+
+        monkeypatch.setattr(
+            runner_mod, "experiment_ids", lambda: ("fig7", "fig8")
+        )
+        target = tmp_path / "report.md"
+        assert main(["report", str(target)]) == 0
+        text = target.read_text()
+        assert "# Live reproduction report" in text
+        assert "## fig7" in text
+        assert "## fig8" in text
+        assert "total_gain" in text

@@ -1,0 +1,99 @@
+"""Scenario / what-if sweep tests (Figure 9 machinery)."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.carbon.intensity import SOLAR_LIFECYCLE
+from repro.core.scenario import (
+    Scenario,
+    evaluate_work,
+    renewable_variant,
+    utilization_sweep,
+)
+from repro.errors import UnitError
+
+utils = st.floats(min_value=0.05, max_value=1.0, allow_nan=False)
+
+
+class TestScenario:
+    def test_validation(self):
+        with pytest.raises(UnitError):
+            Scenario(utilization=0.0)
+        with pytest.raises(UnitError):
+            Scenario(board_power_fraction=0.0)
+        with pytest.raises(UnitError):
+            Scenario(infrastructure_embodied_factor=0.5)
+        with pytest.raises(UnitError):
+            Scenario(lifetime_years=0.0)
+
+    def test_but_creates_modified_copy(self):
+        base = Scenario()
+        changed = base.but(utilization=0.8)
+        assert changed.utilization == 0.8
+        assert base.utilization == 0.45
+
+
+class TestEvaluateWork:
+    def test_zero_work_zero_footprint(self):
+        result = evaluate_work(0.0, Scenario())
+        assert result.total.kg == 0.0
+
+    @given(utils, utils)
+    def test_total_decreases_with_utilization(self, u1, u2):
+        lo, hi = sorted((u1, u2))
+        if hi - lo < 1e-6:
+            return
+        low = evaluate_work(1000.0, Scenario(utilization=lo))
+        high = evaluate_work(1000.0, Scenario(utilization=hi))
+        assert high.total.kg <= low.total.kg + 1e-9
+
+    def test_both_components_scale_inverse_utilization(self):
+        a = evaluate_work(1000.0, Scenario(utilization=0.4))
+        b = evaluate_work(1000.0, Scenario(utilization=0.8))
+        assert math.isclose(a.operational.kg, 2 * b.operational.kg, rel_tol=1e-9)
+        assert math.isclose(a.embodied.kg, 2 * b.embodied.kg, rel_tol=1e-9)
+
+    def test_renewable_variant_reduces_operational_only(self):
+        grey = evaluate_work(1000.0, Scenario())
+        green = evaluate_work(1000.0, renewable_variant(Scenario()))
+        assert green.operational.kg < grey.operational.kg
+        assert math.isclose(green.embodied.kg, grey.embodied.kg)
+
+    def test_renewable_uses_solar_lifecycle(self):
+        scenario = renewable_variant(Scenario())
+        assert scenario.intensity is SOLAR_LIFECYCLE
+
+    def test_embodied_share_rises_with_cleanliness(self):
+        grey = evaluate_work(1000.0, Scenario())
+        green = evaluate_work(1000.0, renewable_variant(Scenario()))
+        assert green.embodied_share > grey.embodied_share
+
+    def test_negative_work_rejected(self):
+        with pytest.raises(UnitError):
+            evaluate_work(-1.0, Scenario())
+
+    def test_longer_lifetime_less_embodied(self):
+        short = evaluate_work(1000.0, Scenario(lifetime_years=3.0))
+        long = evaluate_work(1000.0, Scenario(lifetime_years=5.0))
+        assert long.embodied.kg < short.embodied.kg
+
+
+class TestSweep:
+    def test_paper_factors(self):
+        sweep = utilization_sweep(1000.0, np.array([0.3, 0.8]))
+        ratio = sweep[0].total.kg / sweep[1].total.kg
+        assert 2.3 < ratio < 3.2  # "~3x" from 30% -> 80%
+
+    def test_sweep_length(self):
+        sweep = utilization_sweep(10.0, np.linspace(0.2, 0.8, 7))
+        assert len(sweep) == 7
+
+    def test_renewable_gain_near_2x(self):
+        grey = evaluate_work(1000.0, Scenario(utilization=0.8))
+        green = evaluate_work(
+            1000.0, renewable_variant(Scenario(utilization=0.8))
+        )
+        assert 1.5 < grey.total.kg / green.total.kg < 3.0

@@ -1,0 +1,194 @@
+"""Carbon-aware scheduling, storage, CFE, provisioning tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.carbon.grid import GridMixParams, constant_grid_trace, synthesize_grid_trace
+from repro.carbon.intensity import CarbonIntensity
+from repro.errors import SchedulingError, UnitError
+from repro.scheduling.carbon_aware import (
+    carbon_saving,
+    schedule_carbon_aware,
+    schedule_immediate,
+)
+from repro.scheduling.cfe import (
+    annual_matching_score,
+    cfe_gap,
+    cfe_score,
+    solar_procurement,
+)
+from repro.scheduling.jobs import DeferrableJob, synthesize_jobs
+from repro.scheduling.provisioning import best_factor, provisioning_sweep
+from repro.scheduling.storage import Battery, run_arbitrage
+
+
+GRID = synthesize_grid_trace(168, seed=4)
+JOBS = synthesize_jobs(30, 168, seed=4)
+
+
+class TestDeferrableJob:
+    def test_slack(self):
+        job = DeferrableJob(0, submit_hour=5, duration_hours=10, power_kw=50.0, deadline_hour=40)
+        assert job.latest_start == 30
+        assert job.slack_hours == 25
+        assert job.energy_kwh == 500.0
+
+    def test_impossible_deadline_rejected(self):
+        with pytest.raises(UnitError):
+            DeferrableJob(0, 5, 10, 50.0, deadline_hour=10)
+
+    def test_synthesize_respects_horizon(self):
+        jobs = synthesize_jobs(40, 168, seed=1)
+        for job in jobs:
+            assert 0 <= job.submit_hour
+            assert job.deadline_hour <= 168
+
+
+class TestCarbonAwareScheduling:
+    def test_aware_never_worse_than_immediate(self):
+        base = schedule_immediate(JOBS, GRID, 168)
+        aware = schedule_carbon_aware(JOBS, GRID, 168)
+        assert aware.total_carbon.kg <= base.total_carbon.kg + 1e-9
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(0, 500))
+    def test_aware_never_worse_property(self, seed):
+        grid = synthesize_grid_trace(168, seed=seed)
+        jobs = synthesize_jobs(15, 168, seed=seed)
+        base = schedule_immediate(jobs, grid, 168)
+        aware = schedule_carbon_aware(jobs, grid, 168)
+        assert aware.total_carbon.kg <= base.total_carbon.kg + 1e-9
+
+    def test_deadlines_respected_when_uncapped(self):
+        aware = schedule_carbon_aware(JOBS, GRID, 168)
+        assert aware.deadline_misses == 0
+        for job in JOBS:
+            start = aware.start_hours[job.job_id]
+            assert job.submit_hour <= start
+            assert start + job.duration_hours <= job.deadline_hour
+
+    def test_capacity_respected(self):
+        capacity = 500.0
+        aware = schedule_carbon_aware(JOBS, GRID, 168, capacity_kw=capacity)
+        assert aware.peak_power_kw <= capacity + 1e-6
+
+    def test_flat_grid_gives_zero_saving(self):
+        grid = constant_grid_trace(CarbonIntensity(0.4), 168)
+        base = schedule_immediate(JOBS, grid, 168)
+        aware = schedule_carbon_aware(JOBS, grid, 168)
+        assert carbon_saving(base, aware) == pytest.approx(0.0, abs=1e-9)
+
+    def test_oversized_job_rejected(self):
+        job = DeferrableJob(0, 0, 4, power_kw=1000.0, deadline_hour=20)
+        with pytest.raises(SchedulingError):
+            schedule_carbon_aware([job], GRID, 168, capacity_kw=100.0)
+
+    def test_deadline_beyond_horizon_rejected(self):
+        job = DeferrableJob(0, 0, 4, power_kw=10.0, deadline_hour=500)
+        with pytest.raises(SchedulingError):
+            schedule_immediate([job], GRID, 168)
+
+    def test_single_job_picks_greenest_window(self):
+        intensity = np.full(48, 1.0)
+        intensity[20:24] = 0.01
+        from repro.carbon.grid import GridTrace
+
+        grid = GridTrace(
+            solar_share=np.zeros(48),
+            wind_share=np.zeros(48),
+            intensity_kg_per_kwh=intensity,
+        )
+        job = DeferrableJob(0, 0, 4, power_kw=10.0, deadline_hour=48)
+        aware = schedule_carbon_aware([job], grid, 48)
+        assert aware.start_hours[0] == 20
+
+
+class TestBattery:
+    def test_arbitrage_saves_on_variable_grid(self):
+        load = np.full(168, 500.0)
+        out = run_arbitrage(load, GRID, Battery(4000.0, 1000.0))
+        assert out.carbon_saving_fraction > 0.0
+
+    def test_no_saving_on_flat_grid(self):
+        grid = constant_grid_trace(CarbonIntensity(0.4), 168)
+        load = np.full(168, 500.0)
+        out = run_arbitrage(load, grid, Battery(4000.0, 1000.0))
+        assert out.carbon_saving_fraction <= 0.0 + 1e-9
+
+    def test_soc_within_capacity(self):
+        load = np.full(168, 500.0)
+        battery = Battery(4000.0, 1000.0)
+        out = run_arbitrage(load, GRID, battery)
+        assert np.all(out.state_of_charge_kwh <= battery.capacity_kwh + 1e-6)
+        assert np.all(out.state_of_charge_kwh >= -1e-9)
+
+    def test_percentile_validation(self):
+        load = np.full(24, 1.0)
+        with pytest.raises(UnitError):
+            run_arbitrage(load, GRID, Battery(10, 10), 60.0, 40.0)
+
+    def test_battery_validation(self):
+        with pytest.raises(UnitError):
+            Battery(0.0, 1.0)
+        with pytest.raises(UnitError):
+            Battery(1.0, 1.0, round_trip_efficiency=1.5)
+
+
+class TestCFE:
+    LOAD = np.full(168, 100.0)
+
+    def test_full_annual_matching(self):
+        procured = solar_procurement(self.LOAD, GRID, 1.0)
+        assert annual_matching_score(self.LOAD, procured) == pytest.approx(1.0)
+
+    def test_cfe_below_annual_for_solar(self):
+        procured = solar_procurement(self.LOAD, GRID, 1.0)
+        assert cfe_score(self.LOAD, procured) < 1.0
+        assert cfe_gap(self.LOAD, procured) > 0.0
+
+    def test_perfectly_matched_supply_scores_one(self):
+        assert cfe_score(self.LOAD, self.LOAD.copy()) == pytest.approx(1.0)
+
+    def test_zero_load_scores_one(self):
+        zero = np.zeros(24)
+        assert cfe_score(zero, zero) == 1.0
+
+    def test_procurement_scales_with_fraction(self):
+        half = solar_procurement(self.LOAD, GRID, 0.5)
+        full = solar_procurement(self.LOAD, GRID, 1.0)
+        assert np.sum(full) == pytest.approx(2 * np.sum(half))
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(UnitError):
+            cfe_score(np.ones(10), np.ones(11))
+
+
+class TestProvisioning:
+    def test_sweep_monotone_embodied(self):
+        points = provisioning_sweep(
+            JOBS, GRID, 168, base_capacity_kw=800.0, factors=np.array([1.0, 1.5, 2.0])
+        )
+        embodied = [p.embodied_extra.kg for p in points]
+        assert embodied[0] == 0.0
+        assert all(a < b for a, b in zip(embodied, embodied[1:]))
+
+    def test_operational_non_increasing_with_capacity(self):
+        points = provisioning_sweep(
+            JOBS, GRID, 168, base_capacity_kw=800.0, factors=np.array([1.0, 2.0, 4.0])
+        )
+        ops = [p.operational.kg for p in points]
+        assert all(a >= b - 1e-9 for a, b in zip(ops, ops[1:]))
+
+    def test_best_factor_selects_minimum_net(self):
+        points = provisioning_sweep(
+            JOBS, GRID, 168, base_capacity_kw=800.0, factors=np.array([1.0, 1.5, 2.0])
+        )
+        best = best_factor(points)
+        assert best.net.kg == min(p.net.kg for p in points)
+
+    def test_factor_below_one_rejected(self):
+        with pytest.raises(UnitError):
+            provisioning_sweep(
+                JOBS, GRID, 168, base_capacity_kw=800.0, factors=np.array([0.5])
+            )

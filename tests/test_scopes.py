@@ -1,0 +1,73 @@
+"""GHG scope accounting tests."""
+
+import pytest
+
+from repro.carbon.offsets import NO_PROGRAM
+from repro.carbon.scopes import (
+    GHGInventory,
+    SCOPE3_CATEGORIES,
+    ai_embodied_growth,
+    hyperscaler_inventory,
+)
+from repro.core.quantities import Carbon
+from repro.errors import UnitError
+
+
+class TestGHGInventory:
+    def test_scope3_share_exceeds_half_market_based(self):
+        # The paper: >50% of emissions are Scope 3 (value chain).
+        inventory = hyperscaler_inventory()
+        assert inventory.scope3_share(market_based=True) > 0.5
+
+    def test_market_based_scope2_is_zero_with_matching(self):
+        inventory = hyperscaler_inventory()
+        assert inventory.scope2_market.kg == 0.0
+        assert inventory.scope2_location.kg > 0.0
+
+    def test_no_procurement_keeps_scope2(self):
+        inventory = GHGInventory(
+            scope1=Carbon(10.0),
+            scope2_location=Carbon(100.0),
+            scope3={"capital-goods": Carbon(50.0)},
+            procurement=NO_PROGRAM,
+        )
+        assert inventory.scope2_market.kg == 100.0
+        assert inventory.total(market_based=True).kg == 160.0
+
+    def test_unknown_category_rejected(self):
+        with pytest.raises(UnitError, match="capital-goods"):
+            GHGInventory(
+                scope1=Carbon(1.0),
+                scope2_location=Carbon(1.0),
+                scope3={"yachts": Carbon(1.0)},
+            )
+
+    def test_all_standard_categories_accepted(self):
+        scope3 = {c: Carbon(1.0) for c in SCOPE3_CATEGORIES}
+        inventory = GHGInventory(Carbon(0.0), Carbon(0.0), scope3)
+        assert inventory.scope3_total.kg == pytest.approx(len(SCOPE3_CATEGORIES))
+
+    def test_capital_goods_default_zero(self):
+        inventory = GHGInventory(Carbon(1.0), Carbon(1.0))
+        assert inventory.capital_goods().kg == 0.0
+
+
+class TestAIGrowth:
+    def test_growth_scales_only_ai_share(self):
+        inventory = hyperscaler_inventory()
+        capital = inventory.capital_goods()
+        grown = ai_embodied_growth(inventory, 0.5, 2.9)
+        expected = capital.kg * 0.5 + capital.kg * 0.5 * 2.9
+        assert grown.kg == pytest.approx(expected)
+
+    def test_zero_share_means_no_change(self):
+        inventory = hyperscaler_inventory()
+        grown = ai_embodied_growth(inventory, 0.0, 10.0)
+        assert grown.kg == pytest.approx(inventory.capital_goods().kg)
+
+    def test_validation(self):
+        inventory = hyperscaler_inventory()
+        with pytest.raises(UnitError):
+            ai_embodied_growth(inventory, 1.5, 2.0)
+        with pytest.raises(UnitError):
+            ai_embodied_growth(inventory, 0.5, 0.0)

@@ -1,0 +1,68 @@
+"""SDC fault-injection tests on real recommender training."""
+
+import pytest
+
+from repro.dataeff.synthetic import LatentFactorWorld
+from repro.errors import UnitError
+from repro.reliability.sdc_injection import (
+    SDCInjectionConfig,
+    sdc_study,
+    train_with_sdc,
+)
+
+
+WORLD = LatentFactorWorld(n_users=300, n_items=200, seed=3)
+DATA = WORLD.sample(10_000, seed_offset=0)
+
+
+class TestConfig:
+    def test_validation(self):
+        with pytest.raises(UnitError):
+            SDCInjectionConfig(faults_per_epoch=-1.0)
+        with pytest.raises(UnitError):
+            SDCInjectionConfig(corruption_scale=0.5)
+        with pytest.raises(UnitError):
+            SDCInjectionConfig(cells_per_fault=0)
+
+
+class TestInjection:
+    def test_fault_free_baseline_learns(self):
+        result = train_with_sdc(
+            DATA, SDCInjectionConfig(faults_per_epoch=0.0), n_epochs=6
+        )
+        assert result.label == "fault-free"
+        assert result.cells_corrupted == 0
+        assert result.ndcg > 0.3
+
+    def test_sdc_degrades_accuracy(self):
+        clean = train_with_sdc(
+            DATA, SDCInjectionConfig(faults_per_epoch=0.0), n_epochs=8
+        )
+        faulty = train_with_sdc(
+            DATA,
+            SDCInjectionConfig(faults_per_epoch=1.5, cells_per_fault=16),
+            n_epochs=8,
+        )
+        assert faulty.cells_corrupted > 0
+        assert faulty.ndcg < clean.ndcg
+
+    def test_guard_recovers_accuracy(self):
+        # A rate where faults are damaging but the model retains enough
+        # uncorrupted rows for the guard's repairs to matter; at extreme
+        # rates (a large fraction of all parameters hit) nothing recovers.
+        config = SDCInjectionConfig(faults_per_epoch=1.5, cells_per_fault=16)
+        faulty = train_with_sdc(DATA, config, guard=False, n_epochs=8)
+        guarded = train_with_sdc(DATA, config, guard=True, n_epochs=8)
+        assert guarded.rows_repaired > 0
+        assert guarded.ndcg > faulty.ndcg
+
+    def test_study_structure(self):
+        results = sdc_study(DATA, fault_rates=(0.0, 2.0))
+        labels = [r.label for r in results]
+        assert labels == ["fault-free", "unprotected", "guarded"]
+
+    def test_run_validation(self):
+        with pytest.raises(UnitError):
+            train_with_sdc(DATA, n_epochs=0)
+        with pytest.raises(UnitError):
+            train_with_sdc(DATA, guard=True, guard_threshold=1.0)

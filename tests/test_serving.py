@@ -1,0 +1,112 @@
+"""Serving mechanics tests: Zipf, LRU/Che, derived ladder rungs."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import CalibrationError, UnitError
+from repro.workloads.serving import (
+    AcceleratorServing,
+    ServingWorkload,
+    ZipfPopularity,
+    che_hit_ratio,
+    derived_ladder_gains,
+    simulate_lru_hit_ratio,
+)
+
+
+class TestZipfPopularity:
+    def test_probabilities_normalized_and_sorted(self):
+        p = ZipfPopularity(1000).probabilities()
+        assert np.sum(p) == pytest.approx(1.0)
+        assert np.all(np.diff(p) <= 0)
+
+    def test_sample_in_range(self):
+        samples = ZipfPopularity(100).sample(1000, seed=0)
+        assert samples.min() >= 0
+        assert samples.max() < 100
+
+    def test_head_dominates(self):
+        pop = ZipfPopularity(10_000, exponent=1.1)
+        p = pop.probabilities()
+        assert np.sum(p[:100]) > 0.3
+
+    def test_validation(self):
+        with pytest.raises(UnitError):
+            ZipfPopularity(0)
+        with pytest.raises(UnitError):
+            ZipfPopularity(10, exponent=0.0)
+
+
+class TestCheApproximation:
+    def test_matches_simulation(self):
+        pop = ZipfPopularity(50_000, 1.05)
+        cache = 2_500
+        che = che_hit_ratio(pop, cache)
+        sim = simulate_lru_hit_ratio(pop, cache, n_requests=150_000, seed=1)
+        assert che == pytest.approx(sim, abs=0.03)
+
+    def test_full_cache_hits_everything(self):
+        pop = ZipfPopularity(1000)
+        assert che_hit_ratio(pop, 1000) == 1.0
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(min_value=1, max_value=5))
+    def test_monotone_in_cache_size(self, k):
+        pop = ZipfPopularity(10_000, 1.0)
+        small = che_hit_ratio(pop, 100 * k)
+        large = che_hit_ratio(pop, 200 * k)
+        assert large >= small
+
+    def test_hit_ratio_in_unit_interval(self):
+        pop = ZipfPopularity(10_000, 0.8)
+        h = che_hit_ratio(pop, 500)
+        assert 0.0 < h < 1.0
+
+
+class TestServingWorkload:
+    def test_caching_gain_monotone_in_cache(self):
+        workload = ServingWorkload(catalog_size=100_000)
+        assert workload.caching_gain(0.2) > workload.caching_gain(0.01)
+
+    def test_gain_bounded_by_cost_ratio(self):
+        workload = ServingWorkload(catalog_size=10_000)
+        assert workload.caching_gain(1.0) <= 1.0 / workload.cost_ratio + 1e-9
+
+    def test_inversion_roundtrip(self):
+        workload = ServingWorkload(catalog_size=100_000)
+        fraction = workload.cache_fraction_for_gain(5.0)
+        assert workload.caching_gain(fraction) == pytest.approx(5.0, rel=0.02)
+
+    def test_unreachable_gain_rejected(self):
+        workload = ServingWorkload(catalog_size=1000)
+        ceiling = 1.0 / workload.cost_ratio
+        with pytest.raises(CalibrationError):
+            workload.cache_fraction_for_gain(ceiling * 2)
+
+    def test_validation(self):
+        with pytest.raises(UnitError):
+            ServingWorkload(compute_joules_per_request=0.0)
+        with pytest.raises(UnitError):
+            ServingWorkload(
+                compute_joules_per_request=1.0, lookup_joules_per_request=2.0
+            )
+
+
+class TestDerivedLadder:
+    def test_gpu_gain_near_paper(self):
+        assert AcceleratorServing().gpu_gain == pytest.approx(10.1, rel=0.05)
+
+    def test_default_ladder_lands_near_800x(self):
+        gains = derived_ladder_gains()
+        assert gains["caching"] == pytest.approx(6.7, rel=0.02)
+        assert 700 < gains["total"] < 900
+
+    def test_cache_sizing_is_feasible(self):
+        gains = derived_ladder_gains()
+        assert 0.0 < gains["cache_fraction"] < 0.5
+
+    def test_explicit_cache_fraction_respected(self):
+        gains = derived_ladder_gains(cache_fraction=0.01)
+        assert gains["cache_fraction"] == 0.01
+        assert gains["caching"] < 6.7

@@ -1,0 +1,130 @@
+"""Sharding planner and time-varying accounting tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.carbon.grid import constant_grid_trace, synthesize_grid_trace
+from repro.carbon.intensity import CarbonIntensity
+from repro.core.quantities import Energy
+from repro.errors import TelemetryError, UnitError
+from repro.models.dlrm import DLRMSpec, EmbeddingTableSpec, make_dlrm
+from repro.models.sharding import (
+    alltoall_bytes_per_step,
+    shard_tables,
+    sharding_study,
+)
+from repro.telemetry.time_varying import (
+    TimeVaryingAccountant,
+    account_constant_run,
+    best_and_worst_start,
+)
+
+
+MODEL = make_dlrm("RM", n_tables=24, rows_per_table=20_000_000, dim=96)
+
+
+class TestSharding:
+    def test_all_tables_assigned(self):
+        plan = shard_tables(MODEL, device_memory_bytes=32e9)
+        assert len(plan.assignments) == len(MODEL.tables)
+        assert plan.n_devices >= 1
+
+    def test_memory_cap_respected(self):
+        plan = shard_tables(MODEL, device_memory_bytes=32e9, memory_headroom=0.85)
+        assert np.all(plan.device_bytes <= 32e9 * 0.85 + 1e-6)
+
+    def test_bytes_conserved(self):
+        plan = shard_tables(MODEL, device_memory_bytes=32e9)
+        assert np.sum(plan.device_bytes) == pytest.approx(MODEL.embedding_bytes)
+
+    def test_reasonably_balanced(self):
+        plan = shard_tables(MODEL, device_memory_bytes=32e9)
+        assert plan.imbalance < 1.5
+
+    def test_bigger_devices_fewer_shards(self):
+        small = shard_tables(MODEL, device_memory_bytes=16e9)
+        large = shard_tables(MODEL, device_memory_bytes=64e9)
+        assert large.n_devices <= small.n_devices
+
+    def test_oversized_table_rejected(self):
+        huge = DLRMSpec(
+            "huge",
+            (EmbeddingTableSpec(rows=10_000_000_000, dim=128),),
+            MODEL.bottom_mlp,
+            MODEL.top_mlp,
+        )
+        with pytest.raises(UnitError, match="row-wise"):
+            shard_tables(huge, device_memory_bytes=32e9)
+
+    def test_single_device_no_communication(self):
+        tiny = make_dlrm("tiny", n_tables=4, rows_per_table=1000, dim=8)
+        plan = shard_tables(tiny, device_memory_bytes=32e9)
+        assert plan.n_devices == 1
+        assert alltoall_bytes_per_step(tiny, plan, 1024) == 0.0
+
+    def test_communication_scales_with_batch(self):
+        plan = shard_tables(MODEL, device_memory_bytes=32e9)
+        small = alltoall_bytes_per_step(MODEL, plan, 1024)
+        large = alltoall_bytes_per_step(MODEL, plan, 4096)
+        assert large == pytest.approx(4 * small)
+
+    def test_study_compression_dividend(self):
+        compressed_tables = tuple(
+            EmbeddingTableSpec(max(1, t.rows // 100), t.dim, t.lookups_per_sample)
+            for t in MODEL.tables
+        )
+        compressed = DLRMSpec("c", compressed_tables, MODEL.bottom_mlp, MODEL.top_mlp)
+        rows = sharding_study(MODEL, compressed)
+        assert rows[1].n_devices < rows[0].n_devices
+        assert rows[1].alltoall_gb_per_step <= rows[0].alltoall_gb_per_step
+
+
+GRID = synthesize_grid_trace(168, seed=7)
+
+
+class TestTimeVaryingAccounting:
+    def test_flat_grid_matches_static(self):
+        flat = constant_grid_trace(CarbonIntensity(0.4), 48)
+        acc = account_constant_run(flat, power_kw=10.0, duration_hours=5.0)
+        assert acc.carbon().kg == pytest.approx(acc.static_carbon().kg, rel=1e-9)
+        assert acc.attribution_error() == pytest.approx(0.0, abs=1e-9)
+
+    def test_energy_conserved(self):
+        acc = account_constant_run(GRID, power_kw=10.0, duration_hours=7.5)
+        assert acc.total_energy().kwh == pytest.approx(75.0)
+        assert acc.duration_hours == pytest.approx(7.5)
+
+    def test_boundary_splitting_exact(self):
+        # One 2-hour interval across hours with intensities 0.2 and 0.6
+        # must price half the energy at each.
+        trace = constant_grid_trace(CarbonIntensity(0.2), 24)
+        trace.intensity_kg_per_kwh[1] = 0.6
+        acc = TimeVaryingAccountant(grid=trace, start_hour=0)
+        acc.record_interval(Energy(10.0), 2 * 3600.0)
+        assert acc.carbon().kg == pytest.approx(5 * 0.2 + 5 * 0.6)
+
+    def test_periodic_wrap(self):
+        acc = account_constant_run(GRID, power_kw=10.0, duration_hours=5.0, start_hour=166)
+        assert acc.carbon().kg > 0
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(0, 167))
+    def test_bounded_by_trace_extremes(self, start):
+        acc = account_constant_run(GRID, power_kw=10.0, duration_hours=6.0, start_hour=start)
+        kg = acc.carbon().kg
+        lo = float(GRID.intensity_kg_per_kwh.min()) * 60.0
+        hi = float(GRID.intensity_kg_per_kwh.max()) * 60.0
+        assert lo - 1e-9 <= kg <= hi + 1e-9
+
+    def test_best_and_worst_spread(self):
+        spread = best_and_worst_start(GRID, 10.0, 10.0)
+        assert spread["best_kg"] < spread["mean_kg"] < spread["worst_kg"]
+        assert spread["worst_over_best"] > 1.2
+
+    def test_validation(self):
+        acc = TimeVaryingAccountant(grid=GRID)
+        with pytest.raises(TelemetryError):
+            acc.record_interval(Energy(1.0), 0.0)
+        with pytest.raises(TelemetryError):
+            account_constant_run(GRID, 1.0, 0.0)

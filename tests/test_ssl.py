@@ -1,0 +1,96 @@
+"""SSL-efficiency (Appendix C) tests."""
+
+import pytest
+
+from repro.errors import UnitError
+from repro.ssl_efficiency.pretraining import (
+    PAWS_PRETRAINING,
+    PretrainingRegime,
+    SIMCLR_PRETRAINING,
+    SUPERVISED_TRAINING,
+    amortized_cost_per_task,
+    effort_ratio,
+    label_cost_break_even,
+    regimes_table,
+)
+
+
+class TestRegimes:
+    def test_paper_anchor_points(self):
+        assert SUPERVISED_TRAINING.top1_accuracy == 76.1
+        assert SUPERVISED_TRAINING.epochs == 90.0
+        assert SIMCLR_PRETRAINING.top1_accuracy == 69.3
+        assert PAWS_PRETRAINING.label_fraction == 0.10
+        assert PAWS_PRETRAINING.epochs == 200.0
+
+    def test_labels_worth_roughly_10x(self):
+        ratio = effort_ratio(SIMCLR_PRETRAINING, SUPERVISED_TRAINING)
+        assert 9.0 < ratio < 13.0
+
+    def test_paws_closes_most_of_the_gap(self):
+        gap_ssl = SUPERVISED_TRAINING.top1_accuracy - SIMCLR_PRETRAINING.top1_accuracy
+        gap_paws = SUPERVISED_TRAINING.top1_accuracy - PAWS_PRETRAINING.top1_accuracy
+        assert gap_paws < gap_ssl / 5
+
+    def test_amortization_reduces_cost_per_task(self):
+        one = amortized_cost_per_task(SIMCLR_PRETRAINING, 1)
+        twenty = amortized_cost_per_task(SIMCLR_PRETRAINING, 20)
+        assert twenty < one
+        # At high task counts, cost approaches the fine-tune epochs.
+        thousand = amortized_cost_per_task(SIMCLR_PRETRAINING, 1000)
+        assert thousand == pytest.approx(
+            SIMCLR_PRETRAINING.finetune_epochs_per_task, rel=0.02
+        )
+
+    def test_break_even_positive(self):
+        assert label_cost_break_even() > 0
+
+    def test_regimes_table_rows(self):
+        table = regimes_table()
+        assert [r["regime"] for r in table] == [
+            "supervised",
+            "simclr-ssl",
+            "paws-semi",
+        ]
+        supervised_row = table[0]
+        assert supervised_row["epochs_vs_supervised"] == pytest.approx(1.0)
+
+    def test_validation(self):
+        with pytest.raises(UnitError):
+            PretrainingRegime("bad", 0.0, 10.0, 0.5)
+        with pytest.raises(UnitError):
+            PretrainingRegime("bad", 50.0, 0.0, 0.5)
+        with pytest.raises(UnitError):
+            amortized_cost_per_task(SIMCLR_PRETRAINING, 0)
+
+
+class TestRegimeCarbon:
+    def test_paws_anchor_reproduced(self):
+        from repro.ssl_efficiency.pretraining import PAWS_GPU_HOURS, regime_carbon
+
+        # "Running on 64 V100 GPUs, this takes roughly 16 hours".
+        carbon = regime_carbon(PAWS_PRETRAINING)
+        assert carbon["gpu_hours"] == pytest.approx(PAWS_GPU_HOURS)
+        assert carbon["gpu_hours"] == pytest.approx(64 * 16)
+
+    def test_carbon_scales_with_epochs(self):
+        from repro.ssl_efficiency.pretraining import regime_carbon
+
+        supervised = regime_carbon(SUPERVISED_TRAINING)
+        ssl = regime_carbon(SIMCLR_PRETRAINING)
+        assert ssl["carbon_kg"] / supervised["carbon_kg"] == pytest.approx(
+            effort_ratio(SIMCLR_PRETRAINING, SUPERVISED_TRAINING), rel=1e-6
+        )
+
+    def test_table_carries_carbon(self):
+        table = regimes_table()
+        assert all("carbon_kg" in row for row in table)
+        assert all(float(row["carbon_kg"]) > 0 for row in table)
+
+    def test_anchor_validation(self):
+        from repro.ssl_efficiency.pretraining import regime_carbon
+
+        with pytest.raises(UnitError):
+            regime_carbon(SUPERVISED_TRAINING, gpu_hours_per_epoch=0.0)
+        with pytest.raises(UnitError):
+            regime_carbon(SUPERVISED_TRAINING, pue=0.9)

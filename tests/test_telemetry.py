@@ -1,0 +1,191 @@
+"""Telemetry tests: counters (incl. wraparound), tracker, reports, cards."""
+
+import json
+
+import pytest
+
+from repro.carbon.intensity import CARBON_FREE, US_AVERAGE
+from repro.core.quantities import Carbon
+from repro.errors import TelemetryError, UnitError
+from repro.telemetry.counters import (
+    NvmlPowerSensor,
+    RaplCounter,
+    SimulatedHost,
+    rapl_delta_uj,
+)
+from repro.telemetry.model_card import (
+    HardwareDisclosure,
+    ModelCard,
+    carbon_impact_statement,
+)
+from repro.telemetry.reports import aggregate, read_json, write_csv, write_json
+from repro.telemetry.tracker import EmissionsTracker, track_constant_workload
+
+
+class TestRaplCounter:
+    def test_accumulates_microjoules(self):
+        counter = RaplCounter()
+        counter.advance(watts=100.0, seconds=10.0)
+        assert counter.read_uj() == pytest.approx(1e9, rel=1e-9)
+
+    def test_wraps_at_max(self):
+        counter = RaplCounter(max_energy_uj=1000)
+        counter.advance(watts=1.0, seconds=0.0015)  # 1500 uJ
+        assert counter.read_uj() == 500
+
+    def test_delta_handles_wraparound(self):
+        assert rapl_delta_uj(900, 100, max_energy_uj=1000) == 200
+
+    def test_delta_normal_case(self):
+        assert rapl_delta_uj(100, 900, max_energy_uj=1000) == 800
+
+    def test_delta_rejects_negative(self):
+        with pytest.raises(TelemetryError):
+            rapl_delta_uj(-1, 5)
+
+    def test_advance_validation(self):
+        with pytest.raises(UnitError):
+            RaplCounter().advance(-1.0, 1.0)
+
+
+class TestNvmlSensor:
+    def test_quantized_reading(self):
+        sensor = NvmlPowerSensor(noise_fraction=0.0)
+        sensor.set_power(123.456)
+        assert sensor.read_mw() % sensor.quantization_mw == 0
+
+    def test_zero_power(self):
+        sensor = NvmlPowerSensor(noise_fraction=0.0)
+        sensor.set_power(0.0)
+        assert sensor.read_mw() == 0
+
+
+class TestEmissionsTracker:
+    def test_constant_workload_energy(self):
+        host = SimulatedHost(cpu_utilization=0.3, gpu_utilization=0.6)
+        report = track_constant_workload(host, duration_s=3600.0, poll_interval_s=10.0)
+        # CPU: 400 W * (0.35 + 0.65*0.3) = 218 W for 1 hour.
+        assert report.cpu_energy.kwh == pytest.approx(0.218, rel=0.01)
+        # GPU: 300 W * (0.15 + 0.85*0.6) = 198 W, modulo sensor noise.
+        assert report.gpu_energy.kwh == pytest.approx(0.198, rel=0.05)
+        assert report.facility_energy.kwh == pytest.approx(
+            report.it_energy.kwh * 1.1
+        )
+
+    def test_tracker_survives_rapl_wraparound(self):
+        host = SimulatedHost()
+        host.rapl.max_energy_uj = 200_000_000  # wraps every ~0.9 s at 218 W
+        report = track_constant_workload(host, duration_s=10.0, poll_interval_s=0.5)
+        assert report.cpu_energy.joules == pytest.approx(218.0 * 10.0, rel=0.02)
+
+    def test_double_start_rejected(self):
+        tracker = EmissionsTracker(SimulatedHost())
+        tracker.start()
+        with pytest.raises(TelemetryError):
+            tracker.start()
+
+    def test_report_requires_stop(self):
+        tracker = EmissionsTracker(SimulatedHost())
+        tracker.start()
+        with pytest.raises(TelemetryError):
+            tracker.report()
+
+    def test_poll_requires_running(self):
+        tracker = EmissionsTracker(SimulatedHost())
+        with pytest.raises(TelemetryError):
+            tracker.poll()
+
+    def test_carbon_free_intensity_zeroes_carbon(self):
+        host = SimulatedHost()
+        report = track_constant_workload(host, 100.0, 10.0, intensity=CARBON_FREE)
+        assert report.carbon.kg == 0.0
+
+    def test_utilization_change_mid_run(self):
+        host = SimulatedHost(gpu_utilization=0.0)
+        tracker = EmissionsTracker(host)
+        with tracker:
+            host.advance(100.0)
+            tracker.poll()
+            host.set_utilization(gpu=1.0)
+            host.advance(100.0)
+            tracker.poll()
+        low = SimulatedHost(gpu_utilization=0.0)
+        low_report = track_constant_workload(low, 200.0, 100.0)
+        assert tracker.gpu_energy().kwh > low_report.gpu_energy.kwh
+
+
+class TestReports:
+    def _reports(self):
+        host = SimulatedHost()
+        return [track_constant_workload(host, 60.0, 10.0)]
+
+    def test_json_roundtrip(self, tmp_path):
+        reports = self._reports()
+        path = write_json(reports, tmp_path / "runs.json")
+        loaded = read_json(path)
+        assert loaded[0]["label"] == "constant-workload"
+        assert loaded[0]["carbon_kg"] == pytest.approx(reports[0].carbon.kg)
+
+    def test_csv_has_header_and_row(self, tmp_path):
+        path = write_csv(self._reports(), tmp_path / "runs.csv")
+        lines = path.read_text().strip().splitlines()
+        assert lines[0].startswith("label,")
+        assert len(lines) == 2
+
+    def test_read_json_validates_shape(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({"not": "a list"}))
+        with pytest.raises(TelemetryError):
+            read_json(bad)
+
+    def test_aggregate(self):
+        reports = self._reports() * 3
+        agg = aggregate(reports)
+        assert agg["n_runs"] == 3
+        assert agg["total_carbon_kg"] == pytest.approx(3 * reports[0].carbon.kg)
+
+    def test_aggregate_empty_rejected(self):
+        with pytest.raises(TelemetryError):
+            aggregate([])
+
+
+class TestModelCard:
+    def _report(self):
+        return track_constant_workload(SimulatedHost(), 3600.0, 60.0)
+
+    def test_impact_statement_mentions_hardware_and_carbon(self):
+        disclosure = HardwareDisclosure("NVIDIA V100", 8, 100.0, "us-average")
+        text = carbon_impact_statement(disclosure, self._report())
+        assert "8 x NVIDIA V100" in text
+        assert "PUE" in text
+        assert "gCO2e/kWh" in text
+
+    def test_model_card_renders_environment_section(self):
+        from repro.core.analyzer import FootprintAnalyzer, PhaseWorkload, TaskDescription
+        from repro.core.footprint import Phase
+
+        task = TaskDescription(
+            "m", workloads=(PhaseWorkload(Phase.OFFLINE_TRAINING, 100.0),)
+        )
+        fp = FootprintAnalyzer().analyze(task)
+        card = ModelCard(
+            model_name="my-model",
+            intended_use="ranking",
+            training_data="synthetic",
+            metrics={"ndcg": 0.42},
+            footprint=fp,
+            disclosure=HardwareDisclosure("V100", 8, 12.5),
+        )
+        text = card.render()
+        assert "# Model Card: my-model" in text
+        assert "## Environmental Impact" in text
+        assert "Operational" in text
+        assert "## Hardware Disclosure" in text
+
+    def test_card_without_footprint_prompts_disclosure(self):
+        card = ModelCard("m", "use", "data")
+        assert "No footprint recorded" in card.render()
+
+    def test_disclosure_validation(self):
+        with pytest.raises(TelemetryError):
+            HardwareDisclosure("V100", 0, 1.0)

@@ -1,0 +1,83 @@
+"""Unit conversion tests."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro import units
+
+finite_positive = st.floats(
+    min_value=1e-9, max_value=1e12, allow_nan=False, allow_infinity=False
+)
+
+
+class TestEnergyConversions:
+    def test_joules_kwh_roundtrip_exact_value(self):
+        assert units.joules_to_kwh(3.6e6) == 1.0
+        assert units.kwh_to_joules(1.0) == 3.6e6
+
+    @given(finite_positive)
+    def test_joules_kwh_roundtrip(self, joules):
+        assert math.isclose(
+            units.kwh_to_joules(units.joules_to_kwh(joules)), joules, rel_tol=1e-12
+        )
+
+    @given(finite_positive)
+    def test_mwh_kwh_roundtrip(self, mwh):
+        assert math.isclose(
+            units.kwh_to_mwh(units.mwh_to_kwh(mwh)), mwh, rel_tol=1e-12
+        )
+
+    def test_wh_to_kwh(self):
+        assert units.wh_to_kwh(1500.0) == 1.5
+
+
+class TestMassConversions:
+    def test_kg_tonne_roundtrip_value(self):
+        assert units.tonnes_to_kg(2.5) == 2500.0
+        assert units.kg_to_tonnes(2500.0) == 2.5
+
+    def test_pounds(self):
+        assert math.isclose(units.pounds_to_kg(1.0), 0.45359237)
+
+    def test_grams(self):
+        assert units.grams_to_kg(1000.0) == 1.0
+
+
+class TestWattsHours:
+    def test_basic(self):
+        assert units.watts_hours_to_kwh(1000.0, 2.0) == 2.0
+
+    def test_rejects_negative_power(self):
+        with pytest.raises(ValueError):
+            units.watts_hours_to_kwh(-1.0, 1.0)
+
+    def test_rejects_negative_hours(self):
+        with pytest.raises(ValueError):
+            units.watts_hours_to_kwh(1.0, -1.0)
+
+    @given(finite_positive, finite_positive)
+    def test_bilinear(self, watts, hours):
+        single = units.watts_hours_to_kwh(watts, hours)
+        doubled = units.watts_hours_to_kwh(2 * watts, hours)
+        assert math.isclose(doubled, 2 * single, rel_tol=1e-9)
+
+
+class TestGpuDays:
+    def test_conversion(self):
+        assert units.gpu_days(2.0) == 48.0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            units.gpu_days(-1.0)
+
+
+class TestRates:
+    def test_per_year_to_per_hour(self):
+        assert math.isclose(
+            units.per_year_to_per_hour(units.HOURS_PER_YEAR), 1.0
+        )
+
+    def test_hours_per_year_value(self):
+        assert math.isclose(units.HOURS_PER_YEAR, 8766.0)

@@ -1,0 +1,169 @@
+"""Workload model tests: OSS anchors, FB calibration, growth, traces."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.analyzer import FootprintAnalyzer
+from repro.errors import CalibrationError
+from repro.workloads.arxiv import cumulative_by_category, ml_overtakes_at_month
+from repro.workloads.facebook import PRODUCTION_PROFILES, production_tasks
+from repro.workloads.growthtrends import (
+    ACCELERATOR_MEMORY_GROWTH,
+    DATA_GROWTH_RM_A,
+    GrowthTrend,
+    INGESTION_BANDWIDTH_GROWTH,
+    MODEL_SIZE_GROWTH,
+    scaling_gap,
+)
+from repro.workloads.oss_models import (
+    GPT3,
+    MEENA,
+    OSS_MODELS,
+    SWITCH_TRANSFORMER,
+    fb_average_training_target,
+    parameters_vs_carbon_correlation,
+)
+from repro.workloads.traces import (
+    diurnal_demand,
+    experiment_arrivals,
+    inference_request_volume,
+)
+from repro.lifecycle.jobs import EXPERIMENTATION_JOBS
+
+
+class TestOSSAnchors:
+    def test_switch_transformer_beats_gpt3_despite_more_params(self):
+        # The paper's non-correlation example.
+        assert SWITCH_TRANSFORMER.parameters_billion > GPT3.parameters_billion
+        assert SWITCH_TRANSFORMER.training_carbon.kg < GPT3.training_carbon.kg
+
+    def test_correlation_weak(self):
+        assert abs(parameters_vs_carbon_correlation()) < 0.5
+
+    def test_fb_target_is_1_8x_meena(self):
+        target = fb_average_training_target()
+        assert target.tonnes == pytest.approx(1.8 * MEENA.training_carbon.tonnes)
+
+    def test_fb_target_near_third_of_gpt3(self):
+        target = fb_average_training_target()
+        assert target.tonnes / GPT3.training_carbon.tonnes == pytest.approx(
+            1 / 3, abs=0.05
+        )
+
+    def test_all_models_have_positive_footprints(self):
+        for model in OSS_MODELS:
+            assert model.training_energy.kwh > 0
+            assert model.training_carbon.kg > 0
+
+
+class TestProductionTasks:
+    def test_profiles_average_to_one(self):
+        weights = [p.training_weight for p in PRODUCTION_PROFILES]
+        assert np.mean(weights) == pytest.approx(1.0, abs=1e-9)
+
+    def test_six_tasks(self):
+        assert len(production_tasks()) == 6
+        assert [t.name for t in production_tasks()][:2] == ["LM", "RM1"]
+
+    def test_calibration_hits_target(self):
+        analyzer = FootprintAnalyzer()
+        tasks = production_tasks(analyzer)
+        training_tonnes = []
+        for task in tasks:
+            op = analyzer.operational_footprint(task)
+            train_share, _ = op.training_inference_split()
+            training_tonnes.append(op.carbon.tonnes * train_share)
+        avg = float(np.mean(training_tonnes))
+        assert avg == pytest.approx(1.8 * MEENA.training_carbon.tonnes, rel=0.01)
+
+    def test_lm_inference_heavy(self):
+        analyzer = FootprintAnalyzer()
+        lm = production_tasks(analyzer)[0]
+        train, infer = analyzer.operational_footprint(lm).training_inference_split()
+        assert train == pytest.approx(0.35, abs=0.01)
+        assert infer == pytest.approx(0.65, abs=0.01)
+
+    def test_rms_split_evenly(self):
+        analyzer = FootprintAnalyzer()
+        for task in production_tasks(analyzer)[1:]:
+            train, infer = analyzer.operational_footprint(
+                task
+            ).training_inference_split()
+            assert train == pytest.approx(0.5, abs=0.01)
+
+    def test_lm_has_no_online_training(self):
+        from repro.core.footprint import Phase
+
+        analyzer = FootprintAnalyzer()
+        lm = production_tasks(analyzer)[0]
+        op = analyzer.operational_footprint(lm)
+        assert op.phase_carbon(Phase.ONLINE_TRAINING).kg == 0.0
+
+
+class TestGrowthTrends:
+    def test_annual_rate_consistency(self):
+        trend = GrowthTrend("x", 4.0, 2.0)
+        assert trend.annual_rate == pytest.approx(2.0)
+        assert trend.value_at(2.0) == pytest.approx(4.0)
+
+    def test_paper_values(self):
+        assert DATA_GROWTH_RM_A.factor == 2.4
+        assert INGESTION_BANDWIDTH_GROWTH.factor == 3.2
+        assert MODEL_SIZE_GROWTH.factor == 20.0
+
+    def test_doubling_time(self):
+        trend = GrowthTrend("x", 2.0, 1.0)
+        assert trend.doubling_time_years() == pytest.approx(1.0)
+
+    def test_no_growth_never_doubles(self):
+        assert GrowthTrend("flat", 1.0, 1.0).doubling_time_years() == float("inf")
+
+    def test_scaling_gap_widens(self):
+        gap = scaling_gap(MODEL_SIZE_GROWTH, ACCELERATOR_MEMORY_GROWTH, 2.0)
+        assert gap > 5.0  # 20x model vs <2x memory
+
+    def test_series(self):
+        t, v = GrowthTrend("x", 4.0, 2.0).series(5)
+        assert len(t) == len(v) == 5
+        assert v[0] == pytest.approx(1.0)
+        assert v[-1] == pytest.approx(4.0)
+
+
+class TestArxiv:
+    def test_ml_overtakes_most_categories(self):
+        crossings = ml_overtakes_at_month(144)
+        overtaken = sum(1 for c in crossings.values() if c is not None)
+        assert overtaken >= 5
+
+    def test_cumulative_is_monotone(self):
+        curves = cumulative_by_category(60)
+        for series in curves.values():
+            assert np.all(np.diff(series) >= 0)
+
+    def test_deterministic(self):
+        a = cumulative_by_category(36, seed=5)
+        b = cumulative_by_category(36, seed=5)
+        np.testing.assert_array_equal(a["machine learning"], b["machine learning"])
+
+
+class TestTraces:
+    def test_diurnal_in_bounds(self):
+        demand = diurnal_demand(168)
+        assert np.all(demand > 0)
+        assert np.all(demand <= 1.0)
+
+    def test_diurnal_has_daily_swing(self):
+        demand = diurnal_demand(168, noise=0.0)
+        by_hour = demand[:144].reshape(6, 24).mean(axis=0)
+        assert by_hour.max() / by_hour.min() > 1.2
+
+    def test_experiment_arrivals_sorted(self):
+        stream = experiment_arrivals(EXPERIMENTATION_JOBS, 10.0, 7.0, seed=0)
+        assert np.all(np.diff(stream.start_hours) >= 0)
+        assert stream.total_gpu_hours > 0
+
+    def test_inference_volume_doubles_in_3yr(self):
+        t, volume = inference_request_volume(years=3.0)
+        assert volume[-1] / volume[0] == pytest.approx(2.0, rel=0.01)
