@@ -40,6 +40,27 @@ def experiment_ids() -> tuple[str, ...]:
     return _ids()
 
 
+def verify_experiments(baselines_path=None, jobs: int = 1):
+    """Run every experiment and diff it against the golden baselines.
+
+    Returns a :class:`repro.experiments.golden.VerifyReport`; ``report.ok``
+    is the pass/fail verdict the ``sustainable-ai verify`` CLI exposes as
+    its exit code.
+    """
+    from repro.experiments import golden
+    from repro.experiments.base import ExperimentResult
+    from repro.experiments.registry import experiment_ids as _ids
+    from repro.experiments.runner import _run_many
+
+    outputs = _run_many(_ids(), jobs)
+    results = {
+        out["payload"]["experiment_id"]: ExperimentResult.from_payload(out["payload"])
+        for out in outputs
+    }
+    baselines = golden.load_baselines(baselines_path or golden.DEFAULT_BASELINES_PATH)
+    return golden.compare(baselines, results)
+
+
 from repro.core.footprint import (
     EmbodiedFootprint,
     OperationalFootprint,
@@ -66,4 +87,5 @@ __all__ = [
     "experiment_ids",
     "run_experiment",
     "utilization_sweep",
+    "verify_experiments",
 ]

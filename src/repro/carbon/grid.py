@@ -20,6 +20,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.carbon.intensity import CarbonIntensity
+from repro.core.memo import memoized_substrate
 from repro.core.quantities import Carbon, Energy
 from repro.errors import UnitError
 
@@ -117,12 +118,16 @@ class GridTrace:
         return int(np.argmin(sums[: len(self)]))
 
 
+@memoized_substrate
 def synthesize_grid_trace(
     hours: int = 168,
     params: GridMixParams | None = None,
     seed: int = 0,
 ) -> GridTrace:
     """Generate a seeded synthetic hourly grid trace.
+
+    Memoized: identical (hours, params, seed) calls share one frozen
+    :class:`GridTrace` instance (its arrays are read-only).
 
     Parameters
     ----------
@@ -177,8 +182,9 @@ def synthesize_grid_trace(
     )
 
 
+@memoized_substrate
 def constant_grid_trace(intensity: CarbonIntensity, hours: int = 168) -> GridTrace:
-    """A flat grid trace (useful as a scheduling baseline)."""
+    """A flat grid trace (useful as a scheduling baseline).  Memoized."""
     if hours <= 0:
         raise UnitError(f"trace length must be positive, got {hours}")
     return GridTrace(

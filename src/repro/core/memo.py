@@ -1,0 +1,95 @@
+"""In-process memoization for shared simulation substrates.
+
+Many experiments rebuild identical inputs — the same seeded weekly grid
+trace, the same diurnal demand curve, the same Poisson experiment stream —
+every time they run.  :func:`memoized_substrate` caches those
+constructions by argument value so a full ``sustainable-ai run all`` (or
+repeated figure runs in one process) builds each substrate once.
+
+Cached values are shared between callers, so every numpy array reachable
+from a cached value is frozen (``writeable=False``) before it enters the
+cache; a caller that needs a mutable copy must ``np.array(...)`` it.
+Unhashable arguments bypass the cache silently — correctness never
+depends on a hit.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import functools
+from dataclasses import dataclass
+from typing import Callable, TypeVar
+
+import numpy as np
+
+F = TypeVar("F", bound=Callable)
+
+#: All caches created by :func:`memoized_substrate`, by function name.
+_REGISTRY: dict[str, Callable] = {}
+
+
+@dataclass(frozen=True)
+class CacheInfo:
+    """Hit/miss statistics of one substrate cache."""
+
+    hits: int
+    misses: int
+    size: int
+
+
+def _freeze(value):
+    """Mark every numpy array reachable from ``value`` read-only."""
+    if isinstance(value, np.ndarray):
+        value.setflags(write=False)
+    elif dataclasses.is_dataclass(value) and not isinstance(value, type):
+        for f in dataclasses.fields(value):
+            _freeze(getattr(value, f.name))
+    elif isinstance(value, (tuple, list)):
+        for item in value:
+            _freeze(item)
+    return value
+
+
+def memoized_substrate(func: F) -> F:
+    """Cache a substrate constructor by (hashable) argument values."""
+    cache: dict[object, object] = {}
+    stats = {"hits": 0, "misses": 0}
+
+    @functools.wraps(func)
+    def wrapper(*args, **kwargs):
+        key = (args, tuple(sorted(kwargs.items())))
+        try:
+            hash(key)
+        except TypeError:
+            return func(*args, **kwargs)
+        try:
+            value = cache[key]
+        except KeyError:
+            stats["misses"] += 1
+            value = cache[key] = _freeze(func(*args, **kwargs))
+        else:
+            stats["hits"] += 1
+        return value
+
+    def cache_info() -> CacheInfo:
+        return CacheInfo(hits=stats["hits"], misses=stats["misses"], size=len(cache))
+
+    def cache_clear() -> None:
+        cache.clear()
+        stats["hits"] = stats["misses"] = 0
+
+    wrapper.cache_info = cache_info  # type: ignore[attr-defined]
+    wrapper.cache_clear = cache_clear  # type: ignore[attr-defined]
+    _REGISTRY[func.__qualname__] = wrapper
+    return wrapper  # type: ignore[return-value]
+
+
+def substrate_cache_info() -> dict[str, CacheInfo]:
+    """Statistics for every registered substrate cache."""
+    return {name: fn.cache_info() for name, fn in _REGISTRY.items()}
+
+
+def clear_substrate_caches() -> None:
+    """Empty every registered substrate cache (mainly for tests)."""
+    for fn in _REGISTRY.values():
+        fn.cache_clear()

@@ -4,12 +4,20 @@ Every experiment module exposes ``run(**kwargs) -> ExperimentResult``.
 The result carries the same rows/series the corresponding paper figure
 reports, plus a ``headline`` dict of the single numbers the paper quotes
 in prose (these are what EXPERIMENTS.md tracks paper-vs-measured).
+
+Results are serializable: :meth:`ExperimentResult.to_payload` produces the
+stable JSON schema used by ``sustainable-ai run --json`` and by the golden
+baselines in ``golden/baselines.json``; :meth:`ExperimentResult.from_payload`
+round-trips it.  An experiment that produces a headline metric which is
+*not* bit-reproducible (e.g. a wall-clock speedup) declares that next to
+the metric via ``tolerances``: a per-metric relative tolerance, or ``None``
+to mark the metric informational (tracked in baselines, never failed on).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Sequence
+from typing import Mapping, Sequence
 
 from repro.core.report import format_table
 
@@ -24,6 +32,9 @@ class ExperimentResult:
     headers: Sequence[str] = field(default_factory=tuple)
     rows: Sequence[Sequence[object]] = field(default_factory=tuple)
     notes: str = ""
+    #: Per-metric relative tolerance overrides for golden verification.
+    #: ``None`` marks a metric informational (e.g. wall-clock timings).
+    tolerances: Mapping[str, float | None] = field(default_factory=dict)
 
     def render(self) -> str:
         """Human-readable rendering (what the bench harness prints)."""
@@ -38,3 +49,34 @@ class ExperimentResult:
             lines.append("")
             lines.append(self.notes)
         return "\n".join(lines)
+
+    def to_payload(self) -> dict[str, object]:
+        """JSON-serializable payload with a stable, sorted-key schema."""
+        payload: dict[str, object] = {
+            "experiment_id": self.experiment_id,
+            "title": self.title,
+            "headline": {k: float(v) for k, v in self.headline.items()},
+            "headers": list(self.headers),
+            "rows": [[str(c) for c in row] for row in self.rows],
+            "notes": self.notes,
+        }
+        if self.tolerances:
+            payload["tolerances"] = dict(self.tolerances)
+        return payload
+
+    @classmethod
+    def from_payload(cls, payload: Mapping[str, object]) -> "ExperimentResult":
+        """Reconstruct a result from :meth:`to_payload` output.
+
+        Row cells come back as strings (the payload stringifies them); the
+        headline, shape, and tolerance information survives exactly.
+        """
+        return cls(
+            experiment_id=str(payload["experiment_id"]),
+            title=str(payload["title"]),
+            headline={k: float(v) for k, v in dict(payload["headline"]).items()},
+            headers=tuple(payload.get("headers", ())),
+            rows=tuple(tuple(row) for row in payload.get("rows", ())),
+            notes=str(payload.get("notes", "")),
+            tolerances=dict(payload.get("tolerances", {})),
+        )

@@ -1,0 +1,223 @@
+"""Golden-baseline regression harness for the experiment suite.
+
+The reproduction's core correctness property is that the 40+ registered
+experiments keep producing the calibrated ratios the paper reports.  This
+module pins every experiment's headline metrics (and row shapes) into a
+checked-in ``golden/baselines.json`` and diffs fresh runs against it with
+per-metric relative tolerances:
+
+* :func:`build_baselines` / :func:`write_baselines` snapshot a full run
+  (``sustainable-ai verify --update``);
+* :func:`load_baselines` / :func:`compare` produce a :class:`VerifyReport`
+  with one :class:`Drift` per violation (``sustainable-ai verify``).
+
+A tolerance of ``null`` in the JSON marks a metric informational — its
+value is recorded for audit but never failed on (used for wall-clock
+timings such as the sampling-study speedup).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Mapping
+
+from repro.core.report import format_table
+from repro.errors import SustainableAIError
+from repro.experiments.base import ExperimentResult
+from repro.experiments.registry import DEFAULT_REL_TOL, get_spec
+
+SCHEMA_VERSION = 1
+
+#: The checked-in baselines at the repository root.
+DEFAULT_BASELINES_PATH = Path(__file__).resolve().parents[3] / "golden" / "baselines.json"
+
+
+class BaselineError(SustainableAIError, ValueError):
+    """The baselines file is missing, malformed, or incompatible."""
+
+
+@dataclass(frozen=True)
+class Drift:
+    """One baseline violation (or structural mismatch)."""
+
+    experiment_id: str
+    kind: str  # metric-drift | missing-metric | new-metric | shape | missing-baseline | stale-baseline
+    metric: str = ""
+    expected: float | None = None
+    actual: float | None = None
+    rel_error: float | None = None
+    tolerance: float | None = None
+    detail: str = ""
+
+
+@dataclass(frozen=True)
+class VerifyReport:
+    """Outcome of diffing one run against the golden baselines."""
+
+    drifts: tuple[Drift, ...]
+    n_experiments: int
+    n_metrics: int
+
+    @property
+    def ok(self) -> bool:
+        return not self.drifts
+
+    def render(self) -> str:
+        """Readable drift report: summary line plus one row per drift."""
+        summary = (
+            f"golden verify: {self.n_experiments} experiment(s), "
+            f"{self.n_metrics} metric(s) checked"
+        )
+        if self.ok:
+            return f"{summary}\nOK — no drift beyond tolerance"
+        headers = ["experiment", "metric", "kind", "expected", "actual", "rel-error", "tolerance"]
+        rows = [
+            [
+                d.experiment_id,
+                d.metric or "-",
+                d.kind,
+                "-" if d.expected is None else f"{d.expected:.6g}",
+                "-" if d.actual is None else f"{d.actual:.6g}",
+                "-" if d.rel_error is None else f"{d.rel_error:.3g}",
+                "-" if d.tolerance is None else f"{d.tolerance:.3g}",
+            ]
+            for d in self.drifts
+        ]
+        table = format_table(headers, rows)
+        details = [f"  {d.experiment_id}: {d.detail}" for d in self.drifts if d.detail]
+        parts = [summary, f"DRIFT — {len(self.drifts)} violation(s)", "", table]
+        if details:
+            parts += [""] + details
+        return "\n".join(parts)
+
+
+def snapshot(result: ExperimentResult) -> dict[str, object]:
+    """Baseline entry for one result: headline, tolerances, row shape."""
+    spec = get_spec(result.experiment_id)
+    headline = {k: float(v) for k, v in sorted(result.headline.items())}
+    return {
+        "title": result.title,
+        "headline": headline,
+        "tolerances": {k: spec.tolerance_for(k, result) for k in headline},
+        "headers": list(result.headers),
+        "n_rows": len(result.rows),
+    }
+
+
+def build_baselines(results: Mapping[str, ExperimentResult]) -> dict[str, object]:
+    """Full baselines document for a run of (typically all) experiments."""
+    return {
+        "schema": SCHEMA_VERSION,
+        "experiments": {eid: snapshot(res) for eid, res in results.items()},
+    }
+
+
+def write_baselines(path: Path, baselines: Mapping[str, object]) -> None:
+    """Write a baselines document as stable, diff-friendly JSON."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(baselines, indent=2, sort_keys=True) + "\n")
+
+
+def load_baselines(path: Path) -> dict[str, object]:
+    """Load and validate a baselines document."""
+    path = Path(path)
+    if not path.exists():
+        raise BaselineError(
+            f"baselines file not found: {path} "
+            "(generate it with `sustainable-ai verify --update`)"
+        )
+    try:
+        data = json.loads(path.read_text())
+    except json.JSONDecodeError as exc:
+        raise BaselineError(f"baselines file {path} is not valid JSON: {exc}") from exc
+    if not isinstance(data, dict) or "experiments" not in data:
+        raise BaselineError(f"baselines file {path} lacks an 'experiments' section")
+    if data.get("schema") != SCHEMA_VERSION:
+        raise BaselineError(
+            f"baselines file {path} has schema {data.get('schema')!r}; "
+            f"this library reads schema {SCHEMA_VERSION}"
+        )
+    return data
+
+
+def _relative_error(expected: float, actual: float) -> float:
+    """Relative error vs the expected value (absolute error when expected=0)."""
+    if expected == actual:
+        return 0.0
+    if expected == 0.0:
+        return abs(actual)
+    return abs(actual - expected) / abs(expected)
+
+
+def compare(
+    baselines: Mapping[str, object],
+    results: Mapping[str, ExperimentResult],
+    strict: bool = True,
+) -> VerifyReport:
+    """Diff a run against baselines.
+
+    ``strict`` also flags baseline entries with no corresponding result
+    (stale baselines); disable it when intentionally verifying a subset.
+    """
+    entries: Mapping[str, Mapping[str, object]] = baselines["experiments"]  # type: ignore[assignment]
+    drifts: list[Drift] = []
+    n_metrics = 0
+
+    for eid, result in results.items():
+        if eid not in entries:
+            drifts.append(
+                Drift(eid, "missing-baseline", detail="no baseline recorded; re-run with --update")
+            )
+            continue
+        base = entries[eid]
+        base_headline: Mapping[str, float] = base.get("headline", {})  # type: ignore[assignment]
+        tolerances: Mapping[str, float | None] = base.get("tolerances", {})  # type: ignore[assignment]
+        actual_headline = {k: float(v) for k, v in result.headline.items()}
+
+        for metric in sorted(set(base_headline) | set(actual_headline)):
+            if metric not in actual_headline:
+                drifts.append(
+                    Drift(eid, "missing-metric", metric, expected=float(base_headline[metric]))
+                )
+                continue
+            if metric not in base_headline:
+                drifts.append(Drift(eid, "new-metric", metric, actual=actual_headline[metric]))
+                continue
+            n_metrics += 1
+            tolerance = tolerances.get(metric, DEFAULT_REL_TOL)
+            if tolerance is None:
+                continue  # informational metric
+            expected = float(base_headline[metric])
+            actual = actual_headline[metric]
+            rel_error = _relative_error(expected, actual)
+            if rel_error > tolerance:
+                drifts.append(
+                    Drift(eid, "metric-drift", metric, expected, actual, rel_error, tolerance)
+                )
+
+        base_headers = list(base.get("headers", []))
+        if base_headers != list(result.headers):
+            drifts.append(
+                Drift(
+                    eid,
+                    "shape",
+                    detail=f"headers changed: {base_headers!r} -> {list(result.headers)!r}",
+                )
+            )
+        base_rows = base.get("n_rows")
+        if base_rows is not None and int(base_rows) != len(result.rows):  # type: ignore[arg-type]
+            drifts.append(
+                Drift(eid, "shape", detail=f"row count changed: {base_rows} -> {len(result.rows)}")
+            )
+
+    if strict:
+        for eid in entries:
+            if eid not in results:
+                drifts.append(
+                    Drift(eid, "stale-baseline", detail="baseline has no matching experiment")
+                )
+
+    return VerifyReport(tuple(drifts), n_experiments=len(results), n_metrics=n_metrics)

@@ -1,8 +1,28 @@
-"""Registry mapping experiment ids to their runner callables."""
+"""Registry of experiments: metadata-carrying specs with deterministic order.
+
+Each experiment is registered as an :class:`ExperimentSpec` rather than a
+bare callable.  The spec carries the category that fixes the listing order
+(figures, in-text metrics, appendix, ablations, extensions), the runner,
+and the per-metric relative tolerances the golden-baseline verifier
+(:mod:`repro.experiments.golden`) applies to its headline numbers.
+
+:func:`run_experiment` also seeds the *global* RNGs (``random`` and the
+legacy numpy generator) from a stable hash of the experiment id before
+dispatching, so results are independent of execution order — a parallel
+``sustainable-ai run all --jobs N`` produces payloads byte-identical to a
+sequential run.
+"""
 
 from __future__ import annotations
 
-from typing import Callable
+import difflib
+import hashlib
+import random
+from dataclasses import dataclass, field
+from types import MappingProxyType
+from typing import Callable, Mapping
+
+import numpy as np
 
 from repro.errors import RegistryError
 from repro.experiments import (
@@ -25,66 +45,165 @@ from repro.experiments import (
 )
 from repro.experiments.base import ExperimentResult
 
+#: Listing order of experiment categories (satisfies the "figures first"
+#: contract explicitly instead of relying on dict insertion order).
+CATEGORY_ORDER: tuple[str, ...] = (
+    "figure",
+    "text",
+    "appendix",
+    "ablation",
+    "extension",
+)
+
+#: Default per-metric relative tolerance for golden verification.  The
+#: experiments are seeded and deterministic, so drift beyond this means a
+#: behavioral change, not noise.
+DEFAULT_REL_TOL = 1e-6
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """One registered experiment: id, category, runner, tolerance metadata."""
+
+    experiment_id: str
+    category: str
+    runner: Callable[[], ExperimentResult]
+    tolerances: Mapping[str, float | None] = field(default_factory=dict)
+    rel_tol: float = DEFAULT_REL_TOL
+
+    def __post_init__(self) -> None:
+        if self.category not in CATEGORY_ORDER:
+            raise RegistryError(
+                f"unknown category {self.category!r} for "
+                f"{self.experiment_id!r}; known: {', '.join(CATEGORY_ORDER)}"
+            )
+        object.__setattr__(self, "tolerances", MappingProxyType(dict(self.tolerances)))
+
+    def tolerance_for(
+        self, metric: str, result: ExperimentResult | None = None
+    ) -> float | None:
+        """Relative tolerance for one headline metric.
+
+        Resolution order: spec override, then the tolerance the result
+        itself declared, then the spec-wide default.  ``None`` marks the
+        metric informational (never failed on).
+        """
+        if metric in self.tolerances:
+            return self.tolerances[metric]
+        if result is not None and metric in result.tolerances:
+            return result.tolerances[metric]
+        return self.rel_tol
+
+
+_SPECS: tuple[ExperimentSpec, ...] = (
+    ExperimentSpec("fig1", "figure", fig01.run),
+    ExperimentSpec("fig2", "figure", fig02.run),
+    ExperimentSpec("fig3", "figure", fig03.run),
+    ExperimentSpec("fig4", "figure", fig04.run),
+    ExperimentSpec("fig5", "figure", fig05.run),
+    ExperimentSpec("fig6", "figure", fig06.run),
+    ExperimentSpec("fig7", "figure", fig07.run),
+    ExperimentSpec("fig8", "figure", fig08.run),
+    ExperimentSpec("fig9", "figure", fig09.run),
+    ExperimentSpec("fig10", "figure", fig10.run),
+    ExperimentSpec("fig11", "figure", fig11.run),
+    ExperimentSpec("fig12", "figure", fig12.run),
+    ExperimentSpec("text-gpudays", "text", text_metrics.run_gpudays),
+    ExperimentSpec("text-quant", "text", text_metrics.run_quantization),
+    ExperimentSpec("text-sampling", "text", text_metrics.run_sampling),
+    ExperimentSpec("text-halflife", "text", text_metrics.run_halflife),
+    ExperimentSpec("appendix-ssl", "appendix", appendix.run_ssl),
+    ExperimentSpec("appendix-disagg", "appendix", appendix.run_disaggregation),
+    ExperimentSpec("ablation-sched", "ablation", ablations.run_scheduling),
+    ExperimentSpec("ablation-earlystop", "ablation", ablations.run_earlystop),
+    ExperimentSpec("ablation-nas", "ablation", ablations.run_nas),
+    ExperimentSpec("ablation-compression", "ablation", ablations.run_compression),
+    ExperimentSpec("ext-moe", "extension", extensions.run_moe),
+    ExperimentSpec("ext-scopes", "extension", extensions.run_scopes),
+    ExperimentSpec("ext-geo", "extension", extensions.run_geo),
+    ExperimentSpec("ext-flselect", "extension", extensions.run_fl_selection),
+    ExperimentSpec("ext-idle", "extension", extensions.run_idle),
+    ExperimentSpec("ext-carbonnas", "extension", extensions.run_carbon_nas),
+    ExperimentSpec("ext-leaderboard", "extension", extensions.run_leaderboard),
+    ExperimentSpec("ext-predict", "extension", extensions.run_predictive_tracking),
+    ExperimentSpec("ext-capacity", "extension", extensions.run_capacity),
+    ExperimentSpec("ext-serving", "extension", extensions.run_serving_mechanics),
+    ExperimentSpec("ext-sdc", "extension", extensions.run_sdc),
+    ExperimentSpec("ext-tenancy", "extension", extensions.run_multitenancy),
+    ExperimentSpec("ext-hwchoice", "extension", extensions.run_hardware_choice),
+    ExperimentSpec("ext-asyncfl", "extension", extensions.run_async_fl),
+    ExperimentSpec("ext-sharding", "extension", extensions.run_sharding),
+    ExperimentSpec("ext-tvtracking", "extension", extensions.run_time_varying),
+    ExperimentSpec("ext-autoscale", "extension", extensions.run_autoscale),
+    ExperimentSpec("ext-forecast", "extension", extensions.run_forecast),
+    ExperimentSpec("ext-uncertainty", "extension", extensions.run_uncertainty),
+    ExperimentSpec("ext-ingestion", "extension", extensions.run_ingestion),
+    ExperimentSpec("ext-bom", "extension", extensions.run_bom),
+    ExperimentSpec("ext-mempool", "extension", extensions.run_memory_pooling),
+)
+
+SPECS: dict[str, ExperimentSpec] = {s.experiment_id: s for s in _SPECS}
+if len(SPECS) != len(_SPECS):
+    raise RegistryError("duplicate experiment ids in the registry")
+
+_CATEGORY_RANK = {category: rank for rank, category in enumerate(CATEGORY_ORDER)}
+_REGISTRATION_INDEX = {s.experiment_id: i for i, s in enumerate(_SPECS)}
+_ORDERED_IDS: tuple[str, ...] = tuple(
+    sorted(
+        SPECS,
+        key=lambda eid: (_CATEGORY_RANK[SPECS[eid].category], _REGISTRATION_INDEX[eid]),
+    )
+)
+
+#: Backwards-compatible id -> callable view of the registry.
 EXPERIMENTS: dict[str, Callable[[], ExperimentResult]] = {
-    "fig1": fig01.run,
-    "fig2": fig02.run,
-    "fig3": fig03.run,
-    "fig4": fig04.run,
-    "fig5": fig05.run,
-    "fig6": fig06.run,
-    "fig7": fig07.run,
-    "fig8": fig08.run,
-    "fig9": fig09.run,
-    "fig10": fig10.run,
-    "fig11": fig11.run,
-    "fig12": fig12.run,
-    "text-gpudays": text_metrics.run_gpudays,
-    "text-quant": text_metrics.run_quantization,
-    "text-sampling": text_metrics.run_sampling,
-    "text-halflife": text_metrics.run_halflife,
-    "appendix-ssl": appendix.run_ssl,
-    "appendix-disagg": appendix.run_disaggregation,
-    "ablation-sched": ablations.run_scheduling,
-    "ablation-earlystop": ablations.run_earlystop,
-    "ablation-nas": ablations.run_nas,
-    "ablation-compression": ablations.run_compression,
-    "ext-moe": extensions.run_moe,
-    "ext-scopes": extensions.run_scopes,
-    "ext-geo": extensions.run_geo,
-    "ext-flselect": extensions.run_fl_selection,
-    "ext-idle": extensions.run_idle,
-    "ext-carbonnas": extensions.run_carbon_nas,
-    "ext-leaderboard": extensions.run_leaderboard,
-    "ext-predict": extensions.run_predictive_tracking,
-    "ext-capacity": extensions.run_capacity,
-    "ext-serving": extensions.run_serving_mechanics,
-    "ext-sdc": extensions.run_sdc,
-    "ext-tenancy": extensions.run_multitenancy,
-    "ext-hwchoice": extensions.run_hardware_choice,
-    "ext-asyncfl": extensions.run_async_fl,
-    "ext-sharding": extensions.run_sharding,
-    "ext-tvtracking": extensions.run_time_varying,
-    "ext-autoscale": extensions.run_autoscale,
-    "ext-forecast": extensions.run_forecast,
-    "ext-uncertainty": extensions.run_uncertainty,
-    "ext-ingestion": extensions.run_ingestion,
-    "ext-bom": extensions.run_bom,
-    "ext-mempool": extensions.run_memory_pooling,
+    eid: SPECS[eid].runner for eid in _ORDERED_IDS
 }
 
 
 def experiment_ids() -> tuple[str, ...]:
-    """All registered experiment ids, figures first."""
-    return tuple(EXPERIMENTS)
+    """All registered experiment ids in deterministic order.
+
+    The order is explicit, not an accident of dict insertion: categories
+    follow :data:`CATEGORY_ORDER` (figures, in-text metrics, appendix,
+    ablations, extensions), and registration order breaks ties within a
+    category.
+    """
+    return _ORDERED_IDS
+
+
+def experiment_specs() -> tuple[ExperimentSpec, ...]:
+    """All registered specs, in the same order as :func:`experiment_ids`."""
+    return tuple(SPECS[eid] for eid in _ORDERED_IDS)
+
+
+def get_spec(experiment_id: str) -> ExperimentSpec:
+    """Look up one spec by id, with a closest-match hint on failure."""
+    try:
+        return SPECS[experiment_id]
+    except KeyError:
+        matches = difflib.get_close_matches(experiment_id, _ORDERED_IDS, n=3, cutoff=0.4)
+        hint = f" (did you mean: {', '.join(matches)}?)" if matches else ""
+        known = ", ".join(_ORDERED_IDS)
+        raise RegistryError(
+            f"unknown experiment {experiment_id!r}{hint}; known: {known}"
+        ) from None
+
+
+def stable_seed(experiment_id: str) -> int:
+    """Deterministic 32-bit seed derived from the experiment id."""
+    digest = hashlib.sha256(experiment_id.encode("utf-8")).digest()
+    return int.from_bytes(digest[:4], "big")
 
 
 def run_experiment(experiment_id: str) -> ExperimentResult:
-    """Run one experiment by id."""
-    try:
-        runner = EXPERIMENTS[experiment_id]
-    except KeyError:
-        known = ", ".join(experiment_ids())
-        raise RegistryError(
-            f"unknown experiment {experiment_id!r}; known: {known}"
-        ) from None
-    return runner()
+    """Run one experiment by id.
+
+    Global RNGs are seeded from the id first, so a result never depends on
+    which experiments ran before it (or in which process).
+    """
+    spec = get_spec(experiment_id)
+    seed = stable_seed(experiment_id)
+    random.seed(seed)
+    np.random.seed(seed)
+    return spec.runner()

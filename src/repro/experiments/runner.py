@@ -4,34 +4,123 @@ Usage::
 
     sustainable-ai list
     sustainable-ai run fig7
-    sustainable-ai run all
-    sustainable-ai run all --json results.json
+    sustainable-ai run all --jobs 4 --json results.json
+    sustainable-ai report results.md
+    sustainable-ai verify              # diff against golden/baselines.json
+    sustainable-ai verify --update     # re-snapshot the baselines
+
+``run all``, ``report``, and ``verify`` fan experiments out across a
+process pool (``--jobs``, default ``os.cpu_count()``).  Each experiment is
+deterministically seeded from its id, and results are collected in
+registry order, so parallel runs produce payloads byte-identical to
+sequential ones.
+
+Exit codes: 0 success, 1 baseline drift, 2 usage error (unknown
+experiment id, bad flag, missing baselines file).
 """
 
 from __future__ import annotations
 
 import argparse
+import difflib
 import json
+import os
 import sys
+from concurrent.futures import ProcessPoolExecutor
 from pathlib import Path
+from typing import Callable, Sequence
 
+from repro.errors import RegistryError
+from repro.experiments import golden
 from repro.experiments.base import ExperimentResult
 from repro.experiments.registry import experiment_ids, run_experiment
 
 
 def _result_payload(result: ExperimentResult) -> dict[str, object]:
-    return {
-        "experiment_id": result.experiment_id,
-        "title": result.title,
-        "headline": {k: float(v) for k, v in result.headline.items()},
-        "headers": list(result.headers),
-        "rows": [[str(c) for c in row] for row in result.rows],
-        "notes": result.notes,
-    }
+    """Stable JSON schema of one result (delegates to the result itself)."""
+    return result.to_payload()
+
+
+def _execute(exp_id: str) -> dict[str, object]:
+    """Worker body: run one experiment, return its payload + rendering."""
+    result = run_experiment(exp_id)
+    return {"payload": _result_payload(result), "rendered": result.render()}
+
+
+def _run_many(
+    exp_ids: Sequence[str],
+    jobs: int,
+    echo: Callable[[str], None] | None = None,
+) -> list[dict[str, object]]:
+    """Run experiments, fanning out across processes when ``jobs > 1``.
+
+    Results always come back in ``exp_ids`` order regardless of ``jobs``,
+    so parallel output is byte-identical to a sequential run.
+    """
+    exp_ids = list(exp_ids)
+    outputs: list[dict[str, object]] = []
+    if jobs <= 1 or len(exp_ids) <= 1:
+        for exp_id in exp_ids:
+            outputs.append(_execute(exp_id))
+            if echo is not None:
+                echo(exp_id)
+        return outputs
+    with ProcessPoolExecutor(max_workers=min(jobs, len(exp_ids))) as pool:
+        for exp_id, output in zip(exp_ids, pool.map(_execute, exp_ids)):
+            outputs.append(output)
+            if echo is not None:
+                echo(exp_id)
+    return outputs
+
+
+def _usage_error(message: str) -> int:
+    print(f"error: {message}", file=sys.stderr)
+    return 2
+
+
+def _resolve_targets(experiment: str) -> tuple[str, ...] | None:
+    """Expand an ``experiment`` argument to ids, or None if unknown."""
+    ids = experiment_ids()
+    if experiment == "all":
+        return ids
+    if experiment in ids:
+        return (experiment,)
+    return None
+
+
+def _unknown_experiment(experiment: str) -> int:
+    matches = difflib.get_close_matches(experiment, experiment_ids(), n=3, cutoff=0.4)
+    hint = f"; did you mean: {', '.join(matches)}?" if matches else ""
+    return _usage_error(
+        f"unknown experiment {experiment!r}{hint} "
+        "(run `sustainable-ai list` for all ids)"
+    )
+
+
+def _add_jobs_flag(subparser: argparse.ArgumentParser) -> None:
+    subparser.add_argument(
+        "--jobs",
+        type=int,
+        metavar="N",
+        default=None,
+        help="worker processes for fan-out (default: os.cpu_count())",
+    )
 
 
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
+    try:
+        return _main(argv)
+    except BrokenPipeError:
+        # Downstream consumer closed the pipe early (`... run all | head`).
+        # Point stdout at /dev/null so interpreter shutdown doesn't raise
+        # again while flushing, and exit quietly.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 0
+
+
+def _main(argv: list[str] | None) -> int:
     parser = argparse.ArgumentParser(
         prog="sustainable-ai",
         description=(
@@ -42,12 +131,15 @@ def main(argv: list[str] | None = None) -> int:
     )
     sub = parser.add_subparsers(dest="command", required=True)
     sub.add_parser("list", help="list all experiment ids")
+
     report_parser = sub.add_parser(
         "report", help="run everything and write a markdown summary"
     )
     report_parser.add_argument(
         "output", nargs="?", default="results.md", help="markdown file to write"
     )
+    _add_jobs_flag(report_parser)
+
     run_parser = sub.add_parser("run", help="run one experiment (or 'all')")
     run_parser.add_argument("experiment", help="experiment id or 'all'")
     run_parser.add_argument(
@@ -61,8 +153,40 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="suppress the rendered tables (headlines only)",
     )
+    _add_jobs_flag(run_parser)
 
-    args = parser.parse_args(argv)
+    verify_parser = sub.add_parser(
+        "verify", help="re-run all experiments and diff against golden baselines"
+    )
+    verify_parser.add_argument(
+        "--update",
+        action="store_true",
+        help="overwrite the baselines with this run instead of diffing",
+    )
+    verify_parser.add_argument(
+        "--baselines",
+        metavar="PATH",
+        default=None,
+        help=f"baselines file (default: {golden.DEFAULT_BASELINES_PATH})",
+    )
+    verify_parser.add_argument(
+        "--quiet",
+        action="store_true",
+        help="suppress per-experiment progress lines",
+    )
+    _add_jobs_flag(verify_parser)
+
+    try:
+        args = parser.parse_args(argv)
+    except SystemExit as exc:  # argparse reports usage errors via exit(2)
+        return int(exc.code or 0)
+
+    jobs = getattr(args, "jobs", None)
+    if jobs is not None and jobs < 1:
+        return _usage_error(f"--jobs must be >= 1, got {jobs}")
+    if jobs is None:
+        jobs = os.cpu_count() or 1
+
     if args.command == "list":
         for exp_id in experiment_ids():
             print(exp_id)
@@ -77,39 +201,70 @@ def main(argv: list[str] | None = None) -> int:
             "experiment: headline metrics, then the figure's rows.",
             "",
         ]
-        for exp_id in experiment_ids():
-            result = run_experiment(exp_id)
-            lines.append(f"## {result.experiment_id} — {result.title}")
+        outputs = _run_many(
+            experiment_ids(), jobs, echo=lambda exp_id: print(f"ran {exp_id}")
+        )
+        for output in outputs:
+            payload = output["payload"]
+            lines.append(f"## {payload['experiment_id']} — {payload['title']}")
             lines.append("")
-            for key, value in result.headline.items():
+            for key, value in payload["headline"].items():
                 lines.append(f"- **{key}**: {value:,.4g}")
-            if result.notes:
+            if payload["notes"]:
                 lines.append("")
-                lines.append(f"> {result.notes}")
+                lines.append(f"> {payload['notes']}")
             lines.append("")
-            print(f"ran {exp_id}")
         path.write_text("\n".join(lines))
         print(f"wrote {path}")
         return 0
 
-    targets = experiment_ids() if args.experiment == "all" else (args.experiment,)
-    payloads = []
-    for exp_id in targets:
-        result = run_experiment(exp_id)
-        payloads.append(_result_payload(result))
-        if args.quiet:
-            print(f"=== {result.experiment_id}: {result.title} ===")
-            for key, value in result.headline.items():
-                print(f"  {key}: {value:,.4g}")
-        else:
-            print(result.render())
-        print()
+    if args.command == "run":
+        targets = _resolve_targets(args.experiment)
+        if targets is None:
+            return _unknown_experiment(args.experiment)
+        try:
+            outputs = _run_many(targets, jobs)
+        except RegistryError as exc:
+            return _usage_error(str(exc.args[0] if exc.args else exc))
+        for output in outputs:
+            payload = output["payload"]
+            if args.quiet:
+                print(f"=== {payload['experiment_id']}: {payload['title']} ===")
+                for key, value in payload["headline"].items():
+                    print(f"  {key}: {value:,.4g}")
+            else:
+                print(output["rendered"])
+            print()
+        if args.json:
+            path = Path(args.json)
+            payloads = [output["payload"] for output in outputs]
+            path.write_text(json.dumps(payloads, indent=2, sort_keys=True))
+            print(f"wrote {len(payloads)} result(s) to {path}")
+        return 0
 
-    if args.json:
-        path = Path(args.json)
-        path.write_text(json.dumps(payloads, indent=2, sort_keys=True))
-        print(f"wrote {len(payloads)} result(s) to {path}")
-    return 0
+    # -- verify ------------------------------------------------------------
+    baselines_path = (
+        Path(args.baselines) if args.baselines else golden.DEFAULT_BASELINES_PATH
+    )
+    echo = None if args.quiet else (lambda exp_id: print(f"ran {exp_id}"))
+    outputs = _run_many(experiment_ids(), jobs, echo=echo)
+    results = {
+        output["payload"]["experiment_id"]: ExperimentResult.from_payload(
+            output["payload"]
+        )
+        for output in outputs
+    }
+    if args.update:
+        golden.write_baselines(baselines_path, golden.build_baselines(results))
+        print(f"wrote {len(results)} baseline(s) to {baselines_path}")
+        return 0
+    try:
+        baselines = golden.load_baselines(baselines_path)
+    except golden.BaselineError as exc:
+        return _usage_error(str(exc.args[0] if exc.args else exc))
+    report = golden.compare(baselines, results)
+    print(report.render())
+    return 0 if report.ok else 1
 
 
 if __name__ == "__main__":

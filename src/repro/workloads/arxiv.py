@@ -12,6 +12,7 @@ reproduced structurally, not hard-coded.
 
 from __future__ import annotations
 
+import zlib
 from dataclasses import dataclass
 
 import numpy as np
@@ -37,7 +38,9 @@ class CategoryGrowthModel:
         """Synthetic monthly submission counts."""
         if months <= 0:
             raise UnitError("months must be positive")
-        rng = np.random.default_rng(seed ^ hash(self.name) & 0xFFFF)
+        # crc32, not hash(): str hashing is randomized per process
+        # (PYTHONHASHSEED), which silently broke run-to-run reproducibility.
+        rng = np.random.default_rng(seed ^ zlib.crc32(self.name.encode()) & 0xFFFF)
         t = np.arange(months)
         expected = self.base_monthly * (1.0 + self.monthly_rate) ** t
         jitter = rng.normal(1.0, noise, size=months)

@@ -17,11 +17,13 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.core.memo import memoized_substrate
 from repro.errors import UnitError
 from repro.lifecycle.jobs import JobDurationModel
 from repro.workloads.growthtrends import INFERENCE_DEMAND_GROWTH, GrowthTrend
 
 
+@memoized_substrate
 def diurnal_demand(
     hours: int = 168,
     peak: float = 1.0,
@@ -36,6 +38,8 @@ def diurnal_demand(
     ``trough_fraction`` is the overnight floor relative to the peak — the
     default gives the "up to 25% of the web tier" off-peak capacity-freeing
     opportunity the paper reports once serving headroom is accounted for.
+
+    Memoized: identical calls share one read-only array.
     """
     if hours <= 0:
         raise UnitError("hours must be positive")
@@ -76,6 +80,7 @@ class ExperimentStream:
         return float(np.sum(self.duration_hours * self.n_gpus))
 
 
+@memoized_substrate
 def experiment_arrivals(
     model: JobDurationModel,
     jobs_per_day: float,

@@ -1,0 +1,11 @@
+"""Shared fixtures: the full experiment suite runs once per session."""
+
+import pytest
+
+from repro.experiments.registry import experiment_ids, run_experiment
+
+
+@pytest.fixture(scope="session")
+def all_results():
+    """Every registered experiment, run once and shared by all test files."""
+    return {exp_id: run_experiment(exp_id) for exp_id in experiment_ids()}

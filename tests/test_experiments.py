@@ -8,12 +8,20 @@ bands asserted here.
 import pytest
 
 from repro.errors import RegistryError
-from repro.experiments.registry import EXPERIMENTS, experiment_ids, run_experiment
+from repro.experiments.registry import (
+    CATEGORY_ORDER,
+    EXPERIMENTS,
+    SPECS,
+    experiment_ids,
+    experiment_specs,
+    get_spec,
+    run_experiment,
+)
 
 
 @pytest.fixture(scope="module")
-def results():
-    return {exp_id: run_experiment(exp_id) for exp_id in experiment_ids()}
+def results(all_results):
+    return all_results
 
 
 class TestRegistry:
@@ -24,6 +32,31 @@ class TestRegistry:
     def test_unknown_id_rejected(self):
         with pytest.raises(RegistryError):
             run_experiment("fig99")
+
+    def test_unknown_id_message_suggests_close_match(self):
+        with pytest.raises(RegistryError, match="did you mean"):
+            get_spec("fig99")
+
+    def test_deterministic_category_ordering(self):
+        # Figures first, then in-text metrics, appendix, ablations,
+        # extensions — guaranteed explicitly, not by dict insertion order.
+        categories = [SPECS[eid].category for eid in experiment_ids()]
+        ranks = [CATEGORY_ORDER.index(c) for c in categories]
+        assert ranks == sorted(ranks)
+        assert categories[0] == "figure"
+        assert experiment_ids()[0] == "fig1"
+        assert set(categories) == set(CATEGORY_ORDER)
+
+    def test_specs_align_with_ids(self):
+        assert tuple(s.experiment_id for s in experiment_specs()) == experiment_ids()
+        assert set(EXPERIMENTS) == set(experiment_ids())
+        for spec in experiment_specs():
+            assert EXPERIMENTS[spec.experiment_id] is spec.runner
+
+    def test_rerun_is_bit_reproducible(self):
+        first = run_experiment("fig1")
+        second = run_experiment("fig1")
+        assert first.to_payload() == second.to_payload()
 
     def test_every_experiment_renders(self, results):
         for exp_id, result in results.items():

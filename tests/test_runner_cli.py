@@ -1,10 +1,18 @@
-"""CLI runner tests."""
+"""CLI runner tests: run/report/verify commands, exit codes, parallelism."""
 
 import json
 
 import pytest
 
+import repro.experiments.runner as runner_mod
+from repro.experiments import golden
 from repro.experiments.runner import main
+
+
+@pytest.fixture
+def small_registry(monkeypatch):
+    """Patch the runner down to two fast experiments."""
+    monkeypatch.setattr(runner_mod, "experiment_ids", lambda: ("fig7", "fig8"))
 
 
 class TestCLI:
@@ -15,6 +23,7 @@ class TestCLI:
         assert "fig12" in out
         assert "ext-moe" in out
         assert len(out) >= 30
+        assert out[0] == "fig1"  # figures first, deterministically
 
     def test_run_single_experiment(self, capsys):
         assert main(["run", "fig7"]) == 0
@@ -37,24 +46,77 @@ class TestCLI:
         assert data[0]["headline"]["net_two_year_reduction"] == pytest.approx(0.285)
         assert data[0]["rows"]
 
-    def test_unknown_experiment_raises(self):
-        from repro.errors import RegistryError
+    def test_unknown_experiment_exit_code_2(self, capsys):
+        assert main(["run", "fig99"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown experiment" in err
+        assert "fig9" in err  # closest-match suggestion
 
-        with pytest.raises(RegistryError):
-            main(["run", "fig99"])
+    def test_bad_jobs_exit_code_2(self, capsys):
+        assert main(["run", "fig7", "--jobs", "0"]) == 2
+        assert "--jobs" in capsys.readouterr().err
 
-    def test_report_writes_markdown(self, tmp_path, capsys, monkeypatch):
-        # Patch the registry down to two fast experiments so the report
-        # command is exercised without a multi-minute full run.
-        import repro.experiments.runner as runner_mod
+    def test_argparse_usage_error_returns_2(self, capsys):
+        assert main(["frobnicate"]) == 2
 
-        monkeypatch.setattr(
-            runner_mod, "experiment_ids", lambda: ("fig7", "fig8")
-        )
+    def test_report_writes_markdown(self, tmp_path, capsys, small_registry):
         target = tmp_path / "report.md"
-        assert main(["report", str(target)]) == 0
+        assert main(["report", str(target), "--jobs", "1"]) == 0
         text = target.read_text()
         assert "# Live reproduction report" in text
         assert "## fig7" in text
         assert "## fig8" in text
         assert "total_gain" in text
+        # Every section carries its headline bullets.
+        assert text.count("## ") == 2
+        assert "- **total_gain**:" in text
+
+    def test_run_all_json_roundtrip(self, tmp_path, capsys, small_registry):
+        target = tmp_path / "all.json"
+        assert main(["run", "all", "--quiet", "--jobs", "1", "--json", str(target)]) == 0
+        data = json.loads(target.read_text())
+        assert [p["experiment_id"] for p in data] == ["fig7", "fig8"]
+        from repro.experiments.registry import run_experiment
+        from repro.experiments.runner import _result_payload
+
+        for payload in data:
+            assert payload == _result_payload(run_experiment(payload["experiment_id"]))
+
+    def test_parallel_json_identical_to_sequential(self, tmp_path, capsys, small_registry):
+        seq = tmp_path / "seq.json"
+        par = tmp_path / "par.json"
+        assert main(["run", "all", "--quiet", "--jobs", "1", "--json", str(seq)]) == 0
+        assert main(["run", "all", "--quiet", "--jobs", "2", "--json", str(par)]) == 0
+        assert seq.read_bytes() == par.read_bytes()
+
+
+class TestVerifyCommand:
+    def test_update_then_verify_ok(self, tmp_path, capsys, small_registry):
+        baselines = tmp_path / "baselines.json"
+        assert main(["verify", "--update", "--quiet", "--jobs", "1", "--baselines", str(baselines)]) == 0
+        assert baselines.exists()
+        assert main(["verify", "--quiet", "--jobs", "1", "--baselines", str(baselines)]) == 0
+        out = capsys.readouterr().out
+        assert "OK" in out
+
+    def test_drift_exit_code_1(self, tmp_path, capsys, small_registry):
+        baselines = tmp_path / "baselines.json"
+        assert main(["verify", "--update", "--quiet", "--jobs", "1", "--baselines", str(baselines)]) == 0
+        doc = json.loads(baselines.read_text())
+        doc["experiments"]["fig7"]["headline"]["total_gain"] *= 1.05
+        baselines.write_text(json.dumps(doc))
+        assert main(["verify", "--quiet", "--jobs", "1", "--baselines", str(baselines)]) == 1
+        out = capsys.readouterr().out
+        assert "DRIFT" in out
+        assert "total_gain" in out
+
+    def test_missing_baselines_exit_code_2(self, tmp_path, capsys, small_registry):
+        missing = tmp_path / "nope.json"
+        assert main(["verify", "--quiet", "--jobs", "1", "--baselines", str(missing)]) == 2
+        assert "not found" in capsys.readouterr().err
+
+    def test_checked_in_baselines_cover_all_experiments(self):
+        from repro.experiments.registry import experiment_ids
+
+        doc = golden.load_baselines(golden.DEFAULT_BASELINES_PATH)
+        assert set(doc["experiments"]) == set(experiment_ids())

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.carbon.grid import constant_grid_trace, synthesize_grid_trace
+from repro.carbon.grid import GridTrace, constant_grid_trace, synthesize_grid_trace
 from repro.carbon.intensity import CarbonIntensity
 from repro.core.quantities import Energy
 from repro.errors import TelemetryError, UnitError
@@ -97,9 +97,15 @@ class TestTimeVaryingAccounting:
 
     def test_boundary_splitting_exact(self):
         # One 2-hour interval across hours with intensities 0.2 and 0.6
-        # must price half the energy at each.
-        trace = constant_grid_trace(CarbonIntensity(0.2), 24)
-        trace.intensity_kg_per_kwh[1] = 0.6
+        # must price half the energy at each.  (Built directly: cached
+        # traces from constant_grid_trace are frozen and shared.)
+        intensity = np.full(24, 0.2)
+        intensity[1] = 0.6
+        trace = GridTrace(
+            solar_share=np.zeros(24),
+            wind_share=np.zeros(24),
+            intensity_kg_per_kwh=intensity,
+        )
         acc = TimeVaryingAccountant(grid=trace, start_hour=0)
         acc.record_interval(Energy(10.0), 2 * 3600.0)
         assert acc.carbon().kg == pytest.approx(5 * 0.2 + 5 * 0.6)

@@ -1,0 +1,122 @@
+"""Property-style tests for repro.units and repro.core.quantities.
+
+Randomized magnitudes (log-uniform over 24 orders of magnitude, fixed
+seed) check the algebraic properties the unit layer promises: conversion
+round-trips, commutativity of scaling, and rejection of negative / NaN /
+infinite magnitudes.
+"""
+
+import math
+import random
+
+import pytest
+
+from repro import units
+from repro.core.quantities import Carbon, Energy, Power
+from repro.errors import UnitError
+
+RNG = random.Random(0xC0FFEE)
+MAGNITUDES = [10 ** RNG.uniform(-12.0, 12.0) for _ in range(200)]
+REL = 1e-12
+
+
+class TestUnitRoundTrips:
+    @pytest.mark.parametrize("x", MAGNITUDES[:50])
+    def test_joules_kwh_round_trip(self, x):
+        assert units.kwh_to_joules(units.joules_to_kwh(x)) == pytest.approx(x, rel=REL)
+        assert units.joules_to_kwh(units.kwh_to_joules(x)) == pytest.approx(x, rel=REL)
+
+    @pytest.mark.parametrize("x", MAGNITUDES[:50])
+    def test_kwh_mwh_round_trip(self, x):
+        assert units.mwh_to_kwh(units.kwh_to_mwh(x)) == pytest.approx(x, rel=REL)
+        assert units.kwh_to_mwh(units.mwh_to_kwh(x)) == pytest.approx(x, rel=REL)
+
+    @pytest.mark.parametrize("x", MAGNITUDES[:50])
+    def test_mass_round_trips(self, x):
+        assert units.tonnes_to_kg(units.kg_to_tonnes(x)) == pytest.approx(x, rel=REL)
+        assert units.kg_to_tonnes(units.tonnes_to_kg(x)) == pytest.approx(x, rel=REL)
+        # g -> kg -> t -> kg -> g chain
+        kg = units.grams_to_kg(x)
+        t = units.kg_to_tonnes(kg)
+        assert units.tonnes_to_kg(t) / units.KG_PER_GRAM == pytest.approx(x, rel=REL)
+
+    @pytest.mark.parametrize("x", MAGNITUDES[:50])
+    def test_quantity_view_round_trips(self, x):
+        assert Energy.from_joules(x).joules == pytest.approx(x, rel=REL)
+        assert Energy.from_mwh(x).mwh == pytest.approx(x, rel=REL)
+        assert Energy.from_wh(x).kwh == pytest.approx(x / 1e3, rel=REL)
+        assert Power.from_kw(x).kw == pytest.approx(x, rel=REL)
+        assert Power.from_mw(x).mw == pytest.approx(x, rel=REL)
+        assert Carbon.from_grams(x).grams == pytest.approx(x, rel=REL)
+        assert Carbon.from_tonnes(x).tonnes == pytest.approx(x, rel=REL)
+
+
+class TestScalingAlgebra:
+    @pytest.mark.parametrize("cls,attr", [(Energy, "kwh"), (Power, "watts"), (Carbon, "kg")])
+    def test_scaling_commutes(self, cls, attr):
+        for _ in range(50):
+            x = 10 ** RNG.uniform(-6.0, 6.0)
+            a = 10 ** RNG.uniform(-3.0, 3.0)
+            b = 10 ** RNG.uniform(-3.0, 3.0)
+            q = cls(x)
+            left = getattr((a * q) * b, attr)
+            right = getattr((b * q) * a, attr)
+            direct = getattr((a * b) * q, attr)
+            assert left == pytest.approx(right, rel=1e-9)
+            assert left == pytest.approx(direct, rel=1e-9)
+
+    @pytest.mark.parametrize("cls,attr", [(Energy, "kwh"), (Power, "watts"), (Carbon, "kg")])
+    def test_addition_commutes_and_scales(self, cls, attr):
+        for _ in range(50):
+            x, y = (10 ** RNG.uniform(-6.0, 6.0) for _ in range(2))
+            k = 10 ** RNG.uniform(-3.0, 3.0)
+            assert getattr(cls(x) + cls(y), attr) == pytest.approx(
+                getattr(cls(y) + cls(x), attr), rel=1e-12
+            )
+            assert getattr(k * (cls(x) + cls(y)), attr) == pytest.approx(
+                getattr(k * cls(x) + k * cls(y), attr), rel=1e-9
+            )
+
+    def test_power_times_duration_matches_units_helper(self):
+        for _ in range(50):
+            w = 10 ** RNG.uniform(-3.0, 7.0)
+            h = 10 ** RNG.uniform(-3.0, 4.0)
+            assert Power(w).over_hours(h).kwh == pytest.approx(
+                units.watts_hours_to_kwh(w, h), rel=1e-12
+            )
+            assert Power(w).over_seconds(h * 3600.0).kwh == pytest.approx(
+                Power(w).over_hours(h).kwh, rel=1e-9
+            )
+
+
+class TestRejection:
+    @pytest.mark.parametrize("cls", [Energy, Power, Carbon])
+    def test_negative_rejected(self, cls):
+        for _ in range(25):
+            with pytest.raises(UnitError):
+                cls(-(10 ** RNG.uniform(-12.0, 12.0)))
+
+    @pytest.mark.parametrize("cls", [Energy, Power, Carbon])
+    @pytest.mark.parametrize("bad", [float("nan"), float("inf"), float("-inf")])
+    def test_non_finite_rejected(self, cls, bad):
+        with pytest.raises(UnitError):
+            cls(bad)
+
+    def test_units_helpers_reject_negative(self):
+        with pytest.raises(ValueError):
+            units.watts_hours_to_kwh(-1.0, 1.0)
+        with pytest.raises(ValueError):
+            units.watts_hours_to_kwh(1.0, -1.0)
+        with pytest.raises(ValueError):
+            units.gpu_days(-0.5)
+
+    @pytest.mark.parametrize("cls", [Energy, Power, Carbon])
+    def test_subtraction_below_zero_rejected(self, cls):
+        for _ in range(25):
+            x = 10 ** RNG.uniform(-6.0, 6.0)
+            with pytest.raises(UnitError):
+                cls(x) - cls(x * (1.0 + 10 ** RNG.uniform(-6.0, 0.0)))
+
+    def test_nan_propagation_blocked_through_scaling(self):
+        with pytest.raises(UnitError):
+            Energy(1.0) * float("nan")
