@@ -15,7 +15,7 @@ design time" a calculator rather than a slogan.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.core.quantities import Carbon
 from repro.errors import UnitError

@@ -43,10 +43,17 @@ class AmortizationPolicy:
     under-utilized server charges each hour of real work more embodied
     carbon, which is exactly the paper's argument for raising utilization
     (Figure 9).
+
+    ``devices_per_server`` splits the server-level rate across the
+    accelerators sharing one chassis; ``infrastructure_factor`` scales
+    the manufacturing footprint to include datacenter construction and
+    supporting equipment beyond the server itself (1.0 = server only).
     """
 
     lifetime_years: float = DEFAULT_LIFETIME_YEARS
     average_utilization: float = DEFAULT_UTILIZATION
+    devices_per_server: float = 1.0
+    infrastructure_factor: float = 1.0
 
     def __post_init__(self) -> None:
         if self.lifetime_years <= 0:
@@ -54,6 +61,15 @@ class AmortizationPolicy:
         if not (0 < self.average_utilization <= 1):
             raise UnitError(
                 f"utilization must be in (0, 1], got {self.average_utilization}"
+            )
+        if self.devices_per_server <= 0:
+            raise UnitError(
+                f"devices per server must be positive, got {self.devices_per_server}"
+            )
+        if self.infrastructure_factor < 1.0:
+            raise UnitError(
+                "infrastructure factor must be >= 1 (1.0 = server only), "
+                f"got {self.infrastructure_factor}"
             )
 
     @property
@@ -66,7 +82,11 @@ class AmortizationPolicy:
 
     def rate_per_utilized_hour(self, manufacturing: Carbon) -> float:
         """kgCO2e charged per hour of useful work on one server."""
-        return manufacturing.kg / self.utilized_hours
+        return manufacturing.kg * self.infrastructure_factor / self.utilized_hours
+
+    def rate_per_device_hour(self, manufacturing: Carbon) -> float:
+        """kgCO2e charged per utilized hour of one accelerator device."""
+        return self.rate_per_utilized_hour(manufacturing) / self.devices_per_server
 
     def amortize(
         self, manufacturing: Carbon, busy_hours: float, n_servers: float = 1.0
@@ -89,8 +109,8 @@ class AmortizationPolicy:
             raise UnitError(f"server count must be non-negative, got {n_servers}")
         attributed = self.rate_per_utilized_hour(manufacturing) * busy_hours * n_servers
         # A task cannot be charged more than the full manufacturing cost of
-        # the servers it ran on.
-        cap = manufacturing.kg * n_servers
+        # the servers (and their share of infrastructure) it ran on.
+        cap = manufacturing.kg * self.infrastructure_factor * n_servers
         return Carbon(min(attributed, cap))
 
 

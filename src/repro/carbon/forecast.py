@@ -106,10 +106,7 @@ def schedule_with_forecast(
     realized_kg = 0.0
     for job in jobs:
         start = planned.start_hours[job.job_id]
-        idx = (start + np.arange(job.duration_hours)) % len(truth)
-        realized_kg += float(
-            np.sum(truth.intensity_kg_per_kwh[idx]) * job.power_kw
-        )
+        realized_kg += job.carbon_at(truth, start).kg
     from repro.core.quantities import Carbon
 
     return planned, Carbon(realized_kg)

@@ -21,7 +21,8 @@ import numpy as np
 
 from repro.carbon.intensity import CarbonIntensity
 from repro.core.memo import memoized_substrate
-from repro.core.quantities import Carbon, Energy
+from repro.core.quantities import Carbon
+from repro.core.series import HourlySeries
 from repro.errors import UnitError
 
 
@@ -95,11 +96,9 @@ class GridTrace:
         The profile may be longer than the trace; the trace tiles
         periodically (a week-long trace models repeating weeks).
         """
-        kwh_per_hour = np.asarray(kwh_per_hour, dtype=float)
-        if np.any(kwh_per_hour < 0):
-            raise UnitError("energy profile must be non-negative")
-        idx = (start_hour + np.arange(len(kwh_per_hour))) % len(self)
-        return Carbon(float(np.sum(kwh_per_hour * self.intensity_kg_per_kwh[idx])))
+        return HourlySeries(np.asarray(kwh_per_hour, dtype=float)).emissions(
+            self, start_hour=start_hour
+        )
 
     def average_intensity(self) -> CarbonIntensity:
         return CarbonIntensity(float(np.mean(self.intensity_kg_per_kwh)), "grid-average")

@@ -1,6 +1,7 @@
 """Core: quantities, footprints, the holistic analyzer, scenarios, reports."""
 
 from repro.core.analyzer import FootprintAnalyzer, PhaseWorkload, TaskDescription
+from repro.core.context import AccountingContext
 from repro.core.equivalences import Equivalences, equivalences, miles_driven
 from repro.core.footprint import (
     EmbodiedFootprint,
@@ -17,6 +18,7 @@ from repro.core.metrics import (
     marginal_quality_cost,
 )
 from repro.core.quantities import Carbon, Energy, Power, carbon_sum, energy_sum
+from repro.core.series import HourlySeries
 from repro.core.report import (
     footprint_report,
     format_bar,
@@ -40,6 +42,7 @@ from repro.core.scenario import (
 )
 
 __all__ = [
+    "AccountingContext",
     "Carbon",
     "DEFAULT_PRIORS",
     "EmbodiedFootprint",
@@ -51,6 +54,7 @@ __all__ = [
     "Energy",
     "Equivalences",
     "FootprintAnalyzer",
+    "HourlySeries",
     "Leaderboard",
     "OperationalFootprint",
     "RankingPolicy",

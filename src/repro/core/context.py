@@ -1,0 +1,101 @@
+"""AccountingContext: the one bundle of accounting assumptions.
+
+The paper's footprint identity has three knobs that every simulator must
+agree on: the grid (time-varying hourly intensity, or a static average),
+facility overhead (PUE), and how embodied manufacturing carbon is
+amortized over server lifetime.  :class:`AccountingContext` bundles them
+so a simulator takes *one* object instead of re-implementing the
+arithmetic — the consolidation argument of ACT (Gupta et al.) and
+experiment-impact-tracker (Henderson et al.) applied to this codebase.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Optional
+
+from repro.carbon.embodied import AmortizationPolicy
+from repro.core.quantities import Carbon, Energy
+from repro.core.series import HourlySeries
+from repro.errors import UnitError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (grid imports core)
+    from repro.carbon.grid import GridTrace
+    from repro.carbon.intensity import CarbonIntensity
+
+
+@dataclass(frozen=True)
+class AccountingContext:
+    """Grid, PUE, and embodied-amortization policy in one object.
+
+    Exactly one of ``grid`` (hourly :class:`~repro.carbon.grid.GridTrace`)
+    or ``intensity`` (static :class:`~repro.carbon.intensity.CarbonIntensity`)
+    drives operational accounting; supplying neither leaves operational
+    methods unusable (embodied-only contexts are valid).
+    """
+
+    grid: Optional["GridTrace"] = None
+    intensity: Optional["CarbonIntensity"] = None
+    pue: float = 1.0
+    amortization: AmortizationPolicy = field(default_factory=AmortizationPolicy)
+
+    def __post_init__(self) -> None:
+        if self.grid is not None and self.intensity is not None:
+            raise UnitError(
+                "provide either a time-varying grid or a static intensity, not both"
+            )
+        if self.pue < 1.0:
+            raise UnitError(f"PUE must be >= 1, got {self.pue}")
+
+    # -- facility overhead -------------------------------------------------
+    def facility_series(self, it_series: HourlySeries) -> HourlySeries:
+        """Facility-level hourly kWh for an IT-level hourly kWh series."""
+        return it_series.scale(self.pue)
+
+    def facility_energy(self, it_energy: Energy) -> Energy:
+        """Facility-level energy for IT-level energy."""
+        return Energy(it_energy.kwh * self.pue)
+
+    # -- operational carbon ------------------------------------------------
+    def operational(self, it_series: HourlySeries, start_hour: int = 0) -> Carbon:
+        """Operational carbon of an IT-level hourly kWh series.
+
+        Applies PUE, then integrates against the context's grid (hour by
+        hour) or static intensity (on total energy).
+        """
+        facility = self.facility_series(it_series)
+        if self.grid is not None:
+            return facility.emissions(self.grid, start_hour=start_hour)
+        if self.intensity is not None:
+            return Carbon(facility.total() * self.intensity.kg_per_kwh)
+        raise UnitError("accounting context has neither a grid nor an intensity")
+
+    def operational_for_energy(self, it_energy: Energy) -> Carbon:
+        """Operational carbon of a total IT energy under a static intensity.
+
+        With a time-varying grid this uses the grid's *average* intensity —
+        use :meth:`operational` with an hourly series when timing matters.
+        """
+        facility = self.facility_energy(it_energy)
+        if self.intensity is not None:
+            return Carbon(facility.kwh * self.intensity.kg_per_kwh)
+        if self.grid is not None:
+            return Carbon(facility.kwh * self.grid.average_intensity().kg_per_kwh)
+        raise UnitError("accounting context has neither a grid nor an intensity")
+
+    # -- embodied carbon ---------------------------------------------------
+    def amortized_embodied(
+        self, manufacturing: Carbon, server_hours: float, n_servers: float = 1.0
+    ) -> Carbon:
+        """Embodied carbon of ``server_hours`` of utilized server time.
+
+        Uncapped linear amortization at the policy rate — attribution
+        studies (e.g. a model family's whole training program) routinely
+        attribute more hours than one server's lifetime, which is
+        physically many servers' worth of manufacturing.  Use
+        ``amortization.amortize`` directly when a per-task cap is wanted.
+        """
+        if server_hours < 0:
+            raise UnitError(f"server hours must be non-negative, got {server_hours}")
+        rate = self.amortization.rate_per_utilized_hour(manufacturing)
+        return Carbon(rate * server_hours * n_servers)

@@ -31,11 +31,11 @@ from dataclasses import dataclass, replace
 
 import numpy as np
 
-from repro.carbon.embodied import GPU_SERVER_EMBODIED
+from repro.carbon.embodied import AmortizationPolicy, GPU_SERVER_EMBODIED
 from repro.carbon.intensity import CarbonIntensity, SOLAR_LIFECYCLE, US_AVERAGE
+from repro.core.context import AccountingContext
 from repro.core.quantities import Carbon, Energy
 from repro.energy.devices import DeviceSpec, V100
-from repro.energy.pue import Datacenter
 from repro.errors import UnitError
 
 
@@ -74,6 +74,26 @@ class Scenario:
         """A modified copy (``scenario.but(utilization=0.8)``)."""
         return replace(self, **changes)
 
+    def accounting_context(self) -> AccountingContext:
+        """This scenario's knobs as the shared accounting bundle.
+
+        The amortization policy spreads the (infrastructure-inclusive)
+        server footprint over *wall-clock* lifetime hours — residency,
+        not achieved utilization, is what occupies the server here, so
+        ``average_utilization`` is pinned at 1.0 and the utilization knob
+        instead stretches residency in :func:`evaluate_work`.
+        """
+        return AccountingContext(
+            intensity=self.intensity,
+            pue=self.pue,
+            amortization=AmortizationPolicy(
+                lifetime_years=self.lifetime_years,
+                average_utilization=1.0,
+                devices_per_server=float(self.devices_per_server),
+                infrastructure_factor=self.infrastructure_embodied_factor,
+            ),
+        )
+
 
 @dataclass(frozen=True, slots=True)
 class ScenarioResult:
@@ -104,20 +124,17 @@ def evaluate_work(busy_device_hours: float, scenario: Scenario) -> ScenarioResul
     """
     if busy_device_hours < 0:
         raise UnitError("busy device-hours must be non-negative")
+    context = scenario.accounting_context()
     resident_hours = busy_device_hours / scenario.utilization
     board_watts = scenario.device.tdp_watts * scenario.board_power_fraction
     it_energy = Energy(board_watts * resident_hours / 1e3)
-    facility = Datacenter(scenario.pue).facility_energy(it_energy)
-    operational = scenario.intensity.emissions(facility)
+    facility = context.facility_energy(it_energy)
+    operational = context.operational_for_energy(it_energy)
 
     # Occupying a server for H hours consumes H / lifetime of its
     # (infrastructure-inclusive) manufacturing footprint.
-    lifetime_hours = scenario.lifetime_years * 8766.0
-    system_embodied = (
-        scenario.server_embodied.kg * scenario.infrastructure_embodied_factor
-    )
     server_hours = resident_hours / scenario.devices_per_server
-    embodied = Carbon(system_embodied * server_hours / lifetime_hours)
+    embodied = context.amortized_embodied(scenario.server_embodied, server_hours)
     return ScenarioResult(scenario, facility, operational, embodied)
 
 

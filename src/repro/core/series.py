@@ -1,0 +1,166 @@
+"""The shared hourly-series engine behind all energy/carbon accounting.
+
+Every simulator in the library ultimately reasons about the same object:
+a non-negative quantity sampled once per hour (IT kilowatt-hours, a load
+profile in kW — numerically identical over one-hour steps — busy-GPU
+counts, procured renewable supply).  :class:`HourlySeries` makes that
+object first-class: an immutable, alignment-checked, numpy-backed hourly
+series carrying exactly the algebra that is physically meaningful —
+
+* ``+`` of two aligned series, scaling by a dimensionless factor,
+* elementwise ``minimum`` / ``maximum`` against a series or scalar
+  (capacity capping, 24/7 CFE matching),
+* periodic ``tile_to`` a longer horizon (a week-long trace modeling
+  repeating weeks),
+* ``integrate() -> Energy`` (the hourly Riemann sum is exact for
+  hour-sampled power), and
+* ``emissions(grid) -> Carbon`` — the paper's accounting identity
+  ``sum_h kWh_h x intensity_h`` in one vectorized place.
+
+The carbon integration lives *only* here: no module outside
+``repro/core/`` multiplies an hourly energy array by an intensity array
+directly (enforced by a grep-based test), so time-varying accounting
+cannot silently diverge between simulators.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Union
+
+import numpy as np
+
+from repro.core.quantities import Carbon, Energy
+from repro.errors import UnitError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (grid imports core)
+    from repro.carbon.grid import GridTrace
+
+
+@dataclass(frozen=True)
+class HourlySeries:
+    """An immutable non-negative quantity sampled once per hour.
+
+    ``values`` is canonically kWh-per-hour (numerically equal to average
+    kW over each hour); dimensionless hourly series (utilization, shares)
+    reuse the same algebra and simply never call :meth:`integrate`.
+    """
+
+    values: np.ndarray
+
+    def __post_init__(self) -> None:
+        arr = np.array(self.values, dtype=float, copy=True)
+        if arr.ndim != 1:
+            raise UnitError(f"hourly series must be 1-D, got shape {arr.shape}")
+        if len(arr) == 0:
+            raise UnitError("hourly series must cover at least one hour")
+        if not np.all(np.isfinite(arr)):
+            raise UnitError("hourly series values must be finite")
+        if np.any(arr < 0):
+            raise UnitError("hourly series values must be non-negative")
+        arr.flags.writeable = False
+        object.__setattr__(self, "values", arr)
+
+    # -- constructors ------------------------------------------------------
+    @classmethod
+    def constant(cls, value: float, hours: int) -> "HourlySeries":
+        """A flat series: ``value`` every hour for ``hours`` hours."""
+        if hours <= 0:
+            raise UnitError(f"series length must be positive, got {hours}")
+        return cls(np.full(int(hours), float(value)))
+
+    @classmethod
+    def zeros(cls, hours: int) -> "HourlySeries":
+        return cls.constant(0.0, hours)
+
+    @classmethod
+    def from_power_watts(cls, watts: np.ndarray) -> "HourlySeries":
+        """Hourly kWh from an hourly power series in watts."""
+        return cls(np.asarray(watts, dtype=float) / 1e3)
+
+    # -- shape -------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.values)
+
+    @property
+    def hours(self) -> int:
+        return len(self)
+
+    def _check_aligned(self, other: "HourlySeries") -> None:
+        if len(self) != len(other):
+            raise UnitError(
+                f"hourly series are misaligned: {len(self)} vs {len(other)} hours"
+            )
+
+    # -- algebra -----------------------------------------------------------
+    def __add__(self, other: "HourlySeries") -> "HourlySeries":
+        if not isinstance(other, HourlySeries):
+            return NotImplemented
+        self._check_aligned(other)
+        return HourlySeries(self.values + other.values)
+
+    def scale(self, factor: float) -> "HourlySeries":
+        """This series scaled by a dimensionless non-negative factor."""
+        if isinstance(factor, HourlySeries):
+            raise UnitError("scale expects a scalar; use elementwise helpers")
+        if factor < 0:
+            raise UnitError(f"scale factor must be non-negative, got {factor}")
+        return HourlySeries(self.values * float(factor))
+
+    def __mul__(self, factor: float) -> "HourlySeries":
+        if isinstance(factor, HourlySeries):
+            return NotImplemented
+        return self.scale(factor)
+
+    __rmul__ = __mul__
+
+    def minimum(self, other: Union["HourlySeries", float]) -> "HourlySeries":
+        """Elementwise minimum against an aligned series or a scalar cap."""
+        if isinstance(other, HourlySeries):
+            self._check_aligned(other)
+            return HourlySeries(np.minimum(self.values, other.values))
+        return HourlySeries(np.minimum(self.values, float(other)))
+
+    def maximum(self, other: Union["HourlySeries", float]) -> "HourlySeries":
+        """Elementwise maximum against an aligned series or a scalar floor."""
+        if isinstance(other, HourlySeries):
+            self._check_aligned(other)
+            return HourlySeries(np.maximum(self.values, other.values))
+        return HourlySeries(np.maximum(self.values, float(other)))
+
+    def tile_to(self, horizon_hours: int) -> "HourlySeries":
+        """This series repeated periodically out to ``horizon_hours``."""
+        if horizon_hours <= 0:
+            raise UnitError(f"horizon must be positive, got {horizon_hours}")
+        idx = np.arange(int(horizon_hours)) % len(self)
+        return HourlySeries(self.values[idx])
+
+    # -- reductions --------------------------------------------------------
+    def total(self) -> float:
+        """Plain sum of the hourly values (unit follows the series)."""
+        return float(np.sum(self.values))
+
+    def mean(self) -> float:
+        return float(np.mean(self.values))
+
+    def peak(self) -> float:
+        return float(np.max(self.values))
+
+    def integrate(self) -> Energy:
+        """Energy of the series, treating values as kWh per hour."""
+        return Energy(self.total())
+
+    def emissions(self, grid: "GridTrace", start_hour: int = 0) -> Carbon:
+        """Carbon of this kWh-per-hour series on a time-varying grid.
+
+        ``grid`` is any GridTrace-like object exposing ``__len__`` and an
+        ``intensity_kg_per_kwh`` array (kgCO2e/kWh per hour).  The trace
+        tiles periodically when the series outruns it, anchored at
+        ``start_hour`` — the single vectorized home of the paper's
+        ``operational = sum_h energy_h x intensity_h`` identity.
+        """
+        trace_hours = len(grid)
+        if trace_hours == 0:
+            raise UnitError("grid trace must cover at least one hour")
+        idx = (int(start_hour) + np.arange(len(self))) % trace_hours
+        return Carbon(float(np.sum(self.values * grid.intensity_kg_per_kwh[idx])))

@@ -16,10 +16,11 @@ that perturbation analysis first-class:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
+from repro import units
 from repro.errors import UnitError
 
 
@@ -68,7 +69,7 @@ def _footprint_kg(
 ) -> float:
     """Closed-form total footprint used by the sampler (kg)."""
     operational = device_hours * device_watts / 1e3 * pue * intensity_kg_per_kwh
-    rate = server_embodied_kg / (lifetime_years * 8766.0 * utilization)
+    rate = server_embodied_kg / (lifetime_years * units.HOURS_PER_YEAR * utilization)
     embodied = rate * device_hours / devices_per_server
     return operational + embodied
 

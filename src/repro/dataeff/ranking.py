@@ -12,7 +12,6 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass
 
-import numpy as np
 from scipy import stats
 
 from repro.dataeff.recommenders import EvalResult, Recommender, default_algorithms, evaluate

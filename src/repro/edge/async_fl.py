@@ -28,7 +28,6 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.quantities import Energy
-from repro.edge.energy_model import DEVICE_POWER_W, ROUTER_POWER_W
 from repro.edge.selection import ClientPopulation
 from repro.errors import UnitError
 

@@ -15,7 +15,7 @@ from dataclasses import dataclass
 
 from repro.carbon.intensity import CARBON_FREE, CarbonIntensity, US_AVERAGE
 from repro.core.quantities import Carbon
-from repro.edge.fl import FLFootprint, analyze_app
+from repro.edge.fl import analyze_app
 from repro.edge.logs import FL1, FL2
 from repro.workloads.oss_models import (
     TRANSFORMER_BIG_P100,

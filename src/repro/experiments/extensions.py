@@ -447,11 +447,7 @@ def run_uncertainty() -> ExperimentResult:
 
 def run_serving_mechanics() -> ExperimentResult:
     """Figure 7's first rungs derived from cache and device models."""
-    from repro.workloads.serving import (
-        AcceleratorServing,
-        ServingWorkload,
-        derived_ladder_gains,
-    )
+    from repro.workloads.serving import ServingWorkload, derived_ladder_gains
 
     gains = derived_ladder_gains()
     workload = ServingWorkload()
@@ -767,7 +763,6 @@ def run_time_varying() -> ExperimentResult:
 def run_hardware_choice() -> ExperimentResult:
     """CPU/GPU/FPGA/ASIC: efficiency vs flexibility vs embodied carbon."""
     from repro.fleet.hardware_choice import (
-        ALL_PLATFORMS,
         ASIC_PLATFORM,
         GPU_PLATFORM,
         break_even_lifetime,

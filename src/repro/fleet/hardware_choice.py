@@ -24,6 +24,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import units
 from repro.carbon.intensity import CarbonIntensity, US_AVERAGE
 from repro.core.quantities import Carbon
 from repro.errors import UnitError
@@ -103,7 +104,7 @@ def carbon_per_exawork(
         [effective_efficiency(platform, y, algorithm_cadence_years) for y in years]
     )
     # Work per year ∝ efficiency; energy per year is constant (always-on).
-    annual_kwh = platform.power_kw * 8766.0
+    annual_kwh = platform.power_kw * units.HOURS_PER_YEAR
     annual_work = annual_kwh * eff / baseline_kwh_per_work
     total_work = float(np.trapezoid(annual_work, years))
     total_operational = intensity.kg_per_kwh * annual_kwh * lifetime_years

@@ -83,6 +83,26 @@ class IdleGovernor:
                     best = state
         return best
 
+    def choose_indices(self, predicted_idle_ms: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`choose`: menu index per predicted interval.
+
+        Replays the scalar selection rule over the whole array at once —
+        ties resolve to the later menu entry, exactly as ``choose`` does.
+        """
+        predictions = np.asarray(predicted_idle_ms, dtype=float)
+        if np.any(predictions < 0):
+            raise UnitError("predicted idle must be non-negative")
+        best_idx = np.zeros(len(predictions), dtype=np.intp)
+        best_frac = np.full(len(predictions), self.menu[0].power_fraction)
+        for index, state in enumerate(self.menu):
+            if state.wake_latency_ms > self.latency_slo_ms:
+                continue
+            eligible = predictions >= self.break_even_ms(state) + state.wake_latency_ms
+            better = eligible & (state.power_fraction <= best_frac)
+            best_idx[better] = index
+            best_frac[better] = state.power_fraction
+        return best_idx
+
 
 @dataclass(frozen=True, slots=True)
 class IdleSimResult:
@@ -130,19 +150,24 @@ def simulate_idle_management(
 
     baseline_j = float(np.sum(intervals)) / 1e3 * governor.shallow_idle_watts
 
-    governed_j = 0.0
-    violations = 0
-    counts: dict[str, int] = {}
-    for actual, predicted in zip(intervals, predictions):
-        state = governor.choose(float(predicted))
-        counts[state.name] = counts.get(state.name, 0) + 1
-        residency_s = actual / 1e3
-        governed_j += (
-            governor.shallow_idle_watts * state.power_fraction * residency_s
-            + state.entry_energy_j
+    chosen = governor.choose_indices(predictions)
+    power_fracs = np.array([s.power_fraction for s in governor.menu])
+    entry_j = np.array([s.entry_energy_j for s in governor.menu])
+    wake_ms = np.array([s.wake_latency_ms for s in governor.menu])
+
+    governed_j = float(
+        np.sum(
+            governor.shallow_idle_watts * power_fracs[chosen] * (intervals / 1e3)
+            + entry_j[chosen]
         )
-        if state.wake_latency_ms > governor.latency_slo_ms:
-            violations += 1
+    )
+    violations = int(np.sum(wake_ms[chosen] > governor.latency_slo_ms))
+    occupancy = np.bincount(chosen, minlength=len(governor.menu))
+    # Keyed in order of first use, matching the sequential accumulation.
+    counts = {
+        governor.menu[index].name: int(occupancy[index])
+        for index in dict.fromkeys(chosen.tolist())
+    }
 
     return IdleSimResult(
         baseline_energy=Energy.from_joules(baseline_j),

@@ -22,7 +22,11 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.carbon.embodied import GPU_SERVER_EMBODIED
+from repro.carbon.embodied import (
+    AmortizationPolicy,
+    DEFAULT_LIFETIME_YEARS,
+    GPU_SERVER_EMBODIED,
+)
 from repro.carbon.intensity import CarbonIntensity, US_AVERAGE
 from repro.core.quantities import Carbon
 from repro.energy.devices import DeviceSpec, V100
@@ -127,7 +131,12 @@ def tenancy_study(
     demands = np.clip(demands, 0.05, 0.95)
 
     model = PowerModel(device)
-    embodied_rate = GPU_SERVER_EMBODIED.kg / (4.0 * 8766.0)  # kg/server-hour
+    # Wall-clock amortization: residency occupies the server regardless of
+    # achieved utilization, so the policy's utilization knob is pinned at 1.
+    wall_clock = AmortizationPolicy(
+        lifetime_years=DEFAULT_LIFETIME_YEARS, average_utilization=1.0
+    )
+    embodied_rate = wall_clock.rate_per_utilized_hour(GPU_SERVER_EMBODIED)  # kg/server-hour
 
     rows = []
     for limit in tenancy_limits:

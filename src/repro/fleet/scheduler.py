@@ -10,10 +10,11 @@ utilization metrics of Figure 10.
 from __future__ import annotations
 
 import heapq
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
+from repro.core.series import HourlySeries
 from repro.errors import SchedulingError, UnitError
 from repro.workloads.traces import ExperimentStream
 
@@ -62,6 +63,10 @@ class ClusterSchedule:
     def utilization_series(self) -> np.ndarray:
         return self.busy_gpus / self.total_gpus
 
+    def busy_series(self) -> HourlySeries:
+        """The hourly busy-GPU counts as an accounting series."""
+        return HourlySeries(self.busy_gpus)
+
 
 def schedule_fifo(
     stream: ExperimentStream,
@@ -101,7 +106,13 @@ def schedule_fifo(
     records: list[JobRecord] = []
     busy = np.zeros(horizon_hours)
 
-    for hour in range(horizon_hours):
+    # Event-driven sweep: cluster state only changes at integer hours where
+    # a running job has released its GPUs or a new job has been submitted,
+    # so the hourly loop skips straight between those events and fills the
+    # busy series in constant slices (placements are impossible in between:
+    # ``free`` only grows at releases and the queue only grows at submits).
+    hour = 0
+    while hour < horizon_hours:
         t = float(hour)
         # Release finished jobs.
         while releases and releases[0][0] <= t:
@@ -133,6 +144,14 @@ def schedule_fifo(
                 break
         for pos in reversed(placed):
             queue.pop(pos)
-        busy[hour] = total_gpus - free
+
+        next_hour = horizon_hours
+        if releases:
+            next_hour = min(next_hour, int(np.ceil(releases[0][0])))
+        if next_job < n:
+            next_hour = min(next_hour, int(np.ceil(submit[next_job])))
+        next_hour = min(max(next_hour, hour + 1), horizon_hours)
+        busy[hour:next_hour] = total_gpus - free
+        hour = next_hour
 
     return ClusterSchedule(records=records, busy_gpus=busy, total_gpus=total_gpus)

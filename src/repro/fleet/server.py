@@ -9,7 +9,9 @@ physical instance with a utilization state.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
+
+import numpy as np
 
 from repro.carbon.embodied import CPU_SERVER_EMBODIED, GPU_SERVER_EMBODIED
 from repro.core.quantities import Carbon, Power
@@ -43,6 +45,14 @@ class ServerSKU:
             return host_power
         accel_power = PowerModel(self.accelerator).power_at(utilization)
         return host_power + accel_power * self.n_accelerators
+
+    def power_series(self, utilization: np.ndarray) -> np.ndarray:
+        """Vectorized whole-server power (watts) for a utilization series."""
+        host_watts = PowerModel(self.host).power_series(utilization)
+        if self.accelerator is None:
+            return host_watts
+        accel_watts = PowerModel(self.accelerator).power_series(utilization)
+        return host_watts + accel_watts * self.n_accelerators
 
     @property
     def peak_power(self) -> Power:

@@ -15,7 +15,9 @@ import numpy as np
 
 from repro.carbon.grid import GridTrace, constant_grid_trace
 from repro.carbon.intensity import US_AVERAGE
+from repro.core.context import AccountingContext
 from repro.core.quantities import Carbon, Energy, Power
+from repro.core.series import HourlySeries
 from repro.energy.meter import integrate_power_hours
 from repro.energy.pue import Datacenter
 from repro.errors import SimulationError, UnitError
@@ -98,30 +100,21 @@ class FleetSimulator:
         gpus_per_server = self.training_sku.n_accelerators
         n_training_servers = int(np.ceil(self.training_gpus / gpus_per_server))
         train_util = schedule.busy_gpus / self.training_gpus
-        training_watts = np.array(
-            [
-                self.training_sku.power_at(float(u)).watts * n_training_servers
-                for u in train_util
-            ]
-        )
+        training_watts = self.training_sku.power_series(train_util) * n_training_servers
 
         # -- inference tier: demand-proportional utilization ---------------
         inf_util = np.clip(demand * inference_peak_utilization, 0.0, 1.0)
-        inference_watts = np.array(
-            [
-                self.inference_sku.power_at(float(u)).watts * self.inference_servers
-                for u in inf_util
-            ]
+        inference_watts = (
+            self.inference_sku.power_series(inf_util) * self.inference_servers
         )
 
-        it_energy = integrate_power_hours(training_watts + inference_watts)
+        it_watts = training_watts + inference_watts
+        it_energy = integrate_power_hours(it_watts)
         facility_energy = self.datacenter.facility_energy(it_energy)
 
         grid = self.grid or constant_grid_trace(US_AVERAGE, hours)
-        facility_kwh_per_hour = (
-            (training_watts + inference_watts) / 1e3 * self.datacenter.pue
-        )
-        operational = grid.emissions_for_profile(facility_kwh_per_hour)
+        context = AccountingContext(grid=grid, pue=self.datacenter.pue)
+        operational = context.operational(HourlySeries.from_power_watts(it_watts))
 
         embodied = (
             self.training_sku.embodied * n_training_servers

@@ -81,26 +81,33 @@ def simulate_pipeline(
     supply_rate = min(
         spec.storage_read_rate, n_workers * spec.transform_rate_per_worker
     )
+    # Batch the per-second jitter draws (one RNG call instead of one per
+    # step — the stream is identical); only the queue recursion itself is
+    # inherently sequential.
+    if jitter:
+        produced = supply_rate * rng.lognormal(0.0, jitter, size=duration_s)
+    else:
+        produced = np.full(duration_s, supply_rate)
+    takes = np.empty(duration_s)
+    depths = np.empty(duration_s)
     queue = 0.0
-    consumed = 0.0
-    stalled_seconds = 0.0
-    depth_accum = 0.0
-    for _ in range(duration_s):
-        produced = supply_rate * float(rng.lognormal(0.0, jitter)) if jitter else supply_rate
+    for second in range(duration_s):
         # Fresh batches flow straight through; only the *surplus* is
         # buffered (and capped) — the queue bounds backlog, not flow.
-        available = queue + produced
+        available = queue + produced[second]
         take = min(available, spec.trainer_consume_rate)
-        if take < spec.trainer_consume_rate - 1e-9:
-            stalled_seconds += 1.0 - take / spec.trainer_consume_rate
         queue = min(spec.queue_capacity_batches, available - take)
-        consumed += take
-        depth_accum += queue
+        takes[second] = take
+        depths[second] = queue
+    shortfall = 1.0 - takes / spec.trainer_consume_rate
+    stalled_seconds = float(
+        np.sum(shortfall[takes < spec.trainer_consume_rate - 1e-9])
+    )
     return PipelineSimResult(
         n_workers=n_workers,
-        throughput_batches_per_s=consumed / duration_s,
+        throughput_batches_per_s=float(np.sum(takes)) / duration_s,
         trainer_stall_fraction=stalled_seconds / duration_s,
-        mean_queue_depth=depth_accum / duration_s,
+        mean_queue_depth=float(np.sum(depths)) / duration_s,
     )
 
 

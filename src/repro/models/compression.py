@@ -16,7 +16,6 @@ paper highlights.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 
 from repro.errors import UnitError

@@ -20,6 +20,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro import units
 from repro.carbon.embodied import GPU_SERVER_EMBODIED
 from repro.carbon.intensity import CarbonIntensity, US_AVERAGE
 from repro.core.quantities import Carbon, Energy
@@ -79,7 +80,7 @@ class TrainingSystemModel:
     devices_per_server: int = 8
     joules_per_flop: float = 1.5e-10  # achieved, system level
     server_embodied: Carbon = GPU_SERVER_EMBODIED
-    server_lifetime_hours: float = 4.0 * 8766.0
+    server_lifetime_hours: float = 4.0 * units.HOURS_PER_YEAR
     training_wall_hours: float = 30.0 * 24.0
 
     def __post_init__(self) -> None:

@@ -11,7 +11,7 @@ the pieces an energy-aware model-selection workflow needs.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

@@ -26,7 +26,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.dataeff.recommenders import BiasMF, EvalResult, evaluate
+from repro.dataeff.recommenders import BiasMF, evaluate
 from repro.dataeff.synthetic import InteractionDataset
 from repro.errors import UnitError
 

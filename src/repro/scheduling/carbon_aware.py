@@ -44,11 +44,6 @@ class ScheduleOutcome:
         return float(np.max(self.power_profile_kw)) if len(self.power_profile_kw) else 0.0
 
 
-def _job_carbon(job: DeferrableJob, start: int, grid: GridTrace) -> float:
-    idx = (start + np.arange(job.duration_hours)) % len(grid)
-    return float(np.sum(grid.intensity_kg_per_kwh[idx]) * job.power_kw)
-
-
 def _fits(
     profile: np.ndarray, job: DeferrableJob, start: int, capacity_kw: float
 ) -> bool:
@@ -123,13 +118,13 @@ def _greedy(
                 )
             start = s
         elif carbon_aware:
-            start = min(feasible, key=lambda s: _job_carbon(job, s, grid))
+            start = min(feasible, key=lambda s: job.carbon_at(grid, s).kg)
         else:
             start = feasible[0]
 
         profile[start : start + job.duration_hours] += job.power_kw
         starts[job.job_id] = start
-        total_kg += _job_carbon(job, start, grid)
+        total_kg += job.carbon_at(grid, start).kg
 
     return ScheduleOutcome(
         strategy="carbon-aware" if carbon_aware else "immediate",

@@ -19,6 +19,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.carbon.grid import GridTrace
+from repro.core.series import HourlySeries
 from repro.errors import UnitError
 
 
@@ -46,13 +47,12 @@ def solar_procurement(
         raise UnitError("load must be non-negative")
     if match_fraction < 0:
         raise UnitError("match fraction must be non-negative")
-    idx = np.arange(len(load)) % len(grid)
-    shape = grid.solar_share[idx]
-    shape_total = float(np.sum(shape))
+    shape = HourlySeries(grid.solar_share).tile_to(len(load))
+    shape_total = shape.total()
     if shape_total == 0:
         raise UnitError("grid trace has no solar generation to procure")
     scale = match_fraction * float(np.sum(load)) / shape_total
-    return shape * scale
+    return shape.scale(scale).values
 
 
 def cfe_score(load_kw: np.ndarray, procured_kw: np.ndarray) -> float:
@@ -61,8 +61,8 @@ def cfe_score(load_kw: np.ndarray, procured_kw: np.ndarray) -> float:
     total = float(np.sum(load))
     if total == 0:
         return 1.0
-    matched = np.minimum(load, supply)
-    return float(np.sum(matched)) / total
+    matched = HourlySeries(load).minimum(HourlySeries(supply))
+    return matched.total() / total
 
 
 def annual_matching_score(load_kw: np.ndarray, procured_kw: np.ndarray) -> float:

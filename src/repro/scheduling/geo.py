@@ -51,11 +51,6 @@ class GeoScheduleOutcome:
         return self.region_energy_kwh.get(name, 0.0) / total
 
 
-def _job_carbon(job: DeferrableJob, start: int, grid: GridTrace) -> float:
-    idx = (start + np.arange(job.duration_hours)) % len(grid)
-    return float(np.sum(grid.intensity_kg_per_kwh[idx]) * job.power_kw)
-
-
 def schedule_geo(
     jobs: list[DeferrableJob],
     regions: list[Region],
@@ -100,7 +95,7 @@ def schedule_geo(
                 window = profile[start : start + job.duration_hours]
                 if np.any(window + job.power_kw > region.capacity_kw + 1e-9):
                     continue
-                kg = _job_carbon(job, start, region.grid) * (1.0 + overhead)
+                kg = job.carbon_at(region.grid, start).kg * (1.0 + overhead)
                 if best is None or kg < best[0]:
                     best = (kg, region.name, start)
         if best is None:
@@ -118,7 +113,7 @@ def schedule_geo(
             if start + job.duration_hours > horizon_hours:
                 raise SchedulingError(f"job {job.job_id} cannot be placed anywhere")
             grid = next(r for r in regions if r.name == home).grid
-            best = (_job_carbon(job, start, grid), home, start)
+            best = (job.carbon_at(grid, start).kg, home, start)
 
         kg, region_name, start = best
         profiles[region_name][start : start + job.duration_hours] += job.power_kw

@@ -3,11 +3,17 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 import numpy as np
 
+from repro.core.quantities import Carbon
+from repro.core.series import HourlySeries
 from repro.errors import UnitError
 from repro.lifecycle.jobs import JobDurationModel
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.carbon.grid import GridTrace
 
 
 @dataclass(frozen=True, slots=True)
@@ -47,6 +53,14 @@ class DeferrableJob:
     @property
     def slack_hours(self) -> int:
         return self.latest_start - self.submit_hour
+
+    def power_profile(self) -> HourlySeries:
+        """Flat hourly kW draw (≙ kWh per hour) while the job runs."""
+        return HourlySeries.constant(self.power_kw, self.duration_hours)
+
+    def carbon_at(self, grid: "GridTrace", start_hour: int) -> Carbon:
+        """Operational carbon if the job starts at ``start_hour`` on ``grid``."""
+        return self.power_profile().emissions(grid, start_hour=start_hour)
 
 
 def synthesize_jobs(

@@ -19,6 +19,7 @@ import numpy as np
 
 from repro.carbon.grid import GridTrace
 from repro.core.quantities import Carbon
+from repro.core.series import HourlySeries
 from repro.errors import UnitError
 
 
@@ -74,10 +75,46 @@ def run_arbitrage(
     if not (0 <= charge_percentile < discharge_percentile <= 100):
         raise UnitError("percentiles must satisfy 0 <= charge < discharge <= 100")
     hours = len(load)
+    if hours == 0:
+        return StorageOutcome(
+            carbon_without=Carbon(0.0),
+            carbon_with=Carbon(0.0),
+            grid_kwh_without=0.0,
+            grid_kwh_with=0.0,
+            state_of_charge_kwh=np.zeros(0),
+        )
     intensity = grid.intensity_kg_per_kwh[np.arange(hours) % len(grid)]
     low = np.percentile(grid.intensity_kg_per_kwh, charge_percentile)
     high = np.percentile(grid.intensity_kg_per_kwh, discharge_percentile)
 
+    if low == high:
+        # Degenerate (e.g. flat) grid: every hour is simultaneously
+        # charge- and discharge-eligible, so the run-based vectorization
+        # has a single "segment" and gains nothing — simulate directly.
+        soc_series, grid_kwh = _arbitrage_sequential(load, intensity, battery, low, high)
+    else:
+        soc_series, grid_kwh = _arbitrage_segments(load, intensity, battery, low, high)
+
+    load_series = HourlySeries(load)
+    grid_series = HourlySeries(grid_kwh)
+    return StorageOutcome(
+        carbon_without=load_series.emissions(grid),
+        carbon_with=grid_series.emissions(grid),
+        grid_kwh_without=load_series.total(),
+        grid_kwh_with=grid_series.total(),
+        state_of_charge_kwh=soc_series,
+    )
+
+
+def _arbitrage_sequential(
+    load: np.ndarray,
+    intensity: np.ndarray,
+    battery: Battery,
+    low: float,
+    high: float,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Reference hour-by-hour simulation of the arbitrage policy."""
+    hours = len(load)
     soc = 0.0
     soc_series = np.zeros(hours)
     grid_kwh = np.zeros(hours)
@@ -98,13 +135,99 @@ def run_arbitrage(
             draw -= discharge
         soc_series[h] = soc
         grid_kwh[h] = draw
+    return soc_series, grid_kwh
 
-    carbon_without = Carbon(float(np.sum(load * intensity)))
-    carbon_with = Carbon(float(np.sum(grid_kwh * intensity)))
-    return StorageOutcome(
-        carbon_without=carbon_without,
-        carbon_with=carbon_with,
-        grid_kwh_without=float(np.sum(load)),
-        grid_kwh_with=float(np.sum(grid_kwh)),
-        state_of_charge_kwh=soc_series,
-    )
+
+def _arbitrage_segments(
+    load: np.ndarray,
+    intensity: np.ndarray,
+    battery: Battery,
+    low: float,
+    high: float,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Run-based vectorized simulation, equivalent to the sequential policy.
+
+    The hourly recursion only has memory through the state of charge, and
+    within a run of same-class hours (charge / discharge / neutral) the
+    trajectory is an affine recursion until the battery saturates.  Long
+    runs are therefore filled with one cumulative sum (``np.cumsum``
+    accumulates left-to-right, reproducing the sequential float adds
+    bit-for-bit) plus a short scalar tail for the saturation boundary;
+    runs shorter than the numpy call overhead is worth stay scalar.
+    """
+    hours = len(load)
+    soc_series = np.zeros(hours)
+    grid_kwh = np.zeros(hours)
+    cap = battery.capacity_kwh
+    power = battery.max_power_kw
+    eff = battery.round_trip_efficiency
+    # Below this run length the scalar recursion beats the numpy setup
+    # cost, so vectorizing would *slow down* choppy (e.g. random) traces.
+    short_run = 16
+
+    charge_class = intensity <= low
+    discharge_class = ~charge_class & (intensity >= high)
+    classes = np.where(charge_class, 1, np.where(discharge_class, 2, 0))
+    starts = np.concatenate([[0], np.flatnonzero(np.diff(classes)) + 1])
+    ends = np.concatenate([starts[1:], [hours]])
+
+    soc = 0.0
+    for i, j in zip(starts, ends):
+        cls = classes[i]
+        if cls == 0:
+            soc_series[i:j] = soc
+            grid_kwh[i:j] = load[i:j]
+            continue
+        k = j - i
+        if cls == 1:
+            if k < short_run:
+                m = 0
+            else:
+                # Assume full-power charging; the assumption holds exactly
+                # up to the first hour where headroom no longer admits it.
+                traj = np.cumsum(np.concatenate([[soc], np.full(k, power * eff)]))
+                full = (traj[:k] < cap) & ((cap - traj[:k]) / eff >= power)
+                m = k if bool(full.all()) else int(np.argmax(~full))
+                soc_series[i : i + m] = traj[1 : m + 1]
+                grid_kwh[i : i + m] = load[i : i + m] + power
+                soc = float(traj[m])
+            h = i + m
+            while h < j:
+                if soc >= cap:
+                    # Full battery never drains during a charge run, so the
+                    # remaining hours of the run draw the plain load.
+                    soc_series[h:j] = soc
+                    grid_kwh[h:j] = load[h:j]
+                    break
+                room = cap - soc
+                charge = min(power, room / eff)
+                soc += charge * eff
+                soc_series[h] = soc
+                grid_kwh[h] = load[h] + charge
+                h += 1
+        else:
+            if k < short_run:
+                m = 0
+            else:
+                # Assume the battery covers min(power, load) every hour;
+                # the assumption holds exactly until the charge runs out.
+                covered = np.minimum(power, load[i:j])
+                traj = np.cumsum(np.concatenate([[soc], -covered]))
+                okay = traj[:k] >= covered
+                m = k if bool(okay.all()) else int(np.argmax(~okay))
+                soc_series[i : i + m] = traj[1 : m + 1]
+                grid_kwh[i : i + m] = load[i : i + m] - covered[:m]
+                soc = float(traj[m])
+            h = i + m
+            while h < j:
+                if soc <= 0.0:
+                    # Empty battery never recharges during a discharge run.
+                    soc_series[h:j] = soc
+                    grid_kwh[h:j] = load[h:j]
+                    break
+                discharge = min(power, soc, load[h])
+                soc -= discharge
+                soc_series[h] = soc
+                grid_kwh[h] = load[h] - discharge
+                h += 1
+    return soc_series, grid_kwh

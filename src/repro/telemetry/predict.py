@@ -22,6 +22,7 @@ import numpy as np
 from repro.carbon.grid import GridTrace
 from repro.carbon.intensity import CarbonIntensity, US_AVERAGE
 from repro.core.quantities import Carbon, Energy
+from repro.core.series import HourlySeries
 from repro.errors import TelemetryError
 
 
@@ -112,11 +113,11 @@ def recommend_start_hour(
     duration_hours = max(1, int(np.ceil(prediction.predicted_duration_hours)))
     duration_hours = min(duration_hours, len(grid))
     kwh_per_hour = prediction.predicted_energy.kwh / duration_hours
-    profile = np.full(duration_hours, kwh_per_hour)
+    profile = HourlySeries.constant(kwh_per_hour, duration_hours)
 
-    now_carbon = grid.emissions_for_profile(profile, start_hour=0)
+    now_carbon = profile.emissions(grid, start_hour=0)
     best_start = grid.greenest_window(duration_hours)
-    best_carbon = grid.emissions_for_profile(profile, start_hour=best_start)
+    best_carbon = profile.emissions(grid, start_hour=best_start)
     return best_start, now_carbon, best_carbon
 
 

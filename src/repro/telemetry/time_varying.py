@@ -21,6 +21,7 @@ import numpy as np
 from repro.carbon.grid import GridTrace
 from repro.carbon.intensity import CarbonIntensity
 from repro.core.quantities import Carbon, Energy
+from repro.core.series import HourlySeries
 from repro.errors import TelemetryError
 
 
@@ -56,25 +57,23 @@ class TimeVaryingAccountant:
     def carbon(self) -> Carbon:
         """Sum of interval energies priced at their hours' intensities.
 
-        Intervals spanning hour boundaries are split proportionally.
+        Intervals spanning hour boundaries are split proportionally, then
+        the binned hourly profile is integrated once against the trace.
         """
-        total_kg = 0.0
+        profile = np.zeros(int(np.ceil(self._clock_h)) + 1)
         clock = float(self.start_hour)
         for kwh, hours in zip(self._interval_kwh, self._interval_hours):
             remaining = hours
             position = clock
             while remaining > 1e-12:
-                hour_idx = int(position) % len(self.grid)
                 to_boundary = (int(position) + 1) - position
                 step = min(remaining, to_boundary)
                 share = step / hours
-                total_kg += (
-                    kwh * share * float(self.grid.intensity_kg_per_kwh[hour_idx])
-                )
+                profile[int(position) - self.start_hour] += kwh * share
                 position += step
                 remaining -= step
             clock += hours
-        return Carbon(total_kg)
+        return HourlySeries(profile).emissions(self.grid, start_hour=self.start_hour)
 
     def static_carbon(self, intensity: CarbonIntensity | None = None) -> Carbon:
         """The naive single-intensity estimate for comparison.

@@ -15,7 +15,7 @@ the PUE; carbon from the configured intensity.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.carbon.intensity import CarbonIntensity, US_AVERAGE
 from repro.core.quantities import Carbon, Energy, Power

@@ -19,7 +19,7 @@ from repro.carbon.intensity import AccountingMethod, CarbonIntensity
 from repro.core.analyzer import FootprintAnalyzer, PhaseWorkload, TaskDescription
 from repro.core.footprint import Phase
 from repro.core.quantities import Carbon
-from repro.core.uncertainty import ParameterPrior, _footprint_kg
+from repro.core.uncertainty import _footprint_kg
 from repro.dataeff.perishability import HalfLifeModel
 from repro.energy.pue import Datacenter
 from repro.fleet.growth import JevonsModel

@@ -17,7 +17,7 @@ from repro.dataeff.sampling import (
     recent_interactions,
     svp_users,
 )
-from repro.dataeff.synthetic import InteractionDataset, LatentFactorWorld
+from repro.dataeff.synthetic import LatentFactorWorld
 from repro.errors import CalibrationError, UnitError
 
 

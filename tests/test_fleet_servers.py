@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.core.quantities import Carbon, Power
+from repro.core.quantities import Power
 from repro.energy.devices import CPU_SERVER, V100
 from repro.errors import SimulationError, UnitError
 from repro.fleet.autoscale import (

@@ -1,0 +1,466 @@
+"""The HourlySeries accounting engine: algebra, context, and equivalences.
+
+Three layers of guarantees:
+
+* property-style algebra tests of :class:`repro.core.series.HourlySeries`
+  (randomized values via hypothesis, alignment and immutability checks);
+* :class:`repro.core.context.AccountingContext` semantics (grid XOR
+  static intensity, PUE, amortization policy);
+* equivalence tests pinning each refactored consumer to an in-test
+  reference implementation of its pre-refactor hour-by-hour loop, plus a
+  grep-based boundary test proving the ``kWh x intensity`` integration
+  happens only inside ``repro/core/``.
+"""
+
+import heapq
+import re
+from pathlib import Path
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.carbon.embodied import AmortizationPolicy, GPU_SERVER_EMBODIED
+from repro.carbon.grid import constant_grid_trace, synthesize_grid_trace
+from repro.carbon.intensity import CarbonIntensity, US_AVERAGE
+from repro.core.context import AccountingContext
+from repro.core.quantities import Carbon, Energy
+from repro.core.series import HourlySeries
+from repro.errors import UnitError
+from repro.fleet.idle import IdleGovernor
+from repro.fleet.scheduler import JobRecord, schedule_fifo
+from repro.lifecycle.ingestion_sim import IngestionPipelineSpec, simulate_pipeline
+from repro.lifecycle.jobs import EXPERIMENTATION_JOBS
+from repro.scheduling.jobs import DeferrableJob
+from repro.scheduling.storage import Battery, _arbitrage_segments, _arbitrage_sequential, run_arbitrage
+from repro.telemetry.time_varying import TimeVaryingAccountant
+from repro.workloads.traces import experiment_arrivals
+
+hourly_values = st.lists(
+    st.floats(min_value=0.0, max_value=1e6, allow_nan=False, allow_infinity=False),
+    min_size=1,
+    max_size=48,
+)
+
+
+class TestConstruction:
+    def test_rejects_empty(self):
+        with pytest.raises(UnitError):
+            HourlySeries(np.array([]))
+
+    def test_rejects_2d(self):
+        with pytest.raises(UnitError):
+            HourlySeries(np.ones((2, 3)))
+
+    def test_rejects_negative(self):
+        with pytest.raises(UnitError):
+            HourlySeries(np.array([1.0, -0.5]))
+
+    def test_rejects_nan_and_inf(self):
+        with pytest.raises(UnitError):
+            HourlySeries(np.array([1.0, np.nan]))
+        with pytest.raises(UnitError):
+            HourlySeries(np.array([np.inf]))
+
+    def test_copies_input(self):
+        source = np.array([1.0, 2.0, 3.0])
+        series = HourlySeries(source)
+        source[0] = 99.0
+        assert series.values[0] == 1.0
+
+    def test_values_are_read_only(self):
+        series = HourlySeries(np.array([1.0, 2.0]))
+        with pytest.raises(ValueError):
+            series.values[0] = 5.0
+
+    def test_constant_and_zeros(self):
+        flat = HourlySeries.constant(3.5, 4)
+        assert len(flat) == 4 and flat.hours == 4
+        np.testing.assert_array_equal(flat.values, np.full(4, 3.5))
+        np.testing.assert_array_equal(HourlySeries.zeros(3).values, np.zeros(3))
+        with pytest.raises(UnitError):
+            HourlySeries.constant(1.0, 0)
+
+    def test_from_power_watts(self):
+        series = HourlySeries.from_power_watts(np.array([500.0, 1500.0]))
+        np.testing.assert_array_equal(series.values, [0.5, 1.5])
+
+
+class TestAlgebra:
+    @settings(max_examples=30, deadline=None)
+    @given(hourly_values, hourly_values)
+    def test_add_is_commutative(self, a, b):
+        n = min(len(a), len(b))
+        x, y = HourlySeries(np.array(a[:n])), HourlySeries(np.array(b[:n]))
+        np.testing.assert_array_equal((x + y).values, (y + x).values)
+
+    @settings(max_examples=30, deadline=None)
+    @given(hourly_values)
+    def test_add_matches_elementwise_sum(self, a):
+        x = HourlySeries(np.array(a))
+        np.testing.assert_array_equal((x + x).values, 2.0 * np.array(a))
+
+    def test_add_rejects_misaligned(self):
+        with pytest.raises(UnitError):
+            HourlySeries.zeros(3) + HourlySeries.zeros(4)
+
+    def test_add_rejects_non_series(self):
+        with pytest.raises(TypeError):
+            HourlySeries.zeros(3) + 1.0
+
+    @settings(max_examples=30, deadline=None)
+    @given(hourly_values, st.floats(min_value=0.0, max_value=100.0))
+    def test_scale_distributes_over_add(self, a, factor):
+        x = HourlySeries(np.array(a))
+        np.testing.assert_allclose(
+            (x + x).scale(factor).values,
+            (x.scale(factor) + x.scale(factor)).values,
+            rtol=1e-12,
+            atol=1e-290,  # subnormal inputs underflow asymmetrically
+        )
+
+    @settings(max_examples=30, deadline=None)
+    @given(hourly_values, st.floats(min_value=0.0, max_value=100.0))
+    def test_mul_forms_agree(self, a, factor):
+        x = HourlySeries(np.array(a))
+        np.testing.assert_array_equal((x * factor).values, (factor * x).values)
+        np.testing.assert_array_equal((x * factor).values, x.scale(factor).values)
+
+    def test_scale_rejects_negative_and_series(self):
+        with pytest.raises(UnitError):
+            HourlySeries.zeros(3).scale(-1.0)
+        with pytest.raises(UnitError):
+            HourlySeries.zeros(3).scale(HourlySeries.zeros(3))
+
+    @settings(max_examples=30, deadline=None)
+    @given(hourly_values, st.floats(min_value=0.0, max_value=1e6))
+    def test_minimum_maximum_bracket(self, a, cap):
+        x = HourlySeries(np.array(a))
+        lo, hi = x.minimum(cap), x.maximum(cap)
+        assert np.all(lo.values <= hi.values)
+        np.testing.assert_array_equal(np.maximum(lo.values, hi.values), hi.values)
+        np.testing.assert_array_equal(
+            x.minimum(x).values, x.values
+        )  # idempotent against itself
+
+    def test_minimum_rejects_misaligned(self):
+        with pytest.raises(UnitError):
+            HourlySeries.zeros(3).minimum(HourlySeries.zeros(5))
+
+    @settings(max_examples=30, deadline=None)
+    @given(hourly_values, st.integers(min_value=1, max_value=120))
+    def test_tile_is_periodic(self, a, horizon):
+        x = HourlySeries(np.array(a))
+        tiled = x.tile_to(horizon)
+        assert len(tiled) == horizon
+        for i in (0, horizon // 2, horizon - 1):
+            assert tiled.values[i] == x.values[i % len(x)]
+
+    def test_tile_rejects_non_positive(self):
+        with pytest.raises(UnitError):
+            HourlySeries.zeros(3).tile_to(0)
+
+    @settings(max_examples=30, deadline=None)
+    @given(hourly_values)
+    def test_reductions(self, a):
+        arr = np.array(a)
+        x = HourlySeries(arr)
+        assert x.total() == pytest.approx(float(np.sum(arr)), rel=1e-12)
+        assert x.mean() == pytest.approx(float(np.mean(arr)), rel=1e-12)
+        assert x.peak() == float(np.max(arr))
+        assert x.integrate().kwh == x.total()
+
+
+class TestEmissions:
+    def test_constant_grid_equals_static_product(self):
+        grid = constant_grid_trace(US_AVERAGE, 48)
+        series = HourlySeries(np.linspace(0.0, 10.0, 48))
+        expected = series.total() * US_AVERAGE.kg_per_kwh
+        assert series.emissions(grid).kg == pytest.approx(expected, rel=1e-12)
+
+    def test_matches_hourly_reference(self):
+        grid = synthesize_grid_trace(72, seed=3)
+        values = np.random.default_rng(0).uniform(0.0, 50.0, 30)
+        series = HourlySeries(values)
+        for start in (0, 5, 70):  # 70 + 30 wraps past the trace end
+            reference = sum(
+                values[h] * grid.intensity_at(start + h).kg_per_kwh
+                for h in range(len(values))
+            )
+            assert series.emissions(grid, start_hour=start).kg == pytest.approx(
+                reference, rel=1e-12
+            )
+
+    def test_agrees_with_grid_emissions_for_profile(self):
+        grid = synthesize_grid_trace(168, seed=1)
+        profile = np.random.default_rng(1).uniform(0.0, 20.0, 168)
+        assert HourlySeries(profile).emissions(grid, start_hour=7).kg == (
+            grid.emissions_for_profile(profile, start_hour=7).kg
+        )
+
+
+class TestAccountingContext:
+    def test_rejects_grid_and_intensity_together(self):
+        with pytest.raises(UnitError):
+            AccountingContext(
+                grid=constant_grid_trace(US_AVERAGE, 24), intensity=US_AVERAGE
+            )
+
+    def test_rejects_pue_below_one(self):
+        with pytest.raises(UnitError):
+            AccountingContext(intensity=US_AVERAGE, pue=0.9)
+
+    def test_static_operational_applies_pue(self):
+        context = AccountingContext(intensity=CarbonIntensity(0.4, "test"), pue=1.5)
+        series = HourlySeries.constant(10.0, 24)
+        assert context.operational(series).kg == pytest.approx(
+            10.0 * 24 * 1.5 * 0.4, rel=1e-12
+        )
+
+    def test_grid_operational_matches_series_emissions(self):
+        grid = synthesize_grid_trace(96, seed=5)
+        context = AccountingContext(grid=grid, pue=1.2)
+        series = HourlySeries(np.random.default_rng(2).uniform(0.0, 5.0, 96))
+        expected = series.scale(1.2).emissions(grid, start_hour=3).kg
+        assert context.operational(series, start_hour=3).kg == expected
+
+    def test_operational_requires_a_source(self):
+        bare = AccountingContext()
+        with pytest.raises(UnitError):
+            bare.operational(HourlySeries.zeros(4))
+        with pytest.raises(UnitError):
+            bare.operational_for_energy(Energy(1.0))
+
+    def test_energy_fallback_uses_grid_average(self):
+        grid = synthesize_grid_trace(120, seed=7)
+        context = AccountingContext(grid=grid, pue=1.1)
+        energy = Energy(100.0)
+        expected = 100.0 * 1.1 * grid.average_intensity().kg_per_kwh
+        assert context.operational_for_energy(energy).kg == pytest.approx(
+            expected, rel=1e-12
+        )
+
+    def test_facility_series_and_energy(self):
+        context = AccountingContext(intensity=US_AVERAGE, pue=1.4)
+        series = HourlySeries.constant(2.0, 6)
+        np.testing.assert_allclose(
+            context.facility_series(series).values, np.full(6, 2.8), rtol=1e-12
+        )
+        assert context.facility_energy(Energy(10.0)).kwh == pytest.approx(14.0)
+
+    def test_amortized_embodied_is_linear_in_hours(self):
+        policy = AmortizationPolicy(lifetime_years=4.0, average_utilization=1.0)
+        context = AccountingContext(intensity=US_AVERAGE, amortization=policy)
+        rate = policy.rate_per_utilized_hour(GPU_SERVER_EMBODIED)
+        got = context.amortized_embodied(GPU_SERVER_EMBODIED, 1000.0, n_servers=3.0)
+        assert got.kg == pytest.approx(rate * 1000.0 * 3.0, rel=1e-12)
+        with pytest.raises(UnitError):
+            context.amortized_embodied(GPU_SERVER_EMBODIED, -1.0)
+
+    def test_infrastructure_factor_scales_rate(self):
+        base = AmortizationPolicy()
+        heavy = AmortizationPolicy(infrastructure_factor=1.5)
+        manufacturing = Carbon(1000.0)
+        assert heavy.rate_per_utilized_hour(manufacturing) == pytest.approx(
+            1.5 * base.rate_per_utilized_hour(manufacturing), rel=1e-12
+        )
+
+    def test_devices_per_server_divides_device_rate(self):
+        policy = AmortizationPolicy(devices_per_server=8.0)
+        manufacturing = Carbon(1000.0)
+        assert policy.rate_per_device_hour(manufacturing) == pytest.approx(
+            policy.rate_per_utilized_hour(manufacturing) / 8.0, rel=1e-12
+        )
+        with pytest.raises(UnitError):
+            AmortizationPolicy(devices_per_server=0.0)
+        with pytest.raises(UnitError):
+            AmortizationPolicy(infrastructure_factor=0.5)
+
+
+def _reference_fifo(stream, total_gpus, horizon_hours, backfill=True):
+    """The pre-refactor hour-by-hour FIFO loop, kept as the test oracle."""
+    n = len(stream)
+    order = np.argsort(stream.start_hours, kind="stable")
+    submit = stream.start_hours[order]
+    durations = stream.duration_hours[order]
+    gpus = stream.n_gpus[order]
+    free = total_gpus
+    releases, queue, next_job = [], [], 0
+    records = []
+    busy = np.zeros(horizon_hours)
+    for hour in range(horizon_hours):
+        t = float(hour)
+        while releases and releases[0][0] <= t:
+            _, released = heapq.heappop(releases)
+            free += released
+        while next_job < n and submit[next_job] <= t:
+            queue.append(next_job)
+            next_job += 1
+        placed = []
+        for pos, job_idx in enumerate(queue):
+            need = int(gpus[job_idx])
+            if need <= free:
+                free -= need
+                end = t + float(durations[job_idx])
+                heapq.heappush(releases, (end, need))
+                records.append(
+                    JobRecord(
+                        job_id=int(order[job_idx]),
+                        submit_hour=float(submit[job_idx]),
+                        start_hour=t,
+                        end_hour=end,
+                        n_gpus=need,
+                    )
+                )
+                placed.append(pos)
+            elif not backfill:
+                break
+        for pos in reversed(placed):
+            queue.pop(pos)
+        busy[hour] = total_gpus - free
+    return records, busy
+
+
+class TestConsumerEquivalences:
+    """Each refactored consumer reproduces its pre-refactor loop exactly."""
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    @pytest.mark.parametrize("backfill", [True, False])
+    def test_fifo_scheduler_matches_hourly_loop(self, seed, backfill):
+        stream = experiment_arrivals(
+            EXPERIMENTATION_JOBS, jobs_per_day=40, days=3, seed=seed
+        )
+        horizon = 200
+        schedule = schedule_fifo(stream, 64, horizon, backfill=backfill)
+        records, busy = _reference_fifo(stream, 64, horizon, backfill=backfill)
+        np.testing.assert_array_equal(schedule.busy_gpus, busy)
+        assert schedule.records == records
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_storage_segments_match_sequential(self, seed):
+        rng = np.random.default_rng(seed)
+        hours = int(rng.integers(24, 400))
+        load = rng.uniform(0.0, 200.0, hours)
+        intensity = rng.uniform(0.05, 0.9, hours)
+        battery = Battery(
+            capacity_kwh=float(rng.uniform(50.0, 500.0)),
+            max_power_kw=float(rng.uniform(10.0, 150.0)),
+            round_trip_efficiency=float(rng.uniform(0.7, 1.0)),
+        )
+        low, high = np.percentile(intensity, [25.0, 60.0])
+        soc_a, kwh_a = _arbitrage_sequential(load, intensity, battery, low, high)
+        soc_b, kwh_b = _arbitrage_segments(load, intensity, battery, low, high)
+        np.testing.assert_array_equal(soc_a, soc_b)
+        np.testing.assert_array_equal(kwh_a, kwh_b)
+
+    def test_storage_outcome_matches_manual_accounting(self):
+        grid = synthesize_grid_trace(168, seed=9)
+        load = np.random.default_rng(9).uniform(10.0, 120.0, 168)
+        battery = Battery(capacity_kwh=300.0, max_power_kw=60.0)
+        outcome = run_arbitrage(load, grid, battery)
+        intensity = grid.intensity_kg_per_kwh
+        assert outcome.carbon_without.kg == pytest.approx(
+            float(np.sum(load * intensity)), rel=1e-12
+        )
+        soc, grid_kwh = _arbitrage_sequential(
+            load,
+            intensity,
+            battery,
+            float(np.percentile(intensity, 25.0)),
+            float(np.percentile(intensity, 50.0)),
+        )
+        assert outcome.carbon_with.kg == pytest.approx(
+            float(np.sum(grid_kwh * intensity)), rel=1e-12
+        )
+        np.testing.assert_array_equal(outcome.state_of_charge_kwh, soc)
+
+    def test_deferrable_job_carbon_matches_old_formula(self):
+        grid = synthesize_grid_trace(168, seed=4)
+        job = DeferrableJob(
+            job_id=0, submit_hour=0, duration_hours=30, power_kw=75.0, deadline_hour=100
+        )
+        for start in (0, 17, 160):  # last one wraps around the trace
+            reference = 75.0 * sum(
+                grid.intensity_kg_per_kwh[(start + h) % len(grid)]
+                for h in range(30)
+            )
+            assert job.carbon_at(grid, start).kg == pytest.approx(reference, rel=1e-12)
+
+    def test_time_varying_accountant_matches_chunk_loop(self):
+        grid = synthesize_grid_trace(96, seed=6)
+        rng = np.random.default_rng(6)
+        accountant = TimeVaryingAccountant(grid=grid, start_hour=5)
+        intervals = [
+            (float(rng.uniform(0.5, 30.0)), float(rng.uniform(300.0, 9000.0)))
+            for _ in range(40)
+        ]
+        for kwh, duration_s in intervals:
+            accountant.record_interval(Energy(kwh), duration_s)
+        # Pre-refactor accounting: price each boundary-split chunk as it
+        # is walked, instead of binning into a profile first.
+        kg = 0.0
+        clock = 5.0
+        for kwh, duration_s in intervals:
+            hours = duration_s / 3600.0
+            remaining, position = hours, clock
+            while remaining > 1e-12:
+                step = min(remaining, (int(position) + 1) - position)
+                kg += kwh * (step / hours) * grid.intensity_at(int(position)).kg_per_kwh
+                position += step
+                remaining -= step
+            clock += hours
+        assert accountant.carbon().kg == pytest.approx(kg, rel=1e-9)
+
+    @pytest.mark.parametrize("slo_ms", [0.05, 1.0])
+    def test_idle_choose_indices_matches_scalar_choose(self, slo_ms):
+        governor = IdleGovernor(latency_slo_ms=slo_ms)
+        predictions = np.random.default_rng(8).exponential(40.0, 500)
+        chosen = governor.choose_indices(predictions)
+        for value, index in zip(predictions, chosen):
+            assert governor.menu[index] == governor.choose(float(value))
+
+    @pytest.mark.parametrize("jitter", [0.0, 0.25])
+    def test_ingestion_matches_per_second_loop(self, jitter):
+        spec = IngestionPipelineSpec()
+        result = simulate_pipeline(spec, n_workers=5, duration_s=300, jitter=jitter, seed=3)
+        rng = np.random.default_rng(3)
+        supply = min(spec.storage_read_rate, 5 * spec.transform_rate_per_worker)
+        queue = consumed = stalled = depth = 0.0
+        for _ in range(300):
+            produced = supply * float(rng.lognormal(0.0, jitter)) if jitter else supply
+            available = queue + produced
+            take = min(available, spec.trainer_consume_rate)
+            if take < spec.trainer_consume_rate - 1e-9:
+                stalled += 1.0 - take / spec.trainer_consume_rate
+            queue = min(spec.queue_capacity_batches, available - take)
+            consumed += take
+            depth += queue
+        assert result.throughput_batches_per_s == pytest.approx(consumed / 300, rel=1e-12)
+        assert result.trainer_stall_fraction == pytest.approx(stalled / 300, rel=1e-12, abs=1e-15)
+        assert result.mean_queue_depth == pytest.approx(depth / 300, rel=1e-12)
+
+
+INTEGRATION_PATTERN = re.compile(
+    r"(\*\s*[\w.\[\]]*intensity_kg_per_kwh)|(intensity_kg_per_kwh[\w.\[\]]*\s*\*)"
+)
+
+
+def test_carbon_integration_lives_only_in_core():
+    """No module outside repro/core multiplies kWh by an intensity array.
+
+    The hourly accounting identity must flow through
+    ``HourlySeries.emissions`` so simulators cannot silently diverge.
+    """
+    src = Path(__file__).resolve().parents[1] / "src" / "repro"
+    core = src / "core"
+    offenders = []
+    for path in sorted(src.rglob("*.py")):
+        if core in path.parents:
+            continue
+        for lineno, line in enumerate(path.read_text().splitlines(), start=1):
+            if INTEGRATION_PATTERN.search(line):
+                offenders.append(f"{path.relative_to(src)}:{lineno}: {line.strip()}")
+    assert not offenders, (
+        "hourly kWh x intensity multiplication outside repro/core/ "
+        "(route it through HourlySeries.emissions):\n" + "\n".join(offenders)
+    )

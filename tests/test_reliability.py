@@ -3,7 +3,6 @@
 import numpy as np
 import pytest
 
-from repro.core.quantities import Carbon
 from repro.errors import UnitError
 from repro.reliability.checkpoints import (
     CheckpointPolicy,

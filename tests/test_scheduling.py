@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.carbon.grid import GridMixParams, constant_grid_trace, synthesize_grid_trace
+from repro.carbon.grid import constant_grid_trace, synthesize_grid_trace
 from repro.carbon.intensity import CarbonIntensity
 from repro.errors import SchedulingError, UnitError
 from repro.scheduling.carbon_aware import (

@@ -4,8 +4,7 @@ import json
 
 import pytest
 
-from repro.carbon.intensity import CARBON_FREE, US_AVERAGE
-from repro.core.quantities import Carbon
+from repro.carbon.intensity import CARBON_FREE
 from repro.errors import TelemetryError, UnitError
 from repro.telemetry.counters import (
     NvmlPowerSensor,

@@ -6,7 +6,6 @@ round-trips, commutativity of scaling, and rejection of negative / NaN /
 infinite magnitudes.
 """
 
-import math
 import random
 
 import pytest

@@ -1,12 +1,10 @@
 """Workload model tests: OSS anchors, FB calibration, growth, traces."""
 
-import math
 
 import numpy as np
 import pytest
 
 from repro.core.analyzer import FootprintAnalyzer
-from repro.errors import CalibrationError
 from repro.workloads.arxiv import cumulative_by_category, ml_overtakes_at_month
 from repro.workloads.facebook import PRODUCTION_PROFILES, production_tasks
 from repro.workloads.growthtrends import (
