@@ -14,10 +14,12 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Optional
 
+import math
+
 from repro.carbon.embodied import AmortizationPolicy
 from repro.core.quantities import Carbon, Energy
-from repro.core.series import HourlySeries
-from repro.errors import UnitError
+from repro.core.series import HourlySeries, runtime_checks_enabled
+from repro.errors import InvariantViolation, UnitError
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (grid imports core)
     from repro.carbon.grid import GridTrace
@@ -64,6 +66,17 @@ class AccountingContext:
         hour) or static intensity (on total energy).
         """
         facility = self.facility_series(it_series)
+        if runtime_checks_enabled():
+            # PUE-amplification invariant: facility energy is exactly
+            # PUE x IT energy, and with PUE >= 1 it never shrinks.
+            it_total, facility_total = it_series.total(), facility.total()
+            if facility_total < it_total * (1 - 1e-9) or not math.isclose(
+                facility_total, self.pue * it_total, rel_tol=1e-9, abs_tol=1e-12
+            ):
+                raise InvariantViolation(
+                    f"PUE amplification broke: facility {facility_total} kWh vs "
+                    f"pue({self.pue}) x IT {it_total} kWh"
+                )
         if self.grid is not None:
             return facility.emissions(self.grid, start_hour=start_hour)
         if self.intensity is not None:

@@ -27,6 +27,19 @@ F = TypeVar("F", bound=Callable)
 #: All caches created by :func:`memoized_substrate`, by function name.
 _REGISTRY: dict[str, Callable] = {}
 
+#: Fault-injection hook (see :mod:`repro.testing.faults`): when set, every
+#: value leaving a substrate cache passes through it, keyed by the
+#: substrate function's qualname.  Production runs leave this ``None``.
+_CORRUPTOR: Callable[[str, object], object] | None = None
+
+
+def set_substrate_corruptor(
+    corruptor: Callable[[str, object], object] | None,
+) -> None:
+    """Install (or clear, with ``None``) the cache fault-injection hook."""
+    global _CORRUPTOR
+    _CORRUPTOR = corruptor
+
 
 @dataclass(frozen=True)
 class CacheInfo:
@@ -61,7 +74,10 @@ def memoized_substrate(func: F) -> F:
         try:
             hash(key)
         except TypeError:
-            return func(*args, **kwargs)
+            value = func(*args, **kwargs)
+            if _CORRUPTOR is not None:
+                value = _CORRUPTOR(func.__qualname__, value)
+            return value
         try:
             value = cache[key]
         except KeyError:
@@ -69,6 +85,8 @@ def memoized_substrate(func: F) -> F:
             value = cache[key] = _freeze(func(*args, **kwargs))
         else:
             stats["hits"] += 1
+        if _CORRUPTOR is not None:
+            value = _CORRUPTOR(func.__qualname__, value)
         return value
 
     def cache_info() -> CacheInfo:

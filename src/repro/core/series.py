@@ -25,16 +25,26 @@ cannot silently diverge between simulators.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Union
 
 import numpy as np
 
 from repro.core.quantities import Carbon, Energy
-from repro.errors import UnitError
+from repro.errors import InvariantViolation, UnitError
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (grid imports core)
     from repro.carbon.grid import GridTrace
+
+#: Environment toggle for the runtime accounting self-checks (set by
+#: ``sustainable-ai ... --check-invariants``, inherited by pool workers).
+CHECK_ENV_VAR = "SUSTAINABLE_AI_CHECK_INVARIANTS"
+
+
+def runtime_checks_enabled() -> bool:
+    """Whether the in-line accounting invariant checks are switched on."""
+    return os.environ.get(CHECK_ENV_VAR, "0") not in ("", "0")
 
 
 @dataclass(frozen=True)
@@ -163,4 +173,22 @@ class HourlySeries:
         if trace_hours == 0:
             raise UnitError("grid trace must cover at least one hour")
         idx = (int(start_hour) + np.arange(len(self))) % trace_hours
-        return Carbon(float(np.sum(self.values * grid.intensity_kg_per_kwh[idx])))
+        intensity = grid.intensity_kg_per_kwh[idx]
+        kg = float(np.sum(self.values * intensity))
+        if runtime_checks_enabled():
+            # Dimensional sanity: the integral must land between the
+            # cleanest-possible and dirtiest-possible pricing of the same
+            # energy, and be a finite non-negative mass.
+            total = self.total()
+            lo = float(np.min(intensity)) * total
+            hi = float(np.max(intensity)) * total
+            if not np.isfinite(kg) or kg < 0.0:
+                raise InvariantViolation(
+                    f"emissions integral produced an unphysical mass: {kg!r} kg"
+                )
+            if not (lo * (1 - 1e-9) - 1e-9 <= kg <= hi * (1 + 1e-9) + 1e-9):
+                raise InvariantViolation(
+                    "emissions integral escaped its intensity bounds: "
+                    f"{kg} kg outside [{lo}, {hi}] for {total} kWh"
+                )
+        return Carbon(kg)

@@ -34,3 +34,16 @@ class TelemetryError(SustainableAIError, RuntimeError):
 
 class RegistryError(SustainableAIError, KeyError):
     """An unknown experiment or catalog entry was requested."""
+
+
+class InvariantViolation(SustainableAIError, AssertionError):
+    """A physical law of the carbon accounting failed on concrete inputs.
+
+    Raised by the invariant registry (:mod:`repro.testing.invariants`) and
+    by the runtime self-checks in :mod:`repro.core` when enabled via
+    ``SUSTAINABLE_AI_CHECK_INVARIANTS=1`` / ``--check-invariants``.
+    """
+
+
+class InjectedFault(SustainableAIError, RuntimeError):
+    """A deliberately injected fault (:mod:`repro.testing.faults`)."""

@@ -80,3 +80,63 @@ class ExperimentResult:
             notes=str(payload.get("notes", "")),
             tolerances=dict(payload.get("tolerances", {})),
         )
+
+
+@dataclass(frozen=True)
+class RunRecord:
+    """Outcome of attempting one experiment in a (possibly parallel) run.
+
+    The runner never lets a single worker failure abort a fan-out: every
+    experiment resolves to a record — ``status == "ok"`` with the result
+    payload, or ``status == "failed"`` with a structured error
+    (``error_kind`` is ``exception``, ``crash``, or ``timeout``) after the
+    bounded retry budget is exhausted.
+    """
+
+    experiment_id: str
+    status: str  # "ok" | "failed"
+    attempts: int
+    payload: Mapping[str, object] | None = None
+    rendered: str | None = None
+    error_kind: str | None = None
+    error_message: str | None = None
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+    def result(self) -> ExperimentResult:
+        """The reconstructed result of a successful record."""
+        if self.payload is None:
+            raise ValueError(
+                f"experiment {self.experiment_id} failed "
+                f"({self.error_kind}); no result payload"
+            )
+        return ExperimentResult.from_payload(self.payload)
+
+    def to_payload(self) -> dict[str, object]:
+        """Stable JSON schema of this record.
+
+        Successful records serialize as the plain result payload (the
+        schema ``run --json`` has always written), so downstream
+        consumers only see the envelope fields on failures.
+        """
+        if self.ok and self.payload is not None:
+            return dict(self.payload)
+        return {
+            "experiment_id": self.experiment_id,
+            "status": self.status,
+            "attempts": self.attempts,
+            "error": {
+                "kind": self.error_kind or "exception",
+                "message": self.error_message or "",
+            },
+        }
+
+    def describe_failure(self) -> str:
+        """One-paragraph human rendering of a failed record."""
+        return (
+            f"=== {self.experiment_id}: FAILED "
+            f"({self.error_kind} after {self.attempts} attempt(s)) ===\n"
+            f"  {self.error_message}"
+        )

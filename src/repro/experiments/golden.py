@@ -43,7 +43,7 @@ class Drift:
     """One baseline violation (or structural mismatch)."""
 
     experiment_id: str
-    kind: str  # metric-drift | missing-metric | new-metric | shape | missing-baseline | stale-baseline
+    kind: str  # metric-drift | missing-metric | new-metric | shape | missing-baseline | stale-baseline | run-failure
     metric: str = ""
     expected: float | None = None
     actual: float | None = None
@@ -221,3 +221,35 @@ def compare(
                 )
 
     return VerifyReport(tuple(drifts), n_experiments=len(results), n_metrics=n_metrics)
+
+
+def merge_failures(report: VerifyReport, failed_records) -> VerifyReport:
+    """Fold failed :class:`~repro.experiments.base.RunRecord`s into a report.
+
+    A crashed/timed-out experiment produced no result, so :func:`compare`
+    would misreport its baseline as stale; this replaces those stale
+    entries with honest ``run-failure`` drifts carrying the structured
+    error, keeping `verify`'s exit nonzero and its table complete.
+    """
+    failed_ids = {record.experiment_id for record in failed_records}
+    kept = tuple(
+        d
+        for d in report.drifts
+        if not (d.kind == "stale-baseline" and d.experiment_id in failed_ids)
+    )
+    failures = tuple(
+        Drift(
+            record.experiment_id,
+            "run-failure",
+            detail=(
+                f"{record.error_kind} after {record.attempts} attempt(s): "
+                f"{record.error_message}"
+            ),
+        )
+        for record in failed_records
+    )
+    return VerifyReport(
+        kept + failures,
+        n_experiments=report.n_experiments,
+        n_metrics=report.n_metrics,
+    )

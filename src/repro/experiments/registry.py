@@ -190,20 +190,29 @@ def get_spec(experiment_id: str) -> ExperimentSpec:
         ) from None
 
 
-def stable_seed(experiment_id: str) -> int:
-    """Deterministic 32-bit seed derived from the experiment id."""
-    digest = hashlib.sha256(experiment_id.encode("utf-8")).digest()
+def stable_seed(experiment_id: str, attempt: int = 0) -> int:
+    """Deterministic 32-bit seed derived from the experiment id.
+
+    ``attempt`` salts the seed on retries (retry-with-reseed): attempt 0
+    reproduces the golden-baseline seed exactly, while a fault-driven
+    retry re-rolls the global RNG stream so a seed-correlated transient
+    failure is not replayed deterministically.
+    """
+    token = experiment_id if attempt == 0 else f"{experiment_id}#retry{attempt}"
+    digest = hashlib.sha256(token.encode("utf-8")).digest()
     return int.from_bytes(digest[:4], "big")
 
 
-def run_experiment(experiment_id: str) -> ExperimentResult:
+def run_experiment(experiment_id: str, attempt: int = 0) -> ExperimentResult:
     """Run one experiment by id.
 
     Global RNGs are seeded from the id first, so a result never depends on
-    which experiments ran before it (or in which process).
+    which experiments ran before it (or in which process).  ``attempt``
+    feeds :func:`stable_seed`'s retry salt; the first attempt (0) is the
+    canonical, baseline-pinned seeding.
     """
     spec = get_spec(experiment_id)
-    seed = stable_seed(experiment_id)
+    seed = stable_seed(experiment_id, attempt)
     random.seed(seed)
     np.random.seed(seed)
     return spec.runner()

@@ -8,6 +8,7 @@ Usage::
     sustainable-ai report results.md
     sustainable-ai verify              # diff against golden/baselines.json
     sustainable-ai verify --update     # re-snapshot the baselines
+    sustainable-ai verify --check-invariants --jobs 4
 
 ``run all``, ``report``, and ``verify`` fan experiments out across a
 process pool (``--jobs``, default ``os.cpu_count()``).  Each experiment is
@@ -15,8 +16,19 @@ deterministically seeded from its id, and results are collected in
 registry order, so parallel runs produce payloads byte-identical to
 sequential ones.
 
-Exit codes: 0 success, 1 baseline drift, 2 usage error (unknown
-experiment id, bad flag, missing baselines file).
+The fan-out degrades gracefully: a worker that raises, hard-crashes
+(breaking the process pool), or exceeds ``--timeout`` never aborts the
+whole run.  Failed experiments are retried up to ``--retries`` times with
+a reseeded RNG stream, and an experiment that exhausts its budget resolves
+to a structured error record (see
+:class:`~repro.experiments.base.RunRecord`) while the rest of the suite
+completes.  ``--check-invariants`` additionally sweeps the result-invariant
+registry (:mod:`repro.testing.invariants`) over every completed result and
+enables the runtime accounting self-checks inside the workers.
+
+Exit codes: 0 success, 1 baseline drift / experiment failure / invariant
+violation, 2 usage error (unknown experiment id, bad flag, missing
+baselines file).
 """
 
 from __future__ import annotations
@@ -27,13 +39,19 @@ import json
 import os
 import sys
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from concurrent.futures.process import BrokenProcessPool
 from pathlib import Path
 from typing import Callable, Sequence
 
-from repro.errors import RegistryError
 from repro.experiments import golden
-from repro.experiments.base import ExperimentResult
+from repro.experiments.base import ExperimentResult, RunRecord
 from repro.experiments.registry import experiment_ids, run_experiment
+
+#: Default retry budget: one reseeded retry per failed experiment.
+DEFAULT_RETRIES = 1
+
+Echo = Callable[[str], None]
 
 
 def _result_payload(result: ExperimentResult) -> dict[str, object]:
@@ -41,36 +59,171 @@ def _result_payload(result: ExperimentResult) -> dict[str, object]:
     return result.to_payload()
 
 
-def _execute(exp_id: str) -> dict[str, object]:
-    """Worker body: run one experiment, return its payload + rendering."""
-    result = run_experiment(exp_id)
+def _execute(exp_id: str, attempt: int = 0, in_worker: bool = True) -> dict[str, object]:
+    """Worker body: run one experiment, return its payload + rendering.
+
+    Fault-injection hooks (:mod:`repro.testing.faults`) fire here, before
+    dispatch, so the production retry/degradation path is what gets
+    exercised; with no faults declared in the environment both calls are
+    no-ops.
+    """
+    from repro.testing import faults
+
+    faults.install_memo_corruption()
+    faults.inject(exp_id, attempt, hard_exit=in_worker)
+    result = run_experiment(exp_id, attempt=attempt)
     return {"payload": _result_payload(result), "rendered": result.render()}
+
+
+def _failure(exc: BaseException) -> tuple[str, str]:
+    """(error_kind, message) classification of a worker failure."""
+    if isinstance(exc, FutureTimeoutError):
+        return "timeout", "experiment exceeded the per-experiment --timeout"
+    if isinstance(exc, BrokenProcessPool):
+        return "crash", "worker process died before returning a result"
+    return "exception", f"{type(exc).__name__}: {exc}"
+
+
+def _run_round_sequential(
+    pending: Sequence[str],
+    attempts: dict[str, int],
+    outputs: dict[str, dict[str, object]],
+    failures: dict[str, tuple[str, str]],
+) -> list[str]:
+    """One in-process attempt per pending experiment; returns retry list."""
+    needs_retry = []
+    for exp_id in pending:
+        try:
+            outputs[exp_id] = _execute(exp_id, attempts[exp_id], in_worker=False)
+            failures.pop(exp_id, None)
+        except Exception as exc:
+            failures[exp_id] = _failure(exc)
+            needs_retry.append(exp_id)
+        attempts[exp_id] += 1
+    return needs_retry
+
+
+def _run_round_pool(
+    pending: Sequence[str],
+    jobs: int,
+    attempts: dict[str, int],
+    outputs: dict[str, dict[str, object]],
+    failures: dict[str, tuple[str, str]],
+    timeout: float | None,
+) -> list[str]:
+    """One pooled attempt per pending experiment; returns retry list.
+
+    ``timeout`` bounds how long we wait on each experiment's future once
+    it is this experiment's turn to be collected.  A broken pool charges
+    the attempt to the experiment being awaited when the break surfaced
+    (the most likely culprit); collateral unresolved experiments are
+    resubmitted without consuming their retry budget.
+    """
+    needs_retry: list[str] = []
+    timed_out = False
+    pool = ProcessPoolExecutor(max_workers=min(jobs, len(pending)))
+    try:
+        futures = {
+            exp_id: pool.submit(_execute, exp_id, attempts[exp_id], True)
+            for exp_id in pending
+        }
+        broken = False
+        for exp_id in pending:
+            future = futures[exp_id]
+            if broken:
+                # The pool died while an earlier future was being awaited.
+                # Salvage anything that finished; everything else retries
+                # in a fresh pool without spending an attempt.
+                if future.done() and future.exception() is None:
+                    outputs[exp_id] = future.result()
+                    failures.pop(exp_id, None)
+                    attempts[exp_id] += 1
+                else:
+                    needs_retry.append(exp_id)
+                continue
+            try:
+                outputs[exp_id] = future.result(timeout=timeout)
+                failures.pop(exp_id, None)
+            except FutureTimeoutError as exc:
+                future.cancel()
+                timed_out = True
+                failures[exp_id] = _failure(exc)
+                needs_retry.append(exp_id)
+            except BrokenProcessPool as exc:
+                broken = True
+                failures[exp_id] = _failure(exc)
+                needs_retry.append(exp_id)
+            except Exception as exc:
+                failures[exp_id] = _failure(exc)
+                needs_retry.append(exp_id)
+            attempts[exp_id] += 1
+    finally:
+        # A timed-out worker may still be running its (unkillable via the
+        # executor API) task; don't block the collected results on it.
+        pool.shutdown(wait=not timed_out, cancel_futures=True)
+    return needs_retry
 
 
 def _run_many(
     exp_ids: Sequence[str],
     jobs: int,
-    echo: Callable[[str], None] | None = None,
-) -> list[dict[str, object]]:
+    echo: Echo | None = None,
+    retries: int = DEFAULT_RETRIES,
+    timeout: float | None = None,
+) -> list[RunRecord]:
     """Run experiments, fanning out across processes when ``jobs > 1``.
 
-    Results always come back in ``exp_ids`` order regardless of ``jobs``,
-    so parallel output is byte-identical to a sequential run.
+    Records always come back in ``exp_ids`` order regardless of ``jobs``,
+    so parallel output is byte-identical to a sequential run.  Every
+    experiment resolves to a :class:`RunRecord`; failures are retried with
+    a reseeded RNG stream up to ``retries`` times before a structured
+    error record is emitted in place of the result.
     """
     exp_ids = list(exp_ids)
-    outputs: list[dict[str, object]] = []
-    if jobs <= 1 or len(exp_ids) <= 1:
-        for exp_id in exp_ids:
-            outputs.append(_execute(exp_id))
-            if echo is not None:
-                echo(exp_id)
-        return outputs
-    with ProcessPoolExecutor(max_workers=min(jobs, len(exp_ids))) as pool:
-        for exp_id, output in zip(exp_ids, pool.map(_execute, exp_ids)):
-            outputs.append(output)
-            if echo is not None:
-                echo(exp_id)
-    return outputs
+    attempts = {exp_id: 0 for exp_id in exp_ids}
+    outputs: dict[str, dict[str, object]] = {}
+    failures: dict[str, tuple[str, str]] = {}
+
+    pending = list(exp_ids)
+    while pending:
+        if jobs <= 1 or len(pending) <= 1:
+            needs_retry = _run_round_sequential(pending, attempts, outputs, failures)
+        else:
+            needs_retry = _run_round_pool(
+                pending, jobs, attempts, outputs, failures, timeout
+            )
+        pending = [
+            exp_id for exp_id in needs_retry if attempts[exp_id] <= retries
+        ]
+
+    records = []
+    for exp_id in exp_ids:
+        if exp_id in outputs:
+            output = outputs[exp_id]
+            record = RunRecord(
+                experiment_id=exp_id,
+                status="ok",
+                attempts=max(1, attempts[exp_id]),
+                payload=output["payload"],  # type: ignore[arg-type]
+                rendered=output["rendered"],  # type: ignore[arg-type]
+            )
+        else:
+            kind, message = failures[exp_id]
+            record = RunRecord(
+                experiment_id=exp_id,
+                status="failed",
+                attempts=max(1, attempts[exp_id]),
+                error_kind=kind,
+                error_message=message,
+            )
+        if echo is not None:
+            echo(
+                f"ran {exp_id}"
+                if record.ok
+                else f"FAILED {exp_id} ({record.error_kind})"
+            )
+        records.append(record)
+    return records
 
 
 def _usage_error(message: str) -> int:
@@ -97,7 +250,7 @@ def _unknown_experiment(experiment: str) -> int:
     )
 
 
-def _add_jobs_flag(subparser: argparse.ArgumentParser) -> None:
+def _add_fanout_flags(subparser: argparse.ArgumentParser) -> None:
     subparser.add_argument(
         "--jobs",
         type=int,
@@ -105,6 +258,33 @@ def _add_jobs_flag(subparser: argparse.ArgumentParser) -> None:
         default=None,
         help="worker processes for fan-out (default: os.cpu_count())",
     )
+    subparser.add_argument(
+        "--retries",
+        type=int,
+        metavar="N",
+        default=DEFAULT_RETRIES,
+        help="reseeded retries per failed experiment (default: %(default)s)",
+    )
+    subparser.add_argument(
+        "--timeout",
+        type=float,
+        metavar="SECONDS",
+        default=None,
+        help="per-experiment wait bound in parallel runs (default: none)",
+    )
+
+
+def _successful_results(records: Sequence[RunRecord]) -> dict[str, ExperimentResult]:
+    return {r.experiment_id: r.result() for r in records if r.ok}
+
+
+def _check_invariants(records: Sequence[RunRecord]) -> int:
+    """Sweep result invariants over completed results; 0 if all hold."""
+    from repro.testing.invariants import check_results
+
+    report = check_results(_successful_results(records))
+    print(report.render())
+    return 0 if report.ok else 1
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -138,7 +318,7 @@ def _main(argv: list[str] | None) -> int:
     report_parser.add_argument(
         "output", nargs="?", default="results.md", help="markdown file to write"
     )
-    _add_jobs_flag(report_parser)
+    _add_fanout_flags(report_parser)
 
     run_parser = sub.add_parser("run", help="run one experiment (or 'all')")
     run_parser.add_argument("experiment", help="experiment id or 'all'")
@@ -153,7 +333,12 @@ def _main(argv: list[str] | None) -> int:
         action="store_true",
         help="suppress the rendered tables (headlines only)",
     )
-    _add_jobs_flag(run_parser)
+    run_parser.add_argument(
+        "--check-invariants",
+        action="store_true",
+        help="sweep the physical-invariant registry over the results",
+    )
+    _add_fanout_flags(run_parser)
 
     verify_parser = sub.add_parser(
         "verify", help="re-run all experiments and diff against golden baselines"
@@ -174,7 +359,12 @@ def _main(argv: list[str] | None) -> int:
         action="store_true",
         help="suppress per-experiment progress lines",
     )
-    _add_jobs_flag(verify_parser)
+    verify_parser.add_argument(
+        "--check-invariants",
+        action="store_true",
+        help="also sweep the physical-invariant registry over the results",
+    )
+    _add_fanout_flags(verify_parser)
 
     try:
         args = parser.parse_args(argv)
@@ -186,6 +376,18 @@ def _main(argv: list[str] | None) -> int:
         return _usage_error(f"--jobs must be >= 1, got {jobs}")
     if jobs is None:
         jobs = os.cpu_count() or 1
+    retries = getattr(args, "retries", DEFAULT_RETRIES)
+    if retries < 0:
+        return _usage_error(f"--retries must be >= 0, got {retries}")
+    timeout = getattr(args, "timeout", None)
+    if timeout is not None and timeout <= 0:
+        return _usage_error(f"--timeout must be positive, got {timeout}")
+    if getattr(args, "check_invariants", False):
+        # Workers inherit the environment, so the runtime self-checks in
+        # repro.core fire inside every experiment as well.
+        from repro.core.series import CHECK_ENV_VAR
+
+        os.environ[CHECK_ENV_VAR] = "1"
 
     if args.command == "list":
         for exp_id in experiment_ids():
@@ -201,14 +403,23 @@ def _main(argv: list[str] | None) -> int:
             "experiment: headline metrics, then the figure's rows.",
             "",
         ]
-        outputs = _run_many(
-            experiment_ids(), jobs, echo=lambda exp_id: print(f"ran {exp_id}")
+        records = _run_many(
+            experiment_ids(), jobs, echo=print, retries=retries, timeout=timeout
         )
-        for output in outputs:
-            payload = output["payload"]
+        for record in records:
+            if not record.ok:
+                lines.append(f"## {record.experiment_id} — FAILED")
+                lines.append("")
+                lines.append(
+                    f"> {record.error_kind} after {record.attempts} attempt(s): "
+                    f"{record.error_message}"
+                )
+                lines.append("")
+                continue
+            payload = record.payload or {}
             lines.append(f"## {payload['experiment_id']} — {payload['title']}")
             lines.append("")
-            for key, value in payload["headline"].items():
+            for key, value in payload["headline"].items():  # type: ignore[union-attr]
                 lines.append(f"- **{key}**: {value:,.4g}")
             if payload["notes"]:
                 lines.append("")
@@ -216,45 +427,54 @@ def _main(argv: list[str] | None) -> int:
             lines.append("")
         path.write_text("\n".join(lines))
         print(f"wrote {path}")
-        return 0
+        return 0 if all(r.ok for r in records) else 1
 
     if args.command == "run":
         targets = _resolve_targets(args.experiment)
         if targets is None:
             return _unknown_experiment(args.experiment)
-        try:
-            outputs = _run_many(targets, jobs)
-        except RegistryError as exc:
-            return _usage_error(str(exc.args[0] if exc.args else exc))
-        for output in outputs:
-            payload = output["payload"]
-            if args.quiet:
+        records = _run_many(targets, jobs, retries=retries, timeout=timeout)
+        for record in records:
+            if not record.ok:
+                print(record.describe_failure())
+            elif args.quiet:
+                payload = record.payload or {}
                 print(f"=== {payload['experiment_id']}: {payload['title']} ===")
-                for key, value in payload["headline"].items():
+                for key, value in payload["headline"].items():  # type: ignore[union-attr]
                     print(f"  {key}: {value:,.4g}")
             else:
-                print(output["rendered"])
+                print(record.rendered)
             print()
         if args.json:
             path = Path(args.json)
-            payloads = [output["payload"] for output in outputs]
+            payloads = [record.to_payload() for record in records]
             path.write_text(json.dumps(payloads, indent=2, sort_keys=True))
             print(f"wrote {len(payloads)} result(s) to {path}")
-        return 0
+        status = 0 if all(r.ok for r in records) else 1
+        if args.check_invariants:
+            status = max(status, _check_invariants(records))
+        return status
 
     # -- verify ------------------------------------------------------------
     baselines_path = (
         Path(args.baselines) if args.baselines else golden.DEFAULT_BASELINES_PATH
     )
-    echo = None if args.quiet else (lambda exp_id: print(f"ran {exp_id}"))
-    outputs = _run_many(experiment_ids(), jobs, echo=echo)
-    results = {
-        output["payload"]["experiment_id"]: ExperimentResult.from_payload(
-            output["payload"]
-        )
-        for output in outputs
-    }
+    echo = None if args.quiet else print
+    records = _run_many(
+        experiment_ids(), jobs, echo=echo, retries=retries, timeout=timeout
+    )
+    failed = [r for r in records if not r.ok]
+    results = _successful_results(records)
     if args.update:
+        if failed:
+            for record in failed:
+                print(record.describe_failure(), file=sys.stderr)
+            print(
+                f"error: refusing to update baselines: {len(failed)} "
+                "experiment(s) failed",
+                file=sys.stderr,
+            )
+            return 1
         golden.write_baselines(baselines_path, golden.build_baselines(results))
         print(f"wrote {len(results)} baseline(s) to {baselines_path}")
         return 0
@@ -262,9 +482,12 @@ def _main(argv: list[str] | None) -> int:
         baselines = golden.load_baselines(baselines_path)
     except golden.BaselineError as exc:
         return _usage_error(str(exc.args[0] if exc.args else exc))
-    report = golden.compare(baselines, results)
+    report = golden.merge_failures(golden.compare(baselines, results), failed)
     print(report.render())
-    return 0 if report.ok else 1
+    status = 0 if report.ok else 1
+    if args.check_invariants:
+        status = max(status, _check_invariants(records))
+    return status
 
 
 if __name__ == "__main__":

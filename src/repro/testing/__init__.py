@@ -1,0 +1,41 @@
+"""First-class verification subsystem: strategies, invariants, faults.
+
+Three layers of executable correctness guarantees for the accounting
+engine and the experiment runner:
+
+* :mod:`repro.testing.strategies` — a Hypothesis strategy library that
+  generates valid accounting substrates (hourly series, grid traces,
+  accounting contexts, deferrable-job batches, experiment streams) for
+  property-based testing;
+* :mod:`repro.testing.invariants` — a registry of named, machine-checkable
+  physical laws (energy conservation, operational + embodied additivity,
+  monotonicity, metamorphic relations).  Substrate invariants run as a
+  Hypothesis property suite; result invariants sweep every registered
+  experiment's headline metrics via ``sustainable-ai ... --check-invariants``;
+* :mod:`repro.testing.faults` — an injectable fault harness (worker crash,
+  raise, timeout, memo-cache corruption) for hardening the parallel runner.
+
+Only :mod:`~repro.testing.strategies` and :mod:`~repro.testing.profiles`
+require the ``hypothesis`` dev extra; the invariant registry and the fault
+harness are importable with the runtime dependencies alone.
+"""
+
+from repro.testing.invariants import (
+    InvariantViolation,
+    InvariantReport,
+    Violation,
+    check_result,
+    check_results,
+    result_invariant_names,
+    substrate_invariant_names,
+)
+
+__all__ = [
+    "InvariantViolation",
+    "InvariantReport",
+    "Violation",
+    "check_result",
+    "check_results",
+    "result_invariant_names",
+    "substrate_invariant_names",
+]

@@ -1,0 +1,54 @@
+"""Registered Hypothesis settings profiles for the property suite.
+
+Two profiles, both registered by :func:`register_profiles`:
+
+* ``repro-deterministic`` — the CI/tier-1 default: derandomized (the
+  example stream is a pure function of the test, not of a random seed or
+  an example database), a bounded example budget, and ``deadline=None``
+  (wall-clock deadlines are a flakiness source on shared CI runners).
+* ``repro-thorough`` — a larger randomized budget for local deep runs:
+  ``HYPOTHESIS_PROFILE=repro-thorough pytest -m property``.
+
+``tests/conftest.py`` calls :func:`load_default_profile` at collection
+time, so plain ``pytest`` runs are reproducible without any environment
+setup.
+"""
+
+from __future__ import annotations
+
+import os
+
+from hypothesis import HealthCheck, settings
+
+#: Name of the profile loaded when ``HYPOTHESIS_PROFILE`` is unset.
+DEFAULT_PROFILE = "repro-deterministic"
+
+#: Environment variable that overrides the profile choice.
+PROFILE_ENV_VAR = "HYPOTHESIS_PROFILE"
+
+
+def register_profiles() -> tuple[str, ...]:
+    """Register both profiles; returns their names (idempotent)."""
+    settings.register_profile(
+        "repro-deterministic",
+        derandomize=True,
+        max_examples=30,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    settings.register_profile(
+        "repro-thorough",
+        derandomize=False,
+        max_examples=300,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    return ("repro-deterministic", "repro-thorough")
+
+
+def load_default_profile() -> str:
+    """Register profiles and load the env-selected (or default) one."""
+    register_profiles()
+    name = os.environ.get(PROFILE_ENV_VAR, DEFAULT_PROFILE)
+    settings.load_profile(name)
+    return name

@@ -1,0 +1,218 @@
+"""Hypothesis strategies for valid accounting substrates.
+
+Every strategy here produces objects that satisfy the library's own
+validation (non-negative finite hourly values, PUE >= 1, deadlines that
+fit durations, ...), so property tests explore the *interior* of the
+valid input space instead of fighting constructor errors.  The property
+suite in ``tests/test_invariants_property.py`` maps the named invariants
+of :mod:`repro.testing.invariants` over these generators.
+
+Magnitudes are bounded (hourly values up to ~1e6 kWh, horizons up to a
+few hundred hours) so a single example stays microseconds-cheap; the laws
+being checked are scale-free, so bounded magnitudes lose no generality.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import strategies as st
+
+from repro.carbon.embodied import AmortizationPolicy
+from repro.carbon.grid import GridTrace, constant_grid_trace, synthesize_grid_trace
+from repro.carbon.intensity import CarbonIntensity
+from repro.core.context import AccountingContext
+from repro.core.series import HourlySeries
+from repro.lifecycle.jobs import EXPERIMENTATION_JOBS
+from repro.scheduling.jobs import DeferrableJob
+from repro.workloads.traces import ExperimentStream, experiment_arrivals
+
+#: Bounds shared by the value-level strategies.
+MAX_HOURS = 240
+MAX_KWH_PER_HOUR = 1e6
+MAX_INTENSITY = 1.5  # kgCO2e/kWh — dirtier than any real grid
+
+
+def finite_floats(
+    min_value: float = 0.0, max_value: float = MAX_KWH_PER_HOUR
+) -> st.SearchStrategy[float]:
+    """Finite, non-NaN floats in ``[min_value, max_value]``."""
+    return st.floats(
+        min_value=min_value,
+        max_value=max_value,
+        allow_nan=False,
+        allow_infinity=False,
+    )
+
+
+def hour_counts(
+    min_hours: int = 1, max_hours: int = MAX_HOURS
+) -> st.SearchStrategy[int]:
+    """Series/trace lengths in hours."""
+    return st.integers(min_value=min_hours, max_value=max_hours)
+
+
+@st.composite
+def hourly_arrays(
+    draw,
+    min_hours: int = 1,
+    max_hours: int = MAX_HOURS,
+    min_value: float = 0.0,
+    max_value: float = MAX_KWH_PER_HOUR,
+) -> np.ndarray:
+    """A 1-D array of valid hourly magnitudes."""
+    n = draw(hour_counts(min_hours, max_hours))
+    values = draw(
+        st.lists(finite_floats(min_value, max_value), min_size=n, max_size=n)
+    )
+    return np.array(values, dtype=float)
+
+
+@st.composite
+def hourly_series(
+    draw,
+    min_hours: int = 1,
+    max_hours: int = MAX_HOURS,
+    max_value: float = MAX_KWH_PER_HOUR,
+) -> HourlySeries:
+    """A valid :class:`~repro.core.series.HourlySeries`."""
+    return HourlySeries(draw(hourly_arrays(min_hours, max_hours, 0.0, max_value)))
+
+
+@st.composite
+def aligned_series(
+    draw, count: int = 2, min_hours: int = 1, max_hours: int = MAX_HOURS
+) -> tuple[HourlySeries, ...]:
+    """``count`` series sharing one horizon (safe to add elementwise)."""
+    n = draw(hour_counts(min_hours, max_hours))
+    return tuple(
+        HourlySeries(draw(hourly_arrays(n, n))) for _ in range(count)
+    )
+
+
+def carbon_intensities(
+    min_value: float = 1e-3, max_value: float = MAX_INTENSITY
+) -> st.SearchStrategy[CarbonIntensity]:
+    """Static grid intensities (kgCO2e/kWh), strictly positive."""
+    return finite_floats(min_value, max_value).map(
+        lambda kg: CarbonIntensity(kg, "generated")
+    )
+
+
+@st.composite
+def grid_traces(
+    draw,
+    min_hours: int = 1,
+    max_hours: int = MAX_HOURS,
+    kind: str = "any",
+) -> GridTrace:
+    """An hourly grid trace.
+
+    ``kind`` selects the generator family: ``"raw"`` draws an arbitrary
+    positive intensity array (widest coverage), ``"synthetic"`` uses the
+    seeded solar/wind synthesizer (realistic structure), ``"constant"``
+    the flat baseline, and ``"any"`` mixes all three.
+    """
+    if kind == "any":
+        kind = draw(st.sampled_from(("raw", "synthetic", "constant")))
+    if kind == "raw":
+        intensity = draw(hourly_arrays(min_hours, max_hours, 1e-3, MAX_INTENSITY))
+        zeros = np.zeros(len(intensity))
+        return GridTrace(
+            solar_share=zeros, wind_share=zeros, intensity_kg_per_kwh=intensity
+        )
+    hours = draw(hour_counts(min_hours, max_hours))
+    if kind == "synthetic":
+        return synthesize_grid_trace(hours, seed=draw(st.integers(0, 2**16)))
+    if kind == "constant":
+        return constant_grid_trace(draw(carbon_intensities()), hours)
+    raise ValueError(f"unknown grid kind {kind!r}")
+
+
+def amortization_policies() -> st.SearchStrategy[AmortizationPolicy]:
+    """Valid embodied-amortization policies."""
+    return st.builds(
+        AmortizationPolicy,
+        lifetime_years=finite_floats(0.5, 10.0),
+        average_utilization=finite_floats(0.05, 1.0),
+        devices_per_server=finite_floats(1.0, 16.0),
+        infrastructure_factor=finite_floats(1.0, 2.0),
+    )
+
+
+@st.composite
+def accounting_contexts(
+    draw,
+    min_hours: int = 1,
+    max_hours: int = MAX_HOURS,
+    source: str = "any",
+) -> AccountingContext:
+    """A valid context: grid XOR static intensity, PUE >= 1, a policy.
+
+    ``source`` forces the operational driver: ``"grid"``, ``"static"``,
+    or ``"any"``.
+    """
+    if source == "any":
+        source = draw(st.sampled_from(("grid", "static")))
+    kwargs: dict[str, object] = {
+        "pue": draw(finite_floats(1.0, 2.5)),
+        "amortization": draw(amortization_policies()),
+    }
+    if source == "grid":
+        kwargs["grid"] = draw(grid_traces(min_hours, max_hours))
+    else:
+        kwargs["intensity"] = draw(carbon_intensities())
+    return AccountingContext(**kwargs)
+
+
+@st.composite
+def deferrable_jobs(
+    draw,
+    horizon_hours: int = 168,
+    min_jobs: int = 1,
+    max_jobs: int = 12,
+) -> list[DeferrableJob]:
+    """A batch of valid deferrable jobs fitting inside ``horizon_hours``."""
+    n = draw(st.integers(min_jobs, max_jobs))
+    jobs = []
+    for i in range(n):
+        duration = draw(st.integers(1, max(1, horizon_hours // 4)))
+        submit = draw(st.integers(0, horizon_hours - duration))
+        deadline = draw(st.integers(submit + duration, horizon_hours))
+        jobs.append(
+            DeferrableJob(
+                job_id=i,
+                submit_hour=submit,
+                duration_hours=duration,
+                power_kw=draw(finite_floats(0.5, 500.0)),
+                deadline_hour=deadline,
+            )
+        )
+    return jobs
+
+
+@st.composite
+def experiment_streams(
+    draw,
+    max_jobs_per_day: int = 40,
+    max_days: int = 5,
+) -> ExperimentStream:
+    """A seeded Poisson research-job arrival stream (may be empty)."""
+    return experiment_arrivals(
+        EXPERIMENTATION_JOBS,
+        jobs_per_day=draw(st.integers(1, max_jobs_per_day)),
+        days=draw(st.integers(1, max_days)),
+        seed=draw(st.integers(0, 2**16)),
+    )
+
+
+@st.composite
+def fleet_configs(draw) -> dict[str, int]:
+    """Sizing knobs for :class:`~repro.fleet.simulator.FleetSimulator`.
+
+    Returned as kwargs (``training_gpus``, ``inference_servers``) so the
+    caller can compose them with SKU/datacenter/grid choices.
+    """
+    return {
+        "training_gpus": draw(st.integers(8, 1024)),
+        "inference_servers": draw(st.integers(1, 500)),
+    }

@@ -1,8 +1,23 @@
-"""Shared fixtures: the full experiment suite runs once per session."""
+"""Shared fixtures and test-session configuration.
+
+Loads the deterministic Hypothesis profile (``repro-deterministic``,
+derandomized with a bounded example budget) so the property suite is
+reproducible in CI; select another profile with
+``HYPOTHESIS_PROFILE=repro-thorough``.  Hypothesis is a dev-only
+dependency — when it is absent the property tests themselves are
+skipped by their own import, so profile loading degrades silently.
+"""
 
 import pytest
 
 from repro.experiments.registry import experiment_ids, run_experiment
+
+try:
+    from repro.testing.profiles import load_default_profile
+except ImportError:  # pragma: no cover - hypothesis not installed
+    pass
+else:
+    load_default_profile()
 
 
 @pytest.fixture(scope="session")

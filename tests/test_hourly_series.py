@@ -464,3 +464,29 @@ def test_carbon_integration_lives_only_in_core():
         "hourly kWh x intensity multiplication outside repro/core/ "
         "(route it through HourlySeries.emissions):\n" + "\n".join(offenders)
     )
+
+
+HOURS_PER_YEAR_LITERAL = re.compile(r"\b8766\b|\b8760\b")
+
+
+def test_hours_per_year_literal_lives_only_in_units():
+    """No module hardcodes hours-per-year (8766 Julian / 8760 calendar).
+
+    Annualized accounting must go through ``repro.units.HOURS_PER_YEAR``
+    so every amortization uses the same year convention; an inline
+    literal would silently reintroduce the calendar-vs-Julian mismatch
+    the unification PR removed.
+    """
+    src = Path(__file__).resolve().parents[1] / "src" / "repro"
+    units = src / "units.py"
+    offenders = []
+    for path in sorted(src.rglob("*.py")):
+        if path == units:
+            continue
+        for lineno, line in enumerate(path.read_text().splitlines(), start=1):
+            if HOURS_PER_YEAR_LITERAL.search(line):
+                offenders.append(f"{path.relative_to(src)}:{lineno}: {line.strip()}")
+    assert not offenders, (
+        "hours-per-year literal outside repro/core/units.py "
+        "(use the shared HOURS_PER_YEAR constant):\n" + "\n".join(offenders)
+    )

@@ -1,0 +1,299 @@
+"""Hypothesis property suite: the named physical invariants on generated substrates.
+
+Each test maps one named invariant from
+:mod:`repro.testing.invariants` over the substrate generators in
+:mod:`repro.testing.strategies`; the deterministic Hypothesis profile
+(registered via ``tests/conftest.py``) keeps the example stream
+reproducible in CI.  The suite carries the ``property`` marker so the CI
+fast job can exclude it and the property job can run it alone.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.series import CHECK_ENV_VAR, HourlySeries
+from repro.errors import InvariantViolation
+from repro.experiments.base import ExperimentResult
+from repro.testing import strategies as strat
+from repro.testing.invariants import (
+    RESULT_INVARIANTS,
+    SUBSTRATE_INVARIANTS,
+    check_amortization_linearity,
+    check_carbon_aware_never_worse,
+    check_emissions_additivity,
+    check_emissions_bounds,
+    check_emissions_linear_in_intensity,
+    check_emissions_linear_in_load,
+    check_emissions_monotone_in_intensity,
+    check_emissions_monotone_in_load,
+    check_energy_additivity,
+    check_fifo_busy_conservation,
+    check_integration_exactness,
+    check_pue_amplification,
+    check_result,
+    check_results,
+    check_saving_scale_invariance,
+    check_static_grid_equivalence,
+    check_total_footprint_additivity,
+    check_trace_doubling,
+    result_invariant_names,
+    substrate_invariant_names,
+)
+
+pytestmark = pytest.mark.property
+
+scale_factors = st.floats(
+    min_value=0.0, max_value=50.0, allow_nan=False, allow_infinity=False
+)
+
+
+class TestRegistry:
+    def test_at_least_ten_named_substrate_invariants(self):
+        # The acceptance bar: >= 10 named physical laws run as properties.
+        assert len(substrate_invariant_names()) >= 10
+        assert set(substrate_invariant_names()) == set(SUBSTRATE_INVARIANTS)
+
+    def test_result_invariants_registered(self):
+        assert len(result_invariant_names()) >= 4
+        assert set(result_invariant_names()) == set(RESULT_INVARIANTS)
+
+    def test_invariant_functions_carry_their_names(self):
+        for name, func in SUBSTRATE_INVARIANTS.items():
+            assert func.invariant_name == name
+        for name, func in RESULT_INVARIANTS.items():
+            assert func.invariant_name == name
+
+
+class TestConservation:
+    @given(strat.aligned_series(count=2))
+    def test_energy_conservation_additivity(self, pair):
+        check_energy_additivity(*pair)
+
+    @given(st.data())
+    def test_emissions_additivity(self, data):
+        a, b = data.draw(strat.aligned_series(count=2))
+        grid = data.draw(strat.grid_traces())
+        check_emissions_additivity(a, b, grid)
+
+    @given(strat.hourly_series())
+    def test_integration_exactness(self, series):
+        check_integration_exactness(series)
+
+    @given(
+        strat.accounting_contexts(),
+        strat.hourly_series(max_hours=96),
+        st.floats(min_value=1.0, max_value=5000.0),
+        st.floats(min_value=0.0, max_value=1e6),
+    )
+    def test_operational_embodied_additivity(
+        self, context, series, manufacturing_kg, server_hours
+    ):
+        check_total_footprint_additivity(
+            context, series, manufacturing_kg, server_hours
+        )
+
+    @given(
+        strat.amortization_policies(),
+        st.floats(min_value=1.0, max_value=5000.0),
+        st.floats(min_value=0.0, max_value=1e5),
+        st.floats(min_value=0.0, max_value=1e5),
+    )
+    def test_embodied_amortization_linearity(self, policy, kg, h1, h2):
+        check_amortization_linearity(policy, kg, h1, h2)
+
+    @given(st.data())
+    def test_fifo_busy_gpu_conservation(self, data):
+        stream = data.draw(strat.experiment_streams(max_jobs_per_day=25, max_days=3))
+        total_gpus = data.draw(st.integers(min_value=32, max_value=256))
+        horizon = data.draw(st.integers(min_value=24, max_value=96))
+        check_fifo_busy_conservation(stream, total_gpus, horizon)
+
+
+class TestLinearityAndMonotonicity:
+    @given(st.data())
+    def test_emissions_linear_in_load(self, data):
+        series = data.draw(strat.hourly_series())
+        grid = data.draw(strat.grid_traces())
+        factor = data.draw(scale_factors)
+        check_emissions_linear_in_load(series, grid, factor)
+
+    @given(st.data())
+    def test_emissions_linear_in_intensity(self, data):
+        series = data.draw(strat.hourly_series())
+        grid = data.draw(strat.grid_traces())
+        factor = data.draw(scale_factors)
+        check_emissions_linear_in_intensity(series, grid, factor)
+
+    @given(st.data())
+    def test_emissions_monotone_in_intensity(self, data):
+        series = data.draw(strat.hourly_series())
+        grid = data.draw(strat.grid_traces())
+        bump = data.draw(strat.hourly_arrays(1, len(grid), 0.0, 1.0))
+        check_emissions_monotone_in_intensity(series, grid, bump)
+
+    @given(st.data())
+    def test_emissions_monotone_in_load(self, data):
+        series, extra = data.draw(strat.aligned_series(count=2))
+        grid = data.draw(strat.grid_traces())
+        check_emissions_monotone_in_load(series, extra, grid)
+
+    @given(st.data())
+    def test_pue_amplification(self, data):
+        context = data.draw(strat.accounting_contexts())
+        horizon = len(context.grid) if context.grid is not None else 48
+        series = data.draw(strat.hourly_series(max_hours=min(horizon, 96)))
+        check_pue_amplification(context, series)
+
+    @given(st.data())
+    def test_emissions_bounded_by_intensity_extremes(self, data):
+        series = data.draw(strat.hourly_series())
+        grid = data.draw(strat.grid_traces())
+        check_emissions_bounds(series, grid)
+
+
+class TestUnitConsistencyAndMetamorphic:
+    @given(st.data())
+    def test_static_grid_equivalence(self, data):
+        series = data.draw(strat.hourly_series(max_hours=96))
+        intensity = data.draw(strat.carbon_intensities())
+        check_static_grid_equivalence(series, intensity)
+
+    @given(st.data())
+    def test_trace_doubling_doubles_energy(self, data):
+        series = data.draw(strat.hourly_series(max_hours=96))
+        # Horizon-aligned grid exercises the emissions-doubling branch.
+        grid = data.draw(strat.grid_traces(len(series), len(series)))
+        check_trace_doubling(series, grid)
+
+    @given(st.data())
+    def test_carbon_aware_never_worse_than_fifo(self, data):
+        horizon = data.draw(st.integers(min_value=24, max_value=168))
+        jobs = data.draw(strat.deferrable_jobs(horizon_hours=horizon, max_jobs=8))
+        grid = data.draw(strat.grid_traces(1, horizon))
+        check_carbon_aware_never_worse(jobs, grid, horizon)
+
+    @given(st.data())
+    def test_saving_invariant_under_intensity_scaling(self, data):
+        horizon = data.draw(st.integers(min_value=24, max_value=120))
+        jobs = data.draw(strat.deferrable_jobs(horizon_hours=horizon, max_jobs=6))
+        grid = data.draw(strat.grid_traces(1, horizon))
+        factor = data.draw(st.floats(min_value=0.1, max_value=10.0))
+        check_saving_scale_invariance(jobs, grid, horizon, factor)
+
+
+class TestInvariantsCanActuallyFail:
+    """The harness is falsifiable: broken laws raise, bad results report."""
+
+    def test_broken_reduction_is_caught(self, monkeypatch):
+        series = HourlySeries(np.array([1.0, 2.0, 3.0]))
+        monkeypatch.setattr(HourlySeries, "total", lambda self: 42.0)
+        with pytest.raises(InvariantViolation):
+            check_integration_exactness(series)
+
+    def test_result_invariants_flag_bad_metrics(self):
+        bad = ExperimentResult(
+            experiment_id="synthetic",
+            title="synthetic bad result",
+            headline={
+                "broken_kg": -1.0,
+                "broken_fraction": 1.5,
+                "broken_metric": float("nan"),
+            },
+        )
+        violations = check_result(bad)
+        flagged = {v.invariant for v in violations}
+        assert "nonnegative-physical-metrics" in flagged
+        assert "shares-bounded-by-one" in flagged
+        assert "finite-headline-metrics" in flagged
+
+    def test_empty_headline_is_flagged(self):
+        bare = ExperimentResult(experiment_id="x", title="t", headline={})
+        assert any(
+            v.invariant == "nonempty-identity" for v in check_result(bare)
+        )
+
+    def test_report_renders_and_counts(self):
+        good = ExperimentResult("a", "ok", {"clean_kg": 1.0})
+        bad = ExperimentResult("b", "bad", {"dirty_kg": -2.0})
+        report = check_results({"a": good, "b": bad})
+        assert not report.ok
+        assert report.n_experiments == 2
+        assert "VIOLATED" in report.render()
+        ok_report = check_results([good])
+        assert ok_report.ok
+        assert "OK" in ok_report.render()
+
+
+class TestRuntimeHooks:
+    """The --check-invariants runtime self-checks in repro.core."""
+
+    def test_emissions_self_check_passes_on_valid_grid(self, monkeypatch):
+        monkeypatch.setenv(CHECK_ENV_VAR, "1")
+        from repro.carbon.grid import synthesize_grid_trace
+
+        series = HourlySeries(np.linspace(0.0, 5.0, 48))
+        grid = synthesize_grid_trace(48, seed=11)
+        assert series.emissions(grid).kg >= 0.0
+
+    def test_emissions_self_check_catches_unphysical_intensity(self, monkeypatch):
+        # GridTrace does not itself forbid negative intensities; the
+        # runtime invariant check is what catches the unphysical mass.
+        monkeypatch.setenv(CHECK_ENV_VAR, "1")
+        from repro.carbon.grid import GridTrace
+
+        bad_grid = GridTrace(
+            solar_share=np.zeros(4),
+            wind_share=np.zeros(4),
+            intensity_kg_per_kwh=np.array([-0.5, -0.5, -0.5, -0.5]),
+        )
+        series = HourlySeries(np.ones(4))
+        with pytest.raises(InvariantViolation):
+            series.emissions(bad_grid)
+
+    def test_operational_self_check_passes(self, monkeypatch):
+        monkeypatch.setenv(CHECK_ENV_VAR, "1")
+        from repro.carbon.intensity import US_AVERAGE
+        from repro.core.context import AccountingContext
+
+        context = AccountingContext(intensity=US_AVERAGE, pue=1.3)
+        assert context.operational(HourlySeries.constant(2.0, 24)).kg > 0.0
+
+    def test_checks_off_by_default(self, monkeypatch):
+        monkeypatch.delenv(CHECK_ENV_VAR, raising=False)
+        from repro.core.series import runtime_checks_enabled
+
+        assert not runtime_checks_enabled()
+        monkeypatch.setenv(CHECK_ENV_VAR, "1")
+        assert runtime_checks_enabled()
+
+
+class TestStrategiesProduceValidSubstrates:
+    """The strategy library only generates constructor-valid objects."""
+
+    @given(strat.hourly_series())
+    def test_series_valid(self, series):
+        assert len(series) >= 1
+        assert np.all(series.values >= 0.0)
+
+    @given(strat.grid_traces())
+    def test_grids_valid(self, grid):
+        assert len(grid) >= 1
+        assert np.all(np.isfinite(grid.intensity_kg_per_kwh))
+
+    @given(strat.accounting_contexts())
+    def test_contexts_valid(self, context):
+        assert (context.grid is None) != (context.intensity is None)
+        assert context.pue >= 1.0
+
+    @given(strat.deferrable_jobs(horizon_hours=100))
+    def test_jobs_fit_horizon(self, jobs):
+        for job in jobs:
+            assert job.submit_hour + job.duration_hours <= job.deadline_hour <= 100
+
+    @given(strat.fleet_configs())
+    def test_fleet_configs_instantiate(self, config):
+        from repro.fleet.simulator import FleetSimulator
+
+        sim = FleetSimulator(**config)
+        assert sim.training_gpus == config["training_gpus"]
