@@ -4,13 +4,50 @@ Each bench regenerates one paper figure/experiment via the experiment
 registry, times it with pytest-benchmark, and prints the same rows/series
 the paper reports (run with ``pytest benchmarks/ --benchmark-only -s`` to
 see them inline).
+
+Machine-readable output: passing ``--json PATH`` to any benchmark run
+collects every measurement (experiment timings from ``bench``, kernel
+reference-vs-vectorized timings from ``bench_kernels.py``) into one JSON
+document written at session end.  ``BENCH_4.json`` in this directory is a
+committed baseline assembled from that output — see
+``docs/PERFORMANCE.md`` for how to read and refresh it.
 """
 
 from __future__ import annotations
 
+import json
+from pathlib import Path
+
 import pytest
 
 from repro.experiments.registry import run_experiment
+
+#: Measurements accumulated for ``--json`` (name -> row of numbers).
+_JSON_RESULTS: dict[str, dict[str, object]] = {}
+
+
+def pytest_addoption(parser):
+    group = parser.getgroup("sustainable-ai benchmarks")
+    group.addoption(
+        "--json",
+        dest="sustainable_ai_bench_json",
+        metavar="PATH",
+        default=None,
+        help="write all benchmark measurements to PATH as JSON",
+    )
+
+
+def pytest_sessionfinish(session, exitstatus):
+    path = session.config.getoption("sustainable_ai_bench_json", None)
+    if not path or not _JSON_RESULTS:
+        return
+    doc = {"measurements": dict(sorted(_JSON_RESULTS.items()))}
+    Path(path).write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+
+
+def record_measurement(name: str, **row: object) -> None:
+    """Add one named measurement row to the ``--json`` document."""
+    _JSON_RESULTS[name] = dict(row)
 
 
 def bench_experiment(benchmark, experiment_id: str, rounds: int = 1) -> None:
@@ -18,8 +55,27 @@ def bench_experiment(benchmark, experiment_id: str, rounds: int = 1) -> None:
     result = benchmark.pedantic(
         run_experiment, args=(experiment_id,), rounds=rounds, iterations=1
     )
+    stats = getattr(getattr(benchmark, "stats", None), "stats", None)
+    if stats is not None:  # absent under --benchmark-disable (smoke mode)
+        record_measurement(
+            f"experiment:{experiment_id}",
+            min_s=float(stats.min),
+            mean_s=float(stats.mean),
+            rounds=rounds,
+        )
     print()
     print(result.render())
+
+
+@pytest.fixture
+def record():
+    """The :func:`record_measurement` hook, bound to this session's store.
+
+    Tests must use this fixture rather than importing the function — a
+    direct import would load a *second* ``conftest`` module instance with
+    its own (never-written) measurement dict.
+    """
+    return record_measurement
 
 
 @pytest.fixture

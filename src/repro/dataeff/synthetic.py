@@ -17,6 +17,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.core.memo import memoized_substrate
 from repro.errors import UnitError
 
 
@@ -122,6 +123,7 @@ class LatentFactorWorld:
         angle = self.drift_per_year * t_years
         return np.cos(angle) * V + np.sin(angle) * V_alt
 
+    @memoized_substrate
     def sample(
         self,
         n_interactions: int = 60_000,
@@ -136,6 +138,11 @@ class LatentFactorWorld:
         earlier preferences and therefore mis-predicts later ones — the
         half-life mechanism.  Factor draws use only the world seed, so
         snapshots from different calls share one ground truth.
+
+        Memoized (both tiers): the dataset is the single most expensive
+        substrate in the suite, and identical worlds/windows recur across
+        the sampling, half-life, and SDC experiments.  Returned arrays are
+        frozen; ``np.array(...)`` them for a mutable copy.
         """
         if n_interactions <= 0 or window_years <= 0:
             raise UnitError("interactions and window must be positive")
@@ -157,15 +164,28 @@ class LatentFactorWorld:
             self.n_items, size=(n_interactions, n_candidates), p=pop_weights
         )
         sharpness = 3.0  # concentrates picks on the truly-preferred items
+        # One pre-drawn uniform per pick replaces the per-row
+        # ``rng.choice(n_candidates, p=probs)`` call bit-exactly: a single
+        # weighted Generator.choice consumes exactly one double and picks
+        # ``searchsorted(normalized cdf, u, side="right")``, which is what
+        # the loop body below replays without the per-call Generator
+        # overhead.  The drift rotation is likewise hoisted out of the
+        # loop (elementwise cos/sin over the time axis is bit-identical to
+        # the former scalar-per-row evaluation).
+        pick_uniforms = rng.random(n_interactions)
+        angles = self.drift_per_year * (time_offset_years + times)
+        cos_a = np.cos(angles)
+        sin_a = np.sin(angles)
+        root_factors = np.sqrt(self.n_factors)
         for i in range(n_interactions):
-            u = users[i]
-            angle = self.drift_per_year * (time_offset_years + times[i])
             cand = candidates[i]
-            V_t = np.cos(angle) * V[cand] + np.sin(angle) * V_alt[cand]
-            scores = sharpness * (U[u] @ V_t.T) * np.sqrt(self.n_factors)
+            V_t = cos_a[i] * V[cand] + sin_a[i] * V_alt[cand]
+            scores = sharpness * (U[users[i]] @ V_t.T) * root_factors
             probs = np.exp(scores - scores.max())
             probs /= probs.sum()
-            items[i] = cand[rng.choice(n_candidates, p=probs)]
+            cdf = probs.cumsum()
+            cdf /= cdf[-1]
+            items[i] = cand[cdf.searchsorted(pick_uniforms[i], side="right")]
 
         return InteractionDataset(
             self.n_users,

@@ -50,7 +50,48 @@ def run_sync(
     cohort_size: int = 64,
     seed: int = 0,
 ) -> FLRunOutcome:
-    """Synchronous FedAvg: rounds gated by the slowest cohort member."""
+    """Synchronous FedAvg: rounds gated by the slowest cohort member.
+
+    The per-round ``rng.choice`` calls stay in a loop (without-replacement
+    sampling is stateful, so its draw order cannot be batched), but the
+    per-round straggler maxima and cohort energy sums are computed in one
+    2-D gather.  Per-round values are then accumulated sequentially so the
+    float totals match :func:`_reference_run_sync` bit-for-bit.
+    """
+    if target_updates <= 0 or cohort_size <= 0:
+        raise UnitError("updates and cohort must be positive")
+    rng = np.random.default_rng(seed)
+    times = population.round_time_s()
+    energy_j = population.round_energy_j()
+
+    rounds = int(np.ceil(target_updates / cohort_size))
+    cohorts = np.stack(
+        [rng.choice(len(population), cohort_size, replace=False) for _ in range(rounds)]
+    )
+    round_walls = np.max(times[cohorts], axis=1)
+    round_joules = np.sum(energy_j[cohorts], axis=1)
+    wall = 0.0
+    total_j = 0.0
+    for w, j in zip(round_walls.tolist(), round_joules.tolist()):
+        wall += w
+        total_j += j
+    return FLRunOutcome(
+        mode="sync",
+        wall_clock_s=wall,
+        total_energy=Energy.from_joules(total_j),
+        updates_applied=rounds * cohort_size,
+        mean_staleness=0.0,
+        p95_staleness=0.0,
+    )
+
+
+def _reference_run_sync(
+    population: ClientPopulation,
+    target_updates: int = 6400,
+    cohort_size: int = 64,
+    seed: int = 0,
+) -> FLRunOutcome:
+    """Pre-vectorization sync loop (bit-exactness tests only)."""
     if target_updates <= 0 or cohort_size <= 0:
         raise UnitError("updates and cohort must be positive")
     rng = np.random.default_rng(seed)
@@ -95,11 +136,78 @@ def run_async(
     times = population.round_time_s()
     energy_j = population.round_energy_j()
 
+    # Exactly concurrency + target_updates clients launch over the run
+    # (the initial wave plus one replacement per applied update); a batched
+    # integers() draw produces the same stream as the former per-launch
+    # scalar draws, and the per-client time/energy gathers vectorize.
+    n_launches = concurrency + target_updates
+    client_ids = rng.integers(0, len(population), n_launches)
+    launch_times = times[client_ids].astype(float).tolist()
+    launch_joules = energy_j[client_ids].astype(float).tolist()
+    client_list = client_ids.tolist()
+
     version = 0
     buffered = 0
     total_j = 0.0
     staleness: list[int] = []
     # (finish time, start version, client id) min-heap of in-flight work.
+    inflight: list[tuple[float, int, int]] = []
+    next_launch = 0
+
+    def launch(now: float) -> None:
+        nonlocal next_launch
+        i = next_launch
+        next_launch = i + 1
+        heapq.heappush(inflight, (now + launch_times[i], version, client_list[i]))
+
+    for _ in range(concurrency):
+        launch(0.0)
+
+    applied = 0
+    clock = 0.0
+    heappop = heapq.heappop
+    joules_by_client = energy_j.astype(float).tolist()
+    while applied < target_updates:
+        finish, start_version, client = heappop(inflight)
+        clock = finish
+        total_j += joules_by_client[client]
+        staleness.append(version - start_version)
+        buffered += 1
+        applied += 1
+        if buffered >= buffer_size:
+            version += 1
+            buffered = 0
+        launch(clock)
+
+    stale = np.array(staleness)
+    return FLRunOutcome(
+        mode="async",
+        wall_clock_s=clock,
+        total_energy=Energy.from_joules(total_j),
+        updates_applied=applied,
+        mean_staleness=float(np.mean(stale)),
+        p95_staleness=float(np.percentile(stale, 95)),
+    )
+
+
+def _reference_run_async(
+    population: ClientPopulation,
+    target_updates: int = 6400,
+    concurrency: int = 128,
+    buffer_size: int = 10,
+    seed: int = 0,
+) -> FLRunOutcome:
+    """Pre-vectorization async event loop (bit-exactness tests only)."""
+    if target_updates <= 0 or concurrency <= 0 or buffer_size <= 0:
+        raise UnitError("updates, concurrency and buffer must be positive")
+    rng = np.random.default_rng(seed)
+    times = population.round_time_s()
+    energy_j = population.round_energy_j()
+
+    version = 0
+    buffered = 0
+    total_j = 0.0
+    staleness: list[int] = []
     inflight: list[tuple[float, int, int]] = []
     clock = 0.0
 

@@ -62,6 +62,21 @@ class DevicePopulation:
         speeds = self.relative_speeds(seed)
         rng = np.random.default_rng(seed + 1)
         n_trials = 200
+        k = min(cohort_size, self.n_devices)
+        # Without-replacement sampling is stateful, so the draws stay in a
+        # loop; the per-trial straggler maxima collapse to one 2-D kernel
+        # (bit-exact with _reference_straggler_slowdown's per-trial max).
+        cohorts = np.stack([rng.choice(speeds, size=k, replace=False) for _ in range(n_trials)])
+        maxima = np.max(1.0 / cohorts, axis=1)
+        return float(np.mean(maxima))
+
+    def _reference_straggler_slowdown(self, cohort_size: int, seed: int = 0) -> float:
+        """Pre-vectorization trial loop (bit-exactness tests only)."""
+        if cohort_size <= 0:
+            raise UnitError("cohort size must be positive")
+        speeds = self.relative_speeds(seed)
+        rng = np.random.default_rng(seed + 1)
+        n_trials = 200
         maxima = np.empty(n_trials)
         for t in range(n_trials):
             cohort = rng.choice(speeds, size=min(cohort_size, self.n_devices), replace=False)

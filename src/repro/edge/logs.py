@@ -17,6 +17,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.core.memo import memoized_substrate
 from repro.errors import UnitError
 
 
@@ -66,8 +67,14 @@ class FLLogs:
         return float(np.sum(self.download_s + self.upload_s))
 
 
+@memoized_substrate
 def generate_logs(app: FLAppConfig, days: int = 90, seed: int = 0) -> FLLogs:
-    """Synthesize the 90-day participation logs for one FL app."""
+    """Synthesize the 90-day participation logs for one FL app.
+
+    Memoized (both tiers): identical ``(app, days, seed)`` calls share one
+    frozen :class:`FLLogs`; Figure 11 and the FL comparisons re-request
+    the same 90-day logs repeatedly.
+    """
     if days <= 0:
         raise UnitError("collection window must be positive")
     rng = np.random.default_rng(seed)

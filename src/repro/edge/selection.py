@@ -121,6 +121,85 @@ def run_selection(
     energy_j = population.round_energy_j()
     times = population.round_time_s()
     deadline = deadline_s if deadline_s is not None else float(np.quantile(times, 0.8))
+    n = len(population)
+
+    if strategy == "random":
+        # Without-replacement cohort draws interleave with the per-round
+        # availability masks on one RNG stream, so the draws stay in a
+        # loop; only the cohort indices are collected here — the energy
+        # and round-time gathers below are vectorized across rounds.
+        cohorts = np.empty((rounds, cohort_size), dtype=np.intp)
+        for r in range(rounds):
+            online = rng.random(n) < availability
+            candidates = np.nonzero(online)[0]
+            if len(candidates) < cohort_size:
+                candidates = np.arange(n)
+            cohorts[r] = rng.choice(candidates, cohort_size, replace=False)
+    else:
+        # Deterministic strategies consume RNG only for the availability
+        # masks, which batch into one (rounds, n) draw — row r of the
+        # matrix is the exact stream the former per-round rng.random(n)
+        # produced.  The selection key (round time or energy) is static
+        # across rounds, so one global stable argsort replaces the
+        # per-round compressed argsorts: each round's cohort is the first
+        # ``cohort_size`` eligible clients in global key order, recovered
+        # with boolean gathers.  Stable (key, client-index) order matches
+        # the per-round compressed argsort exactly, ties included.
+        online = rng.random((rounds, n)) < availability
+        short = np.sum(online, axis=1) < cohort_size
+        online[short] = True  # per-round fallback to the full population
+        if strategy == "fastest":
+            key, mask = times, online
+        else:  # energy-aware: cheapest clients that still meet the deadline
+            eligible = online & (times <= deadline)
+            lacking = np.sum(eligible, axis=1) < cohort_size
+            eligible[lacking] = online[lacking]
+            key, mask = energy_j, eligible
+        order = np.argsort(key, kind="stable")
+        mask_sorted = mask[:, order]
+        ranks = np.cumsum(mask_sorted, axis=1, dtype=np.int32)
+        take = mask_sorted & (ranks <= cohort_size)
+        cohorts = order[np.nonzero(take)[1].reshape(rounds, -1)]
+
+    round_joules = np.sum(energy_j[cohorts], axis=1)
+    round_times = np.max(times[cohorts], axis=1)
+    total_j = 0.0
+    for j in round_joules.tolist():
+        total_j += j
+    participation = np.zeros(n, dtype=int)
+    np.add.at(participation, cohorts, 1)
+
+    return SelectionOutcome(
+        strategy=strategy,
+        total_energy=Energy.from_joules(total_j),
+        mean_round_time_s=float(np.mean(round_times)),
+        participation_gini=_gini(participation),
+        rounds=rounds,
+        cohort_size=cohort_size,
+    )
+
+
+def _reference_run_selection(
+    population: ClientPopulation,
+    strategy: str = "random",
+    rounds: int = 200,
+    cohort_size: int = 64,
+    deadline_s: float | None = None,
+    availability: float = 0.25,
+    seed: int = 0,
+) -> SelectionOutcome:
+    """Pre-vectorization per-round loop (bit-exactness tests only)."""
+    if strategy not in ("random", "fastest", "energy-aware"):
+        raise UnitError(f"unknown strategy {strategy!r}")
+    if rounds <= 0 or cohort_size <= 0:
+        raise UnitError("rounds and cohort size must be positive")
+    if not (0 < availability <= 1):
+        raise UnitError("availability must be in (0, 1]")
+
+    rng = np.random.default_rng(seed)
+    energy_j = population.round_energy_j()
+    times = population.round_time_s()
+    deadline = deadline_s if deadline_s is not None else float(np.quantile(times, 0.8))
 
     total_j = 0.0
     round_times = np.empty(rounds)
@@ -134,11 +213,11 @@ def run_selection(
         if strategy == "random":
             cohort = rng.choice(candidates, cohort_size, replace=False)
         elif strategy == "fastest":
-            cohort = candidates[np.argsort(times[candidates])[:cohort_size]]
+            cohort = candidates[np.argsort(times[candidates], kind="stable")[:cohort_size]]
         else:  # energy-aware: cheapest clients that still meet the deadline
             meets = candidates[times[candidates] <= deadline]
             pool = meets if len(meets) >= cohort_size else candidates
-            cohort = pool[np.argsort(energy_j[pool])[:cohort_size]]
+            cohort = pool[np.argsort(energy_j[pool], kind="stable")[:cohort_size]]
         total_j += float(np.sum(energy_j[cohort]))
         round_times[r] = float(np.max(times[cohort]))
         participation[cohort] += 1

@@ -20,6 +20,7 @@ from dataclasses import dataclass, field
 from typing import Mapping, Sequence
 
 from repro.core.report import format_table
+from repro.experiments.profiling import ExperimentProfile
 
 
 @dataclass(frozen=True)
@@ -100,6 +101,9 @@ class RunRecord:
     rendered: str | None = None
     error_kind: str | None = None
     error_message: str | None = None
+    #: Resource usage of the successful execution (``run --profile`` only);
+    #: ``None`` keeps the payload schema byte-identical to unprofiled runs.
+    profile: ExperimentProfile | None = None
 
     @property
     def ok(self) -> bool:
@@ -122,7 +126,10 @@ class RunRecord:
         consumers only see the envelope fields on failures.
         """
         if self.ok and self.payload is not None:
-            return dict(self.payload)
+            payload = dict(self.payload)
+            if self.profile is not None:
+                payload["profile"] = self.profile.to_payload()
+            return payload
         return {
             "experiment_id": self.experiment_id,
             "status": self.status,

@@ -20,15 +20,15 @@ def run(n_workflows: int = 50_000, seed: int = 0) -> ExperimentResult:
         for lo, frac in zip(edges, fractions)
     ]
     dist = EXPERIMENTATION_UTILIZATION
-    band = dist.fraction_in_band(0.3, 0.5)
+    band_30_50, band_above_80 = dist.fractions_in_bands(((0.3, 0.5), (0.8, 1.0)))
     return ExperimentResult(
         experiment_id="fig10",
         title="GPU utilization of experimentation workflows",
         headline={
-            "fraction_in_30_50_band": band,
+            "fraction_in_30_50_band": float(band_30_50),
             "mean_utilization": dist.mean,
             "mode_utilization": dist.mode,
-            "fraction_above_80": dist.fraction_in_band(0.8, 1.0),
+            "fraction_above_80": float(band_above_80),
         },
         headers=headers,
         rows=rows,

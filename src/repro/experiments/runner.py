@@ -5,10 +5,13 @@ Usage::
     sustainable-ai list
     sustainable-ai run fig7
     sustainable-ai run all --jobs 4 --json results.json
+    sustainable-ai run all --profile --cache-dir ~/.cache/sustainable-ai
     sustainable-ai report results.md
     sustainable-ai verify              # diff against golden/baselines.json
     sustainable-ai verify --update     # re-snapshot the baselines
     sustainable-ai verify --check-invariants --jobs 4
+    sustainable-ai cache stats         # both substrate-cache tiers
+    sustainable-ai cache clear
 
 ``run all``, ``report``, and ``verify`` fan experiments out across a
 process pool (``--jobs``, default ``os.cpu_count()``).  Each experiment is
@@ -25,6 +28,14 @@ to a structured error record (see
 completes.  ``--check-invariants`` additionally sweeps the result-invariant
 registry (:mod:`repro.testing.invariants`) over every completed result and
 enables the runtime accounting self-checks inside the workers.
+
+``--cache-dir PATH`` enables the content-addressed disk tier of the
+substrate cache (:mod:`repro.core.diskcache`) for the run and exports it
+to pool workers; ``--no-disk-cache`` forces it off.  ``run --profile``
+times every experiment (wall/CPU/peak-RSS plus substrate-cache traffic),
+prints a slowest-experiments report, and embeds the measurements in the
+``--json`` envelope — without the flag the JSON output is byte-identical
+to previous releases.
 
 Exit codes: 0 success, 1 baseline drift / experiment failure / invariant
 violation, 2 usage error (unknown experiment id, bad flag, missing
@@ -44,7 +55,8 @@ from concurrent.futures.process import BrokenProcessPool
 from pathlib import Path
 from typing import Callable, Sequence
 
-from repro.experiments import golden
+from repro.core import diskcache, memo
+from repro.experiments import golden, profiling
 from repro.experiments.base import ExperimentResult, RunRecord
 from repro.experiments.registry import experiment_ids, run_experiment
 
@@ -59,20 +71,36 @@ def _result_payload(result: ExperimentResult) -> dict[str, object]:
     return result.to_payload()
 
 
-def _execute(exp_id: str, attempt: int = 0, in_worker: bool = True) -> dict[str, object]:
+def _execute(
+    exp_id: str,
+    attempt: int = 0,
+    in_worker: bool = True,
+    profile: bool = False,
+) -> dict[str, object]:
     """Worker body: run one experiment, return its payload + rendering.
 
     Fault-injection hooks (:mod:`repro.testing.faults`) fire here, before
     dispatch, so the production retry/degradation path is what gets
     exercised; with no faults declared in the environment both calls are
-    no-ops.
+    no-ops.  With ``profile`` set, the execution is timed inside this
+    process (the worker, for pooled runs) and the measurements ride back
+    to the parent in the output dict.
     """
     from repro.testing import faults
 
     faults.install_memo_corruption()
     faults.inject(exp_id, attempt, hard_exit=in_worker)
-    result = run_experiment(exp_id, attempt=attempt)
-    return {"payload": _result_payload(result), "rendered": result.render()}
+    if not profile:
+        result = run_experiment(exp_id, attempt=attempt)
+        return {"payload": _result_payload(result), "rendered": result.render()}
+    with profiling.ProfileTimer() as timer:
+        result = run_experiment(exp_id, attempt=attempt)
+    assert timer.profile is not None
+    return {
+        "payload": _result_payload(result),
+        "rendered": result.render(),
+        "profile": timer.profile.to_payload(),
+    }
 
 
 def _failure(exc: BaseException) -> tuple[str, str]:
@@ -89,12 +117,15 @@ def _run_round_sequential(
     attempts: dict[str, int],
     outputs: dict[str, dict[str, object]],
     failures: dict[str, tuple[str, str]],
+    profile: bool = False,
 ) -> list[str]:
     """One in-process attempt per pending experiment; returns retry list."""
     needs_retry = []
     for exp_id in pending:
         try:
-            outputs[exp_id] = _execute(exp_id, attempts[exp_id], in_worker=False)
+            outputs[exp_id] = _execute(
+                exp_id, attempts[exp_id], in_worker=False, profile=profile
+            )
             failures.pop(exp_id, None)
         except Exception as exc:
             failures[exp_id] = _failure(exc)
@@ -110,6 +141,7 @@ def _run_round_pool(
     outputs: dict[str, dict[str, object]],
     failures: dict[str, tuple[str, str]],
     timeout: float | None,
+    profile: bool = False,
 ) -> list[str]:
     """One pooled attempt per pending experiment; returns retry list.
 
@@ -124,7 +156,7 @@ def _run_round_pool(
     pool = ProcessPoolExecutor(max_workers=min(jobs, len(pending)))
     try:
         futures = {
-            exp_id: pool.submit(_execute, exp_id, attempts[exp_id], True)
+            exp_id: pool.submit(_execute, exp_id, attempts[exp_id], True, profile)
             for exp_id in pending
         }
         broken = False
@@ -170,6 +202,7 @@ def _run_many(
     echo: Echo | None = None,
     retries: int = DEFAULT_RETRIES,
     timeout: float | None = None,
+    profile: bool = False,
 ) -> list[RunRecord]:
     """Run experiments, fanning out across processes when ``jobs > 1``.
 
@@ -187,10 +220,12 @@ def _run_many(
     pending = list(exp_ids)
     while pending:
         if jobs <= 1 or len(pending) <= 1:
-            needs_retry = _run_round_sequential(pending, attempts, outputs, failures)
+            needs_retry = _run_round_sequential(
+                pending, attempts, outputs, failures, profile
+            )
         else:
             needs_retry = _run_round_pool(
-                pending, jobs, attempts, outputs, failures, timeout
+                pending, jobs, attempts, outputs, failures, timeout, profile
             )
         pending = [
             exp_id for exp_id in needs_retry if attempts[exp_id] <= retries
@@ -200,12 +235,18 @@ def _run_many(
     for exp_id in exp_ids:
         if exp_id in outputs:
             output = outputs[exp_id]
+            measured = output.get("profile")
             record = RunRecord(
                 experiment_id=exp_id,
                 status="ok",
                 attempts=max(1, attempts[exp_id]),
                 payload=output["payload"],  # type: ignore[arg-type]
                 rendered=output["rendered"],  # type: ignore[arg-type]
+                profile=(
+                    profiling.ExperimentProfile.from_payload(measured)  # type: ignore[arg-type]
+                    if measured is not None
+                    else None
+                ),
             )
         else:
             kind, message = failures[exp_id]
@@ -272,6 +313,20 @@ def _add_fanout_flags(subparser: argparse.ArgumentParser) -> None:
         default=None,
         help="per-experiment wait bound in parallel runs (default: none)",
     )
+    subparser.add_argument(
+        "--cache-dir",
+        metavar="PATH",
+        default=None,
+        help=(
+            "enable the disk substrate cache at PATH (exported as "
+            f"{diskcache.CACHE_DIR_ENV_VAR} so pool workers warm-start)"
+        ),
+    )
+    subparser.add_argument(
+        "--no-disk-cache",
+        action="store_true",
+        help="disable the disk substrate cache even if the env var is set",
+    )
 
 
 def _successful_results(records: Sequence[RunRecord]) -> dict[str, ExperimentResult]:
@@ -285,6 +340,46 @@ def _check_invariants(records: Sequence[RunRecord]) -> int:
     report = check_results(_successful_results(records))
     print(report.render())
     return 0 if report.ok else 1
+
+
+def _cache_command(args: argparse.Namespace) -> int:
+    """``sustainable-ai cache stats|clear`` over both cache tiers."""
+    if args.cache_dir is not None:
+        directory = Path(args.cache_dir)
+    else:
+        directory = diskcache.resolve_cache_dir() or diskcache.default_cache_dir()
+
+    if args.action == "stats":
+        print(f"disk cache directory: {directory}")
+        stats = diskcache.disk_stats(directory)
+        if not stats:
+            print("  (no entries)")
+        else:
+            total_entries = 0
+            total_bytes = 0
+            for name in sorted(stats):
+                row = stats[name]
+                total_entries += row["entries"]
+                total_bytes += row["bytes"]
+                print(
+                    f"  {name}: {row['entries']} entr"
+                    f"{'y' if row['entries'] == 1 else 'ies'}, "
+                    f"{row['bytes'] / 1024:.1f} KiB"
+                )
+            print(f"  total: {total_entries} entries, {total_bytes / 1024:.1f} KiB")
+        names = sorted(memo.substrate_cache_info())
+        print(f"registered substrates ({len(names)}):")
+        for name in names:
+            print(f"  {name}")
+        return 0
+
+    removed = diskcache.clear_disk(directory)
+    memo.clear_substrate_caches()
+    print(
+        f"removed {removed} disk entr{'y' if removed == 1 else 'ies'} "
+        f"from {directory} (and emptied the in-process caches)"
+    )
+    return 0
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -338,6 +433,15 @@ def _main(argv: list[str] | None) -> int:
         action="store_true",
         help="sweep the physical-invariant registry over the results",
     )
+    run_parser.add_argument(
+        "--profile",
+        action="store_true",
+        help=(
+            "record per-experiment wall/CPU time, peak RSS and substrate "
+            "cache traffic; prints a slowest-experiments report and adds a "
+            "'profile' key to each --json record"
+        ),
+    )
     _add_fanout_flags(run_parser)
 
     verify_parser = sub.add_parser(
@@ -366,10 +470,39 @@ def _main(argv: list[str] | None) -> int:
     )
     _add_fanout_flags(verify_parser)
 
+    cache_parser = sub.add_parser(
+        "cache", help="inspect or clear the substrate caches"
+    )
+    cache_parser.add_argument(
+        "action", choices=("stats", "clear"), help="what to do with the caches"
+    )
+    cache_parser.add_argument(
+        "--cache-dir",
+        metavar="PATH",
+        default=None,
+        help=(
+            "disk cache directory (default: the "
+            f"{diskcache.CACHE_DIR_ENV_VAR} env var if it names a "
+            "directory, else the per-user default)"
+        ),
+    )
+
     try:
         args = parser.parse_args(argv)
     except SystemExit as exc:  # argparse reports usage errors via exit(2)
         return int(exc.code or 0)
+
+    if args.command == "cache":
+        return _cache_command(args)
+
+    cache_dir = getattr(args, "cache_dir", None)
+    if cache_dir is not None and getattr(args, "no_disk_cache", False):
+        return _usage_error("--cache-dir and --no-disk-cache are mutually exclusive")
+    if getattr(args, "no_disk_cache", False):
+        # Exported (not just read) so pool workers see the same decision.
+        os.environ[diskcache.CACHE_DIR_ENV_VAR] = "off"
+    elif cache_dir is not None:
+        os.environ[diskcache.CACHE_DIR_ENV_VAR] = str(Path(cache_dir))
 
     jobs = getattr(args, "jobs", None)
     if jobs is not None and jobs < 1:
@@ -433,7 +566,9 @@ def _main(argv: list[str] | None) -> int:
         targets = _resolve_targets(args.experiment)
         if targets is None:
             return _unknown_experiment(args.experiment)
-        records = _run_many(targets, jobs, retries=retries, timeout=timeout)
+        records = _run_many(
+            targets, jobs, retries=retries, timeout=timeout, profile=args.profile
+        )
         for record in records:
             if not record.ok:
                 print(record.describe_failure())
@@ -445,6 +580,11 @@ def _main(argv: list[str] | None) -> int:
             else:
                 print(record.rendered)
             print()
+        if args.profile:
+            profiles = profiling.profiles_from_records(records)
+            if profiles:
+                print(profiling.render_profile_report(profiles))
+                print()
         if args.json:
             path = Path(args.json)
             payloads = [record.to_payload() for record in records]

@@ -69,9 +69,7 @@ def plan_capacity(
         raise UnitError("replacement rate must be in [0, 1]")
 
     years = np.arange(horizon_years + 1)
-    totals = np.array(
-        [initial_servers * growth.value_at(float(y)) for y in years]
-    )
+    totals = initial_servers * growth.values_at(years)
     added = np.diff(totals, prepend=totals[0])
     added[0] = 0.0
     replacements = totals * replacement_rate
@@ -91,6 +89,13 @@ def plan_capacity(
         server_embodied=purchased * sku.embodied.kg,
         building_embodied=power_added_mw * BUILDING_EMBODIED_PER_MW.kg,
     )
+
+
+def _reference_capacity_totals(
+    initial_servers: int, years: np.ndarray, growth: GrowthTrend
+) -> np.ndarray:
+    """Pre-vectorization per-year totals loop (bit-exactness tests only)."""
+    return np.array([initial_servers * growth.value_at(float(y)) for y in years])
 
 
 @dataclass(frozen=True, slots=True)

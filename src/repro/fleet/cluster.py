@@ -3,6 +3,13 @@
 The paper: "datacenter capacity is not only limited by physical space but
 also power capacity" — a cluster tracks both its provisioned power budget
 and the instantaneous draw of its servers.
+
+State is held as per-server numpy arrays (utilization, powered), so the
+per-device operations — setting utilizations, powering a subset, summing
+draw — are single vectorized kernels instead of Python loops over
+:class:`~repro.fleet.server.Server` objects.  The pre-vectorization
+object-loop implementations are retained as ``_reference_*`` methods,
+used only by the bit-exactness tests in ``tests/test_vectorized_kernels.py``.
 """
 
 from __future__ import annotations
@@ -24,12 +31,14 @@ class Cluster:
     sku: ServerSKU
     n_servers: int
     power_budget: Power | None = None
-    _servers: list[Server] = field(default_factory=list, repr=False)
+    _utilizations: np.ndarray = field(default=None, repr=False)  # type: ignore[assignment]
+    _powered: np.ndarray = field(default=None, repr=False)  # type: ignore[assignment]
 
     def __post_init__(self) -> None:
         if self.n_servers <= 0:
             raise UnitError("cluster needs at least one server")
-        self._servers = [Server(self.sku, i) for i in range(self.n_servers)]
+        self._utilizations = np.zeros(self.n_servers)
+        self._powered = np.ones(self.n_servers, dtype=bool)
         peak = self.sku.peak_power * self.n_servers
         if self.power_budget is None:
             self.power_budget = peak
@@ -40,11 +49,28 @@ class Cluster:
 
     @property
     def servers(self) -> list[Server]:
-        return self._servers
+        """Materialized per-server view (a snapshot, not live state)."""
+        return [
+            Server(
+                self.sku,
+                i,
+                utilization=float(self._utilizations[i]),
+                powered=bool(self._powered[i]),
+            )
+            for i in range(self.n_servers)
+        ]
+
+    @property
+    def utilizations(self) -> np.ndarray:
+        """Read-only per-server utilization array."""
+        view = self._utilizations.view()
+        view.setflags(write=False)
+        return view
 
     def set_uniform_utilization(self, utilization: float) -> None:
-        for server in self._servers:
-            server.set_utilization(utilization)
+        if not (0.0 <= utilization <= 1.0):
+            raise UnitError(f"utilization must be in [0, 1], got {utilization}")
+        self._utilizations.fill(utilization)
 
     def set_utilizations(self, utilizations: np.ndarray) -> None:
         u = np.asarray(utilizations, dtype=float)
@@ -52,8 +78,9 @@ class Cluster:
             raise UnitError(
                 f"expected {self.n_servers} utilizations, got {len(u)}"
             )
-        for server, value in zip(self._servers, u):
-            server.set_utilization(float(value))
+        if np.any((u < 0.0) | (u > 1.0)):
+            raise UnitError("utilization values must be in [0, 1]")
+        self._utilizations[:] = u
 
     def power_servers(self, n_powered: int) -> None:
         """Keep the first ``n_powered`` servers on; power off the rest."""
@@ -61,23 +88,29 @@ class Cluster:
             raise SimulationError(
                 f"cannot power {n_powered} of {self.n_servers} servers"
             )
-        for i, server in enumerate(self._servers):
-            server.powered = i < n_powered
-            if not server.powered:
-                server.utilization = 0.0
+        self._powered[:n_powered] = True
+        self._powered[n_powered:] = False
+        self._utilizations[n_powered:] = 0.0
 
     @property
     def powered_count(self) -> int:
-        return sum(1 for s in self._servers if s.powered)
+        return int(np.count_nonzero(self._powered))
 
     def current_power(self) -> Power:
-        return Power(sum(s.current_power().watts for s in self._servers))
+        """Instantaneous cluster draw (powered-off servers draw nothing)."""
+        watts = self.sku.power_series(self._utilizations)
+        # Sequential accumulation over the per-server watts reproduces the
+        # reference object-loop sum bit-for-bit (numpy's pairwise
+        # summation would not).
+        total = 0.0
+        for w in np.where(self._powered, watts, 0.0).tolist():
+            total += w
+        return Power(total)
 
     def mean_utilization(self) -> float:
-        powered = [s for s in self._servers if s.powered]
-        if not powered:
+        if not np.any(self._powered):
             return 0.0
-        return float(np.mean([s.utilization for s in powered]))
+        return float(np.mean(self._utilizations[self._powered]))
 
     def embodied_total(self) -> Carbon:
         return self.sku.embodied * self.n_servers
@@ -91,3 +124,16 @@ class Cluster:
         budget = self.power_budget.watts if self.power_budget else 0.0
         draw = self.current_power().watts
         return Power(max(0.0, budget - draw))
+
+    # -- reference implementations (bit-exactness tests only) ---------------
+
+    def _reference_current_power(self) -> Power:
+        """Pre-vectorization loop over materialized Server objects."""
+        return Power(sum(s.current_power().watts for s in self.servers))
+
+    def _reference_mean_utilization(self) -> float:
+        """Pre-vectorization loop over materialized Server objects."""
+        powered = [s for s in self.servers if s.powered]
+        if not powered:
+            return 0.0
+        return float(np.mean([s.utilization for s in powered]))

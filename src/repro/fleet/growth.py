@@ -119,18 +119,35 @@ FIG6_AREAS: tuple[OptimizationArea, ...] = (
 )
 
 
-def composed_half_gains(areas: tuple[OptimizationArea, ...] = FIG6_AREAS) -> np.ndarray:
-    """Total per-half power reduction from composing all areas.
-
-    Within one half, area gains compose multiplicatively:
-    ``1 - prod(1 - gain_area)``.
-    """
+def _validate_areas(areas: tuple[OptimizationArea, ...]) -> int:
     if not areas:
         raise CalibrationError("need at least one optimization area")
     n_halves = len(areas[0].gains_per_half)
     for area in areas:
         if len(area.gains_per_half) != n_halves:
             raise CalibrationError("all areas must cover the same halves")
+    return n_halves
+
+
+def composed_half_gains(areas: tuple[OptimizationArea, ...] = FIG6_AREAS) -> np.ndarray:
+    """Total per-half power reduction from composing all areas.
+
+    Within one half, area gains compose multiplicatively:
+    ``1 - prod(1 - gain_area)``.  ``multiply.reduce`` over the stacked
+    area axis multiplies in the same sequential order as the former
+    per-area loop, so the composition is bit-exact with
+    :func:`_reference_composed_half_gains`.
+    """
+    _validate_areas(areas)
+    gains = np.array([area.gains_per_half for area in areas], dtype=float)
+    return 1.0 - np.multiply.reduce(1.0 - gains, axis=0)
+
+
+def _reference_composed_half_gains(
+    areas: tuple[OptimizationArea, ...] = FIG6_AREAS,
+) -> np.ndarray:
+    """Pre-vectorization per-area loop (bit-exactness tests only)."""
+    n_halves = _validate_areas(areas)
     remaining = np.ones(n_halves)
     for area in areas:
         remaining *= 1.0 - np.asarray(area.gains_per_half)

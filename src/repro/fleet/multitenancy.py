@@ -52,14 +52,9 @@ class PackingResult:
         return float(np.mean(self.tenants_per_device))
 
 
-def pack_first_fit_decreasing(
-    demands: np.ndarray, max_tenants: int = 4, capacity: float = 0.95
-) -> PackingResult:
-    """First-fit-decreasing packing of fractional-GPU demands.
-
-    ``max_tenants`` = 1 reproduces the dedicated-GPU baseline (one
-    workload per device, however small).
-    """
+def _validate_packing_args(
+    demands: np.ndarray, max_tenants: int, capacity: float
+) -> np.ndarray:
     d = np.asarray(demands, dtype=float)
     if np.any((d <= 0) | (d > 1)):
         raise UnitError("demands must be in (0, 1]")
@@ -67,7 +62,51 @@ def pack_first_fit_decreasing(
         raise UnitError("max tenants must be positive")
     if not (0 < capacity <= 1):
         raise UnitError("capacity must be in (0, 1]")
+    return d
 
+
+def pack_first_fit_decreasing(
+    demands: np.ndarray, max_tenants: int = 4, capacity: float = 0.95
+) -> PackingResult:
+    """First-fit-decreasing packing of fractional-GPU demands.
+
+    ``max_tenants`` = 1 reproduces the dedicated-GPU baseline (one
+    workload per device, however small).
+
+    The first-fit scan over open devices is a single vectorized
+    feasibility mask per workload (equivalent to, and bit-exact with,
+    :func:`_reference_pack_first_fit_decreasing`'s inner Python loop).
+    """
+    d = _validate_packing_args(demands, max_tenants, capacity)
+    order = np.argsort(d)[::-1]
+    n = len(d)
+    loads = np.zeros(n)
+    counts = np.zeros(n, dtype=int)
+    n_bins = 0
+    for demand in d[order]:
+        feasible = (counts[:n_bins] < max_tenants) & (
+            loads[:n_bins] + demand <= capacity
+        )
+        if feasible.any():
+            i = int(np.argmax(feasible))
+            loads[i] += demand
+            counts[i] += 1
+        else:
+            loads[n_bins] = demand
+            counts[n_bins] = 1
+            n_bins += 1
+    return PackingResult(
+        n_devices=n_bins,
+        device_loads=loads[:n_bins].copy(),
+        tenants_per_device=counts[:n_bins].copy(),
+    )
+
+
+def _reference_pack_first_fit_decreasing(
+    demands: np.ndarray, max_tenants: int = 4, capacity: float = 0.95
+) -> PackingResult:
+    """Pre-vectorization packer (bit-exactness tests only)."""
+    d = _validate_packing_args(demands, max_tenants, capacity)
     order = np.argsort(d)[::-1]
     loads: list[float] = []
     counts: list[int] = []

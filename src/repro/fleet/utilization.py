@@ -52,6 +52,33 @@ class UtilizationDistribution:
         dist = stats.beta(self.alpha, self.beta)
         return float(dist.cdf(high) - dist.cdf(low))
 
+    def fractions_in_bands(
+        self, bands: tuple[tuple[float, float], ...]
+    ) -> np.ndarray:
+        """Probability mass per (low, high) band, in one vectorized pass.
+
+        Builds the frozen scipy distribution once and evaluates its CDF
+        over all band edges together; each band's mass is bit-exact with
+        a per-band :meth:`fraction_in_band` call (the CDF is an
+        elementwise ufunc, so array evaluation matches scalar).
+        """
+        if not bands:
+            return np.empty(0)
+        edges = np.asarray(bands, dtype=float)
+        if edges.ndim != 2 or edges.shape[1] != 2:
+            raise UnitError("bands must be (low, high) pairs")
+        if np.any(edges[:, 0] > edges[:, 1]) or np.any((edges < 0) | (edges > 1)):
+            raise UnitError("band must satisfy 0 <= low <= high <= 1")
+        dist = stats.beta(self.alpha, self.beta)
+        cdf = dist.cdf(edges)
+        return cdf[:, 1] - cdf[:, 0]
+
+    def _reference_fractions_in_bands(
+        self, bands: tuple[tuple[float, float], ...]
+    ) -> np.ndarray:
+        """Per-band scalar loop (bit-exactness tests only)."""
+        return np.array([self.fraction_in_band(lo, hi) for lo, hi in bands])
+
 
 #: Research-cluster experimentation (Figure 10): mode in the 30-50% band.
 EXPERIMENTATION_UTILIZATION = UtilizationDistribution(7.0, 9.5)

@@ -22,8 +22,12 @@ from repro.carbon.grid import GridTrace, constant_grid_trace, synthesize_grid_tr
 from repro.carbon.intensity import CarbonIntensity
 from repro.core.context import AccountingContext
 from repro.core.series import HourlySeries
+from repro.edge.devices import DevicePopulation
+from repro.edge.selection import ClientPopulation, synthesize_population
+from repro.fleet.growth import OptimizationArea
 from repro.lifecycle.jobs import EXPERIMENTATION_JOBS
 from repro.scheduling.jobs import DeferrableJob
+from repro.workloads.growthtrends import GrowthTrend
 from repro.workloads.traces import ExperimentStream, experiment_arrivals
 
 #: Bounds shared by the value-level strategies.
@@ -202,6 +206,86 @@ def experiment_streams(
         jobs_per_day=draw(st.integers(1, max_jobs_per_day)),
         days=draw(st.integers(1, max_days)),
         seed=draw(st.integers(0, 2**16)),
+    )
+
+
+# -- kernel-equivalence generators -------------------------------------------
+# Inputs for the bit-exactness suite in ``tests/test_vectorized_kernels.py``:
+# each generator draws a *seed* and synthesizes the numeric payload with a
+# seeded Generator, so values are continuous (no accidental float ties
+# beyond what the quantized generators produce deliberately) and every
+# example costs microseconds.
+
+
+@st.composite
+def client_populations(
+    draw, min_clients: int = 8, max_clients: int = 400
+) -> ClientPopulation:
+    """A heterogeneous FL client population (lognormal compute/comm)."""
+    return synthesize_population(
+        n_clients=draw(st.integers(min_clients, max_clients)),
+        seed=draw(st.integers(0, 2**16)),
+    )
+
+
+@st.composite
+def quantized_client_populations(
+    draw, min_clients: int = 8, max_clients: int = 200
+) -> ClientPopulation:
+    """A tie-heavy population: durations drawn from a small value grid.
+
+    Exercises the sort-tie handling of the selection kernels, which the
+    continuous :func:`client_populations` almost never hits.
+    """
+    n = draw(st.integers(min_clients, max_clients))
+    rng = np.random.default_rng(draw(st.integers(0, 2**16)))
+    levels = np.array([30.0, 60.0, 120.0, 240.0])
+    return ClientPopulation(
+        rng.choice(levels, size=n), rng.choice(levels / 4.0, size=n)
+    )
+
+
+@st.composite
+def gpu_demand_arrays(
+    draw, min_demands: int = 1, max_demands: int = 300
+) -> np.ndarray:
+    """Fractional-GPU demands in (0, 1] for the packing kernels."""
+    n = draw(st.integers(min_demands, max_demands))
+    rng = np.random.default_rng(draw(st.integers(0, 2**16)))
+    return np.clip(rng.beta(2.0, 3.0, n), 0.05, 0.95)
+
+
+@st.composite
+def device_populations(draw) -> DevicePopulation:
+    """A valid client-device fleet for the straggler kernels."""
+    return DevicePopulation(
+        n_devices=draw(st.integers(2, 400)),
+        speed_sigma=draw(finite_floats(0.0, 1.5)),
+    )
+
+
+@st.composite
+def optimization_areas(
+    draw, min_areas: int = 1, max_areas: int = 6
+) -> tuple[OptimizationArea, ...]:
+    """Optimization areas sharing one half-year axis (Figure 6 shape)."""
+    n_areas = draw(st.integers(min_areas, max_areas))
+    n_halves = draw(st.integers(1, 8))
+    gains = st.lists(
+        finite_floats(0.0, 0.3), min_size=n_halves, max_size=n_halves
+    )
+    return tuple(
+        OptimizationArea(f"area-{i}", tuple(draw(gains))) for i in range(n_areas)
+    )
+
+
+def growth_trends() -> st.SearchStrategy[GrowthTrend]:
+    """Exponential growth trends with sane factors and spans."""
+    return st.builds(
+        GrowthTrend,
+        name=st.just("generated"),
+        factor=finite_floats(0.1, 30.0),
+        span_years=finite_floats(0.25, 8.0),
     )
 
 

@@ -47,6 +47,18 @@ class GrowthTrend:
         """Relative value ``years`` after the baseline observation."""
         return float(self.annual_rate**years)
 
+    def values_at(self, years: np.ndarray) -> np.ndarray:
+        """:meth:`value_at` over an array of year offsets.
+
+        Deliberately evaluates scalar ``rate ** year`` per element rather
+        than array ``rate ** years``: numpy's SIMD pow kernel rounds
+        differently from its scalar path by 1 ULP for some inputs
+        (observed at ``1.378404875209022 ** 2.0``), which would break
+        bit-exactness with :meth:`value_at` and the golden baselines.
+        """
+        rate = self.annual_rate
+        return np.array([rate**y for y in np.asarray(years, dtype=float).tolist()])
+
     def series(self, n_points: int = 25) -> tuple[np.ndarray, np.ndarray]:
         """(years, relative value) sampled across the observation span."""
         if n_points < 2:

@@ -8,9 +8,17 @@ dependency — when it is absent the property tests themselves are
 skipped by their own import, so profile loading degrades silently.
 """
 
+import os
+
 import pytest
 
 from repro.experiments.registry import experiment_ids, run_experiment
+
+# The disk tier of the substrate cache is opt-in: tests run against the
+# in-process tier only unless the environment explicitly points the tier
+# at a directory (the CI disk-tier job sets SUSTAINABLE_AI_CACHE_DIR to a
+# temp dir to exercise exactly the same suite through both tiers).
+os.environ.setdefault("SUSTAINABLE_AI_CACHE_DIR", "off")
 
 try:
     from repro.testing.profiles import load_default_profile

@@ -1,0 +1,218 @@
+"""Disk tier of the substrate cache: round-trips, corruption, addressing.
+
+The acceptance property that matters most here: a value served from a
+warm disk cache is *identical* (bit-for-bit, still frozen) to the value a
+cold build produces, and any damaged entry — truncated, bit-flipped,
+emptied — reads as a miss and triggers a rebuild, never an error or a
+wrong value.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import diskcache, memo
+from repro.core.diskcache import (
+    CACHE_DIR_ENV_VAR,
+    UncacheableArgument,
+    canonical_token,
+    clear_disk,
+    disk_stats,
+    entry_path,
+    load,
+    resolve_cache_dir,
+    store,
+)
+from repro.core.memo import memoized_substrate
+
+
+@pytest.fixture()
+def cache_env(tmp_path, monkeypatch):
+    """Point the disk tier at a fresh directory for one test."""
+    monkeypatch.setenv(CACHE_DIR_ENV_VAR, str(tmp_path))
+    return tmp_path
+
+
+def _fresh_substrate():
+    """A new memoized function with its own counters (avoids cross-test state)."""
+    calls = []
+
+    @memoized_substrate
+    def build(n: int, seed: int = 0):
+        calls.append((n, seed))
+        rng = np.random.default_rng(seed)
+        return rng.normal(0.0, 1.0, n)
+
+    return build, calls
+
+
+class TestResolution:
+    def test_unset_env_disables_the_tier(self, monkeypatch):
+        monkeypatch.delenv(CACHE_DIR_ENV_VAR, raising=False)
+        assert resolve_cache_dir() is None
+
+    @pytest.mark.parametrize("value", ["", "0", "off", "none", "OFF", "Disabled"])
+    def test_disabling_values(self, monkeypatch, value):
+        monkeypatch.setenv(CACHE_DIR_ENV_VAR, value)
+        assert resolve_cache_dir() is None
+
+    def test_env_directory_wins(self, cache_env):
+        assert resolve_cache_dir() == cache_env
+
+
+class TestCanonicalToken:
+    def test_scalars_and_containers_are_stable(self):
+        token = canonical_token((1, 2.5, "x", None, True, (3, 4)))
+        assert token == canonical_token((1, 2.5, "x", None, True, (3, 4)))
+        assert token != canonical_token((1, 2.5, "x", None, True, (3, 5)))
+
+    def test_arrays_tokenized_by_content(self):
+        a = np.arange(6, dtype=float)
+        assert canonical_token(a) == canonical_token(a.copy())
+        assert canonical_token(a) != canonical_token(a.reshape(2, 3))
+        assert canonical_token(a) != canonical_token(a.astype(np.float32))
+
+    def test_int_and_float_do_not_collide(self):
+        assert canonical_token(1) != canonical_token(1.0)
+
+    def test_frozen_dataclass_tokens(self):
+        from repro.edge.logs import FL1, FL2
+
+        assert canonical_token(FL1) == canonical_token(FL1)
+        assert canonical_token(FL1) != canonical_token(FL2)
+
+    def test_unsupported_types_raise(self):
+        with pytest.raises(UncacheableArgument):
+            canonical_token(object())
+
+    def test_entry_path_sanitizes_qualname(self, tmp_path):
+        path = entry_path(tmp_path, "Some<Class>.build", canonical_token((1,)))
+        assert tmp_path in path.parents
+        assert "<" not in path.parent.name
+
+
+class TestRoundTrip:
+    def test_store_then_load(self, tmp_path):
+        path = tmp_path / "entry.pkl"
+        value = {"a": np.arange(4.0), "b": 3}
+        assert store(path, value)
+        hit, loaded = load(path)
+        assert hit
+        assert np.array_equal(loaded["a"], value["a"])
+        assert loaded["b"] == 3
+
+    def test_missing_file_is_a_miss(self, tmp_path):
+        hit, value = load(tmp_path / "absent.pkl")
+        assert not hit and value is None
+
+    def test_warm_build_identical_to_cold_and_frozen(self, cache_env):
+        build, calls = _fresh_substrate()
+        cold = build(512, seed=9)
+        assert len(calls) == 1
+        assert build.cache_info().disk_misses == 1
+        # New process simulated by clearing the in-process tier (which,
+        # like lru_cache, also resets the counters).
+        build.cache_clear()
+        warm = build(512, seed=9)
+        assert len(calls) == 1  # served from disk, not rebuilt
+        assert warm is not cold
+        assert np.array_equal(warm, cold)
+        assert warm.dtype == cold.dtype and warm.shape == cold.shape
+        assert not warm.flags.writeable  # frozen after disk load too
+        info = build.cache_info()
+        assert info.disk_hits == 1 and info.disk_misses == 0
+
+    def test_distinct_args_get_distinct_entries(self, cache_env):
+        build, calls = _fresh_substrate()
+        build(16, seed=1)
+        build(16, seed=2)
+        build(17, seed=1)
+        assert len(calls) == 3
+        stats = disk_stats(cache_env)
+        assert sum(row["entries"] for row in stats.values()) == 3
+
+
+class TestCorruptionFallback:
+    @pytest.mark.parametrize(
+        "damage",
+        [
+            lambda raw: raw[: len(raw) // 2],  # truncated
+            lambda raw: b"",  # emptied
+            lambda raw: raw[:12] + bytes([raw[12] ^ 0xFF]) + raw[13:],  # bit flip
+            lambda raw: b"not a cache entry at all",
+        ],
+    )
+    def test_damaged_entry_rebuilds(self, cache_env, damage):
+        build, calls = _fresh_substrate()
+        cold = build(256, seed=4)
+        entries = list(cache_env.rglob("*.pkl"))
+        assert len(entries) == 1
+        raw = entries[0].read_bytes()
+        entries[0].write_bytes(damage(raw))
+
+        build.cache_clear()
+        rebuilt = build(256, seed=4)
+        assert len(calls) == 2  # damage detected -> rebuilt
+        assert np.array_equal(rebuilt, cold)
+        info = build.cache_info()
+        assert info.disk_errors == 1
+        # The rewritten entry is healthy again.
+        build.cache_clear()
+        build(256, seed=4)
+        assert len(calls) == 2
+        assert build.cache_info().disk_hits == 1
+
+    def test_unreadable_directory_never_raises(self, monkeypatch, tmp_path):
+        target = tmp_path / "file-not-dir"
+        target.write_text("occupied")
+        monkeypatch.setenv(CACHE_DIR_ENV_VAR, str(target / "sub"))
+        build, calls = _fresh_substrate()
+        value = build(32, seed=0)  # store fails silently; build still served
+        assert len(calls) == 1
+        assert len(value) == 32
+
+
+class TestMaintenance:
+    def test_disk_stats_and_clear(self, cache_env):
+        build, _ = _fresh_substrate()
+        build(64, seed=0)
+        build(64, seed=1)
+        stats = disk_stats(cache_env)
+        assert sum(row["entries"] for row in stats.values()) == 2
+        assert all(row["bytes"] > 0 for row in stats.values())
+        assert clear_disk(cache_env) == 2
+        assert disk_stats(cache_env) == {}
+        assert clear_disk(cache_env) == 0  # idempotent on empty/missing
+
+    def test_salt_separates_library_versions(self, cache_env, monkeypatch):
+        build, calls = _fresh_substrate()
+        build(8, seed=0)
+        monkeypatch.setattr(diskcache, "cache_salt", lambda: "other-version")
+        build.cache_clear()
+        build(8, seed=0)
+        assert len(calls) == 2  # different salt -> different address
+
+    def test_memory_tier_still_counts_misses_with_disk_on(self, cache_env):
+        build, _ = _fresh_substrate()
+        build(8, seed=0)
+        build(8, seed=0)
+        info = build.cache_info()
+        assert info.misses == 1 and info.hits == 1
+
+
+class TestWorkerStatsTransport:
+    def test_delta_and_merge_roundtrip(self, cache_env):
+        build, _ = _fresh_substrate()
+        before = memo.stats_snapshot()
+        build(24, seed=0)
+        build(24, seed=0)
+        delta = memo.stats_delta(before, memo.stats_snapshot())
+        name = build.__wrapped__.__qualname__
+        assert delta[name]["misses"] == 1
+        assert delta[name]["hits"] == 1
+        assert delta[name]["disk_misses"] == 1
+        merged: dict[str, dict[str, int]] = {}
+        memo.merge_stats(merged, delta)
+        memo.merge_stats(merged, delta)
+        assert merged[name]["misses"] == 2
+        totals = memo.totals(merged)
+        assert totals["hits"] == 2

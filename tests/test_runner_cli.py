@@ -90,6 +90,106 @@ class TestCLI:
         assert seq.read_bytes() == par.read_bytes()
 
 
+class TestProfileFlag:
+    def test_profile_prints_report_and_embeds_json(self, tmp_path, capsys):
+        target = tmp_path / "out.json"
+        assert main(["run", "fig7", "--quiet", "--profile", "--json", str(target)]) == 0
+        out = capsys.readouterr().out
+        assert "profile: slowest experiments" in out
+        assert "profile: substrate cache" in out
+        data = json.loads(target.read_text())
+        profile = data[0]["profile"]
+        assert profile["wall_s"] >= 0.0
+        assert profile["cpu_s"] >= 0.0
+        assert profile["peak_rss_kb"] > 0
+        assert isinstance(profile["cache"], dict)
+
+    def test_without_flag_json_has_no_profile_key(self, tmp_path, capsys):
+        target = tmp_path / "out.json"
+        assert main(["run", "fig7", "--quiet", "--json", str(target)]) == 0
+        data = json.loads(target.read_text())
+        assert "profile" not in data[0]
+        assert "profile:" not in capsys.readouterr().out
+
+    def test_profiled_json_matches_unprofiled_modulo_profile_key(
+        self, tmp_path, capsys
+    ):
+        plain = tmp_path / "plain.json"
+        profiled = tmp_path / "profiled.json"
+        assert main(["run", "fig8", "--quiet", "--json", str(plain)]) == 0
+        assert main(["run", "fig8", "--quiet", "--profile", "--json", str(profiled)]) == 0
+        a = json.loads(plain.read_text())[0]
+        b = json.loads(profiled.read_text())[0]
+        b.pop("profile")
+        assert a == b
+
+
+class TestCacheCommand:
+    # ``ext-autoscale`` is a cheap experiment that builds a memoized
+    # substrate (``diurnal_demand``), so a cold run with the disk tier on
+    # writes at least one entry.  The in-process tier is cleared first —
+    # a warm memory tier would never consult the disk.
+    @pytest.fixture(autouse=True)
+    def _cold_memory_tier(self):
+        from repro.core.memo import clear_substrate_caches
+
+        clear_substrate_caches()
+
+    def test_stats_on_populated_directory(self, tmp_path, monkeypatch, capsys):
+        from repro.core.diskcache import CACHE_DIR_ENV_VAR
+
+        monkeypatch.setenv(CACHE_DIR_ENV_VAR, str(tmp_path))
+        assert main(["run", "ext-autoscale", "--quiet"]) == 0
+        capsys.readouterr()
+        assert main(["cache", "stats"]) == 0
+        out = capsys.readouterr().out
+        assert str(tmp_path) in out
+        assert "entr" in out  # entry/entries rows
+        assert "registered substrates" in out
+
+    def test_clear_removes_entries(self, tmp_path, monkeypatch, capsys):
+        from repro.core.diskcache import CACHE_DIR_ENV_VAR
+
+        monkeypatch.setenv(CACHE_DIR_ENV_VAR, str(tmp_path))
+        assert main(["run", "ext-autoscale", "--quiet"]) == 0
+        assert list(tmp_path.rglob("*.pkl"))
+        capsys.readouterr()
+        assert main(["cache", "clear"]) == 0
+        assert "removed" in capsys.readouterr().out
+        assert not list(tmp_path.rglob("*.pkl"))
+
+    def test_explicit_cache_dir_flag(self, tmp_path, capsys):
+        assert main(["cache", "stats", "--cache-dir", str(tmp_path / "empty")]) == 0
+        out = capsys.readouterr().out
+        assert "(no entries)" in out
+
+    def test_run_cache_dir_flag_exports_env(self, tmp_path, monkeypatch, capsys):
+        import os
+
+        from repro.core.diskcache import CACHE_DIR_ENV_VAR
+
+        monkeypatch.delenv(CACHE_DIR_ENV_VAR, raising=False)
+        assert main(
+            ["run", "ext-autoscale", "--quiet", "--cache-dir", str(tmp_path)]
+        ) == 0
+        assert os.environ[CACHE_DIR_ENV_VAR] == str(tmp_path)
+        assert list(tmp_path.rglob("*.pkl"))
+
+    def test_no_disk_cache_flag_disables_tier(self, tmp_path, monkeypatch, capsys):
+        from repro.core.diskcache import CACHE_DIR_ENV_VAR
+
+        monkeypatch.setenv(CACHE_DIR_ENV_VAR, str(tmp_path))
+        assert main(["run", "ext-autoscale", "--quiet", "--no-disk-cache"]) == 0
+        assert not list(tmp_path.rglob("*.pkl"))
+
+    def test_cache_dir_and_no_disk_cache_conflict(self, tmp_path, capsys):
+        code = main(
+            ["run", "fig7", "--cache-dir", str(tmp_path), "--no-disk-cache"]
+        )
+        assert code == 2
+        assert "mutually exclusive" in capsys.readouterr().err
+
+
 class TestVerifyCommand:
     def test_update_then_verify_ok(self, tmp_path, capsys, small_registry):
         baselines = tmp_path / "baselines.json"

@@ -1,5 +1,7 @@
 """Substrate memoization tests: shared traces are cached, frozen, correct."""
 
+import warnings
+
 import numpy as np
 import pytest
 
@@ -64,9 +66,26 @@ class TestMemoizedSubstrate:
             calls.append(x)
             return np.asarray(x, dtype=float)
 
-        build([1.0, 2.0])
+        with pytest.warns(RuntimeWarning, match="bypass"):
+            build([1.0, 2.0])
         build([1.0, 2.0])  # list is unhashable -> no caching, no error
         assert len(calls) == 2
         build((1.0, 2.0))
         build((1.0, 2.0))
         assert len(calls) == 3
+        info = build.cache_info()
+        assert info.bypasses == 2
+        assert info.misses == 1 and info.hits == 1
+
+    def test_bypass_warning_fires_once_per_substrate(self):
+        @memoized_substrate
+        def build_other(x):
+            return np.asarray(x, dtype=float)
+
+        with pytest.warns(RuntimeWarning, match="build_other"):
+            build_other([1.0])
+        # Second bypass of the same substrate stays silent.
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            build_other([2.0])
+        assert build_other.cache_info().bypasses == 2

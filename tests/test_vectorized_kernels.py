@@ -1,0 +1,183 @@
+"""Bit-exactness of the vectorized fleet/edge kernels vs their references.
+
+Every kernel that replaced a per-hour/per-device Python loop retains the
+original loop as a private ``_reference_*`` implementation; this suite
+proves, over Hypothesis-generated configurations, that the numpy
+formulation reproduces the loop *bit-for-bit* (``==`` on floats, never
+``allclose``) — the property the golden-baseline harness relies on.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.edge import async_fl
+from repro.edge.devices import DevicePopulation
+from repro.edge.selection import _reference_run_selection, run_selection
+from repro.fleet.capacity_planning import _reference_capacity_totals
+from repro.fleet.cluster import Cluster
+from repro.fleet.growth import (
+    _reference_composed_half_gains,
+    composed_half_gains,
+)
+from repro.fleet.multitenancy import (
+    _reference_pack_first_fit_decreasing,
+    pack_first_fit_decreasing,
+)
+from repro.fleet.server import AI_TRAINING_SKU, STORAGE_SKU, WEB_SKU
+from repro.fleet.utilization import UtilizationDistribution
+from repro.testing import strategies as strat
+
+pytestmark = pytest.mark.property
+
+SKUS = (WEB_SKU, STORAGE_SKU, AI_TRAINING_SKU)
+
+
+class TestClusterKernels:
+    @given(
+        sku_index=st.integers(0, len(SKUS) - 1),
+        n_servers=st.integers(1, 96),
+        n_powered=st.integers(0, 96),
+        seed=st.integers(0, 2**16),
+    )
+    def test_power_and_utilization_match_server_loop(
+        self, sku_index, n_servers, n_powered, seed
+    ):
+        cluster = Cluster("c", SKUS[sku_index], n_servers)
+        rng = np.random.default_rng(seed)
+        cluster.set_utilizations(rng.uniform(0.0, 1.0, n_servers))
+        cluster.power_servers(min(n_powered, n_servers))
+        assert cluster.current_power().watts == cluster._reference_current_power().watts
+        assert cluster.mean_utilization() == cluster._reference_mean_utilization()
+        assert cluster.powered_count == sum(1 for s in cluster.servers if s.powered)
+
+
+class TestPackingKernel:
+    @given(
+        demands=strat.gpu_demand_arrays(),
+        max_tenants=st.integers(1, 10),
+        capacity=st.floats(0.5, 1.0, allow_nan=False),
+    )
+    def test_first_fit_decreasing_matches_reference(
+        self, demands, max_tenants, capacity
+    ):
+        fast = pack_first_fit_decreasing(demands, max_tenants, capacity)
+        slow = _reference_pack_first_fit_decreasing(demands, max_tenants, capacity)
+        assert fast.n_devices == slow.n_devices
+        assert np.array_equal(fast.device_loads, slow.device_loads)
+        assert np.array_equal(fast.tenants_per_device, slow.tenants_per_device)
+
+
+class TestGrowthKernels:
+    @given(areas=strat.optimization_areas())
+    def test_composed_half_gains_matches_reference(self, areas):
+        assert np.array_equal(
+            composed_half_gains(areas), _reference_composed_half_gains(areas)
+        )
+
+    @given(
+        trend=strat.growth_trends(),
+        initial_servers=st.integers(1, 100_000),
+        horizon=st.integers(1, 12),
+    )
+    def test_capacity_totals_match_reference(self, trend, initial_servers, horizon):
+        years = np.arange(horizon + 1)
+        assert np.array_equal(
+            initial_servers * trend.values_at(years),
+            _reference_capacity_totals(initial_servers, years, trend),
+        )
+
+    @given(trend=strat.growth_trends(), horizon=st.integers(0, 12))
+    def test_values_at_matches_scalar_value_at(self, trend, horizon):
+        years = np.arange(horizon + 1)
+        scalars = np.array([trend.value_at(float(y)) for y in years])
+        assert np.array_equal(trend.values_at(years), scalars)
+
+
+class TestUtilizationKernel:
+    @given(
+        alpha=st.floats(0.2, 20.0, allow_nan=False),
+        beta=st.floats(0.2, 20.0, allow_nan=False),
+        seed=st.integers(0, 2**16),
+        n_bands=st.integers(1, 6),
+    )
+    def test_band_masses_match_scalar_cdf_calls(self, alpha, beta, seed, n_bands):
+        dist = UtilizationDistribution(alpha, beta)
+        edges = np.sort(np.random.default_rng(seed).uniform(0.0, 1.0, 2 * n_bands))
+        bands = tuple(
+            (float(edges[2 * i]), float(edges[2 * i + 1])) for i in range(n_bands)
+        )
+        assert np.array_equal(
+            dist.fractions_in_bands(bands), dist._reference_fractions_in_bands(bands)
+        )
+
+
+class TestEdgeFLKernels:
+    @given(
+        population=strat.client_populations(),
+        target_updates=st.integers(1, 800),
+        cohort_size=st.integers(1, 48),
+        seed=st.integers(0, 2**10),
+    )
+    def test_run_sync_matches_reference(
+        self, population, target_updates, cohort_size, seed
+    ):
+        cohort_size = min(cohort_size, len(population))
+        assert async_fl.run_sync(
+            population, target_updates, cohort_size, seed
+        ) == async_fl._reference_run_sync(population, target_updates, cohort_size, seed)
+
+    @given(
+        population=strat.client_populations(),
+        target_updates=st.integers(1, 800),
+        concurrency=st.integers(1, 128),
+        buffer_size=st.integers(1, 16),
+        seed=st.integers(0, 2**10),
+    )
+    def test_run_async_matches_reference(
+        self, population, target_updates, concurrency, buffer_size, seed
+    ):
+        assert async_fl.run_async(
+            population, target_updates, concurrency, buffer_size, seed
+        ) == async_fl._reference_run_async(
+            population, target_updates, concurrency, buffer_size, seed
+        )
+
+    @settings(max_examples=40)
+    @given(
+        population=st.one_of(
+            strat.client_populations(max_clients=200),
+            strat.quantized_client_populations(),
+        ),
+        strategy=st.sampled_from(("random", "fastest", "energy-aware")),
+        rounds=st.integers(1, 40),
+        cohort_size=st.integers(1, 32),
+        availability=st.floats(0.05, 1.0, allow_nan=False),
+        seed=st.integers(0, 2**10),
+    )
+    def test_run_selection_matches_reference(
+        self, population, strategy, rounds, cohort_size, availability, seed
+    ):
+        cohort_size = min(cohort_size, len(population))
+        args = (population, strategy, rounds, cohort_size, None, availability, seed)
+        assert run_selection(*args) == _reference_run_selection(*args)
+
+    @given(
+        population=strat.device_populations(),
+        cohort_size=st.integers(1, 64),
+        seed=st.integers(0, 2**10),
+    )
+    def test_straggler_slowdown_matches_reference(self, population, cohort_size, seed):
+        assert population.straggler_slowdown(
+            cohort_size, seed
+        ) == population._reference_straggler_slowdown(cohort_size, seed)
+
+
+class TestStragglerTrialShape:
+    def test_quantized_speeds_still_exact(self):
+        # Degenerate sigma=0 population: every device identical (max ties).
+        population = DevicePopulation(n_devices=10, speed_sigma=0.0)
+        assert population.straggler_slowdown(4) == pytest.approx(1.0)
+        assert population.straggler_slowdown(
+            4
+        ) == population._reference_straggler_slowdown(4)
