@@ -1,0 +1,115 @@
+"""Service throughput/latency benchmarks (the BENCH_5 source).
+
+Starts a real carbon-query service (worker pool + batching + LRU) and
+drives it with the deterministic loadgen mix at 1/4/16 concurrent
+clients, recording throughput, client-side latency percentiles, and the
+server's cache hit rates for the ``--json`` document.  A separate test
+pins the headline cache claim: the warm-cache p50 of an experiment query
+is at least 5x lower than its cold p50 (the LRU serves bytes; cold runs
+execute the experiment).
+
+Run::
+
+    PYTHONPATH=src pytest benchmarks/bench_service.py -q --json service.json
+"""
+
+from __future__ import annotations
+
+import http.client
+import statistics
+import time
+
+import pytest
+
+from repro.service import ServiceConfig, start_service
+from repro.service.loadgen import run_load
+
+#: Experiments used by the warm-vs-cold measurement: a spread of cheap
+#: and mid-weight executions, all far above LRU-lookup cost when cold.
+COLD_WARM_EXPERIMENTS = ("fig1", "fig5", "fig9", "fig12", "text-gpudays", "text-quant")
+
+
+@pytest.fixture(scope="module")
+def service():
+    handle = start_service(
+        ServiceConfig(port=0, workers=2, batch_window_s=0.002, lru_size=512)
+    )
+    try:
+        yield handle
+    finally:
+        handle.stop()
+
+
+@pytest.mark.parametrize("clients", (1, 4, 16))
+def test_service_load(service, record, clients):
+    """Soak the default mix; zero 5xx allowed at every concurrency level."""
+    report = run_load(
+        service.service.config.host,
+        service.port,
+        clients=clients,
+        duration_s=3.0,
+        seed=clients,
+    )
+    assert report.requests > 0
+    assert report.errors_5xx == 0
+    assert report.transport_errors == 0
+    cache = (report.server_metrics or {}).get("response_cache", {})
+    requests_block = (report.server_metrics or {}).get("requests", {})
+    record(
+        f"service_load:clients={clients}",
+        clients=clients,
+        requests=report.requests,
+        throughput_rps=round(report.throughput_rps, 1),
+        p50_s=report.latency_s["p50_s"],
+        p90_s=report.latency_s["p90_s"],
+        p99_s=report.latency_s["p99_s"],
+        max_s=report.latency_s["max_s"],
+        errors_5xx=report.errors_5xx,
+        server_cache_hit_rate=cache.get("hit_rate"),
+        answered_from_cache_rate=requests_block.get("answered_from_cache_rate"),
+    )
+    print()
+    print(report.render())
+
+
+def test_warm_cache_p50_at_least_5x_faster_than_cold(record):
+    """The acceptance bound: warm p50 <= cold p50 / 5, on a fresh LRU."""
+    handle = start_service(
+        ServiceConfig(port=0, workers=0, batch_window_s=0.0, lru_size=512)
+    )
+    try:
+        conn = http.client.HTTPConnection(
+            handle.service.config.host, handle.port, timeout=300
+        )
+
+        def timed_get(path: str) -> float:
+            started = time.perf_counter()
+            conn.request("GET", path)
+            response = conn.getresponse()
+            response.read()
+            assert response.status == 200
+            return time.perf_counter() - started
+
+        cold = [timed_get(f"/experiments/{exp_id}") for exp_id in COLD_WARM_EXPERIMENTS]
+        warm = [
+            timed_get(f"/experiments/{exp_id}")
+            for _round in range(5)
+            for exp_id in COLD_WARM_EXPERIMENTS
+        ]
+        conn.close()
+    finally:
+        handle.stop()
+
+    cold_p50 = statistics.median(cold)
+    warm_p50 = statistics.median(warm)
+    record(
+        "service_cache:warm_vs_cold",
+        experiments=len(COLD_WARM_EXPERIMENTS),
+        cold_p50_s=cold_p50,
+        warm_p50_s=warm_p50,
+        speedup=round(cold_p50 / warm_p50, 1) if warm_p50 else None,
+    )
+    print(f"\ncold p50 {cold_p50 * 1e3:.2f}ms, warm p50 {warm_p50 * 1e3:.2f}ms")
+    assert warm_p50 * 5 <= cold_p50, (
+        f"warm p50 {warm_p50:.6f}s not 5x below cold p50 {cold_p50:.6f}s"
+    )

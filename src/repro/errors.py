@@ -47,3 +47,15 @@ class InvariantViolation(SustainableAIError, AssertionError):
 
 class InjectedFault(SustainableAIError, RuntimeError):
     """A deliberately injected fault (:mod:`repro.testing.faults`)."""
+
+
+class ServiceError(SustainableAIError, RuntimeError):
+    """The carbon-query service was misconfigured or misused."""
+
+
+class QueryError(SustainableAIError, ValueError):
+    """A service query could not be parsed or validated.
+
+    Maps to an HTTP 400 with a structured error body; raised before any
+    execution is scheduled, so a bad query never consumes worker budget.
+    """

@@ -12,6 +12,7 @@ Usage::
     sustainable-ai verify --check-invariants --jobs 4
     sustainable-ai cache stats         # both substrate-cache tiers
     sustainable-ai cache clear
+    sustainable-ai serve --port 8151 --workers 2   # carbon-query service
 
 ``run all``, ``report``, and ``verify`` fan experiments out across a
 process pool (``--jobs``, default ``os.cpu_count()``).  Each experiment is
@@ -470,6 +471,30 @@ def _main(argv: list[str] | None) -> int:
     )
     _add_fanout_flags(verify_parser)
 
+    serve_parser = sub.add_parser(
+        "serve",
+        help="serve carbon-footprint queries over JSON/HTTP (see docs/SERVICE.md)",
+    )
+    # Lazy import: the service layer (asyncio, HTTP) stays out of every
+    # other subcommand's import path.
+    from repro.service.app import add_serve_flags
+
+    add_serve_flags(serve_parser)
+    serve_parser.add_argument(
+        "--cache-dir",
+        metavar="PATH",
+        default=None,
+        help=(
+            "enable the disk substrate cache at PATH (exported as "
+            f"{diskcache.CACHE_DIR_ENV_VAR} so service workers warm-start)"
+        ),
+    )
+    serve_parser.add_argument(
+        "--no-disk-cache",
+        action="store_true",
+        help="disable the disk substrate cache even if the env var is set",
+    )
+
     cache_parser = sub.add_parser(
         "cache", help="inspect or clear the substrate caches"
     )
@@ -503,6 +528,16 @@ def _main(argv: list[str] | None) -> int:
         os.environ[diskcache.CACHE_DIR_ENV_VAR] = "off"
     elif cache_dir is not None:
         os.environ[diskcache.CACHE_DIR_ENV_VAR] = str(Path(cache_dir))
+
+    if args.command == "serve":
+        from repro.errors import ServiceError
+        from repro.service.app import config_from_args, serve
+
+        try:
+            config = config_from_args(args)
+        except ServiceError as exc:
+            return _usage_error(str(exc))
+        return serve(config)
 
     jobs = getattr(args, "jobs", None)
     if jobs is not None and jobs < 1:

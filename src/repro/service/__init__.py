@@ -1,0 +1,48 @@
+"""The async carbon-query service (``sustainable-ai serve``).
+
+A thin asyncio layer over the accounting engine: JSON endpoints for
+experiments, footprints, and carbon-aware schedules, with single-flight
+micro-batching, a bounded response LRU, a worker pool, backpressure, and
+graceful drain.  Responses are byte-identical to the direct library
+calls they front — see docs/SERVICE.md.
+"""
+
+from repro.service.app import (
+    CarbonQueryService,
+    ServiceConfig,
+    ServiceHandle,
+    serve,
+    start_service,
+)
+from repro.service.batching import QueryBatcher
+from repro.service.cache import ResponseCache
+from repro.service.queries import (
+    QUERY_KINDS,
+    ExperimentQuery,
+    FootprintQuery,
+    Query,
+    ScheduleQuery,
+    execute_query_task,
+    parse_query,
+    payload_to_result,
+    render_payload,
+)
+
+__all__ = [
+    "CarbonQueryService",
+    "ExperimentQuery",
+    "FootprintQuery",
+    "QUERY_KINDS",
+    "Query",
+    "QueryBatcher",
+    "ResponseCache",
+    "ScheduleQuery",
+    "ServiceConfig",
+    "ServiceHandle",
+    "execute_query_task",
+    "parse_query",
+    "payload_to_result",
+    "render_payload",
+    "serve",
+    "start_service",
+]

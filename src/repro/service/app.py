@@ -1,0 +1,563 @@
+"""The carbon-query service: routing, batching, backpressure, lifecycle.
+
+``sustainable-ai serve`` (or ``python -m repro.service``) exposes the
+accounting engine over JSON endpoints:
+
+==========================  =======================================================
+``GET /healthz``            liveness (``ok`` / ``draining``) + registry size
+``GET /metrics``            request/latency/hit-rate counters, response-cache and
+                            substrate-cache statistics
+``GET /experiments``        all registered experiment ids, in registry order
+``GET /experiments/{id}``   one experiment's runner JSON envelope (byte-identical
+                            to ``sustainable-ai run {id} --json``'s record)
+``GET|POST /footprint``     total footprint of a quantum of work under scenario
+                            knobs (:class:`repro.service.queries.FootprintQuery`)
+``GET|POST /schedule/carbon-aware``  carbon-aware vs immediate placement of a
+                            synthetic job batch
+==========================  =======================================================
+
+Request path: admission control (bounded in-flight count, excess gets a
+structured ``429``) → response LRU (hit serves the exact bytes of the
+original execution) → micro-batcher (identical in-flight queries share
+one execution) → worker pool (``--workers`` processes; ``0`` = inline)
+with a per-request timeout (``504``) — all over the same
+``AccountingContext``/``HourlySeries`` engine the CLI runner uses, so a
+service answer is byte-identical to the direct library call it fronts.
+
+Worker executions ship their substrate-cache counter deltas back to the
+parent (:func:`repro.service.queries.execute_query_task`), where they are
+merged into the run-wide view ``/metrics`` reports — the same
+stats-transport contract the experiment runner's pool uses.
+
+On SIGTERM/SIGINT the service stops accepting, drains in-flight requests
+(bounded by ``drain_timeout_s``), optionally writes a final metrics JSON
+(``--metrics-json``), and exits 0.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import signal
+import threading
+import time
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.core import memo
+from repro.errors import (
+    InjectedFault,
+    InvariantViolation,
+    QueryError,
+    ServiceError,
+    SustainableAIError,
+)
+from repro.experiments import profiling
+from repro.service import queries
+from repro.service.batching import QueryBatcher
+from repro.service.cache import ResponseCache
+from repro.service.http import HttpServer, Request, Response
+from repro.telemetry.counters import ServiceCounters
+
+#: Service defaults, shared by the CLI flags and :class:`ServiceConfig`.
+DEFAULT_PORT = 8151
+DEFAULT_WORKERS = 2
+DEFAULT_BATCH_WINDOW_S = 0.005
+DEFAULT_MAX_QUEUE = 64
+DEFAULT_REQUEST_TIMEOUT_S = 30.0
+DEFAULT_LRU_SIZE = 256
+DEFAULT_DRAIN_TIMEOUT_S = 10.0
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """All knobs of one service instance."""
+
+    host: str = "127.0.0.1"
+    port: int = DEFAULT_PORT
+    workers: int = DEFAULT_WORKERS
+    batch_window_s: float = DEFAULT_BATCH_WINDOW_S
+    max_queue: int = DEFAULT_MAX_QUEUE
+    request_timeout_s: float | None = DEFAULT_REQUEST_TIMEOUT_S
+    lru_size: int = DEFAULT_LRU_SIZE
+    drain_timeout_s: float = DEFAULT_DRAIN_TIMEOUT_S
+    metrics_json: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.workers < 0:
+            raise ServiceError(f"workers must be >= 0 (0 = inline), got {self.workers}")
+        if self.batch_window_s < 0:
+            raise ServiceError(f"batch window must be >= 0, got {self.batch_window_s}")
+        if self.max_queue < 1:
+            raise ServiceError(f"max queue must be >= 1, got {self.max_queue}")
+        if self.request_timeout_s is not None and self.request_timeout_s <= 0:
+            raise ServiceError(
+                f"request timeout must be positive or None, got {self.request_timeout_s}"
+            )
+        if self.lru_size < 0:
+            raise ServiceError(f"LRU size must be >= 0, got {self.lru_size}")
+        if self.drain_timeout_s < 0:
+            raise ServiceError(f"drain timeout must be >= 0, got {self.drain_timeout_s}")
+
+
+def _error_body(kind: str, message: str) -> bytes:
+    return queries.render_payload({"error": {"kind": kind, "message": message}})
+
+
+class CarbonQueryService:
+    """One service instance; create, then :meth:`run` on an event loop."""
+
+    def __init__(self, config: ServiceConfig) -> None:
+        self.config = config
+        self.counters = ServiceCounters()
+        self.cache = ResponseCache(config.lru_size)
+        self.batcher = QueryBatcher(config.batch_window_s, self._execute)
+        self.worker_stats: dict[str, dict[str, int]] = {}
+        self.port: int | None = None
+        self._executor: ProcessPoolExecutor | None = None
+        self._inline_executor: ThreadPoolExecutor | None = None
+        self._active = 0
+        self._draining = False
+        self._started_monotonic = time.monotonic()
+        self._stop_event: asyncio.Event | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+
+    # -- lifecycle ---------------------------------------------------------
+
+    async def run(self, on_ready=None) -> None:
+        """Serve until :meth:`request_shutdown`, then drain and clean up."""
+        self._loop = asyncio.get_running_loop()
+        self._stop_event = asyncio.Event()
+        self._started_monotonic = time.monotonic()
+        server = HttpServer(self.handle, self.config.host, self.config.port)
+        await server.start()
+        self.port = server.port
+        if on_ready is not None:
+            on_ready(self)
+        try:
+            await self._stop_event.wait()
+        finally:
+            self._draining = True
+            await server.drain_and_stop(self.config.drain_timeout_s)
+            await self.batcher.drain(self.config.drain_timeout_s)
+            if self._executor is not None:
+                self._executor.shutdown(wait=False, cancel_futures=True)
+                self._executor = None
+            if self._inline_executor is not None:
+                self._inline_executor.shutdown(wait=False, cancel_futures=True)
+                self._inline_executor = None
+            if self.config.metrics_json:
+                Path(self.config.metrics_json).write_text(
+                    json.dumps(self.metrics_payload(), indent=2, sort_keys=True) + "\n"
+                )
+
+    def request_shutdown(self) -> None:
+        """Begin graceful shutdown; safe to call from any thread or a signal."""
+        loop, event = self._loop, self._stop_event
+        if loop is None or event is None:
+            return
+        loop.call_soon_threadsafe(event.set)
+
+    # -- execution ---------------------------------------------------------
+
+    def _pool(self) -> ProcessPoolExecutor:
+        if self._executor is None:
+            self._executor = ProcessPoolExecutor(max_workers=self.config.workers)
+        return self._executor
+
+    def _inline(self) -> ThreadPoolExecutor:
+        # One thread, not to_thread's shared pool: experiment execution
+        # seeds the global RNG, so inline queries must never overlap.
+        if self._inline_executor is None:
+            self._inline_executor = ThreadPoolExecutor(
+                max_workers=1, thread_name_prefix="carbon-query-inline"
+            )
+        return self._inline_executor
+
+    async def _run_task(self, query: queries.Query) -> dict[str, object]:
+        params_json = json.dumps(query.to_params(), sort_keys=True)
+        loop = asyncio.get_running_loop()
+        if self.config.workers == 0:
+            return await loop.run_in_executor(
+                self._inline(), queries.execute_query_task, query.kind, params_json, False
+            )
+        pool = self._pool()
+        try:
+            return await loop.run_in_executor(
+                pool, queries.execute_query_task, query.kind, params_json
+            )
+        except BrokenProcessPool:
+            # The worker died mid-request (e.g. an injected crash).  The
+            # pool is unusable; tear it down so the next query gets a
+            # fresh one, and surface a structured error to the caller.
+            if self._executor is pool:
+                pool.shutdown(wait=False, cancel_futures=True)
+                self._executor = None
+            raise
+
+    async def _execute(self, key: str, query: queries.Query) -> bytes:
+        """Batcher execution body: run, merge stats, self-check, cache."""
+        outcome = await self._run_task(query)
+        memo.merge_stats(self.worker_stats, outcome["stats_delta"])
+        payload = outcome["payload"]
+        from repro.core.series import runtime_checks_enabled
+
+        if runtime_checks_enabled():
+            from repro.testing.invariants import check_result
+
+            violations = check_result(queries.payload_to_result(payload))
+            if violations:
+                detail = "; ".join(
+                    f"{v.invariant}({v.metric or v.detail})" for v in violations
+                )
+                raise InvariantViolation(
+                    f"service response for {key!r} violates result invariants: {detail}"
+                )
+        body = queries.render_payload(payload)
+        self.cache.put(key, body)
+        return body
+
+    async def _answer_query(self, endpoint: str, query: queries.Query) -> Response:
+        """Admission -> LRU -> batcher -> worker, with structured errors."""
+        if self._draining:
+            return Response(
+                503, _error_body("draining", "service is shutting down; retry elsewhere")
+            )
+        if self._active >= self.config.max_queue:
+            return Response(
+                429,
+                _error_body(
+                    "overloaded",
+                    f"{self._active} request(s) in flight >= max queue "
+                    f"{self.config.max_queue}; retry later",
+                ),
+            )
+        self._active += 1
+        try:
+            key = query.cache_key()
+            cached = self.cache.get(key)
+            if cached is not None:
+                return Response(200, cached)
+            future = self.batcher.submit(key, query)
+            body = await asyncio.wait_for(
+                asyncio.shield(future), self.config.request_timeout_s
+            )
+            return Response(200, body)
+        except asyncio.TimeoutError:
+            return Response(
+                504,
+                _error_body(
+                    "timeout",
+                    f"query exceeded the per-request timeout "
+                    f"({self.config.request_timeout_s}s); it may complete "
+                    "in the background and be served from cache on retry",
+                ),
+            )
+        except BrokenProcessPool:
+            return Response(
+                500, _error_body("crash", "worker process died mid-request")
+            )
+        except InjectedFault as exc:
+            return Response(500, _error_body("injected-fault", str(exc)))
+        except InvariantViolation as exc:
+            return Response(500, _error_body("invariant-violation", str(exc)))
+        except QueryError as exc:
+            return Response(400, _error_body("bad-request", str(exc)))
+        except SustainableAIError as exc:
+            return Response(400, _error_body("invalid-query", str(exc)))
+        finally:
+            self._active -= 1
+
+    # -- metrics -----------------------------------------------------------
+
+    def metrics_payload(self) -> dict[str, object]:
+        """The ``/metrics`` document (also the ``--metrics-json`` export)."""
+        from repro.experiments.registry import experiment_ids
+
+        substrate = {name: dict(row) for name, row in sorted(self.worker_stats.items())}
+        return {
+            "service": {
+                "uptime_s": time.monotonic() - self._started_monotonic,
+                "draining": self._draining,
+                "workers": self.config.workers,
+                "max_queue": self.config.max_queue,
+                "batch_window_s": self.config.batch_window_s,
+                "experiments": len(experiment_ids()),
+            },
+            "requests": self.counters.snapshot(),
+            "response_cache": self.cache.stats(),
+            "batching": self.batcher.stats(),
+            "substrate_cache": {
+                "per_substrate": substrate,
+                "totals": memo.totals(self.worker_stats),
+                "hit_rate": profiling.cache_hit_rate(self.worker_stats),
+            },
+        }
+
+    # -- routing -----------------------------------------------------------
+
+    @staticmethod
+    def _merge_params(request: Request) -> dict[str, object]:
+        """Query-string parameters overlaid by the JSON body (POST)."""
+        params: dict[str, object] = dict(request.params)
+        params.update(request.json_body())
+        return params
+
+    async def handle(self, request: Request) -> Response:
+        start = time.perf_counter()
+        endpoint, response, cache_state = await self._route(request)
+        elapsed = time.perf_counter() - start
+        self.counters.record(endpoint, response.status, elapsed, cache_state)
+        return response
+
+    async def _route(self, request: Request) -> tuple[str, Response, str | None]:
+        path, method = request.path.rstrip("/") or "/", request.method
+        if path == "/healthz" and method == "GET":
+            status = "draining" if self._draining else "ok"
+            from repro.experiments.registry import experiment_ids
+
+            return (
+                "/healthz",
+                Response(
+                    200,
+                    queries.render_payload(
+                        {"status": status, "experiments": len(experiment_ids())}
+                    ),
+                ),
+                None,
+            )
+        if path == "/metrics" and method == "GET":
+            return (
+                "/metrics",
+                Response(200, queries.render_payload(self.metrics_payload())),
+                None,
+            )
+        if path == "/experiments" and method == "GET":
+            from repro.experiments.registry import experiment_ids
+
+            return (
+                "/experiments",
+                Response(
+                    200, queries.render_payload({"experiments": list(experiment_ids())})
+                ),
+                None,
+            )
+        if path.startswith("/experiments/") and method == "GET":
+            experiment_id = path[len("/experiments/"):]
+            try:
+                query = queries.parse_query("experiment", {"experiment_id": experiment_id})
+            except QueryError as exc:
+                return (
+                    "/experiments/{id}",
+                    Response(404, _error_body("unknown-experiment", str(exc))),
+                    None,
+                )
+            return await self._query_endpoint("/experiments/{id}", query)
+        if path == "/footprint" and method in ("GET", "POST"):
+            return await self._parse_and_answer("/footprint", "footprint", request)
+        if path == "/schedule/carbon-aware" and method in ("GET", "POST"):
+            return await self._parse_and_answer("/schedule/carbon-aware", "schedule", request)
+        if path in ("/healthz", "/metrics", "/experiments") or path.startswith(
+            ("/experiments/", "/footprint", "/schedule")
+        ):
+            return (
+                path,
+                Response(405, _error_body("method-not-allowed", f"{method} {path}")),
+                None,
+            )
+        return (
+            "(unknown)",
+            Response(
+                404,
+                _error_body(
+                    "not-found",
+                    f"no route for {path!r}; endpoints: /healthz, /metrics, "
+                    "/experiments, /experiments/{id}, /footprint, "
+                    "/schedule/carbon-aware",
+                ),
+            ),
+            None,
+        )
+
+    async def _parse_and_answer(
+        self, endpoint: str, kind: str, request: Request
+    ) -> tuple[str, Response, str | None]:
+        from repro.service.http import ProtocolError
+
+        try:
+            params = self._merge_params(request)
+            query = queries.parse_query(kind, params)
+        except ProtocolError as exc:
+            return endpoint, Response(400, _error_body("bad-request", str(exc))), None
+        except QueryError as exc:
+            return endpoint, Response(400, _error_body("bad-request", str(exc))), None
+        return await self._query_endpoint(endpoint, query)
+
+    async def _query_endpoint(
+        self, endpoint: str, query: queries.Query
+    ) -> tuple[str, Response, str | None]:
+        before_hits = self.cache.hits
+        response = await self._answer_query(endpoint, query)
+        if response.status != 200:
+            return endpoint, response, None
+        state = "hit" if self.cache.hits > before_hits else "miss"
+        return endpoint, response, state
+
+
+# ---------------------------------------------------------------------------
+# Embedding and CLI entry points
+# ---------------------------------------------------------------------------
+
+
+class ServiceHandle:
+    """A service running on a background thread (tests, benchmarks)."""
+
+    def __init__(self, service: CarbonQueryService, thread: threading.Thread) -> None:
+        self.service = service
+        self.thread = thread
+
+    @property
+    def port(self) -> int:
+        assert self.service.port is not None
+        return self.service.port
+
+    @property
+    def base_url(self) -> str:
+        return f"http://{self.service.config.host}:{self.port}"
+
+    def stop(self, timeout: float = 30.0) -> None:
+        self.service.request_shutdown()
+        self.thread.join(timeout)
+        if self.thread.is_alive():
+            raise ServiceError("service thread did not stop within the timeout")
+
+    def __enter__(self) -> "ServiceHandle":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()
+
+
+def start_service(config: ServiceConfig, ready_timeout: float = 30.0) -> ServiceHandle:
+    """Start a service on a daemon thread and wait until it is listening."""
+    service = CarbonQueryService(config)
+    ready = threading.Event()
+    failure: list[BaseException] = []
+
+    def _run() -> None:
+        try:
+            asyncio.run(service.run(on_ready=lambda _svc: ready.set()))
+        except BaseException as exc:  # surface bind errors to the caller
+            failure.append(exc)
+            ready.set()
+
+    thread = threading.Thread(target=_run, name="carbon-query-service", daemon=True)
+    thread.start()
+    if not ready.wait(ready_timeout):
+        service.request_shutdown()
+        raise ServiceError("service did not start listening within the timeout")
+    if failure:
+        raise ServiceError(f"service failed to start: {failure[0]}") from failure[0]
+    return ServiceHandle(service, thread)
+
+
+def serve(config: ServiceConfig) -> int:
+    """Blocking CLI body: run until SIGTERM/SIGINT, drain, exit 0."""
+
+    def _announce(service: CarbonQueryService) -> None:
+        print(
+            f"listening on http://{config.host}:{service.port} "
+            f"(workers={config.workers}, batch_window={config.batch_window_s}s, "
+            f"max_queue={config.max_queue})",
+            flush=True,
+        )
+
+    async def _main() -> None:
+        service = CarbonQueryService(config)
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            loop.add_signal_handler(signum, service.request_shutdown)
+        await service.run(on_ready=_announce)
+        print("drained; bye", flush=True)
+
+    asyncio.run(_main())
+    return 0
+
+
+# -- shared CLI flags --------------------------------------------------------
+
+
+def add_serve_flags(parser) -> None:
+    """Install the ``serve`` flags on an argparse (sub)parser."""
+    parser.add_argument("--host", default="127.0.0.1", help="bind address (default: %(default)s)")
+    parser.add_argument(
+        "--port",
+        type=int,
+        default=DEFAULT_PORT,
+        help="TCP port; 0 picks an ephemeral port (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        metavar="K",
+        default=DEFAULT_WORKERS,
+        help="worker processes for query execution; 0 runs inline (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--batch-window",
+        type=float,
+        metavar="SECONDS",
+        default=DEFAULT_BATCH_WINDOW_S,
+        help="micro-batching window coalescing identical queries (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--max-queue",
+        type=int,
+        metavar="N",
+        default=DEFAULT_MAX_QUEUE,
+        help="bounded in-flight request queue; excess gets 429 (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--request-timeout",
+        type=float,
+        metavar="SECONDS",
+        default=DEFAULT_REQUEST_TIMEOUT_S,
+        help="per-request execution timeout -> 504 (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--lru-size",
+        type=int,
+        metavar="N",
+        default=DEFAULT_LRU_SIZE,
+        help="bounded response LRU fronting the disk cache (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--drain-timeout",
+        type=float,
+        metavar="SECONDS",
+        default=DEFAULT_DRAIN_TIMEOUT_S,
+        help="grace period for in-flight requests on shutdown (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--metrics-json",
+        metavar="PATH",
+        default=None,
+        help="write the final /metrics document to PATH on shutdown",
+    )
+
+
+def config_from_args(args) -> ServiceConfig:
+    """A :class:`ServiceConfig` from parsed ``add_serve_flags`` output."""
+    return ServiceConfig(
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        batch_window_s=args.batch_window,
+        max_queue=args.max_queue,
+        request_timeout_s=args.request_timeout if args.request_timeout > 0 else None,
+        lru_size=args.lru_size,
+        drain_timeout_s=args.drain_timeout,
+        metrics_json=args.metrics_json,
+    )

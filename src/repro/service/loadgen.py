@@ -1,0 +1,346 @@
+"""Load/soak generator for the carbon-query service.
+
+``python -m repro.service.loadgen --url http://127.0.0.1:8151`` drives a
+deterministic, seeded mix of experiment/footprint/schedule queries from
+``--clients`` concurrent keep-alive connections for ``--duration``
+seconds (or a fixed ``--requests`` budget), then reports throughput,
+client-side latency percentiles, an error census, and the server's own
+``/metrics`` hit rates.
+
+``--spawn`` self-starts a service subprocess on an ephemeral port (used
+by the CI smoke job and the benchmark suite), and ``--fail-on-5xx`` /
+``--max-p99`` turn the report into a gate: exit code 1 when the soak saw
+a server error or the p99 exceeded the bound.
+
+The generator is stdlib-only (``http.client`` + threads) so it exercises
+the service through an HTTP stack it does not share.
+"""
+
+from __future__ import annotations
+
+import argparse
+import http.client
+import json
+import os
+import random
+import signal
+import subprocess
+import sys
+import threading
+import time
+from dataclasses import dataclass, field
+from urllib.parse import urlsplit
+
+from repro.telemetry.counters import LatencyReservoir
+
+#: The default traffic mix: fast experiments plus parameterized queries,
+#: weighted toward repetition so the cache/batching layers see realistic
+#: (dashboard-like) traffic.  Weights are (path, repeats-in-deck).
+DEFAULT_EXPERIMENTS = ("fig7", "fig8", "fig9", "text-gpudays")
+
+
+def build_mix(seed: int, experiments: tuple[str, ...] = DEFAULT_EXPERIMENTS) -> list[str]:
+    """A deterministic shuffled deck of request paths."""
+    deck: list[str] = []
+    for exp_id in experiments:
+        deck.extend([f"/experiments/{exp_id}"] * 4)
+    for busy in (100, 1000, 10_000, 100_000):
+        deck.extend([f"/footprint?busy_device_hours={busy}"] * 3)
+    deck.extend(["/footprint?busy_device_hours=5000&region=us-average"] * 2)
+    for n_jobs, grid_seed in ((10, 0), (25, 1)):
+        deck.append(f"/schedule/carbon-aware?n_jobs={n_jobs}&grid_seed={grid_seed}")
+    random.Random(seed).shuffle(deck)
+    return deck
+
+
+@dataclass
+class ClientStats:
+    """One worker thread's tally."""
+
+    requests: int = 0
+    by_status: dict[int, int] = field(default_factory=dict)
+    transport_errors: int = 0
+    latency: LatencyReservoir = field(default_factory=lambda: LatencyReservoir(65536))
+
+
+@dataclass
+class LoadgenReport:
+    """Aggregated outcome of one load run."""
+
+    clients: int
+    duration_s: float
+    requests: int
+    throughput_rps: float
+    by_status: dict[str, int]
+    errors_5xx: int
+    transport_errors: int
+    latency_s: dict[str, object]
+    server_metrics: dict[str, object] | None
+
+    def to_payload(self) -> dict[str, object]:
+        return {
+            "clients": self.clients,
+            "duration_s": self.duration_s,
+            "requests": self.requests,
+            "throughput_rps": self.throughput_rps,
+            "by_status": self.by_status,
+            "errors_5xx": self.errors_5xx,
+            "transport_errors": self.transport_errors,
+            "latency_s": self.latency_s,
+            "server_metrics": self.server_metrics,
+        }
+
+    def render(self) -> str:
+        lat = self.latency_s
+        lines = [
+            f"{self.requests} requests from {self.clients} client(s) "
+            f"in {self.duration_s:.2f}s ({self.throughput_rps:,.1f} req/s)",
+            f"  statuses: {self.by_status}  "
+            f"(5xx: {self.errors_5xx}, transport errors: {self.transport_errors})",
+            f"  latency: p50 {lat['p50_s'] * 1e3:.2f}ms  p90 {lat['p90_s'] * 1e3:.2f}ms  "
+            f"p99 {lat['p99_s'] * 1e3:.2f}ms  max {lat['max_s'] * 1e3:.2f}ms",
+        ]
+        if self.server_metrics is not None:
+            requests = self.server_metrics.get("requests", {})
+            cache = self.server_metrics.get("response_cache", {})
+            batching = self.server_metrics.get("batching", {})
+            lines.append(
+                f"  server: cache hit rate {cache.get('hit_rate')}  "
+                f"coalesced {batching.get('coalesced', 0)}  "
+                f"answered-from-cache {requests.get('answered_from_cache_rate')}"
+            )
+        return "\n".join(lines)
+
+
+def _drive_client(
+    host: str,
+    port: int,
+    deck: list[str],
+    offset: int,
+    stop_at: float,
+    max_requests: int | None,
+    stats: ClientStats,
+    timeout: float,
+) -> None:
+    conn = http.client.HTTPConnection(host, port, timeout=timeout)
+    index = offset
+    try:
+        while time.monotonic() < stop_at:
+            if max_requests is not None and stats.requests >= max_requests:
+                break
+            path = deck[index % len(deck)]
+            index += 1
+            started = time.perf_counter()
+            try:
+                conn.request("GET", path)
+                response = conn.getresponse()
+                response.read()
+                status = response.status
+                if response.will_close:
+                    conn.close()
+            except (http.client.HTTPException, OSError):
+                stats.transport_errors += 1
+                conn.close()
+                continue
+            stats.latency.observe(time.perf_counter() - started)
+            stats.requests += 1
+            stats.by_status[status] = stats.by_status.get(status, 0) + 1
+    finally:
+        conn.close()
+
+
+def run_load(
+    host: str,
+    port: int,
+    clients: int,
+    duration_s: float,
+    requests_per_client: int | None = None,
+    seed: int = 0,
+    timeout: float = 120.0,
+    fetch_server_metrics: bool = True,
+) -> LoadgenReport:
+    """Drive the mix from ``clients`` threads and aggregate the outcome."""
+    deck = build_mix(seed)
+    per_client = [ClientStats() for _ in range(clients)]
+    stop_at = time.monotonic() + duration_s
+    started = time.monotonic()
+    threads = [
+        threading.Thread(
+            target=_drive_client,
+            args=(
+                host,
+                port,
+                deck,
+                # Distinct deck offsets so clients collide on the same
+                # paths *sometimes* (coalescing) but not in lockstep.
+                (i * 7) % len(deck),
+                stop_at,
+                requests_per_client,
+                per_client[i],
+                timeout,
+            ),
+            name=f"loadgen-{i}",
+        )
+        for i in range(clients)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    elapsed = time.monotonic() - started
+
+    merged = LatencyReservoir(65536)
+    by_status: dict[int, int] = {}
+    total = 0
+    transport_errors = 0
+    for stats in per_client:
+        total += stats.requests
+        transport_errors += stats.transport_errors
+        for status, count in stats.by_status.items():
+            by_status[status] = by_status.get(status, 0) + count
+        for sample in list(stats.latency._samples):
+            merged.observe(sample)
+
+    server_metrics = None
+    if fetch_server_metrics:
+        try:
+            conn = http.client.HTTPConnection(host, port, timeout=timeout)
+            conn.request("GET", "/metrics")
+            server_metrics = json.loads(conn.getresponse().read())
+            conn.close()
+        except (http.client.HTTPException, OSError, ValueError):
+            server_metrics = None
+
+    return LoadgenReport(
+        clients=clients,
+        duration_s=elapsed,
+        requests=total,
+        throughput_rps=total / elapsed if elapsed > 0 else 0.0,
+        by_status={str(k): v for k, v in sorted(by_status.items())},
+        errors_5xx=sum(v for k, v in by_status.items() if 500 <= k < 600),
+        transport_errors=transport_errors,
+        latency_s=merged.snapshot(),
+        server_metrics=server_metrics,
+    )
+
+
+def spawn_service(extra_args: list[str] | None = None) -> tuple[subprocess.Popen, int]:
+    """Start ``python -m repro.service`` on an ephemeral port; (proc, port)."""
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro.service", "--port", "0"] + (extra_args or []),
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+        env=dict(os.environ),
+    )
+    assert proc.stdout is not None
+    banner = proc.stdout.readline()
+    if "listening on http://" not in banner:
+        proc.kill()
+        raise RuntimeError(f"service did not start: {banner!r}")
+    port = int(banner.split("http://")[1].split()[0].rsplit(":", 1)[1])
+    return proc, port
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point: soak a service and gate on the report."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.service.loadgen",
+        description="Load/soak-test a carbon-query service instance.",
+    )
+    parser.add_argument(
+        "--url",
+        default="http://127.0.0.1:8151",
+        help="service base URL (default: %(default)s); ignored with --spawn",
+    )
+    parser.add_argument(
+        "--spawn",
+        action="store_true",
+        help="start a service subprocess on an ephemeral port for the run",
+    )
+    parser.add_argument(
+        "--clients", type=int, default=4, help="concurrent client threads (default: 4)"
+    )
+    parser.add_argument(
+        "--duration", type=float, default=10.0, help="soak seconds (default: 10)"
+    )
+    parser.add_argument(
+        "--requests",
+        type=int,
+        default=None,
+        metavar="N",
+        help="stop each client after N requests (default: duration-bound only)",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="traffic-mix shuffle seed")
+    parser.add_argument(
+        "--json", metavar="PATH", default=None, help="also write the report as JSON"
+    )
+    parser.add_argument(
+        "--fail-on-5xx",
+        action="store_true",
+        help="exit 1 if any request returned a 5xx status",
+    )
+    parser.add_argument(
+        "--max-p99",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="exit 1 if the client-side p99 latency exceeds this bound",
+    )
+    args = parser.parse_args(argv)
+    if args.clients < 1:
+        parser.error(f"--clients must be >= 1, got {args.clients}")
+    if args.duration <= 0:
+        parser.error(f"--duration must be positive, got {args.duration}")
+
+    proc: subprocess.Popen | None = None
+    if args.spawn:
+        proc, port = spawn_service()
+        host = "127.0.0.1"
+    else:
+        split = urlsplit(args.url)
+        host = split.hostname or "127.0.0.1"
+        port = split.port or 8151
+    try:
+        report = run_load(
+            host,
+            port,
+            clients=args.clients,
+            duration_s=args.duration,
+            requests_per_client=args.requests,
+            seed=args.seed,
+        )
+    finally:
+        if proc is not None:
+            proc.send_signal(signal.SIGTERM)
+            try:
+                proc.wait(timeout=30)
+            except subprocess.TimeoutExpired:
+                proc.kill()
+            if proc.stdout is not None:
+                proc.stdout.close()
+
+    print(report.render())
+    if args.json:
+        with open(args.json, "w") as handle:
+            json.dump(report.to_payload(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {args.json}")
+
+    failed = False
+    if args.fail_on_5xx and (report.errors_5xx or report.transport_errors):
+        print(
+            f"FAIL: {report.errors_5xx} 5xx response(s), "
+            f"{report.transport_errors} transport error(s)",
+            file=sys.stderr,
+        )
+        failed = True
+    p99 = report.latency_s["p99_s"]
+    if args.max_p99 is not None and p99 > args.max_p99:
+        print(f"FAIL: p99 {p99:.3f}s exceeds bound {args.max_p99}s", file=sys.stderr)
+        failed = True
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,497 @@
+"""Query model of the carbon-query service.
+
+Every endpoint of :mod:`repro.service.app` is backed by a :class:`Query`:
+a validated, *normalized* bundle of parameters with
+
+* a canonical cache key (:meth:`Query.cache_key`) used by the response
+  LRU and the micro-batcher — two requests that normalize to the same
+  key are answered by one execution;
+* a pure library execution (:meth:`Query.execute`) over the existing
+  engine (:func:`repro.experiments.registry.run_experiment`,
+  :func:`repro.core.scenario.evaluate_work`, the carbon-aware
+  scheduler), returning a JSON-safe payload; and
+* one canonical serialization (:func:`render_payload`), shared by the
+  service, the conformance tests, and any direct library caller —
+  this is what makes service responses *byte-identical* to direct calls.
+
+Queries travel to pool workers as ``(kind, params_json)`` pairs and are
+re-parsed there (:func:`execute_query_task`), so the worker boundary only
+ever carries plain strings and dicts.  The task body fires the
+fault-injection hooks of :mod:`repro.testing.faults` exactly like the
+experiment runner's worker does, and ships the substrate-cache counter
+delta of the execution back to the parent alongside the payload.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.carbon.intensity import CarbonIntensity, intensity_for_region, regions
+from repro.errors import QueryError
+
+#: Query kinds, in routing order (kind -> parser).
+QUERY_KINDS: tuple[str, ...] = ("experiment", "footprint", "schedule")
+
+#: Bounds keeping a single query's work bounded (the service answers
+#: interactive traffic; year-scale sweeps belong to the CLI runner).
+MAX_JOBS = 500
+MAX_HORIZON_HOURS = 8784
+MAX_BUSY_DEVICE_HOURS = 1e12
+
+
+def render_payload(payload: Mapping[str, object]) -> bytes:
+    """The one canonical JSON serialization of a response payload.
+
+    Both the service and the direct library path serialize through this
+    function, so equality of payloads is equality of response bytes.
+    """
+    return (json.dumps(payload, indent=2, sort_keys=True) + "\n").encode("utf-8")
+
+
+# -- coercion helpers --------------------------------------------------------
+# GET requests deliver every parameter as a string; POST bodies deliver
+# JSON numbers.  The coercers accept both and reject everything else.
+
+
+def _as_float(name: str, value: object) -> float:
+    if isinstance(value, bool):
+        raise QueryError(f"parameter {name!r} must be a number, got a boolean")
+    if isinstance(value, (int, float)):
+        out = float(value)
+    elif isinstance(value, str):
+        try:
+            out = float(value)
+        except ValueError:
+            raise QueryError(f"parameter {name!r} must be a number, got {value!r}") from None
+    else:
+        raise QueryError(f"parameter {name!r} must be a number, got {type(value).__name__}")
+    if not math.isfinite(out):
+        raise QueryError(f"parameter {name!r} must be finite, got {out!r}")
+    return out
+
+
+def _as_int(name: str, value: object) -> int:
+    out = _as_float(name, value)
+    if out != int(out):
+        raise QueryError(f"parameter {name!r} must be an integer, got {out!r}")
+    return int(out)
+
+
+def _in_range(name: str, value: float, lo: float, hi: float, *, lo_open: bool = False) -> float:
+    if value < lo or value > hi or (lo_open and value == lo):
+        bracket = "(" if lo_open else "["
+        raise QueryError(f"parameter {name!r} must be in {bracket}{lo}, {hi}], got {value}")
+    return value
+
+
+def _reject_unknown(kind: str, params: Mapping[str, object], allowed: tuple[str, ...]) -> None:
+    unknown = sorted(set(params) - set(allowed))
+    if unknown:
+        raise QueryError(
+            f"unknown parameter(s) for {kind!r} query: {', '.join(unknown)}; "
+            f"allowed: {', '.join(allowed)}"
+        )
+
+
+@dataclass(frozen=True)
+class Query:
+    """One validated service query (see subclasses for the parameters)."""
+
+    kind = "abstract"
+
+    def to_params(self) -> dict[str, object]:
+        raise NotImplementedError
+
+    def execute(self) -> dict[str, object]:
+        raise NotImplementedError
+
+    def fault_target(self) -> str:
+        """The :mod:`repro.testing.faults` target name of this query."""
+        return self.kind
+
+    def cache_key(self) -> str:
+        """Canonical identity: kind plus normalized, sorted parameters."""
+        return f"{self.kind}?" + json.dumps(
+            self.to_params(), sort_keys=True, separators=(",", ":")
+        )
+
+
+# ---------------------------------------------------------------------------
+# /experiments/{id}
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ExperimentQuery(Query):
+    """Run one registered experiment; the payload is the runner envelope."""
+
+    experiment_id: str
+
+    kind = "experiment"
+
+    def to_params(self) -> dict[str, object]:
+        return {"experiment_id": self.experiment_id}
+
+    def fault_target(self) -> str:
+        return self.experiment_id
+
+    def execute(self) -> dict[str, object]:
+        from repro.experiments.registry import run_experiment
+
+        return run_experiment(self.experiment_id).to_payload()
+
+
+def parse_experiment(params: Mapping[str, object]) -> ExperimentQuery:
+    """Validate ``experiment`` query parameters into an :class:`ExperimentQuery`."""
+    _reject_unknown("experiment", params, ("experiment_id",))
+    from repro.experiments.registry import experiment_ids
+
+    experiment_id = params.get("experiment_id")
+    if not isinstance(experiment_id, str) or not experiment_id:
+        raise QueryError("parameter 'experiment_id' must be a non-empty string")
+    if experiment_id not in experiment_ids():
+        raise QueryError(
+            f"unknown experiment {experiment_id!r} "
+            "(GET /experiments lists all registered ids)"
+        )
+    return ExperimentQuery(experiment_id)
+
+
+# ---------------------------------------------------------------------------
+# /footprint
+# ---------------------------------------------------------------------------
+
+_FOOTPRINT_PARAMS: tuple[str, ...] = (
+    "busy_device_hours",
+    "utilization",
+    "pue",
+    "lifetime_years",
+    "intensity_kg_per_kwh",
+    "region",
+    "devices_per_server",
+    "board_power_fraction",
+    "infrastructure_factor",
+)
+
+
+@dataclass(frozen=True)
+class FootprintQuery(Query):
+    """Total footprint of a quantum of useful work under scenario knobs.
+
+    Mirrors :class:`repro.core.scenario.Scenario` /
+    :func:`repro.core.scenario.evaluate_work`: ``busy_device_hours`` of
+    fully-busy-equivalent device time, evaluated under the given grid
+    intensity, utilization, PUE, and embodied-amortization knobs.
+    """
+
+    busy_device_hours: float
+    utilization: float
+    pue: float
+    lifetime_years: float
+    intensity_kg_per_kwh: float
+    intensity_label: str
+    devices_per_server: int
+    board_power_fraction: float
+    infrastructure_factor: float
+
+    kind = "footprint"
+
+    def to_params(self) -> dict[str, object]:
+        return {
+            "busy_device_hours": self.busy_device_hours,
+            "utilization": self.utilization,
+            "pue": self.pue,
+            "lifetime_years": self.lifetime_years,
+            "intensity_kg_per_kwh": self.intensity_kg_per_kwh,
+            "intensity_label": self.intensity_label,
+            "devices_per_server": self.devices_per_server,
+            "board_power_fraction": self.board_power_fraction,
+            "infrastructure_factor": self.infrastructure_factor,
+        }
+
+    def execute(self) -> dict[str, object]:
+        from repro.core.scenario import Scenario, evaluate_work
+
+        scenario = Scenario(
+            intensity=CarbonIntensity(self.intensity_kg_per_kwh, self.intensity_label),
+            utilization=self.utilization,
+            lifetime_years=self.lifetime_years,
+            pue=self.pue,
+            devices_per_server=self.devices_per_server,
+            board_power_fraction=self.board_power_fraction,
+            infrastructure_embodied_factor=self.infrastructure_factor,
+            name="service-footprint",
+        )
+        outcome = evaluate_work(self.busy_device_hours, scenario)
+        return {
+            "query": self.to_params(),
+            "headline": {
+                "facility_energy_kwh": outcome.energy.kwh,
+                "it_energy_kwh": outcome.energy.kwh / self.pue,
+                "operational_kg": outcome.operational.kg,
+                "embodied_kg": outcome.embodied.kg,
+                "total_kg": outcome.total.kg,
+                "operational_share": (
+                    outcome.operational.kg / outcome.total.kg if outcome.total.kg else 0.0
+                ),
+                "embodied_share": outcome.embodied_share,
+            },
+        }
+
+
+def parse_footprint(params: Mapping[str, object]) -> FootprintQuery:
+    """Validate ``footprint`` query parameters into a :class:`FootprintQuery`."""
+    _reject_unknown("footprint", params, _FOOTPRINT_PARAMS + ("intensity_label",))
+    if "busy_device_hours" not in params:
+        raise QueryError("footprint query requires 'busy_device_hours'")
+    busy = _in_range(
+        "busy_device_hours",
+        _as_float("busy_device_hours", params["busy_device_hours"]),
+        0.0,
+        MAX_BUSY_DEVICE_HOURS,
+    )
+    utilization = _in_range(
+        "utilization", _as_float("utilization", params.get("utilization", 0.45)), 0.0, 1.0,
+        lo_open=True,
+    )
+    pue = _in_range("pue", _as_float("pue", params.get("pue", 1.10)), 1.0, 10.0)
+    lifetime = _in_range(
+        "lifetime_years",
+        _as_float("lifetime_years", params.get("lifetime_years", 4.0)),
+        0.0,
+        100.0,
+        lo_open=True,
+    )
+    board = _in_range(
+        "board_power_fraction",
+        _as_float("board_power_fraction", params.get("board_power_fraction", 0.95)),
+        0.0,
+        1.0,
+        lo_open=True,
+    )
+    infra = _in_range(
+        "infrastructure_factor",
+        _as_float("infrastructure_factor", params.get("infrastructure_factor", 3.0)),
+        1.0,
+        100.0,
+    )
+    devices = _as_int("devices_per_server", params.get("devices_per_server", 2))
+    if not (1 <= devices <= 1024):
+        raise QueryError(f"parameter 'devices_per_server' must be in [1, 1024], got {devices}")
+
+    if "intensity_kg_per_kwh" in params and "region" in params:
+        raise QueryError("provide either 'intensity_kg_per_kwh' or 'region', not both")
+    if "region" in params:
+        region = params["region"]
+        if not isinstance(region, str) or region not in regions():
+            raise QueryError(
+                f"unknown region {region!r}; known: {', '.join(regions())}"
+            )
+        intensity = intensity_for_region(region)
+        kg_per_kwh, label = intensity.kg_per_kwh, intensity.label
+    elif "intensity_kg_per_kwh" in params:
+        kg_per_kwh = _in_range(
+            "intensity_kg_per_kwh",
+            _as_float("intensity_kg_per_kwh", params["intensity_kg_per_kwh"]),
+            0.0,
+            10.0,
+        )
+        label = str(params.get("intensity_label", "custom"))
+    else:
+        from repro.carbon.intensity import US_AVERAGE
+
+        kg_per_kwh, label = US_AVERAGE.kg_per_kwh, US_AVERAGE.label
+    return FootprintQuery(
+        busy_device_hours=busy,
+        utilization=utilization,
+        pue=pue,
+        lifetime_years=lifetime,
+        intensity_kg_per_kwh=kg_per_kwh,
+        intensity_label=label,
+        devices_per_server=devices,
+        board_power_fraction=board,
+        infrastructure_factor=infra,
+    )
+
+
+# ---------------------------------------------------------------------------
+# /schedule/carbon-aware
+# ---------------------------------------------------------------------------
+
+_SCHEDULE_PARAMS: tuple[str, ...] = (
+    "n_jobs",
+    "seed",
+    "horizon_hours",
+    "capacity_kw",
+    "grid_hours",
+    "grid_seed",
+)
+
+
+@dataclass(frozen=True)
+class ScheduleQuery(Query):
+    """Carbon-aware vs immediate placement of a synthetic job batch.
+
+    The grid trace is a memoized substrate
+    (:func:`repro.carbon.grid.synthesize_grid_trace`), so identical
+    ``(grid_hours, grid_seed)`` queries — coalesced or not — share one
+    build per worker process.
+    """
+
+    n_jobs: int
+    seed: int
+    horizon_hours: int
+    capacity_kw: float | None
+    grid_hours: int
+    grid_seed: int
+
+    kind = "schedule"
+
+    def to_params(self) -> dict[str, object]:
+        return {
+            "n_jobs": self.n_jobs,
+            "seed": self.seed,
+            "horizon_hours": self.horizon_hours,
+            "capacity_kw": self.capacity_kw,
+            "grid_hours": self.grid_hours,
+            "grid_seed": self.grid_seed,
+        }
+
+    def execute(self) -> dict[str, object]:
+        from repro.carbon.grid import synthesize_grid_trace
+        from repro.scheduling.carbon_aware import (
+            carbon_saving,
+            schedule_carbon_aware,
+            schedule_immediate,
+        )
+        from repro.scheduling.jobs import synthesize_jobs
+
+        grid = synthesize_grid_trace(hours=self.grid_hours, seed=self.grid_seed)
+        jobs = synthesize_jobs(
+            n_jobs=self.n_jobs, horizon_hours=self.horizon_hours, seed=self.seed
+        )
+        capacity = float("inf") if self.capacity_kw is None else self.capacity_kw
+        baseline = schedule_immediate(jobs, grid, self.horizon_hours, capacity)
+        aware = schedule_carbon_aware(jobs, grid, self.horizon_hours, capacity)
+        return {
+            "query": self.to_params(),
+            "headline": {
+                "immediate_kg": baseline.total_carbon.kg,
+                "carbon_aware_kg": aware.total_carbon.kg,
+                "carbon_saving": carbon_saving(baseline, aware),
+                "deadline_misses": float(aware.deadline_misses),
+                "peak_power_kw_immediate": baseline.peak_power_kw,
+                "peak_power_kw_aware": aware.peak_power_kw,
+            },
+            "start_hours": {
+                str(job_id): aware.start_hours[job_id] for job_id in sorted(aware.start_hours)
+            },
+        }
+
+
+def parse_schedule(params: Mapping[str, object]) -> ScheduleQuery:
+    """Validate ``schedule`` query parameters into a :class:`ScheduleQuery`."""
+    _reject_unknown("schedule", params, _SCHEDULE_PARAMS)
+    n_jobs = _as_int("n_jobs", params.get("n_jobs", 60))
+    if not (1 <= n_jobs <= MAX_JOBS):
+        raise QueryError(f"parameter 'n_jobs' must be in [1, {MAX_JOBS}], got {n_jobs}")
+    horizon = _as_int("horizon_hours", params.get("horizon_hours", 168))
+    if not (24 <= horizon <= MAX_HORIZON_HOURS):
+        raise QueryError(
+            f"parameter 'horizon_hours' must be in [24, {MAX_HORIZON_HOURS}], got {horizon}"
+        )
+    grid_hours = _as_int("grid_hours", params.get("grid_hours", 168))
+    if not (24 <= grid_hours <= MAX_HORIZON_HOURS):
+        raise QueryError(
+            f"parameter 'grid_hours' must be in [24, {MAX_HORIZON_HOURS}], got {grid_hours}"
+        )
+    if horizon > grid_hours:
+        raise QueryError(
+            f"'horizon_hours' ({horizon}) must not exceed 'grid_hours' ({grid_hours}); "
+            "jobs scheduled past the grid trace would have undefined emissions"
+        )
+    capacity: float | None = None
+    if params.get("capacity_kw") is not None:
+        capacity = _in_range(
+            "capacity_kw", _as_float("capacity_kw", params["capacity_kw"]), 0.0, 1e9,
+            lo_open=True,
+        )
+    return ScheduleQuery(
+        n_jobs=n_jobs,
+        seed=_as_int("seed", params.get("seed", 0)),
+        horizon_hours=horizon,
+        capacity_kw=capacity,
+        grid_hours=grid_hours,
+        grid_seed=_as_int("grid_seed", params.get("grid_seed", 0)),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Dispatch, worker task body, invariant bridging
+# ---------------------------------------------------------------------------
+
+_PARSERS = {
+    "experiment": parse_experiment,
+    "footprint": parse_footprint,
+    "schedule": parse_schedule,
+}
+
+
+def parse_query(kind: str, params: Mapping[str, object]) -> Query:
+    """Parse and validate one query; raises :class:`QueryError`."""
+    try:
+        parser = _PARSERS[kind]
+    except KeyError:
+        raise QueryError(
+            f"unknown query kind {kind!r}; known: {', '.join(QUERY_KINDS)}"
+        ) from None
+    return parser(params)
+
+
+def execute_query_task(kind: str, params_json: str, in_worker: bool = True) -> dict[str, object]:
+    """Worker body: parse, fire fault hooks, execute, ship stats back.
+
+    Mirrors the experiment runner's worker
+    (:func:`repro.experiments.runner._execute`): fault-injection hooks
+    run first so the production degradation paths are what tests
+    exercise, and the substrate-cache counter delta of this execution
+    rides back to the service process for the ``/metrics`` merge.
+    ``in_worker=False`` (inline execution, ``--workers 0``) downgrades
+    ``crash`` faults to exceptions so the server process survives.
+    """
+    from repro.core import memo
+    from repro.testing import faults
+
+    query = parse_query(kind, json.loads(params_json))
+    faults.install_memo_corruption()
+    faults.inject(query.fault_target(), attempt=0, hard_exit=in_worker)
+    before = memo.stats_snapshot()
+    payload = query.execute()
+    delta = memo.stats_delta(before, memo.stats_snapshot())
+    return {"payload": payload, "stats_delta": delta}
+
+
+def payload_to_result(payload: Mapping[str, object]):
+    """Bridge a service response payload to an :class:`ExperimentResult`.
+
+    Lets every service response flow through the PR-3 result-invariant
+    registry (:func:`repro.testing.invariants.check_result`): experiment
+    payloads round-trip as-is, and footprint/schedule payloads become a
+    synthetic result whose headline is the response's ``headline`` block.
+    """
+    from repro.experiments.base import ExperimentResult
+
+    if "experiment_id" in payload:
+        return ExperimentResult.from_payload(payload)
+    query = payload.get("query")
+    kind = "service-query"
+    if isinstance(query, Mapping):
+        kind = f"service-{'footprint' if 'busy_device_hours' in query else 'schedule'}"
+    return ExperimentResult(
+        experiment_id=kind,
+        title=f"carbon-query service response ({kind})",
+        headline={k: float(v) for k, v in dict(payload.get("headline", {})).items()},
+    )

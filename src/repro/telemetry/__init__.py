@@ -1,8 +1,10 @@
 """Telemetry: simulated counters, the emissions tracker, reports, cards."""
 
 from repro.telemetry.counters import (
+    LatencyReservoir,
     NvmlPowerSensor,
     RaplCounter,
+    ServiceCounters,
     SimulatedHost,
     rapl_delta_uj,
 )
@@ -39,9 +41,11 @@ __all__ = [
     "predict_training_cost",
     "recommend_start_hour",
     "HardwareDisclosure",
+    "LatencyReservoir",
     "ModelCard",
     "NvmlPowerSensor",
     "RaplCounter",
+    "ServiceCounters",
     "SimulatedHost",
     "TimeVaryingAccountant",
     "account_constant_run",

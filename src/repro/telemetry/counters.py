@@ -1,4 +1,4 @@
-"""Simulated hardware energy counters (RAPL- and NVML-style).
+"""Simulated hardware energy counters, plus service request counters.
 
 Real telemetry tools (CodeCarbon, carbontracker, experiment-impact-tracker)
 poll Intel RAPL energy counters for CPUs and NVML power readings for
@@ -13,10 +13,19 @@ GPUs.  Offline we simulate those interfaces faithfully:
 A :class:`SimulatedHost` wires devices to a workload profile so the
 tracker exercises the identical polling/integration code path it would
 run against real counters.
+
+The carbon-query service (:mod:`repro.service`) reports through the
+request-side counters in this module: :class:`LatencyReservoir` (bounded
+latency samples with percentile snapshots) and :class:`ServiceCounters`
+(request counts by endpoint/status, per-endpoint latency, response-cache
+hit rates).  ``GET /metrics`` and the ``--metrics-json`` export surface
+their snapshots.
 """
 
 from __future__ import annotations
 
+import threading
+from collections import Counter, deque
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -135,3 +144,122 @@ class SimulatedHost:
 
     def now_s(self) -> float:
         return self.clock_s
+
+
+# ---------------------------------------------------------------------------
+# Service request counters (the carbon-query service's /metrics source)
+# ---------------------------------------------------------------------------
+
+#: Percentiles reported by every latency snapshot (nearest-rank).
+LATENCY_PERCENTILES: tuple[int, ...] = (50, 90, 99)
+
+
+class LatencyReservoir:
+    """A bounded reservoir of latency samples with percentile snapshots.
+
+    Keeps the most recent ``capacity`` observations (a sliding window —
+    long soaks report current behavior, not the cold-start transient)
+    while ``count``/``total_s`` track every observation ever made.
+    Thread-safe; snapshots use the nearest-rank method on a sorted copy.
+    """
+
+    def __init__(self, capacity: int = 4096) -> None:
+        if capacity <= 0:
+            raise TelemetryError(f"reservoir capacity must be positive, got {capacity}")
+        self._samples: deque[float] = deque(maxlen=capacity)
+        self._lock = threading.Lock()
+        self.count = 0
+        self.total_s = 0.0
+        self.max_s = 0.0
+
+    def observe(self, seconds: float) -> None:
+        if seconds < 0:
+            raise TelemetryError(f"latency must be non-negative, got {seconds}")
+        with self._lock:
+            self._samples.append(seconds)
+            self.count += 1
+            self.total_s += seconds
+            self.max_s = max(self.max_s, seconds)
+
+    @staticmethod
+    def _nearest_rank(ordered: list[float], percentile: int) -> float:
+        rank = max(1, int(np.ceil(percentile / 100.0 * len(ordered))))
+        return ordered[rank - 1]
+
+    def snapshot(self) -> dict[str, object]:
+        """Mean, max, and the :data:`LATENCY_PERCENTILES` of the window."""
+        with self._lock:
+            ordered = sorted(self._samples)
+            count, total, peak = self.count, self.total_s, self.max_s
+        out: dict[str, object] = {
+            "count": count,
+            "mean_s": (total / count) if count else 0.0,
+            "max_s": peak,
+        }
+        for percentile in LATENCY_PERCENTILES:
+            out[f"p{percentile}_s"] = (
+                self._nearest_rank(ordered, percentile) if ordered else 0.0
+            )
+        return out
+
+
+class ServiceCounters:
+    """Request/latency/hit-rate counters of the carbon-query service.
+
+    One instance per service; every completed HTTP exchange is recorded
+    with its endpoint, status, wall latency, and (for query endpoints)
+    whether the response came from the LRU (``cache_state`` of ``"hit"``
+    or ``"miss"``).  Thread-safe, so the load generator and tests can
+    snapshot while the event loop records.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._by_endpoint: Counter[str] = Counter()
+        self._by_status: Counter[int] = Counter()
+        self._cache_states: Counter[str] = Counter()
+        self._latency: dict[str, LatencyReservoir] = {}
+
+    def record(
+        self,
+        endpoint: str,
+        status: int,
+        seconds: float,
+        cache_state: str | None = None,
+    ) -> None:
+        """Record one completed request."""
+        with self._lock:
+            self._by_endpoint[endpoint] += 1
+            self._by_status[int(status)] += 1
+            if cache_state is not None:
+                self._cache_states[cache_state] += 1
+            reservoir = self._latency.get(endpoint)
+            if reservoir is None:
+                reservoir = self._latency[endpoint] = LatencyReservoir()
+        reservoir.observe(seconds)
+
+    def snapshot(self) -> dict[str, object]:
+        """The ``/metrics`` requests block: totals, splits, latencies."""
+        with self._lock:
+            by_endpoint = dict(sorted(self._by_endpoint.items()))
+            by_status = {str(k): v for k, v in sorted(self._by_status.items())}
+            cache_states = dict(sorted(self._cache_states.items()))
+            reservoirs = dict(self._latency)
+        lookups = cache_states.get("hit", 0) + cache_states.get("miss", 0)
+        return {
+            "total": sum(by_endpoint.values()),
+            "by_endpoint": by_endpoint,
+            "by_status": by_status,
+            "rejected_429": by_status.get("429", 0),
+            "timeouts_504": by_status.get("504", 0),
+            "server_errors_5xx": sum(
+                count for status, count in by_status.items() if status.startswith("5")
+            ),
+            "cache_states": cache_states,
+            "answered_from_cache_rate": (
+                cache_states.get("hit", 0) / lookups if lookups else None
+            ),
+            "latency_s": {
+                endpoint: reservoirs[endpoint].snapshot() for endpoint in sorted(reservoirs)
+            },
+        }

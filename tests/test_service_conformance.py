@@ -1,0 +1,137 @@
+"""End-to-end conformance: service responses are byte-identical to the library.
+
+The contract of :mod:`repro.service` is that putting HTTP, batching,
+caching, and worker pools in front of the accounting engine changes *no
+bytes*: ``GET /experiments/{id}`` returns exactly
+``render_payload(run_experiment(id).to_payload())``, cold and warm, at
+any client concurrency.  These tests pin that contract over the full
+44-experiment registry (riding the session-scoped ``all_results``
+fixture so the direct side runs once) and over the footprint/schedule
+endpoints against direct ``Query.execute()`` calls.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+
+import pytest
+
+from repro.experiments.registry import experiment_ids
+from repro.service import parse_query, render_payload
+from tests.serviceutil import ServiceClient, running_service
+
+pytestmark = pytest.mark.slow
+
+
+@pytest.fixture(scope="module")
+def service():
+    """One shared inline-mode service for the whole conformance module."""
+    with running_service(workers=0, lru_size=256) as (handle, client):
+        yield handle, client
+
+
+class TestExperimentConformance:
+    @pytest.mark.parametrize("exp_id", experiment_ids())
+    def test_cold_and_warm_bytes_match_direct(self, service, all_results, exp_id):
+        _handle, client = service
+        expected = render_payload(all_results[exp_id].to_payload())
+        cold = client.get(f"/experiments/{exp_id}")
+        assert cold.status == 200
+        assert cold.body == expected
+        warm = client.get(f"/experiments/{exp_id}")
+        assert warm.status == 200
+        assert warm.body == expected
+
+    def test_warm_responses_were_cache_hits(self, service, all_results):
+        """After the parametrized sweep the LRU served every second read."""
+        handle, client = service
+        metrics = client.get("/metrics").json()
+        states = metrics["requests"]["cache_states"]
+        assert states.get("hit", 0) >= len(experiment_ids())
+        assert metrics["response_cache"]["hits"] >= len(experiment_ids())
+
+    def test_experiment_listing_matches_registry(self, service):
+        _handle, client = service
+        reply = client.get("/experiments")
+        assert reply.status == 200
+        assert tuple(reply.json()["experiments"]) == experiment_ids()
+
+
+class TestQueryEndpointConformance:
+    FOOTPRINT_PARAMS = {
+        "busy_device_hours": 5000,
+        "utilization": 0.6,
+        "pue": 1.5,
+        "region": "us-average",
+    }
+    SCHEDULE_PARAMS = {"n_jobs": 25, "seed": 3, "horizon_hours": 96, "grid_seed": 11}
+
+    def test_footprint_matches_direct_execute(self, service):
+        _handle, client = service
+        expected = render_payload(
+            parse_query("footprint", dict(self.FOOTPRINT_PARAMS)).execute()
+        )
+        query_string = "&".join(f"{k}={v}" for k, v in self.FOOTPRINT_PARAMS.items())
+        reply = client.get(f"/footprint?{query_string}")
+        assert reply.status == 200
+        assert reply.body == expected
+
+    def test_footprint_get_and_post_normalize_identically(self, service):
+        """String (GET) and number (POST) parameter forms share one key."""
+        _handle, client = service
+        query_string = "&".join(f"{k}={v}" for k, v in self.FOOTPRINT_PARAMS.items())
+        via_get = client.get(f"/footprint?{query_string}")
+        via_post = client.post("/footprint", dict(self.FOOTPRINT_PARAMS))
+        assert via_get.status == via_post.status == 200
+        assert via_get.body == via_post.body
+
+    def test_schedule_matches_direct_execute(self, service):
+        _handle, client = service
+        expected = render_payload(
+            parse_query("schedule", dict(self.SCHEDULE_PARAMS)).execute()
+        )
+        query_string = "&".join(f"{k}={v}" for k, v in self.SCHEDULE_PARAMS.items())
+        reply = client.get(f"/schedule/carbon-aware?{query_string}")
+        assert reply.status == 200
+        assert reply.body == expected
+        assert client.post("/schedule/carbon-aware", dict(self.SCHEDULE_PARAMS)).body == expected
+
+
+class TestConcurrentConformance:
+    def test_16_clients_get_identical_bytes(self, all_results):
+        """16-way client concurrency over a worker pool changes no bytes.
+
+        Every client hammers a rotating window of experiments plus the
+        query endpoints; every response must equal the direct call.
+        """
+        targets = experiment_ids()[:8]
+        with running_service(workers=2, batch_window_s=0.002, lru_size=64) as (
+            _handle,
+            client0,
+        ):
+            expected = {
+                exp_id: render_payload(all_results[exp_id].to_payload())
+                for exp_id in targets
+            }
+            footprint_expected = render_payload(
+                parse_query("footprint", {"busy_device_hours": 777}).execute()
+            )
+            host, port = client0.host, client0.port
+
+            def one_client(worker_index: int) -> None:
+                client = ServiceClient(host, port)
+                try:
+                    for step in range(6):
+                        exp_id = targets[(worker_index + step) % len(targets)]
+                        reply = client.get(f"/experiments/{exp_id}")
+                        assert reply.status == 200, reply.body
+                        assert reply.body == expected[exp_id]
+                    reply = client.get("/footprint?busy_device_hours=777")
+                    assert reply.status == 200
+                    assert reply.body == footprint_expected
+                finally:
+                    client.close()
+
+            with concurrent.futures.ThreadPoolExecutor(max_workers=16) as pool:
+                for future in [pool.submit(one_client, i) for i in range(16)]:
+                    future.result(timeout=600)

@@ -1,0 +1,304 @@
+"""Concurrency and failure-path tests for the carbon-query service.
+
+Exercises the operational half of the service contract: duplicate
+in-flight queries coalesce onto one execution, the bounded queue sheds
+load with structured 429s, per-request timeouts yield structured 504s,
+injected worker crashes (via :mod:`repro.testing.faults`, the same env
+grammar the experiment runner hardens against) surface as structured
+500s and the pool rebuilds, and SIGTERM drains in-flight requests before
+the process exits.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.service import ServiceConfig, parse_query, render_payload
+from repro.testing import faults
+from tests.serviceutil import ServiceClient, running_service
+
+
+@pytest.fixture(autouse=True)
+def _no_ambient_faults(monkeypatch):
+    monkeypatch.delenv(faults.FAULTS_ENV_VAR, raising=False)
+
+
+class TestConfigValidation:
+    @pytest.mark.parametrize(
+        "overrides",
+        [
+            {"workers": -1},
+            {"batch_window_s": -0.1},
+            {"max_queue": 0},
+            {"request_timeout_s": 0.0},
+            {"lru_size": -1},
+            {"drain_timeout_s": -1.0},
+        ],
+    )
+    def test_bad_knobs_rejected(self, overrides):
+        from repro.errors import ServiceError
+
+        with pytest.raises(ServiceError):
+            ServiceConfig(**overrides)
+
+
+class TestBatching:
+    def test_duplicate_queries_coalesce_to_one_execution(self):
+        """8 concurrent identical schedule queries -> 1 substrate build."""
+        with running_service(workers=0, batch_window_s=0.25, lru_size=16) as (
+            handle,
+            client0,
+        ):
+            host, port = client0.host, client0.port
+            path = "/schedule/carbon-aware?n_jobs=12&grid_seed=424242"
+            expected = render_payload(
+                parse_query("schedule", {"n_jobs": 12, "grid_seed": 424242}).execute()
+            )
+
+            def one_request(_index: int) -> bytes:
+                client = ServiceClient(host, port)
+                try:
+                    reply = client.get(path)
+                    assert reply.status == 200, reply.body
+                    return reply.body
+                finally:
+                    client.close()
+
+            with concurrent.futures.ThreadPoolExecutor(max_workers=8) as pool:
+                bodies = [
+                    f.result(timeout=120)
+                    for f in [pool.submit(one_request, i) for i in range(8)]
+                ]
+            assert all(body == expected for body in bodies)
+
+            metrics = client0.get("/metrics").json()
+            batching = metrics["batching"]
+            assert batching["executions"] == 1
+            assert batching["coalesced"] == 7
+            # One execution -> exactly one substrate-cache access for the
+            # grid trace (a hit here: computing `expected` above already
+            # warmed the in-process cache this inline service shares).
+            totals = metrics["substrate_cache"]["totals"]
+            assert totals["hits"] + totals["misses"] == 1
+            assert metrics["requests"]["by_status"]["200"] >= 8
+
+    def test_distinct_queries_are_not_delayed_into_one(self):
+        with running_service(workers=0, batch_window_s=0.02, lru_size=16) as (
+            _handle,
+            client,
+        ):
+            first = client.get("/footprint?busy_device_hours=1")
+            second = client.get("/footprint?busy_device_hours=2")
+            assert first.status == second.status == 200
+            assert first.body != second.body
+            metrics = client.get("/metrics").json()
+            assert metrics["batching"]["executions"] == 2
+            assert metrics["batching"]["coalesced"] == 0
+
+
+class TestBackpressure:
+    def test_overload_returns_structured_429(self, monkeypatch):
+        """Queue bound 2 + slow executions -> excess requests shed as 429."""
+        monkeypatch.setenv(faults.FAULTS_ENV_VAR, "timeout:schedule:0.6")
+        with running_service(
+            workers=0, batch_window_s=0.0, max_queue=2, lru_size=16
+        ) as (handle, client0):
+            host, port = client0.host, client0.port
+
+            def one_request(index: int) -> tuple[int, dict]:
+                client = ServiceClient(host, port)
+                try:
+                    reply = client.get(
+                        f"/schedule/carbon-aware?n_jobs=5&seed={index}"
+                    )
+                    return reply.status, reply.json()
+                finally:
+                    client.close()
+
+            with concurrent.futures.ThreadPoolExecutor(max_workers=6) as pool:
+                outcomes = [
+                    f.result(timeout=120)
+                    for f in [pool.submit(one_request, i) for i in range(6)]
+                ]
+            statuses = sorted(status for status, _body in outcomes)
+            assert 429 in statuses, statuses
+            assert 200 in statuses, statuses
+            for status, body in outcomes:
+                if status == 429:
+                    assert body["error"]["kind"] == "overloaded"
+                    assert "max queue" in body["error"]["message"]
+            metrics = client0.get("/metrics").json()
+            assert metrics["requests"]["rejected_429"] == statuses.count(429)
+
+    def test_healthz_and_metrics_bypass_admission(self, monkeypatch):
+        """Diagnostics stay reachable even when the query queue is full."""
+        monkeypatch.setenv(faults.FAULTS_ENV_VAR, "timeout:footprint:0.8")
+        with running_service(workers=0, max_queue=1, lru_size=4) as (handle, client0):
+            host, port = client0.host, client0.port
+            with concurrent.futures.ThreadPoolExecutor(max_workers=1) as pool:
+                blocked = pool.submit(
+                    lambda: ServiceClient(host, port).get("/footprint?busy_device_hours=3")
+                )
+                time.sleep(0.2)  # let the slow query occupy the queue
+                assert client0.get("/healthz").status == 200
+                assert client0.get("/metrics").status == 200
+                assert blocked.result(timeout=120).status == 200
+
+
+class TestTimeouts:
+    def test_slow_query_yields_structured_504(self, monkeypatch):
+        monkeypatch.setenv(faults.FAULTS_ENV_VAR, "timeout:footprint:5.0")
+        with running_service(
+            workers=0, request_timeout_s=0.15, lru_size=4
+        ) as (_handle, client):
+            reply = client.get("/footprint?busy_device_hours=9")
+            assert reply.status == 504
+            error = reply.json()["error"]
+            assert error["kind"] == "timeout"
+            assert "0.15" in error["message"]
+            metrics = client.get("/metrics").json()
+            assert metrics["requests"]["timeouts_504"] == 1
+
+
+class TestWorkerCrash:
+    def test_injected_crash_returns_500_and_pool_recovers(self, monkeypatch):
+        """A hard worker death mid-request is a structured 500, not a hang.
+
+        The crash fault hard-exits the pool worker (breaking the
+        ``ProcessPoolExecutor``), mirroring the runner's fault-injection
+        harness; the service rebuilds the pool so the next query works.
+        """
+        monkeypatch.setenv(faults.FAULTS_ENV_VAR, "crash:footprint@0")
+        with running_service(workers=1, lru_size=4) as (handle, client):
+            reply = client.get("/footprint?busy_device_hours=4")
+            assert reply.status == 500
+            assert reply.json()["error"]["kind"] == "crash"
+            # Pool is rebuilt; a different target is unaffected by the fault.
+            ok = client.get("/schedule/carbon-aware?n_jobs=5")
+            assert ok.status == 200
+            metrics = client.get("/metrics").json()
+            assert metrics["requests"]["server_errors_5xx"] == 1
+
+    def test_injected_raise_inline_returns_500(self, monkeypatch):
+        monkeypatch.setenv(faults.FAULTS_ENV_VAR, "raise:schedule")
+        with running_service(workers=0, lru_size=4) as (_handle, client):
+            reply = client.get("/schedule/carbon-aware?n_jobs=5")
+            assert reply.status == 500
+            assert reply.json()["error"]["kind"] == "injected-fault"
+
+
+class TestBadRequests:
+    @pytest.mark.parametrize(
+        "path, status, kind",
+        [
+            ("/experiments/not-a-real-experiment", 404, "unknown-experiment"),
+            ("/footprint", 400, "bad-request"),  # missing busy_device_hours
+            ("/footprint?busy_device_hours=-5", 400, "bad-request"),
+            ("/footprint?busy_device_hours=nan", 400, "bad-request"),
+            ("/footprint?busy_device_hours=1&bogus=2", 400, "bad-request"),
+            ("/footprint?busy_device_hours=1&region=atlantis", 400, "bad-request"),
+            ("/schedule/carbon-aware?n_jobs=0", 400, "bad-request"),
+            ("/schedule/carbon-aware?horizon_hours=3", 400, "bad-request"),
+            ("/nope", 404, "not-found"),
+        ],
+    )
+    def test_structured_error_bodies(self, path, status, kind):
+        with running_service(workers=0, lru_size=4) as (_handle, client):
+            reply = client.get(path)
+            assert reply.status == status
+            assert reply.json()["error"]["kind"] == kind
+
+    def test_post_with_invalid_json_body_is_400(self):
+        with running_service(workers=0, lru_size=4) as (_handle, client):
+            conn = client._connection()
+            conn.request(
+                "POST",
+                "/footprint",
+                body=b"{not json",
+                headers={"Content-Type": "application/json"},
+            )
+            response = conn.getresponse()
+            assert response.status == 400
+            assert json.loads(response.read())["error"]["kind"] == "bad-request"
+            client.close()
+
+    def test_method_not_allowed(self):
+        with running_service(workers=0, lru_size=4) as (_handle, client):
+            conn = client._connection()
+            conn.request("DELETE", "/footprint")
+            response = conn.getresponse()
+            assert response.status == 405
+            assert json.loads(response.read())["error"]["kind"] == "method-not-allowed"
+            client.close()
+
+
+class TestGracefulDrain:
+    @pytest.mark.slow
+    def test_sigterm_drains_in_flight_request(self, tmp_path):
+        """SIGTERM mid-request: the response still arrives, exit code is 0."""
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(Path(__file__).resolve().parents[1] / "src")
+        env[faults.FAULTS_ENV_VAR] = "timeout:footprint:1.0"
+        env["SUSTAINABLE_AI_CACHE_DIR"] = "off"
+        metrics_path = tmp_path / "final_metrics.json"
+        proc = subprocess.Popen(
+            [
+                sys.executable,
+                "-m",
+                "repro.service",
+                "--port",
+                "0",
+                "--workers",
+                "0",
+                "--drain-timeout",
+                "10",
+                "--metrics-json",
+                str(metrics_path),
+            ],
+            env=env,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
+        )
+        try:
+            banner = proc.stdout.readline()
+            assert "listening on http://" in banner, banner
+            port = int(banner.split("http://")[1].split()[0].rsplit(":", 1)[1])
+
+            with concurrent.futures.ThreadPoolExecutor(max_workers=1) as pool:
+                in_flight = pool.submit(
+                    lambda: ServiceClient("127.0.0.1", port).get(
+                        "/footprint?busy_device_hours=6"
+                    )
+                )
+                time.sleep(0.3)  # request is now sleeping inside the fault
+                proc.send_signal(signal.SIGTERM)
+                reply = in_flight.result(timeout=60)
+            assert reply.status == 200
+            assert b"total_kg" in reply.body
+            assert proc.wait(timeout=60) == 0
+            # The shutdown path exported its final counters.
+            final = json.loads(metrics_path.read_text())
+            assert final["requests"]["by_status"]["200"] >= 1
+            assert final["service"]["draining"] is True
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+            proc.stdout.close()
+
+    def test_in_process_drain_rejects_new_work(self):
+        """After shutdown is requested, late queries get a structured 503."""
+        with running_service(workers=0, lru_size=4) as (handle, client):
+            assert client.get("/healthz").json()["status"] == "ok"
+        # handle.stop() already joined the thread; a second stop is a no-op
+        # because the loop has exited cleanly.
+        assert not handle.thread.is_alive()
