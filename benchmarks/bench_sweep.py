@@ -1,0 +1,108 @@
+"""Stacked-sweep throughput benchmarks (the BENCH_6 source).
+
+Times the stacked sweep kernel (:func:`repro.core.sweep.evaluate_work_stacked`)
+against the retained scalar reference path
+(:func:`repro.core.sweep._reference_evaluate_stacked`) at 100 / 1,000 /
+10,000 Sobol points, asserting bit-equality on every benchmarked workload
+before recording scenarios/sec for the ``--json`` document.  The PR's
+acceptance bound — the stacked path is at least 20x faster at 10k points —
+is asserted here, so a kernel regression fails the bench suite, not just
+the committed baseline.
+
+Run::
+
+    PYTHONPATH=src pytest benchmarks/bench_sweep.py -q --json sweep.json
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.sweep import (
+    DEFAULT_RANGES,
+    SweepSpec,
+    _reference_evaluate_stacked,
+    evaluate_work_stacked,
+    run_sweep,
+    sample_points,
+)
+
+#: The 10k-point acceptance bound from the PR issue.
+MIN_SPEEDUP_AT_10K = 20.0
+
+
+def _spec(n_points: int) -> SweepSpec:
+    """A Sobol spec over the default four knobs, sized exactly to ``n``."""
+    return SweepSpec(ranges=DEFAULT_RANGES, sampling="sobol", n_points=n_points, seed=0)
+
+
+def _best_of(fn, repeats: int) -> float:
+    """Best-of-``repeats`` wall time of ``fn()`` in seconds."""
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+class TestSweepThroughput:
+    @pytest.mark.parametrize("n_points", (100, 1_000, 10_000))
+    def test_stacked_vs_scalar(self, record, n_points):
+        spec = _spec(n_points)
+        base = spec.base_scenario()
+        params = sample_points(spec)
+
+        fast = evaluate_work_stacked(spec.busy_device_hours, base, params)
+        slow = _reference_evaluate_stacked(spec.busy_device_hours, base, params)
+        assert np.array_equal(fast.energy_kwh, slow.energy_kwh)
+        assert np.array_equal(fast.operational_kg, slow.operational_kg)
+        assert np.array_equal(fast.embodied_kg, slow.embodied_kg)
+        assert np.array_equal(fast.total_kg, slow.total_kg)
+
+        repeats = 5 if n_points < 10_000 else 3
+        fast_s = _best_of(
+            lambda: evaluate_work_stacked(spec.busy_device_hours, base, params),
+            repeats,
+        )
+        slow_s = _best_of(
+            lambda: _reference_evaluate_stacked(spec.busy_device_hours, base, params),
+            repeats,
+        )
+        speedup = slow_s / fast_s if fast_s > 0 else float("inf")
+        record(
+            f"sweep:n={n_points}",
+            n_points=n_points,
+            stacked_s=fast_s,
+            scalar_s=slow_s,
+            stacked_scenarios_per_s=n_points / fast_s if fast_s > 0 else float("inf"),
+            scalar_scenarios_per_s=n_points / slow_s if slow_s > 0 else float("inf"),
+            speedup=speedup,
+        )
+        if n_points == 10_000:
+            assert speedup >= MIN_SPEEDUP_AT_10K
+        print(
+            f"\nn={n_points}: stacked {fast_s * 1e3:.3f} ms, "
+            f"scalar {slow_s * 1e3:.3f} ms, speedup {speedup:.1f}x"
+        )
+
+
+class TestSweepPipeline:
+    def test_chunked_run_sweep_end_to_end(self, record):
+        """The full pipeline (chunking + cache + reports) at 10k points."""
+        spec = _spec(10_000)
+        t0 = time.perf_counter()
+        outcome = run_sweep(spec)
+        elapsed = time.perf_counter() - t0
+        assert len(outcome.results) == 10_000
+        payload = outcome.to_payload()
+        record(
+            "sweep:pipeline_10k",
+            n_points=10_000,
+            wall_s=elapsed,
+            scenarios_per_s=10_000 / elapsed if elapsed > 0 else float("inf"),
+            pareto_points=payload["headline"]["pareto_points"],
+        )

@@ -40,6 +40,18 @@ from repro.core.scenario import (
     renewable_variant,
     utilization_sweep,
 )
+from repro.core.sweep import (
+    ParameterRange,
+    SensitivityBar,
+    StackedScenarioResult,
+    SweepOutcome,
+    SweepSpec,
+    evaluate_work_stacked,
+    pareto_frontier,
+    run_sweep,
+    sample_points,
+    sweep_sensitivity,
+)
 
 __all__ = [
     "AccountingContext",
@@ -61,23 +73,33 @@ __all__ = [
     "Submission",
     "marginal_quality_cost",
     "PHASE_ORDER",
+    "ParameterRange",
     "Phase",
     "PhaseFootprint",
     "PhaseWorkload",
     "Power",
     "Scenario",
     "ScenarioResult",
+    "SensitivityBar",
+    "StackedScenarioResult",
+    "SweepOutcome",
+    "SweepSpec",
     "TaskDescription",
     "TotalFootprint",
     "carbon_sum",
     "energy_sum",
     "equivalences",
     "evaluate_work",
+    "evaluate_work_stacked",
     "footprint_report",
     "format_bar",
     "format_bar_chart",
     "format_table",
     "miles_driven",
+    "pareto_frontier",
     "renewable_variant",
+    "run_sweep",
+    "sample_points",
+    "sweep_sensitivity",
     "utilization_sweep",
 ]

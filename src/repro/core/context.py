@@ -46,8 +46,10 @@ class AccountingContext:
             raise UnitError(
                 "provide either a time-varying grid or a static intensity, not both"
             )
-        if self.pue < 1.0:
-            raise UnitError(f"PUE must be >= 1, got {self.pue}")
+        if not (math.isfinite(self.pue) and self.pue >= 1.0):
+            # `self.pue < 1.0` alone is False for NaN, which would let a
+            # NaN PUE silently poison every downstream footprint.
+            raise UnitError(f"PUE must be finite and >= 1, got {self.pue}")
 
     # -- facility overhead -------------------------------------------------
     def facility_series(self, it_series: HourlySeries) -> HourlySeries:

@@ -881,3 +881,50 @@ def run_capacity() -> ExperimentResult:
             "scale'."
         ),
     )
+
+
+def run_sweep_levers() -> ExperimentResult:
+    """The stacked scenario sweep over the paper's four operational levers.
+
+    Runs the default :class:`~repro.core.sweep.SweepSpec` grid (the
+    utilization / PUE / lifetime / grid-cleanliness box of Figures 5 and
+    9) through the stacked kernel and reports the footprint envelope plus
+    the tornado ranking of the levers.
+    """
+    from repro.core.sweep import SweepSpec, run_sweep
+
+    outcome = run_sweep(SweepSpec())
+    payload = outcome.to_payload()
+    headline = dict(payload["headline"])
+
+    headers = ["lever", "low total (kg)", "high total (kg)", "swing (kg)"]
+    rows = [
+        [
+            bar["parameter"],
+            float(bar["low_total_kg"]),
+            float(bar["high_total_kg"]),
+            float(bar["swing_kg"]),
+        ]
+        for bar in payload["sensitivity"]
+    ]
+    return ExperimentResult(
+        experiment_id="ext-sweep",
+        title="Stacked what-if sweep: the operational levers, ranked",
+        headline={
+            "n_points": headline["n_points"],
+            "total_kg_min": headline["total_kg_min"],
+            "total_kg_max": headline["total_kg_max"],
+            "total_kg_mean": headline["total_kg_mean"],
+            "embodied_share_max": headline["embodied_share_max"],
+            "top_lever_swing_kg": headline["top_lever_swing_kg"],
+        },
+        headers=headers,
+        rows=rows,
+        notes=(
+            "Paper (Figs 5, 9): utilization, PUE, hardware lifetime and "
+            "grid cleanliness are the operational levers; sweeping their "
+            "stated ranges as one ndarray program shows utilization "
+            "dominating (~3x from 30% to 80%), with results pinned "
+            "bit-equal to the scalar Scenario path."
+        ),
+    )

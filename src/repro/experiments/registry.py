@@ -140,6 +140,7 @@ _SPECS: tuple[ExperimentSpec, ...] = (
     ExperimentSpec("ext-ingestion", "extension", extensions.run_ingestion),
     ExperimentSpec("ext-bom", "extension", extensions.run_bom),
     ExperimentSpec("ext-mempool", "extension", extensions.run_memory_pooling),
+    ExperimentSpec("ext-sweep", "extension", extensions.run_sweep_levers),
 )
 
 SPECS: dict[str, ExperimentSpec] = {s.experiment_id: s for s in _SPECS}

@@ -13,6 +13,8 @@ Usage::
     sustainable-ai cache stats         # both substrate-cache tiers
     sustainable-ai cache clear
     sustainable-ai serve --port 8151 --workers 2   # carbon-query service
+    sustainable-ai sweep --param utilization=0.3:0.9:16 --json sweep.json
+    sustainable-ai sweep --sampling sobol --points 4096 --scalar-check 32
 
 ``run all``, ``report``, and ``verify`` fan experiments out across a
 process pool (``--jobs``, default ``os.cpu_count()``).  Each experiment is
@@ -29,6 +31,14 @@ to a structured error record (see
 completes.  ``--check-invariants`` additionally sweeps the result-invariant
 registry (:mod:`repro.testing.invariants`) over every completed result and
 enables the runtime accounting self-checks inside the workers.
+
+``sweep`` evaluates a what-if parameter sweep through the stacked kernel
+(:mod:`repro.core.sweep`) and prints the tornado-sensitivity and
+Pareto-frontier reports; ``--json`` writes the canonical payload with
+bytes identical to the ``/sweep`` service endpoint, and ``--scalar-check
+N`` spot-checks N points bit-for-bit against the retained scalar path.
+Sweep chunks flow through the substrate cache, so an interrupted sweep
+re-run with the same ``--cache-dir`` resumes from the completed chunks.
 
 ``--cache-dir PATH`` enables the content-addressed disk tier of the
 substrate cache (:mod:`repro.core.diskcache`) for the run and exports it
@@ -383,6 +393,137 @@ def _cache_command(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_sweep_ranges(entries: Sequence[str]) -> tuple:
+    """``--param NAME=LO:HI[:POINTS]`` flags as ``ParameterRange`` objects."""
+    from repro.core.sweep import ParameterRange
+    from repro.errors import UnitError
+
+    ranges = []
+    for entry in entries:
+        name, sep, rest = entry.partition("=")
+        parts = rest.split(":")
+        if not sep or not name or len(parts) not in (2, 3):
+            raise UnitError(
+                "--param must look like NAME=LO:HI or NAME=LO:HI:POINTS, "
+                f"got {entry!r}"
+            )
+        try:
+            lo, hi = float(parts[0]), float(parts[1])
+            points = int(parts[2]) if len(parts) == 3 else 5
+        except ValueError:
+            raise UnitError(f"non-numeric --param value in {entry!r}") from None
+        ranges.append(ParameterRange(name, lo, hi, points))
+    return tuple(ranges)
+
+
+def _sweep_command(args: argparse.Namespace) -> int:
+    """``sustainable-ai sweep``: stacked what-if sweep plus its reports."""
+    import time
+
+    import numpy as np
+
+    from repro.core.report import format_table
+    from repro.core.scenario import evaluate_work
+    from repro.core.sweep import DEFAULT_RANGES, SweepSpec, run_sweep, scenario_at
+    from repro.errors import UnitError
+
+    try:
+        ranges = _parse_sweep_ranges(args.param or [])
+        spec = SweepSpec(
+            busy_device_hours=args.busy_hours,
+            ranges=ranges or DEFAULT_RANGES,
+            sampling=args.sampling,
+            n_points=args.points,
+            seed=args.seed,
+            devices_per_server=args.devices_per_server,
+        )
+    except UnitError as exc:
+        return _usage_error(str(exc))
+    if args.chunk_points < 1:
+        return _usage_error(f"--chunk-points must be >= 1, got {args.chunk_points}")
+    if args.scalar_check < 0:
+        return _usage_error(f"--scalar-check must be >= 0, got {args.scalar_check}")
+
+    echo: Echo = (lambda _line: None) if args.quiet else print
+    progress = None
+    if not args.quiet:
+        progress = lambda done, total: print(f"  evaluated {done}/{total} points")
+    started = time.perf_counter()
+    outcome = run_sweep(spec, chunk_points=args.chunk_points, progress=progress)
+    elapsed = time.perf_counter() - started
+    payload = outcome.to_payload(include_points=args.include_points)
+
+    if args.scalar_check:
+        n = len(outcome.results)
+        picks = np.unique(np.linspace(0, n - 1, min(args.scalar_check, n)).astype(int))
+        base = spec.base_scenario()
+        diverged = []
+        for i in picks:
+            point = {name: float(axis[i]) for name, axis in outcome.params.items()}
+            ref = evaluate_work(spec.busy_device_hours, scenario_at(base, point))
+            stacked = (
+                outcome.results.energy_kwh[i],
+                outcome.results.operational_kg[i],
+                outcome.results.embodied_kg[i],
+            )
+            if (ref.energy.kwh, ref.operational.kg, ref.embodied.kg) != stacked:
+                diverged.append(int(i))
+        if diverged:
+            print(
+                "error: stacked kernel diverged from the scalar path at "
+                f"point(s) {diverged[:5]}",
+                file=sys.stderr,
+            )
+            return 1
+        echo(f"scalar spot-check: {len(picks)} point(s) bit-equal to the scalar path")
+
+    headline = payload["headline"]
+    rate = len(outcome.results) / elapsed if elapsed > 0 else float("inf")
+    echo("")
+    echo(
+        f"=== stacked sweep: {len(outcome.results):,} scenario(s) "
+        f"in {elapsed:.3f}s ({rate:,.0f}/s) ==="
+    )
+    for key, value in headline.items():  # type: ignore[union-attr]
+        echo(f"  {key}: {value:,.4g}")
+    echo("")
+    echo("sensitivity (one-at-a-time swing, descending):")
+    echo(
+        format_table(
+            ("parameter", "low_kg", "high_kg", "swing_kg"),
+            [
+                (b["parameter"], b["low_total_kg"], b["high_total_kg"], b["swing_kg"])
+                for b in payload["sensitivity"]  # type: ignore[union-attr]
+            ],
+        )
+    )
+    echo("")
+    pareto = payload["pareto"]  # type: ignore[assignment]
+    echo(
+        f"pareto frontier (top {min(len(pareto), 10)} "  # type: ignore[arg-type]
+        f"of {headline['pareto_points']:.0f}):"  # type: ignore[index]
+    )
+    echo(
+        format_table(
+            ("index", "throughput", "total_kg"),
+            [
+                (row["index"], row["throughput"], row["total_kg"])
+                for row in pareto[:10]  # type: ignore[index]
+            ],
+        )
+    )
+
+    if args.json:
+        # The canonical serializer — the same bytes the /sweep service
+        # endpoint and a direct library call produce for this spec.
+        from repro.service.queries import render_payload
+
+        path = Path(args.json)
+        path.write_bytes(render_payload(payload))
+        print(f"wrote sweep payload to {path}")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     try:
@@ -495,6 +636,106 @@ def _main(argv: list[str] | None) -> int:
         help="disable the disk substrate cache even if the env var is set",
     )
 
+    from repro.core.sweep import DEFAULT_CHUNK_POINTS
+
+    sweep_parser = sub.add_parser(
+        "sweep",
+        help="run a stacked what-if scenario sweep (see docs/SWEEPS.md)",
+    )
+    sweep_parser.add_argument(
+        "--param",
+        action="append",
+        metavar="NAME=LO:HI[:POINTS]",
+        default=None,
+        help=(
+            "swept knob as NAME=LO:HI[:POINTS]; repeatable "
+            "(default: the built-in 288-point grid over utilization, PUE, "
+            "lifetime, and intensity scale)"
+        ),
+    )
+    sweep_parser.add_argument(
+        "--sampling",
+        choices=("grid", "sobol"),
+        default="grid",
+        help="point layout: full grid or scrambled Sobol (default: %(default)s)",
+    )
+    sweep_parser.add_argument(
+        "--points",
+        type=int,
+        metavar="N",
+        default=1024,
+        help="sample count for --sampling sobol (default: %(default)s)",
+    )
+    sweep_parser.add_argument(
+        "--seed",
+        type=int,
+        metavar="N",
+        default=0,
+        help="Sobol scramble seed (default: %(default)s)",
+    )
+    sweep_parser.add_argument(
+        "--busy-hours",
+        type=float,
+        metavar="H",
+        default=1000.0,
+        help="busy device-hours of work per scenario (default: %(default)s)",
+    )
+    sweep_parser.add_argument(
+        "--devices-per-server",
+        type=int,
+        metavar="N",
+        default=2,
+        help="accelerators per amortized server (default: %(default)s)",
+    )
+    sweep_parser.add_argument(
+        "--chunk-points",
+        type=int,
+        metavar="N",
+        default=DEFAULT_CHUNK_POINTS,
+        help="points per substrate-cache chunk (default: %(default)s)",
+    )
+    sweep_parser.add_argument(
+        "--json",
+        metavar="PATH",
+        default=None,
+        help="write the canonical sweep payload (service-identical bytes)",
+    )
+    sweep_parser.add_argument(
+        "--include-points",
+        action="store_true",
+        help="embed the per-point arrays in the --json payload",
+    )
+    sweep_parser.add_argument(
+        "--scalar-check",
+        type=int,
+        metavar="N",
+        default=0,
+        help=(
+            "spot-check N points bit-for-bit against the retained scalar "
+            "path; exit 1 on any divergence"
+        ),
+    )
+    sweep_parser.add_argument(
+        "--quiet",
+        action="store_true",
+        help="suppress progress lines and the printed reports",
+    )
+    sweep_parser.add_argument(
+        "--cache-dir",
+        metavar="PATH",
+        default=None,
+        help=(
+            "enable the disk substrate cache at PATH so interrupted sweeps "
+            f"resume from completed chunks (exported as "
+            f"{diskcache.CACHE_DIR_ENV_VAR})"
+        ),
+    )
+    sweep_parser.add_argument(
+        "--no-disk-cache",
+        action="store_true",
+        help="disable the disk substrate cache even if the env var is set",
+    )
+
     cache_parser = sub.add_parser(
         "cache", help="inspect or clear the substrate caches"
     )
@@ -538,6 +779,9 @@ def _main(argv: list[str] | None) -> int:
         except ServiceError as exc:
             return _usage_error(str(exc))
         return serve(config)
+
+    if args.command == "sweep":
+        return _sweep_command(args)
 
     jobs = getattr(args, "jobs", None)
     if jobs is not None and jobs < 1:

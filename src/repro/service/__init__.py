@@ -22,11 +22,14 @@ from repro.service.queries import (
     FootprintQuery,
     Query,
     ScheduleQuery,
+    SweepQuery,
     execute_query_task,
+    execute_sweep_chunk_task,
     parse_query,
     payload_to_result,
     render_payload,
 )
+from repro.service.sweeps import SweepJob, SweepManager
 
 __all__ = [
     "CarbonQueryService",
@@ -39,7 +42,11 @@ __all__ = [
     "ScheduleQuery",
     "ServiceConfig",
     "ServiceHandle",
+    "SweepJob",
+    "SweepManager",
+    "SweepQuery",
     "execute_query_task",
+    "execute_sweep_chunk_task",
     "parse_query",
     "payload_to_result",
     "render_payload",

@@ -14,6 +14,12 @@ accounting engine over JSON endpoints:
                             knobs (:class:`repro.service.queries.FootprintQuery`)
 ``GET|POST /schedule/carbon-aware``  carbon-aware vs immediate placement of a
                             synthetic job batch
+``POST /sweep``             submit a stacked scenario sweep as a chunked job
+                            (202 + ``sweep_id``; idempotent per canonical spec)
+``GET /sweep``              list sweep jobs and their progress
+``GET /sweep/{id}``         poll one job: monotone ``completed_points`` counter
+``GET /sweep/{id}/result``  the finished sweep document (409 + progress while
+                            running; byte-identical to the direct library call)
 ==========================  =======================================================
 
 Request path: admission control (bounded in-flight count, excess gets a
@@ -56,6 +62,7 @@ from repro.errors import (
 )
 from repro.experiments import profiling
 from repro.service import queries
+from repro.service.sweeps import DEFAULT_MAX_SWEEPS, SweepManager
 from repro.service.batching import QueryBatcher
 from repro.service.cache import ResponseCache
 from repro.service.http import HttpServer, Request, Response
@@ -84,6 +91,7 @@ class ServiceConfig:
     lru_size: int = DEFAULT_LRU_SIZE
     drain_timeout_s: float = DEFAULT_DRAIN_TIMEOUT_S
     metrics_json: str | None = None
+    max_sweeps: int = DEFAULT_MAX_SWEEPS
 
     def __post_init__(self) -> None:
         if self.workers < 0:
@@ -100,6 +108,8 @@ class ServiceConfig:
             raise ServiceError(f"LRU size must be >= 0, got {self.lru_size}")
         if self.drain_timeout_s < 0:
             raise ServiceError(f"drain timeout must be >= 0, got {self.drain_timeout_s}")
+        if self.max_sweeps < 1:
+            raise ServiceError(f"max sweeps must be >= 1, got {self.max_sweeps}")
 
 
 def _error_body(kind: str, message: str) -> bytes:
@@ -114,6 +124,7 @@ class CarbonQueryService:
         self.counters = ServiceCounters()
         self.cache = ResponseCache(config.lru_size)
         self.batcher = QueryBatcher(config.batch_window_s, self._execute)
+        self.sweeps = SweepManager(self, config.max_sweeps)
         self.worker_stats: dict[str, dict[str, int]] = {}
         self.port: int | None = None
         self._executor: ProcessPoolExecutor | None = None
@@ -142,6 +153,9 @@ class CarbonQueryService:
             self._draining = True
             await server.drain_and_stop(self.config.drain_timeout_s)
             await self.batcher.drain(self.config.drain_timeout_s)
+            for job in self.sweeps.jobs.values():
+                if job.task is not None and not job.task.done():
+                    job.task.cancel()
             if self._executor is not None:
                 self._executor.shutdown(wait=False, cancel_futures=True)
                 self._executor = None
@@ -294,6 +308,7 @@ class CarbonQueryService:
                 "totals": memo.totals(self.worker_stats),
                 "hit_rate": profiling.cache_hit_rate(self.worker_stats),
             },
+            "sweeps": self.sweeps.stats(),
         }
 
     # -- routing -----------------------------------------------------------
@@ -359,8 +374,18 @@ class CarbonQueryService:
             return await self._parse_and_answer("/footprint", "footprint", request)
         if path == "/schedule/carbon-aware" and method in ("GET", "POST"):
             return await self._parse_and_answer("/schedule/carbon-aware", "schedule", request)
-        if path in ("/healthz", "/metrics", "/experiments") or path.startswith(
-            ("/experiments/", "/footprint", "/schedule")
+        if path == "/sweep" and method == "POST":
+            return self._submit_sweep(request)
+        if path == "/sweep" and method == "GET":
+            jobs = [
+                self.sweeps.jobs[sweep_id].progress_payload()
+                for sweep_id in sorted(self.sweeps.jobs)
+            ]
+            return ("/sweep", Response(200, queries.render_payload({"sweeps": jobs})), None)
+        if path.startswith("/sweep/") and method == "GET":
+            return self._poll_sweep(path)
+        if path in ("/healthz", "/metrics", "/experiments", "/sweep") or path.startswith(
+            ("/experiments/", "/footprint", "/schedule", "/sweep/")
         ):
             return (
                 path,
@@ -375,7 +400,100 @@ class CarbonQueryService:
                     "not-found",
                     f"no route for {path!r}; endpoints: /healthz, /metrics, "
                     "/experiments, /experiments/{id}, /footprint, "
-                    "/schedule/carbon-aware",
+                    "/schedule/carbon-aware, /sweep, /sweep/{id}, "
+                    "/sweep/{id}/result",
+                ),
+            ),
+            None,
+        )
+
+    def _submit_sweep(self, request: Request) -> tuple[str, Response, str | None]:
+        """``POST /sweep``: parse, admit, start (or rejoin) the job."""
+        from repro.service.http import ProtocolError
+
+        if self._draining:
+            return (
+                "/sweep",
+                Response(
+                    503,
+                    _error_body("draining", "service is shutting down; retry elsewhere"),
+                ),
+                None,
+            )
+        try:
+            params = self._merge_params(request)
+            query = queries.parse_query("sweep", params)
+        except (ProtocolError, QueryError) as exc:
+            return "/sweep", Response(400, _error_body("bad-request", str(exc))), None
+        assert isinstance(query, queries.SweepQuery)
+        from repro.service.sweeps import sweep_id_for
+
+        if (
+            self.sweeps.get(sweep_id_for(query)) is None
+            and self.sweeps.active_count() >= self.config.max_sweeps
+        ):
+            return (
+                "/sweep",
+                Response(
+                    429,
+                    _error_body(
+                        "overloaded",
+                        f"{self.sweeps.active_count()} sweep(s) running >= "
+                        f"max sweeps {self.config.max_sweeps}; retry later",
+                    ),
+                ),
+                None,
+            )
+        job, created = self.sweeps.submit(query)
+        status = 202 if job.status == "running" else 200
+        return (
+            "/sweep",
+            Response(status, queries.render_payload(job.progress_payload())),
+            "miss" if created else "hit",
+        )
+
+    def _poll_sweep(self, path: str) -> tuple[str, Response, str | None]:
+        """``GET /sweep/{id}`` and ``GET /sweep/{id}/result``."""
+        tail = path[len("/sweep/"):]
+        want_result = tail.endswith("/result")
+        sweep_id = tail[: -len("/result")] if want_result else tail
+        endpoint = "/sweep/{id}/result" if want_result else "/sweep/{id}"
+        job = self.sweeps.get(sweep_id)
+        if job is None or "/" in sweep_id:
+            return (
+                endpoint,
+                Response(
+                    404,
+                    _error_body(
+                        "unknown-sweep",
+                        f"no sweep job {sweep_id!r} (GET /sweep lists jobs)",
+                    ),
+                ),
+                None,
+            )
+        if not want_result:
+            return endpoint, Response(200, queries.render_payload(job.progress_payload())), None
+        if job.status == "done":
+            assert job.body is not None
+            return endpoint, Response(200, job.body), "hit"
+        if job.status == "failed":
+            return (
+                endpoint,
+                Response(500, _error_body("sweep-failed", job.error or "sweep failed")),
+                None,
+            )
+        return (
+            endpoint,
+            Response(
+                409,
+                queries.render_payload(
+                    {
+                        "error": {
+                            "kind": "not-finished",
+                            "message": "sweep is still running; poll /sweep/{id}",
+                        },
+                        **job.progress_payload(),
+                    }
                 ),
             ),
             None,
@@ -546,6 +664,13 @@ def add_serve_flags(parser) -> None:
         default=None,
         help="write the final /metrics document to PATH on shutdown",
     )
+    parser.add_argument(
+        "--max-sweeps",
+        type=int,
+        metavar="N",
+        default=DEFAULT_MAX_SWEEPS,
+        help="bound on concurrently running /sweep jobs; excess gets 429 (default: %(default)s)",
+    )
 
 
 def config_from_args(args) -> ServiceConfig:
@@ -560,4 +685,5 @@ def config_from_args(args) -> ServiceConfig:
         lru_size=args.lru_size,
         drain_timeout_s=args.drain_timeout,
         metrics_json=args.metrics_json,
+        max_sweeps=args.max_sweeps,
     )

@@ -27,19 +27,27 @@ from __future__ import annotations
 import json
 import math
 from dataclasses import dataclass
-from typing import Mapping
+from typing import TYPE_CHECKING, Mapping
 
 from repro.carbon.intensity import CarbonIntensity, intensity_for_region, regions
 from repro.errors import QueryError
 
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.sweep import SweepSpec
+
 #: Query kinds, in routing order (kind -> parser).
-QUERY_KINDS: tuple[str, ...] = ("experiment", "footprint", "schedule")
+QUERY_KINDS: tuple[str, ...] = ("experiment", "footprint", "schedule", "sweep")
 
 #: Bounds keeping a single query's work bounded (the service answers
 #: interactive traffic; year-scale sweeps belong to the CLI runner).
 MAX_JOBS = 500
 MAX_HORIZON_HOURS = 8784
 MAX_BUSY_DEVICE_HOURS = 1e12
+
+#: Service-side cap on one sweep's point count — far below the library's
+#: :data:`repro.core.sweep.MAX_SWEEP_POINTS`; larger sweeps belong to the
+#: CLI (``sustainable-ai sweep``), which resumes via the disk cache.
+MAX_SERVICE_SWEEP_POINTS = 20_000
 
 
 def render_payload(payload: Mapping[str, object]) -> bytes:
@@ -430,6 +438,106 @@ def parse_schedule(params: Mapping[str, object]) -> ScheduleQuery:
 
 
 # ---------------------------------------------------------------------------
+# /sweep
+# ---------------------------------------------------------------------------
+
+_SWEEP_PARAMS: tuple[str, ...] = (
+    "busy_device_hours",
+    "ranges",
+    "sampling",
+    "n_points",
+    "seed",
+    "intensity_kg_per_kwh",
+    "intensity_label",
+    "devices_per_server",
+)
+
+
+@dataclass(frozen=True)
+class SweepQuery(Query):
+    """A stacked scenario sweep (:mod:`repro.core.sweep`) as a service job.
+
+    Unlike the interactive query kinds this one is executed *chunked* by
+    :class:`repro.service.sweeps.SweepManager` — submit, poll progress,
+    fetch the result — but it still carries the standard cache key, so a
+    finished sweep's bytes are served straight from the response LRU, and
+    :meth:`execute` remains the one-shot library-equivalent path the
+    conformance suite compares those bytes against.
+    """
+
+    spec: "SweepSpec"
+
+    kind = "sweep"
+
+    def to_params(self) -> dict[str, object]:
+        from repro.core.sweep import spec_to_params
+
+        return spec_to_params(self.spec)
+
+    def execute(self) -> dict[str, object]:
+        from repro.core.sweep import run_sweep
+
+        return run_sweep(self.spec).to_payload()
+
+
+def parse_sweep(params: Mapping[str, object]) -> SweepQuery:
+    """Validate ``sweep`` query parameters into a :class:`SweepQuery`.
+
+    Accepts the :func:`repro.core.sweep.spec_to_params` document; the
+    ``ranges`` list may arrive JSON-encoded (query-string transport).
+    """
+    from repro.core.sweep import spec_from_params
+    from repro.errors import UnitError
+
+    _reject_unknown("sweep", params, _SWEEP_PARAMS)
+    normalized = dict(params)
+    ranges = normalized.get("ranges")
+    if isinstance(ranges, str):
+        try:
+            normalized["ranges"] = json.loads(ranges)
+        except json.JSONDecodeError as exc:
+            raise QueryError(f"parameter 'ranges' is not valid JSON: {exc}") from None
+    try:
+        spec = spec_from_params(normalized)
+    except UnitError as exc:
+        raise QueryError(str(exc)) from None
+    if spec.total_points() > MAX_SERVICE_SWEEP_POINTS:
+        raise QueryError(
+            f"sweep would evaluate {spec.total_points()} points; the service "
+            f"cap is {MAX_SERVICE_SWEEP_POINTS} (use the 'sustainable-ai "
+            "sweep' CLI for larger sweeps)"
+        )
+    return SweepQuery(spec)
+
+
+def execute_sweep_chunk_task(
+    params_json: str, start: int, stop: int, attempt: int = 0, in_worker: bool = True
+) -> dict[str, object]:
+    """Worker body for one sweep chunk: fault hooks, compute, ship stats.
+
+    The chunk travels back as plain arrays plus the substrate-cache
+    counter delta, mirroring :func:`execute_query_task`.  ``attempt``
+    feeds the fault grammar's ``@attempts`` selector, so ``crash:sweep@0``
+    kills only the first try of a chunk and the manager's retry resumes
+    the sweep from the chunk that died.
+    """
+    from repro.core import memo
+    from repro.core.sweep import spec_from_params, sweep_chunk
+    from repro.testing import faults
+
+    spec = spec_from_params(json.loads(params_json))
+    faults.install_memo_corruption()
+    faults.inject("sweep", attempt=attempt, hard_exit=in_worker)
+    before = memo.stats_snapshot()
+    energy, operational, embodied = sweep_chunk(spec, start, stop)
+    delta = memo.stats_delta(before, memo.stats_snapshot())
+    return {
+        "chunk": (energy, operational, embodied),
+        "stats_delta": delta,
+    }
+
+
+# ---------------------------------------------------------------------------
 # Dispatch, worker task body, invariant bridging
 # ---------------------------------------------------------------------------
 
@@ -437,6 +545,7 @@ _PARSERS = {
     "experiment": parse_experiment,
     "footprint": parse_footprint,
     "schedule": parse_schedule,
+    "sweep": parse_sweep,
 }
 
 
@@ -486,10 +595,13 @@ def payload_to_result(payload: Mapping[str, object]):
 
     if "experiment_id" in payload:
         return ExperimentResult.from_payload(payload)
-    query = payload.get("query")
     kind = "service-query"
-    if isinstance(query, Mapping):
-        kind = f"service-{'footprint' if 'busy_device_hours' in query else 'schedule'}"
+    if "spec" in payload:
+        kind = "service-sweep"
+    else:
+        query = payload.get("query")
+        if isinstance(query, Mapping):
+            kind = f"service-{'footprint' if 'busy_device_hours' in query else 'schedule'}"
     return ExperimentResult(
         experiment_id=kind,
         title=f"carbon-query service response ({kind})",

@@ -40,6 +40,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.carbon.intensity import CarbonIntensity
     from repro.core.context import AccountingContext
     from repro.core.series import HourlySeries
+    from repro.core.sweep import SweepSpec
     from repro.experiments.base import ExperimentResult
     from repro.scheduling.jobs import DeferrableJob
     from repro.workloads.traces import ExperimentStream
@@ -458,6 +459,134 @@ def check_fifo_busy_conservation(
         "fifo-busy-gpu-conservation",
         "busy GPUs exceeded cluster capacity",
     )
+
+
+# ---------------------------------------------------------------------------
+# Substrate invariants: the stacked sweep engine
+# ---------------------------------------------------------------------------
+
+
+def _sweep_axis(spec: "SweepSpec", name: str, points: int = 16) -> np.ndarray:
+    """A sorted probe axis for ``name``: the spec's own range when swept,
+    the full spec-level bounds otherwise."""
+    from repro.core.sweep import PARAMETER_BOUNDS
+
+    lo, hi = next(
+        ((r.lo, r.hi) for r in spec.ranges if r.name == name),
+        PARAMETER_BOUNDS[name],
+    )
+    return np.linspace(lo, hi, points)
+
+
+@substrate_invariant("sweep-matches-scalar-path")
+def check_sweep_matches_scalar_path(spec: "SweepSpec") -> None:
+    """The stacked kernel is **bit-equal** to the scalar reference loop.
+
+    No tolerance: identical IEEE 754 operation ordering must give
+    identical bits on every point of the spec's sample set.
+    """
+    from repro.core.sweep import (
+        _reference_evaluate_stacked,
+        evaluate_work_stacked,
+        sample_points,
+    )
+
+    points = sample_points(spec)
+    base = spec.base_scenario()
+    fast = evaluate_work_stacked(spec.busy_device_hours, base, points)
+    slow = _reference_evaluate_stacked(spec.busy_device_hours, base, points)
+    for field in ("energy_kwh", "operational_kg", "embodied_kg", "total_kg"):
+        stacked, reference = getattr(fast, field), getattr(slow, field)
+        _require(
+            bool(np.array_equal(stacked, reference)),
+            "sweep-matches-scalar-path",
+            f"{field} diverged from the scalar path at point(s) "
+            f"{np.flatnonzero(stacked != reference)[:5].tolist()}",
+        )
+
+
+@substrate_invariant("sweep-monotone-in-pue")
+def check_sweep_monotone_in_pue(spec: "SweepSpec") -> None:
+    """Raising PUE (all else fixed) never lowers the total footprint."""
+    from repro.core.sweep import evaluate_work_stacked
+
+    axis = _sweep_axis(spec, "pue")
+    total = evaluate_work_stacked(
+        spec.busy_device_hours, spec.base_scenario(), {"pue": axis}
+    ).total_kg
+    _require(
+        bool(np.all(np.diff(total) >= -np.abs(total[:-1]) * REL_TOL)),
+        "sweep-monotone-in-pue",
+        f"total fell as PUE rose: {total.tolist()}",
+    )
+
+
+@substrate_invariant("sweep-monotone-in-intensity")
+def check_sweep_monotone_in_intensity(spec: "SweepSpec") -> None:
+    """A dirtier grid (larger intensity scale) never lowers the total."""
+    from repro.core.sweep import evaluate_work_stacked
+
+    axis = _sweep_axis(spec, "intensity_scale")
+    total = evaluate_work_stacked(
+        spec.busy_device_hours, spec.base_scenario(), {"intensity_scale": axis}
+    ).total_kg
+    _require(
+        bool(np.all(np.diff(total) >= -np.abs(total[:-1]) * REL_TOL)),
+        "sweep-monotone-in-intensity",
+        f"total fell as grid intensity rose: {total.tolist()}",
+    )
+
+
+@substrate_invariant("sweep-inverse-utilization-scaling")
+def check_sweep_inverse_utilization_scaling(spec: "SweepSpec") -> None:
+    """Both footprint components scale ~1/utilization, so ``total x u``
+    is constant across a utilization axis (the Figure 9 mechanism)."""
+    from repro.core.sweep import evaluate_work_stacked
+
+    axis = _sweep_axis(spec, "utilization")
+    total = evaluate_work_stacked(
+        spec.busy_device_hours, spec.base_scenario(), {"utilization": axis}
+    ).total_kg
+    product = total * axis
+    _require(
+        bool(np.all(np.isclose(product, product[0], rtol=REL_TOL, atol=1e-12))),
+        "sweep-inverse-utilization-scaling",
+        f"total x utilization is not constant: {product.tolist()}",
+    )
+
+
+@substrate_invariant("sweep-embodied-additivity")
+def check_sweep_embodied_additivity(spec: "SweepSpec") -> None:
+    """``total = operational + embodied`` pointwise, and both components
+    are linear in the work quantum (halving the work halves each)."""
+    from repro.core.sweep import evaluate_work_stacked, sample_points
+
+    points = sample_points(spec)
+    base = spec.base_scenario()
+    whole = evaluate_work_stacked(spec.busy_device_hours, base, points)
+    _require(
+        bool(
+            np.array_equal(
+                whole.total_kg, whole.operational_kg + whole.embodied_kg
+            )
+        ),
+        "sweep-embodied-additivity",
+        "total_kg is not operational + embodied",
+    )
+    half = evaluate_work_stacked(spec.busy_device_hours / 2.0, base, points)
+    for field in ("operational_kg", "embodied_kg"):
+        twice = getattr(half, field) * 2.0
+        _require(
+            bool(
+                np.all(
+                    np.isclose(
+                        twice, getattr(whole, field), rtol=REL_TOL, atol=1e-12
+                    )
+                )
+            ),
+            "sweep-embodied-additivity",
+            f"{field} is not linear in the work quantum",
+        )
 
 
 # ---------------------------------------------------------------------------

@@ -300,3 +300,43 @@ def fleet_configs(draw) -> dict[str, int]:
         "training_gpus": draw(st.integers(8, 1024)),
         "inference_servers": draw(st.integers(1, 500)),
     }
+
+
+@st.composite
+def parameter_ranges(draw, name: str) -> "ParameterRange":
+    """A valid :class:`~repro.core.sweep.ParameterRange` for ``name``."""
+    from repro.core.sweep import PARAMETER_BOUNDS, ParameterRange
+
+    bound_lo, bound_hi = PARAMETER_BOUNDS[name]
+    lo = draw(finite_floats(bound_lo, bound_hi))
+    hi = draw(finite_floats(lo, bound_hi))
+    return ParameterRange(name, lo, hi, points=draw(st.integers(1, 4)))
+
+
+@st.composite
+def sweep_specs(draw, max_axes: int = 3) -> "SweepSpec":
+    """Valid, *small* :class:`~repro.core.sweep.SweepSpec` instances.
+
+    Axis resolutions are capped at 4 points over at most ``max_axes`` of
+    the six knobs (grid <= 64 points, Sobol <= 32), so the scalar
+    reference path the bit-equality properties loop through stays cheap.
+    """
+    from repro.core.sweep import SWEEP_PARAMETERS, SweepSpec
+
+    names = draw(
+        st.lists(
+            st.sampled_from(SWEEP_PARAMETERS),
+            min_size=1,
+            max_size=max_axes,
+            unique=True,
+        )
+    )
+    return SweepSpec(
+        busy_device_hours=draw(finite_floats(0.0, 1e6)),
+        ranges=tuple(draw(parameter_ranges(name)) for name in names),
+        sampling=draw(st.sampled_from(["grid", "sobol"])),
+        n_points=draw(st.integers(1, 32)),
+        seed=draw(st.integers(0, 2**16)),
+        intensity_kg_per_kwh=draw(finite_floats(0.0, MAX_INTENSITY)),
+        devices_per_server=draw(st.integers(1, 8)),
+    )

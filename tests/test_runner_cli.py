@@ -190,6 +190,89 @@ class TestCacheCommand:
         assert "mutually exclusive" in capsys.readouterr().err
 
 
+class TestSweepCommand:
+    SMALL = ["--param", "utilization=0.3:0.9:8", "--param", "pue=1.1:1.6:4"]
+
+    def test_default_grid_runs_and_reports(self, capsys):
+        assert main(["sweep"]) == 0
+        out = capsys.readouterr().out
+        assert "stacked sweep: 288 scenario(s)" in out
+        assert "sensitivity (one-at-a-time swing, descending):" in out
+        assert "pareto frontier" in out
+        assert "utilization" in out
+
+    def test_json_bytes_match_service_serializer(self, tmp_path, capsys):
+        """The CLI --json file is the canonical service/library bytes."""
+        from repro.service import parse_query, render_payload
+
+        target = tmp_path / "sweep.json"
+        assert main(["sweep", *self.SMALL, "--quiet", "--json", str(target)]) == 0
+        params = {
+            "busy_device_hours": 1000.0,
+            "ranges": [
+                {"name": "utilization", "lo": 0.3, "hi": 0.9, "points": 8},
+                {"name": "pue", "lo": 1.1, "hi": 1.6, "points": 4},
+            ],
+            "sampling": "grid",
+        }
+        assert target.read_bytes() == render_payload(
+            parse_query("sweep", params).execute()
+        )
+
+    def test_scalar_check_passes_bit_for_bit(self, capsys):
+        assert main(["sweep", *self.SMALL, "--scalar-check", "8"]) == 0
+        assert "bit-equal to the scalar path" in capsys.readouterr().out
+
+    def test_sobol_runs_are_deterministic(self, tmp_path, capsys):
+        a, b = tmp_path / "a.json", tmp_path / "b.json"
+        flags = ["--sampling", "sobol", "--points", "64", "--seed", "7", "--quiet"]
+        assert main(["sweep", *flags, "--json", str(a)]) == 0
+        assert main(["sweep", *flags, "--json", str(b)]) == 0
+        assert a.read_bytes() == b.read_bytes()
+        assert json.loads(a.read_text())["headline"]["n_points"] == 64.0
+
+    def test_quiet_suppresses_report(self, capsys):
+        assert main(["sweep", *self.SMALL, "--quiet"]) == 0
+        assert capsys.readouterr().out == ""
+
+    @pytest.mark.parametrize(
+        "argv",
+        [
+            ["sweep", "--param", "tdp=1:2"],
+            ["sweep", "--param", "utilization"],
+            ["sweep", "--param", "utilization=0.3"],
+            ["sweep", "--param", "utilization=lo:0.9"],
+            ["sweep", "--param", "utilization=0.3:0.9:2:9"],
+            ["sweep", "--param", "utilization=0.9:0.3"],
+            ["sweep", "--chunk-points", "0"],
+            ["sweep", "--scalar-check", "-1"],
+            ["sweep", "--cache-dir", "/tmp/x", "--no-disk-cache"],
+        ],
+    )
+    def test_usage_errors_exit_2(self, argv, capsys):
+        assert main(argv) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_cache_dir_resumes_from_completed_chunks(self, tmp_path, monkeypatch, capsys):
+        """A re-run with the same --cache-dir replays chunks from disk."""
+        from repro.core.diskcache import CACHE_DIR_ENV_VAR
+        from repro.core.sweep import sweep_chunk
+
+        monkeypatch.setenv(CACHE_DIR_ENV_VAR, "off")
+        flags = [*self.SMALL, "--chunk-points", "8", "--quiet"]
+        assert main(["sweep", *flags, "--cache-dir", str(tmp_path)]) == 0
+        assert list(tmp_path.rglob("*.pkl"))
+        # Simulate a fresh process: the in-memory tier is gone, the disk
+        # tier survives, so the second run is pure disk hits.
+        sweep_chunk.cache_clear()
+        assert main(["sweep", *flags, "--cache-dir", str(tmp_path)]) == 0
+        # Every chunk misses the (cleared) memory tier but is served from
+        # disk — no chunk is recomputed.
+        info = sweep_chunk.cache_info()
+        assert info.disk_hits == 4
+        assert info.disk_misses == 0
+
+
 class TestVerifyCommand:
     def test_update_then_verify_ok(self, tmp_path, capsys, small_registry):
         baselines = tmp_path / "baselines.json"

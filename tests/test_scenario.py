@@ -18,16 +18,46 @@ from repro.errors import UnitError
 utils = st.floats(min_value=0.05, max_value=1.0, allow_nan=False)
 
 
+NAN, INF = float("nan"), float("inf")
+
+#: (kwargs, match) — every bad knob must raise a *structured* UnitError at
+#: construction instead of leaking NaN/inf into downstream footprints.
+BAD_SCENARIOS = [
+    ({"utilization": 0.0}, "utilization"),
+    ({"utilization": -0.2}, "utilization"),
+    ({"utilization": 1.5}, "utilization"),
+    ({"utilization": NAN}, "utilization"),
+    ({"utilization": INF}, "utilization"),
+    ({"board_power_fraction": 0.0}, "board power"),
+    ({"board_power_fraction": NAN}, "board power"),
+    ({"infrastructure_embodied_factor": 0.5}, "infrastructure"),
+    ({"infrastructure_embodied_factor": NAN}, "infrastructure"),
+    ({"lifetime_years": 0.0}, "lifetime"),
+    ({"lifetime_years": -3.0}, "lifetime"),
+    ({"lifetime_years": NAN}, "lifetime"),
+    ({"lifetime_years": INF}, "lifetime"),
+    ({"pue": 0.9}, "PUE"),
+    ({"pue": NAN}, "PUE"),
+    ({"pue": INF}, "PUE"),
+    ({"devices_per_server": 0}, "devices_per_server"),
+]
+
+#: Bad work quanta for evaluate_work itself.
+BAD_BUSY_HOURS = [(-1.0, "non-negative"), (NAN, "finite"), (INF, "finite")]
+
+
 class TestScenario:
-    def test_validation(self):
-        with pytest.raises(UnitError):
-            Scenario(utilization=0.0)
-        with pytest.raises(UnitError):
-            Scenario(board_power_fraction=0.0)
-        with pytest.raises(UnitError):
-            Scenario(infrastructure_embodied_factor=0.5)
-        with pytest.raises(UnitError):
-            Scenario(lifetime_years=0.0)
+    @pytest.mark.parametrize("kwargs,match", BAD_SCENARIOS)
+    def test_validation_table(self, kwargs, match):
+        with pytest.raises(UnitError, match=match):
+            Scenario(**kwargs)
+
+    @pytest.mark.parametrize("kwargs,match", BAD_SCENARIOS)
+    def test_but_revalidates(self, kwargs, match):
+        # dataclasses.replace re-runs __post_init__, so a valid scenario
+        # cannot be mutated-by-copy into an invalid one.
+        with pytest.raises(UnitError, match=match):
+            Scenario().but(**kwargs)
 
     def test_but_creates_modified_copy(self):
         base = Scenario()
@@ -71,9 +101,10 @@ class TestEvaluateWork:
         green = evaluate_work(1000.0, renewable_variant(Scenario()))
         assert green.embodied_share > grey.embodied_share
 
-    def test_negative_work_rejected(self):
-        with pytest.raises(UnitError):
-            evaluate_work(-1.0, Scenario())
+    @pytest.mark.parametrize("busy,match", BAD_BUSY_HOURS)
+    def test_bad_work_rejected(self, busy, match):
+        with pytest.raises(UnitError, match=match):
+            evaluate_work(busy, Scenario())
 
     def test_longer_lifetime_less_embodied(self):
         short = evaluate_work(1000.0, Scenario(lifetime_years=3.0))

@@ -5,7 +5,7 @@ caching, and worker pools in front of the accounting engine changes *no
 bytes*: ``GET /experiments/{id}`` returns exactly
 ``render_payload(run_experiment(id).to_payload())``, cold and warm, at
 any client concurrency.  These tests pin that contract over the full
-44-experiment registry (riding the session-scoped ``all_results``
+45-experiment registry (riding the session-scoped ``all_results``
 fixture so the direct side runs once) and over the footprint/schedule
 endpoints against direct ``Query.execute()`` calls.
 """
@@ -135,3 +135,80 @@ class TestConcurrentConformance:
             with concurrent.futures.ThreadPoolExecutor(max_workers=16) as pool:
                 for future in [pool.submit(one_client, i) for i in range(16)]:
                     future.result(timeout=600)
+
+
+class TestSweepConformance:
+    SWEEP_PARAMS = {
+        "busy_device_hours": 1000.0,
+        "ranges": [
+            {"name": "utilization", "lo": 0.3, "hi": 0.8, "points": 6},
+            {"name": "pue", "lo": 1.05, "hi": 1.6, "points": 4},
+            {"name": "intensity_scale", "lo": 0.25, "hi": 1.5, "points": 4},
+        ],
+        "sampling": "grid",
+    }
+
+    @staticmethod
+    def _finish(client, sweep_id, deadline_s=30.0):
+        import time
+
+        deadline = time.monotonic() + deadline_s
+        while time.monotonic() < deadline:
+            poll = client.get(f"/sweep/{sweep_id}")
+            assert poll.status == 200
+            if poll.json()["status"] != "running":
+                return poll.json()
+            time.sleep(0.02)
+        raise AssertionError("sweep did not finish within the deadline")
+
+    def test_sweep_result_bytes_match_direct_execute(self, service):
+        """Submit -> poll -> result equals the one-shot library payload."""
+        _handle, client = service
+        expected = render_payload(parse_query("sweep", dict(self.SWEEP_PARAMS)).execute())
+        submitted = client.post("/sweep", dict(self.SWEEP_PARAMS))
+        assert submitted.status in (200, 202)
+        sweep_id = submitted.json()["sweep_id"]
+        final = self._finish(client, sweep_id)
+        assert final["status"] == "done"
+        assert final["completed_points"] == final["total_points"] == 96
+        result = client.get(f"/sweep/{sweep_id}/result")
+        assert result.status == 200
+        assert result.body == expected
+
+    def test_resubmission_is_idempotent_and_warm(self, service):
+        """Re-POSTing a finished spec rejoins the job: 200, same bytes."""
+        _handle, client = service
+        first = client.post("/sweep", dict(self.SWEEP_PARAMS))
+        sweep_id = first.json()["sweep_id"]
+        self._finish(client, sweep_id)
+        again = client.post("/sweep", dict(self.SWEEP_PARAMS))
+        assert again.status == 200
+        assert again.json()["status"] == "done"
+        assert again.json()["sweep_id"] == sweep_id
+        assert (
+            client.get(f"/sweep/{sweep_id}/result").body
+            == client.get(f"/sweep/{sweep_id}/result").body
+        )
+
+    def test_sweep_listing_includes_job(self, service):
+        _handle, client = service
+        listing = client.get("/sweep")
+        assert listing.status == 200
+        assert any(
+            job["status"] in ("running", "done")
+            for job in listing.json()["sweeps"]
+        )
+
+    def test_bad_spec_is_structured_400(self, service):
+        _handle, client = service
+        bad = dict(self.SWEEP_PARAMS, ranges=[{"name": "tdp", "lo": 1, "hi": 2, "points": 2}])
+        reply = client.post("/sweep", bad)
+        assert reply.status == 400
+        assert reply.json()["error"]["kind"] == "bad-request"
+
+    def test_oversized_sweep_is_rejected(self, service):
+        _handle, client = service
+        huge = dict(self.SWEEP_PARAMS, sampling="sobol", n_points=50_000)
+        reply = client.post("/sweep", huge)
+        assert reply.status == 400
+        assert "cap" in reply.json()["error"]["message"]

@@ -42,6 +42,7 @@ class TestConfigValidation:
             {"request_timeout_s": 0.0},
             {"lru_size": -1},
             {"drain_timeout_s": -1.0},
+            {"max_sweeps": 0},
         ],
     )
     def test_bad_knobs_rejected(self, overrides):
@@ -302,3 +303,114 @@ class TestGracefulDrain:
         # handle.stop() already joined the thread; a second stop is a no-op
         # because the loop has exited cleanly.
         assert not handle.thread.is_alive()
+
+
+def _wait_sweep(client, sweep_id, deadline_s=60.0):
+    """Poll a sweep to completion, returning every observed progress doc."""
+    observed = []
+    deadline = time.monotonic() + deadline_s
+    while time.monotonic() < deadline:
+        poll = client.get(f"/sweep/{sweep_id}")
+        assert poll.status == 200
+        doc = poll.json()
+        observed.append(doc)
+        if doc["status"] != "running":
+            return observed
+        time.sleep(0.02)
+    raise AssertionError("sweep did not finish within the deadline")
+
+
+SOBOL_SWEEP = {
+    "busy_device_hours": 1000.0,
+    "ranges": [{"name": "utilization", "lo": 0.3, "hi": 0.8, "points": 1}],
+    "sampling": "sobol",
+    "n_points": 1024,  # 2 chunks at the service granularity of 512
+    "seed": 7,
+}
+
+
+class TestSweepRobustness:
+    def test_progress_is_monotone_while_chunks_crawl(self, monkeypatch):
+        """Injected per-chunk delay -> polls observe only forward progress."""
+        monkeypatch.setenv(faults.FAULTS_ENV_VAR, "timeout:sweep:0.2")
+        with running_service(workers=0, lru_size=16) as (_handle, client):
+            sweep_id = client.post("/sweep", dict(SOBOL_SWEEP)).json()["sweep_id"]
+            observed = _wait_sweep(client, sweep_id)
+            counts = [doc["completed_points"] for doc in observed]
+            assert counts == sorted(counts)
+            assert observed[-1]["status"] == "done"
+            assert observed[-1]["completed_points"] == 1024
+
+    def test_result_while_running_is_409_with_progress(self, monkeypatch):
+        monkeypatch.setenv(faults.FAULTS_ENV_VAR, "timeout:sweep:0.5")
+        with running_service(workers=0, lru_size=16) as (_handle, client):
+            sweep_id = client.post("/sweep", dict(SOBOL_SWEEP)).json()["sweep_id"]
+            early = client.get(f"/sweep/{sweep_id}/result")
+            assert early.status == 409
+            doc = early.json()
+            assert doc["error"]["kind"] == "not-finished"
+            assert doc["total_points"] == 1024
+            _wait_sweep(client, sweep_id)
+            assert client.get(f"/sweep/{sweep_id}/result").status == 200
+
+    def test_worker_crash_mid_sweep_resumes_from_failed_chunk(self, monkeypatch):
+        """``crash:sweep@0`` kills attempt 0 of every chunk; the manager
+        rebuilds the pool, retries only the dead chunk, and the final
+        bytes still equal the direct library call."""
+        monkeypatch.setenv(faults.FAULTS_ENV_VAR, "crash:sweep@0")
+        with running_service(workers=1, lru_size=16) as (_handle, client):
+            sweep_id = client.post("/sweep", dict(SOBOL_SWEEP)).json()["sweep_id"]
+            final = _wait_sweep(client, sweep_id)[-1]
+            assert final["status"] == "done"
+            assert final["retries"] >= 2  # both chunks crashed once
+            result = client.get(f"/sweep/{sweep_id}/result")
+            assert result.status == 200
+        monkeypatch.delenv(faults.FAULTS_ENV_VAR)
+        expected = render_payload(parse_query("sweep", dict(SOBOL_SWEEP)).execute())
+        assert result.body == expected
+
+    def test_inline_crash_downgrades_and_still_resumes(self, monkeypatch):
+        """Inline mode turns the crash into an exception; same retry path."""
+        monkeypatch.setenv(faults.FAULTS_ENV_VAR, "crash:sweep@0")
+        with running_service(workers=0, lru_size=16) as (_handle, client):
+            sweep_id = client.post("/sweep", dict(SOBOL_SWEEP)).json()["sweep_id"]
+            final = _wait_sweep(client, sweep_id)[-1]
+            assert final["status"] == "done"
+            assert final["retries"] >= 2
+
+    def test_unrecoverable_fault_fails_the_job_structurally(self, monkeypatch):
+        """A fault injected on every attempt exhausts the retry budget."""
+        monkeypatch.setenv(faults.FAULTS_ENV_VAR, "raise:sweep")
+        with running_service(workers=0, lru_size=16) as (_handle, client):
+            sweep_id = client.post("/sweep", dict(SOBOL_SWEEP)).json()["sweep_id"]
+            final = _wait_sweep(client, sweep_id)[-1]
+            assert final["status"] == "failed"
+            assert "InjectedFault" in final["error"]
+            reply = client.get(f"/sweep/{sweep_id}/result")
+            assert reply.status == 500
+            assert reply.json()["error"]["kind"] == "sweep-failed"
+
+    def test_sweep_admission_sheds_excess_with_429(self, monkeypatch):
+        """max_sweeps=1 + a slow job -> a second spec is shed, rejoining
+        the running spec is not."""
+        monkeypatch.setenv(faults.FAULTS_ENV_VAR, "timeout:sweep:1.0")
+        with running_service(workers=0, lru_size=16, max_sweeps=1) as (
+            handle,
+            client,
+        ):
+            first = client.post("/sweep", dict(SOBOL_SWEEP))
+            assert first.status == 202
+            other = dict(SOBOL_SWEEP, seed=99)
+            shed = client.post("/sweep", other)
+            assert shed.status == 429
+            assert shed.json()["error"]["kind"] == "overloaded"
+            rejoin = client.post("/sweep", dict(SOBOL_SWEEP))
+            assert rejoin.status == 202
+            assert rejoin.json()["sweep_id"] == first.json()["sweep_id"]
+            metrics = client.get("/metrics").json()
+            assert metrics["sweeps"]["active"] == 1
+            _wait_sweep(client, first.json()["sweep_id"])
+
+    def test_method_not_allowed_on_sweep_routes(self):
+        with running_service(workers=0, lru_size=4) as (_handle, client):
+            assert client.post("/sweep/abc", {}).status == 405

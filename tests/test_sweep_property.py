@@ -1,0 +1,114 @@
+"""Hypothesis property suite pinning the stacked sweep engine.
+
+The tentpole claim is **bit-equality**: the stacked ndarray kernel in
+:mod:`repro.core.sweep` must agree with the retained scalar reference
+path (``_reference_evaluate_stacked``) under ``==`` on floats — no
+tolerance — for every spec the :func:`repro.testing.strategies.sweep_specs`
+generator can produce.  The physics invariants (monotonicity in PUE and
+grid intensity, ~1/utilization scaling, embodied additivity) ride the
+same generator, and sweep headline payloads must satisfy the PR-3
+result-invariant registry.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.core.sweep import (
+    SweepSpec,
+    _reference_evaluate_stacked,
+    evaluate_work_stacked,
+    run_sweep,
+    sample_points,
+)
+from repro.experiments.base import ExperimentResult
+from repro.testing import strategies as strat
+from repro.testing.invariants import (
+    check_result,
+    check_sweep_embodied_additivity,
+    check_sweep_inverse_utilization_scaling,
+    check_sweep_matches_scalar_path,
+    check_sweep_monotone_in_intensity,
+    check_sweep_monotone_in_pue,
+    substrate_invariant_names,
+)
+
+pytestmark = pytest.mark.property
+
+
+class TestRegistry:
+    def test_sweep_invariants_registered(self):
+        names = set(substrate_invariant_names())
+        assert {
+            "sweep-matches-scalar-path",
+            "sweep-monotone-in-pue",
+            "sweep-monotone-in-intensity",
+            "sweep-inverse-utilization-scaling",
+            "sweep-embodied-additivity",
+        } <= names
+
+
+class TestBitEquality:
+    @given(strat.sweep_specs())
+    def test_stacked_bit_equal_to_scalar_loop(self, spec):
+        # The core pin: == on floats, never isclose.
+        points = sample_points(spec)
+        base = spec.base_scenario()
+        fast = evaluate_work_stacked(spec.busy_device_hours, base, points)
+        slow = _reference_evaluate_stacked(spec.busy_device_hours, base, points)
+        assert np.array_equal(fast.energy_kwh, slow.energy_kwh)
+        assert np.array_equal(fast.operational_kg, slow.operational_kg)
+        assert np.array_equal(fast.embodied_kg, slow.embodied_kg)
+        assert np.array_equal(fast.total_kg, slow.total_kg)
+        assert np.array_equal(fast.embodied_share, slow.embodied_share)
+
+    @given(strat.sweep_specs())
+    def test_registered_scalar_path_invariant(self, spec):
+        check_sweep_matches_scalar_path(spec)
+
+    @given(strat.sweep_specs(max_axes=2))
+    def test_chunked_run_bit_equal_to_single_chunk(self, spec):
+        chunked = run_sweep(spec, chunk_points=7)
+        whole = run_sweep(spec, chunk_points=spec.total_points())
+        assert np.array_equal(chunked.results.total_kg, whole.results.total_kg)
+        assert np.array_equal(chunked.results.energy_kwh, whole.results.energy_kwh)
+
+
+class TestPhysics:
+    @given(strat.sweep_specs())
+    def test_monotone_in_pue(self, spec):
+        check_sweep_monotone_in_pue(spec)
+
+    @given(strat.sweep_specs())
+    def test_monotone_in_intensity(self, spec):
+        check_sweep_monotone_in_intensity(spec)
+
+    @given(strat.sweep_specs())
+    def test_inverse_utilization_scaling(self, spec):
+        check_sweep_inverse_utilization_scaling(spec)
+
+    @given(strat.sweep_specs())
+    def test_embodied_additivity(self, spec):
+        check_sweep_embodied_additivity(spec)
+
+
+class TestResultRegistryCompliance:
+    @settings(max_examples=25)
+    @given(strat.sweep_specs(max_axes=2))
+    def test_sweep_headline_passes_result_invariants(self, spec):
+        # A sweep's headline payload, packaged as an experiment result,
+        # must clear the PR-3 result-invariant registry (finiteness,
+        # non-negative physical metrics, bounded shares, round-trip).
+        payload = run_sweep(spec, chunk_points=64).to_payload()
+        result = ExperimentResult(
+            experiment_id="property-sweep",
+            title="Stacked sweep headline",
+            headline=dict(payload["headline"]),
+        )
+        assert check_result(result) == []
+
+    def test_default_spec_headline_shape(self):
+        payload = run_sweep(SweepSpec()).to_payload()
+        headline = payload["headline"]
+        assert headline["total_kg_min"] <= headline["total_kg_mean"] <= headline["total_kg_max"]
+        assert 0.0 <= headline["embodied_share_min"] <= headline["embodied_share_max"] <= 1.0
