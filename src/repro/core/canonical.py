@@ -1,0 +1,57 @@
+"""The one canonical JSON serialization of the repository.
+
+Every byte-stable artifact the project emits — service response bodies,
+``run --json`` envelopes, ``golden/baselines.json``, ledger bundles and
+their content addresses — is serialized here, and only here.  Canonical
+form is ``json.dumps`` with sorted keys: pretty (two-space indent) for
+human-facing documents, compact (no whitespace) for identity strings and
+content hashing.
+
+Confining the raw ``json.dumps(..., sort_keys=True)`` idiom to
+``repro/core/`` is grep-enforced (``tests/test_canonical.py``), the same
+way the kWh x intensity multiplication is confined to the accounting
+engine: two modules that serialize "canonically" but differently would
+silently break byte-identity guarantees and ledger content addresses.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Mapping
+
+__all__ = [
+    "canonical_dumps",
+    "canonical_bytes",
+    "compact_dumps",
+    "content_hash",
+]
+
+
+def canonical_dumps(obj: object) -> str:
+    """Pretty canonical form: sorted keys, two-space indent, no newline."""
+    return json.dumps(obj, indent=2, sort_keys=True)
+
+
+def canonical_bytes(payload: Mapping[str, object]) -> bytes:
+    """Canonical document bytes: pretty form plus a trailing newline.
+
+    This is the exact serialization of every service response body and
+    of ledger payload reconstruction — equality of payloads is equality
+    of these bytes.
+    """
+    return (canonical_dumps(payload) + "\n").encode("utf-8")
+
+
+def compact_dumps(obj: object) -> str:
+    """Compact canonical form: sorted keys, no whitespace.
+
+    Used wherever a JSON document *is* an identity — response-cache
+    keys, worker task transport, ledger content addressing.
+    """
+    return json.dumps(obj, sort_keys=True, separators=(",", ":"))
+
+
+def content_hash(obj: object) -> str:
+    """sha256 hex digest of an object's compact canonical form."""
+    return hashlib.sha256(compact_dumps(obj).encode("utf-8")).hexdigest()

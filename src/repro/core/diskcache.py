@@ -45,7 +45,7 @@ from pathlib import Path
 
 import numpy as np
 
-from repro._version import __version__
+from repro.version import code_version
 
 #: Environment variable naming the disk-tier directory.  Workers inherit
 #: it from the parent, which is what makes the tier cross-process.
@@ -91,9 +91,12 @@ def cache_salt() -> str:
 
     Substrates are pure functions of their arguments *given* the library
     stack; different numpy/repro/Python versions may produce different
-    bits, so they must never share entries.
+    bits, so they must never share entries.  The salt is the
+    :mod:`repro.version` code-version identity — the same triple the
+    ledger records in claim provenance, so a cache address and a
+    provenance record can never disagree about what produced a value.
     """
-    return f"np{np.__version__}|repro{__version__}|py{os.sys.version_info[0]}.{os.sys.version_info[1]}"
+    return code_version().salt()
 
 
 def canonical_token(obj: object) -> str:
@@ -141,11 +144,22 @@ def canonical_token(obj: object) -> str:
     )
 
 
-def entry_path(cache_dir: Path, qualname: str, args_token: str) -> Path:
-    """Content-addressed path of one substrate entry."""
-    digest = hashlib.sha256(
+def entry_digest(qualname: str, args_token: str) -> str:
+    """Content address of one substrate entry.
+
+    This digest is both the disk filename stem and the substrate hash the
+    ledger records in claim provenance (:mod:`repro.core.ledger`): an
+    auditor holding a ledger trace can locate the exact cached input
+    files a reported number was computed from.
+    """
+    return hashlib.sha256(
         f"{qualname}|{cache_salt()}|{args_token}".encode("utf-8")
     ).hexdigest()
+
+
+def entry_path(cache_dir: Path, qualname: str, args_token: str) -> Path:
+    """Content-addressed path of one substrate entry."""
+    digest = entry_digest(qualname, args_token)
     safe = "".join(c if (c.isalnum() or c in "._-") else "_" for c in qualname)
     return cache_dir / safe / f"{digest}.pkl"
 

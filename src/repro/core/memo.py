@@ -25,11 +25,12 @@ slowdown.
 
 from __future__ import annotations
 
+import contextlib
 import dataclasses
 import functools
 import warnings
 from dataclasses import dataclass
-from typing import Callable, Mapping, TypeVar
+from typing import Callable, Iterator, Mapping, TypeVar
 
 import numpy as np
 
@@ -67,6 +68,50 @@ def set_substrate_corruptor(
     """Install (or clear, with ``None``) the cache fault-injection hook."""
     global _CORRUPTOR
     _CORRUPTOR = corruptor
+
+
+class SubstrateCollector:
+    """Ordered, deduplicated record of the substrates one computation used.
+
+    Each entry is ``(qualname, digest)`` where ``digest`` is the content
+    address of the call (:func:`repro.core.diskcache.entry_digest`) or
+    ``None`` when the arguments had no canonical rendering.  The ledger
+    records these pairs as claim provenance.
+    """
+
+    def __init__(self) -> None:
+        self._seen: set[tuple[str, str | None]] = set()
+        self.pairs: list[tuple[str, str | None]] = []
+
+    def add(self, qualname: str, digest: str | None) -> None:
+        pair = (qualname, digest)
+        if pair not in self._seen:
+            self._seen.add(pair)
+            self.pairs.append(pair)
+
+
+#: The active substrate-provenance collector, if any.  Installed with
+#: :func:`collect_substrates`; every memoized-substrate call (hit, miss,
+#: or bypass) reports its content address here while one is active.
+_COLLECTOR: SubstrateCollector | None = None
+
+
+@contextlib.contextmanager
+def collect_substrates() -> Iterator[SubstrateCollector]:
+    """Record the content address of every substrate call in the block.
+
+    Nesting restores the previous collector on exit; only the innermost
+    collector observes calls (the runner wraps one experiment at a time,
+    the service wraps one query task at a time).
+    """
+    global _COLLECTOR
+    previous = _COLLECTOR
+    collector = SubstrateCollector()
+    _COLLECTOR = collector
+    try:
+        yield collector
+    finally:
+        _COLLECTOR = previous
 
 
 @dataclass(frozen=True)
@@ -120,8 +165,24 @@ def _warn_bypass(qualname: str) -> None:
 def memoized_substrate(func: F) -> F:
     """Cache a substrate constructor by (hashable) argument values."""
     cache: dict[object, object] = {}
+    digests: dict[object, str | None] = {}
     stats = dict.fromkeys(STAT_FIELDS, 0)
     qualname = func.__qualname__
+
+    def digest_for(key) -> str | None:
+        """Content address of one call, memoized alongside the value cache."""
+        try:
+            return digests[key]
+        except KeyError:
+            pass
+        try:
+            token = diskcache.canonical_token(key)
+        except diskcache.UncacheableArgument:
+            digest = None
+        else:
+            digest = diskcache.entry_digest(qualname, token)
+        digests[key] = digest
+        return digest
 
     def build_via_disk(args, kwargs):
         """Memory-miss path: consult the disk tier, else build (and store)."""
@@ -157,6 +218,8 @@ def memoized_substrate(func: F) -> F:
         except TypeError:
             stats["bypasses"] += 1
             _warn_bypass(qualname)
+            if _COLLECTOR is not None:
+                _COLLECTOR.add(qualname, None)
             value = func(*args, **kwargs)
             if _CORRUPTOR is not None:
                 value = _CORRUPTOR(qualname, value)
@@ -168,6 +231,8 @@ def memoized_substrate(func: F) -> F:
             value = cache[key] = build_via_disk(args, kwargs)
         else:
             stats["hits"] += 1
+        if _COLLECTOR is not None:
+            _COLLECTOR.add(qualname, digest_for(key))
         if _CORRUPTOR is not None:
             value = _CORRUPTOR(qualname, value)
         return value
@@ -177,6 +242,7 @@ def memoized_substrate(func: F) -> F:
 
     def cache_clear() -> None:
         cache.clear()
+        digests.clear()
         for field in STAT_FIELDS:
             stats[field] = 0
 

@@ -104,6 +104,11 @@ class RunRecord:
     #: Resource usage of the successful execution (``run --profile`` only);
     #: ``None`` keeps the payload schema byte-identical to unprofiled runs.
     profile: ExperimentProfile | None = None
+    #: ``(qualname, content digest)`` of every memoized substrate the
+    #: execution consumed (see :func:`repro.core.memo.collect_substrates`).
+    #: Ledger provenance only — never serialized into :meth:`to_payload`,
+    #: so ``run --json`` bytes are unchanged by collection.
+    substrates: tuple[tuple[str, str | None], ...] = ()
 
     @property
     def ok(self) -> bool:

@@ -1,15 +1,25 @@
-"""Golden-baseline regression harness for the experiment suite.
+"""Golden-baseline compatibility shim over the carbon ledger.
 
-The reproduction's core correctness property is that the 40+ registered
-experiments keep producing the calibrated ratios the paper reports.  This
-module pins every experiment's headline metrics (and row shapes) into a
-checked-in ``golden/baselines.json`` and diffs fresh runs against it with
-per-metric relative tolerances:
+Historically this module owned drift detection: it pinned every
+experiment's headline metrics into ``golden/baselines.json`` and diffed
+fresh runs against that file.  The source of truth has since moved to
+:mod:`repro.core.ledger` — an append-only, content-addressed store of
+claim bundles with provenance — and ``sustainable-ai verify`` is now a
+ledger diff against a pinned epoch (the checked-in baselines import as
+epoch ``"0"``).
 
-* :func:`build_baselines` / :func:`write_baselines` snapshot a full run
-  (``sustainable-ai verify --update``);
-* :func:`load_baselines` / :func:`compare` produce a :class:`VerifyReport`
-  with one :class:`Drift` per violation (``sustainable-ai verify``).
+What remains here is the experiment-facing surface:
+
+* the baselines *file* format (:func:`load_baselines`,
+  :func:`write_baselines`, :func:`snapshot`, :func:`build_baselines`) —
+  still the checked-in, diff-friendly representation of epoch 0;
+* bridges from experiment results/records to claim bundles
+  (:func:`bundle_from_result`, :func:`bundle_from_record`,
+  :func:`bundles_from_results`);
+* the legacy API (:func:`compare`, :func:`merge_failures`,
+  :class:`Drift`, :class:`VerifyReport`), now thin delegations to
+  :func:`repro.core.ledger.diff_bundles` / ``fold_failures`` — reports
+  and exit codes are byte-identical to the pre-ledger implementation.
 
 A tolerance of ``null`` in the JSON marks a metric informational — its
 value is recorded for audit but never failed on (used for wall-clock
@@ -19,14 +29,24 @@ timings such as the sampling-study speedup).
 from __future__ import annotations
 
 import json
-from dataclasses import dataclass
 from pathlib import Path
-from typing import Mapping
+from typing import Mapping, Sequence
 
-from repro.core.report import format_table
+from repro.core import ledger
+from repro.core.canonical import canonical_dumps
+from repro.core.ledger import (  # noqa: F401  (legacy re-exports)
+    Bundle,
+    Claim,
+    Drift,
+    VerifyReport,
+    bundles_from_baselines,
+    diff_bundles,
+    fold_failures,
+    units_for_metric,
+)
 from repro.errors import SustainableAIError
-from repro.experiments.base import ExperimentResult
-from repro.experiments.registry import DEFAULT_REL_TOL, get_spec
+from repro.experiments.base import ExperimentResult, RunRecord
+from repro.experiments.registry import DEFAULT_REL_TOL, get_spec  # noqa: F401
 
 SCHEMA_VERSION = 1
 
@@ -36,61 +56,6 @@ DEFAULT_BASELINES_PATH = Path(__file__).resolve().parents[3] / "golden" / "basel
 
 class BaselineError(SustainableAIError, ValueError):
     """The baselines file is missing, malformed, or incompatible."""
-
-
-@dataclass(frozen=True)
-class Drift:
-    """One baseline violation (or structural mismatch)."""
-
-    experiment_id: str
-    kind: str  # metric-drift | missing-metric | new-metric | shape | missing-baseline | stale-baseline | run-failure
-    metric: str = ""
-    expected: float | None = None
-    actual: float | None = None
-    rel_error: float | None = None
-    tolerance: float | None = None
-    detail: str = ""
-
-
-@dataclass(frozen=True)
-class VerifyReport:
-    """Outcome of diffing one run against the golden baselines."""
-
-    drifts: tuple[Drift, ...]
-    n_experiments: int
-    n_metrics: int
-
-    @property
-    def ok(self) -> bool:
-        return not self.drifts
-
-    def render(self) -> str:
-        """Readable drift report: summary line plus one row per drift."""
-        summary = (
-            f"golden verify: {self.n_experiments} experiment(s), "
-            f"{self.n_metrics} metric(s) checked"
-        )
-        if self.ok:
-            return f"{summary}\nOK — no drift beyond tolerance"
-        headers = ["experiment", "metric", "kind", "expected", "actual", "rel-error", "tolerance"]
-        rows = [
-            [
-                d.experiment_id,
-                d.metric or "-",
-                d.kind,
-                "-" if d.expected is None else f"{d.expected:.6g}",
-                "-" if d.actual is None else f"{d.actual:.6g}",
-                "-" if d.rel_error is None else f"{d.rel_error:.3g}",
-                "-" if d.tolerance is None else f"{d.tolerance:.3g}",
-            ]
-            for d in self.drifts
-        ]
-        table = format_table(headers, rows)
-        details = [f"  {d.experiment_id}: {d.detail}" for d in self.drifts if d.detail]
-        parts = [summary, f"DRIFT — {len(self.drifts)} violation(s)", "", table]
-        if details:
-            parts += [""] + details
-        return "\n".join(parts)
 
 
 def snapshot(result: ExperimentResult) -> dict[str, object]:
@@ -118,7 +83,7 @@ def write_baselines(path: Path, baselines: Mapping[str, object]) -> None:
     """Write a baselines document as stable, diff-friendly JSON."""
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
-    path.write_text(json.dumps(baselines, indent=2, sort_keys=True) + "\n")
+    path.write_text(canonical_dumps(baselines) + "\n")
 
 
 def load_baselines(path: Path) -> dict[str, object]:
@@ -145,11 +110,123 @@ def load_baselines(path: Path) -> dict[str, object]:
 
 def _relative_error(expected: float, actual: float) -> float:
     """Relative error vs the expected value (absolute error when expected=0)."""
-    if expected == actual:
-        return 0.0
-    if expected == 0.0:
-        return abs(actual)
-    return abs(actual - expected) / abs(expected)
+    return ledger._relative_error(expected, actual)
+
+
+# ---------------------------------------------------------------------------
+# Result/record -> claim bundle bridges
+# ---------------------------------------------------------------------------
+
+
+def bundle_from_result(
+    result: ExperimentResult,
+    *,
+    substrates: Sequence[tuple[str, str | None]] = (),
+    invariant_status: str = "not-checked",
+    recorded_at: float | None = None,
+    source: str = "runner",
+) -> Bundle:
+    """A claim bundle for one successful experiment result.
+
+    Claims mirror the golden snapshot exactly — sorted headline metrics
+    with the registry's per-metric tolerances — and the bundle carries
+    the full result payload, so any historical report can be
+    reconstructed byte-identically from the ledger.
+    """
+    spec = get_spec(result.experiment_id)
+    claims = tuple(
+        Claim(
+            metric=metric,
+            value=float(value),
+            units=units_for_metric(metric),
+            tolerance=spec.tolerance_for(metric, result),
+        )
+        for metric, value in sorted(result.headline.items())
+    )
+    config = {
+        "shape": {
+            "headers": list(result.headers),
+            "n_rows": len(result.rows),
+        }
+    }
+    return Bundle(
+        experiment_id=result.experiment_id,
+        title=result.title,
+        status="ok",
+        claims=claims,
+        provenance=ledger.default_provenance(
+            config=config,
+            substrates=substrates,
+            invariant_status=invariant_status,
+            recorded_at=recorded_at,
+            source=source,
+        ),
+        payload=result.to_payload(),
+    )
+
+
+def bundle_from_record(
+    record: RunRecord,
+    *,
+    invariant_status: str = "not-checked",
+    recorded_at: float | None = None,
+    source: str = "runner",
+) -> Bundle:
+    """A claim bundle for one run record — success *or* structured failure.
+
+    Failed records produce claimless ``status="failed"`` bundles carrying
+    the structured error (kind, message, attempts), so a crashed run is
+    ledgered as honestly as a passing one.
+    """
+    if record.ok:
+        return bundle_from_result(
+            record.result(),
+            substrates=record.substrates,
+            invariant_status=invariant_status,
+            recorded_at=recorded_at,
+            source=source,
+        )
+    return Bundle(
+        experiment_id=record.experiment_id,
+        title="",
+        status="failed",
+        claims=(),
+        provenance=ledger.default_provenance(
+            substrates=record.substrates,
+            invariant_status=invariant_status,
+            recorded_at=recorded_at,
+            source=source,
+        ),
+        error={
+            "kind": record.error_kind or "exception",
+            "message": record.error_message or "",
+            "attempts": record.attempts,
+        },
+    )
+
+
+def bundles_from_results(
+    results: Mapping[str, ExperimentResult],
+    *,
+    invariant_status: str = "not-checked",
+    recorded_at: float | None = None,
+    source: str = "runner",
+) -> dict[str, Bundle]:
+    """Claim bundles for a result mapping, preserving iteration order."""
+    return {
+        eid: bundle_from_result(
+            result,
+            invariant_status=invariant_status,
+            recorded_at=recorded_at,
+            source=source,
+        )
+        for eid, result in results.items()
+    }
+
+
+# ---------------------------------------------------------------------------
+# Legacy diff API (delegates to the ledger)
+# ---------------------------------------------------------------------------
 
 
 def compare(
@@ -157,70 +234,14 @@ def compare(
     results: Mapping[str, ExperimentResult],
     strict: bool = True,
 ) -> VerifyReport:
-    """Diff a run against baselines.
+    """Diff a run against baselines (now a ledger claim diff).
 
     ``strict`` also flags baseline entries with no corresponding result
     (stale baselines); disable it when intentionally verifying a subset.
     """
-    entries: Mapping[str, Mapping[str, object]] = baselines["experiments"]  # type: ignore[assignment]
-    drifts: list[Drift] = []
-    n_metrics = 0
-
-    for eid, result in results.items():
-        if eid not in entries:
-            drifts.append(
-                Drift(eid, "missing-baseline", detail="no baseline recorded; re-run with --update")
-            )
-            continue
-        base = entries[eid]
-        base_headline: Mapping[str, float] = base.get("headline", {})  # type: ignore[assignment]
-        tolerances: Mapping[str, float | None] = base.get("tolerances", {})  # type: ignore[assignment]
-        actual_headline = {k: float(v) for k, v in result.headline.items()}
-
-        for metric in sorted(set(base_headline) | set(actual_headline)):
-            if metric not in actual_headline:
-                drifts.append(
-                    Drift(eid, "missing-metric", metric, expected=float(base_headline[metric]))
-                )
-                continue
-            if metric not in base_headline:
-                drifts.append(Drift(eid, "new-metric", metric, actual=actual_headline[metric]))
-                continue
-            n_metrics += 1
-            tolerance = tolerances.get(metric, DEFAULT_REL_TOL)
-            if tolerance is None:
-                continue  # informational metric
-            expected = float(base_headline[metric])
-            actual = actual_headline[metric]
-            rel_error = _relative_error(expected, actual)
-            if rel_error > tolerance:
-                drifts.append(
-                    Drift(eid, "metric-drift", metric, expected, actual, rel_error, tolerance)
-                )
-
-        base_headers = list(base.get("headers", []))
-        if base_headers != list(result.headers):
-            drifts.append(
-                Drift(
-                    eid,
-                    "shape",
-                    detail=f"headers changed: {base_headers!r} -> {list(result.headers)!r}",
-                )
-            )
-        base_rows = base.get("n_rows")
-        if base_rows is not None and int(base_rows) != len(result.rows):  # type: ignore[arg-type]
-            drifts.append(
-                Drift(eid, "shape", detail=f"row count changed: {base_rows} -> {len(result.rows)}")
-            )
-
-    if strict:
-        for eid in entries:
-            if eid not in results:
-                drifts.append(
-                    Drift(eid, "stale-baseline", detail="baseline has no matching experiment")
-                )
-
-    return VerifyReport(tuple(drifts), n_experiments=len(results), n_metrics=n_metrics)
+    baseline_bundles = bundles_from_baselines(baselines)
+    current_bundles = bundles_from_results(results)
+    return diff_bundles(baseline_bundles, current_bundles, strict=strict)
 
 
 def merge_failures(report: VerifyReport, failed_records) -> VerifyReport:
@@ -231,25 +252,5 @@ def merge_failures(report: VerifyReport, failed_records) -> VerifyReport:
     entries with honest ``run-failure`` drifts carrying the structured
     error, keeping `verify`'s exit nonzero and its table complete.
     """
-    failed_ids = {record.experiment_id for record in failed_records}
-    kept = tuple(
-        d
-        for d in report.drifts
-        if not (d.kind == "stale-baseline" and d.experiment_id in failed_ids)
-    )
-    failures = tuple(
-        Drift(
-            record.experiment_id,
-            "run-failure",
-            detail=(
-                f"{record.error_kind} after {record.attempts} attempt(s): "
-                f"{record.error_message}"
-            ),
-        )
-        for record in failed_records
-    )
-    return VerifyReport(
-        kept + failures,
-        n_experiments=report.n_experiments,
-        n_metrics=report.n_metrics,
-    )
+    failed_bundles = [bundle_from_record(record) for record in failed_records]
+    return fold_failures(report, failed_bundles)

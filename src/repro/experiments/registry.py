@@ -24,6 +24,7 @@ from typing import Callable, Mapping
 
 import numpy as np
 
+from repro.core.ledger import DEFAULT_REL_TOL
 from repro.errors import RegistryError
 from repro.experiments import (
     ablations,
@@ -55,10 +56,11 @@ CATEGORY_ORDER: tuple[str, ...] = (
     "extension",
 )
 
-#: Default per-metric relative tolerance for golden verification.  The
-#: experiments are seeded and deterministic, so drift beyond this means a
-#: behavioral change, not noise.
-DEFAULT_REL_TOL = 1e-6
+# DEFAULT_REL_TOL (the default per-metric relative tolerance for golden
+# verification) is shared with ledger claims — imported from
+# repro.core.ledger so the registry and the ledger can never disagree
+# about what "default tolerance" means.  Re-exported here for the
+# experiment-facing import path.
 
 
 @dataclass(frozen=True)

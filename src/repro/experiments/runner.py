@@ -57,16 +57,17 @@ from __future__ import annotations
 
 import argparse
 import difflib
-import json
 import os
 import sys
+import time
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures import TimeoutError as FutureTimeoutError
 from concurrent.futures.process import BrokenProcessPool
 from pathlib import Path
 from typing import Callable, Sequence
 
-from repro.core import diskcache, memo
+from repro.core import diskcache, ledger, memo
+from repro.core.canonical import canonical_dumps
 from repro.experiments import golden, profiling
 from repro.experiments.base import ExperimentResult, RunRecord
 from repro.experiments.registry import experiment_ids, run_experiment
@@ -102,14 +103,21 @@ def _execute(
     faults.install_memo_corruption()
     faults.inject(exp_id, attempt, hard_exit=in_worker)
     if not profile:
-        result = run_experiment(exp_id, attempt=attempt)
-        return {"payload": _result_payload(result), "rendered": result.render()}
+        with memo.collect_substrates() as collector:
+            result = run_experiment(exp_id, attempt=attempt)
+        return {
+            "payload": _result_payload(result),
+            "rendered": result.render(),
+            "substrates": collector.pairs,
+        }
     with profiling.ProfileTimer() as timer:
-        result = run_experiment(exp_id, attempt=attempt)
+        with memo.collect_substrates() as collector:
+            result = run_experiment(exp_id, attempt=attempt)
     assert timer.profile is not None
     return {
         "payload": _result_payload(result),
         "rendered": result.render(),
+        "substrates": collector.pairs,
         "profile": timer.profile.to_payload(),
     }
 
@@ -258,6 +266,9 @@ def _run_many(
                     if measured is not None
                     else None
                 ),
+                substrates=tuple(
+                    (str(q), d) for q, d in output.get("substrates", ())  # type: ignore[union-attr]
+                ),
             )
         else:
             kind, message = failures[exp_id]
@@ -351,6 +362,147 @@ def _check_invariants(records: Sequence[RunRecord]) -> int:
     report = check_results(_successful_results(records))
     print(report.render())
     return 0 if report.ok else 1
+
+
+def _ensure_golden_epoch(
+    led: ledger.Ledger, baselines_path: Path, force: bool = False
+) -> bool:
+    """Import the checked-in baselines as epoch ``"0"`` if not yet pinned.
+
+    Returns True when an import happened.  A missing baselines file is
+    not an error here — a fresh ledger simply starts without the golden
+    epoch (``ledger diff``/``trace`` report unknown refs normally).
+    """
+    if not force and ledger.GOLDEN_EPOCH in led.epochs:
+        return False
+    if not Path(baselines_path).exists():
+        return False
+    doc = golden.load_baselines(baselines_path)
+    led.pin_epoch(
+        ledger.GOLDEN_EPOCH,
+        golden.bundles_from_baselines(doc),
+        meta={"source": "golden-import", "path": str(baselines_path)},
+    )
+    return True
+
+
+def _bundles_from_records(
+    records: Sequence[RunRecord],
+    *,
+    invariant_status: str,
+    recorded_at: float,
+    source: str = "runner",
+) -> list:
+    """One claim bundle per record — successes and structured failures."""
+    return [
+        golden.bundle_from_record(
+            record,
+            invariant_status=invariant_status,
+            recorded_at=recorded_at,
+            source=source,
+        )
+        for record in records
+    ]
+
+
+def _ledger_command(
+    args: argparse.Namespace, jobs: int, retries: int, timeout: float | None
+) -> int:
+    """``sustainable-ai ledger record|show|diff|trace``."""
+    from repro.core.report import format_table
+
+    directory = ledger.resolve_ledger_dir(getattr(args, "ledger_dir", None))
+    if directory is None:
+        return _usage_error(
+            "no ledger directory: pass --ledger-dir PATH or set "
+            f"{ledger.LEDGER_DIR_ENV_VAR}"
+        )
+    led = ledger.Ledger.open(directory)
+
+    if args.action == "record":
+        targets = _resolve_targets(args.experiment)
+        if targets is None:
+            return _unknown_experiment(args.experiment)
+        echo = None if args.quiet else print
+        records = _run_many(targets, jobs, echo=echo, retries=retries, timeout=timeout)
+        failed = [r for r in records if not r.ok]
+        invariant_status = "not-checked"
+        invariant_exit = 0
+        if args.check_invariants:
+            invariant_exit = _check_invariants(records)
+            invariant_status = "ok" if invariant_exit == 0 else "violated"
+        recorded_at = args.recorded_at if args.recorded_at is not None else time.time()
+        bundles = _bundles_from_records(
+            records, invariant_status=invariant_status, recorded_at=recorded_at
+        )
+        if _ensure_golden_epoch(led, golden.DEFAULT_BASELINES_PATH):
+            print(f"imported golden baselines as epoch {ledger.GOLDEN_EPOCH!r}")
+        run_id = led.record_run(
+            bundles,
+            run_id=args.run_id,
+            recorded_at=recorded_at,
+            meta={"command": "ledger record", "targets": args.experiment},
+        )
+        print(
+            f"recorded {len(bundles)} bundle(s) "
+            f"({len(failed)} failed) as run {run_id!r} in {directory}"
+        )
+        return 1 if (failed or invariant_exit) else 0
+
+    if args.action == "show":
+        if args.payload and not args.experiment:
+            return _usage_error("ledger show --payload requires --experiment")
+        if args.ref is None:
+            print(f"ledger at {directory}: {len(led.bundles)} bundle(s)")
+            print(f"epochs ({len(led.epochs)}):")
+            for name, entry in led.epochs.items():
+                mapping = entry.get("experiments", {})
+                print(f"  {name}: {len(mapping)} experiment(s)")  # type: ignore[arg-type]
+            print(f"runs ({len(led.runs)}):")
+            for run_id, run in led.runs.items():
+                print(f"  {run_id}: {len(run.experiments)} experiment(s)")
+            return 0
+        try:
+            bundles = led.resolve(args.ref)
+        except ledger.LedgerError as exc:
+            return _usage_error(str(exc))
+        if args.experiment:
+            bundle = bundles.get(args.experiment)
+            if bundle is None:
+                return _usage_error(
+                    f"ref {args.ref!r} records no bundle for {args.experiment!r}"
+                )
+            if args.payload:
+                try:
+                    sys.stdout.write(bundle.reconstruct().decode("utf-8"))
+                except ledger.LedgerError as exc:
+                    return _usage_error(str(exc))
+                return 0
+            print(canonical_dumps({"bundle_id": bundle.bundle_id, **bundle.to_payload()}))
+            return 0
+        rows = [
+            [eid, bundle.status, len(bundle.claims), bundle.bundle_id[:12]]
+            for eid, bundle in bundles.items()
+        ]
+        print(f"ref {args.ref!r}: {len(bundles)} bundle(s)")
+        print(format_table(("experiment", "status", "claims", "bundle"), rows))
+        return 0
+
+    if args.action == "diff":
+        try:
+            report = led.diff(args.a, args.b, strict=not args.partial)
+        except ledger.LedgerError as exc:
+            return _usage_error(str(exc))
+        print(report.render())
+        return 0 if report.ok else 1
+
+    # -- trace --------------------------------------------------------------
+    try:
+        doc = led.trace(args.experiment, args.metric, ref=args.ref)
+    except ledger.LedgerError as exc:
+        return _usage_error(str(exc))
+    print(canonical_dumps(doc))
+    return 0
 
 
 def _cache_command(args: argparse.Namespace) -> int:
@@ -608,9 +760,112 @@ def _main(argv: list[str] | None) -> int:
     verify_parser.add_argument(
         "--check-invariants",
         action="store_true",
-        help="also sweep the physical-invariant registry over the results",
+        help=(
+            "also sweep the physical-invariant registry over the results "
+            "(required with --update so epoch pins record a checked status)"
+        ),
+    )
+    verify_parser.add_argument(
+        "--ledger-dir",
+        metavar="PATH",
+        default=None,
+        help=(
+            "record this verify run's claim bundles in the ledger at PATH "
+            f"(default: the {ledger.LEDGER_DIR_ENV_VAR} env var, if set)"
+        ),
     )
     _add_fanout_flags(verify_parser)
+
+    ledger_parser = sub.add_parser(
+        "ledger",
+        help="record, inspect, diff, and trace claim bundles (see docs/LEDGER.md)",
+    )
+    ledger_sub = ledger_parser.add_subparsers(dest="action", required=True)
+
+    def _add_ledger_dir(subparser: argparse.ArgumentParser) -> None:
+        subparser.add_argument(
+            "--ledger-dir",
+            metavar="PATH",
+            default=None,
+            help=f"ledger directory (default: the {ledger.LEDGER_DIR_ENV_VAR} env var)",
+        )
+
+    ledger_record = ledger_sub.add_parser(
+        "record", help="run experiments and record their claim bundles as a run"
+    )
+    ledger_record.add_argument(
+        "experiment", nargs="?", default="all", help="experiment id or 'all'"
+    )
+    _add_ledger_dir(ledger_record)
+    ledger_record.add_argument(
+        "--run-id",
+        metavar="ID",
+        default=None,
+        help="name the recorded run (default: a content hash of its bundles)",
+    )
+    ledger_record.add_argument(
+        "--recorded-at",
+        type=float,
+        metavar="POSIX",
+        default=None,
+        help="timestamp stored in bundle provenance (default: now)",
+    )
+    ledger_record.add_argument(
+        "--check-invariants",
+        action="store_true",
+        help="sweep the invariant registry; records ok/violated in provenance",
+    )
+    ledger_record.add_argument(
+        "--quiet", action="store_true", help="suppress per-experiment progress lines"
+    )
+    _add_fanout_flags(ledger_record)
+
+    ledger_show = ledger_sub.add_parser(
+        "show", help="list refs, or the bundles/payload of one ref"
+    )
+    ledger_show.add_argument(
+        "ref", nargs="?", default=None, help="epoch name or run id (omit to list all)"
+    )
+    ledger_show.add_argument(
+        "--experiment",
+        metavar="ID",
+        default=None,
+        help="show one experiment's full bundle instead of the ref table",
+    )
+    ledger_show.add_argument(
+        "--payload",
+        action="store_true",
+        help=(
+            "write the recorded result payload bytes (byte-identical to the "
+            "original run --json record; requires --experiment)"
+        ),
+    )
+    _add_ledger_dir(ledger_show)
+
+    ledger_diff = ledger_sub.add_parser(
+        "diff", help="claim-by-claim diff of two refs (baseline = first)"
+    )
+    ledger_diff.add_argument("a", help="baseline ref (epoch name or run id)")
+    ledger_diff.add_argument("b", help="current ref (epoch name or run id)")
+    ledger_diff.add_argument(
+        "--partial",
+        action="store_true",
+        help="don't flag baseline experiments missing from the current ref",
+    )
+    _add_ledger_dir(ledger_diff)
+
+    ledger_trace = ledger_sub.add_parser(
+        "trace", help="resolve a headline metric to its substrate content hashes"
+    )
+    ledger_trace.add_argument("experiment", help="experiment id")
+    ledger_trace.add_argument("metric", help="headline metric name")
+    ledger_trace.add_argument(
+        "--ref",
+        metavar="REF",
+        default=None,
+        help="epoch/run to trace in (default: the latest run recording it)",
+    )
+    _add_ledger_dir(ledger_trace)
 
     serve_parser = sub.add_parser(
         "serve",
@@ -806,6 +1061,9 @@ def _main(argv: list[str] | None) -> int:
             print(exp_id)
         return 0
 
+    if args.command == "ledger":
+        return _ledger_command(args, jobs, retries, timeout)
+
     if args.command == "report":
         path = Path(args.output)
         lines = [
@@ -867,7 +1125,7 @@ def _main(argv: list[str] | None) -> int:
         if args.json:
             path = Path(args.json)
             payloads = [record.to_payload() for record in records]
-            path.write_text(json.dumps(payloads, indent=2, sort_keys=True))
+            path.write_text(canonical_dumps(payloads))
             print(f"wrote {len(payloads)} result(s) to {path}")
         status = 0 if all(r.ok for r in records) else 1
         if args.check_invariants:
@@ -875,15 +1133,25 @@ def _main(argv: list[str] | None) -> int:
         return status
 
     # -- verify ------------------------------------------------------------
+    # Drift detection is a ledger diff: the checked-in baselines import as
+    # epoch "0", this run's records become claim bundles, and the report
+    # is the claim-by-claim diff (byte-identical to the legacy compare).
     baselines_path = (
         Path(args.baselines) if args.baselines else golden.DEFAULT_BASELINES_PATH
     )
+    if args.update and not args.check_invariants:
+        return _usage_error(
+            "verify --update requires --check-invariants: refreshed baselines "
+            "(and their epoch pin) must record a checked invariant status"
+        )
     echo = None if args.quiet else print
     records = _run_many(
         experiment_ids(), jobs, echo=echo, retries=retries, timeout=timeout
     )
     failed = [r for r in records if not r.ok]
     results = _successful_results(records)
+    ledger_dir = ledger.resolve_ledger_dir(getattr(args, "ledger_dir", None))
+    recorded_at = time.time()
     if args.update:
         if failed:
             for record in failed:
@@ -894,18 +1162,70 @@ def _main(argv: list[str] | None) -> int:
                 file=sys.stderr,
             )
             return 1
+        if _check_invariants(records) != 0:
+            print(
+                "error: refusing to update baselines: invariant violation(s)",
+                file=sys.stderr,
+            )
+            return 1
         golden.write_baselines(baselines_path, golden.build_baselines(results))
         print(f"wrote {len(results)} baseline(s) to {baselines_path}")
+        if ledger_dir is not None:
+            led = ledger.Ledger.open(ledger_dir)
+            bundles = _bundles_from_records(
+                records, invariant_status="ok", recorded_at=recorded_at
+            )
+            run_id = led.record_run(
+                bundles,
+                recorded_at=recorded_at,
+                meta={"command": "verify --update"},
+            )
+            led.pin_epoch(
+                ledger.GOLDEN_EPOCH,
+                run_id=run_id,
+                meta={"source": "verify --update", "path": str(baselines_path)},
+            )
+            print(
+                f"pinned epoch {ledger.GOLDEN_EPOCH!r} "
+                f"({len(bundles)} bundle(s)) in {ledger_dir}"
+            )
         return 0
+
+    invariant_report = None
+    invariant_status = "not-checked"
+    if args.check_invariants:
+        from repro.testing.invariants import check_results
+
+        invariant_report = check_results(results)
+        invariant_status = "ok" if invariant_report.ok else "violated"
+
+    led = ledger.Ledger.open(ledger_dir) if ledger_dir else ledger.Ledger.in_memory()
     try:
-        baselines = golden.load_baselines(baselines_path)
+        if args.baselines or ledger.GOLDEN_EPOCH not in led.epochs:
+            doc = golden.load_baselines(baselines_path)
+            led.pin_epoch(
+                ledger.GOLDEN_EPOCH,
+                golden.bundles_from_baselines(doc),
+                meta={"source": "golden-import", "path": str(baselines_path)},
+            )
     except golden.BaselineError as exc:
         return _usage_error(str(exc.args[0] if exc.args else exc))
-    report = golden.merge_failures(golden.compare(baselines, results), failed)
+    bundles = _bundles_from_records(
+        records, invariant_status=invariant_status, recorded_at=recorded_at
+    )
+    if ledger_dir is not None:
+        led.record_run(bundles, recorded_at=recorded_at, meta={"command": "verify"})
+    baseline_bundles = led.resolve(ledger.GOLDEN_EPOCH)
+    current_ok = {b.experiment_id: b for b in bundles if b.ok}
+    failed_bundles = [b for b in bundles if not b.ok]
+    report = golden.fold_failures(
+        golden.diff_bundles(baseline_bundles, current_ok), failed_bundles
+    )
     print(report.render())
     status = 0 if report.ok else 1
-    if args.check_invariants:
-        status = max(status, _check_invariants(records))
+    if invariant_report is not None:
+        print(invariant_report.render())
+        status = max(status, 0 if invariant_report.ok else 1)
     return status
 
 

@@ -20,6 +20,10 @@ accounting engine over JSON endpoints:
 ``GET /sweep/{id}``         poll one job: monotone ``completed_points`` counter
 ``GET /sweep/{id}/result``  the finished sweep document (409 + progress while
                             running; byte-identical to the direct library call)
+``GET /ledger``             claim-ledger summary (bundles, runs, epochs)
+``GET /ledger/diff``        claim-by-claim diff of two refs (``?a=..&b=..``)
+``GET /ledger/trace``       one headline metric's provenance, down to substrate
+                            content hashes (``?experiment_id=..&metric=..``)
 ==========================  =======================================================
 
 Request path: admission control (bounded in-flight count, excess gets a
@@ -43,7 +47,6 @@ On SIGTERM/SIGINT the service stops accepting, drains in-flight requests
 from __future__ import annotations
 
 import asyncio
-import json
 import signal
 import threading
 import time
@@ -52,7 +55,8 @@ from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from pathlib import Path
 
-from repro.core import memo
+from repro.core import ledger, memo
+from repro.core.canonical import canonical_bytes, compact_dumps
 from repro.errors import (
     InjectedFault,
     InvariantViolation,
@@ -92,6 +96,9 @@ class ServiceConfig:
     drain_timeout_s: float = DEFAULT_DRAIN_TIMEOUT_S
     metrics_json: str | None = None
     max_sweeps: int = DEFAULT_MAX_SWEEPS
+    #: Directory of the claim ledger; ``None`` keeps it in memory (the
+    #: ledger then lives and dies with the service process).
+    ledger_dir: str | None = None
 
     def __post_init__(self) -> None:
         if self.workers < 0:
@@ -125,6 +132,12 @@ class CarbonQueryService:
         self.cache = ResponseCache(config.lru_size)
         self.batcher = QueryBatcher(config.batch_window_s, self._execute)
         self.sweeps = SweepManager(self, config.max_sweeps)
+        directory = ledger.resolve_ledger_dir(config.ledger_dir)
+        self.ledger = (
+            ledger.Ledger.open(directory) if directory else ledger.Ledger.in_memory()
+        )
+        self.ledger_errors = 0
+        self._seed_golden_epoch()
         self.worker_stats: dict[str, dict[str, int]] = {}
         self.port: int | None = None
         self._executor: ProcessPoolExecutor | None = None
@@ -163,9 +176,33 @@ class CarbonQueryService:
                 self._inline_executor.shutdown(wait=False, cancel_futures=True)
                 self._inline_executor = None
             if self.config.metrics_json:
-                Path(self.config.metrics_json).write_text(
-                    json.dumps(self.metrics_payload(), indent=2, sort_keys=True) + "\n"
+                Path(self.config.metrics_json).write_bytes(
+                    canonical_bytes(self.metrics_payload())
                 )
+
+    def _seed_golden_epoch(self) -> None:
+        """Pin ``golden/baselines.json`` as epoch "0" when it is missing.
+
+        Best-effort: a service without a baselines file (or with a corrupt
+        one) still serves queries — it just cannot diff against the golden
+        epoch until one is pinned.
+        """
+        if ledger.GOLDEN_EPOCH in self.ledger.epochs:
+            return
+        from repro.experiments import golden
+
+        path = golden.DEFAULT_BASELINES_PATH
+        if not path.exists():
+            return
+        try:
+            bundles = ledger.bundles_from_baselines(golden.load_baselines(path))
+            self.ledger.pin_epoch(
+                ledger.GOLDEN_EPOCH,
+                bundles,
+                meta={"source": "golden-import", "path": str(path)},
+            )
+        except Exception:
+            self.ledger_errors += 1
 
     def request_shutdown(self) -> None:
         """Begin graceful shutdown; safe to call from any thread or a signal."""
@@ -191,7 +228,7 @@ class CarbonQueryService:
         return self._inline_executor
 
     async def _run_task(self, query: queries.Query) -> dict[str, object]:
-        params_json = json.dumps(query.to_params(), sort_keys=True)
+        params_json = compact_dumps(query.to_params())
         loop = asyncio.get_running_loop()
         if self.config.workers == 0:
             return await loop.run_in_executor(
@@ -231,7 +268,33 @@ class CarbonQueryService:
                 )
         body = queries.render_payload(payload)
         self.cache.put(key, body)
+        self._record_claims(query, outcome, checked=runtime_checks_enabled())
         return body
+
+    def _record_claims(
+        self, query: queries.Query, outcome: dict[str, object], *, checked: bool
+    ) -> None:
+        """Append this execution's claims to the ledger run ``"service"``.
+
+        Best-effort by design: the response bytes are already committed to
+        the cache, so a ledger failure must never fail the request — it is
+        counted (``/metrics`` -> ``ledger.errors``) instead.
+        """
+        try:
+            bundle = ledger.bundle_from_payload(
+                outcome["payload"],  # type: ignore[arg-type]
+                kind=query.kind,
+                substrates=outcome.get("substrates", ()),  # type: ignore[arg-type]
+                invariant_status="ok" if checked else "not-checked",
+                recorded_at=time.time(),
+                source="service",
+            )
+            if bundle is not None:
+                self.ledger.update_run(
+                    "service", bundle, recorded_at=time.time()
+                )
+        except Exception:
+            self.ledger_errors += 1
 
     async def _answer_query(self, endpoint: str, query: queries.Query) -> Response:
         """Admission -> LRU -> batcher -> worker, with structured errors."""
@@ -309,6 +372,7 @@ class CarbonQueryService:
                 "hit_rate": profiling.cache_hit_rate(self.worker_stats),
             },
             "sweeps": self.sweeps.stats(),
+            "ledger": {**self.ledger.stats(), "errors": self.ledger_errors},
         }
 
     # -- routing -----------------------------------------------------------
@@ -384,8 +448,23 @@ class CarbonQueryService:
             return ("/sweep", Response(200, queries.render_payload({"sweeps": jobs})), None)
         if path.startswith("/sweep/") and method == "GET":
             return self._poll_sweep(path)
-        if path in ("/healthz", "/metrics", "/experiments", "/sweep") or path.startswith(
-            ("/experiments/", "/footprint", "/schedule", "/sweep/")
+        if path == "/ledger" and method == "GET":
+            return (
+                "/ledger",
+                Response(
+                    200,
+                    queries.render_payload(
+                        {**self.ledger.stats(), "errors": self.ledger_errors}
+                    ),
+                ),
+                None,
+            )
+        if path == "/ledger/diff" and method == "GET":
+            return self._ledger_diff(request)
+        if path == "/ledger/trace" and method == "GET":
+            return self._ledger_trace(request)
+        if path in ("/healthz", "/metrics", "/experiments", "/sweep", "/ledger") or path.startswith(
+            ("/experiments/", "/footprint", "/schedule", "/sweep/", "/ledger/")
         ):
             return (
                 path,
@@ -401,7 +480,8 @@ class CarbonQueryService:
                     f"no route for {path!r}; endpoints: /healthz, /metrics, "
                     "/experiments, /experiments/{id}, /footprint, "
                     "/schedule/carbon-aware, /sweep, /sweep/{id}, "
-                    "/sweep/{id}/result",
+                    "/sweep/{id}/result, /ledger, /ledger/diff, "
+                    "/ledger/trace",
                 ),
             ),
             None,
@@ -498,6 +578,57 @@ class CarbonQueryService:
             ),
             None,
         )
+
+    def _ledger_diff(self, request: Request) -> tuple[str, Response, str | None]:
+        """``GET /ledger/diff?a=REF&b=REF[&strict=..]``: claim-by-claim diff."""
+        endpoint = "/ledger/diff"
+        ref_a = str(request.params.get("a", "")).strip()
+        ref_b = str(request.params.get("b", "")).strip()
+        if not ref_a or not ref_b:
+            return (
+                endpoint,
+                Response(
+                    400,
+                    _error_body(
+                        "bad-request",
+                        "diff needs two refs: /ledger/diff?a=REF&b=REF "
+                        f"(known refs: {', '.join(self.ledger.refs()) or '(none)'})",
+                    ),
+                ),
+                None,
+            )
+        strict = str(request.params.get("strict", "true")).lower() not in (
+            "0", "false", "no",
+        )
+        try:
+            doc = self.ledger.diff_payload(ref_a, ref_b, strict=strict)
+        except ledger.LedgerError as exc:
+            return endpoint, Response(400, _error_body("unknown-ref", str(exc))), None
+        return endpoint, Response(200, queries.render_payload(doc)), None
+
+    def _ledger_trace(self, request: Request) -> tuple[str, Response, str | None]:
+        """``GET /ledger/trace?experiment_id=..&metric=..[&ref=..]``."""
+        endpoint = "/ledger/trace"
+        experiment_id = str(request.params.get("experiment_id", "")).strip()
+        metric = str(request.params.get("metric", "")).strip()
+        if not experiment_id or not metric:
+            return (
+                endpoint,
+                Response(
+                    400,
+                    _error_body(
+                        "bad-request",
+                        "trace needs /ledger/trace?experiment_id=ID&metric=METRIC",
+                    ),
+                ),
+                None,
+            )
+        ref = str(request.params.get("ref", "")).strip() or None
+        try:
+            doc = self.ledger.trace(experiment_id, metric, ref=ref)
+        except ledger.LedgerError as exc:
+            return endpoint, Response(404, _error_body("unknown-claim", str(exc))), None
+        return endpoint, Response(200, queries.render_payload(doc)), None
 
     async def _parse_and_answer(
         self, endpoint: str, kind: str, request: Request
@@ -671,6 +802,13 @@ def add_serve_flags(parser) -> None:
         default=DEFAULT_MAX_SWEEPS,
         help="bound on concurrently running /sweep jobs; excess gets 429 (default: %(default)s)",
     )
+    parser.add_argument(
+        "--ledger-dir",
+        metavar="DIR",
+        default=None,
+        help="persist the claim ledger under DIR (default: env "
+        f"{ledger.LEDGER_DIR_ENV_VAR} if set, else in-memory)",
+    )
 
 
 def config_from_args(args) -> ServiceConfig:
@@ -686,4 +824,5 @@ def config_from_args(args) -> ServiceConfig:
         drain_timeout_s=args.drain_timeout,
         metrics_json=args.metrics_json,
         max_sweeps=args.max_sweeps,
+        ledger_dir=args.ledger_dir,
     )

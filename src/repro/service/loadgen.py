@@ -31,6 +31,7 @@ import time
 from dataclasses import dataclass, field
 from urllib.parse import urlsplit
 
+from repro.core.canonical import canonical_bytes
 from repro.telemetry.counters import LatencyReservoir
 
 #: The default traffic mix: fast experiments plus parameterized queries,
@@ -322,9 +323,8 @@ def main(argv: list[str] | None = None) -> int:
 
     print(report.render())
     if args.json:
-        with open(args.json, "w") as handle:
-            json.dump(report.to_payload(), handle, indent=2, sort_keys=True)
-            handle.write("\n")
+        with open(args.json, "wb") as handle:
+            handle.write(canonical_bytes(report.to_payload()))
         print(f"wrote {args.json}")
 
     failed = False

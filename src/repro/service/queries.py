@@ -30,6 +30,7 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING, Mapping
 
 from repro.carbon.intensity import CarbonIntensity, intensity_for_region, regions
+from repro.core.canonical import canonical_bytes, compact_dumps
 from repro.errors import QueryError
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -55,8 +56,10 @@ def render_payload(payload: Mapping[str, object]) -> bytes:
 
     Both the service and the direct library path serialize through this
     function, so equality of payloads is equality of response bytes.
+    Delegates to :func:`repro.core.canonical.canonical_bytes` — the same
+    serialization the ledger uses to reconstruct recorded payloads.
     """
-    return (json.dumps(payload, indent=2, sort_keys=True) + "\n").encode("utf-8")
+    return canonical_bytes(payload)
 
 
 # -- coercion helpers --------------------------------------------------------
@@ -122,9 +125,7 @@ class Query:
 
     def cache_key(self) -> str:
         """Canonical identity: kind plus normalized, sorted parameters."""
-        return f"{self.kind}?" + json.dumps(
-            self.to_params(), sort_keys=True, separators=(",", ":")
-        )
+        return f"{self.kind}?" + compact_dumps(self.to_params())
 
 
 # ---------------------------------------------------------------------------
@@ -529,11 +530,13 @@ def execute_sweep_chunk_task(
     faults.install_memo_corruption()
     faults.inject("sweep", attempt=attempt, hard_exit=in_worker)
     before = memo.stats_snapshot()
-    energy, operational, embodied = sweep_chunk(spec, start, stop)
+    with memo.collect_substrates() as collector:
+        energy, operational, embodied = sweep_chunk(spec, start, stop)
     delta = memo.stats_delta(before, memo.stats_snapshot())
     return {
         "chunk": (energy, operational, embodied),
         "stats_delta": delta,
+        "substrates": collector.pairs,
     }
 
 
@@ -578,9 +581,10 @@ def execute_query_task(kind: str, params_json: str, in_worker: bool = True) -> d
     faults.install_memo_corruption()
     faults.inject(query.fault_target(), attempt=0, hard_exit=in_worker)
     before = memo.stats_snapshot()
-    payload = query.execute()
+    with memo.collect_substrates() as collector:
+        payload = query.execute()
     delta = memo.stats_delta(before, memo.stats_snapshot())
-    return {"payload": payload, "stats_delta": delta}
+    return {"payload": payload, "stats_delta": delta, "substrates": collector.pairs}
 
 
 def payload_to_result(payload: Mapping[str, object]):

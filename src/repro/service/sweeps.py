@@ -26,7 +26,6 @@ from __future__ import annotations
 
 import asyncio
 import hashlib
-import json
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
@@ -34,6 +33,7 @@ from typing import TYPE_CHECKING
 import numpy as np
 
 from repro.core import memo
+from repro.core.canonical import compact_dumps
 from repro.errors import InjectedFault, InvariantViolation
 from repro.service import queries
 
@@ -139,13 +139,20 @@ class SweepManager:
         )
 
         spec = job.query.spec
-        params_json = json.dumps(job.query.to_params(), sort_keys=True)
+        params_json = compact_dumps(job.query.to_params())
         pieces = []
+        substrates: list[tuple[str, str | None]] = []
+        seen: set[tuple[str, str | None]] = set()
         try:
             for start, stop in chunk_bounds(job.total_points, SERVICE_CHUNK_POINTS):
                 outcome = await self._run_chunk(job, params_json, start, stop)
                 memo.merge_stats(self._service.worker_stats, outcome["stats_delta"])
                 pieces.append(tuple(np.asarray(a) for a in outcome["chunk"]))
+                for qualname, digest in outcome.get("substrates", ()):
+                    pair = (str(qualname), digest)
+                    if pair not in seen:
+                        seen.add(pair)
+                        substrates.append(pair)
                 job.completed_points = stop
             result = SweepOutcome(
                 spec=spec, params=sample_points(spec), results=assemble_chunks(pieces)
@@ -154,6 +161,13 @@ class SweepManager:
             self._self_check(job, payload)
             body = queries.render_payload(payload)
             self._service.cache.put(job.query.cache_key(), body)
+            from repro.core.series import runtime_checks_enabled
+
+            self._service._record_claims(
+                job.query,
+                {"payload": payload, "substrates": substrates},
+                checked=runtime_checks_enabled(),
+            )
             job.body = body
             job.status = "done"
             self.completed += 1

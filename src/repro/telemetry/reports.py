@@ -6,6 +6,7 @@ import csv
 import json
 from pathlib import Path
 
+from repro.core.canonical import canonical_dumps
 from repro.core.quantities import Carbon, Energy
 from repro.errors import TelemetryError
 from repro.telemetry.tracker import EmissionsReport
@@ -28,9 +29,7 @@ _CSV_FIELDS = (
 def write_json(reports: list[EmissionsReport], path: str | Path) -> Path:
     """Write reports as a JSON array; returns the path."""
     path = Path(path)
-    path.write_text(
-        json.dumps([r.as_dict() for r in reports], indent=2, sort_keys=True)
-    )
+    path.write_text(canonical_dumps([r.as_dict() for r in reports]))
     return path
 
 

@@ -1,0 +1,107 @@
+"""The canonical-JSON helpers and the code-version fingerprint.
+
+Every serialization that must be byte-stable (golden baselines, ledger
+bundles, service responses, ``run --json``) flows through
+:mod:`repro.core.canonical`; these tests pin the exact byte contract and
+grep-enforce that the raw ``sort_keys=`` idiom stays confined there —
+mirroring the kWh x intensity confinement test in test_hourly_series.py.
+"""
+
+import hashlib
+import json
+import re
+import sys
+from pathlib import Path
+
+from repro.core import diskcache
+from repro.core.canonical import (
+    canonical_bytes,
+    canonical_dumps,
+    compact_dumps,
+    content_hash,
+)
+from repro.version import CodeVersion, code_version
+
+
+class TestCanonicalDumps:
+    def test_matches_the_historical_formula(self):
+        payload = {"b": 2, "a": [1, {"z": None, "y": 0.5}], "title": "x"}
+        assert canonical_dumps(payload) == json.dumps(payload, indent=2, sort_keys=True)
+
+    def test_bytes_append_exactly_one_newline(self):
+        payload = {"k": 1}
+        text = canonical_bytes(payload).decode("utf-8")
+        assert text == canonical_dumps(payload) + "\n"
+        assert not text.endswith("\n\n")
+
+    def test_compact_form_has_no_whitespace(self):
+        payload = {"b": [1, 2], "a": {"c": 3}}
+        compact = compact_dumps(payload)
+        assert " " not in compact
+        assert compact == json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+    def test_key_order_never_changes_the_bytes(self):
+        a = {"x": 1, "y": {"p": 2, "q": 3}}
+        b = {"y": {"q": 3, "p": 2}, "x": 1}
+        assert canonical_dumps(a) == canonical_dumps(b)
+        assert compact_dumps(a) == compact_dumps(b)
+
+    def test_content_hash_is_sha256_of_the_compact_form(self):
+        payload = {"metric": "total_kg", "value": 1.25}
+        expected = hashlib.sha256(compact_dumps(payload).encode("utf-8")).hexdigest()
+        assert content_hash(payload) == expected
+
+    def test_content_hash_is_order_invariant(self):
+        assert content_hash({"a": 1, "b": 2}) == content_hash({"b": 2, "a": 1})
+        assert content_hash({"a": 1}) != content_hash({"a": 2})
+
+
+SORT_KEYS_PATTERN = re.compile(r"\bsort_keys\s*=")
+
+
+def test_sort_keys_lives_only_in_canonical():
+    """No module outside repro/core/canonical.py calls json.dumps(sort_keys=).
+
+    Byte-stable serialization must flow through the canonical helpers so
+    a formatting knob (separators, indent) can never silently fork the
+    golden-baseline / ledger / service byte contract.
+    """
+    src = Path(__file__).resolve().parents[1] / "src" / "repro"
+    canonical = src / "core" / "canonical.py"
+    offenders = []
+    for path in sorted(src.rglob("*.py")):
+        if path == canonical:
+            continue
+        for lineno, line in enumerate(path.read_text().splitlines(), start=1):
+            if SORT_KEYS_PATTERN.search(line):
+                offenders.append(f"{path.relative_to(src)}:{lineno}: {line.strip()}")
+    assert not offenders, (
+        "raw sort_keys= serialization outside repro/core/canonical.py "
+        "(use canonical_dumps/compact_dumps/canonical_bytes):\n" + "\n".join(offenders)
+    )
+
+
+class TestCodeVersion:
+    def test_salt_matches_the_disk_cache_salt(self):
+        # The ledger stamps bundles with repro.version; the disk cache
+        # keys entries with the same fingerprint.  If these ever diverge,
+        # substrate digests in old bundles stop matching cache files.
+        assert code_version().salt() == diskcache.cache_salt()
+
+    def test_salt_format_is_the_historical_cache_salt(self):
+        version = CodeVersion(repro="1.2.3", numpy="9.9.9", python="3.99")
+        assert version.salt() == "np9.9.9|repro1.2.3|py3.99"
+
+    def test_captures_the_running_interpreter(self):
+        version = code_version()
+        major, minor = sys.version_info[:2]
+        assert version.python == f"{major}.{minor}"
+        import numpy
+
+        assert version.numpy == numpy.__version__
+
+    def test_payload_is_json_ready(self):
+        payload = code_version().to_payload()
+        assert set(payload) == {"repro", "numpy", "python"}
+        assert all(isinstance(v, str) for v in payload.values())
+        json.dumps(payload)  # must serialize as-is

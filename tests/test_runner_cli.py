@@ -276,15 +276,29 @@ class TestSweepCommand:
 class TestVerifyCommand:
     def test_update_then_verify_ok(self, tmp_path, capsys, small_registry):
         baselines = tmp_path / "baselines.json"
-        assert main(["verify", "--update", "--quiet", "--jobs", "1", "--baselines", str(baselines)]) == 0
+        assert main([
+            "verify", "--update", "--check-invariants", "--quiet",
+            "--jobs", "1", "--baselines", str(baselines),
+        ]) == 0
         assert baselines.exists()
         assert main(["verify", "--quiet", "--jobs", "1", "--baselines", str(baselines)]) == 0
         out = capsys.readouterr().out
         assert "OK" in out
 
+    def test_update_refuses_without_check_invariants(self, tmp_path, capsys, small_registry):
+        baselines = tmp_path / "baselines.json"
+        assert main([
+            "verify", "--update", "--quiet", "--jobs", "1", "--baselines", str(baselines),
+        ]) == 2
+        assert "requires --check-invariants" in capsys.readouterr().err
+        assert not baselines.exists()
+
     def test_drift_exit_code_1(self, tmp_path, capsys, small_registry):
         baselines = tmp_path / "baselines.json"
-        assert main(["verify", "--update", "--quiet", "--jobs", "1", "--baselines", str(baselines)]) == 0
+        assert main([
+            "verify", "--update", "--check-invariants", "--quiet",
+            "--jobs", "1", "--baselines", str(baselines),
+        ]) == 0
         doc = json.loads(baselines.read_text())
         doc["experiments"]["fig7"]["headline"]["total_gain"] *= 1.05
         baselines.write_text(json.dumps(doc))

@@ -164,8 +164,8 @@ class TestVerifyWithFaults:
     def _write_baselines(self, path):
         assert (
             main(
-                ["verify", "--update", "--quiet", "--jobs", "1",
-                 "--baselines", str(path)]
+                ["verify", "--update", "--check-invariants", "--quiet",
+                 "--jobs", "1", "--baselines", str(path)]
             )
             == 0
         )
@@ -193,8 +193,8 @@ class TestVerifyWithFaults:
         baselines = tmp_path / "baselines.json"
         monkeypatch.setenv(faults.FAULTS_ENV_VAR, "raise:fig7")
         code = main(
-            ["verify", "--update", "--quiet", "--jobs", "1", "--retries", "0",
-             "--baselines", str(baselines)]
+            ["verify", "--update", "--check-invariants", "--quiet", "--jobs", "1",
+             "--retries", "0", "--baselines", str(baselines)]
         )
         assert code == 1
         assert "refusing to update" in capsys.readouterr().err
