@@ -35,6 +35,22 @@ def pytest_addoption(parser):
         default=None,
         help="write all benchmark measurements to PATH as JSON",
     )
+    group.addoption(
+        "--replicas",
+        dest="sustainable_ai_bench_replicas",
+        type=int,
+        metavar="N",
+        default=None,
+        help="run the fabric churn benchmarks at N replicas only "
+        "(default: sweep 1, 2 and 4)",
+    )
+
+
+def pytest_generate_tests(metafunc):
+    if "fabric_replicas" in metafunc.fixturenames:
+        chosen = metafunc.config.getoption("sustainable_ai_bench_replicas")
+        counts = (1, 2, 4) if chosen is None else (chosen,)
+        metafunc.parametrize("fabric_replicas", counts)
 
 
 def pytest_sessionfinish(session, exitstatus):
@@ -67,7 +83,7 @@ def bench_experiment(benchmark, experiment_id: str, rounds: int = 1) -> None:
     print(result.render())
 
 
-@pytest.fixture
+@pytest.fixture(scope="session")
 def record():
     """The :func:`record_measurement` hook, bound to this session's store.
 

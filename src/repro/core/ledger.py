@@ -940,6 +940,156 @@ class Ledger:
             "directory": None if self.directory is None else str(self.directory),
         }
 
+    # -- retention ---------------------------------------------------------
+
+    def gc(self, *, older_than: float | None = None, dry_run: bool = False) -> "GcReport":
+        """Compact the store and prune old runs (``sustainable-ai ledger gc``).
+
+        Long-lived service ledgers grow one ``runs.jsonl`` delta line per
+        executed query and re-append nothing else — compaction rewrites
+        both journals to their minimal form and applies retention:
+
+        * runs whose ``recorded_at`` is older than ``older_than`` (a POSIX
+          timestamp) are pruned; runs with no timestamp are kept (age
+          unprovable).  ``older_than=None`` prunes nothing and only
+          compacts.
+        * **epochs are the pins**: every bundle referenced by any pinned
+          epoch — the golden epoch ``"0"`` included — survives no matter
+          how old the runs that produced it are.  ``epochs.json`` is
+          never touched.
+        * surviving runs are consolidated to one line each (the service
+          run's N delta lines become 1), duplicate and torn bundle lines
+          are dropped, and bundles referenced by neither an epoch nor a
+          surviving run are removed.
+
+        The rewrite is atomic per file (tmp + ``os.replace``).  With
+        ``dry_run=True`` nothing is modified; the report shows what a
+        real pass would do.  In-memory ledgers compact their dicts only.
+        """
+        import os as _os
+        import tempfile
+
+        pinned: set[str] = set()
+        for epoch in self.epochs.values():
+            mapping = epoch.get("experiments", {})
+            pinned.update(str(bundle_id) for bundle_id in mapping.values())  # type: ignore[union-attr]
+
+        pruned_runs = tuple(
+            run_id
+            for run_id, entry in self.runs.items()
+            if older_than is not None
+            and entry.recorded_at is not None
+            and entry.recorded_at < older_than
+        )
+        kept_runs = {
+            run_id: entry for run_id, entry in self.runs.items() if run_id not in pruned_runs
+        }
+        live: set[str] = set(pinned)
+        for entry in kept_runs.values():
+            live.update(str(bundle_id) for bundle_id in entry.experiments.values())
+        kept_bundles = {
+            bundle_id: bundle
+            for bundle_id, bundle in self.bundles.items()
+            if bundle_id in live
+        }
+        removed_bundles = len(self.bundles) - len(kept_bundles)
+
+        def _file_stats(name: str) -> tuple[int, int]:
+            if self.directory is None:
+                return 0, 0
+            path = self.directory / name
+            if not path.exists():
+                return 0, 0
+            text = path.read_text()
+            return len(text.encode("utf-8")), sum(1 for ln in text.splitlines() if ln.strip())
+
+        bundle_bytes, bundle_lines = _file_stats("bundles.jsonl")
+        run_bytes, run_lines = _file_stats("runs.jsonl")
+
+        bundle_out = [
+            compact_dumps({"bundle_id": bundle_id, "bundle": bundle.to_payload()})
+            for bundle_id, bundle in kept_bundles.items()
+        ]
+        run_out = [compact_dumps(entry.to_payload()) for entry in kept_runs.values()]
+
+        report = GcReport(
+            dry_run=dry_run,
+            runs_pruned=pruned_runs,
+            runs_kept=len(kept_runs),
+            bundles_removed=removed_bundles,
+            bundles_kept=len(kept_bundles),
+            epochs_pinned=len(self.epochs),
+            lines_before=bundle_lines + run_lines,
+            lines_after=len(bundle_out) + len(run_out),
+            bytes_before=bundle_bytes + run_bytes,
+            bytes_after=sum(len(line) + 1 for line in bundle_out + run_out),
+        )
+        if dry_run:
+            return report
+
+        if self.directory is not None:
+            self.directory.mkdir(parents=True, exist_ok=True)
+            for name, lines in (("bundles.jsonl", bundle_out), ("runs.jsonl", run_out)):
+                target = self.directory / name
+                fd, tmp = tempfile.mkstemp(dir=self.directory, suffix=".tmp")
+                try:
+                    with _os.fdopen(fd, "w", encoding="utf-8") as handle:
+                        for line in lines:
+                            handle.write(line + "\n")
+                    _os.replace(tmp, target)
+                except BaseException:
+                    try:
+                        _os.unlink(tmp)
+                    except OSError:
+                        pass
+                    raise
+        self.bundles = kept_bundles
+        self.runs = kept_runs
+        return report
+
+
+@dataclass(frozen=True)
+class GcReport:
+    """Outcome of one :meth:`Ledger.gc` pass."""
+
+    dry_run: bool
+    runs_pruned: tuple[str, ...]
+    runs_kept: int
+    bundles_removed: int
+    bundles_kept: int
+    epochs_pinned: int
+    lines_before: int
+    lines_after: int
+    bytes_before: int
+    bytes_after: int
+
+    def to_payload(self) -> dict[str, object]:
+        return {
+            "dry_run": self.dry_run,
+            "runs_pruned": list(self.runs_pruned),
+            "runs_kept": self.runs_kept,
+            "bundles_removed": self.bundles_removed,
+            "bundles_kept": self.bundles_kept,
+            "epochs_pinned": self.epochs_pinned,
+            "lines_before": self.lines_before,
+            "lines_after": self.lines_after,
+            "bytes_before": self.bytes_before,
+            "bytes_after": self.bytes_after,
+        }
+
+    def render(self) -> str:
+        verb = "would prune" if self.dry_run else "pruned"
+        lines = [
+            f"{verb} {len(self.runs_pruned)} run(s), removed "
+            f"{self.bundles_removed} bundle(s); kept {self.runs_kept} run(s), "
+            f"{self.bundles_kept} bundle(s), {self.epochs_pinned} pinned epoch(s)",
+            f"  journal: {self.lines_before} -> {self.lines_after} line(s), "
+            f"{self.bytes_before} -> {self.bytes_after} byte(s)",
+        ]
+        if self.runs_pruned:
+            lines.append("  pruned: " + ", ".join(self.runs_pruned))
+        return "\n".join(lines)
+
 
 __all__ = [
     "SCHEMA_VERSION",
@@ -962,5 +1112,6 @@ __all__ = [
     "RunEntry",
     "resolve_ledger_dir",
     "run_id_for",
+    "GcReport",
     "Ledger",
 ]

@@ -496,6 +496,19 @@ def _ledger_command(
         print(report.render())
         return 0 if report.ok else 1
 
+    if args.action == "gc":
+        older_than = args.cutoff
+        if older_than is None and args.older_than_days is not None:
+            if args.older_than_days < 0:
+                return _usage_error(
+                    f"--older-than-days must be >= 0, got {args.older_than_days}"
+                )
+            older_than = time.time() - args.older_than_days * 86_400.0
+        gc_report = led.gc(older_than=older_than, dry_run=args.dry_run)
+        print(f"ledger at {directory}:")
+        print(gc_report.render())
+        return 0
+
     # -- trace --------------------------------------------------------------
     try:
         doc = led.trace(args.experiment, args.metric, ref=args.ref)
@@ -867,6 +880,32 @@ def _main(argv: list[str] | None) -> int:
     )
     _add_ledger_dir(ledger_trace)
 
+    ledger_gc = ledger_sub.add_parser(
+        "gc",
+        help="compact the journals and prune unpinned runs older than a cutoff",
+    )
+    ledger_gc.add_argument(
+        "--older-than-days",
+        type=float,
+        metavar="DAYS",
+        default=None,
+        help="prune runs recorded more than DAYS days ago "
+        "(default: prune nothing, only compact)",
+    )
+    ledger_gc.add_argument(
+        "--cutoff",
+        type=float,
+        metavar="POSIX",
+        default=None,
+        help="explicit retention cutoff timestamp (overrides --older-than-days)",
+    )
+    ledger_gc.add_argument(
+        "--dry-run",
+        action="store_true",
+        help="report what would be pruned without touching the journals",
+    )
+    _add_ledger_dir(ledger_gc)
+
     serve_parser = sub.add_parser(
         "serve",
         help="serve carbon-footprint queries over JSON/HTTP (see docs/SERVICE.md)",
@@ -890,6 +929,14 @@ def _main(argv: list[str] | None) -> int:
         action="store_true",
         help="disable the disk substrate cache even if the env var is set",
     )
+
+    fabric_parser = sub.add_parser(
+        "fabric",
+        help="route a multi-replica carbon-query fabric (see docs/SERVICE.md)",
+    )
+    from repro.service.router import add_fabric_flags
+
+    add_fabric_flags(fabric_parser)
 
     from repro.core.sweep import DEFAULT_CHUNK_POINTS
 
@@ -1034,6 +1081,16 @@ def _main(argv: list[str] | None) -> int:
         except ServiceError as exc:
             return _usage_error(str(exc))
         return serve(config)
+
+    if args.command == "fabric":
+        from repro.errors import ServiceError
+        from repro.service.router import router_config_from_args, run_router
+
+        try:
+            config = router_config_from_args(args)
+        except ServiceError as exc:
+            return _usage_error(str(exc))
+        return run_router(config)
 
     if args.command == "sweep":
         return _sweep_command(args)

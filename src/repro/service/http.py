@@ -28,12 +28,15 @@ MAX_BODY_BYTES = 1_048_576
 
 _REASONS = {
     200: "OK",
+    202: "Accepted",
     400: "Bad Request",
     404: "Not Found",
     405: "Method Not Allowed",
+    409: "Conflict",
     413: "Payload Too Large",
     429: "Too Many Requests",
     500: "Internal Server Error",
+    502: "Bad Gateway",
     503: "Service Unavailable",
     504: "Gateway Timeout",
 }
@@ -52,6 +55,10 @@ class Request:
     params: dict[str, str]
     headers: dict[str, str]
     body: bytes
+    #: The request target exactly as the client sent it (path + query,
+    #: percent-encoding intact) — what a proxy must forward verbatim so
+    #: the upstream parses the same request the client wrote.
+    raw_target: str = ""
 
     def json_body(self) -> dict[str, object]:
         """The body decoded as a JSON object (empty body -> empty dict)."""
@@ -148,6 +155,7 @@ async def _read_request(reader: asyncio.StreamReader) -> Request | None:
         params=params,
         headers=headers,
         body=body,
+        raw_target=target,
     )
 
 

@@ -54,6 +54,29 @@ def build_mix(seed: int, experiments: tuple[str, ...] = DEFAULT_EXPERIMENTS) -> 
     return deck
 
 
+def build_churn_mix(seed: int, distinct: int = 384) -> list[str]:
+    """A cycling deck of ``distinct`` unique carbon-aware schedule queries.
+
+    Every path normalizes to a different canonical cache key, so the deck's
+    working set is exactly ``distinct`` responses, each costing a real
+    scheduler run (~10-25ms) on a miss.  Sized above one node's response
+    LRU, a cycling scan is the LRU's worst case (every entry is evicted
+    before its revisit) — the workload the fabric exists for: consistent
+    hashing splits the working set across replicas until each shard fits
+    its node's LRU again and misses collapse to dict lookups.  The shuffle
+    order is deterministic per seed; clients start at different offsets of
+    the same cycle.
+    """
+    if distinct < 1:
+        raise ValueError(f"distinct must be >= 1, got {distinct}")
+    deck = [
+        f"/schedule/carbon-aware?n_jobs={10 + index % 16}&grid_seed={index // 16}"
+        for index in range(distinct)
+    ]
+    random.Random(seed).shuffle(deck)
+    return deck
+
+
 @dataclass
 class ClientStats:
     """One worker thread's tally."""
@@ -159,9 +182,11 @@ def run_load(
     seed: int = 0,
     timeout: float = 120.0,
     fetch_server_metrics: bool = True,
+    deck: list[str] | None = None,
 ) -> LoadgenReport:
     """Drive the mix from ``clients`` threads and aggregate the outcome."""
-    deck = build_mix(seed)
+    if deck is None:
+        deck = build_mix(seed)
     per_client = [ClientStats() for _ in range(clients)]
     stop_at = time.monotonic() + duration_s
     started = time.monotonic()
@@ -234,13 +259,84 @@ def spawn_service(extra_args: list[str] | None = None) -> tuple[subprocess.Popen
         text=True,
         env=dict(os.environ),
     )
+    return proc, _await_banner(proc, "service")
+
+
+def _await_banner(proc: subprocess.Popen, what: str, max_lines: int = 20) -> int:
+    """Read stdout until the listen banner appears; return the bound port.
+
+    Warnings from the interpreter or libraries may precede the banner, so
+    non-banner lines are skipped (up to ``max_lines``, so a process that
+    never binds still fails fast).
+    """
     assert proc.stdout is not None
-    banner = proc.stdout.readline()
-    if "listening on http://" not in banner:
-        proc.kill()
-        raise RuntimeError(f"service did not start: {banner!r}")
-    port = int(banner.split("http://")[1].split()[0].rsplit(":", 1)[1])
-    return proc, port
+    seen: list[str] = []
+    for _ in range(max_lines):
+        line = proc.stdout.readline()
+        if not line:
+            break
+        if "listening on http://" in line:
+            return int(line.split("http://")[1].split()[0].rsplit(":", 1)[1])
+        seen.append(line)
+    proc.kill()
+    raise RuntimeError(f"{what} did not start: {''.join(seen)!r}")
+
+
+def spawn_fabric(
+    replicas: int, extra_args: list[str] | None = None
+) -> tuple[subprocess.Popen, int]:
+    """Start a ``repro.service.router`` fabric on an ephemeral port.
+
+    Replicas run with ``--workers 0`` (inline execution) so killing one
+    mid-soak cannot orphan process-pool workers.
+    """
+    proc = subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro.service.router",
+            "--port",
+            "0",
+            "--replicas",
+            str(replicas),
+            "--workers",
+            "0",
+        ]
+        + (extra_args or []),
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+        env=dict(os.environ),
+    )
+    return proc, _await_banner(proc, "fabric")
+
+
+def _chaos_kill_replica(host: str, port: int, timeout: float = 10.0) -> None:
+    """SIGKILL one healthy replica of the fabric at ``host:port``.
+
+    Reads the router's aggregated ``/metrics`` for replica pids; used by
+    ``--chaos-kill-after`` to prove the soak survives a replica death.
+    """
+    try:
+        conn = http.client.HTTPConnection(host, port, timeout=timeout)
+        conn.request("GET", "/metrics")
+        metrics = json.loads(conn.getresponse().read())
+        conn.close()
+    except (http.client.HTTPException, OSError, ValueError) as exc:
+        print(f"chaos: could not fetch /metrics: {exc}", file=sys.stderr)
+        return
+    replicas = metrics.get("router", {}).get("replicas", [])
+    for replica in replicas:
+        pid = replica.get("pid")
+        if replica.get("healthy") and isinstance(pid, int):
+            try:
+                os.kill(pid, signal.SIGKILL)
+            except OSError as exc:
+                print(f"chaos: kill {pid} failed: {exc}", file=sys.stderr)
+                return
+            print(f"chaos: SIGKILLed replica {replica.get('name')} (pid {pid})")
+            return
+    print("chaos: no healthy managed replica to kill", file=sys.stderr)
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -258,6 +354,36 @@ def main(argv: list[str] | None = None) -> int:
         "--spawn",
         action="store_true",
         help="start a service subprocess on an ephemeral port for the run",
+    )
+    parser.add_argument(
+        "--replicas",
+        type=int,
+        default=None,
+        metavar="N",
+        help="with --spawn: start an N-replica fabric router instead of a "
+        "single service",
+    )
+    parser.add_argument(
+        "--mix",
+        choices=("default", "churn"),
+        default="default",
+        help="traffic deck: 'default' (dashboard-like repetition) or 'churn' "
+        "(--distinct unique schedule queries cycling through the LRU)",
+    )
+    parser.add_argument(
+        "--distinct",
+        type=int,
+        default=384,
+        metavar="K",
+        help="working-set size of the churn mix (default: 384)",
+    )
+    parser.add_argument(
+        "--chaos-kill-after",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="SIGKILL one fabric replica this many seconds into the soak "
+        "(requires a router target)",
     )
     parser.add_argument(
         "--clients", type=int, default=4, help="concurrent client threads (default: 4)"
@@ -293,15 +419,37 @@ def main(argv: list[str] | None = None) -> int:
         parser.error(f"--clients must be >= 1, got {args.clients}")
     if args.duration <= 0:
         parser.error(f"--duration must be positive, got {args.duration}")
+    if args.replicas is not None and not args.spawn:
+        parser.error("--replicas requires --spawn")
+    if args.replicas is not None and args.replicas < 1:
+        parser.error(f"--replicas must be >= 1, got {args.replicas}")
+    if args.distinct < 1:
+        parser.error(f"--distinct must be >= 1, got {args.distinct}")
 
     proc: subprocess.Popen | None = None
     if args.spawn:
-        proc, port = spawn_service()
+        if args.replicas is not None:
+            proc, port = spawn_fabric(args.replicas)
+        else:
+            proc, port = spawn_service()
         host = "127.0.0.1"
     else:
         split = urlsplit(args.url)
         host = split.hostname or "127.0.0.1"
         port = split.port or 8151
+
+    deck = (
+        build_churn_mix(args.seed, args.distinct)
+        if args.mix == "churn"
+        else build_mix(args.seed)
+    )
+    chaos_timer: threading.Timer | None = None
+    if args.chaos_kill_after is not None:
+        chaos_timer = threading.Timer(
+            args.chaos_kill_after, _chaos_kill_replica, args=(host, port)
+        )
+        chaos_timer.daemon = True
+        chaos_timer.start()
     try:
         report = run_load(
             host,
@@ -310,8 +458,11 @@ def main(argv: list[str] | None = None) -> int:
             duration_s=args.duration,
             requests_per_client=args.requests,
             seed=args.seed,
+            deck=deck,
         )
     finally:
+        if chaos_timer is not None:
+            chaos_timer.cancel()
         if proc is not None:
             proc.send_signal(signal.SIGTERM)
             try:

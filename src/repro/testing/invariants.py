@@ -590,6 +590,101 @@ def check_sweep_embodied_additivity(spec: "SweepSpec") -> None:
 
 
 # ---------------------------------------------------------------------------
+# Substrate invariants: the fabric's consistent-hash ring
+# ---------------------------------------------------------------------------
+
+
+@substrate_invariant("ring-balance")
+def check_ring_balance(nodes: tuple) -> None:
+    """At :data:`~repro.service.hashring.DEFAULT_VNODES` virtual points the
+    largest arc share stays under 2x the mean and the smallest above an
+    eighth of it — no replica is a hotspot or a ghost."""
+    from repro.service.hashring import HashRing
+
+    shares = HashRing(nodes).shares()
+    mean = 1.0 / len(shares)
+    _require(
+        _close(sum(shares.values()), 1.0),
+        "ring-balance",
+        f"shares sum to {sum(shares.values())}, not 1.0",
+    )
+    _require(
+        max(shares.values()) <= 2.0 * mean,
+        "ring-balance",
+        f"largest share {max(shares.values())} exceeds 2x the mean {mean}",
+    )
+    _require(
+        min(shares.values()) >= mean / 8.0,
+        "ring-balance",
+        f"smallest share {min(shares.values())} is below mean/8 ({mean / 8.0})",
+    )
+
+
+@substrate_invariant("ring-minimal-disruption-join")
+def check_ring_minimal_disruption_join(
+    nodes: tuple, new_node: str, keys: Iterable[str]
+) -> None:
+    """Adding a node remaps a key only if the new node now owns it —
+    every other key keeps its owner (and its warm caches)."""
+    from repro.service.hashring import HashRing
+
+    before = HashRing(nodes)
+    after = HashRing(nodes)
+    after.add(new_node)
+    for key in keys:
+        old_owner, new_owner = before.owner(key), after.owner(key)
+        _require(
+            new_owner == old_owner or new_owner == new_node,
+            "ring-minimal-disruption-join",
+            f"key {key!r} moved {old_owner!r} -> {new_owner!r} when "
+            f"{new_node!r} joined (only moves *to* the joiner are lawful)",
+        )
+
+
+@substrate_invariant("ring-minimal-disruption-leave")
+def check_ring_minimal_disruption_leave(
+    nodes: tuple, victim: str, keys: Iterable[str]
+) -> None:
+    """Removing a node remaps only the keys it owned; every surviving
+    node keeps its entire shard."""
+    from repro.service.hashring import HashRing
+
+    before = HashRing(nodes)
+    after = HashRing(nodes)
+    after.remove(victim)
+    for key in keys:
+        old_owner = before.owner(key)
+        if old_owner != victim:
+            new_owner = after.owner(key)
+            _require(
+                new_owner == old_owner,
+                "ring-minimal-disruption-leave",
+                f"key {key!r} moved {old_owner!r} -> {new_owner!r} though "
+                f"only {victim!r} left the ring",
+            )
+
+
+@substrate_invariant("ring-preference-distinct")
+def check_ring_preference_distinct(nodes: tuple, key: str) -> None:
+    """A key's preference list is a permutation of the nodes with its
+    owner first — the failover order visits everyone exactly once."""
+    from repro.service.hashring import HashRing
+
+    ring = HashRing(nodes)
+    order = ring.preference(key)
+    _require(
+        len(order) == len(ring) and set(order) == set(ring.nodes),
+        "ring-preference-distinct",
+        f"preference {order!r} is not a permutation of {ring.nodes!r}",
+    )
+    _require(
+        order[0] == ring.owner(key),
+        "ring-preference-distinct",
+        f"preference head {order[0]!r} is not the owner {ring.owner(key)!r}",
+    )
+
+
+# ---------------------------------------------------------------------------
 # Result invariants: swept over every registered experiment
 # ---------------------------------------------------------------------------
 

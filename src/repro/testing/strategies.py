@@ -340,3 +340,30 @@ def sweep_specs(draw, max_axes: int = 3) -> "SweepSpec":
         intensity_kg_per_kwh=draw(finite_floats(0.0, MAX_INTENSITY)),
         devices_per_server=draw(st.integers(1, 8)),
     )
+
+
+def ring_node_names() -> st.SearchStrategy[str]:
+    """Plausible replica names: short printable identifiers."""
+    return st.text(
+        alphabet=st.sampled_from("abcdefghijklmnopqrstuvwxyz0123456789-"),
+        min_size=1,
+        max_size=12,
+    )
+
+
+def ring_node_sets(
+    min_size: int = 1, max_size: int = 16
+) -> st.SearchStrategy[tuple[str, ...]]:
+    """Distinct node-name tuples for :class:`~repro.service.hashring.HashRing`.
+
+    Sized like real fleets (the balance bound is stated for up to 16
+    nodes at the default virtual-node count).
+    """
+    return st.lists(
+        ring_node_names(), min_size=min_size, max_size=max_size, unique=True
+    ).map(tuple)
+
+
+def ring_keys() -> st.SearchStrategy[str]:
+    """Arbitrary routing keys (canonical query keys are a subset)."""
+    return st.text(min_size=0, max_size=64)
