@@ -1,0 +1,142 @@
+"""Streaming incremental-accounting benchmarks (the BENCH_9 source).
+
+Times one O(Δ) :meth:`repro.core.incremental.IncrementalAccounting.fold`
+against the full batch recompute (:func:`repro.core.incremental.reference_replay`)
+it replaces, at 1-month / 1-year / 5-year horizons, asserting
+bit-equality on every benchmarked state before timing.  The PR's
+acceptance bounds — a per-tick update at least 50x faster than the
+batch recompute at the 5-year horizon, and a per-tick cost that stays
+flat (O(Δ), not O(horizon)) as the trace grows 61x — are asserted with
+plain ``assert`` so they gate even under ``--benchmark-disable``.
+
+Run::
+
+    PYTHONPATH=src pytest benchmarks/bench_stream.py -q --json stream.json
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.carbon.grid import synthesize_grid_trace
+from repro.core.incremental import IncrementalAccounting, reference_replay
+from repro.units import HOURS_PER_YEAR
+
+#: Acceptance floor: one incremental fold vs one full batch recompute at
+#: the 5-year horizon.  Measured headroom is ~3 orders of magnitude.
+MIN_SPEEDUP_AT_5_YEARS = 50.0
+
+#: Acceptance ceiling on per-tick cost growth across a 61x horizon blowup
+#: (720 h -> 43,830 h).  A truly O(horizon) fold would grow ~61x; the
+#: windowed fold's prefix tail is bounded by the revision lag, so the
+#: per-tick cost must stay within noise of flat.
+MAX_PER_TICK_GROWTH = 8.0
+
+#: (label, hours): 1 month, 1 year, 5 years (Julian, via the shared
+#: year convention — no inline hours-per-year literals).
+HORIZONS = (
+    ("1-month", 720),
+    ("1-year", int(HOURS_PER_YEAR)),
+    ("5-year", int(5 * HOURS_PER_YEAR)),
+)
+
+#: Folds timed per horizon; each revises one of the newest 48 hours (the
+#: live-feed revision window), the streaming steady state.
+TIMED_FOLDS = 256
+
+
+def _populated_state(hours: int) -> tuple[IncrementalAccounting, list[tuple[int, float]]]:
+    """A fully-observed state over ``hours`` and its tick log."""
+    intensity = np.asarray(
+        synthesize_grid_trace(hours, seed=9).intensity_kg_per_kwh, dtype=float
+    )
+    state = IncrementalAccounting(np.ones(hours), pue=1.1)
+    log = [(h, float(intensity[h])) for h in range(hours)]
+    state.fold_many(log)
+    return state, log
+
+
+def _revision_ticks(hours: int, count: int) -> list[tuple[int, float]]:
+    """``count`` revisions cycling over the newest 48 hours."""
+    rng = np.random.default_rng(9)
+    recent = np.arange(max(0, hours - 48), hours)
+    return [
+        (int(h), float(v))
+        for h, v in zip(
+            rng.choice(recent, size=count),
+            rng.uniform(0.05, 0.9, size=count),
+        )
+    ]
+
+
+def _best_of(fn, repeats: int) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+class TestStreamingUpdateCost:
+    def test_incremental_vs_batch_recompute(self, record):
+        per_tick: dict[str, float] = {}
+        speedups: dict[str, float] = {}
+        for label, hours in HORIZONS:
+            state, log = _populated_state(hours)
+            revisions = _revision_ticks(hours, TIMED_FOLDS)
+
+            # Bit-equality before timing: the state being benchmarked is
+            # exactly the batch recompute of its own tick log — including
+            # after every revision it is about to be timed on.
+            assert state.snapshot() == reference_replay(
+                np.ones(hours), log, pue=1.1
+            )
+            probe_log = list(log) + revisions
+            probe = _populated_state(hours)[0]
+            probe.fold_many(revisions)
+            assert probe.snapshot() == reference_replay(
+                np.ones(hours), probe_log, pue=1.1
+            )
+
+            t0 = time.perf_counter()
+            state.fold_many(revisions)
+            fold_s = (time.perf_counter() - t0) / len(revisions)
+
+            replay_log = list(log) + revisions
+            replay_s = _best_of(
+                lambda: reference_replay(np.ones(hours), replay_log, pue=1.1),
+                3 if hours > 10_000 else 5,
+            )
+            speedup = replay_s / fold_s if fold_s > 0 else float("inf")
+            per_tick[label] = fold_s
+            speedups[label] = speedup
+            record(
+                f"stream:horizon={label}",
+                hours=hours,
+                per_tick_fold_s=fold_s,
+                batch_replay_s=replay_s,
+                folds_per_s=1.0 / fold_s if fold_s > 0 else float("inf"),
+                speedup=speedup,
+            )
+            print(
+                f"\n{label} ({hours}h): fold {fold_s * 1e6:.1f} us/tick, "
+                f"replay {replay_s * 1e3:.2f} ms, speedup {speedup:.0f}x"
+            )
+
+        # Acceptance floors (hold under --benchmark-disable too).
+        assert speedups["5-year"] >= MIN_SPEEDUP_AT_5_YEARS
+        growth = per_tick["5-year"] / per_tick["1-month"]
+        assert growth <= MAX_PER_TICK_GROWTH, (
+            f"per-tick fold cost grew {growth:.1f}x from 1 month to 5 years "
+            f"— the update path is no longer O(Δ)"
+        )
+        record(
+            "stream:acceptance",
+            min_speedup_5yr=MIN_SPEEDUP_AT_5_YEARS,
+            measured_speedup_5yr=speedups["5-year"],
+            max_per_tick_growth=MAX_PER_TICK_GROWTH,
+            measured_per_tick_growth=growth,
+        )

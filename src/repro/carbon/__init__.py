@@ -38,6 +38,15 @@ from repro.carbon.intensity import (
     regions,
 )
 from repro.carbon.offsets import NET_ZERO_PROGRAM, NO_PROGRAM, RenewableProcurement
+from repro.carbon.stream import (
+    StreamAdvice,
+    StreamSpec,
+    Tick,
+    rolling_forecast,
+    simulate_tick_trace,
+    stream_delta_payload,
+    stream_state_at,
+)
 from repro.carbon.scopes import (
     GHGInventory,
     SCOPE3_CATEGORIES,
@@ -75,7 +84,14 @@ __all__ = [
     "forecast_quality_sweep",
     "noisy_oracle",
     "persistence_forecast",
+    "rolling_forecast",
     "schedule_with_forecast",
+    "simulate_tick_trace",
+    "stream_delta_payload",
+    "stream_state_at",
+    "StreamAdvice",
+    "StreamSpec",
+    "Tick",
     "intensity_for_region",
     "operational_embodied_split",
     "regions",

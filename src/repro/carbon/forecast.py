@@ -89,9 +89,21 @@ def schedule_with_forecast(
     The scheduler sees only ``forecast``; realized emissions are computed
     by replaying its placements against the true trace — exactly how
     forecast error erodes carbon-aware savings in production.
+
+    ``horizon_hours`` must not exceed the truth trace: placements past the
+    trace would be replayed against a silently tiled copy of it, pricing
+    jobs on hours that were never observed.  The service layer has
+    rejected that case since PR 5; the library mirrors the rejection so
+    direct callers cannot fall through to the truncated/tiled account.
     """
     from repro.carbon.grid import GridTrace as _GridTrace
 
+    if horizon_hours > len(truth):
+        raise UnitError(
+            f"'horizon_hours' ({horizon_hours}) must not exceed the truth trace "
+            f"({len(truth)} hours); jobs scheduled past the grid trace would "
+            "have undefined emissions"
+        )
     f = np.asarray(forecast, dtype=float)
     if len(f) < horizon_hours:
         raise UnitError("forecast shorter than the scheduling horizon")

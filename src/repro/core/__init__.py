@@ -17,6 +17,11 @@ from repro.core.metrics import (
     Submission,
     marginal_quality_cost,
 )
+from repro.core.incremental import (
+    AccountingSnapshot,
+    IncrementalAccounting,
+    reference_replay,
+)
 from repro.core.quantities import Carbon, Energy, Power, carbon_sum, energy_sum
 from repro.core.series import HourlySeries
 from repro.core.report import (
@@ -55,6 +60,9 @@ from repro.core.sweep import (
 
 __all__ = [
     "AccountingContext",
+    "AccountingSnapshot",
+    "IncrementalAccounting",
+    "reference_replay",
     "Carbon",
     "DEFAULT_PRIORS",
     "EmbodiedFootprint",

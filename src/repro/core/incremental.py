@@ -1,0 +1,354 @@
+"""O(Δ) incremental energy/carbon accounting, bit-equal to batch replay.
+
+Every consumer in the library prices energy the same way —
+``operational = sum_h kWh_h x intensity_h`` (see :mod:`repro.core.series`)
+— but until now every consumer recomputed that sum over the *full*
+horizon on each update.  Fine for batch replay; fatal for a live service
+folding tick-level grid-intensity updates at interactive rates.
+
+:class:`IncrementalAccounting` maintains the running aggregates so that
+folding a new or revised tick costs **O(one window)**, not O(trace
+length), while staying **bit-equal** (``==`` on floats) to a full batch
+recompute of the same tick log.  The construction, following the PR-4 /
+PR-6 reference-kernel discipline (same op order, no re-association,
+never a different summation tree):
+
+* the horizon is cut into fixed ``window_hours`` windows (default 24);
+* each window's energy/emissions subtotal is one ``np.sum`` over the
+  window's *observed* hours, always recomputed wholesale from the
+  window's current arrays by the shared :func:`_window_subtotals`
+  helper — so the subtotal's bits depend only on the window's final
+  state, never on the order ticks arrived in;
+* the grand totals are a strictly sequential left-fold of the window
+  subtotals (:func:`_fold_prefix`).  Folding a tick for hour ``h``
+  recomputes window ``h // window_hours``'s subtotal and re-folds the
+  prefix from that window to the last populated window.
+
+A *revision* (a corrected intensity for an already-observed hour) is
+therefore a per-window subtotal rollback: O(1 window) plus the prefix
+tail, never a replay.  Late/out-of-order arrivals are the same code
+path — the window subtotal does not care which hour of the window
+landed last.
+
+:func:`reference_replay` is the retained ``_reference_*``-style batch
+path: it applies the whole tick log to fresh arrays and prices every
+window through the *same two helpers*.  Both paths end at identical
+(values, order) reductions, so ``IncrementalAccounting.snapshot() ==
+reference_replay(...)`` holds exactly, not to a tolerance — pinned by
+the ``stream-matches-batch-replay`` / ``stream-revision-rollback-exact``
+registry invariants and the Hypothesis property suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence, Union
+
+import numpy as np
+
+from repro.core.series import HourlySeries, runtime_checks_enabled
+from repro.errors import InvariantViolation, UnitError
+
+#: Default accounting window: one day, matching the diurnal structure of
+#: both the synthetic grids and the revision lag of real intensity feeds.
+DEFAULT_WINDOW_HOURS = 24
+
+
+@dataclass(frozen=True)
+class AccountingSnapshot:
+    """The running aggregates at one point in a tick stream.
+
+    Dataclass equality is exact float equality — the whole point: a
+    snapshot from the incremental fold must ``==`` the snapshot from
+    :func:`reference_replay` of the same tick log, bit for bit.
+    """
+
+    hours: int
+    ticks_folded: int
+    hours_observed: int
+    contiguous_hours: int
+    it_energy_kwh: float
+    operational_kg: float
+
+    def to_payload(self) -> dict[str, object]:
+        return {
+            "hours": self.hours,
+            "ticks_folded": self.ticks_folded,
+            "hours_observed": self.hours_observed,
+            "contiguous_hours": self.contiguous_hours,
+            "it_energy_kwh": self.it_energy_kwh,
+            "operational_kg": self.operational_kg,
+        }
+
+
+def _window_subtotals(
+    load_kwh: np.ndarray,
+    intensity: np.ndarray,
+    observed: np.ndarray,
+    start: int,
+    stop: int,
+    pue: float,
+) -> tuple[float, float]:
+    """(IT kWh, emissions kg) of one window's observed hours.
+
+    The single shared pricing expression for both the incremental and the
+    replay path — one masked gather, one product, one ``np.sum`` each.
+    Any change here changes both paths identically, which is what keeps
+    the bit-equality claim structural rather than empirical.
+    """
+    mask = observed[start:stop]
+    vals = load_kwh[start:stop][mask]
+    inten = intensity[start:stop][mask]
+    energy = float(np.sum(vals))
+    emissions = float(np.sum((vals * pue) * inten))
+    return energy, emissions
+
+
+def _fold_prefix(
+    energy_sub: Sequence[float],
+    emissions_sub: Sequence[float],
+    start: int,
+    upto: int,
+    energy_prefix: np.ndarray,
+    emissions_prefix: np.ndarray,
+) -> None:
+    """Sequential left-fold of window subtotals into prefix arrays.
+
+    Strictly ordered scalar adds over windows ``start..upto`` — the one
+    place totals are combined, shared by both paths so the summation
+    tree can never diverge between them.
+    """
+    energy_acc = float(energy_prefix[start - 1]) if start > 0 else 0.0
+    emissions_acc = float(emissions_prefix[start - 1]) if start > 0 else 0.0
+    for k in range(start, upto + 1):
+        energy_acc = energy_acc + float(energy_sub[k])
+        emissions_acc = emissions_acc + float(emissions_sub[k])
+        energy_prefix[k] = energy_acc
+        emissions_prefix[k] = emissions_acc
+
+
+class IncrementalAccounting:
+    """Streaming energy/carbon aggregates over a fixed hourly load profile.
+
+    ``load_kwh`` is the full-horizon hourly IT energy (an
+    :class:`HourlySeries` or 1-D array); intensity arrives tick by tick
+    through :meth:`fold`.  An hour contributes to the aggregates once its
+    intensity has been observed; a re-fold of an already-observed hour is
+    a revision and replaces the previous value exactly.
+    """
+
+    def __init__(
+        self,
+        load_kwh: Union[HourlySeries, np.ndarray, Sequence[float]],
+        pue: float = 1.0,
+        window_hours: int = DEFAULT_WINDOW_HOURS,
+    ) -> None:
+        series = load_kwh if isinstance(load_kwh, HourlySeries) else HourlySeries(
+            np.asarray(load_kwh, dtype=float)
+        )
+        if not np.isfinite(pue) or pue < 1.0:
+            raise UnitError(f"PUE must be a finite value >= 1.0, got {pue}")
+        if int(window_hours) < 1:
+            raise UnitError(f"window_hours must be >= 1, got {window_hours}")
+        self._load = series.values
+        self._pue = float(pue)
+        self._window = int(window_hours)
+        hours = len(self._load)
+        n_windows = -(-hours // self._window)  # ceil
+        self._intensity = np.full(hours, np.nan)
+        self._observed = np.zeros(hours, dtype=bool)
+        self._energy_sub = np.zeros(n_windows)
+        self._emissions_sub = np.zeros(n_windows)
+        self._energy_prefix = np.zeros(n_windows)
+        self._emissions_prefix = np.zeros(n_windows)
+        self._last_window = -1  # highest window with any observed hour
+        self._hours_observed = 0
+        self._contiguous = 0
+        self._ticks_folded = 0
+        self._log: list[tuple[int, float]] = []
+
+    # -- shape -------------------------------------------------------------
+    @property
+    def hours(self) -> int:
+        return len(self._load)
+
+    @property
+    def window_hours(self) -> int:
+        return self._window
+
+    @property
+    def pue(self) -> float:
+        return self._pue
+
+    @property
+    def ticks_folded(self) -> int:
+        return self._ticks_folded
+
+    @property
+    def hours_observed(self) -> int:
+        return self._hours_observed
+
+    @property
+    def contiguous_hours(self) -> int:
+        """Length of the fully-observed prefix (hours ``0..k-1`` all seen)."""
+        return self._contiguous
+
+    def intensity_at(self, hour: int) -> float:
+        """Latest folded intensity for ``hour`` (NaN if never observed)."""
+        return float(self._intensity[int(hour)])
+
+    def contiguous_intensity(self) -> np.ndarray:
+        """A copy of the contiguous observed-intensity prefix (for forecasts)."""
+        return self._intensity[: self._contiguous].copy()
+
+    # -- folding -----------------------------------------------------------
+    def fold(self, hour: int, intensity_kg_per_kwh: float) -> None:
+        """Fold one (possibly late, possibly revised) tick in O(one window)."""
+        h = int(hour)
+        value = float(intensity_kg_per_kwh)
+        if not (0 <= h < len(self._load)):
+            raise UnitError(f"tick hour {h} outside the {len(self._load)}-hour horizon")
+        if not np.isfinite(value) or value < 0.0:
+            raise UnitError(f"tick intensity must be finite and non-negative, got {value}")
+        self._intensity[h] = value
+        if not self._observed[h]:
+            self._observed[h] = True
+            self._hours_observed += 1
+            while self._contiguous < len(self._load) and self._observed[self._contiguous]:
+                self._contiguous += 1
+        w = h // self._window
+        start = w * self._window
+        stop = min(start + self._window, len(self._load))
+        self._energy_sub[w], self._emissions_sub[w] = _window_subtotals(
+            self._load, self._intensity, self._observed, start, stop, self._pue
+        )
+        # When the tick jumps more than one window past the frontier the
+        # gap windows (subtotal 0.0, nothing observed yet) still need
+        # their prefix entries written, or a later read of prefix[w-1]
+        # would restart the accumulator from zero.  Folding them adds
+        # exact 0.0s — the same adds the reference path performs.
+        refold_from = min(w, self._last_window + 1)
+        if w > self._last_window:
+            self._last_window = w
+        _fold_prefix(
+            self._energy_sub,
+            self._emissions_sub,
+            refold_from,
+            self._last_window,
+            self._energy_prefix,
+            self._emissions_prefix,
+        )
+        self._ticks_folded += 1
+        self._log.append((h, value))
+
+    def fold_many(self, ticks: Iterable[tuple[int, float]]) -> None:
+        for hour, value in ticks:
+            self.fold(hour, value)
+
+    # -- reductions --------------------------------------------------------
+    @property
+    def it_energy_kwh(self) -> float:
+        if self._last_window < 0:
+            return 0.0
+        return float(self._energy_prefix[self._last_window])
+
+    @property
+    def operational_kg(self) -> float:
+        if self._last_window < 0:
+            return 0.0
+        return float(self._emissions_prefix[self._last_window])
+
+    def snapshot(self) -> AccountingSnapshot:
+        """The current aggregates (self-verifying under ``--check-invariants``)."""
+        snap = AccountingSnapshot(
+            hours=len(self._load),
+            ticks_folded=self._ticks_folded,
+            hours_observed=self._hours_observed,
+            contiguous_hours=self._contiguous,
+            it_energy_kwh=self.it_energy_kwh,
+            operational_kg=self.operational_kg,
+        )
+        if runtime_checks_enabled():
+            ref = reference_replay(
+                self._load, self._log, pue=self._pue, window_hours=self._window
+            )
+            if snap != ref:
+                raise InvariantViolation(
+                    "incremental accounting diverged from batch replay: "
+                    f"{snap} != {ref}"
+                )
+        return snap
+
+
+def reference_replay(
+    load_kwh: Union[HourlySeries, np.ndarray, Sequence[float]],
+    ticks: Sequence[tuple[int, float]],
+    pue: float = 1.0,
+    window_hours: int = DEFAULT_WINDOW_HOURS,
+) -> AccountingSnapshot:
+    """Full batch recompute of a tick log — the retained reference path.
+
+    Applies every tick to fresh arrays, then prices each populated window
+    through the same :func:`_window_subtotals` and combines them with the
+    same :func:`_fold_prefix` as the incremental engine.  O(trace); the
+    ground truth the O(Δ) path is pinned against.
+    """
+    series = load_kwh if isinstance(load_kwh, HourlySeries) else HourlySeries(
+        np.asarray(load_kwh, dtype=float)
+    )
+    load = series.values
+    if not np.isfinite(pue) or pue < 1.0:
+        raise UnitError(f"PUE must be a finite value >= 1.0, got {pue}")
+    window = int(window_hours)
+    if window < 1:
+        raise UnitError(f"window_hours must be >= 1, got {window}")
+    hours = len(load)
+    n_windows = -(-hours // window)
+    intensity = np.full(hours, np.nan)
+    observed = np.zeros(hours, dtype=bool)
+    for hour, value in ticks:
+        h = int(hour)
+        v = float(value)
+        if not (0 <= h < hours):
+            raise UnitError(f"tick hour {h} outside the {hours}-hour horizon")
+        if not np.isfinite(v) or v < 0.0:
+            raise UnitError(f"tick intensity must be finite and non-negative, got {v}")
+        intensity[h] = v
+        observed[h] = True
+    energy_sub = np.zeros(n_windows)
+    emissions_sub = np.zeros(n_windows)
+    last_window = -1
+    for w in range(n_windows):
+        start = w * window
+        stop = min(start + window, hours)
+        if not np.any(observed[start:stop]):
+            continue
+        energy_sub[w], emissions_sub[w] = _window_subtotals(
+            load, intensity, observed, start, stop, pue
+        )
+        last_window = w
+    energy_prefix = np.zeros(n_windows)
+    emissions_prefix = np.zeros(n_windows)
+    if last_window >= 0:
+        _fold_prefix(
+            energy_sub, emissions_sub, 0, last_window, energy_prefix, emissions_prefix
+        )
+    contiguous = 0
+    while contiguous < hours and observed[contiguous]:
+        contiguous += 1
+    return AccountingSnapshot(
+        hours=hours,
+        ticks_folded=len(ticks),
+        hours_observed=int(np.count_nonzero(observed)),
+        contiguous_hours=contiguous,
+        it_energy_kwh=float(energy_prefix[last_window]) if last_window >= 0 else 0.0,
+        operational_kg=float(emissions_prefix[last_window]) if last_window >= 0 else 0.0,
+    )
+
+
+__all__ = [
+    "DEFAULT_WINDOW_HOURS",
+    "AccountingSnapshot",
+    "IncrementalAccounting",
+    "reference_replay",
+]

@@ -145,6 +145,29 @@ class HourlySeries:
         idx = np.arange(int(horizon_hours)) % len(self)
         return HourlySeries(self.values[idx])
 
+    # -- streaming ---------------------------------------------------------
+    def append(self, value: float) -> "HourlySeries":
+        """A new series with one more hour appended (immutably)."""
+        return HourlySeries(np.concatenate([self.values, [float(value)]]))
+
+    def extend(self, tail: Union["HourlySeries", "np.ndarray", list]) -> "HourlySeries":
+        """A new series with ``tail`` (series or array-like) appended."""
+        extra = tail.values if isinstance(tail, HourlySeries) else np.asarray(tail, dtype=float)
+        if extra.ndim != 1:
+            raise UnitError(f"extension must be 1-D, got shape {extra.shape}")
+        if len(extra) == 0:
+            return self
+        return HourlySeries(np.concatenate([self.values, extra]))
+
+    def window(self, start: int, stop: int) -> "HourlySeries":
+        """The half-open hourly slice ``[start, stop)`` as a new series."""
+        start, stop = int(start), int(stop)
+        if not (0 <= start < stop <= len(self)):
+            raise UnitError(
+                f"window [{start}, {stop}) out of range for {len(self)}-hour series"
+            )
+        return HourlySeries(self.values[start:stop])
+
     # -- reductions --------------------------------------------------------
     def total(self) -> float:
         """Plain sum of the hourly values (unit follows the series)."""

@@ -43,13 +43,21 @@ class AutoScalerConfig:
 
 @dataclass(frozen=True)
 class AutoScaleResult:
-    """Hourly outcome of auto-scaling a tier against a demand trace."""
+    """Hourly outcome of auto-scaling a tier against a demand trace.
+
+    ``static_watts`` / ``autoscaled_watts`` are the hourly tier power
+    profiles behind the two energy totals — retained so callers can
+    price the same profiles on a *time-varying* grid (the live fleet
+    loop in :mod:`repro.fleet.livesim`), not just integrate them.
+    """
 
     powered_servers: np.ndarray
     freed_servers: np.ndarray
     tier_size: int
     static_energy: Energy
     autoscaled_energy: Energy
+    static_watts: np.ndarray | None = None
+    autoscaled_watts: np.ndarray | None = None
 
     @property
     def peak_freed_fraction(self) -> float:
@@ -114,6 +122,8 @@ def autoscale_tier(
         tier_size=tier_size,
         static_energy=integrate_power_hours(static_watts),
         autoscaled_energy=integrate_power_hours(auto_watts),
+        static_watts=static_watts,
+        autoscaled_watts=auto_watts,
     )
 
 

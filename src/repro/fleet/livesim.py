@@ -1,0 +1,198 @@
+"""Live carbon-aware fleet loop: streaming feed -> forecast -> autoscale.
+
+The batch studies in this package answer "what would auto-scaling have
+saved over a known trace".  This module closes the live loop the paper's
+operational story implies: a fleet consumes the tick-level intensity
+feed of :mod:`repro.carbon.stream` as it arrives (late data, revisions,
+stalls and all), asks the rolling forecast for schedule advice each
+hour, defers the deferrable slice of demand on dirty hours, drains the
+backlog on clean ones (with a hard per-item deadline), and hands the
+realized demand trace to :func:`repro.fleet.autoscale.autoscale_tier`.
+
+Everything is a pure function of :class:`LiveFleetParams`, so outcomes
+are deterministic and replayable.  Realized emissions are priced on the
+*true* grid trace through :class:`repro.core.series.HourlySeries` — the
+single home of the kWh x intensity identity — never multiplied here.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.carbon.stream import (
+    StreamSpec,
+    advice_at,
+    load_profile,
+    simulate_tick_trace,
+    truth_trace,
+)
+from repro.core.incremental import IncrementalAccounting
+from repro.core.series import HourlySeries
+from repro.errors import UnitError
+from repro.fleet.autoscale import AutoScalerConfig, autoscale_tier
+from repro.fleet.server import ServerSKU, WEB_SKU
+
+#: Residual below which a backlog entry counts as fully drained.
+_DRAIN_EPS = 1e-12
+
+
+@dataclass(frozen=True, slots=True)
+class LiveFleetParams:
+    """One live fleet run: a stream plus tier and deferral policy."""
+
+    spec: StreamSpec = field(default_factory=StreamSpec)
+    tier_size: int = 100
+    deferrable_fraction: float = 0.3
+    max_defer_hours: int = 12
+
+    def __post_init__(self) -> None:
+        if self.tier_size < 1:
+            raise UnitError(f"tier_size must be >= 1, got {self.tier_size}")
+        if not (0.0 <= self.deferrable_fraction < 1.0):
+            raise UnitError("deferrable_fraction must be in [0, 1)")
+        if self.max_defer_hours < 1:
+            raise UnitError("max_defer_hours must be >= 1")
+
+
+@dataclass(frozen=True)
+class LiveFleetOutcome:
+    """Deterministic summary of one live fleet run."""
+
+    hours: int
+    baseline_kg: float
+    live_kg: float
+    saving_fraction: float
+    baseline_kwh: float
+    live_kwh: float
+    deferred_demand_hours: float
+    drained_demand_hours: float
+    leftover_demand_hours: float
+    peak_backlog_demand_hours: float
+    defer_decisions: int
+    stalled_decisions: int
+    forecast_sources: dict[str, int]
+    mean_powered_fraction: float
+    peak_freed_fraction: float
+
+    def to_payload(self) -> dict[str, object]:
+        return {
+            "hours": self.hours,
+            "baseline_kg": self.baseline_kg,
+            "live_kg": self.live_kg,
+            "saving_fraction": self.saving_fraction,
+            "baseline_kwh": self.baseline_kwh,
+            "live_kwh": self.live_kwh,
+            "deferred_demand_hours": self.deferred_demand_hours,
+            "drained_demand_hours": self.drained_demand_hours,
+            "leftover_demand_hours": self.leftover_demand_hours,
+            "peak_backlog_demand_hours": self.peak_backlog_demand_hours,
+            "defer_decisions": self.defer_decisions,
+            "stalled_decisions": self.stalled_decisions,
+            "forecast_sources": dict(self.forecast_sources),
+            "mean_powered_fraction": self.mean_powered_fraction,
+            "peak_freed_fraction": self.peak_freed_fraction,
+        }
+
+
+def run_live_fleet(
+    params: LiveFleetParams,
+    sku: ServerSKU = WEB_SKU,
+    config: AutoScalerConfig | None = None,
+) -> LiveFleetOutcome:
+    """Drive the autoscaler live against the rolling forecast.
+
+    Hour ``h`` is *decided* once the feed's contiguous observation
+    frontier passes it.  On a decision, backlog entries past their
+    ``max_defer_hours`` deadline are force-drained first (deadlines beat
+    carbon), then the advice either defers the deferrable slice of new
+    demand or drains backlog into spare capacity.  The realized relative
+    demand trace goes to :func:`autoscale_tier`; both the static baseline
+    and the live autoscaled power profile are priced on the true grid.
+    """
+    spec = params.spec
+    cfg = config or AutoScalerConfig()
+    ticks = simulate_tick_trace(spec)
+    load = load_profile(spec)
+    base_demand = load.values / load.peak()
+    acct = IncrementalAccounting(load, pue=spec.pue, window_hours=spec.window_hours)
+
+    hours = spec.hours
+    realized = np.zeros(hours)
+    backlog: deque[list[float]] = deque()  # [hour_added, remaining_amount]
+    backlog_total = 0.0
+    deferred = drained = peak_backlog = 0.0
+    defer_decisions = stalled_decisions = 0
+    sources: dict[str, int] = {}
+    decided = 0
+
+    def _drain_into(serve: float, hour: int, forced_only: bool) -> float:
+        nonlocal backlog_total, drained
+        while backlog and serve < 1.0 - _DRAIN_EPS:
+            entry = backlog[0]
+            if forced_only and (hour - entry[0]) < params.max_defer_hours:
+                break
+            take = min(entry[1], 1.0 - serve)
+            entry[1] -= take
+            serve += take
+            backlog_total -= take
+            drained += take
+            if entry[1] <= _DRAIN_EPS:
+                backlog.popleft()
+        return serve
+
+    for tick in ticks:
+        acct.fold(tick.hour, tick.intensity_kg_per_kwh)
+        while decided < acct.contiguous_hours:
+            h = decided
+            advice = advice_at(spec, acct, tick.emit_slot)
+            sources[advice.forecast_source] = sources.get(advice.forecast_source, 0) + 1
+            if advice.stalled:
+                stalled_decisions += 1
+            serve = float(base_demand[h])
+            serve = _drain_into(serve, h, forced_only=True)
+            if advice.defer_recommended and params.deferrable_fraction > 0.0:
+                amount = params.deferrable_fraction * float(base_demand[h])
+                serve -= amount
+                backlog.append([float(h), amount])
+                backlog_total += amount
+                deferred += amount
+                defer_decisions += 1
+            else:
+                serve = _drain_into(serve, h, forced_only=False)
+            realized[h] = serve
+            peak_backlog = max(peak_backlog, backlog_total)
+            decided += 1
+
+    realized = np.clip(realized, 0.0, 1.0)
+    live = autoscale_tier(realized, params.tier_size, sku, cfg)
+    baseline = autoscale_tier(base_demand, params.tier_size, sku, cfg)
+    truth = truth_trace(spec)
+    assert baseline.static_watts is not None and live.autoscaled_watts is not None
+    baseline_series = HourlySeries.from_power_watts(baseline.static_watts).scale(spec.pue)
+    live_series = HourlySeries.from_power_watts(live.autoscaled_watts).scale(spec.pue)
+    baseline_kg = baseline_series.emissions(truth).kg
+    live_kg = live_series.emissions(truth).kg
+    saving = 1.0 - live_kg / baseline_kg if baseline_kg > 0.0 else 0.0
+    return LiveFleetOutcome(
+        hours=hours,
+        baseline_kg=baseline_kg,
+        live_kg=live_kg,
+        saving_fraction=saving,
+        baseline_kwh=baseline_series.total(),
+        live_kwh=live_series.total(),
+        deferred_demand_hours=deferred,
+        drained_demand_hours=drained,
+        leftover_demand_hours=backlog_total,
+        peak_backlog_demand_hours=peak_backlog,
+        defer_decisions=defer_decisions,
+        stalled_decisions=stalled_decisions,
+        forecast_sources=sources,
+        mean_powered_fraction=float(np.mean(live.powered_servers)) / params.tier_size,
+        peak_freed_fraction=live.peak_freed_fraction,
+    )
+
+
+__all__ = ["LiveFleetParams", "LiveFleetOutcome", "run_live_fleet"]

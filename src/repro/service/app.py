@@ -14,6 +14,9 @@ accounting engine over JSON endpoints:
                             knobs (:class:`repro.service.queries.FootprintQuery`)
 ``GET|POST /schedule/carbon-aware``  carbon-aware vs immediate placement of a
                             synthetic job batch
+``GET /stream``             long-poll one delta of a live grid-intensity stream
+                            (``?cursor=N&wait_s=S`` + spec parameters; footprint
+                            and schedule advice fold in O(new ticks))
 ``POST /sweep``             submit a stacked scenario sweep as a chunked job
                             (202 + ``sweep_id``; idempotent per canonical spec)
 ``GET /sweep``              list sweep jobs and their progress
@@ -66,6 +69,13 @@ from repro.errors import (
 )
 from repro.experiments import profiling
 from repro.service import queries
+from repro.service.streams import (
+    DEFAULT_MAX_STREAMS,
+    DEFAULT_STREAM_MAX_TICKS,
+    DEFAULT_STREAM_MAX_WAIT_S,
+    DEFAULT_STREAM_TICK_HZ,
+    StreamManager,
+)
 from repro.service.sweeps import DEFAULT_MAX_SWEEPS, SweepManager
 from repro.service.batching import QueryBatcher
 from repro.service.cache import ResponseCache
@@ -99,6 +109,13 @@ class ServiceConfig:
     #: Directory of the claim ledger; ``None`` keeps it in memory (the
     #: ledger then lives and dies with the service process).
     ledger_dir: str | None = None
+    #: Seconds between background ``ledger gc`` compactions of the
+    #: growing ``service`` run; ``None`` disables the loop.
+    ledger_gc_interval_s: float | None = None
+    #: Live-stream serving knobs (``/stream``).
+    max_streams: int = DEFAULT_MAX_STREAMS
+    stream_tick_hz: float = DEFAULT_STREAM_TICK_HZ
+    stream_max_wait_s: float = DEFAULT_STREAM_MAX_WAIT_S
 
     def __post_init__(self) -> None:
         if self.workers < 0:
@@ -117,6 +134,18 @@ class ServiceConfig:
             raise ServiceError(f"drain timeout must be >= 0, got {self.drain_timeout_s}")
         if self.max_sweeps < 1:
             raise ServiceError(f"max sweeps must be >= 1, got {self.max_sweeps}")
+        if self.ledger_gc_interval_s is not None and self.ledger_gc_interval_s <= 0:
+            raise ServiceError(
+                f"ledger gc interval must be positive or None, got {self.ledger_gc_interval_s}"
+            )
+        if self.max_streams < 1:
+            raise ServiceError(f"max streams must be >= 1, got {self.max_streams}")
+        if self.stream_tick_hz <= 0:
+            raise ServiceError(f"stream tick rate must be positive, got {self.stream_tick_hz}")
+        if self.stream_max_wait_s < 0:
+            raise ServiceError(
+                f"stream max wait must be >= 0, got {self.stream_max_wait_s}"
+            )
 
 
 def _error_body(kind: str, message: str) -> bytes:
@@ -132,11 +161,17 @@ class CarbonQueryService:
         self.cache = ResponseCache(config.lru_size)
         self.batcher = QueryBatcher(config.batch_window_s, self._execute)
         self.sweeps = SweepManager(self, config.max_sweeps)
+        self.streams = StreamManager(
+            max_streams=config.max_streams,
+            tick_hz=config.stream_tick_hz,
+            max_wait_s=config.stream_max_wait_s,
+        )
         directory = ledger.resolve_ledger_dir(config.ledger_dir)
         self.ledger = (
             ledger.Ledger.open(directory) if directory else ledger.Ledger.in_memory()
         )
         self.ledger_errors = 0
+        self.ledger_gc_runs = 0
         self._seed_golden_epoch()
         self.worker_stats: dict[str, dict[str, int]] = {}
         self.port: int | None = None
@@ -158,12 +193,17 @@ class CarbonQueryService:
         server = HttpServer(self.handle, self.config.host, self.config.port)
         await server.start()
         self.port = server.port
+        gc_task: asyncio.Task | None = None
+        if self.config.ledger_gc_interval_s is not None:
+            gc_task = asyncio.create_task(self._ledger_gc_loop())
         if on_ready is not None:
             on_ready(self)
         try:
             await self._stop_event.wait()
         finally:
             self._draining = True
+            if gc_task is not None:
+                gc_task.cancel()
             await server.drain_and_stop(self.config.drain_timeout_s)
             await self.batcher.drain(self.config.drain_timeout_s)
             for job in self.sweeps.jobs.values():
@@ -203,6 +243,25 @@ class CarbonQueryService:
             )
         except Exception:
             self.ledger_errors += 1
+
+    async def _ledger_gc_loop(self) -> None:
+        """Periodic ``ledger gc`` compaction of the growing ``service`` run.
+
+        Long-lived streaming services append one run delta per executed
+        query; without retention the journal grows without bound (the
+        ROADMAP item).  Compaction is best-effort like every other ledger
+        write: a failure is counted, never fatal.
+        """
+        assert self.config.ledger_gc_interval_s is not None
+        while True:
+            await asyncio.sleep(self.config.ledger_gc_interval_s)
+            try:
+                self.ledger.gc()
+                self.ledger_gc_runs += 1
+            except asyncio.CancelledError:  # pragma: no cover - shutdown race
+                raise
+            except Exception:
+                self.ledger_errors += 1
 
     def request_shutdown(self) -> None:
         """Begin graceful shutdown; safe to call from any thread or a signal."""
@@ -372,7 +431,13 @@ class CarbonQueryService:
                 "hit_rate": profiling.cache_hit_rate(self.worker_stats),
             },
             "sweeps": self.sweeps.stats(),
-            "ledger": {**self.ledger.stats(), "errors": self.ledger_errors},
+            "streams": self.streams.stats(),
+            "ledger": {
+                **self.ledger.stats(),
+                "errors": self.ledger_errors,
+                "gc_runs": self.ledger_gc_runs,
+                "gc_interval_s": self.config.ledger_gc_interval_s,
+            },
         }
 
     # -- routing -----------------------------------------------------------
@@ -438,6 +503,8 @@ class CarbonQueryService:
             return await self._parse_and_answer("/footprint", "footprint", request)
         if path == "/schedule/carbon-aware" and method in ("GET", "POST"):
             return await self._parse_and_answer("/schedule/carbon-aware", "schedule", request)
+        if path == "/stream" and method == "GET":
+            return await self._stream_endpoint(request)
         if path == "/sweep" and method == "POST":
             return self._submit_sweep(request)
         if path == "/sweep" and method == "GET":
@@ -463,7 +530,9 @@ class CarbonQueryService:
             return self._ledger_diff(request)
         if path == "/ledger/trace" and method == "GET":
             return self._ledger_trace(request)
-        if path in ("/healthz", "/metrics", "/experiments", "/sweep", "/ledger") or path.startswith(
+        if path in (
+            "/healthz", "/metrics", "/experiments", "/sweep", "/ledger", "/stream",
+        ) or path.startswith(
             ("/experiments/", "/footprint", "/schedule", "/sweep/", "/ledger/")
         ):
             return (
@@ -479,7 +548,7 @@ class CarbonQueryService:
                     "not-found",
                     f"no route for {path!r}; endpoints: /healthz, /metrics, "
                     "/experiments, /experiments/{id}, /footprint, "
-                    "/schedule/carbon-aware, /sweep, /sweep/{id}, "
+                    "/schedule/carbon-aware, /stream, /sweep, /sweep/{id}, "
                     "/sweep/{id}/result, /ledger, /ledger/diff, "
                     "/ledger/trace",
                 ),
@@ -578,6 +647,56 @@ class CarbonQueryService:
             ),
             None,
         )
+
+    async def _stream_endpoint(self, request: Request) -> tuple[str, Response, str | None]:
+        """``GET /stream``: long-poll one delta of a live intensity stream.
+
+        Transport parameters (``cursor``, ``wait_s``, ``max_ticks``)
+        select which delta to serve and are stripped before the stream
+        spec is parsed — the spec alone is the stream's identity (and
+        its fabric routing key).
+        """
+        from repro.service.http import ProtocolError
+        from repro.service.streams import DEFAULT_STREAM_MAX_TICKS
+
+        endpoint = "/stream"
+        if self._draining:
+            return (
+                endpoint,
+                Response(
+                    503,
+                    _error_body("draining", "service is shutting down; retry elsewhere"),
+                ),
+                None,
+            )
+        try:
+            params = self._merge_params(request)
+            cursor = queries._as_int("cursor", params.pop("cursor", 0))
+            if cursor < 0:
+                raise QueryError(f"parameter 'cursor' must be >= 0, got {cursor}")
+            wait_s = queries._as_float("wait_s", params.pop("wait_s", 0.0))
+            if wait_s < 0:
+                raise QueryError(f"parameter 'wait_s' must be >= 0, got {wait_s}")
+            max_ticks = queries._as_int(
+                "max_ticks", params.pop("max_ticks", DEFAULT_STREAM_MAX_TICKS)
+            )
+            if not (1 <= max_ticks <= 20_000):
+                raise QueryError(
+                    f"parameter 'max_ticks' must be in [1, 20000], got {max_ticks}"
+                )
+            query = queries.parse_query("stream", params)
+        except (ProtocolError, QueryError) as exc:
+            return endpoint, Response(400, _error_body("bad-request", str(exc))), None
+        assert isinstance(query, queries.StreamQuery)
+        try:
+            response = await self.streams.poll(
+                query, cursor, wait_s, max_ticks, draining=self._stop_event
+            )
+        except InvariantViolation as exc:
+            return endpoint, Response(500, _error_body("invariant-violation", str(exc))), None
+        except SustainableAIError as exc:
+            return endpoint, Response(400, _error_body("invalid-query", str(exc))), None
+        return endpoint, response, None
 
     def _ledger_diff(self, request: Request) -> tuple[str, Response, str | None]:
         """``GET /ledger/diff?a=REF&b=REF[&strict=..]``: claim-by-claim diff."""
@@ -809,6 +928,37 @@ def add_serve_flags(parser) -> None:
         help="persist the claim ledger under DIR (default: env "
         f"{ledger.LEDGER_DIR_ENV_VAR} if set, else in-memory)",
     )
+    parser.add_argument(
+        "--ledger-gc-interval",
+        type=float,
+        metavar="SECONDS",
+        default=None,
+        help="compact the claim ledger ('ledger gc') every SECONDS while "
+        "serving; 0 or unset disables the loop (default: disabled)",
+    )
+    parser.add_argument(
+        "--max-streams",
+        type=int,
+        metavar="N",
+        default=DEFAULT_MAX_STREAMS,
+        help="bound on live /stream states; excess new streams get 429 "
+        "(default: %(default)s)",
+    )
+    parser.add_argument(
+        "--stream-tick-hz",
+        type=float,
+        metavar="HZ",
+        default=DEFAULT_STREAM_TICK_HZ,
+        help="feed release rate: ticks made visible per second per stream "
+        "(default: %(default)s)",
+    )
+    parser.add_argument(
+        "--stream-max-wait",
+        type=float,
+        metavar="SECONDS",
+        default=DEFAULT_STREAM_MAX_WAIT_S,
+        help="cap on one /stream long-poll's wait_s (default: %(default)s)",
+    )
 
 
 def config_from_args(args) -> ServiceConfig:
@@ -825,4 +975,12 @@ def config_from_args(args) -> ServiceConfig:
         metrics_json=args.metrics_json,
         max_sweeps=args.max_sweeps,
         ledger_dir=args.ledger_dir,
+        ledger_gc_interval_s=(
+            args.ledger_gc_interval
+            if args.ledger_gc_interval and args.ledger_gc_interval > 0
+            else None
+        ),
+        max_streams=args.max_streams,
+        stream_tick_hz=args.stream_tick_hz,
+        stream_max_wait_s=args.stream_max_wait,
     )

@@ -77,6 +77,28 @@ def build_churn_mix(seed: int, distinct: int = 384) -> list[str]:
     return deck
 
 
+def build_stream_mix(seed: int, distinct: int = 4) -> list[str]:
+    """A deck of live ``/stream`` polls across ``distinct`` stream specs.
+
+    Each spec appears at cursor 0 (stream creation + frontier fold) and
+    at a few small cursors (frontier advances and bounded replays), all
+    with ``wait_s=0`` so a soak thread never parks inside a long poll.
+    A sprinkle of ``/footprint`` keeps the ordinary query path (and its
+    cache counters) exercised alongside the stream path.
+    """
+    if distinct < 1:
+        raise ValueError(f"distinct must be >= 1, got {distinct}")
+    deck: list[str] = []
+    for index in range(distinct):
+        spec = f"hours=48&grid_seed={index}&feed_seed={index % 2}"
+        deck.extend([f"/stream?{spec}&cursor=0&wait_s=0"] * 3)
+        for cursor in (1, 4, 16):
+            deck.append(f"/stream?{spec}&cursor={cursor}&wait_s=0&max_ticks=8")
+    deck.extend(["/footprint?busy_device_hours=1000"] * max(2, distinct))
+    random.Random(seed).shuffle(deck)
+    return deck
+
+
 @dataclass
 class ClientStats:
     """One worker thread's tally."""
@@ -365,17 +387,19 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "--mix",
-        choices=("default", "churn"),
+        choices=("default", "churn", "stream"),
         default="default",
-        help="traffic deck: 'default' (dashboard-like repetition) or 'churn' "
-        "(--distinct unique schedule queries cycling through the LRU)",
+        help="traffic deck: 'default' (dashboard-like repetition), 'churn' "
+        "(--distinct unique schedule queries cycling through the LRU), or "
+        "'stream' (live /stream polls across --distinct stream specs)",
     )
     parser.add_argument(
         "--distinct",
         type=int,
         default=384,
         metavar="K",
-        help="working-set size of the churn mix (default: 384)",
+        help="working-set size of the churn mix (default: 384); the stream "
+        "mix caps it at 16 specs to stay under the service's stream limit",
     )
     parser.add_argument(
         "--chaos-kill-after",
@@ -438,11 +462,12 @@ def main(argv: list[str] | None = None) -> int:
         host = split.hostname or "127.0.0.1"
         port = split.port or 8151
 
-    deck = (
-        build_churn_mix(args.seed, args.distinct)
-        if args.mix == "churn"
-        else build_mix(args.seed)
-    )
+    if args.mix == "churn":
+        deck = build_churn_mix(args.seed, args.distinct)
+    elif args.mix == "stream":
+        deck = build_stream_mix(args.seed, min(args.distinct, 16))
+    else:
+        deck = build_mix(args.seed)
     chaos_timer: threading.Timer | None = None
     if args.chaos_kill_after is not None:
         chaos_timer = threading.Timer(

@@ -37,7 +37,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.sweep import SweepSpec
 
 #: Query kinds, in routing order (kind -> parser).
-QUERY_KINDS: tuple[str, ...] = ("experiment", "footprint", "schedule", "sweep")
+QUERY_KINDS: tuple[str, ...] = ("experiment", "footprint", "schedule", "sweep", "stream")
 
 #: Bounds keeping a single query's work bounded (the service answers
 #: interactive traffic; year-scale sweeps belong to the CLI runner).
@@ -49,6 +49,11 @@ MAX_BUSY_DEVICE_HOURS = 1e12
 #: :data:`repro.core.sweep.MAX_SWEEP_POINTS`; larger sweeps belong to the
 #: CLI (``sustainable-ai sweep``), which resumes via the disk cache.
 MAX_SERVICE_SWEEP_POINTS = 20_000
+
+#: Service-side cap on one stream's horizon — a year of hourly ticks;
+#: multi-year streams belong to the library/bench path
+#: (:data:`repro.carbon.stream.MAX_STREAM_HOURS`).
+MAX_SERVICE_STREAM_HOURS = 8784
 
 
 def render_payload(payload: Mapping[str, object]) -> bytes:
@@ -541,6 +546,93 @@ def execute_sweep_chunk_task(
 
 
 # ---------------------------------------------------------------------------
+# /stream
+# ---------------------------------------------------------------------------
+
+#: Spec fields coerced as integers / floats (name -> declared range).
+_STREAM_INT_PARAMS: dict[str, tuple[int, int]] = {
+    "hours": (48, MAX_SERVICE_STREAM_HOURS),
+    "grid_seed": (0, 2**31 - 1),
+    "feed_seed": (0, 2**31 - 1),
+    "window_hours": (1, 168),
+    "forecast_horizon_hours": (1, 168),
+    "max_late_hours": (1, 72),
+    "max_revision_lag_hours": (1, 168),
+    "max_stall_hours": (1, 168),
+    "stall_detect_hours": (1, 168),
+}
+_STREAM_FLOAT_PARAMS: dict[str, tuple[float, float]] = {
+    "load_kw": (0.0, 1e6),
+    "load_diurnal_fraction": (0.0, 1.0),
+    "pue": (1.0, 10.0),
+    "late_probability": (0.0, 1.0),
+    "revision_probability": (0.0, 1.0),
+    "revision_noise": (0.0, 1.0),
+    "stall_probability": (0.0, 0.5),
+    "defer_margin": (0.0, 1.0),
+    "min_powered_fraction": (0.0, 1.0),
+}
+
+#: Transport-level ``/stream`` parameters (cursor position, long-poll
+#: wait, page size).  They select *which delta* of a stream to serve,
+#: not which stream — the endpoint and the fabric router strip them
+#: before parsing, so a stream's cache key (its fabric routing key) is
+#: the spec alone and every cursor of one stream pins to one replica.
+STREAM_TRANSPORT_PARAMS: tuple[str, ...] = ("cursor", "wait_s", "max_ticks")
+
+
+@dataclass(frozen=True)
+class StreamQuery(Query):
+    """One live intensity stream, identified by its full spec.
+
+    The cache key deliberately excludes the transport parameters
+    (:data:`STREAM_TRANSPORT_PARAMS`): it names the *stream*, which is
+    what consistent-hash fabric routing needs.  :meth:`execute` is the
+    direct library path for the whole stream — the document a client
+    would assemble by paging ``cursor=0`` to the end — used by the
+    conformance suite; the live endpoint serves per-cursor deltas
+    through the same renderer.
+    """
+
+    spec: object  # repro.carbon.stream.StreamSpec (kept lazy for worker import cost)
+
+    kind = "stream"
+
+    def to_params(self) -> dict[str, object]:
+        return self.spec.to_params()
+
+    def execute(self) -> dict[str, object]:
+        from repro.carbon.stream import simulate_tick_trace, stream_delta_payload
+
+        ticks = simulate_tick_trace(self.spec)
+        return stream_delta_payload(self.spec, 0, len(ticks), ticks=ticks)
+
+
+def parse_stream(params: Mapping[str, object]) -> StreamQuery:
+    """Validate ``stream`` query parameters into a :class:`StreamQuery`."""
+    from repro.carbon.stream import StreamSpec
+    from repro.errors import UnitError
+
+    allowed = tuple(_STREAM_INT_PARAMS) + tuple(_STREAM_FLOAT_PARAMS)
+    _reject_unknown("stream", params, allowed)
+    kwargs: dict[str, object] = {}
+    for name, (lo, hi) in _STREAM_INT_PARAMS.items():
+        if name in params:
+            value = _as_int(name, params[name])
+            if not (lo <= value <= hi):
+                raise QueryError(f"parameter {name!r} must be in [{lo}, {hi}], got {value}")
+            kwargs[name] = value
+    for name, (lo, hi) in _STREAM_FLOAT_PARAMS.items():
+        if name in params:
+            kwargs[name] = _in_range(name, _as_float(name, params[name]), lo, hi)
+    try:
+        spec = StreamSpec(**kwargs)
+    except UnitError as exc:
+        raise QueryError(str(exc)) from None
+    return StreamQuery(spec)
+
+
+# ---------------------------------------------------------------------------
 # Dispatch, worker task body, invariant bridging
 # ---------------------------------------------------------------------------
 
@@ -549,6 +641,7 @@ _PARSERS = {
     "footprint": parse_footprint,
     "schedule": parse_schedule,
     "sweep": parse_sweep,
+    "stream": parse_stream,
 }
 
 
@@ -599,6 +692,13 @@ def payload_to_result(payload: Mapping[str, object]):
 
     if "experiment_id" in payload:
         return ExperimentResult.from_payload(payload)
+    if "stream" in payload:
+        accounting = dict(payload.get("accounting", {}))
+        return ExperimentResult(
+            experiment_id="service-stream",
+            title="carbon-query service response (service-stream)",
+            headline={k: float(v) for k, v in accounting.items()},
+        )
     kind = "service-query"
     if "spec" in payload:
         kind = "service-sweep"

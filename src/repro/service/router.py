@@ -30,6 +30,12 @@ Fabric semantics on top of the single-node service contract:
   key; the answering replica is pinned as the job's owner and later
   ``GET /sweep/{id}`` polls go straight to it (unknown ids are resolved
   by asking every replica).
+* **Stream pinning** — ``GET /stream`` routes by the stream *spec*'s
+  canonical key with the transport params (``cursor``, ``wait_s``,
+  ``max_ticks``) stripped, so every poll of one stream lands on the
+  replica holding its live frontier accounting state.  After a
+  failover the new replica's feed clock restarts; a cursor ahead of it
+  gets the service's structured 409 until the clock catches up.
 * **Aggregated `/metrics`** — the router sums the replicas'
   ``ServiceCounters``, response-cache, batching, substrate-cache, sweep
   and ledger counters into one fleet document plus a ``router`` block
@@ -260,6 +266,21 @@ def _merge_substrate_cache(docs: Sequence[dict]) -> dict[str, object]:
     }
 
 
+def _merge_streams(docs: Sequence[dict]) -> dict[str, object]:
+    """Stream counters sum; capacity sums too (each replica holds its own
+    live jobs); ``tick_hz`` is a config constant so the max is reported."""
+    counters = _sum_counter_maps(
+        [
+            {k: v for k, v in doc.items() if k != "tick_hz"}
+            for doc in docs
+        ]
+    )
+    counters["tick_hz"] = max(
+        (float(doc.get("tick_hz", 0.0)) for doc in docs), default=0.0
+    )
+    return counters
+
+
 def merge_replica_metrics(docs: Sequence[dict]) -> dict[str, object]:
     """Fold N replica ``/metrics`` documents into one fleet document.
 
@@ -294,8 +315,12 @@ def merge_replica_metrics(docs: Sequence[dict]) -> dict[str, object]:
             [doc.get("substrate_cache", {}) for doc in docs]
         ),
         "sweeps": _sum_counter_maps([doc.get("sweeps", {}) for doc in docs]),
+        "streams": _merge_streams([doc.get("streams", {}) for doc in docs]),
         "ledger": {
-            "errors": sum(int(doc.get("ledger", {}).get("errors", 0)) for doc in docs)
+            "errors": sum(int(doc.get("ledger", {}).get("errors", 0)) for doc in docs),
+            "gc_runs": sum(
+                int(doc.get("ledger", {}).get("gc_runs", 0)) for doc in docs
+            ),
         },
     }
 
@@ -628,11 +653,29 @@ class CarbonQueryRouter:
                 )
             if path == "/sweep" and request.method == "POST":
                 return "/sweep", queries.parse_query("sweep", params).cache_key()
+            if path == "/stream" and request.method == "GET":
+                # Transport params (cursor/wait_s/max_ticks) vary per poll;
+                # the ring key is the *spec* alone, so every cursor of one
+                # stream pins to the replica holding its live frontier
+                # state (a different replica would answer via replay —
+                # byte-identical, but cold).
+                spec_params = {
+                    name: value
+                    for name, value in params.items()
+                    if name not in queries.STREAM_TRANSPORT_PARAMS
+                }
+                return "/stream", queries.parse_query("stream", spec_params).cache_key()
         except (QueryError, ProtocolError):
             pass
         if path.startswith("/experiments/"):
             return "/experiments/{id}", fallback
-        for endpoint in ("/footprint", "/schedule/carbon-aware", "/sweep", "/ledger"):
+        for endpoint in (
+            "/footprint",
+            "/schedule/carbon-aware",
+            "/sweep",
+            "/ledger",
+            "/stream",
+        ):
             if path == endpoint or path.startswith(endpoint + "/"):
                 return endpoint, fallback
         if path in ("/experiments", "/healthz"):
@@ -1089,6 +1132,28 @@ def add_fabric_flags(parser: argparse.ArgumentParser) -> None:
         help="shared claim-ledger directory; replicas record into one 'service' run",
     )
     parser.add_argument(
+        "--ledger-gc-interval",
+        type=float,
+        metavar="SECONDS",
+        default=None,
+        help="periodic ledger journal compaction per replica "
+        "(default: the service default — disabled)",
+    )
+    parser.add_argument(
+        "--max-streams",
+        type=int,
+        metavar="N",
+        default=None,
+        help="live /stream cap per replica (default: the service default)",
+    )
+    parser.add_argument(
+        "--stream-tick-hz",
+        type=float,
+        metavar="HZ",
+        default=None,
+        help="stream feed release rate per replica (default: the service default)",
+    )
+    parser.add_argument(
         "--metrics-json",
         metavar="PATH",
         default=None,
@@ -1103,6 +1168,12 @@ def router_config_from_args(args) -> RouterConfig:
         replica_args += ["--workers", str(args.workers)]
     if args.lru_size is not None:
         replica_args += ["--lru-size", str(args.lru_size)]
+    if args.ledger_gc_interval is not None:
+        replica_args += ["--ledger-gc-interval", str(args.ledger_gc_interval)]
+    if args.max_streams is not None:
+        replica_args += ["--max-streams", str(args.max_streams)]
+    if args.stream_tick_hz is not None:
+        replica_args += ["--stream-tick-hz", str(args.stream_tick_hz)]
     replica_args += list(args.replica_arg or [])
     return RouterConfig(
         host=args.host,

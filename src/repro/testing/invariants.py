@@ -38,6 +38,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.carbon.embodied import AmortizationPolicy
     from repro.carbon.grid import GridTrace
     from repro.carbon.intensity import CarbonIntensity
+    from repro.carbon.stream import StreamSpec
     from repro.core.context import AccountingContext
     from repro.core.series import HourlySeries
     from repro.core.sweep import SweepSpec
@@ -586,6 +587,88 @@ def check_sweep_embodied_additivity(spec: "SweepSpec") -> None:
             ),
             "sweep-embodied-additivity",
             f"{field} is not linear in the work quantum",
+        )
+
+
+# ---------------------------------------------------------------------------
+# Substrate invariants: streaming incremental accounting
+# ---------------------------------------------------------------------------
+
+
+@substrate_invariant("stream-matches-batch-replay")
+def check_stream_matches_batch_replay(spec: "StreamSpec", cut_fraction: float) -> None:
+    """The O(Δ) incremental fold is **bit-equal** to batch replay.
+
+    At an arbitrary mid-stream checkpoint and at the end of the feed,
+    the running :class:`~repro.core.incremental.IncrementalAccounting`
+    snapshot must ``==`` a full
+    :func:`~repro.core.incremental.reference_replay` of the same tick
+    prefix — exact float equality, no tolerance, late arrivals and
+    revisions included.
+    """
+    from repro.carbon.stream import load_profile, simulate_tick_trace
+    from repro.core.incremental import IncrementalAccounting, reference_replay
+
+    ticks = simulate_tick_trace(spec)
+    load = load_profile(spec)
+    acc = IncrementalAccounting(load, pue=spec.pue, window_hours=spec.window_hours)
+    cut = int(round(min(max(cut_fraction, 0.0), 1.0) * len(ticks)))
+    folded = 0
+    for point in sorted({cut, len(ticks)}):
+        for tick in ticks[folded:point]:
+            acc.fold(tick.hour, tick.intensity_kg_per_kwh)
+        folded = point
+        snap = acc.snapshot()
+        ref = reference_replay(
+            load,
+            [(t.hour, t.intensity_kg_per_kwh) for t in ticks[:point]],
+            pue=spec.pue,
+            window_hours=spec.window_hours,
+        )
+        _require(
+            snap == ref,
+            "stream-matches-batch-replay",
+            f"incremental fold diverged from replay at tick {point}/"
+            f"{len(ticks)}: {snap} != {ref}",
+        )
+
+
+@substrate_invariant("stream-revision-rollback-exact")
+def check_stream_revision_rollback(spec: "StreamSpec") -> None:
+    """A revision leaves no residue: the state after observe-then-revise
+    is bit-equal to one that only ever saw each hour's final value.
+
+    This is the O(1-window) rollback claim — overwriting a preliminary
+    intensity must reproduce exactly the aggregates of a feed that was
+    never wrong, not merely approximate them.
+    """
+    from dataclasses import replace
+
+    from repro.carbon.stream import load_profile, simulate_tick_trace
+    from repro.core.incremental import IncrementalAccounting
+
+    ticks = simulate_tick_trace(spec)
+    load = load_profile(spec)
+    noisy = IncrementalAccounting(load, pue=spec.pue, window_hours=spec.window_hours)
+    noisy.fold_many((t.hour, t.intensity_kg_per_kwh) for t in ticks)
+    final_values: dict[int, float] = {}
+    for tick in ticks:
+        final_values[tick.hour] = tick.intensity_kg_per_kwh
+    clean = IncrementalAccounting(load, pue=spec.pue, window_hours=spec.window_hours)
+    clean.fold_many(sorted(final_values.items()))
+    snap, ideal = noisy.snapshot(), clean.snapshot()
+    _require(
+        replace(snap, ticks_folded=ideal.ticks_folded) == ideal,
+        "stream-revision-rollback-exact",
+        f"revised stream left residue: {snap} != {ideal} "
+        "(modulo tick count)",
+    )
+    for hour in final_values:
+        _require(
+            noisy.intensity_at(hour) == clean.intensity_at(hour),
+            "stream-revision-rollback-exact",
+            f"hour {hour} retained a pre-revision intensity "
+            f"{noisy.intensity_at(hour)} != {clean.intensity_at(hour)}",
         )
 
 

@@ -20,6 +20,7 @@ from hypothesis import strategies as st
 from repro.carbon.embodied import AmortizationPolicy
 from repro.carbon.grid import GridTrace, constant_grid_trace, synthesize_grid_trace
 from repro.carbon.intensity import CarbonIntensity
+from repro.carbon.stream import StreamSpec, Tick, simulate_tick_trace
 from repro.core.context import AccountingContext
 from repro.core.series import HourlySeries
 from repro.edge.devices import DevicePopulation
@@ -340,6 +341,57 @@ def sweep_specs(draw, max_axes: int = 3) -> "SweepSpec":
         intensity_kg_per_kwh=draw(finite_floats(0.0, MAX_INTENSITY)),
         devices_per_server=draw(st.integers(1, 8)),
     )
+
+
+@st.composite
+def stream_specs(
+    draw,
+    min_hours: int = 48,
+    max_hours: int = 120,
+) -> StreamSpec:
+    """A valid live-stream spec spanning the feed's failure modes.
+
+    Late-arrival, revision, and stall probabilities are drawn across
+    their full valid ranges (including 0, the clean-feed degenerate
+    case), so the property suite exercises in-order feeds, heavy
+    out-of-order reordering, revision storms, and stalled feeds alike.
+    Horizons stay short (a few days) — the streaming laws are
+    horizon-free, and :func:`~repro.carbon.stream.simulate_tick_trace`
+    is O(hours) per example.
+    """
+    return StreamSpec(
+        hours=draw(hour_counts(min_hours, max_hours)),
+        grid_seed=draw(st.integers(0, 2**16)),
+        feed_seed=draw(st.integers(0, 2**16)),
+        load_kw=draw(finite_floats(0.5, 1e4)),
+        load_diurnal_fraction=draw(finite_floats(0.0, 0.9)),
+        pue=draw(finite_floats(1.0, 2.5)),
+        window_hours=draw(st.sampled_from((1, 6, 24, 48))),
+        late_probability=draw(finite_floats(0.0, 0.6)),
+        max_late_hours=draw(st.integers(1, 12)),
+        revision_probability=draw(finite_floats(0.0, 0.8)),
+        max_revision_lag_hours=draw(st.integers(1, 48)),
+        revision_noise=draw(finite_floats(0.0, 0.3)),
+        stall_probability=draw(finite_floats(0.0, 0.2)),
+        max_stall_hours=draw(st.integers(1, 24)),
+    )
+
+
+@st.composite
+def tick_streams(
+    draw,
+    min_hours: int = 48,
+    max_hours: int = 120,
+) -> tuple[StreamSpec, tuple[Tick, ...]]:
+    """``(spec, ticks)``: a seeded live intensity feed and its event log.
+
+    The tick trace carries everything a streaming consumer must survive:
+    out-of-order/late arrivals, revisions of recently-observed hours, and
+    stall-then-catch-up bursts.  Property tests fold prefixes of it and
+    pin the incremental accounting against batch replay.
+    """
+    spec = draw(stream_specs(min_hours, max_hours))
+    return spec, simulate_tick_trace(spec)
 
 
 def ring_node_names() -> st.SearchStrategy[str]:

@@ -84,6 +84,31 @@ class TestForecastScheduling:
         with pytest.raises(UnitError):
             schedule_with_forecast(JOBS, TRUTH, np.ones(10), 168)
 
+    @pytest.mark.parametrize(
+        ("horizon_hours", "ok"),
+        [
+            (24, True),
+            (167, True),
+            (168, True),  # exactly the trace length: the last lawful horizon
+            (169, False),  # one past the trace: undefined emissions
+            (240, False),
+            (10_000, False),
+        ],
+    )
+    def test_horizon_beyond_truth_rejected_at_library_layer(
+        self, horizon_hours, ok
+    ):
+        # The service layer always rejected horizon > grid trace with a
+        # structured error; the library must enforce the same boundary
+        # rather than silently truncating the schedule window.
+        jobs = synthesize_jobs(5, 24, seed=3)
+        forecast = noisy_oracle(TRUTH, 168, 0.0)
+        if ok:
+            schedule_with_forecast(jobs, TRUTH, forecast, horizon_hours)
+        else:
+            with pytest.raises(UnitError, match="horizon_hours"):
+                schedule_with_forecast(jobs, TRUTH, forecast, horizon_hours)
+
 
 class TestUncertainty:
     def test_distribution_brackets_mean(self):

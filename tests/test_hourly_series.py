@@ -171,6 +171,50 @@ class TestAlgebra:
         assert x.integrate().kwh == x.total()
 
 
+class TestStreamingOps:
+    def test_append_adds_one_hour(self):
+        series = HourlySeries(np.array([1.0, 2.0]))
+        grown = series.append(3.0)
+        np.testing.assert_array_equal(grown.values, [1.0, 2.0, 3.0])
+        np.testing.assert_array_equal(series.values, [1.0, 2.0])  # immutable
+
+    def test_append_validates_like_the_constructor(self):
+        with pytest.raises(UnitError):
+            HourlySeries.zeros(2).append(-1.0)
+        with pytest.raises(UnitError):
+            HourlySeries.zeros(2).append(float("nan"))
+
+    def test_extend_accepts_series_and_arrays(self):
+        base = HourlySeries(np.array([1.0, 2.0]))
+        np.testing.assert_array_equal(
+            base.extend(HourlySeries(np.array([3.0]))).values, [1.0, 2.0, 3.0]
+        )
+        np.testing.assert_array_equal(
+            base.extend([3.0, 4.0]).values, [1.0, 2.0, 3.0, 4.0]
+        )
+        assert base.extend([]) is base
+
+    def test_extend_rejects_bad_shapes(self):
+        with pytest.raises(UnitError):
+            HourlySeries.zeros(2).extend(np.ones((2, 2)))
+
+    def test_window_is_half_open(self):
+        series = HourlySeries(np.arange(1.0, 6.0))
+        np.testing.assert_array_equal(series.window(1, 3).values, [2.0, 3.0])
+        np.testing.assert_array_equal(series.window(0, 5).values, series.values)
+
+    @pytest.mark.parametrize("bounds", [(-1, 3), (3, 3), (2, 1), (0, 6)])
+    def test_window_rejects_bad_bounds(self, bounds):
+        with pytest.raises(UnitError):
+            HourlySeries(np.arange(1.0, 6.0)).window(*bounds)
+
+    def test_append_then_window_round_trips(self):
+        series = HourlySeries.zeros(3)
+        for value in (1.0, 2.0):
+            series = series.append(value)
+        np.testing.assert_array_equal(series.window(3, 5).values, [1.0, 2.0])
+
+
 class TestEmissions:
     def test_constant_grid_equals_static_product(self):
         grid = constant_grid_trace(US_AVERAGE, 48)

@@ -185,6 +185,53 @@ class TestRoutingKey:
         endpoint, _key = router.routing_key(make_request(path="/ledger/diff"))
         assert endpoint == "/ledger"
 
+    def test_stream_cursors_share_the_spec_key(self, router):
+        # Every poll of one stream must pin to one replica — the one
+        # holding the live frontier state — so the ring key strips the
+        # transport params (cursor/wait_s/max_ticks) before parsing.
+        first = router.routing_key(
+            make_request(
+                path="/stream",
+                params={"hours": "48", "grid_seed": "1", "cursor": "0", "wait_s": "0"},
+            )
+        )
+        later = router.routing_key(
+            make_request(
+                path="/stream",
+                params={
+                    "hours": "48",
+                    "grid_seed": "1",
+                    "cursor": "40",
+                    "wait_s": "5",
+                    "max_ticks": "8",
+                },
+            )
+        )
+        assert first == later
+        assert first[0] == "/stream"
+        expected = queries.parse_query("stream", {"hours": "48", "grid_seed": "1"})
+        assert first[1] == expected.cache_key()
+
+    def test_distinct_stream_specs_key_apart(self, router):
+        a = router.routing_key(
+            make_request(path="/stream", params={"hours": "48", "grid_seed": "1"})
+        )
+        b = router.routing_key(
+            make_request(path="/stream", params={"hours": "48", "grid_seed": "2"})
+        )
+        assert a != b
+
+    def test_malformed_stream_query_falls_back_to_raw_line(self, router):
+        endpoint, key = router.routing_key(
+            make_request(
+                path="/stream",
+                params={"hours": "not-a-number"},
+                raw_target="/stream?hours=not-a-number",
+            )
+        )
+        assert endpoint == "/stream"
+        assert key == "GET /stream?hours=not-a-number"
+
 
 class TestFabricFlags:
     def _parse(self, argv: list[str]):
@@ -225,3 +272,25 @@ class TestFabricFlags:
         assert config.backends == ("http://127.0.0.1:9001", "http://127.0.0.1:9002")
         assert config.proxy_timeout_s is None
         assert config.restart_replicas is False
+
+    def test_ledger_gc_and_stream_knobs_pass_through_to_replicas(self):
+        config = router_config_from_args(
+            self._parse(
+                [
+                    "--ledger-gc-interval",
+                    "30",
+                    "--max-streams",
+                    "8",
+                    "--stream-tick-hz",
+                    "16",
+                ]
+            )
+        )
+        assert config.replica_args == (
+            "--ledger-gc-interval",
+            "30.0",
+            "--max-streams",
+            "8",
+            "--stream-tick-hz",
+            "16.0",
+        )

@@ -1,0 +1,313 @@
+"""Unit tests for the streaming grid-intensity engine.
+
+Deterministic, example-based coverage of the tick feed, the forecast
+ladder, the O(Δ) incremental accounting, the delta payloads, and the
+live fleet simulator.  The exhaustive bit-equality laws live in the
+Hypothesis suite (``tests/test_stream_property.py``); this module pins
+concrete behaviors and the validation surface.
+"""
+
+import numpy as np
+import pytest
+
+from repro.carbon.stream import (
+    MAX_STREAM_HOURS,
+    StreamSpec,
+    advice_at,
+    load_profile,
+    rolling_forecast,
+    simulate_tick_trace,
+    stream_delta_payload,
+    stream_state_at,
+    truth_trace,
+)
+from repro.core.incremental import (
+    AccountingSnapshot,
+    IncrementalAccounting,
+    reference_replay,
+)
+from repro.errors import UnitError
+from repro.fleet.livesim import LiveFleetParams, run_live_fleet
+
+SPEC = StreamSpec(hours=240, grid_seed=7, feed_seed=7)
+
+
+class TestStreamSpec:
+    def test_defaults_are_valid(self):
+        spec = StreamSpec()
+        assert spec.hours == 168
+        assert spec.to_params()["hours"] == 168
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"hours": 47},  # below the 2-day minimum
+            {"hours": MAX_STREAM_HOURS + 1},
+            {"late_probability": 1.5},
+            {"stall_probability": 0.6},  # stalls capped at 0.5
+            {"pue": 0.9},
+            {"forecast_horizon_hours": 500},
+            {"max_late_hours": 0},
+            {"min_powered_fraction": 0.0},
+        ],
+    )
+    def test_invalid_specs_rejected(self, kwargs):
+        with pytest.raises(UnitError):
+            StreamSpec(**kwargs)
+
+    def test_forecast_horizon_must_fit_stream(self):
+        with pytest.raises(UnitError):
+            StreamSpec(hours=48, forecast_horizon_hours=72)
+
+
+class TestTickFeed:
+    def test_deterministic_per_seed(self):
+        assert simulate_tick_trace(SPEC) == simulate_tick_trace(SPEC)
+        other = StreamSpec(hours=240, grid_seed=7, feed_seed=8)
+        assert simulate_tick_trace(SPEC) != simulate_tick_trace(other)
+
+    def test_every_hour_eventually_exact(self):
+        ticks = simulate_tick_trace(SPEC)
+        truth = np.asarray(truth_trace(SPEC).intensity_kg_per_kwh)
+        final = {}
+        for tick in ticks:
+            final[tick.hour] = tick.intensity_kg_per_kwh
+        assert sorted(final) == list(range(SPEC.hours))
+        assert all(final[h] == truth[h] for h in range(SPEC.hours))
+
+    def test_revisions_correct_preliminary_values(self):
+        spec = StreamSpec(
+            hours=240, revision_probability=0.8, revision_noise=0.2, feed_seed=3
+        )
+        ticks = simulate_tick_trace(spec)
+        revisions = [t for t in ticks if t.kind == "revise"]
+        assert revisions, "a revision-heavy spec produced no revisions"
+        truth = np.asarray(truth_trace(spec).intensity_kg_per_kwh)
+        for revision in revisions:
+            assert revision.intensity_kg_per_kwh == truth[revision.hour]
+
+    def test_clean_feed_is_in_order(self):
+        spec = StreamSpec(
+            hours=100,
+            late_probability=0.0,
+            revision_probability=0.0,
+            stall_probability=0.0,
+        )
+        ticks = simulate_tick_trace(spec)
+        assert len(ticks) == spec.hours
+        assert [t.hour for t in ticks] == list(range(spec.hours))
+        assert all(t.kind == "observe" for t in ticks)
+
+    def test_stalls_delay_but_never_drop(self):
+        stalled = StreamSpec(hours=240, stall_probability=0.3, feed_seed=5)
+        ticks = simulate_tick_trace(stalled)
+        assert {t.hour for t in ticks} == set(range(stalled.hours))
+        # A stall window produces a catch-up burst: some emit slot carries
+        # far more events than the per-hour norm.
+        by_slot: dict = {}
+        for tick in ticks:
+            by_slot[tick.emit_slot] = by_slot.get(tick.emit_slot, 0) + 1
+        assert max(by_slot.values()) > 3
+
+
+class TestRollingForecast:
+    def test_ladder_sources(self):
+        assert rolling_forecast(np.array([]), 24)[1] == "cold"
+        assert rolling_forecast(np.full(5, 0.4), 24)[1] == "flat"
+        assert rolling_forecast(np.full(48, 0.4), 24)[1] == "persistence"
+        assert rolling_forecast(np.full(200, 0.4), 24)[1] == "rolling"
+        assert rolling_forecast(np.full(48, 0.4), 24, stalled=True)[1] == "diurnal"
+
+    def test_forecast_shapes_and_values(self):
+        forecast, source = rolling_forecast(np.array([]), 12)
+        assert source == "cold" and np.array_equal(forecast, np.zeros(12))
+        forecast, source = rolling_forecast(np.array([0.1, 0.7]), 12)
+        assert source == "flat" and np.array_equal(forecast, np.full(12, 0.7))
+
+    def test_rejects_nonpositive_horizon(self):
+        with pytest.raises(UnitError):
+            rolling_forecast(np.full(48, 0.4), 0)
+
+
+class TestIncrementalAccounting:
+    def test_empty_state_is_zero(self):
+        acc = IncrementalAccounting(np.ones(48))
+        assert acc.it_energy_kwh == 0.0
+        assert acc.operational_kg == 0.0
+        assert acc.contiguous_hours == 0
+        assert np.isnan(acc.intensity_at(0))
+
+    def test_fold_validation(self):
+        acc = IncrementalAccounting(np.ones(48))
+        with pytest.raises(UnitError):
+            acc.fold(48, 0.4)
+        with pytest.raises(UnitError):
+            acc.fold(-1, 0.4)
+        with pytest.raises(UnitError):
+            acc.fold(0, -0.1)
+        with pytest.raises(UnitError):
+            acc.fold(0, float("nan"))
+        with pytest.raises(UnitError):
+            IncrementalAccounting(np.ones(48), pue=0.5)
+        with pytest.raises(UnitError):
+            IncrementalAccounting(np.ones(48), window_hours=0)
+
+    def test_revision_replaces_exactly(self):
+        acc = IncrementalAccounting(np.full(48, 2.0), pue=1.5)
+        acc.fold(0, 0.9)  # preliminary
+        acc.fold(0, 0.4)  # revision
+        assert acc.intensity_at(0) == 0.4
+        assert acc.hours_observed == 1
+        assert acc.ticks_folded == 2
+        assert acc.operational_kg == 2.0 * 1.5 * 0.4
+
+    def test_out_of_order_window_gap_matches_replay(self):
+        # Regression: a tick jumping several windows past the frontier
+        # must fill the gap windows' prefix entries (found by Hypothesis).
+        acc = IncrementalAccounting(np.ones(48), window_hours=1)
+        log = [(1, 0.5), (16, 0.5), (0, 0.5)]
+        acc.fold_many(log)
+        assert acc.snapshot() == reference_replay(
+            np.ones(48), log, window_hours=1
+        )
+        assert acc.it_energy_kwh == 3.0
+
+    def test_snapshot_matches_replay_on_real_feed(self):
+        ticks = simulate_tick_trace(SPEC)
+        load = load_profile(SPEC)
+        acc = IncrementalAccounting(
+            load, pue=SPEC.pue, window_hours=SPEC.window_hours
+        )
+        acc.fold_many((t.hour, t.intensity_kg_per_kwh) for t in ticks)
+        assert acc.snapshot() == reference_replay(
+            load,
+            [(t.hour, t.intensity_kg_per_kwh) for t in ticks],
+            pue=SPEC.pue,
+            window_hours=SPEC.window_hours,
+        )
+
+    def test_snapshot_payload_round_trip(self):
+        snap = AccountingSnapshot(
+            hours=48,
+            ticks_folded=10,
+            hours_observed=9,
+            contiguous_hours=4,
+            it_energy_kwh=120.0,
+            operational_kg=13.5,
+        )
+        payload = snap.to_payload()
+        assert AccountingSnapshot(**payload) == snap
+
+
+class TestAdvice:
+    def test_cold_state_never_defers(self):
+        state = IncrementalAccounting(load_profile(SPEC), pue=SPEC.pue)
+        advice = advice_at(SPEC, state, 0)
+        assert advice.forecast_source == "cold"
+        assert not advice.defer_recommended
+        assert advice.recommended_powered_fraction == 1.0
+
+    def test_stall_detection_uses_feed_clock(self):
+        state = stream_state_at(SPEC, 0)
+        stalled = advice_at(SPEC, state, SPEC.stall_detect_hours)
+        fresh = advice_at(SPEC, state, 0)
+        assert stalled.stalled and not fresh.stalled
+
+    def test_powered_fraction_respects_floor(self):
+        ticks = simulate_tick_trace(SPEC)
+        state = stream_state_at(SPEC, len(ticks), ticks=ticks)
+        advice = advice_at(SPEC, state, ticks[-1].emit_slot)
+        assert (
+            SPEC.min_powered_fraction
+            <= advice.recommended_powered_fraction
+            <= 1.0
+        )
+
+
+class TestDeltaPayloads:
+    def test_cursor_validation(self):
+        ticks = simulate_tick_trace(SPEC)
+        with pytest.raises(UnitError):
+            stream_delta_payload(SPEC, 5, 2, ticks=ticks)
+        with pytest.raises(UnitError):
+            stream_delta_payload(SPEC, 0, len(ticks) + 1, ticks=ticks)
+
+    def test_state_must_match_cursor(self):
+        ticks = simulate_tick_trace(SPEC)
+        wrong = stream_state_at(SPEC, 3, ticks=ticks)
+        with pytest.raises(UnitError):
+            stream_delta_payload(SPEC, 0, 5, ticks=ticks, state=wrong)
+
+    def test_payload_shape_and_done_flag(self):
+        ticks = simulate_tick_trace(SPEC)
+        partial = stream_delta_payload(SPEC, 0, 5, ticks=ticks)
+        assert set(partial) == {
+            "stream",
+            "from_seq",
+            "to_seq",
+            "total_ticks",
+            "done",
+            "ticks",
+            "accounting",
+            "advice",
+        }
+        assert not partial["done"]
+        assert len(partial["ticks"]) == 5
+        full = stream_delta_payload(SPEC, 0, len(ticks), ticks=ticks)
+        assert full["done"]
+        assert full["accounting"]["hours_observed"] == SPEC.hours
+        assert full["accounting"]["facility_energy_kwh"] == pytest.approx(
+            full["accounting"]["it_energy_kwh"] * SPEC.pue
+        )
+
+
+class TestLiveFleet:
+    def test_outcome_structure(self):
+        outcome = run_live_fleet(
+            LiveFleetParams(spec=StreamSpec(hours=240, grid_seed=3, feed_seed=3))
+        )
+        assert outcome.hours == 240
+        assert outcome.baseline_kg > 0.0
+        assert outcome.live_kg > 0.0
+        assert outcome.saving_fraction == pytest.approx(
+            1.0 - outcome.live_kg / outcome.baseline_kg
+        )
+        assert 0.0 < outcome.mean_powered_fraction <= 1.0
+        assert sum(outcome.forecast_sources.values()) == outcome.hours
+        payload = outcome.to_payload()
+        assert payload["hours"] == 240
+
+    def test_deferral_conserves_work(self):
+        params = LiveFleetParams(
+            spec=StreamSpec(hours=240, grid_seed=3, feed_seed=3),
+            deferrable_fraction=0.4,
+            max_defer_hours=8,
+        )
+        outcome = run_live_fleet(params)
+        # Every deferred demand-hour is eventually drained or reported
+        # as leftover backlog at the horizon.
+        assert outcome.deferred_demand_hours == pytest.approx(
+            outcome.drained_demand_hours + outcome.leftover_demand_hours
+        )
+
+    def test_carbon_aware_fleet_saves_carbon(self):
+        outcome = run_live_fleet(
+            LiveFleetParams(spec=StreamSpec(hours=336, grid_seed=0, feed_seed=0))
+        )
+        assert outcome.saving_fraction > 0.0
+
+    def test_zero_deferrable_fraction_defers_nothing(self):
+        outcome = run_live_fleet(
+            LiveFleetParams(
+                spec=StreamSpec(hours=240, grid_seed=3, feed_seed=3),
+                deferrable_fraction=0.0,
+            )
+        )
+        assert outcome.deferred_demand_hours == 0.0
+        assert outcome.leftover_demand_hours == 0.0
+
+    def test_param_validation(self):
+        with pytest.raises(UnitError):
+            LiveFleetParams(deferrable_fraction=1.0)
+        with pytest.raises(UnitError):
+            LiveFleetParams(max_defer_hours=0)

@@ -1,0 +1,154 @@
+"""Hypothesis property suite for the streaming incremental accounting.
+
+The streamed O(Δ) fold must converge **bit-equal** (``==`` on floats,
+never a tolerance) to a full batch replay of the same tick log, for
+every feed the generator can produce — in-order, heavily late/out of
+order, revision-storm, and stall-then-catch-up feeds alike.  The named
+registry invariants (``stream-matches-batch-replay``,
+``stream-revision-rollback-exact``) carry the laws; this suite maps them
+over :func:`repro.testing.strategies.tick_streams` and adds the
+payload-level and feed-structure properties that live outside the
+registry.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.carbon.stream import (
+    Tick,
+    load_profile,
+    simulate_tick_trace,
+    stream_delta_payload,
+    stream_state_at,
+    truth_trace,
+)
+from repro.core.incremental import IncrementalAccounting, reference_replay
+from repro.testing import strategies as strat
+from repro.testing.invariants import (
+    check_stream_matches_batch_replay,
+    check_stream_revision_rollback,
+    substrate_invariant_names,
+)
+
+pytestmark = pytest.mark.property
+
+cut_fractions = st.floats(
+    min_value=0.0, max_value=1.0, allow_nan=False, allow_infinity=False
+)
+
+
+class TestRegistry:
+    def test_stream_invariants_registered(self):
+        names = substrate_invariant_names()
+        assert "stream-matches-batch-replay" in names
+        assert "stream-revision-rollback-exact" in names
+
+
+class TestStreamedEqualsBatch:
+    @given(strat.stream_specs(), cut_fractions)
+    def test_stream_matches_batch_replay(self, spec, cut):
+        check_stream_matches_batch_replay(spec, cut)
+
+    @given(strat.stream_specs())
+    def test_stream_revision_rollback_exact(self, spec):
+        check_stream_revision_rollback(spec)
+
+    @settings(max_examples=20)
+    @given(strat.tick_streams(min_hours=48, max_hours=72))
+    def test_every_prefix_is_bit_equal(self, stream):
+        # The strong form: not just one checkpoint — *every* tick prefix
+        # of a (short) feed agrees with replay exactly.
+        spec, ticks = stream
+        load = load_profile(spec)
+        acc = IncrementalAccounting(
+            load, pue=spec.pue, window_hours=spec.window_hours
+        )
+        log = []
+        for tick in ticks:
+            acc.fold(tick.hour, tick.intensity_kg_per_kwh)
+            log.append((tick.hour, tick.intensity_kg_per_kwh))
+            assert acc.snapshot() == reference_replay(
+                load, log, pue=spec.pue, window_hours=spec.window_hours
+            )
+
+    @given(strat.tick_streams(), cut_fractions)
+    def test_stream_state_at_equals_manual_fold(self, stream, cut):
+        spec, ticks = stream
+        upto = int(round(cut * len(ticks)))
+        state = stream_state_at(spec, upto, ticks=ticks)
+        manual = IncrementalAccounting(
+            load_profile(spec), pue=spec.pue, window_hours=spec.window_hours
+        )
+        manual.fold_many(
+            (t.hour, t.intensity_kg_per_kwh) for t in ticks[:upto]
+        )
+        assert state.snapshot() == manual.snapshot()
+
+
+class TestDeltaPayloads:
+    @given(strat.tick_streams(), cut_fractions)
+    def test_live_state_payload_equals_replay_payload(self, stream, cut):
+        # The service's frontier path passes its live state in; the
+        # lagging-cursor path replays.  Both must render identical
+        # payloads, or /stream responses would depend on cursor timing.
+        spec, ticks = stream
+        to_seq = int(round(cut * len(ticks)))
+        live = stream_delta_payload(
+            spec, 0, to_seq, ticks=ticks, state=stream_state_at(spec, to_seq, ticks=ticks)
+        )
+        replay = stream_delta_payload(spec, 0, to_seq, ticks=ticks)
+        assert live == replay
+
+    @given(strat.tick_streams(), st.data())
+    def test_deltas_compose(self, stream, data):
+        # Polling in two hops [0, mid) + [mid, end) must deliver exactly
+        # the ticks of one hop [0, end), with identical end accounting.
+        spec, ticks = stream
+        end = data.draw(st.integers(0, len(ticks)))
+        mid = data.draw(st.integers(0, end))
+        first = stream_delta_payload(spec, 0, mid, ticks=ticks)
+        second = stream_delta_payload(spec, mid, end, ticks=ticks)
+        whole = stream_delta_payload(spec, 0, end, ticks=ticks)
+        assert first["ticks"] + second["ticks"] == whole["ticks"]
+        assert second["accounting"] == whole["accounting"]
+        assert second["advice"] == whole["advice"]
+
+
+class TestFeedStructure:
+    @given(strat.tick_streams())
+    def test_feed_is_deterministic_and_ordered(self, stream):
+        spec, ticks = stream
+        again = simulate_tick_trace(spec)
+        assert ticks == again
+        assert [t.seq for t in ticks] == list(range(len(ticks)))
+        emit_slots = [t.emit_slot for t in ticks]
+        assert emit_slots == sorted(emit_slots)
+
+    @given(strat.tick_streams())
+    def test_every_hour_observed_and_converges_to_truth(self, stream):
+        # Every hour eventually gets an exact-truth tick (revisions carry
+        # the correction), so the fully-folded stream equals the truth
+        # trace priced directly.
+        spec, ticks = stream
+        acc = IncrementalAccounting(
+            load_profile(spec), pue=spec.pue, window_hours=spec.window_hours
+        )
+        acc.fold_many((t.hour, t.intensity_kg_per_kwh) for t in ticks)
+        assert acc.hours_observed == spec.hours
+        assert acc.contiguous_hours == spec.hours
+        truth = truth_trace(spec)
+        final = np.array([acc.intensity_at(h) for h in range(spec.hours)])
+        assert np.array_equal(
+            final, np.asarray(truth.intensity_kg_per_kwh, dtype=float)
+        )
+
+    @given(strat.tick_streams())
+    def test_ticks_are_well_formed(self, stream):
+        spec, ticks = stream
+        for tick in ticks:
+            assert isinstance(tick, Tick)
+            assert 0 <= tick.hour < spec.hours
+            assert tick.emit_slot >= tick.hour  # causality: no early data
+            assert tick.kind in ("observe", "revise")
+            assert tick.intensity_kg_per_kwh >= 0.0
