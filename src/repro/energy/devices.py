@@ -64,6 +64,15 @@ class DeviceSpec:
 P100 = DeviceSpec("NVIDIA P100", DeviceClass.GPU, 250.0, 0.18, 16.0, 10.6, 2016)
 V100 = DeviceSpec("NVIDIA V100", DeviceClass.GPU, 300.0, 0.15, 32.0, 15.7, 2018)
 A100 = DeviceSpec("NVIDIA A100", DeviceClass.GPU, 400.0, 0.14, 80.0, 19.5, 2021)
+# Tensor-core (mixed-precision) peaks for the same silicon: dense LLM
+# training and serving run on tensor cores, so MFU-based device-hour
+# accounting must divide by these, not the FP32 datasheet numbers above.
+V100_TENSOR = DeviceSpec(
+    "NVIDIA V100 (tensor)", DeviceClass.GPU, 300.0, 0.15, 32.0, 125.0, 2018
+)
+A100_TENSOR = DeviceSpec(
+    "NVIDIA A100 (tensor)", DeviceClass.GPU, 400.0, 0.14, 80.0, 312.0, 2021
+)
 TPU_V2 = DeviceSpec("Google TPU v2", DeviceClass.TPU, 280.0, 0.15, 16.0, 45.0, 2017)
 TPU_V3 = DeviceSpec("Google TPU v3", DeviceClass.TPU, 450.0, 0.15, 32.0, 123.0, 2018)
 
@@ -85,7 +94,9 @@ _CATALOG: dict[str, DeviceSpec] = {
     for spec in (
         P100,
         V100,
+        V100_TENSOR,
         A100,
+        A100_TENSOR,
         TPU_V2,
         TPU_V3,
         CPU_SERVER,

@@ -1,0 +1,234 @@
+"""GenAI extension experiments: LLM training + inference-serving scenarios.
+
+The paper's workload mix (Figure 1's RM-dominated fleet) predates the
+scaling-law era.  These experiments put the :mod:`repro.workloads.genai`
+layer on the record with golden baselines:
+
+* ``ext-genai-inventory`` — a model-family ladder's training footprint;
+* ``ext-genai-crossover`` — when cumulative inference carbon overtakes
+  the one-time training cost, and how lifetime QPS moves the crossover;
+* ``ext-genai-fleet`` — embodied share of an autoscaled accelerator
+  serving fleet (the Figure-9 utilization argument at fleet scale);
+* ``ext-genai-checkpoint`` — checkpoint-interval sensitivity of training
+  overhead around the Young/Daly optimum.
+
+Everything is analytic or seeded — results are bit-reproducible and
+pinned by ``sustainable-ai verify``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.experiments.base import ExperimentResult
+from repro.workloads.genai import (
+    MODEL_INVENTORY,
+    default_genai_context,
+    default_serving_spec,
+    inventory_spec,
+    lifetime_crossover,
+    scale_qps,
+    serving_fleet,
+    training_footprint,
+)
+
+#: Lifetime horizon (days) for the inference-share headline.
+LIFETIME_DAYS = 4 * 365
+
+
+def run_inventory() -> ExperimentResult:
+    """Training footprint of the LLM family ladder."""
+    context = default_genai_context()
+    headers = [
+        "family", "params", "tokens", "EFLOPs", "device-hours",
+        "wall-clock (d)", "IT energy (MWh)", "operational (t)",
+        "embodied (t)", "total (t)",
+    ]
+    rows = []
+    total_kg = 0.0
+    largest = None
+    for spec in MODEL_INVENTORY:
+        fp = training_footprint(spec, context)
+        total_kg += fp.total.kg
+        if largest is None or fp.total.kg > largest[1].total.kg:
+            largest = (spec, fp)
+        rows.append(
+            [
+                spec.name,
+                f"{spec.n_params:.2g}",
+                f"{spec.n_tokens:.2g}",
+                f"{spec.total_training_flops / 1e18:,.0f}",
+                f"{spec.accelerator_hours:,.0f}",
+                f"{spec.wall_clock_days:.1f}",
+                f"{fp.it_energy.mwh:,.1f}",
+                f"{fp.operational.kg / 1000:,.1f}",
+                f"{fp.embodied.kg / 1000:,.1f}",
+                f"{fp.total.kg / 1000:,.1f}",
+            ]
+        )
+    assert largest is not None
+    largest_spec, largest_fp = largest
+    return ExperimentResult(
+        experiment_id="ext-genai-inventory",
+        title="GenAI model inventory: the training cost of an LLM ladder",
+        headline={
+            "inventory_total_tonnes": total_kg / 1000.0,
+            "largest_run_mwh": largest_fp.facility_energy.mwh,
+            "largest_run_device_hours": largest_spec.accelerator_hours,
+            "largest_run_embodied_share": largest_fp.embodied_share,
+            "overhead_multiplier": largest_spec.overhead_multiplier,
+        },
+        headers=headers,
+        rows=rows,
+        notes=(
+            "Chinchilla-proportioned 1B/7B/70B families plus a GPT-3-era "
+            "under-trained 175B for contrast; 6*params*tokens FLOPs at the "
+            "achieved MFU on tensor-core peaks, with checkpoint-write, "
+            "lost-work, and failed-run overheads included.  The paper's "
+            "operational/embodied split applies unchanged — only the "
+            "workload scale is new."
+        ),
+    )
+
+
+def run_crossover() -> ExperimentResult:
+    """Training-vs-inference lifetime crossover vs lifetime QPS."""
+    context = default_genai_context()
+    training = inventory_spec("llm-7b")
+    base = default_serving_spec(n_params=training.n_params, peak_qps=100.0)
+
+    headers = [
+        "peak QPS", "serving (kg/day)", "crossover (days)",
+        "inference share @ 4 yr",
+    ]
+    rows = []
+    for factor in (0.5, 1.0, 2.0, 4.0, 8.0):
+        crossing = lifetime_crossover(training, scale_qps(base, factor), context)
+        rows.append(
+            [
+                f"{base.peak_qps * factor:g}",
+                f"{crossing.serving_kg_per_day:.1f}",
+                f"{crossing.crossover_days:,.1f}",
+                f"{crossing.inference_share_after(LIFETIME_DAYS):.1%}",
+            ]
+        )
+    base_crossing = lifetime_crossover(training, base, context)
+    doubled = lifetime_crossover(training, scale_qps(base, 2.0), context)
+    return ExperimentResult(
+        experiment_id="ext-genai-crossover",
+        title="Training vs inference: the lifetime crossover",
+        headline={
+            "crossover_days_base": base_crossing.crossover_days,
+            "crossover_days_2x_qps": doubled.crossover_days,
+            "inference_share_4yr": base_crossing.inference_share_after(LIFETIME_DAYS),
+            "serving_kg_per_day": base_crossing.serving_kg_per_day,
+        },
+        headers=headers,
+        rows=rows,
+        notes=(
+            "Serving carbon is linear in QPS, so doubling lifetime traffic "
+            "halves the crossover — at popular-service traffic the "
+            "inference stage dominates the life-cycle footprint within "
+            "months, matching the paper's observation that inference "
+            "accounts for ~1/3 of fleet-wide ML energy and grows with use."
+        ),
+    )
+
+
+def run_fleet() -> ExperimentResult:
+    """Embodied share of an autoscaled accelerator serving fleet."""
+    context = default_genai_context()
+    headers = [
+        "peak QPS", "tier servers", "peak freed", "autoscale saving",
+        "operational (t)", "embodied (t)", "embodied share",
+    ]
+    rows = []
+    flagship = None
+    for qps in (500.0, 2000.0, 8000.0):
+        spec = default_serving_spec(n_params=7.0e9, peak_qps=qps)
+        fleet = serving_fleet(spec, context)
+        if qps == 2000.0:
+            flagship = fleet
+        rows.append(
+            [
+                f"{qps:g}",
+                str(fleet.tier_servers),
+                f"{fleet.autoscale.peak_freed_fraction:.1%}",
+                f"{fleet.autoscale.energy_saving_fraction:.1%}",
+                f"{fleet.operational.kg / 1000:.2f}",
+                f"{fleet.embodied.kg / 1000:.2f}",
+                f"{fleet.embodied_share:.1%}",
+            ]
+        )
+    assert flagship is not None
+    return ExperimentResult(
+        experiment_id="ext-genai-fleet",
+        title="GenAI serving fleet: autoscaling and the embodied share",
+        headline={
+            "tier_servers": float(flagship.tier_servers),
+            "fleet_embodied_share": flagship.embodied_share,
+            "autoscale_saving_fraction": flagship.autoscale.energy_saving_fraction,
+            "peak_freed_fraction": flagship.autoscale.peak_freed_fraction,
+        },
+        headers=headers,
+        rows=rows,
+        notes=(
+            "A tier sized for peak diurnal QPS frees servers off-peak "
+            "(the paper: up to 25% of the web tier), but the *owned* "
+            "fleet keeps amortizing manufacturing carbon around the "
+            "clock — so autoscaling cuts operational carbon while "
+            "raising the embodied share, the fleet-scale version of the "
+            "paper's Figure 9 utilization argument."
+        ),
+    )
+
+
+def run_checkpoint() -> ExperimentResult:
+    """Checkpoint-interval sensitivity of training overhead."""
+    context = default_genai_context()
+    base = inventory_spec("llm-70b")
+    ideal = replace(
+        base, checkpoint_cost_hours=0.0, mtbf_hours=1e12, failed_run_fraction=0.0
+    )
+    ideal_kg = training_footprint(ideal, context).total.kg
+
+    optimum = base.optimal_checkpoint_interval_hours
+    headers = [
+        "interval (h)", "write overhead", "lost-work overhead",
+        "total overhead", "waste vs ideal (t)",
+    ]
+    rows = []
+    for factor in (0.1, 0.25, 0.5, 1.0, 2.0, 4.0, 10.0):
+        spec = replace(base, checkpoint_interval_hours=optimum * factor)
+        kg = training_footprint(spec, context).total.kg
+        rows.append(
+            [
+                f"{spec.checkpoint_interval_hours:.2f}",
+                f"{spec.checkpoint_write_overhead:.2%}",
+                f"{spec.expected_lost_work_fraction:.2%}",
+                f"{spec.restart_overhead_fraction:.2%}",
+                f"{(kg - ideal_kg) / 1000:.1f}",
+            ]
+        )
+    at_optimum = replace(base, checkpoint_interval_hours=optimum)
+    optimum_kg = training_footprint(at_optimum, context).total.kg
+    return ExperimentResult(
+        experiment_id="ext-genai-checkpoint",
+        title="Checkpoint-overhead sensitivity around the Young/Daly optimum",
+        headline={
+            "young_daly_interval_hours": optimum,
+            "overhead_fraction_at_optimum": at_optimum.restart_overhead_fraction,
+            "overhead_fraction_at_1h": base.restart_overhead_fraction,
+            "waste_tonnes_at_optimum": (optimum_kg - ideal_kg) / 1000.0,
+        },
+        headers=headers,
+        rows=rows,
+        notes=(
+            "Total overhead C/I + I/(2*MTBF) is minimized at the "
+            "Young/Daly interval sqrt(2*C*MTBF); checkpointing too often "
+            "burns writes, too rarely burns lost work, and both burn "
+            "carbon in proportion to the run's energy.  Waste rows "
+            "include the failed-run surcharge, which interval tuning "
+            "cannot recover."
+        ),
+    )

@@ -42,6 +42,7 @@ from repro.experiments import (
     fig10,
     fig11,
     fig12,
+    genai,
     text_metrics,
 )
 from repro.experiments.base import ExperimentResult
@@ -143,6 +144,10 @@ _SPECS: tuple[ExperimentSpec, ...] = (
     ExperimentSpec("ext-bom", "extension", extensions.run_bom),
     ExperimentSpec("ext-mempool", "extension", extensions.run_memory_pooling),
     ExperimentSpec("ext-sweep", "extension", extensions.run_sweep_levers),
+    ExperimentSpec("ext-genai-inventory", "extension", genai.run_inventory),
+    ExperimentSpec("ext-genai-crossover", "extension", genai.run_crossover),
+    ExperimentSpec("ext-genai-fleet", "extension", genai.run_fleet),
+    ExperimentSpec("ext-genai-checkpoint", "extension", genai.run_checkpoint),
 )
 
 SPECS: dict[str, ExperimentSpec] = {s.experiment_id: s for s in _SPECS}

@@ -11,7 +11,9 @@ accounting engine over JSON endpoints:
 ``GET /experiments/{id}``   one experiment's runner JSON envelope (byte-identical
                             to ``sustainable-ai run {id} --json``'s record)
 ``GET|POST /footprint``     total footprint of a quantum of work under scenario
-                            knobs (:class:`repro.service.queries.FootprintQuery`)
+                            knobs (:class:`repro.service.queries.FootprintQuery`);
+                            with ``workload=llm-training|llm-serving``, a GenAI
+                            scenario (:class:`repro.service.queries.GenAIQuery`)
 ``GET|POST /schedule/carbon-aware``  carbon-aware vs immediate placement of a
                             synthetic job batch
 ``GET /stream``             long-poll one delta of a live grid-intensity stream
@@ -500,7 +502,17 @@ class CarbonQueryService:
                 )
             return await self._query_endpoint("/experiments/{id}", query)
         if path == "/footprint" and method in ("GET", "POST"):
-            return await self._parse_and_answer("/footprint", "footprint", request)
+            from repro.service.http import ProtocolError
+
+            # A 'workload' parameter selects the genai scenario queries;
+            # a malformed body falls through to the scalar parser, whose
+            # error path turns it into the usual 400.
+            try:
+                genai = "workload" in self._merge_params(request)
+            except ProtocolError:
+                genai = False
+            kind = "genai" if genai else "footprint"
+            return await self._parse_and_answer("/footprint", kind, request)
         if path == "/schedule/carbon-aware" and method in ("GET", "POST"):
             return await self._parse_and_answer("/schedule/carbon-aware", "schedule", request)
         if path == "/stream" and method == "GET":

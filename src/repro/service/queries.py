@@ -31,13 +31,20 @@ from typing import TYPE_CHECKING, Mapping
 
 from repro.carbon.intensity import CarbonIntensity, intensity_for_region, regions
 from repro.core.canonical import canonical_bytes, compact_dumps
-from repro.errors import QueryError
+from repro.errors import QueryError, UnitError
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.sweep import SweepSpec
 
 #: Query kinds, in routing order (kind -> parser).
-QUERY_KINDS: tuple[str, ...] = ("experiment", "footprint", "schedule", "sweep", "stream")
+QUERY_KINDS: tuple[str, ...] = (
+    "experiment",
+    "footprint",
+    "genai",
+    "schedule",
+    "sweep",
+    "stream",
+)
 
 #: Bounds keeping a single query's work bounded (the service answers
 #: interactive traffic; year-scale sweeps belong to the CLI runner).
@@ -329,6 +336,354 @@ def parse_footprint(params: Mapping[str, object]) -> FootprintQuery:
         board_power_fraction=board,
         infrastructure_factor=infra,
     )
+
+
+# ---------------------------------------------------------------------------
+# /footprint with workload= : GenAI training / serving scenarios
+# ---------------------------------------------------------------------------
+
+_GENAI_WORKLOADS: tuple[str, ...] = ("llm-training", "llm-serving")
+
+_GENAI_PARAMS: tuple[str, ...] = (
+    "workload",
+    "model",
+    "accelerator",
+    "n_params",
+    "n_tokens",
+    "mfu",
+    "n_accelerators",
+    "peak_qps",
+    "tokens_per_request",
+    "context_tokens",
+    "batch_size",
+    "hours",
+    "trough_fraction",
+    "demand_seed",
+    "utilization",
+    "pue",
+    "lifetime_years",
+    "devices_per_server",
+    "intensity_kg_per_kwh",
+    "region",
+)
+
+
+@dataclass(frozen=True)
+class GenAIQuery(Query):
+    """Footprint of one LLM training run or serving window.
+
+    Rides the ``/footprint`` endpoint (selected by the ``workload``
+    parameter) and evaluates :mod:`repro.workloads.genai` specs under the
+    same region/PUE/lifetime knobs as the scalar footprint query.  A
+    ``model`` inventory name is resolved to explicit numbers at parse
+    time, so the cache key of ``model=llm-7b`` and its expansion are one
+    entry.
+    """
+
+    workload: str
+    accelerator: str
+    n_params: float
+    n_tokens: float
+    mfu: float
+    n_accelerators: int
+    peak_qps: float
+    tokens_per_request: float
+    context_tokens: float
+    batch_size: int
+    hours: int
+    trough_fraction: float
+    demand_seed: int
+    utilization: float
+    pue: float
+    lifetime_years: float
+    devices_per_server: int
+    intensity_kg_per_kwh: float
+    intensity_label: str
+
+    kind = "genai"
+
+    def to_params(self) -> dict[str, object]:
+        params: dict[str, object] = {
+            "workload": self.workload,
+            "accelerator": self.accelerator,
+            "n_params": self.n_params,
+            "utilization": self.utilization,
+            "pue": self.pue,
+            "lifetime_years": self.lifetime_years,
+            "devices_per_server": self.devices_per_server,
+            "intensity_kg_per_kwh": self.intensity_kg_per_kwh,
+            "intensity_label": self.intensity_label,
+        }
+        if self.workload == "llm-training":
+            params.update(
+                n_tokens=self.n_tokens,
+                mfu=self.mfu,
+                n_accelerators=self.n_accelerators,
+            )
+        else:
+            params.update(
+                peak_qps=self.peak_qps,
+                tokens_per_request=self.tokens_per_request,
+                context_tokens=self.context_tokens,
+                batch_size=self.batch_size,
+                hours=self.hours,
+                trough_fraction=self.trough_fraction,
+                demand_seed=self.demand_seed,
+            )
+        return params
+
+    def _spec(self):
+        from repro.energy.devices import device
+        from repro.workloads.genai import LLMTrainingSpec, LLMServingSpec
+
+        accelerator = device(self.accelerator)
+        if self.workload == "llm-training":
+            return LLMTrainingSpec(
+                name="service-genai",
+                n_params=self.n_params,
+                n_tokens=self.n_tokens,
+                mfu=self.mfu,
+                accelerator=accelerator,
+                n_accelerators=self.n_accelerators,
+            )
+        return LLMServingSpec(
+            name="service-genai",
+            n_params=self.n_params,
+            peak_qps=self.peak_qps,
+            accelerator=accelerator,
+            tokens_per_request=self.tokens_per_request,
+            context_tokens=self.context_tokens,
+            batch_size=self.batch_size,
+            hours=self.hours,
+            trough_fraction=self.trough_fraction,
+            demand_seed=self.demand_seed,
+        )
+
+    def _context(self):
+        from repro.workloads.genai import default_genai_context
+
+        return default_genai_context(
+            intensity=CarbonIntensity(self.intensity_kg_per_kwh, self.intensity_label),
+            pue=self.pue,
+            lifetime_years=self.lifetime_years,
+            average_utilization=self.utilization,
+            devices_per_server=float(self.devices_per_server),
+        )
+
+    def execute(self) -> dict[str, object]:
+        from repro.workloads.genai import serving_footprint, training_footprint
+
+        spec = self._spec()
+        if self.workload == "llm-training":
+            footprint = training_footprint(spec, self._context())
+            extra = {
+                "accelerator_hours": spec.accelerator_hours,
+                "wall_clock_hours": spec.wall_clock_hours,
+                "overhead_multiplier": spec.overhead_multiplier,
+            }
+        else:
+            footprint = serving_footprint(spec, self._context())
+            extra = {
+                "busy_device_hours": spec.busy_device_hours,
+                "total_tokens": spec.total_tokens,
+                "joules_per_token": spec.joules_per_token,
+                "accelerators_at_peak": float(spec.accelerators_at_peak),
+            }
+        return {
+            "query": self.to_params(),
+            "headline": {
+                "it_energy_kwh": footprint.it_energy.kwh,
+                "facility_energy_kwh": footprint.facility_energy.kwh,
+                "operational_kg": footprint.operational.kg,
+                "embodied_kg": footprint.embodied.kg,
+                "total_kg": footprint.total.kg,
+                "operational_share": footprint.operational_share,
+                "embodied_share": footprint.embodied_share,
+                **extra,
+            },
+        }
+
+
+def parse_genai(params: Mapping[str, object]) -> GenAIQuery:
+    """Validate ``genai`` query parameters into a :class:`GenAIQuery`."""
+    _reject_unknown("genai", params, _GENAI_PARAMS + ("intensity_label",))
+    workload = params.get("workload")
+    if workload not in _GENAI_WORKLOADS:
+        raise QueryError(
+            f"parameter 'workload' must be one of {', '.join(_GENAI_WORKLOADS)}; "
+            f"got {workload!r}"
+        )
+
+    spec_defaults: dict[str, float] = {
+        "n_params": 7.0e9,
+        "n_tokens": 1.4e11,
+        "mfu": 0.40,
+        "n_accelerators": 512,
+    }
+    if "model" in params:
+        from repro.workloads.genai import inventory_spec
+
+        if workload != "llm-training":
+            raise QueryError("parameter 'model' applies only to workload 'llm-training'")
+        overridden = sorted(set(spec_defaults) & set(params))
+        if overridden:
+            raise QueryError(
+                "provide either 'model' or explicit spec knobs, not both "
+                f"(got model plus: {', '.join(overridden)})"
+            )
+        model = params["model"]
+        if not isinstance(model, str):
+            raise QueryError(f"parameter 'model' must be a string, got {model!r}")
+        try:
+            inventory = inventory_spec(model)
+        except UnitError as exc:
+            raise QueryError(str(exc)) from None
+        spec_defaults.update(
+            n_params=inventory.n_params,
+            n_tokens=inventory.n_tokens,
+            mfu=inventory.mfu,
+            n_accelerators=inventory.n_accelerators,
+        )
+
+    accelerator = params.get("accelerator", "NVIDIA A100 (tensor)")
+    from repro.energy.devices import catalog, device
+
+    if not isinstance(accelerator, str) or accelerator not in catalog():
+        raise QueryError(
+            f"unknown accelerator {accelerator!r}; known: {', '.join(catalog())}"
+        )
+    if device(accelerator).peak_tflops <= 0.0:
+        raise QueryError(f"accelerator {accelerator!r} has no peak throughput")
+
+    n_params = _in_range(
+        "n_params",
+        _as_float("n_params", params.get("n_params", spec_defaults["n_params"])),
+        0.0,
+        1e13,
+        lo_open=True,
+    )
+    n_tokens = _in_range(
+        "n_tokens",
+        _as_float("n_tokens", params.get("n_tokens", spec_defaults["n_tokens"])),
+        0.0,
+        1e15,
+        lo_open=True,
+    )
+    mfu = _in_range(
+        "mfu",
+        _as_float("mfu", params.get("mfu", spec_defaults["mfu"])),
+        0.0,
+        0.95,
+        lo_open=True,
+    )
+    n_accelerators = _as_int(
+        "n_accelerators", params.get("n_accelerators", spec_defaults["n_accelerators"])
+    )
+    if not (1 <= n_accelerators <= 65536):
+        raise QueryError(
+            f"parameter 'n_accelerators' must be in [1, 65536], got {n_accelerators}"
+        )
+    peak_qps = _in_range(
+        "peak_qps", _as_float("peak_qps", params.get("peak_qps", 100.0)), 0.0, 1e6,
+        lo_open=True,
+    )
+    tokens_per_request = _in_range(
+        "tokens_per_request",
+        _as_float("tokens_per_request", params.get("tokens_per_request", 256.0)),
+        0.0,
+        1e5,
+        lo_open=True,
+    )
+    context_tokens = _in_range(
+        "context_tokens",
+        _as_float("context_tokens", params.get("context_tokens", 1024.0)),
+        0.0,
+        32768.0,
+        lo_open=True,
+    )
+    batch_size = _as_int("batch_size", params.get("batch_size", 16))
+    if not (1 <= batch_size <= 512):
+        raise QueryError(f"parameter 'batch_size' must be in [1, 512], got {batch_size}")
+    hours = _as_int("hours", params.get("hours", 168))
+    if not (1 <= hours <= MAX_HORIZON_HOURS):
+        raise QueryError(
+            f"parameter 'hours' must be in [1, {MAX_HORIZON_HOURS}], got {hours}"
+        )
+    trough_fraction = _in_range(
+        "trough_fraction",
+        _as_float("trough_fraction", params.get("trough_fraction", 0.68)),
+        0.05,
+        0.95,
+    )
+    demand_seed = _as_int("demand_seed", params.get("demand_seed", 0))
+    if not (0 <= demand_seed <= 2**32 - 1):
+        raise QueryError(
+            f"parameter 'demand_seed' must be in [0, 2**32 - 1], got {demand_seed}"
+        )
+
+    utilization = _in_range(
+        "utilization", _as_float("utilization", params.get("utilization", 0.45)), 0.0, 1.0,
+        lo_open=True,
+    )
+    pue = _in_range("pue", _as_float("pue", params.get("pue", 1.10)), 1.0, 10.0)
+    lifetime = _in_range(
+        "lifetime_years",
+        _as_float("lifetime_years", params.get("lifetime_years", 4.0)),
+        0.0,
+        100.0,
+        lo_open=True,
+    )
+    devices = _as_int("devices_per_server", params.get("devices_per_server", 8))
+    if not (1 <= devices <= 1024):
+        raise QueryError(f"parameter 'devices_per_server' must be in [1, 1024], got {devices}")
+
+    if "intensity_kg_per_kwh" in params and "region" in params:
+        raise QueryError("provide either 'intensity_kg_per_kwh' or 'region', not both")
+    if "region" in params:
+        region = params["region"]
+        if not isinstance(region, str) or region not in regions():
+            raise QueryError(f"unknown region {region!r}; known: {', '.join(regions())}")
+        intensity = intensity_for_region(region)
+        kg_per_kwh, label = intensity.kg_per_kwh, intensity.label
+    elif "intensity_kg_per_kwh" in params:
+        kg_per_kwh = _in_range(
+            "intensity_kg_per_kwh",
+            _as_float("intensity_kg_per_kwh", params["intensity_kg_per_kwh"]),
+            0.0,
+            10.0,
+        )
+        label = str(params.get("intensity_label", "custom"))
+    else:
+        from repro.carbon.intensity import US_AVERAGE
+
+        kg_per_kwh, label = US_AVERAGE.kg_per_kwh, US_AVERAGE.label
+
+    query = GenAIQuery(
+        workload=workload,
+        accelerator=accelerator,
+        n_params=n_params,
+        n_tokens=n_tokens,
+        mfu=mfu,
+        n_accelerators=n_accelerators,
+        peak_qps=peak_qps,
+        tokens_per_request=tokens_per_request,
+        context_tokens=context_tokens,
+        batch_size=batch_size,
+        hours=hours,
+        trough_fraction=trough_fraction,
+        demand_seed=demand_seed,
+        utilization=utilization,
+        pue=pue,
+        lifetime_years=lifetime,
+        devices_per_server=devices,
+        intensity_kg_per_kwh=kg_per_kwh,
+        intensity_label=label,
+    )
+    try:
+        query._spec()  # surface KV-cache/memory violations as 400s at parse time
+    except UnitError as exc:
+        raise QueryError(str(exc)) from None
+    return query
 
 
 # ---------------------------------------------------------------------------
@@ -639,6 +994,7 @@ def parse_stream(params: Mapping[str, object]) -> StreamQuery:
 _PARSERS = {
     "experiment": parse_experiment,
     "footprint": parse_footprint,
+    "genai": parse_genai,
     "schedule": parse_schedule,
     "sweep": parse_sweep,
     "stream": parse_stream,
@@ -705,7 +1061,12 @@ def payload_to_result(payload: Mapping[str, object]):
     else:
         query = payload.get("query")
         if isinstance(query, Mapping):
-            kind = f"service-{'footprint' if 'busy_device_hours' in query else 'schedule'}"
+            if "workload" in query:
+                kind = "service-genai"
+            elif "busy_device_hours" in query:
+                kind = "service-footprint"
+            else:
+                kind = "service-schedule"
     return ExperimentResult(
         experiment_id=kind,
         title=f"carbon-query service response ({kind})",

@@ -645,7 +645,8 @@ class CarbonQueryRouter:
             params: dict[str, object] = dict(request.params)
             params.update(request.json_body())
             if path == "/footprint" and request.method in ("GET", "POST"):
-                return "/footprint", queries.parse_query("footprint", params).cache_key()
+                kind = "genai" if "workload" in params else "footprint"
+                return "/footprint", queries.parse_query(kind, params).cache_key()
             if path == "/schedule/carbon-aware" and request.method in ("GET", "POST"):
                 return (
                     "/schedule/carbon-aware",

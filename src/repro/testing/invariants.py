@@ -768,6 +768,130 @@ def check_ring_preference_distinct(nodes: tuple, key: str) -> None:
 
 
 # ---------------------------------------------------------------------------
+# Substrate invariants: GenAI training and serving workloads
+# ---------------------------------------------------------------------------
+
+
+@substrate_invariant("genai-training-energy-monotone-in-tokens")
+def check_genai_tokens_monotone(spec, factor: float) -> None:
+    """Training energy is exactly linear in the token budget: scaling
+    ``n_tokens`` by ``factor > 1`` scales IT energy by the same factor
+    (the FLOPs model is 6 * params * tokens and everything downstream is
+    proportional)."""
+    from dataclasses import replace
+
+    base = spec.it_energy.joules
+    scaled = replace(spec, n_tokens=spec.n_tokens * factor).it_energy.joules
+    _require(
+        scaled > base,
+        "genai-training-energy-monotone-in-tokens",
+        f"{factor}x tokens did not increase energy ({base} -> {scaled})",
+    )
+    _require(
+        _close(scaled, base * factor),
+        "genai-training-energy-monotone-in-tokens",
+        f"energy is not linear in tokens: {scaled} != {factor} * {base}",
+    )
+
+
+@substrate_invariant("genai-training-energy-inverse-in-mfu")
+def check_genai_mfu_inverse(spec, factor: float) -> None:
+    """Halving achieved MFU doubles device-hours and therefore energy:
+    ``E(mfu / f) == f * E(mfu)`` for ``f > 1`` — utilization only changes
+    how long the accelerators run, never the work itself."""
+    from dataclasses import replace
+
+    base = spec.it_energy.joules
+    degraded = replace(spec, mfu=spec.mfu / factor).it_energy.joules
+    _require(
+        degraded > base,
+        "genai-training-energy-inverse-in-mfu",
+        f"lower MFU did not increase energy ({base} -> {degraded})",
+    )
+    _require(
+        _close(degraded, base * factor),
+        "genai-training-energy-inverse-in-mfu",
+        f"energy is not inverse in MFU: {degraded} != {factor} * {base}",
+    )
+
+
+@substrate_invariant("genai-checkpoint-overhead-vanishes")
+def check_genai_checkpoint_overhead(spec) -> None:
+    """Checkpoint overhead is non-negative, monotone non-increasing in the
+    write component as the interval stretches, and vanishes in the
+    infinite-interval limit (write overhead is ``cost / interval``)."""
+    from dataclasses import replace
+
+    _require(
+        spec.restart_overhead_fraction >= 0.0,
+        "genai-checkpoint-overhead-vanishes",
+        f"negative checkpoint overhead {spec.restart_overhead_fraction}",
+    )
+    stretched = replace(
+        spec, checkpoint_interval_hours=spec.checkpoint_interval_hours * 10.0
+    )
+    _require(
+        stretched.checkpoint_write_overhead <= spec.checkpoint_write_overhead,
+        "genai-checkpoint-overhead-vanishes",
+        "write overhead grew when the interval stretched "
+        f"({spec.checkpoint_write_overhead} -> "
+        f"{stretched.checkpoint_write_overhead})",
+    )
+    limit = replace(spec, checkpoint_interval_hours=1e12)
+    _require(
+        limit.checkpoint_write_overhead <= 1e-9,
+        "genai-checkpoint-overhead-vanishes",
+        "write overhead did not vanish as interval -> inf "
+        f"(got {limit.checkpoint_write_overhead})",
+    )
+
+
+@substrate_invariant("genai-serving-energy-additive-in-qps")
+def check_genai_serving_additive(spec, split: float) -> None:
+    """Splitting a serving fleet's traffic across two deployments conserves
+    IT energy: ``E(q) == E(s * q) + E((1 - s) * q)`` for any split
+    ``s`` in (0, 1) — the diurnal shape is shared, so tokens (and joules)
+    partition exactly."""
+    from repro.workloads.genai import scale_qps
+
+    whole = spec.it_series().integrate().joules
+    left = scale_qps(spec, split).it_series().integrate().joules
+    right = scale_qps(spec, 1.0 - split).it_series().integrate().joules
+    _require(
+        _close(whole, left + right),
+        "genai-serving-energy-additive-in-qps",
+        f"QPS split {split} is not additive: {left} + {right} != {whole}",
+    )
+
+
+@substrate_invariant("genai-crossover-metamorphic")
+def check_genai_crossover_metamorphic(
+    training_spec, serving_spec, context, factor: float
+) -> None:
+    """Doubling lifetime traffic moves the training-vs-inference crossover
+    earlier — and, because serving carbon is linear in QPS, scaling QPS by
+    ``factor > 1`` divides the crossover day count by exactly ``factor``."""
+    from repro.workloads.genai import lifetime_crossover, scale_qps
+
+    base = lifetime_crossover(training_spec, serving_spec, context)
+    scaled = lifetime_crossover(
+        training_spec, scale_qps(serving_spec, factor), context
+    )
+    _require(
+        scaled.crossover_days < base.crossover_days,
+        "genai-crossover-metamorphic",
+        f"{factor}x QPS did not move the crossover earlier "
+        f"({base.crossover_days} -> {scaled.crossover_days})",
+    )
+    _require(
+        _close(scaled.crossover_days * factor, base.crossover_days),
+        "genai-crossover-metamorphic",
+        f"crossover is not inverse in QPS: {scaled.crossover_days} * "
+        f"{factor} != {base.crossover_days}",
+    )
+
+
+# ---------------------------------------------------------------------------
 # Result invariants: swept over every registered experiment
 # ---------------------------------------------------------------------------
 
@@ -892,6 +1016,47 @@ def check_nonempty_identity(result: "ExperimentResult") -> list[Violation]:
                 detail="no headline metrics reported",
             )
         )
+    return violations
+
+
+@result_invariant("genai-scenario-consistency")
+def check_genai_scenarios(result: "ExperimentResult") -> list[Violation]:
+    """The genai experiments' headline metrics obey the workload laws:
+    doubling lifetime QPS moves the crossover to exactly half the days,
+    and the Young/Daly interval minimizes checkpoint overhead."""
+    violations = []
+    h = result.headline
+    if result.experiment_id == "ext-genai-crossover":
+        base, doubled = h["crossover_days_base"], h["crossover_days_2x_qps"]
+        if not doubled < base:
+            violations.append(
+                Violation(
+                    result.experiment_id,
+                    "genai-scenario-consistency",
+                    "crossover_days_2x_qps",
+                    f"2x QPS did not move the crossover earlier "
+                    f"({base} -> {doubled})",
+                )
+            )
+        if not _close(doubled * 2.0, base):
+            violations.append(
+                Violation(
+                    result.experiment_id,
+                    "genai-scenario-consistency",
+                    "crossover_days_2x_qps",
+                    f"crossover is not inverse in QPS: {doubled} * 2 != {base}",
+                )
+            )
+    if result.experiment_id == "ext-genai-checkpoint":
+        if not h["overhead_fraction_at_optimum"] <= h["overhead_fraction_at_1h"]:
+            violations.append(
+                Violation(
+                    result.experiment_id,
+                    "genai-scenario-consistency",
+                    "overhead_fraction_at_optimum",
+                    "the Young/Daly interval does not minimize overhead",
+                )
+            )
     return violations
 
 

@@ -419,3 +419,56 @@ def ring_node_sets(
 def ring_keys() -> st.SearchStrategy[str]:
     """Arbitrary routing keys (canonical query keys are a subset)."""
     return st.text(min_size=0, max_size=64)
+
+
+@st.composite
+def llm_training_specs(draw) -> "LLMTrainingSpec":
+    """Valid LLM training runs across the realistic envelope.
+
+    Parameter counts span 100M–200B and token budgets 1B–10T —
+    generously past both ends of the published scaling-law ladder — with
+    MFU, overheads, and reliability knobs drawn across their full valid
+    ranges.  The genai energy laws are scale-free, so these bounds lose
+    no generality while keeping each example analytic-cheap.
+    """
+    from repro.workloads.genai import LLMTrainingSpec
+
+    return LLMTrainingSpec(
+        name="generated",
+        n_params=draw(finite_floats(1e8, 2e11)),
+        n_tokens=draw(finite_floats(1e9, 1e13)),
+        mfu=draw(finite_floats(0.05, 0.6)),
+        n_accelerators=draw(st.integers(8, 4096)),
+        board_power_fraction=draw(finite_floats(0.3, 0.99)),
+        checkpoint_interval_hours=draw(finite_floats(0.05, 24.0)),
+        checkpoint_cost_hours=draw(finite_floats(0.0, 0.5)),
+        mtbf_hours=draw(finite_floats(10.0, 1e4)),
+        failed_run_fraction=draw(finite_floats(0.0, 0.5)),
+    )
+
+
+@st.composite
+def llm_serving_specs(draw, max_hours: int = 72) -> "LLMServingSpec":
+    """Valid LLM serving deployments whose KV cache fits the accelerator.
+
+    Restricted to the 80 GB tensor-core SKU with parameter counts <= 20B
+    and contexts <= 4096 so the weights + one request's KV cache always
+    fit device memory (the constructor rejects anything else); horizons
+    stay at a few diurnal days so ``it_series`` is O(hours) per example.
+    """
+    from repro.workloads.genai import LLMServingSpec
+
+    return LLMServingSpec(
+        name="generated",
+        n_params=draw(finite_floats(1e8, 2e10)),
+        peak_qps=draw(finite_floats(0.1, 1e4)),
+        tokens_per_request=draw(finite_floats(1.0, 2048.0)),
+        context_tokens=draw(finite_floats(64.0, 4096.0)),
+        batch_size=draw(st.integers(1, 32)),
+        peak_tokens_per_s=draw(finite_floats(100.0, 2e4)),
+        half_saturation_batch=draw(finite_floats(1.0, 32.0)),
+        board_power_fraction=draw(finite_floats(0.3, 0.99)),
+        hours=draw(st.integers(24, max_hours)),
+        trough_fraction=draw(finite_floats(0.1, 0.95)),
+        demand_seed=draw(st.integers(0, 2**16)),
+    )

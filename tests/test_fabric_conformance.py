@@ -114,6 +114,26 @@ class TestQueryConformance:
         assert via_get.body == via_post.body == expected
         assert single_client.get(f"/schedule/carbon-aware?{query_string}").body == expected
 
+    @pytest.mark.parametrize(
+        "params",
+        [
+            {"workload": "llm-training", "model": "llm-7b", "region": "us-average"},
+            {"workload": "llm-serving", "peak_qps": 250, "hours": 72},
+        ],
+        ids=["training", "serving"],
+    )
+    def test_genai_get_post_and_single_node_agree(self, fabric, params):
+        """GenAI ``/footprint`` queries shard on the genai cache key and
+        stay byte-identical through the 3-replica fabric."""
+        fabric_client, single_client, _router = fabric
+        expected = render_payload(parse_query("genai", dict(params)).execute())
+        query_string = "&".join(f"{k}={v}" for k, v in params.items())
+        via_get = fabric_client.get(f"/footprint?{query_string}")
+        via_post = fabric_client.post("/footprint", dict(params))
+        assert via_get.status == via_post.status == 200
+        assert via_get.body == via_post.body == expected
+        assert single_client.get(f"/footprint?{query_string}").body == expected
+
 
 SWEEP_SPEC = {
     "busy_device_hours": 1000.0,

@@ -1,0 +1,110 @@
+"""Hypothesis property suite for the GenAI workload laws.
+
+Maps the five genai substrate invariants from
+:mod:`repro.testing.invariants` over the :func:`llm_training_specs` and
+:func:`llm_serving_specs` generators — the whole valid knob space, not
+just the inventory points the golden experiments pin.  Carries the
+``property`` marker like the rest of the Hypothesis tier.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import UnitError
+from repro.testing.invariants import (
+    check_genai_checkpoint_overhead,
+    check_genai_crossover_metamorphic,
+    check_genai_mfu_inverse,
+    check_genai_serving_additive,
+    check_genai_tokens_monotone,
+    substrate_invariant_names,
+)
+from repro.testing.strategies import llm_serving_specs, llm_training_specs
+from repro.workloads.genai import default_genai_context
+
+pytestmark = pytest.mark.property
+
+# Bounded away from 1: at factor = 1 + ulp the scaled energy can round to
+# the base value, which would vacuously fail the *strict* monotone check
+# while the exact-linearity check still holds.
+growth_factors = st.floats(
+    min_value=1.01, max_value=50.0, allow_nan=False, allow_infinity=False
+)
+qps_splits = st.floats(
+    min_value=0.1, max_value=0.9, allow_nan=False, allow_infinity=False
+)
+
+CONTEXT = default_genai_context()
+
+
+def test_genai_invariants_are_registered():
+    names = substrate_invariant_names()
+    for name in (
+        "genai-training-energy-monotone-in-tokens",
+        "genai-training-energy-inverse-in-mfu",
+        "genai-checkpoint-overhead-vanishes",
+        "genai-serving-energy-additive-in-qps",
+        "genai-crossover-metamorphic",
+    ):
+        assert name in names
+
+
+@given(spec=llm_training_specs(), factor=growth_factors)
+def test_training_energy_monotone_in_tokens(spec, factor):
+    check_genai_tokens_monotone(spec, factor)
+
+
+@given(spec=llm_training_specs(), factor=growth_factors)
+def test_training_energy_inverse_in_mfu(spec, factor):
+    check_genai_mfu_inverse(spec, factor)
+
+
+@given(spec=llm_training_specs())
+def test_checkpoint_overhead_nonnegative_and_vanishing(spec):
+    check_genai_checkpoint_overhead(spec)
+
+
+@settings(max_examples=40)
+@given(spec=llm_serving_specs(), split=qps_splits)
+def test_serving_energy_additive_in_qps(spec, split):
+    check_genai_serving_additive(spec, split)
+
+
+@settings(max_examples=25)
+@given(
+    training=llm_training_specs(),
+    serving=llm_serving_specs(),
+    factor=st.floats(min_value=1.1, max_value=16.0, allow_nan=False, allow_infinity=False),
+)
+def test_crossover_metamorphic_in_qps(training, serving, factor):
+    check_genai_crossover_metamorphic(training, serving, CONTEXT, factor)
+
+
+@given(spec=llm_training_specs())
+def test_generated_training_specs_are_self_consistent(spec):
+    """Generator output satisfies the spec's own validation and algebra."""
+    assert spec.accelerator_hours >= spec.base_accelerator_hours
+    assert spec.overhead_multiplier >= 1.0
+    assert spec.it_energy.joules > 0.0
+
+
+@settings(max_examples=40)
+@given(spec=llm_serving_specs())
+def test_generated_serving_specs_are_self_consistent(spec):
+    assert 1 <= spec.effective_batch <= spec.batch_size
+    assert 0.0 < spec.joules_per_token
+    assert spec.accelerators_at_peak >= 1
+    assert len(spec.it_series().values) == spec.hours
+
+
+@given(
+    n_tokens=st.floats(max_value=0.0, allow_nan=False),
+    spec=llm_training_specs(),
+)
+def test_nonpositive_token_budgets_are_rejected(n_tokens, spec):
+    from dataclasses import replace
+
+    with pytest.raises(UnitError, match="n_tokens"):
+        replace(spec, n_tokens=n_tokens)

@@ -272,8 +272,8 @@ class TestGoldenImport:
     def test_baselines_import_pins_every_claim(self):
         doc = golden.load_baselines(golden.DEFAULT_BASELINES_PATH)
         bundles = bundles_from_baselines(doc)
-        assert len(bundles) == 45
-        assert sum(len(b.claims) for b in bundles.values()) == 147
+        assert len(bundles) == 49
+        assert sum(len(b.claims) for b in bundles.values()) == 164
         sample = bundles["fig7"]
         assert sample.provenance.source == "golden-import"
         assert sample.payload is None
@@ -283,7 +283,7 @@ class TestGoldenImport:
         doc = golden.load_baselines(golden.DEFAULT_BASELINES_PATH)
         report = diff_bundles(bundles_from_baselines(doc), bundles_from_baselines(doc))
         assert report.ok
-        assert report.n_metrics == 147
+        assert report.n_metrics == 164
 
 
 class TestLedgerStore:

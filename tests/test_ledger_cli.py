@@ -50,7 +50,7 @@ class TestRecord:
         assert set(led.resolve("r1")) == {"fig7", "fig8"}
         # golden/baselines.json auto-imports as epoch "0" on first record.
         assert GOLDEN_EPOCH in led.epochs
-        assert len(led.resolve(GOLDEN_EPOCH)) == 45
+        assert len(led.resolve(GOLDEN_EPOCH)) == 49
         bundle = led.resolve("r1")["fig7"]
         assert bundle.provenance.recorded_at == 1000.0
         assert bundle.provenance.invariant_status == "not-checked"

@@ -97,6 +97,71 @@ class TestQueryEndpointConformance:
         assert client.post("/schedule/carbon-aware", dict(self.SCHEDULE_PARAMS)).body == expected
 
 
+class TestGenAIQueryConformance:
+    """``/footprint?workload=...`` rides the same cache/batcher paths."""
+
+    TRAINING_PARAMS = {
+        "workload": "llm-training",
+        "model": "llm-7b",
+        "region": "us-average",
+    }
+    SERVING_PARAMS = {
+        "workload": "llm-serving",
+        "peak_qps": 250,
+        "hours": 72,
+        "intensity_kg_per_kwh": 0.25,
+    }
+
+    @staticmethod
+    def _query_string(params):
+        return "&".join(f"{k}={v}" for k, v in params.items())
+
+    @pytest.mark.parametrize("params", [TRAINING_PARAMS, SERVING_PARAMS])
+    def test_cold_and_warm_bytes_match_direct(self, service, params):
+        _handle, client = service
+        expected = render_payload(parse_query("genai", dict(params)).execute())
+        cold = client.get(f"/footprint?{self._query_string(params)}")
+        assert cold.status == 200
+        assert cold.body == expected
+        warm = client.get(f"/footprint?{self._query_string(params)}")
+        assert warm.status == 200
+        assert warm.body == expected
+
+    @pytest.mark.parametrize("params", [TRAINING_PARAMS, SERVING_PARAMS])
+    def test_get_and_post_normalize_identically(self, service, params):
+        _handle, client = service
+        via_get = client.get(f"/footprint?{self._query_string(params)}")
+        via_post = client.post("/footprint", dict(params))
+        assert via_get.status == via_post.status == 200
+        assert via_get.body == via_post.body
+
+    def test_model_name_and_expansion_share_one_cache_entry(self, service):
+        """``model=llm-7b`` normalizes to its explicit-knob expansion."""
+        from repro.workloads.genai import inventory_spec
+
+        _handle, client = service
+        spec = inventory_spec("llm-7b")
+        explicit = {
+            "workload": "llm-training",
+            "n_params": spec.n_params,
+            "n_tokens": spec.n_tokens,
+            "mfu": spec.mfu,
+            "n_accelerators": spec.n_accelerators,
+            "region": "us-average",
+        }
+        by_model = client.get(f"/footprint?{self._query_string(self.TRAINING_PARAMS)}")
+        by_knobs = client.post("/footprint", explicit)
+        assert by_model.status == by_knobs.status == 200
+        assert by_model.body == by_knobs.body
+
+    def test_bad_genai_query_is_structured_400(self, service):
+        _handle, client = service
+        reply = client.get("/footprint?workload=llm-cooking")
+        assert reply.status == 400
+        assert reply.json()["error"]["kind"] == "bad-request"
+        assert "workload" in reply.json()["error"]["message"]
+
+
 class TestConcurrentConformance:
     def test_16_clients_get_identical_bytes(self, all_results):
         """16-way client concurrency over a worker pool changes no bytes.

@@ -100,8 +100,8 @@ class TestDiffEndpoint:
         _handle, client = service
         doc = client.get(f"/ledger/diff?a={GOLDEN_EPOCH}&b={GOLDEN_EPOCH}").json()
         assert doc["ok"] is True
-        assert doc["n_experiments"] == 45
-        assert doc["n_metrics"] == 147
+        assert doc["n_experiments"] == 49
+        assert doc["n_metrics"] == 164
 
     def test_missing_refs_are_bad_requests(self, service):
         _handle, client = service
